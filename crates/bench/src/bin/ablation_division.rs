@@ -1,0 +1,47 @@
+//! Ablation: static vs dynamic wavelength division.
+//!
+//! Table I uses the *static* channel division (one virtual channel per
+//! memory controller). The dynamic policy of [Li et al., HPCA'13] lets a
+//! transfer borrow the earliest-available VC at a retuning cost; this
+//! sweep quantifies what Ohm-GPU left on the table by choosing static.
+
+use ohm_bench::{f3, print_header, print_row};
+use ohm_core::config::SystemConfig;
+use ohm_core::runner::run_platform;
+use ohm_hetero::Platform;
+use ohm_optic::{ChannelDivision, OperationalMode};
+use ohm_sim::Ps;
+use ohm_workloads::workload_by_name;
+
+fn main() {
+    println!("Ablation: wavelength-division strategy (Ohm-base, planar)\n");
+    let widths = [9, 26, 9, 11, 9];
+    print_header(&["app", "strategy", "IPC", "lat(ns)", "util"], &widths);
+    for wl in ["pagerank", "bfsdata", "GRAMS"] {
+        let spec = workload_by_name(wl)
+            .unwrap()
+            .with_footprint(SystemConfig::EVALUATION_FOOTPRINT);
+        let strategies: [(&str, ChannelDivision); 3] = [
+            ("static", ChannelDivision::Static),
+            ("dynamic (0.5 ns retune)", ChannelDivision::Dynamic { reallocation: Ps::from_ps(500) }),
+            ("dynamic (5 ns retune)", ChannelDivision::Dynamic { reallocation: Ps::from_ns(5) }),
+        ];
+        for (label, division) in strategies {
+            let mut cfg = SystemConfig::evaluation();
+            cfg.optical.division = division;
+            let r = run_platform(&cfg, Platform::OhmBase, OperationalMode::Planar, &spec);
+            print_row(
+                &[
+                    wl.to_string(),
+                    label.to_string(),
+                    f3(r.ipc),
+                    format!("{:.0}", r.avg_mem_latency_ns),
+                    f3(r.channel_utilization),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\nBorrowing helps when per-controller load is skewed and the retune");
+    println!("is cheap; the paper's static division avoids the arbitration cost.");
+}

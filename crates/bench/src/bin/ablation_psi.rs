@@ -1,0 +1,46 @@
+//! Ablation: Start-Gap rotation period (psi) vs wear and lifetime.
+//!
+//! Smaller psi rotates more aggressively: flatter wear (longer media
+//! lifetime) at the cost of more leveling copies on the media.
+
+use ohm_bench::{f3, print_header, print_row};
+use ohm_mem::StartGap;
+use ohm_sim::SplitMix64;
+
+fn main() {
+    println!("Ablation: Start-Gap rotation period under skewed writes\n");
+    let widths = [8, 12, 12, 14, 16];
+    print_header(&["psi", "gap moves", "imbalance", "overhead", "lifetime (rel)"], &widths);
+
+    const LINES: u64 = 1024;
+    const WRITES: u64 = 2_000_000;
+    let mut baseline_life = None;
+    for psi in [4096u32, 512, 128, 32, 8] {
+        let mut sg = StartGap::new(LINES, psi);
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..WRITES {
+            // 90% of writes hammer a single pathological line.
+            let line = if rng.chance(0.9) { 7 } else { rng.next_below(LINES) };
+            sg.record_write(line);
+        }
+        let stats = sg.wear_stats();
+        let overhead = stats.gap_moves as f64 / WRITES as f64;
+        let life = sg.lifetime_secs(1.0, 10_000_000).expect("writes observed");
+        let base = *baseline_life.get_or_insert(life);
+        print_row(
+            &[
+                psi.to_string(),
+                stats.gap_moves.to_string(),
+                f3(stats.imbalance),
+                format!("{:.2}%", overhead * 100.0),
+                format!("{:.2}x", life / base),
+            ],
+            &widths,
+        );
+    }
+    println!("\nSmaller psi means more full rotations over the run, so a hammered");
+    println!("line's writes spread over more physical slots (longer lifetime) at");
+    println!("the cost of more leveling copies. Start-Gap only migrates a hot");
+    println!("line one slot per full rotation, so the knee sits where rotation");
+    println!("overhead is still a few percent — the paper's mid-range choice.");
+}

@@ -1,0 +1,56 @@
+//! Ablation: DRAM : XPoint capacity ratio.
+//!
+//! Table I fixes 1:8 (planar) and 1:64 (two-level); this sweep shows why —
+//! the DRAM share of service and the achieved IPC degrade as DRAM shrinks
+//! relative to the working set.
+
+use ohm_bench::{f3, pct, print_header, print_row};
+use ohm_core::config::SystemConfig;
+use ohm_core::runner::run_platform;
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::workload_by_name;
+
+fn main() {
+    let spec = workload_by_name("bfsdata")
+        .unwrap()
+        .with_footprint(SystemConfig::EVALUATION_FOOTPRINT);
+    println!("Ablation: DRAM:XPoint capacity ratio ({}, Ohm-BW)\n", spec.name);
+    let widths = [8, 11, 9, 11, 12, 12];
+    print_header(&["mode", "ratio", "IPC", "lat(ns)", "DRAM share", "migrations"], &widths);
+
+    for ratio in [4usize, 8, 16, 32] {
+        let mut cfg = SystemConfig::evaluation();
+        cfg.memory.planar_ratio = ratio;
+        let r = run_platform(&cfg, Platform::OhmBw, OperationalMode::Planar, &spec);
+        print_row(
+            &[
+                "planar".to_string(),
+                format!("1:{ratio}"),
+                f3(r.ipc),
+                format!("{:.0}", r.avg_mem_latency_ns),
+                pct(r.hetero_dram_hit_rate),
+                r.migrations.to_string(),
+            ],
+            &widths,
+        );
+    }
+    for ratio in [16usize, 32, 64, 128] {
+        let mut cfg = SystemConfig::evaluation();
+        cfg.memory.two_level_ratio = ratio;
+        let r = run_platform(&cfg, Platform::OhmBw, OperationalMode::TwoLevel, &spec);
+        print_row(
+            &[
+                "2-level".to_string(),
+                format!("1:{ratio}"),
+                f3(r.ipc),
+                format!("{:.0}", r.avg_mem_latency_ns),
+                pct(r.hetero_dram_hit_rate),
+                r.migrations.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\nMore DRAM per group (smaller ratio) buys hit rate; the paper's");
+    println!("1:8 / 1:64 points trade that against capacity and cost (Table III).");
+}

@@ -1,0 +1,44 @@
+//! Ablation: planar hot-page promotion threshold.
+//!
+//! The threshold trades DRAM service share against migration traffic —
+//! the central planar-mode policy knob. Run on a skewed workload across
+//! Ohm-base (migrations on the channel) and Ohm-BW (dual routes).
+
+use ohm_bench::{f3, pct, print_header, print_row};
+use ohm_core::config::SystemConfig;
+use ohm_core::runner::run_platform;
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::workload_by_name;
+
+fn main() {
+    let spec = workload_by_name("pagerank")
+        .unwrap()
+        .with_footprint(SystemConfig::EVALUATION_FOOTPRINT);
+    println!("Ablation: planar hot-page threshold ({})\n", spec.name);
+    let widths = [10, 10, 9, 12, 12, 12];
+    print_header(
+        &["threshold", "platform", "IPC", "migrations", "DRAM share", "mig-channel"],
+        &widths,
+    );
+    for threshold in [8u32, 16, 32, 64, 128] {
+        let mut cfg = SystemConfig::evaluation();
+        cfg.memory.hot_threshold = threshold;
+        for p in [Platform::OhmBase, Platform::OhmBw] {
+            let r = run_platform(&cfg, p, OperationalMode::Planar, &spec);
+            print_row(
+                &[
+                    threshold.to_string(),
+                    p.name().to_string(),
+                    f3(r.ipc),
+                    r.migrations.to_string(),
+                    pct(r.hetero_dram_hit_rate),
+                    pct(r.migration_channel_fraction),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\nDual routes (Ohm-BW) tolerate aggressive thresholds that would");
+    println!("swamp Ohm-base's data route with migration traffic.");
+}

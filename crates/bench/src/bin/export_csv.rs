@@ -1,0 +1,23 @@
+//! Exports the full evaluation grid (7 platforms × 2 modes × 10 Table II
+//! workloads) as CSV on stdout, for plotting with external tools.
+//!
+//! ```sh
+//! cargo run --release -p ohm-bench --bin export_csv > results/grid.csv
+//! ```
+
+use ohm_bench::evaluation_grid;
+use ohm_core::metrics::SimReport;
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+
+fn main() {
+    println!("{}", SimReport::csv_header().split_whitespace().collect::<String>());
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        let grid = evaluation_grid(&Platform::ALL, mode);
+        for row in &grid {
+            for report in row {
+                println!("{}", report.csv_row());
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 3 — breakdown analysis of executing GPU applications on a
+//! GPU + SSD system (`Origin`).
+//!
+//! 3a: execution-time breakdown into GPU compute, host↔GPU data transfer
+//! and storage access (paper averages: 34% / 45% / 21%).
+//! 3b: impact of the staging path on execution time and energy.
+
+use ohm_bench::{evaluation_workloads, pct, print_header, print_row};
+use ohm_core::config::SystemConfig;
+use ohm_core::runner::run_platform;
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+
+fn main() {
+    let cfg = SystemConfig::evaluation();
+    println!("Figure 3a: execution breakdown on the GPU+SSD platform (Origin)\n");
+    let widths = [9, 10, 10, 10, 12];
+    print_header(&["app", "compute", "transfer", "storage", "makespan"], &widths);
+
+    let mut sums = (0.0, 0.0, 0.0);
+    let mut slowdowns = Vec::new();
+    let workloads = evaluation_workloads();
+    for spec in &workloads {
+        let origin = run_platform(&cfg, Platform::Origin, OperationalMode::Planar, spec);
+        let host = origin.host.expect("origin reports staging");
+        let total = origin.makespan.as_secs_f64();
+        let storage = host.storage_busy.as_secs_f64().min(total);
+        let transfer = host.dma_busy.as_secs_f64().min(total - storage);
+        let compute = (total - storage - transfer).max(0.0);
+        let (c, t, s) = (compute / total, transfer / total, storage / total);
+        sums.0 += c;
+        sums.1 += t;
+        sums.2 += s;
+        print_row(
+            &[
+                spec.name.to_string(),
+                pct(c),
+                pct(t),
+                pct(s),
+                format!("{}", origin.makespan),
+            ],
+            &widths,
+        );
+
+        // For 3b: compare against an Origin whose working set fits (no
+        // staging), isolating DMA/DRAM impact.
+        let oracle = run_platform(&cfg, Platform::Oracle, OperationalMode::Planar, spec);
+        slowdowns.push((
+            spec.name,
+            origin.makespan.as_secs_f64() / oracle.makespan.as_secs_f64(),
+            origin.energy.total_j() / oracle.energy.total_j(),
+        ));
+    }
+    let n = workloads.len() as f64;
+    println!(
+        "\naverage: compute {} transfer {} storage {}  (paper: 34% / 45% / 21%)",
+        pct(sums.0 / n),
+        pct(sums.1 / n),
+        pct(sums.2 / n)
+    );
+
+    println!("\nFigure 3b: staging impact vs an in-memory (Oracle) run\n");
+    let widths = [9, 16, 16];
+    print_header(&["app", "time x", "energy x"], &widths);
+    let mut gt = 1.0f64;
+    let mut ge = 1.0f64;
+    for (name, t, e) in &slowdowns {
+        print_row(&[name.to_string(), format!("{t:.2}"), format!("{e:.2}")], &widths);
+        gt *= t;
+        ge *= e;
+    }
+    println!(
+        "\ngeomean: time {:.2}x energy {:.2}x (paper: staging degrades time 31% / energy 19% at the memory level)",
+        gt.powf(1.0 / n),
+        ge.powf(1.0 / n)
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 8 — memory bandwidth and latency analysis of the baseline Ohm
+//! memory system.
+//!
+//! For each workload and mode, prints the effective vs wasted (migration)
+//! share of the channel's consumed bandwidth, and the average memory
+//! latency of Ohm-base normalised to an Oracle that gives migrations a
+//! dedicated channel. Paper averages: migration is 39% (planar) / 26%
+//! (two-level) of bandwidth; migrations raise latency by 54% / 47%.
+
+use ohm_bench::{evaluation_workloads, pct, print_header, print_row};
+use ohm_core::config::SystemConfig;
+use ohm_core::runner::run_platform;
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+
+fn main() {
+    let cfg = SystemConfig::evaluation();
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        println!("Figure 8 ({mode:?}): effective vs migration bandwidth; latency vs Oracle\n");
+        let widths = [9, 11, 11, 14];
+        print_header(&["app", "effective", "migration", "lat/oracle"], &widths);
+        let mut mig_sum = 0.0;
+        let mut lat_sum = 0.0;
+        let workloads = evaluation_workloads();
+        for spec in &workloads {
+            let base = run_platform(&cfg, Platform::OhmBase, mode, spec);
+            // Oracle channel for migration: Ohm-BW serves migrations on
+            // the independent memory route, leaving the data route clean.
+            let oracle = run_platform(&cfg, Platform::OhmBw, mode, spec);
+            let mig = base.migration_channel_fraction;
+            let lat = base.avg_mem_latency_ns / oracle.avg_mem_latency_ns;
+            mig_sum += mig;
+            lat_sum += lat;
+            print_row(
+                &[
+                    spec.name.to_string(),
+                    pct(1.0 - mig),
+                    pct(mig),
+                    format!("{lat:.2}x"),
+                ],
+                &widths,
+            );
+        }
+        let n = workloads.len() as f64;
+        let paper = match mode {
+            OperationalMode::Planar => "39% migration, +54% latency",
+            OperationalMode::TwoLevel => "26% migration, +47% latency",
+        };
+        println!(
+            "\naverage: migration {} of consumed bandwidth, latency {:.2}x vs dedicated-channel oracle (paper: {paper})\n",
+            pct(mig_sum / n),
+            lat_sum / n
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 16 — IPC of the evaluated GPU platforms, normalised to
+//! Ohm-base.
+//!
+//! Paper shape: Origin well below Hetero (-42%); Hetero ≈ Ohm-base;
+//! Auto-rw +9%/+4% (planar/two-level); Ohm-WOM +18%/+16% over Auto-rw;
+//! Ohm-BW +4% over Ohm-WOM in planar; Ohm-BW ≈ 88% of Oracle.
+
+use ohm_bench::{bar, evaluation_grid, f3, print_header, print_row};
+use ohm_core::runner::{column_geomeans, normalize_ipc};
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::all_workloads;
+
+fn main() {
+    let platforms = Platform::ALL;
+    let names: Vec<&str> = platforms.iter().map(|p| p.name()).collect();
+    let baseline = 2; // Ohm-base
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        println!("Figure 16 ({mode:?}): IPC normalised to Ohm-base\n");
+        let widths = [9, 8, 8, 9, 8, 8, 8, 8];
+        let mut cols = vec!["app"];
+        cols.extend(names.iter());
+        print_header(&cols, &widths);
+
+        let grid = evaluation_grid(&platforms, mode);
+        let normalized = normalize_ipc(&grid, baseline);
+        for (spec, row) in all_workloads().iter().zip(&normalized) {
+            let mut cells = vec![spec.name.to_string()];
+            cells.extend(row.iter().map(|&v| f3(v)));
+            print_row(&cells, &widths);
+        }
+        let means = column_geomeans(&normalized);
+        let mut cells = vec!["geomean".to_string()];
+        cells.extend(means.iter().map(|&v| f3(v)));
+        print_row(&cells, &widths);
+
+        let max = means.iter().copied().fold(0.0, f64::max);
+        println!();
+        for (name, &m) in names.iter().zip(&means) {
+            println!("{name:>9} {:<40} {}", bar(m, max, 40), f3(m));
+        }
+        println!(
+            "\nspeedups (geomean): Ohm-BW vs Origin {:.2}x (paper ~2.8x), vs Ohm-base {:.2}x (paper ~1.27x), vs Oracle {:.0}% (paper 88%)\n",
+            means[5] / means[0],
+            means[5],
+            100.0 * means[5] / means[6]
+        );
+    }
+}

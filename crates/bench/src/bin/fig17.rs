@@ -1,0 +1,57 @@
+//! Figure 17 — average memory access latency normalised to Ohm-base.
+//!
+//! Paper shape: Auto-rw −14%/−4% (planar/two-level); Ohm-WOM −28%/−24%
+//! vs Auto-rw; Ohm-BW −6% more in planar.
+
+use ohm_bench::{evaluation_grid, f3, print_header, print_row};
+use ohm_core::runner::{column_geomeans, geomean};
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::all_workloads;
+
+fn main() {
+    // Origin's latency includes host staging and is not comparable; the
+    // paper's figure plots the heterogeneous platforms plus Oracle.
+    let platforms = [
+        Platform::Hetero,
+        Platform::OhmBase,
+        Platform::AutoRw,
+        Platform::OhmWom,
+        Platform::OhmBw,
+        Platform::Oracle,
+    ];
+    let names: Vec<&str> = platforms.iter().map(|p| p.name()).collect();
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        println!("Figure 17 ({mode:?}): memory access latency normalised to Ohm-base\n");
+        let widths = [9, 8, 9, 8, 8, 8, 8];
+        let mut cols = vec!["app"];
+        cols.extend(names.iter());
+        print_header(&cols, &widths);
+
+        let grid = evaluation_grid(&platforms, mode);
+        let normalized: Vec<Vec<f64>> = grid
+            .iter()
+            .map(|row| {
+                let base = row[1].avg_mem_latency_ns;
+                row.iter().map(|r| r.avg_mem_latency_ns / base).collect()
+            })
+            .collect();
+        for (spec, row) in all_workloads().iter().zip(&normalized) {
+            let mut cells = vec![spec.name.to_string()];
+            cells.extend(row.iter().map(|&v| f3(v)));
+            print_row(&cells, &widths);
+        }
+        let means = column_geomeans(&normalized);
+        let mut cells = vec!["geomean".to_string()];
+        cells.extend(means.iter().map(|&v| f3(v)));
+        print_row(&cells, &widths);
+
+        let _ = geomean(&means);
+        println!(
+            "\nreductions (geomean): Auto-rw {:.0}% vs Ohm-base; Ohm-WOM {:.0}% vs Auto-rw; Ohm-BW {:.0}% vs Ohm-WOM\n",
+            100.0 * (1.0 - means[2]),
+            100.0 * (1.0 - means[3] / means[2]),
+            100.0 * (1.0 - means[4] / means[3]),
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 18 — fraction of the optical channel (data route) consumed by
+//! data migration.
+//!
+//! Paper shape: Auto-rw reduces migration bandwidth by 8%/17% vs
+//! Ohm-base; Ohm-WOM reduces it by a further 54% in planar mode and
+//! fully eliminates it in two-level mode.
+
+use ohm_bench::{evaluation_grid, pct, print_header, print_row};
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::all_workloads;
+
+fn main() {
+    let platforms = [Platform::OhmBase, Platform::AutoRw, Platform::OhmWom, Platform::OhmBw];
+    let names: Vec<&str> = platforms.iter().map(|p| p.name()).collect();
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        println!("Figure 18 ({mode:?}): migration share of data-route bandwidth\n");
+        let widths = [9, 9, 9, 9, 9];
+        let mut cols = vec!["app"];
+        cols.extend(names.iter());
+        print_header(&cols, &widths);
+
+        let grid = evaluation_grid(&platforms, mode);
+        let mut sums = vec![0.0; platforms.len()];
+        for (spec, row) in all_workloads().iter().zip(&grid) {
+            let mut cells = vec![spec.name.to_string()];
+            for (i, r) in row.iter().enumerate() {
+                sums[i] += r.migration_channel_fraction;
+                cells.push(pct(r.migration_channel_fraction));
+            }
+            print_row(&cells, &widths);
+        }
+        let n = grid.len() as f64;
+        let mut cells = vec!["average".to_string()];
+        cells.extend(sums.iter().map(|s| pct(s / n)));
+        print_row(&cells, &widths);
+        let paper = match mode {
+            OperationalMode::Planar => "paper: base ~39%, WOM cuts most of it",
+            OperationalMode::TwoLevel => "paper: base ~26%, WOM eliminates it",
+        };
+        println!("\n({paper})\n");
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 20a — performance with multiple optical waveguides.
+//!
+//! The optical channel scales by adding waveguides under the same area
+//! budget as the electrical lanes. Paper shape: Ohm-base with 8
+//! waveguides beats Hetero by ~41%; Ohm-BW gains a further ~17% from
+//! more waveguides.
+
+use ohm_bench::{evaluation_workloads, f3, print_header, print_row};
+use ohm_core::config::SystemConfig;
+use ohm_core::runner::{geomean, run_platform};
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+
+fn main() {
+    let mode = OperationalMode::Planar;
+    // A representative memory-intensive subset keeps the sweep quick.
+    let workloads: Vec<_> = evaluation_workloads()
+        .into_iter()
+        .filter(|w| ["pagerank", "bfsdata", "GRAMS", "betw"].contains(&w.name))
+        .collect();
+
+    println!("Figure 20a: IPC vs waveguide count (geomean over memory-intensive apps),");
+    println!("normalised to Hetero (electrical)\n");
+    let widths = [11, 10, 10];
+    print_header(&["waveguides", "Ohm-base", "Ohm-BW"], &widths);
+
+    let cfg0 = SystemConfig::evaluation();
+    let hetero: Vec<f64> = workloads
+        .iter()
+        .map(|w| run_platform(&cfg0, Platform::Hetero, mode, w).ipc)
+        .collect();
+    let hetero_g = geomean(&hetero);
+
+    for waveguides in [1u32, 2, 4, 8] {
+        let mut cfg = SystemConfig::evaluation();
+        cfg.optical.waveguides = waveguides;
+        let base: Vec<f64> = workloads
+            .iter()
+            .map(|w| run_platform(&cfg, Platform::OhmBase, mode, w).ipc)
+            .collect();
+        let bw: Vec<f64> = workloads
+            .iter()
+            .map(|w| run_platform(&cfg, Platform::OhmBw, mode, w).ipc)
+            .collect();
+        print_row(
+            &[
+                waveguides.to_string(),
+                f3(geomean(&base) / hetero_g),
+                f3(geomean(&bw) / hetero_g),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(paper: Ohm-base with 8 waveguides ~1.41x Hetero; Ohm-BW gains a further ~17%)");
+}

@@ -1,0 +1,38 @@
+//! Figure 20b — reliability (bit error rate) of the optical platforms.
+//!
+//! Paper data points: Ohm-base 7.2e-16; Ohm-WOM auto-read/write 6.1e-16
+//! and swap 9.9e-16; Ohm-BW worst path 9.3e-16 — all under the 1e-15
+//! requirement after the 1x/2x/4x laser scaling.
+
+use ohm_bench::{print_header, print_row, sci};
+use ohm_core::reliability::{platform_ber, worst_ber};
+use ohm_hetero::Platform;
+use ohm_optic::BerModel;
+
+fn main() {
+    println!("Figure 20b: end-to-end BER per platform light path\n");
+    let widths = [9, 22, 8, 12, 12, 6];
+    print_header(&["platform", "path", "laser", "rx power", "BER", "ok"], &widths);
+    for p in [Platform::OhmBase, Platform::AutoRw, Platform::OhmWom, Platform::OhmBw] {
+        for pt in platform_ber(p) {
+            print_row(
+                &[
+                    p.name().to_string(),
+                    pt.function.to_string(),
+                    format!("{:.0}x", p.laser_power_scale()),
+                    format!("{:.3} mW", pt.received_mw),
+                    sci(pt.ber),
+                    if pt.meets_requirement { "yes" } else { "NO" }.to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\nrequirement: BER < {:.0e}", BerModel::REQUIREMENT);
+    for p in [Platform::OhmBase, Platform::OhmWom, Platform::OhmBw] {
+        if let Some(w) = worst_ber(p) {
+            println!("worst {}: {}", p.name(), sci(w));
+        }
+    }
+    println!("\n(paper: base 7.2e-16; WOM 6.1e-16 / 9.9e-16; BW worst 9.3e-16)");
+}

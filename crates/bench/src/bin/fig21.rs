@@ -1,0 +1,38 @@
+//! Figure 21 — cost-performance analysis of Origin, Ohm-BW and Oracle
+//! (higher is better).
+//!
+//! Paper: Ohm-BW's CP ratio is 155% above Origin and 24% above Oracle.
+
+use ohm_bench::{evaluation_grid, f3, print_header, print_row};
+use ohm_core::cost::{cost_breakdown, cost_performance};
+use ohm_core::runner::{column_geomeans, normalize_ipc};
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+
+fn main() {
+    let platforms = [Platform::Origin, Platform::OhmBw, Platform::Oracle];
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        println!("Figure 21 ({mode:?}): cost-performance (normalised perf per $, x1e4)\n");
+        let widths = [9, 10, 12, 10];
+        print_header(&["platform", "perf", "cost $", "CP"], &widths);
+
+        let grid = evaluation_grid(&platforms, mode);
+        let normalized = normalize_ipc(&grid, 0); // vs Origin
+        let perf = column_geomeans(&normalized);
+        let mut cps = Vec::new();
+        for (i, p) in platforms.iter().enumerate() {
+            let cost = cost_breakdown(*p, mode).total_usd();
+            let cp = cost_performance(perf[i], cost);
+            cps.push(cp);
+            print_row(
+                &[p.name().to_string(), f3(perf[i]), format!("{cost:.0}"), f3(cp)],
+                &widths,
+            );
+        }
+        println!(
+            "\nOhm-BW CP is {:+.0}% vs Origin (paper +155%) and {:+.0}% vs Oracle (paper +24%)\n",
+            100.0 * (cps[1] / cps[0] - 1.0),
+            100.0 * (cps[1] / cps[2] - 1.0)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Table I — system configurations.
+//!
+//! Prints the simulated system's configuration in the paper's Table I
+//! layout, straight from the live config structs so the printed values
+//! are the ones every experiment actually runs with.
+
+use ohm_core::config::SystemConfig;
+use ohm_optic::{OpticalPathLoss, OperationalMode};
+
+fn main() {
+    let cfg = SystemConfig::evaluation();
+    println!("Table I: system configurations (values as simulated)\n");
+
+    println!("GPU configuration");
+    println!("  SM / freq.            {}/{}", cfg.gpu.sms, cfg.gpu.sm.freq);
+    println!(
+        "  L1 cache              {} KB, {}-way, private",
+        cfg.gpu.l1.size_bytes / 1024,
+        cfg.gpu.l1.ways
+    );
+    println!(
+        "  L2 cache              {} KB, {}-way, shared (scaled with footprints; Table I: 6 MB)",
+        cfg.gpu.l2.size_bytes / 1024,
+        cfg.gpu.l2.ways
+    );
+    println!(
+        "  Electrical channels   {} channels / {}-bit / {}",
+        cfg.electrical.channels, cfg.electrical.width_bits, cfg.electrical.freq
+    );
+
+    println!("\nOptical channel configuration");
+    println!("  Channel width         {} bits", cfg.optical.grid.total_wavelengths());
+    println!("  Frequency             {}", cfg.optical.freq);
+    println!("  Strategy              Static channel division");
+    println!("  Virtual channels      {}", cfg.optical.grid.channels());
+    println!(
+        "  Aggregate bandwidth   {:.0} GB/s (matches {:.0} GB/s electrical)",
+        cfg.optical.total_bandwidth_gbps(),
+        cfg.electrical.total_bandwidth_gbps()
+    );
+
+    println!("\nMemory configuration");
+    println!("  tRCD (DRAM)           {}", cfg.memory.dram_timing.trcd);
+    println!("  tRP  (DRAM)           {}", cfg.memory.dram_timing.trp);
+    println!("  tCL  (DRAM)           {}", cfg.memory.dram_timing.tcl);
+    println!("  tRRD                  {}", cfg.memory.dram_timing.trrd);
+    println!("  PRAM read             {}", cfg.memory.xpoint.media.read_latency);
+    println!("  PRAM write            {}", cfg.memory.xpoint.media.write_latency);
+
+    println!("\nDRAM : XPoint capacity (per mode)");
+    for (mode, label) in
+        [(OperationalMode::Planar, "Planar memory"), (OperationalMode::TwoLevel, "Two-level memory")]
+    {
+        let ratio = match mode {
+            OperationalMode::Planar => cfg.memory.planar_ratio,
+            OperationalMode::TwoLevel => cfg.memory.two_level_ratio,
+        };
+        let fp = SystemConfig::EVALUATION_FOOTPRINT;
+        let dram = cfg.dram_capacity_for(mode, fp);
+        println!(
+            "  {label:<18}  1:{ratio}, footprint {} MB -> DRAM {} MB (paper: 108/390 GB unscaled)",
+            fp >> 20,
+            dram >> 20
+        );
+    }
+
+    println!("\nOptical power model");
+    println!("  MRR tuning power      200 fJ/bit");
+    println!("  Filter drop           {} dB", OpticalPathLoss::FILTER_DROP_DB);
+    println!("  Waveguide loss        {} dB/cm", OpticalPathLoss::WAVEGUIDE_DB_PER_CM);
+    println!("  Optical splitter      {} dB", OpticalPathLoss::SPLITTER_DB);
+    println!("  Detector loss         {} dB", OpticalPathLoss::DETECTOR_DB);
+    println!("  Modulator loss        0~1 dB");
+}

@@ -1,0 +1,44 @@
+//! Table II — workload characteristics.
+//!
+//! Regenerates the paper's workload table and *verifies* it: each
+//! synthetic kernel is drained and its measured APKI and read ratio are
+//! printed next to the Table II targets.
+
+use ohm_bench::{f2, print_header, print_row};
+use ohm_sm::InstructionStream;
+use ohm_workloads::{all_workloads, KernelWorkload};
+
+fn main() {
+    println!("Table II: workload characteristics (target vs measured)\n");
+    let widths = [9, 6, 12, 10, 12, 10, 10];
+    print_header(
+        &["app", "APKI", "APKI(meas)", "read", "read(meas)", "suite", "pattern"],
+        &widths,
+    );
+    for spec in all_workloads() {
+        let mut k = KernelWorkload::new(spec, 4, 8, 20_000, 42);
+        for sm in 0..4 {
+            for w in 0..8 {
+                while k.next_slice(sm, w).is_some() {}
+            }
+        }
+        let pattern = match spec.pattern {
+            ohm_workloads::AccessPattern::Streaming => "stream",
+            ohm_workloads::AccessPattern::Blocked { .. } => "blocked",
+            ohm_workloads::AccessPattern::Graph { .. } => "graph",
+            ohm_workloads::AccessPattern::Uniform => "uniform",
+        };
+        print_row(
+            &[
+                spec.name.to_string(),
+                spec.apki.to_string(),
+                format!("{:.1}", k.measured_apki()),
+                f2(spec.read_ratio),
+                f2(k.measured_read_ratio()),
+                spec.suite.to_string(),
+                pattern.to_string(),
+            ],
+            &widths,
+        );
+    }
+}

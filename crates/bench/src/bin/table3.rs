@@ -1,0 +1,57 @@
+//! Table III — cost estimation of the Ohm memories, plus the Figure 15
+//! MRR-layout reductions.
+
+use ohm_bench::{print_header, print_row};
+use ohm_core::cost::{cost_breakdown, ring_counts, GPU_BASE_USD};
+use ohm_hetero::Platform;
+use ohm_optic::cost::{MrrLayout, VCSEL_COST_USD};
+use ohm_optic::OperationalMode;
+
+fn main() {
+    println!("Table III: cost estimation of different Ohm memories\n");
+    let widths = [9, 11, 11, 11, 14, 14, 8];
+    print_header(
+        &["platform", "mode", "DRAM $", "XPoint $", "modulators", "detectors", "VCSEL"],
+        &widths,
+    );
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        for p in [Platform::OhmBase, Platform::OhmBw] {
+            let c = cost_breakdown(p, mode);
+            let (m, d) = ring_counts(p, mode);
+            print_row(
+                &[
+                    p.name().to_string(),
+                    format!("{mode:?}"),
+                    format!("${:.0}", c.dram_usd),
+                    format!("${:.0}", c.xpoint_usd),
+                    format!("{m}/${:.0}", c.modulators_usd.ceil()),
+                    format!("{d}/${:.0}", c.detectors_usd.ceil()),
+                    format!("${VCSEL_COST_USD:.0}"),
+                ],
+                &widths,
+            );
+        }
+    }
+
+    println!("\nTotal platform cost over the ${GPU_BASE_USD:.0} GPU:");
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        let c = cost_breakdown(Platform::OhmBw, mode);
+        println!(
+            "  Ohm-BW {mode:?}: +${:.0} = +{:.1}% (paper: +7.6% planar, +13.5% two-level)",
+            c.memory_system_usd(),
+            100.0 * c.memory_system_usd() / GPU_BASE_USD
+        );
+    }
+
+    println!("\nFigure 15: MRR layout per device pair (general vs mode-specialised)");
+    let general = MrrLayout::general();
+    println!("  general design: {} rings ({}T + {}R)", general.total(), general.transmitters(), general.receivers());
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        let l = MrrLayout::for_mode(mode);
+        println!(
+            "  {mode:?}: {} rings -> {:.0}% reduction (paper: 58% planar / 42% two-level)",
+            l.total(),
+            100.0 * l.reduction_vs_general()
+        );
+    }
+}

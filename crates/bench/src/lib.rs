@@ -1,0 +1,107 @@
+//! Shared plumbing for the Ohm-GPU benchmark harness.
+//!
+//! The binaries in this crate regenerate the paper's tables and figures
+//! (see DESIGN.md's experiment index for the figure <-> binary mapping);
+//! this library holds the sweep and formatting helpers they share.
+
+#![warn(missing_docs)]
+
+use ohm_core::config::SystemConfig;
+use ohm_core::metrics::SimReport;
+use ohm_core::runner;
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::{all_workloads, WorkloadSpec};
+
+/// The evaluation workload set: the ten Table II applications at the
+/// evaluation footprint.
+pub fn evaluation_workloads() -> Vec<WorkloadSpec> {
+    all_workloads()
+        .into_iter()
+        .map(|w| w.with_footprint(SystemConfig::EVALUATION_FOOTPRINT))
+        .collect()
+}
+
+/// Runs `platforms` over the full Table II set in `mode` with the
+/// evaluation configuration. Returns `grid[workload][platform]`.
+pub fn evaluation_grid(platforms: &[Platform], mode: OperationalMode) -> Vec<Vec<SimReport>> {
+    let cfg = SystemConfig::evaluation();
+    runner::run_grid(&cfg, platforms, mode, &evaluation_workloads())
+}
+
+/// Prints a table header row followed by an underline.
+pub fn print_header(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(132)));
+}
+
+/// Prints one row of right-aligned cells.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{line}");
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats in scientific notation.
+pub fn sci(x: f64) -> String {
+    format!("{x:.2e}")
+}
+
+/// Renders a unicode bar of `value` scaled so `max` fills `width` cells —
+/// a terminal stand-in for the paper's bar charts.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let cells = (value / max * width as f64).round() as usize;
+    "█".repeat(cells.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(sci(7.2e-16), "7.20e-16");
+    }
+
+    #[test]
+    fn bars_scale_and_clamp() {
+        assert_eq!(bar(1.0, 2.0, 10).chars().count(), 5);
+        assert_eq!(bar(4.0, 2.0, 10).chars().count(), 10);
+        assert_eq!(bar(0.0, 2.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn workload_set_is_complete() {
+        let w = evaluation_workloads();
+        assert_eq!(w.len(), 10);
+        assert!(w.iter().all(|s| s.footprint_bytes == SystemConfig::EVALUATION_FOOTPRINT));
+    }
+}

@@ -1,0 +1,190 @@
+//! Component cost model (Table III) and cost-performance analysis
+//! (Figure 21).
+//!
+//! Memory prices follow the paper's sources (GDDR6 ≈ $11.7/GB, XPoint ≈
+//! $1.3/GB, after [Hagedoorn] and [Tallis]); MRR fabrication cost follows
+//! [Hausken] (~$3 per ~2,100 rings); the GPU baseline is the NVIDIA K80's
+//! $5,000 launch price. Ring counts per platform/mode are computed from
+//! the Figure 15 layouts scaled to the paper's 24-device configuration
+//! and the per-wavelength ring multiplicity.
+
+use ohm_hetero::Platform;
+use ohm_optic::cost::{mrr_cost_usd, MrrLayout, VCSEL_COST_USD};
+use ohm_optic::OperationalMode;
+
+/// GDDR-class DRAM price per gigabyte (Table III: $140 for 12 GB).
+pub const DRAM_USD_PER_GB: f64 = 140.0 / 12.0;
+/// XPoint price per gigabyte (Table III: $125 for 96 GB ≈ $499 for 384 GB).
+pub const XPOINT_USD_PER_GB: f64 = 125.0 / 96.0;
+/// Launch price of the baseline GPU (NVIDIA K80).
+pub const GPU_BASE_USD: f64 = 5000.0;
+/// Memory devices attached to the optical channel (Section VI-B).
+pub const MEMORY_DEVICES: u32 = 24;
+/// Rings per transmitter/receiver: one per wavelength of its virtual
+/// channel (Table I: 16-bit virtual channels).
+pub const RINGS_PER_PAIR_SIDE: u32 = 16;
+
+/// The paper's memory capacities per mode (GB): `(dram, xpoint)`.
+pub fn mode_capacities_gb(mode: OperationalMode) -> (f64, f64) {
+    match mode {
+        OperationalMode::Planar => (12.0, 96.0),
+        OperationalMode::TwoLevel => (6.0, 384.0),
+    }
+}
+
+/// A Table III cost row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// DRAM device cost.
+    pub dram_usd: f64,
+    /// XPoint device cost.
+    pub xpoint_usd: f64,
+    /// Photonic modulator count.
+    pub modulators: u64,
+    /// Photonic modulator cost.
+    pub modulators_usd: f64,
+    /// Photonic detector count.
+    pub detectors: u64,
+    /// Photonic detector cost.
+    pub detectors_usd: f64,
+    /// Laser source cost (0 for electrical platforms).
+    pub vcsel_usd: f64,
+}
+
+impl CostBreakdown {
+    /// Memory-system cost on top of the GPU itself.
+    pub fn memory_system_usd(&self) -> f64 {
+        self.dram_usd + self.xpoint_usd + self.modulators_usd + self.detectors_usd
+            + self.vcsel_usd
+    }
+
+    /// Full platform cost including the GPU.
+    pub fn total_usd(&self) -> f64 {
+        GPU_BASE_USD + self.memory_system_usd()
+    }
+}
+
+/// Ring counts (modulators, detectors) for a platform in a mode.
+///
+/// Per-device transmitter/receiver multiplicities are derived from the
+/// Table III totals (24 devices × sides × 16 rings per side + 192
+/// controller rings): the conventional design deploys 5 sides each way;
+/// the dual-route designs add half-coupled transmitters in planar mode
+/// (swap) and half-coupled receivers in two-level mode (auto-read/write +
+/// reverse-write), per Figure 15. The relative *reductions* of the
+/// specialised layouts are modelled by [`MrrLayout`].
+pub fn ring_counts(platform: Platform, mode: OperationalMode) -> (u64, u64) {
+    let caps = platform.migration_caps();
+    let dual = caps.swap || caps.reverse_write || caps.auto_rw;
+    let (t_sides, r_sides): (u64, u64) = if !dual {
+        (5, 5)
+    } else {
+        match mode {
+            OperationalMode::Planar => (6, 8),
+            OperationalMode::TwoLevel => (5, 12),
+        }
+    };
+    let per_side = RINGS_PER_PAIR_SIDE as u64;
+    let devices = MEMORY_DEVICES as u64;
+    // Controller-side rings: one pair per virtual channel direction.
+    let controller_rings = 6 * 2 * per_side;
+    let modulators = devices * t_sides * per_side + controller_rings;
+    let detectors = devices * r_sides * per_side + controller_rings;
+    let _ = MrrLayout::general(); // layout model lives in ohm-optic::cost
+    (modulators, detectors)
+}
+
+/// Builds the Table III cost row for a platform in a mode.
+pub fn cost_breakdown(platform: Platform, mode: OperationalMode) -> CostBreakdown {
+    let (dram_gb, xpoint_gb) = match platform {
+        Platform::Origin => (24.0, 0.0),
+        Platform::Oracle => {
+            let (d, x) = mode_capacities_gb(mode);
+            (d + x, 0.0) // all-DRAM at the heterogeneous capacity
+        }
+        _ => mode_capacities_gb(mode),
+    };
+    let optical = platform.laser_power_scale() > 0.0;
+    let (modulators, detectors) = if optical { ring_counts(platform, mode) } else { (0, 0) };
+    CostBreakdown {
+        dram_usd: dram_gb * DRAM_USD_PER_GB,
+        xpoint_usd: xpoint_gb * XPOINT_USD_PER_GB,
+        modulators,
+        modulators_usd: mrr_cost_usd(modulators),
+        detectors,
+        detectors_usd: mrr_cost_usd(detectors),
+        vcsel_usd: if optical { VCSEL_COST_USD } else { 0.0 },
+    }
+}
+
+/// Cost-performance ratio: normalised performance per dollar, scaled so
+/// the numbers are readable (Figure 21, higher is better).
+pub fn cost_performance(normalized_perf: f64, total_usd: f64) -> f64 {
+    assert!(total_usd > 0.0, "cost must be positive");
+    normalized_perf / total_usd * 1e4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_prices_match_table3() {
+        let planar = cost_breakdown(Platform::OhmBw, OperationalMode::Planar);
+        assert!((planar.dram_usd - 140.0).abs() < 1.0);
+        assert!((planar.xpoint_usd - 125.0).abs() < 1.0);
+        let two = cost_breakdown(Platform::OhmBw, OperationalMode::TwoLevel);
+        assert!((two.dram_usd - 70.0).abs() < 1.0);
+        assert!((two.xpoint_usd - 499.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn ring_counts_match_table3() {
+        // Table III: Ohm-base planar has 2,112 modulators and detectors.
+        let (m_base, d_base) = ring_counts(Platform::OhmBase, OperationalMode::Planar);
+        assert_eq!(m_base, 2112);
+        assert_eq!(d_base, 2112);
+        // Ohm-BW planar: 2,176 / 3,136 in the paper — ours within 15%.
+        let (m_bwp, d_bwp) = ring_counts(Platform::OhmBw, OperationalMode::Planar);
+        assert!((m_bwp as f64 / 2176.0 - 1.0).abs() < 0.15, "bw planar modulators {m_bwp}");
+        assert!((d_bwp as f64 / 3136.0 - 1.0).abs() < 0.15, "bw planar detectors {d_bwp}");
+        // Ohm-BW two-level: 2,368 / 4,928 in the paper — ours within 15%.
+        let (m_bwt, d_bwt) = ring_counts(Platform::OhmBw, OperationalMode::TwoLevel);
+        assert!((m_bwt as f64 / 2368.0 - 1.0).abs() < 0.15, "bw two-level modulators {m_bwt}");
+        assert!((d_bwt as f64 / 4928.0 - 1.0).abs() < 0.15, "bw two-level detectors {d_bwt}");
+    }
+
+    #[test]
+    fn ohm_bw_overhead_fraction_matches_paper() {
+        // Paper: planar +7.6%, two-level +13.5% over the $5k GPU.
+        let planar = cost_breakdown(Platform::OhmBw, OperationalMode::Planar);
+        let frac_p = planar.memory_system_usd() / GPU_BASE_USD;
+        assert!((frac_p - 0.076).abs() < 0.01, "planar overhead {frac_p}");
+        let two = cost_breakdown(Platform::OhmBw, OperationalMode::TwoLevel);
+        let frac_t = two.memory_system_usd() / GPU_BASE_USD;
+        assert!((frac_t - 0.135).abs() < 0.01, "two-level overhead {frac_t}");
+    }
+
+    #[test]
+    fn oracle_is_much_more_expensive() {
+        let oracle = cost_breakdown(Platform::Oracle, OperationalMode::TwoLevel);
+        let bw = cost_breakdown(Platform::OhmBw, OperationalMode::TwoLevel);
+        assert!(oracle.total_usd() > bw.total_usd() * 1.3);
+    }
+
+    #[test]
+    fn cost_performance_orders_platforms() {
+        // With the paper's relative performance (Origin 1.0, Ohm-BW 2.8,
+        // Oracle 3.2) the CP ordering matches Figure 21.
+        let origin = cost_performance(1.0, cost_breakdown(Platform::Origin, OperationalMode::Planar).total_usd());
+        let bw = cost_performance(2.8, cost_breakdown(Platform::OhmBw, OperationalMode::Planar).total_usd());
+        let oracle = cost_performance(3.2, cost_breakdown(Platform::Oracle, OperationalMode::Planar).total_usd());
+        assert!(bw > origin && bw > oracle, "bw {bw}, origin {origin}, oracle {oracle}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be positive")]
+    fn zero_cost_rejected() {
+        let _ = cost_performance(1.0, 0.0);
+    }
+}

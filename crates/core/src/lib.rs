@@ -1,0 +1,55 @@
+//! Full-system assembly for the Ohm-GPU reproduction.
+//!
+//! This crate wires the substrates together into the seven evaluated GPU
+//! platforms and runs the paper's experiments:
+//!
+//! * [`config`] — Table I system configurations and scaling helpers.
+//! * [`system`] — the event-driven full-system model: SMs and warps on
+//!   top of L1/L2 caches, six memory controllers, an electrical or
+//!   optical channel, DRAM/XPoint devices, and the platform-specific
+//!   migration machinery.
+//! * [`metrics`] — the [`SimReport`](metrics::SimReport) produced by every
+//!   run: IPC, memory latency, bandwidth breakdown, energy breakdown.
+//! * [`energy`] — the energy model (GPUWattch-style DRAM numbers, Optane
+//!   measurements for XPoint, the Table I optical power model).
+//! * [`reliability`] — per-platform optical BER evaluation (Figure 20b).
+//! * [`cost`] — the Table III component-cost model and the
+//!   cost-performance analysis of Figure 21.
+//! * [`runner`] — convenience helpers that sweep platforms × workloads
+//!   and produce the rows printed by the figure harnesses.
+//! * [`sweep`] — single-knob parameter sweeps (the ablation harnesses'
+//!   backbone).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ohm_core::config::SystemConfig;
+//! use ohm_core::runner::run_platform;
+//! use ohm_hetero::Platform;
+//! use ohm_optic::OperationalMode;
+//! use ohm_workloads::workload_by_name;
+//!
+//! let cfg = SystemConfig::quick_test();
+//! let spec = workload_by_name("bfsdata").unwrap();
+//! let report = run_platform(&cfg, Platform::OhmBase, OperationalMode::Planar, &spec);
+//! assert!(report.ipc > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod energy;
+pub mod metrics;
+pub mod reliability;
+pub mod runner;
+pub mod sweep;
+pub mod system;
+
+pub use config::{ConfigError, SystemConfig};
+pub use metrics::SimReport;
+pub use system::System;
+
+// Re-export the vocabulary types users need alongside this crate.
+pub use ohm_hetero::Platform;
+pub use ohm_optic::OperationalMode;

@@ -1,0 +1,205 @@
+//! Simulation reports.
+//!
+//! Every run of [`System`](crate::system::System) produces a [`SimReport`]
+//! carrying the quantities the paper's figures plot: IPC (Figure 16),
+//! average memory access latency (Figure 17), the migration share of
+//! channel bandwidth (Figures 8 and 18), the energy breakdown (Figure 19)
+//! and the host-staging breakdown (Figure 3).
+
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_sim::Ps;
+
+/// Energy breakdown in joules (Figure 19 components).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Channel/DMA energy: electrical lane switching, or optical MRR
+    /// tuning plus laser wall power.
+    pub dma_j: f64,
+    /// DRAM background (refresh + standby) energy over the run.
+    pub dram_static_j: f64,
+    /// DRAM activate/read/write energy.
+    pub dram_dynamic_j: f64,
+    /// XPoint media energy.
+    pub xpoint_j: f64,
+}
+
+impl EnergyReport {
+    /// Total energy.
+    pub fn total_j(&self) -> f64 {
+        self.dma_j + self.dram_static_j + self.dram_dynamic_j + self.xpoint_j
+    }
+}
+
+/// Host/SSD staging breakdown (Figure 3) — only populated for `Origin`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HostReport {
+    /// SSD busy time.
+    pub storage_busy: Ps,
+    /// DMA busy time.
+    pub dma_busy: Ps,
+    /// Page-in operations.
+    pub staged_in: u64,
+    /// Page-out operations.
+    pub staged_out: u64,
+    /// Bytes moved over the host path.
+    pub bytes_moved: u64,
+}
+
+/// The result of one full-system simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Platform simulated.
+    pub platform: Platform,
+    /// Heterogeneous-memory mode.
+    pub mode: OperationalMode,
+    /// Workload name (Table II).
+    pub workload: String,
+    /// Wall-clock makespan of the kernel.
+    pub makespan: Ps,
+    /// Total instructions retired across all SMs.
+    pub instructions: u64,
+    /// Instructions per SM-cycle, summed over SMs.
+    pub ipc: f64,
+    /// Demand memory requests that reached the memory controllers.
+    pub mem_requests: u64,
+    /// Mean memory access latency (MC arrival to data at MC), ns.
+    pub avg_mem_latency_ns: f64,
+    /// L1 data-cache hit rate.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate.
+    pub l2_hit_rate: f64,
+    /// DRAM-cache (two-level) or DRAM-residence (planar) hit rate of the
+    /// heterogeneous memory; 1.0 for homogeneous platforms.
+    pub hetero_dram_hit_rate: f64,
+    /// Fraction of channel (data-route) busy time used by migrations.
+    pub migration_channel_fraction: f64,
+    /// Page/line migrations performed.
+    pub migrations: u64,
+    /// Mean data-route utilisation of the memory channel.
+    pub channel_utilization: f64,
+    /// Bits moved on the memory channel (demand, migration).
+    pub channel_bits: (u64, u64),
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+    /// Host-staging breakdown (Origin only).
+    pub host: Option<HostReport>,
+    /// XPoint wear-leveling imbalance (max/mean bucket writes).
+    pub wear_imbalance: f64,
+}
+
+impl SimReport {
+    /// Column names matching [`SimReport::csv_row`], for plotting exports.
+    pub fn csv_header() -> &'static str {
+        "platform,mode,workload,makespan_us,instructions,ipc,mem_requests,\
+         avg_mem_latency_ns,l1_hit,l2_hit,hetero_dram_hit,migration_fraction,\
+         migrations,channel_utilization,demand_bits,migration_bits,\
+         dma_j,dram_static_j,dram_dynamic_j,xpoint_j,wear_imbalance"
+    }
+
+    /// One comma-separated row of this report's headline numbers.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{:?},{},{:.3},{},{:.6},{},{:.3},{:.4},{:.4},{:.4},{:.4},{},{:.4},{},{},{:.6e},{:.6e},{:.6e},{:.6e},{:.3}",
+            self.platform.name(),
+            self.mode,
+            self.workload,
+            self.makespan.as_us_f64(),
+            self.instructions,
+            self.ipc,
+            self.mem_requests,
+            self.avg_mem_latency_ns,
+            self.l1_hit_rate,
+            self.l2_hit_rate,
+            self.hetero_dram_hit_rate,
+            self.migration_channel_fraction,
+            self.migrations,
+            self.channel_utilization,
+            self.channel_bits.0,
+            self.channel_bits.1,
+            self.energy.dma_j,
+            self.energy.dram_static_j,
+            self.energy.dram_dynamic_j,
+            self.energy.xpoint_j,
+            self.wear_imbalance,
+        )
+    }
+
+    /// Speedup of this report's IPC over a baseline report's IPC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline IPC is zero.
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        assert!(baseline.ipc > 0.0, "baseline IPC must be positive");
+        self.ipc / baseline.ipc
+    }
+
+    /// Memory latency normalised to a baseline report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline latency is zero.
+    pub fn latency_normalized_to(&self, baseline: &SimReport) -> f64 {
+        assert!(baseline.avg_mem_latency_ns > 0.0, "baseline latency must be positive");
+        self.avg_mem_latency_ns / baseline.avg_mem_latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(ipc: f64, lat: f64) -> SimReport {
+        SimReport {
+            platform: Platform::OhmBase,
+            mode: OperationalMode::Planar,
+            workload: "test".into(),
+            makespan: Ps::from_us(1),
+            instructions: 1000,
+            ipc,
+            mem_requests: 10,
+            avg_mem_latency_ns: lat,
+            l1_hit_rate: 0.5,
+            l2_hit_rate: 0.5,
+            hetero_dram_hit_rate: 0.5,
+            migration_channel_fraction: 0.1,
+            migrations: 1,
+            channel_utilization: 0.5,
+            channel_bits: (100, 10),
+            energy: EnergyReport::default(),
+            host: None,
+            wear_imbalance: 1.0,
+        }
+    }
+
+    #[test]
+    fn speedup_and_normalisation() {
+        let base = dummy(1.0, 100.0);
+        let fast = dummy(2.0, 50.0);
+        assert_eq!(fast.speedup_over(&base), 2.0);
+        assert_eq!(fast.latency_normalized_to(&base), 0.5);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let r = dummy(1.5, 42.0);
+        let cols = SimReport::csv_header().split(',').count();
+        let cells = r.csv_row().split(',').count();
+        assert_eq!(cols, cells);
+        assert!(r.csv_row().starts_with("Ohm-base,Planar,test,"));
+    }
+
+    #[test]
+    fn energy_total() {
+        let e = EnergyReport { dma_j: 1.0, dram_static_j: 2.0, dram_dynamic_j: 3.0, xpoint_j: 4.0 };
+        assert_eq!(e.total_j(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline IPC")]
+    fn zero_baseline_rejected() {
+        let base = dummy(0.0, 100.0);
+        let _ = dummy(1.0, 1.0).speedup_over(&base);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-platform optical reliability analysis (Figure 20b).
+//!
+//! Each platform's light paths are assembled from the Table I components;
+//! the platform's laser scaling (1×/2×/4×) then determines the power at
+//! every detector, and the calibrated [`BerModel`] turns that into a BER.
+//! The half-coupled rings are tuned to absorb 45% of the carrier — a
+//! design point that keeps both the tap and the pass-through detector
+//! above the 10⁻¹⁵ requirement once the laser is scaled.
+
+use ohm_hetero::Platform;
+use ohm_optic::{BerModel, OpticalPathLoss, OpticalPowerModel};
+
+/// Fraction of carrier power absorbed by a half-coupled ring (design
+/// point; see module docs).
+pub const HALF_COUPLE_ABSORB: f64 = 0.5;
+
+/// One evaluated light path of a platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerPoint {
+    /// Which function the path serves.
+    pub function: &'static str,
+    /// Received power at the detector, mW.
+    pub received_mw: f64,
+    /// Estimated bit error rate.
+    pub ber: f64,
+    /// Whether the paper's 10⁻¹⁵ requirement is met.
+    pub meets_requirement: bool,
+}
+
+fn point(
+    model: &BerModel,
+    power: &OpticalPowerModel,
+    function: &'static str,
+    path: OpticalPathLoss,
+) -> BerPoint {
+    let received_mw = power.received_mw(path);
+    let ber = model.ber(received_mw);
+    BerPoint { function, received_mw, ber, meets_requirement: ber < BerModel::REQUIREMENT }
+}
+
+/// Evaluates every light path a platform uses (Figure 20b's data points).
+///
+/// Electrical platforms return an empty set.
+pub fn platform_ber(platform: Platform) -> Vec<BerPoint> {
+    let scale = platform.laser_power_scale();
+    if scale == 0.0 {
+        return Vec::new();
+    }
+    let model = BerModel::paper_default();
+    let power = OpticalPowerModel { laser_scale: scale, ..OpticalPowerModel::default() };
+    let nominal = BerModel::nominal_path();
+    let caps = platform.migration_caps();
+
+    // Ohm-BW's transmitters are *permanently* half-coupled (Figure 13b:
+    // even a logical `0` keeps half the carrier strength), so every one of
+    // its paths starts 3 dB down; the 4x laser absorbs it.
+    let tx_half = caps.swap && !caps.wom_coding;
+    let demand_base = if tx_half { nominal.half_couple_pass(HALF_COUPLE_ABSORB) } else { nominal };
+
+    let mut points = vec![point(
+        &model,
+        &power,
+        "memory request",
+        if scale > 1.0 {
+            // Dual-route platforms route demand light past the XPoint
+            // controller's half-coupled receiver.
+            demand_base.half_couple_pass(HALF_COUPLE_ABSORB)
+        } else {
+            demand_base
+        },
+    )];
+
+    if caps.auto_rw {
+        // The snarfing detector receives the tapped fraction.
+        points.push(point(
+            &model,
+            &power,
+            "auto-read/write snarf",
+            demand_base.half_couple_tap(HALF_COUPLE_ABSORB),
+        ));
+    }
+    if caps.swap {
+        // The swap function threads the light through the second writer's
+        // arm: an extra millimetre of waveguide on top of the split. With
+        // half-coupled transmitters (Ohm-BW) the first writer also only
+        // draws half strength, costing one more 3 dB split that the 4×
+        // laser absorbs.
+        let swap_path = demand_base.half_couple_pass(HALF_COUPLE_ABSORB).waveguide_cm(0.1);
+        points.push(point(&model, &power, "swap", swap_path));
+    }
+    points
+}
+
+/// The worst BER across all of a platform's paths (`None` for electrical
+/// platforms).
+pub fn worst_ber(platform: Platform) -> Option<f64> {
+    platform_ber(platform).into_iter().map(|p| p.ber).fold(None, |acc, b| {
+        Some(acc.map_or(b, |a: f64| a.max(b)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn electrical_platforms_have_no_optical_ber() {
+        assert!(platform_ber(Platform::Origin).is_empty());
+        assert!(platform_ber(Platform::Hetero).is_empty());
+        assert_eq!(worst_ber(Platform::Hetero), None);
+    }
+
+    #[test]
+    fn ohm_base_hits_the_anchor() {
+        let pts = platform_ber(Platform::OhmBase);
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].ber / BerModel::ANCHOR_BER - 1.0).abs() < 0.01);
+        assert!(pts[0].meets_requirement);
+    }
+
+    #[test]
+    fn all_optical_platforms_meet_the_requirement() {
+        for p in [Platform::OhmBase, Platform::AutoRw, Platform::OhmWom, Platform::OhmBw] {
+            for pt in platform_ber(p) {
+                assert!(
+                    pt.meets_requirement,
+                    "{} / {} has BER {:.2e}",
+                    p.name(),
+                    pt.function,
+                    pt.ber
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dual_route_platforms_evaluate_more_paths() {
+        assert!(platform_ber(Platform::AutoRw).len() > platform_ber(Platform::OhmBase).len());
+        assert!(platform_ber(Platform::OhmWom).len() > platform_ber(Platform::AutoRw).len());
+    }
+
+    #[test]
+    fn worst_ber_is_max() {
+        let pts = platform_ber(Platform::OhmBw);
+        let worst = worst_ber(Platform::OhmBw).unwrap();
+        assert!(pts.iter().all(|p| p.ber <= worst));
+    }
+}

@@ -1,0 +1,104 @@
+//! Experiment sweep helpers.
+//!
+//! The figure harnesses in `ohm-bench` all follow the same shape: run a
+//! set of platforms over the Table II workloads in one or both memory
+//! modes, then normalise. These helpers centralise that plumbing.
+
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::WorkloadSpec;
+
+use crate::config::SystemConfig;
+use crate::metrics::SimReport;
+use crate::system::System;
+
+/// Runs one platform/mode/workload combination.
+pub fn run_platform(
+    cfg: &SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    spec: &WorkloadSpec,
+) -> SimReport {
+    System::new(cfg, platform, mode, spec).run()
+}
+
+/// Runs several platforms over several workloads in one mode, returning
+/// `results[workload][platform]` in input order.
+pub fn run_grid(
+    cfg: &SystemConfig,
+    platforms: &[Platform],
+    mode: OperationalMode,
+    specs: &[WorkloadSpec],
+) -> Vec<Vec<SimReport>> {
+    specs
+        .iter()
+        .map(|spec| {
+            platforms
+                .iter()
+                .map(|&p| run_platform(cfg, p, mode, spec))
+                .collect()
+        })
+        .collect()
+}
+
+/// Geometric mean of a positive series (0 for an empty one).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Normalises each row of a grid to the column `baseline` (e.g. IPC
+/// normalised to Ohm-base, as in Figure 16).
+pub fn normalize_ipc(grid: &[Vec<SimReport>], baseline: usize) -> Vec<Vec<f64>> {
+    grid.iter()
+        .map(|row| {
+            let base = row[baseline].ipc;
+            row.iter().map(|r| r.ipc / base).collect()
+        })
+        .collect()
+}
+
+/// Per-column geometric mean across workloads of a normalised grid.
+pub fn column_geomeans(normalized: &[Vec<f64>]) -> Vec<f64> {
+    if normalized.is_empty() {
+        return Vec::new();
+    }
+    let cols = normalized[0].len();
+    (0..cols)
+        .map(|c| {
+            let col: Vec<f64> = normalized.iter().map(|row| row[c]).collect();
+            geomean(&col)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohm_workloads::workload_by_name;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_shape_and_normalisation() {
+        let cfg = SystemConfig::quick_test();
+        let specs = vec![workload_by_name("lud").unwrap()];
+        let platforms = [Platform::OhmBase, Platform::Oracle];
+        let grid = run_grid(&cfg, &platforms, OperationalMode::Planar, &specs);
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid[0].len(), 2);
+        let norm = normalize_ipc(&grid, 0);
+        assert!((norm[0][0] - 1.0).abs() < 1e-12);
+        let means = column_geomeans(&norm);
+        assert_eq!(means.len(), 2);
+        assert!((means[0] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Parameter-sweep utilities.
+//!
+//! The ablation harnesses all share a shape: vary one knob, run a
+//! platform, collect reports. These helpers centralise that plumbing and
+//! keep sweeps deterministic (the same seed per point).
+
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::WorkloadSpec;
+
+use crate::config::SystemConfig;
+use crate::metrics::SimReport;
+use crate::system::System;
+
+/// One sweep point: the knob value and the report it produced.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<T> {
+    /// The knob value.
+    pub value: T,
+    /// The resulting report.
+    pub report: SimReport,
+}
+
+/// Runs `platform`/`mode`/`spec` once per knob value, applying `configure`
+/// to a fresh copy of `base` each time.
+///
+/// # Example
+///
+/// ```
+/// use ohm_core::config::SystemConfig;
+/// use ohm_core::sweep::sweep;
+/// use ohm_hetero::Platform;
+/// use ohm_optic::OperationalMode;
+/// use ohm_workloads::workload_by_name;
+///
+/// let base = SystemConfig::quick_test();
+/// let spec = workload_by_name("gctopo").unwrap();
+/// let points = sweep(
+///     &base,
+///     Platform::OhmWom,
+///     OperationalMode::Planar,
+///     &spec,
+///     [4u32, 64],
+///     |cfg, &threshold| cfg.memory.hot_threshold = threshold,
+/// );
+/// assert_eq!(points.len(), 2);
+/// // Aggressive promotion migrates more.
+/// assert!(points[0].report.migrations >= points[1].report.migrations);
+/// ```
+pub fn sweep<T, I, F>(
+    base: &SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    spec: &WorkloadSpec,
+    values: I,
+    mut configure: F,
+) -> Vec<SweepPoint<T>>
+where
+    I: IntoIterator<Item = T>,
+    F: FnMut(&mut SystemConfig, &T),
+{
+    values
+        .into_iter()
+        .map(|value| {
+            let mut cfg = base.clone();
+            configure(&mut cfg, &value);
+            let report = System::new(&cfg, platform, mode, spec).run();
+            SweepPoint { value, report }
+        })
+        .collect()
+}
+
+/// The knob value whose report maximises `metric`, with its report.
+///
+/// Returns `None` for an empty sweep.
+pub fn best_by<T, F>(points: &[SweepPoint<T>], mut metric: F) -> Option<&SweepPoint<T>>
+where
+    F: FnMut(&SimReport) -> f64,
+{
+    points
+        .iter()
+        .max_by(|a, b| metric(&a.report).total_cmp(&metric(&b.report)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohm_workloads::workload_by_name;
+
+    #[test]
+    fn sweep_runs_each_point_deterministically() {
+        let base = SystemConfig::quick_test();
+        let spec = workload_by_name("bfsdata").unwrap();
+        let points = sweep(
+            &base,
+            Platform::OhmBase,
+            OperationalMode::Planar,
+            &spec,
+            [1u32, 2, 1],
+            |cfg, &w| cfg.optical.waveguides = w,
+        );
+        assert_eq!(points.len(), 3);
+        // Same knob value => identical run.
+        assert_eq!(points[0].report.makespan, points[2].report.makespan);
+        assert_eq!(points[0].value, points[2].value);
+    }
+
+    #[test]
+    fn best_by_selects_the_maximum() {
+        let base = SystemConfig::quick_test();
+        let spec = workload_by_name("pagerank").unwrap();
+        let points = sweep(
+            &base,
+            Platform::OhmBw,
+            OperationalMode::Planar,
+            &spec,
+            [1u32, 4],
+            |cfg, &w| cfg.optical.waveguides = w,
+        );
+        let best = best_by(&points, |r| r.ipc).expect("non-empty");
+        assert!(points.iter().all(|p| p.report.ipc <= best.report.ipc));
+        assert!(best_by(&[] as &[SweepPoint<u32>], |r| r.ipc).is_none());
+    }
+}

@@ -1,0 +1,1256 @@
+//! The event-driven full-system model.
+//!
+//! [`System`] assembles one of the seven evaluated platforms around a
+//! Table II workload and runs it to completion. Warps are the units of
+//! progress: each warp alternates compute segments (booked on its SM's
+//! issue pipeline) and memory accesses (resolved through L1 → L2 → memory
+//! controller → channel → device, with platform-specific migration
+//! machinery). Timing is resolved synchronously through calendar
+//! resources; the event queue only carries warp resumptions and migration
+//! completions, which keeps runs fast while preserving FCFS contention at
+//! every shared resource.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use ohm_hetero::{
+    ConflictDetector, MigrationCaps, PlanarConfig, PlanarLocation, PlanarMapping, Platform,
+    SwapRequest, TwoLevelCache, TwoLevelConfig, TwoLevelOutcome,
+};
+use ohm_mem::protocol::SwapCmd;
+use ohm_mem::{DdrMonitor, DdrSequenceGenerator, DramModule, MemKind, XPointController};
+use ohm_optic::{
+    DualRouteMode, ElectricalChannel, OperationalMode, OpticalChannel, OpticalChannelConfig,
+    TrafficClass,
+};
+use ohm_sim::{Addr, EventQueue, Ps, RunningStats, TimeSeries};
+use ohm_sm::{AccessKind, Cache, InstructionStream, Interconnect, Sm, WarpId, WarpState};
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("platform", &self.platform)
+            .field("mode", &self.mode)
+            .field("workload", &self.spec.name)
+            .field("sms", &self.sms.len())
+            .field("now", &self.queue.now())
+            .finish_non_exhaustive()
+    }
+}
+use ohm_workloads::{HostStorage, HostStorageConfig, KernelWorkload, WorkloadSpec};
+
+use crate::config::SystemConfig;
+use crate::energy::{energy_report, EnergyInputs};
+use crate::metrics::{HostReport, SimReport};
+
+/// Command/address bits preceding each data burst on the channel.
+const CMD_BITS: u64 = 64;
+/// Device indices on a virtual channel, for demux-arbitration tracking.
+const DEV_DRAM: usize = 0;
+const DEV_XPOINT: usize = 1;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A warp is ready to fetch its next slice.
+    Resume(WarpId),
+    /// A delegated migration released its pages.
+    MigrationDone { mc: usize, id: u64 },
+}
+
+/// Either channel technology behind a uniform transfer interface.
+#[derive(Debug)]
+enum Channel {
+    Optical(OpticalChannel),
+    Electrical(ElectricalChannel),
+}
+
+impl Channel {
+    fn xfer(
+        &mut self,
+        now: Ps,
+        ch: usize,
+        bits: u64,
+        class: TrafficClass,
+        device: usize,
+    ) -> (Ps, Ps) {
+        match self {
+            Channel::Optical(c) => c.transfer(now, ch, bits, class, device),
+            Channel::Electrical(c) => c.transfer(now, ch, bits, class),
+        }
+    }
+
+    fn memory_route(&mut self, now: Ps, ch: usize, bits: u64) -> (Ps, Ps) {
+        match self {
+            Channel::Optical(c) => c.memory_route_transfer(now, ch, bits),
+            Channel::Electrical(_) => {
+                unreachable!("electrical platforms never use the memory route")
+            }
+        }
+    }
+
+    fn migration_fraction(&self) -> f64 {
+        match self {
+            Channel::Optical(c) => c.migration_fraction(),
+            Channel::Electrical(c) => c.migration_fraction(),
+        }
+    }
+
+    fn utilization(&self, horizon: Ps) -> f64 {
+        match self {
+            Channel::Optical(c) => c.utilization(horizon),
+            Channel::Electrical(c) => {
+                if horizon == Ps::ZERO {
+                    0.0
+                } else {
+                    let per = c.busy_time().as_ps() as f64 / c.config().channels as f64;
+                    per / horizon.as_ps() as f64
+                }
+            }
+        }
+    }
+
+    fn bits(&self) -> (u64, u64) {
+        match self {
+            Channel::Optical(c) => (
+                c.bits_by_class(TrafficClass::Demand),
+                c.bits_by_class(TrafficClass::Migration),
+            ),
+            Channel::Electrical(c) => (
+                c.bits_by_class(TrafficClass::Demand),
+                c.bits_by_class(TrafficClass::Migration),
+            ),
+        }
+    }
+}
+
+/// Origin's resident-set manager: FIFO replacement at *segment*
+/// granularity (applications stage whole buffers with cudaMemcpy-style
+/// transfers, not single pages) over the scaled 24 GB GPU memory,
+/// backed by the host/SSD path.
+#[derive(Debug)]
+struct ResidentSet {
+    capacity_segments: usize,
+    segment_bytes: u64,
+    /// segment -> last-touch stamp (LRU replacement).
+    resident: HashMap<u64, u64>,
+    dirty: HashSet<u64>,
+    clock: u64,
+}
+
+impl ResidentSet {
+    /// Creates a resident set pre-warmed with the first `capacity`
+    /// segments: the initial input staging happens before the kernel
+    /// launches (a cudaMemcpy ahead of the timed region), so the kernel
+    /// only pays for capacity misses — the thrashing the paper's
+    /// breakdown attributes to the too-small GPU memory.
+    fn new(capacity_segments: usize, segment_bytes: u64) -> Self {
+        let capacity = capacity_segments.max(1);
+        ResidentSet {
+            capacity_segments: capacity,
+            segment_bytes,
+            resident: (0..capacity as u64).map(|s| (s, 0)).collect(),
+            dirty: HashSet::new(),
+            clock: 0,
+        }
+    }
+
+    /// Returns whether the access faulted, plus the evicted segment (and
+    /// whether it was dirty) when an eviction was needed.
+    fn touch(&mut self, addr: Addr, is_write: bool) -> (bool, Option<(u64, bool)>) {
+        let seg = addr.block_index(self.segment_bytes);
+        self.clock += 1;
+        if let Some(stamp) = self.resident.get_mut(&seg) {
+            *stamp = self.clock;
+            if is_write {
+                self.dirty.insert(seg);
+            }
+            return (false, None);
+        }
+        let evicted = if self.resident.len() >= self.capacity_segments {
+            let victim = self
+                .resident
+                .iter()
+                .min_by_key(|&(_, &stamp)| stamp)
+                .map(|(&s, _)| s)
+                .expect("resident set non-empty at capacity");
+            self.resident.remove(&victim);
+            let was_dirty = self.dirty.remove(&victim);
+            Some((victim, was_dirty))
+        } else {
+            None
+        };
+        self.resident.insert(seg, self.clock);
+        if is_write {
+            self.dirty.insert(seg);
+        }
+        (true, evicted)
+    }
+}
+
+/// One memory controller and the devices behind it.
+#[derive(Debug)]
+struct MemoryController {
+    ctrl: ohm_sim::Calendar,
+    dram: DramModule,
+    xpoint: Option<XPointController>,
+    planar: Option<PlanarMapping>,
+    two_level: Option<TwoLevelCache>,
+    conflicts: ConflictDetector,
+    /// DDR sequence generator (swap function, in the XPoint controller).
+    ddr_seq: DdrSequenceGenerator,
+    /// DDR monitor (reverse write, in the memory controller).
+    ddr_monitor: DdrMonitor,
+    /// Completion times of in-flight misses (MSHR occupancy).
+    outstanding: BinaryHeap<Reverse<u64>>,
+    mshr_stalls: u64,
+    migrations: u64,
+    dram_service_hits: u64,
+    service_total: u64,
+}
+
+/// The assembled full system.
+///
+/// # Example
+///
+/// ```
+/// use ohm_core::config::SystemConfig;
+/// use ohm_core::system::System;
+/// use ohm_hetero::Platform;
+/// use ohm_optic::OperationalMode;
+/// use ohm_workloads::workload_by_name;
+///
+/// let cfg = SystemConfig::quick_test();
+/// let spec = workload_by_name("lud").unwrap();
+/// let mut sys = System::new(&cfg, Platform::OhmBase, OperationalMode::TwoLevel, &spec);
+/// let report = sys.run();
+/// assert!(report.instructions > 0);
+/// ```
+pub struct System {
+    cfg: SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    caps: MigrationCaps,
+    spec: WorkloadSpec,
+    queue: EventQueue<Event>,
+    stream: Box<dyn InstructionStream>,
+    sms: Vec<Sm>,
+    l1s: Vec<Cache>,
+    l2: Cache,
+    xbar: Interconnect,
+    mcs: Vec<MemoryController>,
+    channel: Channel,
+    host: Option<HostStorage>,
+    residents: Option<ResidentSet>,
+    in_flight: HashMap<u64, Ps>,
+    mem_latency: RunningStats,
+    slice_latency: RunningStats,
+    /// Demand bytes entering the memory controllers, over time.
+    demand_timeline: TimeSeries,
+    dram_read_latency: RunningStats,
+    xpoint_read_latency: RunningStats,
+    stall_latency: RunningStats,
+    xp_cmd_stage: RunningStats,
+    xp_dev_stage: RunningStats,
+    xp_resp_stage: RunningStats,
+    swap_window: RunningStats,
+    mem_requests: u64,
+    /// When the last warp retired its final instruction (the kernel's
+    /// completion time; bookkeeping events may trail it).
+    kernel_end: Ps,
+    dram_capacity: u64,
+    xpoint_capacity: u64,
+}
+
+impl System {
+    /// Builds a platform around a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero controllers, footprint
+    /// smaller than one page per controller, mismatched line sizes).
+    pub fn new(
+        cfg: &SystemConfig,
+        platform: Platform,
+        mode: OperationalMode,
+        spec: &WorkloadSpec,
+    ) -> Self {
+        let stream = Box::new(KernelWorkload::new(
+            *spec,
+            cfg.gpu.sms,
+            cfg.gpu.sm.warps,
+            cfg.insts_per_warp,
+            cfg.seed,
+        ));
+        Self::with_stream(cfg, platform, mode, spec, stream)
+    }
+
+    /// Builds a platform around an arbitrary instruction stream (e.g. a
+    /// replayed [`ohm_workloads::TraceWorkload`]); `spec` still provides
+    /// the footprint (for capacity sizing) and the report's name.
+    pub fn with_stream(
+        cfg: &SystemConfig,
+        platform: Platform,
+        mode: OperationalMode,
+        spec: &WorkloadSpec,
+        stream: Box<dyn InstructionStream>,
+    ) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid system configuration: {e}");
+        }
+        let controllers = cfg.memory.controllers;
+        let page = cfg.memory.page_bytes;
+        let footprint_pages = (spec.footprint_bytes / page).max(1);
+        let pages_per_mc = footprint_pages.div_ceil(controllers as u64);
+
+        // Per-MC capacities, preserving the mode's capacity ratios.
+        let (dram_local, xp_local) = match (platform.is_heterogeneous(), mode) {
+            (true, OperationalMode::Planar) => {
+                let group = cfg.memory.planar_ratio as u64 + 1;
+                let groups = pages_per_mc.div_ceil(group);
+                (groups * page, groups * cfg.memory.planar_ratio as u64 * page)
+            }
+            (true, OperationalMode::TwoLevel) => {
+                let span = pages_per_mc * page;
+                let dram = (span / (cfg.memory.two_level_ratio as u64 + 1))
+                    .next_power_of_two()
+                    .max(cfg.line_bytes);
+                (dram, span)
+            }
+            (false, _) => match platform {
+                Platform::Origin => {
+                    let span = pages_per_mc * page;
+                    let dram = ((span as f64 * cfg.memory.origin_resident_fraction) as u64)
+                        .max(page);
+                    (dram, 0)
+                }
+                _ => (pages_per_mc * page, 0), // Oracle: all-DRAM
+            },
+        };
+
+        // Every platform presents the same per-channel DRAM interface
+        // (dual-rank modules); capacity differences change how much data
+        // fits, not the pin-side bank parallelism.
+        let dram_cfg = ohm_mem::DramConfig {
+            timing: cfg.memory.dram_timing,
+            banks: cfg.memory.dram_banks,
+            ranks: cfg.memory.dram_ranks,
+            row_bytes: 2048,
+            capacity_bytes: dram_local.max(2048),
+            refresh_enabled: true,
+        };
+        let xp_cfg = ohm_mem::xpoint_ctrl::XpCtrlConfig {
+            media: ohm_mem::XPointConfig {
+                capacity_bytes: xp_local.max(page),
+                line_bytes: cfg.line_bytes,
+                ..cfg.memory.xpoint.media
+            },
+            ..cfg.memory.xpoint
+        };
+
+        let caps = platform.migration_caps();
+        let mcs = (0..controllers)
+            .map(|_| MemoryController {
+                ctrl: ohm_sim::Calendar::new(),
+                dram: DramModule::new(dram_cfg),
+                xpoint: platform
+                    .is_heterogeneous()
+                    .then(|| XPointController::new(xp_cfg)),
+                planar: (platform.is_heterogeneous() && mode == OperationalMode::Planar).then(
+                    || {
+                        PlanarMapping::new(PlanarConfig {
+                            page_bytes: page,
+                            ratio: cfg.memory.planar_ratio,
+                            hot_threshold: cfg.memory.hot_threshold,
+                            capacity_bytes: pages_per_mc
+                                .div_ceil(cfg.memory.planar_ratio as u64 + 1)
+                                * (cfg.memory.planar_ratio as u64 + 1)
+                                * page,
+                        })
+                    },
+                ),
+                two_level: (platform.is_heterogeneous() && mode == OperationalMode::TwoLevel)
+                    .then(|| {
+                        TwoLevelCache::new(TwoLevelConfig {
+                            dram_bytes: dram_local.max(cfg.line_bytes),
+                            xpoint_bytes: xp_local.max(page),
+                            line_bytes: cfg.line_bytes,
+                        })
+                    }),
+                conflicts: ConflictDetector::new(page),
+                ddr_seq: DdrSequenceGenerator::new(cfg.line_bytes),
+                ddr_monitor: DdrMonitor::new(),
+                outstanding: BinaryHeap::new(),
+                mshr_stalls: 0,
+                migrations: 0,
+                dram_service_hits: 0,
+                service_total: 0,
+            })
+            .collect();
+
+        // WOM coding exists to share a light between the memory controller
+        // and the swap function (Section V-B) — planar mode only. The
+        // two-level mode's auto-read/write + reverse-write use half-coupled
+        // MRR *receivers* (Figure 15b) and carry no coding penalty.
+        let dual_route = if caps.swap || caps.reverse_write || caps.auto_rw {
+            if caps.wom_coding && mode == OperationalMode::Planar {
+                DualRouteMode::Wom
+            } else {
+                DualRouteMode::HalfCoupled
+            }
+        } else {
+            DualRouteMode::Serialized
+        };
+
+        let channel = match platform {
+            Platform::Origin | Platform::Hetero => {
+                Channel::Electrical(ElectricalChannel::new(cfg.electrical))
+            }
+            _ => Channel::Optical(OpticalChannel::new(OpticalChannelConfig {
+                dual_route,
+                ..cfg.optical
+            })),
+        };
+
+        let host = matches!(platform, Platform::Origin).then(|| {
+            let base = HostStorageConfig::default();
+            let k = cfg.memory.host_scale.max(1.0);
+            HostStorage::new(HostStorageConfig {
+                ssd_read_latency: base.ssd_read_latency.scale(1.0 / k),
+                ssd_write_latency: base.ssd_write_latency.scale(1.0 / k),
+                ssd_bandwidth_bps: (base.ssd_bandwidth_bps as f64 * k) as u64,
+                dma_bandwidth_bps: (base.dma_bandwidth_bps as f64 * k) as u64,
+                dma_setup: base.dma_setup.scale(1.0 / k),
+            })
+        });
+        let residents = matches!(platform, Platform::Origin).then(|| {
+            let seg = cfg.memory.origin_segment_bytes;
+            let capacity_bytes =
+                (spec.footprint_bytes as f64 * cfg.memory.origin_resident_fraction) as u64;
+            ResidentSet::new(((capacity_bytes / seg) as usize).max(2), seg)
+        });
+
+        System {
+            platform,
+            mode,
+            caps,
+            spec: *spec,
+            queue: EventQueue::with_capacity(cfg.gpu.sms * cfg.gpu.sm.warps),
+            stream,
+            sms: (0..cfg.gpu.sms).map(|_| Sm::new(cfg.gpu.sm)).collect(),
+            l1s: (0..cfg.gpu.sms).map(|_| Cache::new(cfg.gpu.l1)).collect(),
+            l2: Cache::new(cfg.gpu.l2),
+            xbar: Interconnect::new(cfg.gpu.xbar),
+            mcs,
+            channel,
+            host,
+            residents,
+            in_flight: HashMap::new(),
+            mem_latency: RunningStats::new(),
+            slice_latency: RunningStats::new(),
+            demand_timeline: TimeSeries::new(Ps::from_us(10)),
+            dram_read_latency: RunningStats::new(),
+            xpoint_read_latency: RunningStats::new(),
+            stall_latency: RunningStats::new(),
+            xp_cmd_stage: RunningStats::new(),
+            xp_dev_stage: RunningStats::new(),
+            xp_resp_stage: RunningStats::new(),
+            swap_window: RunningStats::new(),
+            mem_requests: 0,
+            kernel_end: Ps::ZERO,
+            dram_capacity: dram_local * controllers as u64,
+            xpoint_capacity: xp_local * controllers as u64,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Runs the kernel to completion and reports.
+    pub fn run(&mut self) -> SimReport {
+        for sm in 0..self.cfg.gpu.sms {
+            for warp in 0..self.cfg.gpu.sm.warps {
+                self.queue.push(Ps::ZERO, Event::Resume(WarpId { sm, warp }));
+            }
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Event::Resume(w) => self.step_warp(t, w),
+                Event::MigrationDone { mc, id } => self.mcs[mc].conflicts.complete(id),
+            }
+        }
+        self.report()
+    }
+
+    fn step_warp(&mut self, now: Ps, w: WarpId) {
+        if self.sms[w.sm].warp_state(w.warp) == WarpState::Blocked {
+            self.sms[w.sm].unblock(w.warp);
+        }
+        let Some(slice) = self.stream.next_slice(w.sm, w.warp) else {
+            self.sms[w.sm].finish(w.warp);
+            self.kernel_end = self.kernel_end.max(now);
+            return;
+        };
+        let after_compute = self.sms[w.sm].issue_compute(now, w.warp, slice.compute_insts);
+        match slice.access {
+            None => self.queue.push(after_compute, Event::Resume(w)),
+            Some((addr, kind)) => {
+                self.sms[w.sm].block_on_memory(w.warp);
+                let resume_at = self.memory_access(after_compute, w, addr, kind);
+                self.slice_latency.push_ps(resume_at - now);
+                self.queue.push(resume_at, Event::Resume(w));
+            }
+        }
+    }
+
+    /// Resolves one warp memory access, returning when the warp resumes.
+    fn memory_access(&mut self, now: Ps, w: WarpId, addr: Addr, kind: AccessKind) -> Ps {
+        let line_addr = addr.align_down(self.cfg.line_bytes);
+        let one_cycle = self.cfg.gpu.sm.freq.period();
+
+        if kind.is_load()
+            && self.l1s[w.sm].access(line_addr, false).hit {
+                return now + self.cfg.gpu.l1_hit_latency;
+            }
+
+        // To L2 over the crossbar.
+        let mc = self.mc_of(line_addr);
+        let at_l2 = self.xbar.traverse(now + self.cfg.gpu.l1_hit_latency, mc, CMD_BITS / 8);
+        let l2_done = at_l2 + self.cfg.gpu.l2_hit_latency;
+        let lookup = self.l2.access(line_addr, !kind.is_load());
+
+        // Dirty L2 victim: background write to memory.
+        if let Some(victim) = lookup.writeback {
+            let vmc = self.mc_of(victim);
+            self.memory_write(l2_done, vmc, victim);
+        }
+
+        if lookup.hit {
+            return if kind.is_load() {
+                
+                self.xbar.traverse(l2_done, mc, self.cfg.line_bytes)
+            } else {
+                now + one_cycle
+            };
+        }
+
+        // L2 miss: go to memory (loads block; stores write through the fill).
+        if kind.is_load() {
+            let data_at_mc = self.memory_read(l2_done, mc, line_addr);
+            
+            self.xbar.traverse(data_at_mc, mc, self.cfg.line_bytes)
+        } else {
+            self.memory_write(l2_done, mc, line_addr);
+            now + one_cycle
+        }
+    }
+
+    fn mc_of(&self, addr: Addr) -> usize {
+        (addr.block_index(self.cfg.memory.interleave_bytes)
+            % self.cfg.memory.controllers as u64) as usize
+    }
+
+    /// Translates a global address to the controller-local address space.
+    fn local_addr(&self, addr: Addr) -> Addr {
+        let il = self.cfg.memory.interleave_bytes;
+        let chunk = addr.block_index(il) / self.cfg.memory.controllers as u64;
+        Addr::from_block(chunk, il).offset(addr.offset_in(il))
+    }
+
+    /// A demand read reaching memory controller `mc`; returns when data is
+    /// back at the controller.
+    fn memory_read(&mut self, now: Ps, mc: usize, addr: Addr) -> Ps {
+        let line = addr.block_index(self.cfg.line_bytes);
+        if let Some(&done) = self.in_flight.get(&line) {
+            if done > now {
+                return done; // MSHR merge with the outstanding fill
+            }
+            self.in_flight.remove(&line);
+        }
+        self.mem_requests += 1;
+        self.demand_timeline.record(now, self.cfg.line_bytes as f64);
+        // MSHR file: a full set of outstanding misses delays this one
+        // until the earliest in-flight miss completes.
+        let now = {
+            let m = &mut self.mcs[mc];
+            while m.outstanding.peek().is_some_and(|&Reverse(t)| t <= now.as_ps()) {
+                m.outstanding.pop();
+            }
+            if m.outstanding.len() >= self.cfg.memory.mshr_per_mc {
+                m.mshr_stalls += 1;
+                match m.outstanding.pop() {
+                    Some(Reverse(t)) => now.max(Ps::from_ps(t)),
+                    None => now,
+                }
+            } else {
+                now
+            }
+        };
+        let (_, t0) = self.mcs[mc].ctrl.book(now, self.cfg.memory.mc_overhead);
+        let done = self.service(t0, mc, addr, MemKind::Read);
+        self.mcs[mc].outstanding.push(Reverse(done.as_ps()));
+        self.mem_latency.push_ps(done - now);
+        self.in_flight.insert(line, done);
+        done
+    }
+
+    /// A write reaching memory controller `mc` (stores, L2 writebacks).
+    fn memory_write(&mut self, now: Ps, mc: usize, addr: Addr) {
+        let (_, t0) = self.mcs[mc].ctrl.book(now, self.cfg.memory.mc_overhead);
+        let _ = self.service(t0, mc, addr, MemKind::Write);
+    }
+
+    /// Platform/mode-dependent service of one line request at one MC.
+    /// `ga` is the global line address.
+    fn service(&mut self, now: Ps, mc: usize, ga: Addr, kind: MemKind) -> Ps {
+        self.mcs[mc].service_total += 1;
+        let la = self.local_addr(ga);
+        match self.platform {
+            Platform::Origin => self.service_origin_at(now, mc, ga, la, kind),
+            Platform::Oracle => {
+                self.mcs[mc].dram_service_hits += 1;
+                self.dram_line_rt(now, mc, la, kind)
+            }
+            _ => match self.mode {
+                OperationalMode::Planar => self.service_planar(now, mc, la, kind),
+                OperationalMode::TwoLevel => self.service_two_level(now, mc, la, kind),
+            },
+        }
+    }
+
+    /// Round-trip of one line to the DRAM device: command, bank access,
+    /// and (for reads) the data burst back.
+    fn dram_line_rt(&mut self, now: Ps, mc: usize, la: Addr, kind: MemKind) -> Ps {
+        let line_bits = self.cfg.line_bytes * 8;
+        match kind {
+            MemKind::Read => {
+                let (_, cmd_done) =
+                    self.channel.xfer(now, mc, CMD_BITS, TrafficClass::Demand, DEV_DRAM);
+                let acc = self.mcs[mc].dram.access(cmd_done, la, kind);
+                let (_, data_done) = self.channel.xfer(
+                    acc.data_at,
+                    mc,
+                    line_bits,
+                    TrafficClass::Demand,
+                    DEV_DRAM,
+                );
+                data_done
+            }
+            MemKind::Write => {
+                let (_, xfer_done) = self.channel.xfer(
+                    now,
+                    mc,
+                    CMD_BITS + line_bits,
+                    TrafficClass::Demand,
+                    DEV_DRAM,
+                );
+                self.mcs[mc].dram.access(xfer_done, la, kind).data_at
+            }
+        }
+    }
+
+    /// Round-trip of one line to the XPoint device.
+    fn xpoint_line_rt(&mut self, now: Ps, mc: usize, la: Addr, kind: MemKind) -> Ps {
+        let line_bits = self.cfg.line_bytes * 8;
+        match kind {
+            MemKind::Read => {
+                let (_, cmd_done) =
+                    self.channel.xfer(now, mc, CMD_BITS, TrafficClass::Demand, DEV_XPOINT);
+                let ready = {
+                    let xp = self.mcs[mc].xpoint.as_mut().expect("heterogeneous platform");
+                    xp.read(cmd_done, la).ready_at
+                };
+                let (_, data_done) =
+                    self.channel.xfer(ready, mc, line_bits, TrafficClass::Demand, DEV_XPOINT);
+                self.xp_cmd_stage.push_ps(cmd_done - now);
+                self.xp_dev_stage.push_ps(ready - cmd_done);
+                self.xp_resp_stage.push_ps(data_done - ready);
+                data_done
+            }
+            MemKind::Write => {
+                let (_, xfer_done) = self.channel.xfer(
+                    now,
+                    mc,
+                    CMD_BITS + line_bits,
+                    TrafficClass::Demand,
+                    DEV_XPOINT,
+                );
+                let xp = self.mcs[mc].xpoint.as_mut().expect("heterogeneous platform");
+                xp.write(xfer_done, la).ready_at
+            }
+        }
+    }
+
+    /// Origin: check global residency (staging over the host path on a
+    /// fault), then serve from GPU DRAM. `ga` is the global address, `la`
+    /// the controller-local one.
+    fn service_origin_at(
+        &mut self,
+        now: Ps,
+        mc: usize,
+        ga: Addr,
+        la: Addr,
+        kind: MemKind,
+    ) -> Ps {
+        let seg_bytes = self.cfg.memory.origin_segment_bytes;
+        let (fault, evicted) = self
+            .residents
+            .as_mut()
+            .expect("origin platform tracks residency")
+            .touch(ga, matches!(kind, MemKind::Write));
+        let mut ready = now;
+        if fault {
+            let host = self.host.as_mut().expect("origin platform has a host");
+            if let Some((_victim, true)) = evicted {
+                host.stage_out(now, seg_bytes);
+            }
+            ready = host.stage_in(now, seg_bytes).transfer_done;
+        } else {
+            self.mcs[mc].dram_service_hits += 1;
+        }
+        self.dram_line_rt(ready, mc, la, kind)
+    }
+
+    fn service_planar(&mut self, now: Ps, mc: usize, la: Addr, kind: MemKind) -> Ps {
+        let swap = self.mcs[mc].planar.as_mut().expect("planar mode").record_access(la);
+        if let Some(req) = swap {
+            self.schedule_planar_swap(now, mc, req);
+        }
+        let loc = self.mcs[mc].planar.as_ref().expect("planar mode").lookup(la);
+        match loc {
+            PlanarLocation::Dram(pa) => {
+                // While the page's swap is still in flight the data lives
+                // at its old XPoint location; serve from the stale copy
+                // rather than stalling (the remap commits at swap end).
+                if let Some(r) = self.mcs[mc].conflicts.redirect_dram(pa) {
+                    let done = self.xpoint_line_rt(now, mc, r.paired, kind);
+                    if kind.is_read() {
+                        self.xpoint_read_latency.push_ps(done - now);
+                    }
+                    return done;
+                }
+                self.mcs[mc].dram_service_hits += 1;
+                let done = self.dram_line_rt(now, mc, pa, kind);
+                if kind.is_read() {
+                    self.dram_read_latency.push_ps(done - now);
+                }
+                done
+            }
+            PlanarLocation::XPoint(pa) => {
+                if let Some(r) = self.mcs[mc].conflicts.redirect_xpoint(pa) {
+                    self.mcs[mc].dram_service_hits += 1;
+                    let done = self.dram_line_rt(now, mc, r.paired, kind);
+                    if kind.is_read() {
+                        self.dram_read_latency.push_ps(done - now);
+                    }
+                    return done;
+                }
+                let done = self.xpoint_line_rt(now, mc, pa, kind);
+                if kind.is_read() {
+                    self.xpoint_read_latency.push_ps(done - now);
+                }
+                done
+            }
+        }
+    }
+
+    /// Books the DRAM side of a page copy: `lines` consecutive line
+    /// accesses (mostly row hits), returning the last completion.
+    fn dram_page_op(&mut self, start: Ps, mc: usize, base: Addr, kind: MemKind) -> Ps {
+        let lines = self.cfg.memory.page_bytes / self.cfg.line_bytes;
+        let mut done = start;
+        for i in 0..lines {
+            let acc =
+                self.mcs[mc].dram.access(start, base.offset(i * self.cfg.line_bytes), kind);
+            done = done.max(acc.data_at);
+        }
+        done
+    }
+
+    /// Registers the two pages of a swap with *independent* release
+    /// times: the promoted page is DRAM-served once the promote leg's
+    /// DRAM write completes, regardless of how long the (cold) demoted
+    /// page's XPoint write stays buffered.
+    fn register_swap_pages(
+        &mut self,
+        mc: usize,
+        req: &SwapRequest,
+        promote_done: Ps,
+        demote_done: Ps,
+    ) {
+        let id1 = self.mcs[mc].conflicts.register_dram_page(
+            req.dram_addr,
+            req.xpoint_addr,
+            promote_done,
+        );
+        self.queue.push(promote_done, Event::MigrationDone { mc, id: id1 });
+        let id2 = self.mcs[mc].conflicts.register_xpoint_page(
+            req.xpoint_addr,
+            req.dram_addr,
+            demote_done,
+        );
+        self.queue.push(demote_done, Event::MigrationDone { mc, id: id2 });
+    }
+
+    fn schedule_planar_swap(&mut self, now: Ps, mc: usize, req: SwapRequest) {
+        let page_bits = req.page_bytes * 8;
+        let lines = req.page_bytes / self.cfg.line_bytes;
+        self.mcs[mc].migrations += 1;
+
+        if self.caps.swap {
+            // SWAP-CMD metadata on the data route; the copy itself rides
+            // the memory route under the XPoint controller's DDR sequence
+            // generator (Figures 10a and 11).
+            let (_, cmd_done) = self.channel.xfer(
+                now,
+                mc,
+                SwapCmd::METADATA_BITS,
+                TrafficClass::Migration,
+                DEV_XPOINT,
+            );
+            let preset = self.mcs[mc].dram.preset_row(cmd_done, req.dram_addr);
+            let promote_read = {
+                let xp = self.mcs[mc].xpoint.as_mut().expect("planar");
+                xp.read_page(cmd_done, req.xpoint_addr, lines).ready_at
+            };
+            let (_, to_dram) =
+                self.channel.memory_route(promote_read.max(preset), mc, page_bits);
+            // The XPoint controller's DDR sequence generator drives the
+            // DRAM transactions directly (Figure 11, steps 3-4).
+            let dram_written = {
+                let m = &mut self.mcs[mc];
+                m.ddr_seq.execute_page(&mut m.dram, to_dram, req.dram_addr, req.page_bytes, MemKind::Write)
+            };
+            let dram_read = {
+                let m = &mut self.mcs[mc];
+                m.ddr_seq.execute_page(&mut m.dram, preset, req.dram_addr, req.page_bytes, MemKind::Read)
+            };
+            let (_, to_xp) = self.channel.memory_route(dram_read, mc, page_bits);
+            let xp_written = {
+                let xp = self.mcs[mc].xpoint.as_mut().expect("planar");
+                xp.write_page(to_xp, req.xpoint_addr, lines).ready_at
+            };
+            self.swap_window.push_ps(dram_written - now);
+            self.register_swap_pages(mc, &req, dram_written, xp_written);
+        } else if self.caps.auto_rw {
+            // Reads before writes: the XPoint controller prioritises
+            // latency-critical reads over buffered write drains, so the
+            // promote leg's page read is booked first.
+            //
+            // Promote leg runs through the controller: XP -> MC -> DRAM.
+            let promote_read = {
+                let xp = self.mcs[mc].xpoint.as_mut().expect("planar");
+                xp.read_page(now, req.xpoint_addr, lines).ready_at
+            };
+            let (_, up) = self.channel.xfer(
+                promote_read,
+                mc,
+                page_bits,
+                TrafficClass::Migration,
+                DEV_XPOINT,
+            );
+            let (_, down) =
+                self.channel.xfer(up, mc, page_bits, TrafficClass::Migration, DEV_DRAM);
+            let dram_written = self.dram_page_op(down, mc, req.dram_addr, MemKind::Write);
+            // Demote leg: the MC reads the DRAM page over the data route;
+            // the XPoint controller snarfs it - no second transfer.
+            let dram_read = self.dram_page_op(now, mc, req.dram_addr, MemKind::Read);
+            let (_, demote_xfer) = self.channel.xfer(
+                dram_read,
+                mc,
+                page_bits,
+                TrafficClass::Migration,
+                DEV_DRAM,
+            );
+            {
+                let xp = self.mcs[mc].xpoint.as_mut().expect("planar");
+                for i in 0..lines {
+                    xp.snarf_write(demote_xfer, req.xpoint_addr.offset(i * self.cfg.line_bytes));
+                }
+            }
+            // The MC is not held for the copy: it keeps issuing demand
+            // requests to devices that are not busy (Figure 7a, step 1);
+            // the migration's cost is the channel and device occupancy.
+            self.swap_window.push_ps(dram_written - now);
+            self.register_swap_pages(mc, &req, dram_written, demote_xfer);
+        } else {
+            // Via-controller: both legs are two full transfers each, and
+            // the MC is occupied for the duration (Hetero / Ohm-base).
+            let promote_read = {
+                let xp = self.mcs[mc].xpoint.as_mut().expect("planar");
+                xp.read_page(now, req.xpoint_addr, lines).ready_at
+            };
+            let (_, up) = self.channel.xfer(
+                promote_read,
+                mc,
+                page_bits,
+                TrafficClass::Migration,
+                DEV_XPOINT,
+            );
+            let (_, down) =
+                self.channel.xfer(up, mc, page_bits, TrafficClass::Migration, DEV_DRAM);
+            let dram_written = self.dram_page_op(down, mc, req.dram_addr, MemKind::Write);
+            let dram_read = self.dram_page_op(now, mc, req.dram_addr, MemKind::Read);
+            let (_, up2) = self.channel.xfer(
+                dram_read,
+                mc,
+                page_bits,
+                TrafficClass::Migration,
+                DEV_DRAM,
+            );
+            let (_, down2) =
+                self.channel.xfer(up2, mc, page_bits, TrafficClass::Migration, DEV_XPOINT);
+            let xp_written = {
+                let xp = self.mcs[mc].xpoint.as_mut().expect("planar");
+                xp.write_page(down2, req.xpoint_addr, lines).ready_at
+            };
+            self.swap_window.push_ps(dram_written - now);
+            self.register_swap_pages(mc, &req, dram_written, xp_written);
+        }
+        self.mcs[mc].planar.as_mut().expect("planar").commit_swap(&req);
+    }
+
+    fn service_two_level(&mut self, now: Ps, mc: usize, la: Addr, kind: MemKind) -> Ps {
+        let line_bits = self.cfg.line_bytes * 8;
+        let is_write = matches!(kind, MemKind::Write);
+        let span = self.mcs[mc].two_level.as_ref().expect("two-level").config().xpoint_bytes;
+        let la = Addr::new(la.get() % span);
+        let outcome = self.mcs[mc].two_level.as_mut().expect("two-level").access(la, is_write);
+        match outcome {
+            TwoLevelOutcome::Hit { dram_addr } => {
+                self.mcs[mc].dram_service_hits += 1;
+                let stall = self.mcs[mc].conflicts.stall_until(dram_addr).unwrap_or(Ps::ZERO);
+                self.dram_line_rt(now.max(stall), mc, dram_addr, kind)
+            }
+            TwoLevelOutcome::Miss { dram_addr, xpoint_addr, evict_to } => {
+                self.mcs[mc].migrations += 1;
+                // 1. Tag-check read: the MC always reads the DRAM line (tag
+                //    travels with data in the ECC bits).
+                let tag_read = self.dram_line_rt(now, mc, dram_addr, MemKind::Read);
+                // 2. Fetch the missing line from XPoint (demand-critical:
+                //    the read is booked before the victim's buffered write
+                //    so it is not queued behind a 763 ns drain). With
+                //    reverse write, the XPoint->DRAM fill transfer itself
+                //    delivers the data: the MC's DDR monitor snarfs the
+                //    memory-route burst (Figure 12), so nothing but the
+                //    command uses the data route.
+                let data_at_mc = if self.caps.reverse_write {
+                    let (_, cmd_done) = self.channel.xfer(
+                        tag_read,
+                        mc,
+                        CMD_BITS,
+                        TrafficClass::Demand,
+                        DEV_XPOINT,
+                    );
+                    let ready = {
+                        let xp = self.mcs[mc].xpoint.as_mut().expect("two-level");
+                        xp.read(cmd_done, xpoint_addr).ready_at
+                    };
+                    self.mcs[mc].ddr_monitor.arm(cmd_done, xpoint_addr);
+                    let (fill_start, fill_done) =
+                        self.channel.memory_route(ready, mc, line_bits);
+                    self.mcs[mc].ddr_monitor.begin_snarf(fill_start);
+                    self.mcs[mc].ddr_monitor.complete(fill_done);
+                    self.mcs[mc].dram.access(fill_done, dram_addr, MemKind::Write);
+                    fill_done
+                } else {
+                    self.xpoint_line_rt(tag_read, mc, xpoint_addr, MemKind::Read)
+                };
+                // 3. Dirty victim eviction.
+                if let Some(victim) = evict_to {
+                    if self.caps.auto_rw {
+                        // The XPoint controller snarfed the tag-read burst
+                        // and takes over the eviction (Figure 9b).
+                        let xp = self.mcs[mc].xpoint.as_mut().expect("two-level");
+                        xp.snarf_write(tag_read, victim);
+                    } else {
+                        let (_, evict_xfer) = self.channel.xfer(
+                            tag_read,
+                            mc,
+                            CMD_BITS + line_bits,
+                            TrafficClass::Migration,
+                            DEV_XPOINT,
+                        );
+                        let xp = self.mcs[mc].xpoint.as_mut().expect("two-level");
+                        xp.write(evict_xfer, victim);
+                    }
+                }
+                // 4. Fill the DRAM cacheline (reverse write already filled
+                //    it from the snarfed burst above).
+                if !self.caps.reverse_write {
+                    let (_, fill_xfer) = self.channel.xfer(
+                        data_at_mc,
+                        mc,
+                        CMD_BITS + line_bits,
+                        TrafficClass::Migration,
+                        DEV_DRAM,
+                    );
+                    self.mcs[mc].dram.access(fill_xfer, dram_addr, MemKind::Write);
+                }
+                data_at_mc
+            }
+        }
+    }
+
+    /// Demand bytes arriving at the memory controllers over time
+    /// (10 µs buckets) — a bandwidth timeline for plotting.
+    pub fn demand_timeline(&self) -> &TimeSeries {
+        &self.demand_timeline
+    }
+
+    /// One-line-per-resource busy summary for debugging and examples.
+    pub fn resource_summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let horizon = self.queue.now();
+        let _ = writeln!(out, "makespan: {horizon}");
+        let issue_busy: Ps = self.sms.iter().map(|s| s.busy_time()).sum();
+        let _ = writeln!(
+            out,
+            "sm issue: busy {} over {} SMs ({:.1}% of makespan each)",
+            issue_busy,
+            self.sms.len(),
+            100.0 * issue_busy.as_ps() as f64
+                / (self.sms.len() as f64 * horizon.as_ps().max(1) as f64),
+        );
+        let _ = writeln!(
+            out,
+            "xbar: {} messages, busy {} ({:.1}% per port)",
+            self.xbar.messages(),
+            self.xbar.busy_time(),
+            100.0 * self.xbar.busy_time().as_ps() as f64
+                / (self.cfg.gpu.xbar.ports as f64 * horizon.as_ps().max(1) as f64),
+        );
+        for (i, mc) in self.mcs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "mc{i}: ctrl busy {} ({:.1}%), ctrl free@{}, dram busy {} ({} banks), xp reads {} writes {} stalls {}, conflicts {}/{}",
+                mc.ctrl.busy_time(),
+                100.0 * mc.ctrl.busy_time().as_ps() as f64 / horizon.as_ps().max(1) as f64,
+                mc.ctrl.next_free(),
+                mc.dram.busy_time(),
+                self.cfg.memory.dram_banks,
+                mc.xpoint.as_ref().map_or(0, |x| x.media().reads()),
+                mc.xpoint.as_ref().map_or(0, |x| x.media().writes()),
+                mc.xpoint.as_ref().map_or(0, |x| x.media().write_stalls()),
+                mc.conflicts.stalls(),
+                mc.conflicts.checks(),
+            );
+        }
+        let _ = writeln!(out, "slice latency: {} (ns)", self.slice_latency);
+        let _ = writeln!(out, "dram read latency: {} (ns)", self.dram_read_latency);
+        let _ = writeln!(out, "xpoint read latency: {} (ns)", self.xpoint_read_latency);
+        let _ = writeln!(out, "conflict stall: {} (ns)", self.stall_latency);
+        let _ = writeln!(out, "xp stages cmd: {} dev: {} resp: {}",
+            self.xp_cmd_stage, self.xp_dev_stage, self.xp_resp_stage);
+        let _ = writeln!(out, "swap window: {} (ns)", self.swap_window);
+        let (d, m) = self.channel.bits();
+        let _ = writeln!(
+            out,
+            "channel: demand {d} bits, migration {m} bits, util {:.3}",
+            self.channel.utilization(horizon)
+        );
+        out
+    }
+
+    fn report(&mut self) -> SimReport {
+        // Migration-completion bookkeeping may trail the last warp; the
+        // kernel's makespan is when the warps finished.
+        let makespan = if self.kernel_end > Ps::ZERO { self.kernel_end } else { self.queue.now() };
+        let instructions: u64 = self.sms.iter().map(|s| s.retired()).sum();
+        let cycles = self.cfg.gpu.sm.freq.cycles_in(makespan).max(1);
+        let l1_hits: u64 = self.l1s.iter().map(|c| c.hits()).sum();
+        let l1_total: u64 = self.l1s.iter().map(|c| c.hits() + c.misses()).sum();
+
+        let (demand_bits, migration_bits) = self.channel.bits();
+        let dram_activations: u64 = self.mcs.iter().map(|m| m.dram.activations()).sum();
+        let dram_accesses: u64 =
+            self.mcs.iter().map(|m| m.dram.reads() + m.dram.writes()).sum();
+        let (xp_reads, xp_writes) = self.mcs.iter().fold((0, 0), |(r, w), m| {
+            m.xpoint
+                .as_ref()
+                .map(|x| (r + x.media().reads(), w + x.media().writes()))
+                .unwrap_or((r, w))
+        });
+
+        let energy = energy_report(
+            self.platform,
+            &EnergyInputs {
+                makespan,
+                channel_bits: demand_bits + migration_bits,
+                dram_capacity_bytes: self.dram_capacity,
+                dram_activations,
+                dram_accesses,
+                dram_access_bits: self.cfg.line_bytes * 8,
+                xpoint_capacity_bytes: self.xpoint_capacity,
+                xpoint_reads: xp_reads,
+                xpoint_writes: xp_writes,
+                xpoint_line_bits: self.cfg.line_bytes * 8,
+                wavelengths: self.cfg.optical.grid.total_wavelengths()
+                    * self.cfg.optical.waveguides,
+            },
+        );
+
+        let host = self.host.as_ref().map(|h| HostReport {
+            storage_busy: h.storage_busy(),
+            dma_busy: h.dma_busy(),
+            staged_in: h.staged_in(),
+            staged_out: h.staged_out(),
+            bytes_moved: h.bytes_moved(),
+        });
+
+        let service_total: u64 = self.mcs.iter().map(|m| m.service_total).sum();
+        let dram_service: u64 = self.mcs.iter().map(|m| m.dram_service_hits).sum();
+        let wear = {
+            let stats: Vec<f64> = self
+                .mcs
+                .iter()
+                .filter_map(|m| m.xpoint.as_ref().map(|x| x.wear_stats().imbalance))
+                .collect();
+            if stats.is_empty() {
+                1.0
+            } else {
+                stats.iter().sum::<f64>() / stats.len() as f64
+            }
+        };
+
+        SimReport {
+            platform: self.platform,
+            mode: self.mode,
+            workload: self.spec.name.to_string(),
+            makespan,
+            instructions,
+            ipc: instructions as f64 / cycles as f64,
+            mem_requests: self.mem_requests,
+            avg_mem_latency_ns: self.mem_latency.mean(),
+            l1_hit_rate: if l1_total == 0 { 0.0 } else { l1_hits as f64 / l1_total as f64 },
+            l2_hit_rate: self.l2.hit_rate(),
+            hetero_dram_hit_rate: if service_total == 0 {
+                1.0
+            } else {
+                dram_service as f64 / service_total as f64
+            },
+            migration_channel_fraction: self.channel.migration_fraction(),
+            migrations: self.mcs.iter().map(|m| m.migrations).sum(),
+            channel_utilization: self.channel.utilization(makespan),
+            channel_bits: (demand_bits, migration_bits),
+            energy,
+            host,
+            wear_imbalance: wear,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohm_workloads::workload_by_name;
+
+    fn run(platform: Platform, mode: OperationalMode, workload: &str) -> SimReport {
+        let cfg = SystemConfig::quick_test();
+        let spec = workload_by_name(workload).unwrap();
+        System::new(&cfg, platform, mode, &spec).run()
+    }
+
+    #[test]
+    fn oracle_runs_and_retires_everything() {
+        let cfg = SystemConfig::quick_test();
+        let r = run(Platform::Oracle, OperationalMode::Planar, "lud");
+        assert_eq!(
+            r.instructions,
+            (cfg.gpu.sms * cfg.gpu.sm.warps) as u64 * cfg.insts_per_warp
+        );
+        assert!(r.ipc > 0.0);
+        assert!(r.makespan > Ps::ZERO);
+        assert_eq!(r.migrations, 0);
+    }
+
+    #[test]
+    fn planar_migrates_and_pays_for_it() {
+        let base = run(Platform::OhmBase, OperationalMode::Planar, "pagerank");
+        assert!(base.migrations > 0, "skewed workload must trigger promotions");
+        assert!(base.migration_channel_fraction > 0.0);
+        let oracle = run(Platform::Oracle, OperationalMode::Planar, "pagerank");
+        assert!(base.avg_mem_latency_ns > oracle.avg_mem_latency_ns);
+    }
+
+    #[test]
+    fn two_level_misses_produce_migrations() {
+        let r = run(Platform::OhmBase, OperationalMode::TwoLevel, "pagerank");
+        assert!(r.migrations > 0);
+        assert!(r.hetero_dram_hit_rate < 1.0);
+        assert!(r.hetero_dram_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn swap_function_frees_the_data_route() {
+        let base = run(Platform::OhmBase, OperationalMode::Planar, "pagerank");
+        let wom = run(Platform::OhmWom, OperationalMode::Planar, "pagerank");
+        assert!(
+            wom.migration_channel_fraction < base.migration_channel_fraction,
+            "wom {} vs base {}",
+            wom.migration_channel_fraction,
+            base.migration_channel_fraction
+        );
+    }
+
+    #[test]
+    fn reverse_write_eliminates_two_level_migration_traffic() {
+        let wom = run(Platform::OhmWom, OperationalMode::TwoLevel, "pagerank");
+        assert!(
+            wom.migration_channel_fraction < 0.02,
+            "got {}",
+            wom.migration_channel_fraction
+        );
+    }
+
+    #[test]
+    fn origin_pays_for_host_staging() {
+        // At an unscaled host path (host_scale = 1) the staging cost must
+        // dominate and push Origin below Hetero, as in the paper's
+        // Figure 3 / Figure 16; the scaled default is calibrated against
+        // the evaluation configuration instead (see EXPERIMENTS.md).
+        let mut cfg = SystemConfig::quick_test();
+        cfg.memory.host_scale = 1.0;
+        let spec = ohm_workloads::workload_by_name("pagerank").unwrap();
+        let origin = System::new(&cfg, Platform::Origin, OperationalMode::Planar, &spec).run();
+        let host = origin.host.expect("origin reports host staging");
+        assert!(host.staged_in > 0);
+        assert!(host.storage_busy > Ps::ZERO && host.dma_busy > Ps::ZERO);
+        let hetero = System::new(&cfg, Platform::Hetero, OperationalMode::Planar, &spec).run();
+        assert!(origin.ipc < hetero.ipc, "origin {} vs hetero {}", origin.ipc, hetero.ipc);
+    }
+
+    #[test]
+    fn platform_ordering_on_a_skewed_workload() {
+        // quick_test runs carry per-run noise from reordered swap
+        // triggers, so the ordering is asserted with slack; the full
+        // evaluation config (fig16 harness) reproduces the paper's chain.
+        let base = run(Platform::OhmBase, OperationalMode::Planar, "pagerank");
+        let bw = run(Platform::OhmBw, OperationalMode::Planar, "pagerank");
+        let oracle = run(Platform::Oracle, OperationalMode::Planar, "pagerank");
+        assert!(bw.ipc >= base.ipc * 0.95, "bw {} vs base {}", bw.ipc, base.ipc);
+        assert!(oracle.ipc >= bw.ipc, "oracle {} vs bw {}", oracle.ipc, bw.ipc);
+    }
+
+    #[test]
+    fn demand_timeline_accounts_read_traffic() {
+        let cfg = SystemConfig::quick_test();
+        let spec = ohm_workloads::workload_by_name("bfsdata").unwrap();
+        let mut sys = System::new(&cfg, Platform::Oracle, OperationalMode::Planar, &spec);
+        let r = sys.run();
+        let timeline = sys.demand_timeline();
+        assert!(timeline.total() > 0.0);
+        assert_eq!(
+            timeline.total() as u64,
+            r.mem_requests * cfg.line_bytes,
+            "timeline must sum to the demand reads"
+        );
+        assert!(timeline.peak() >= timeline.mean());
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let a = run(Platform::AutoRw, OperationalMode::Planar, "FDTD");
+        let b = run(Platform::AutoRw, OperationalMode::Planar, "FDTD");
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.mem_requests, b.mem_requests);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests over the full system: random small configurations
+//! must simulate without panics and satisfy the accounting identities.
+
+use ohm_core::config::SystemConfig;
+use ohm_core::runner::run_platform;
+use ohm_core::Platform;
+use ohm_optic::OperationalMode;
+use ohm_sim::Ps;
+use ohm_workloads::all_workloads;
+use proptest::prelude::*;
+
+fn tiny_cfg(sms: usize, warps: usize, insts: u64, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::quick_test();
+    cfg.gpu.sms = sms;
+    cfg.gpu.sm.warps = warps;
+    cfg.insts_per_warp = insts;
+    cfg.seed = seed;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any platform/mode/workload on a random tiny machine completes and
+    /// retires the exact instruction budget.
+    #[test]
+    fn random_configs_complete(
+        sms in 1usize..4,
+        warps in 1usize..6,
+        insts in 100u64..600,
+        seed in any::<u64>(),
+        platform_idx in 0usize..7,
+        workload_idx in 0usize..10,
+        two_level in any::<bool>(),
+    ) {
+        let cfg = tiny_cfg(sms, warps, insts, seed);
+        let platform = Platform::ALL[platform_idx];
+        let mode = if two_level { OperationalMode::TwoLevel } else { OperationalMode::Planar };
+        let spec = all_workloads()[workload_idx];
+        let r = run_platform(&cfg, platform, mode, &spec);
+        prop_assert_eq!(r.instructions, (sms * warps) as u64 * insts);
+        prop_assert!(r.makespan > Ps::ZERO);
+        prop_assert!(r.ipc > 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.migration_channel_fraction));
+        prop_assert!(r.avg_mem_latency_ns >= 0.0);
+    }
+
+    /// Doubling the instruction budget at least doubles retired work and
+    /// never shrinks the makespan.
+    #[test]
+    fn longer_kernels_take_longer(seed in any::<u64>(), insts in 200u64..500) {
+        let spec = all_workloads()[4]; // betw
+        let short = run_platform(
+            &tiny_cfg(2, 4, insts, seed),
+            Platform::OhmBase,
+            OperationalMode::Planar,
+            &spec,
+        );
+        let long = run_platform(
+            &tiny_cfg(2, 4, insts * 2, seed),
+            Platform::OhmBase,
+            OperationalMode::Planar,
+            &spec,
+        );
+        prop_assert_eq!(long.instructions, short.instructions * 2);
+        prop_assert!(long.makespan >= short.makespan);
+    }
+}

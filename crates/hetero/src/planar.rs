@@ -1,0 +1,415 @@
+//! Planar memory mode: a flat DRAM+XPoint address space with
+//! OS-transparent hot-page swapping.
+//!
+//! The entire memory space is split into *groups*, each containing one
+//! DRAM page and `ratio` XPoint pages (Table I ratio 1:8). The memory
+//! controller keeps a simplified remap table recording which logical page
+//! of each group currently occupies the group's DRAM slot. When an
+//! XPoint-resident page collects enough accesses it is declared hot and
+//! swapped with the group's current DRAM resident (Figure 7a) — the data
+//! movement whose cost the paper's dual routes eliminate.
+
+use ohm_sim::Addr;
+
+/// Configuration of the planar mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanarConfig {
+    /// Migration/page granularity in bytes (power of two).
+    pub page_bytes: u64,
+    /// XPoint pages per DRAM page in each group (Table I: 8).
+    pub ratio: usize,
+    /// Accesses to an XPoint-resident page before it is declared hot.
+    pub hot_threshold: u32,
+    /// Total logical capacity in bytes (must be a whole number of groups).
+    pub capacity_bytes: u64,
+}
+
+impl Default for PlanarConfig {
+    fn default() -> Self {
+        PlanarConfig {
+            page_bytes: 4096,
+            ratio: 8,
+            hot_threshold: 16,
+            capacity_bytes: 288 << 20, // 64 groups/MB at 4 KB pages, scaled
+        }
+    }
+}
+
+impl PlanarConfig {
+    /// Pages per group (DRAM slot + XPoint slots).
+    pub fn group_pages(&self) -> usize {
+        self.ratio + 1
+    }
+
+    /// Number of groups implied by the capacity.
+    pub fn groups(&self) -> u64 {
+        self.capacity_bytes / (self.page_bytes * self.group_pages() as u64)
+    }
+
+    /// DRAM capacity implied by the geometry.
+    pub fn dram_bytes(&self) -> u64 {
+        self.groups() * self.page_bytes
+    }
+
+    /// XPoint capacity implied by the geometry.
+    pub fn xpoint_bytes(&self) -> u64 {
+        self.groups() * self.ratio as u64 * self.page_bytes
+    }
+}
+
+/// Where a logical address currently resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanarLocation {
+    /// In DRAM, at the given DRAM physical address.
+    Dram(Addr),
+    /// In XPoint, at the given XPoint physical address.
+    XPoint(Addr),
+}
+
+impl PlanarLocation {
+    /// True when the location is DRAM.
+    pub fn is_dram(self) -> bool {
+        matches!(self, PlanarLocation::Dram(_))
+    }
+
+    /// The physical address regardless of device.
+    pub fn addr(self) -> Addr {
+        match self {
+            PlanarLocation::Dram(a) | PlanarLocation::XPoint(a) => a,
+        }
+    }
+}
+
+/// A pending hot-page swap decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapRequest {
+    /// Group being reorganised.
+    pub group: u64,
+    /// Group-major page id (`group * group_pages + slot`) moving into DRAM.
+    pub promote_page: u64,
+    /// Group-major page id being demoted to XPoint.
+    pub demote_page: u64,
+    /// DRAM physical page address involved in the swap.
+    pub dram_addr: Addr,
+    /// XPoint physical page address involved in the swap.
+    pub xpoint_addr: Addr,
+    /// Bytes exchanged in each direction.
+    pub page_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    /// Which in-group slot currently occupies the DRAM page.
+    dram_resident: u16,
+    /// `xp_slot[s]` = XPoint sub-slot (0..ratio) holding in-group slot `s`;
+    /// `u16::MAX` marks the DRAM resident.
+    xp_slot: Vec<u16>,
+    /// Access counters per in-group slot.
+    counters: Vec<u32>,
+}
+
+/// The planar-mode remap table and hotness tracker.
+///
+/// # Example
+///
+/// ```
+/// use ohm_hetero::{PlanarConfig, PlanarMapping};
+/// use ohm_sim::Addr;
+///
+/// let mut map = PlanarMapping::new(PlanarConfig {
+///     capacity_bytes: 9 * 4096,
+///     ..PlanarConfig::default()
+/// });
+/// // Page 0 of each group starts in DRAM.
+/// assert!(map.lookup(Addr::new(0)).is_dram());
+/// assert!(!map.lookup(Addr::new(4096)).is_dram());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanarMapping {
+    cfg: PlanarConfig,
+    groups: Vec<Group>,
+    swaps: u64,
+}
+
+impl PlanarMapping {
+    /// Creates the initial identity mapping (slot 0 of each group in DRAM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero groups or a non-power-of-two
+    /// page size.
+    pub fn new(cfg: PlanarConfig) -> Self {
+        assert!(cfg.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(cfg.ratio > 0, "need at least one XPoint page per group");
+        let n = cfg.groups();
+        assert!(n > 0, "capacity too small for one group");
+        let group_pages = cfg.group_pages();
+        let groups = (0..n)
+            .map(|_| Group {
+                dram_resident: 0,
+                // Slot 0 in DRAM; slot s (s>=1) in XPoint sub-slot s-1.
+                xp_slot: (0..group_pages)
+                    .map(|s| if s == 0 { u16::MAX } else { (s - 1) as u16 })
+                    .collect(),
+                counters: vec![0; group_pages],
+            })
+            .collect();
+        PlanarMapping { cfg, groups, swaps: 0 }
+    }
+
+    /// The mapping configuration.
+    pub fn config(&self) -> &PlanarConfig {
+        &self.cfg
+    }
+
+    /// Groups are formed by *striding* the page index (page `p` belongs
+    /// to group `p mod groups`), so neighbouring pages fall into distinct
+    /// groups and a contiguous hot region can be fully DRAM-resident —
+    /// one page per group. Contiguous grouping would cap the DRAM share
+    /// of any dense hot set at 1/(ratio+1).
+    fn split(&self, addr: Addr) -> (u64, usize, u64) {
+        let page = addr.block_index(self.cfg.page_bytes);
+        let groups = self.cfg.groups();
+        let group = page % groups;
+        let slot = (page / groups) as usize;
+        (group, slot, addr.offset_in(self.cfg.page_bytes))
+    }
+
+    fn dram_addr(&self, group: u64, offset: u64) -> Addr {
+        Addr::new(group * self.cfg.page_bytes + offset)
+    }
+
+    fn xpoint_addr(&self, group: u64, sub_slot: u16, offset: u64) -> Addr {
+        Addr::new(
+            (group * self.cfg.ratio as u64 + sub_slot as u64) * self.cfg.page_bytes + offset,
+        )
+    }
+
+    /// Resolves a logical address to its current physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is beyond the configured capacity.
+    pub fn lookup(&self, addr: Addr) -> PlanarLocation {
+        let (group, slot, offset) = self.split(addr);
+        let g = &self.groups[group as usize];
+        if g.dram_resident as usize == slot {
+            PlanarLocation::Dram(self.dram_addr(group, offset))
+        } else {
+            PlanarLocation::XPoint(self.xpoint_addr(group, g.xp_slot[slot], offset))
+        }
+    }
+
+    /// Records an access to a logical address; if this makes an
+    /// XPoint-resident page hot, returns the swap the controller should
+    /// schedule. Counters of the group reset when a swap is requested.
+    pub fn record_access(&mut self, addr: Addr) -> Option<SwapRequest> {
+        let (group, slot, _) = self.split(addr);
+        let group_pages = self.cfg.group_pages() as u64;
+        let threshold = self.cfg.hot_threshold;
+        let g = &mut self.groups[group as usize];
+        let resident = g.dram_resident as usize;
+        g.counters[slot] += 1;
+        if slot == resident || g.counters[slot] < threshold {
+            return None;
+        }
+        for c in &mut g.counters {
+            *c = 0;
+        }
+        let sub_slot = g.xp_slot[slot];
+        Some(SwapRequest {
+            group,
+            promote_page: group * group_pages + slot as u64,
+            demote_page: group * group_pages + resident as u64,
+            dram_addr: self.dram_addr(group, 0),
+            xpoint_addr: self.xpoint_addr(group, sub_slot, 0),
+            page_bytes: self.cfg.page_bytes,
+        })
+    }
+
+    /// Commits a completed swap: the promoted page becomes the DRAM
+    /// resident, the demoted page takes its XPoint sub-slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request does not match the current mapping (e.g. the
+    /// page was already promoted by a racing swap).
+    pub fn commit_swap(&mut self, req: &SwapRequest) {
+        let group_pages = self.cfg.group_pages() as u64;
+        let g = &mut self.groups[req.group as usize];
+        let promote_slot = (req.promote_page % group_pages) as usize;
+        let demote_slot = (req.demote_page % group_pages) as usize;
+        assert_eq!(
+            g.dram_resident as usize, demote_slot,
+            "swap request stale: resident changed"
+        );
+        let sub = g.xp_slot[promote_slot];
+        assert_ne!(sub, u16::MAX, "promoted page is already in DRAM");
+        g.xp_slot[demote_slot] = sub;
+        g.xp_slot[promote_slot] = u16::MAX;
+        g.dram_resident = promote_slot as u16;
+        self.swaps += 1;
+    }
+
+    /// Completed swaps so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Fraction of lookups that would currently land in DRAM for a given
+    /// sequence of addresses (diagnostic helper).
+    pub fn dram_hit_fraction(&self, addrs: &[Addr]) -> f64 {
+        if addrs.is_empty() {
+            return 0.0;
+        }
+        let hits = addrs.iter().filter(|&&a| self.lookup(a).is_dram()).count();
+        hits as f64 / addrs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GROUPS: u64 = 4;
+    const PAGE: u64 = 4096;
+
+    fn small() -> PlanarMapping {
+        PlanarMapping::new(PlanarConfig {
+            page_bytes: PAGE,
+            ratio: 8,
+            hot_threshold: 4,
+            capacity_bytes: GROUPS * 9 * PAGE,
+        })
+    }
+
+    /// Address of the page in `group` at in-group `slot` under the
+    /// strided group mapping (page index = slot * groups + group).
+    fn page_addr(group: u64, slot: u64) -> Addr {
+        Addr::new((slot * GROUPS + group) * PAGE)
+    }
+
+    fn drive_swap(m: &mut PlanarMapping, addr: Addr) -> SwapRequest {
+        loop {
+            if let Some(req) = m.record_access(addr) {
+                return req;
+            }
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let m = small();
+        assert_eq!(m.config().groups(), GROUPS);
+        assert_eq!(m.config().dram_bytes(), GROUPS * PAGE);
+        assert_eq!(m.config().xpoint_bytes(), GROUPS * 8 * PAGE);
+    }
+
+    #[test]
+    fn initial_mapping_slot0_in_dram() {
+        let m = small();
+        for g in 0..GROUPS {
+            assert!(m.lookup(page_addr(g, 0)).is_dram(), "group {g} slot 0");
+            for s in 1..9 {
+                assert!(!m.lookup(page_addr(g, s)).is_dram(), "group {g} slot {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbouring_pages_fall_into_distinct_groups() {
+        let m = small();
+        // Pages 0..groups are each the DRAM resident of their own group:
+        // a dense hot region can be fully DRAM-resident.
+        for p in 0..GROUPS {
+            assert!(m.lookup(Addr::new(p * PAGE)).is_dram(), "page {p}");
+        }
+    }
+
+    #[test]
+    fn lookup_preserves_offset() {
+        let m = small();
+        let loc = m.lookup(page_addr(2, 3).offset(123));
+        assert_eq!(loc.addr().offset_in(PAGE), 123);
+    }
+
+    #[test]
+    fn hot_page_triggers_swap_and_remap() {
+        let mut m = small();
+        let hot = page_addr(0, 3);
+        let req = drive_swap(&mut m, hot);
+        assert_eq!(req.group, 0);
+        m.commit_swap(&req);
+        assert!(m.lookup(hot).is_dram());
+        assert!(!m.lookup(page_addr(0, 0)).is_dram());
+        assert_eq!(m.swaps(), 1);
+    }
+
+    #[test]
+    fn demoted_page_takes_vacated_xp_slot() {
+        let mut m = small();
+        let hot = page_addr(1, 3);
+        let old_xp = m.lookup(hot).addr();
+        let req = drive_swap(&mut m, hot);
+        m.commit_swap(&req);
+        // The demoted page (old slot 0 of group 1) now sits where the hot
+        // page was.
+        assert_eq!(m.lookup(page_addr(1, 0)), PlanarLocation::XPoint(old_xp));
+    }
+
+    #[test]
+    fn dram_resident_accesses_never_trigger() {
+        let mut m = small();
+        for _ in 0..100 {
+            assert!(m.record_access(page_addr(2, 0).offset(5)).is_none());
+        }
+    }
+
+    #[test]
+    fn counters_reset_after_swap_request() {
+        let mut m = small();
+        let a = page_addr(0, 1);
+        let b = page_addr(0, 2);
+        for _ in 0..3 {
+            assert!(m.record_access(a).is_none());
+        }
+        for _ in 0..3 {
+            assert!(m.record_access(b).is_none());
+        }
+        let req = m.record_access(a).expect("a reaches threshold first");
+        m.commit_swap(&req);
+        // b's counter was reset: three more accesses stay quiet.
+        for _ in 0..3 {
+            assert!(m.record_access(b).is_none());
+        }
+        assert!(m.record_access(b).is_some());
+    }
+
+    #[test]
+    fn chained_swaps_stay_consistent() {
+        let mut m = small();
+        // Promote slot 1, then slot 2, then slot 1 again, all in group 0.
+        for target in [1u64, 2, 1] {
+            let a = page_addr(0, target);
+            let req = drive_swap(&mut m, a);
+            m.commit_swap(&req);
+            assert!(m.lookup(a).is_dram());
+        }
+        // All nine pages of group 0 still resolve to distinct locations.
+        let mut seen = std::collections::BTreeSet::new();
+        for s in 0..9u64 {
+            let loc = m.lookup(page_addr(0, s));
+            assert!(seen.insert((loc.is_dram(), loc.addr())), "dup at slot {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_swap_rejected() {
+        let mut m = small();
+        let r1 = drive_swap(&mut m, page_addr(3, 1));
+        let r2 = drive_swap(&mut m, page_addr(3, 2));
+        m.commit_swap(&r2);
+        m.commit_swap(&r1); // resident changed: must panic
+    }
+}

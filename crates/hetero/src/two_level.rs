@@ -1,0 +1,326 @@
+//! Two-level memory mode: DRAM as a direct-mapped inclusive cache of
+//! XPoint.
+//!
+//! The memory controller decodes each request into index/tag/offset and
+//! checks the DRAM cacheline whose ECC region carries the line's metadata
+//! (1 valid bit, 1 dirty bit, 3–6 tag bits — Section III-B). Because tag
+//! and data travel in the same DRAM access, a tag check costs a single
+//! DRAM read; a miss additionally fetches the line from XPoint (and
+//! writes back the victim if dirty). Direct mapping keeps the tag small
+//! enough to fit the ECC bits, which is why the paper rules out higher
+//! associativity.
+
+use ohm_sim::Addr;
+
+/// Geometry of the two-level mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoLevelConfig {
+    /// DRAM cache capacity in bytes.
+    pub dram_bytes: u64,
+    /// Backing XPoint capacity in bytes (Table I ratio 1:64).
+    pub xpoint_bytes: u64,
+    /// Cacheline (migration) granularity in bytes — one DRAM burst.
+    pub line_bytes: u64,
+}
+
+impl Default for TwoLevelConfig {
+    fn default() -> Self {
+        TwoLevelConfig { dram_bytes: 6 << 20, xpoint_bytes: 384 << 20, line_bytes: 256 }
+    }
+}
+
+impl TwoLevelConfig {
+    /// Number of DRAM cachelines.
+    pub fn cache_lines(&self) -> u64 {
+        self.dram_bytes / self.line_bytes
+    }
+
+    /// Width of the stored tag in bits (the paper's 3–6 bits for 1:8–1:64
+    /// ratios).
+    pub fn tag_bits(&self) -> u32 {
+        let ratio = (self.xpoint_bytes / self.dram_bytes).max(2);
+        64 - (ratio - 1).leading_zeros()
+    }
+
+    /// Cacheline metadata width: 1 valid bit + 1 dirty bit + the tag.
+    pub fn metadata_bits(&self) -> u32 {
+        2 + self.tag_bits()
+    }
+
+    /// Whether the metadata fits in the spare ECC bits of the cacheline —
+    /// the paper's Section III-B design constraint that makes the
+    /// single-access tag check possible. DDR ECC provides 8 spare bits per
+    /// 64 data bits; SEC-DED over 64 bits uses 7 + 1 overall parity, but
+    /// applying SEC-DED at 128-bit granularity (9 check bits per 16 spare)
+    /// frees 7 bits per 16 — comfortably above the 5–8 metadata bits.
+    pub fn metadata_fits_ecc(&self) -> bool {
+        let spare_per_128bits = 16 - 9; // SEC-DED(128) in a 16-bit budget
+        let words_128 = (self.line_bytes * 8 / 128).max(1);
+        self.metadata_bits() as u64 <= spare_per_128bits * words_128
+    }
+}
+
+/// The outcome of a two-level access, with the migration work it implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoLevelOutcome {
+    /// The line was present in DRAM; serve from DRAM.
+    Hit {
+        /// DRAM physical address of the cacheline.
+        dram_addr: Addr,
+    },
+    /// The line missed; it must be fetched from XPoint and filled, and
+    /// the victim written back first if dirty.
+    Miss {
+        /// DRAM physical address of the cacheline slot.
+        dram_addr: Addr,
+        /// XPoint physical address of the requested line.
+        xpoint_addr: Addr,
+        /// XPoint address of the dirty victim to evict, if any.
+        evict_to: Option<Addr>,
+    },
+}
+
+impl TwoLevelOutcome {
+    /// True for hits.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, TwoLevelOutcome::Hit { .. })
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Meta {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// The direct-mapped DRAM cache state (tags modelled in-controller; the
+/// hardware keeps them in DRAM ECC, which is why a tag check costs one
+/// DRAM access and no extra channel traffic).
+///
+/// # Example
+///
+/// ```
+/// use ohm_hetero::{TwoLevelCache, TwoLevelConfig};
+/// use ohm_sim::Addr;
+///
+/// let mut c = TwoLevelCache::new(TwoLevelConfig::default());
+/// let first = c.access(Addr::new(0x1000), false);
+/// assert!(!first.is_hit());
+/// assert!(c.access(Addr::new(0x1000), false).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevelCache {
+    cfg: TwoLevelConfig,
+    meta: Vec<Meta>,
+    hits: u64,
+    misses: u64,
+    dirty_evictions: u64,
+}
+
+impl TwoLevelCache {
+    /// Creates an empty (all-invalid) DRAM cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero lines, XPoint smaller
+    /// than DRAM, or a non-power-of-two line size).
+    pub fn new(cfg: TwoLevelConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.cache_lines() > 0, "DRAM cache needs at least one line");
+        assert!(cfg.xpoint_bytes >= cfg.dram_bytes, "XPoint must back the whole DRAM cache");
+        TwoLevelCache {
+            meta: vec![Meta::default(); cfg.cache_lines() as usize],
+            cfg,
+            hits: 0,
+            misses: 0,
+            dirty_evictions: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &TwoLevelConfig {
+        &self.cfg
+    }
+
+    fn decode(&self, addr: Addr) -> (usize, u64) {
+        let line = addr.block_index(self.cfg.line_bytes);
+        let index = (line % self.cfg.cache_lines()) as usize;
+        let tag = line / self.cfg.cache_lines();
+        (index, tag)
+    }
+
+    fn dram_addr(&self, index: usize) -> Addr {
+        Addr::from_block(index as u64, self.cfg.line_bytes)
+    }
+
+    fn xpoint_addr(&self, index: usize, tag: u64) -> Addr {
+        Addr::from_block(tag * self.cfg.cache_lines() + index as u64, self.cfg.line_bytes)
+    }
+
+    /// Accesses the line containing `addr` (an XPoint-space address); on a
+    /// miss the line is filled and the previous occupant evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond the XPoint capacity.
+    pub fn access(&mut self, addr: Addr, is_write: bool) -> TwoLevelOutcome {
+        assert!(addr.get() < self.cfg.xpoint_bytes, "address beyond XPoint capacity");
+        let (index, tag) = self.decode(addr);
+        let dram_addr = self.dram_addr(index);
+        let m = self.meta[index];
+        if m.valid && m.tag == tag {
+            self.meta[index].dirty |= is_write;
+            self.hits += 1;
+            return TwoLevelOutcome::Hit { dram_addr };
+        }
+        self.misses += 1;
+        let evict_to = (m.valid && m.dirty).then(|| {
+            self.dirty_evictions += 1;
+            self.xpoint_addr(index, m.tag)
+        });
+        let xpoint_addr = self.xpoint_addr(index, tag);
+        self.meta[index] = Meta { tag, valid: true, dirty: is_write };
+        TwoLevelOutcome::Miss { dram_addr, xpoint_addr, evict_to }
+    }
+
+    /// Whether the line containing `addr` is currently cached.
+    pub fn contains(&self, addr: Addr) -> bool {
+        let (index, tag) = self.decode(addr);
+        let m = &self.meta[index];
+        m.valid && m.tag == tag
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions (each one costs a DRAM read + XPoint write).
+    pub fn dirty_evictions(&self) -> u64 {
+        self.dirty_evictions
+    }
+
+    /// Hit rate so far (0 when no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TwoLevelCache {
+        // 4 lines of 256 B DRAM backing 64 lines of XPoint.
+        TwoLevelCache::new(TwoLevelConfig {
+            dram_bytes: 1024,
+            xpoint_bytes: 16 * 1024,
+            line_bytes: 256,
+        })
+    }
+
+    #[test]
+    fn tag_bits_match_ratio() {
+        // 1:64 ratio -> 6 tag bits, the paper's upper bound.
+        let c = TwoLevelConfig { dram_bytes: 6 << 20, xpoint_bytes: 384 << 20, line_bytes: 256 };
+        assert_eq!(c.tag_bits(), 6);
+        // 1:8 -> 3 bits, the paper's lower bound.
+        let c8 = TwoLevelConfig { dram_bytes: 1 << 20, xpoint_bytes: 8 << 20, line_bytes: 256 };
+        assert_eq!(c8.tag_bits(), 3);
+    }
+
+    #[test]
+    fn metadata_fits_the_ecc_region_at_paper_ratios() {
+        for (dram, xp) in [(6u64 << 20, 48u64 << 20), (6 << 20, 384 << 20)] {
+            let c = TwoLevelConfig { dram_bytes: dram, xpoint_bytes: xp, line_bytes: 256 };
+            assert!(c.metadata_bits() <= 8, "paper: 1+1+3..6 bits");
+            assert!(c.metadata_fits_ecc(), "ratio {}:{}", dram >> 20, xp >> 20);
+        }
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut c = tiny();
+        let o = c.access(Addr::new(0), false);
+        match o {
+            TwoLevelOutcome::Miss { dram_addr, xpoint_addr, evict_to } => {
+                assert_eq!(dram_addr, Addr::new(0));
+                assert_eq!(xpoint_addr, Addr::new(0));
+                assert_eq!(evict_to, None);
+            }
+            _ => panic!("expected miss"),
+        }
+        assert!(c.access(Addr::new(128), false).is_hit()); // same line
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = tiny();
+        // Lines 0 and 4 map to index 0 (4 cache lines).
+        c.access(Addr::new(0), true); // dirty
+        let o = c.access(Addr::new(4 * 256), false);
+        match o {
+            TwoLevelOutcome::Miss { evict_to, .. } => {
+                assert_eq!(evict_to, Some(Addr::new(0)), "dirty victim must evict");
+            }
+            _ => panic!("expected miss"),
+        }
+        assert!(!c.contains(Addr::new(0)));
+        assert!(c.contains(Addr::new(4 * 256)));
+        assert_eq!(c.dirty_evictions(), 1);
+    }
+
+    #[test]
+    fn clean_victim_needs_no_eviction() {
+        let mut c = tiny();
+        c.access(Addr::new(0), false);
+        match c.access(Addr::new(4 * 256), false) {
+            TwoLevelOutcome::Miss { evict_to, .. } => assert_eq!(evict_to, None),
+            _ => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn write_hit_dirties_line() {
+        let mut c = tiny();
+        c.access(Addr::new(0), false);
+        c.access(Addr::new(0), true); // hit, dirty
+        match c.access(Addr::new(4 * 256), false) {
+            TwoLevelOutcome::Miss { evict_to, .. } => assert_eq!(evict_to, Some(Addr::new(0))),
+            _ => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn xpoint_addresses_roundtrip() {
+        let mut c = tiny();
+        // Fill index 2 with tag 3: XPoint line 3*4+2 = 14.
+        let addr = Addr::new(14 * 256);
+        match c.access(addr, false) {
+            TwoLevelOutcome::Miss { dram_addr, xpoint_addr, .. } => {
+                assert_eq!(dram_addr, Addr::new(2 * 256));
+                assert_eq!(xpoint_addr, addr);
+            }
+            _ => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond XPoint capacity")]
+    fn capacity_enforced() {
+        let mut c = tiny();
+        let _ = c.access(Addr::new(16 * 1024), false);
+    }
+}

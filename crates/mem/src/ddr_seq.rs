@@ -1,0 +1,296 @@
+//! DDR sequence generator and DDR monitor.
+//!
+//! Two small hardware blocks make the dual-route functions possible
+//! (Section V-A; the paper reports the generator at 2.8 K LUTs + 4.7 K
+//! flip-flops):
+//!
+//! * the **DDR sequence generator** lives in the XPoint controller and
+//!   converts a delegated migration into the precharge/activate/CAS
+//!   command sequence that drives DRAM directly over the memory route
+//!   (the swap function, Figure 11);
+//! * the **DDR monitor** lives in the memory controller and snoops the
+//!   channel during a reverse write, capturing the data XPoint streams to
+//!   DRAM so the MC can serve the demand miss from the same transfer
+//!   (Figure 12).
+
+use ohm_sim::{Addr, Counter, Ps};
+
+use crate::dram::{DramConfig, DramModule};
+use crate::protocol::{DdrCommand, MemKind};
+
+/// The DDR sequence generator: expands page-granularity copies into DRAM
+/// command sequences and executes them against a [`DramModule`].
+///
+/// # Example
+///
+/// ```
+/// use ohm_mem::ddr_seq::DdrSequenceGenerator;
+/// use ohm_mem::{DramConfig, DramModule, MemKind};
+/// use ohm_sim::{Addr, Ps};
+///
+/// let cfg = DramConfig { refresh_enabled: false, ..DramConfig::default() };
+/// let mut dram = DramModule::new(cfg);
+/// let mut generator = DdrSequenceGenerator::new(128);
+/// let seq = generator.plan_page(&dram, Addr::new(0), 4096, MemKind::Read);
+/// assert!(matches!(seq[0], ohm_mem::DdrCommand::Activate { .. }));
+/// let done = generator.execute_page(&mut dram, Ps::ZERO, Addr::new(0), 4096, MemKind::Read);
+/// assert!(done > Ps::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DdrSequenceGenerator {
+    line_bytes: u64,
+    commands_issued: Counter,
+    pages_processed: Counter,
+}
+
+impl DdrSequenceGenerator {
+    /// Creates a generator operating at `line_bytes` burst granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        DdrSequenceGenerator {
+            line_bytes,
+            commands_issued: Counter::new(),
+            pages_processed: Counter::new(),
+        }
+    }
+
+    /// Plans the DDR command sequence for copying `page_bytes` starting at
+    /// `base`, without executing it: one activate per touched row, then
+    /// one CAS per line (the sequence a state machine would emit).
+    pub fn plan_page(
+        &mut self,
+        dram: &DramModule,
+        base: Addr,
+        page_bytes: u64,
+        kind: MemKind,
+    ) -> Vec<DdrCommand> {
+        let cfg: &DramConfig = dram.config();
+        let mut seq = Vec::new();
+        let lines = (page_bytes / self.line_bytes).max(1);
+        let mut open_row: Option<(usize, u64)> = None;
+        for i in 0..lines {
+            let addr = base.offset(i * self.line_bytes);
+            let row_index = addr.block_index(cfg.row_bytes);
+            let bank = (row_index % cfg.banks as u64) as usize;
+            let row = row_index / cfg.banks as u64;
+            if open_row != Some((bank, row)) {
+                if open_row.map(|(b, _)| b) == Some(bank) {
+                    seq.push(DdrCommand::Precharge { bank });
+                }
+                seq.push(DdrCommand::Activate { bank, row });
+                open_row = Some((bank, row));
+            }
+            let col = addr.offset_in(cfg.row_bytes) / self.line_bytes;
+            seq.push(match kind {
+                MemKind::Read => DdrCommand::Read { bank, col },
+                MemKind::Write => DdrCommand::Write { bank, col },
+            });
+        }
+        self.commands_issued.add(seq.len() as u64);
+        seq
+    }
+
+    /// Executes a page copy against the DRAM module, returning when the
+    /// last burst completes. The module's bank state machines apply the
+    /// activate/precharge costs the plan implies.
+    pub fn execute_page(
+        &mut self,
+        dram: &mut DramModule,
+        start: Ps,
+        base: Addr,
+        page_bytes: u64,
+        kind: MemKind,
+    ) -> Ps {
+        let lines = (page_bytes / self.line_bytes).max(1);
+        let mut done = start;
+        for i in 0..lines {
+            let acc = dram.access(start, base.offset(i * self.line_bytes), kind);
+            done = done.max(acc.data_at);
+        }
+        self.pages_processed.incr();
+        done
+    }
+
+    /// Total DDR commands planned.
+    pub fn commands_issued(&self) -> u64 {
+        self.commands_issued.get()
+    }
+
+    /// Pages executed.
+    pub fn pages_processed(&self) -> u64 {
+        self.pages_processed.get()
+    }
+}
+
+/// State of the memory controller's DDR monitor during a reverse write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MonitorState {
+    /// Not snooping; normal request issue.
+    #[default]
+    Idle,
+    /// Armed by the XPoint controller's ready signal; new request issue is
+    /// paused (Figure 12, step 2).
+    Armed,
+    /// Actively capturing the XPoint→DRAM burst.
+    Snarfing,
+}
+
+/// The DDR monitor: a small state machine that pauses request issue and
+/// captures channel data during a reverse write.
+///
+/// # Example
+///
+/// ```
+/// use ohm_mem::ddr_seq::{DdrMonitor, MonitorState};
+/// use ohm_sim::{Addr, Ps};
+///
+/// let mut monitor = DdrMonitor::new();
+/// monitor.arm(Ps::ZERO, Addr::new(0x100));
+/// assert_eq!(monitor.state(), MonitorState::Armed);
+/// monitor.begin_snarf(Ps::from_ns(1));
+/// let captured = monitor.complete(Ps::from_ns(2));
+/// assert_eq!(captured, Some(Addr::new(0x100)));
+/// assert_eq!(monitor.state(), MonitorState::Idle);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DdrMonitor {
+    state: MonitorState,
+    target: Option<Addr>,
+    armed_at: Ps,
+    snarfs: Counter,
+    paused_time: Ps,
+}
+
+impl DdrMonitor {
+    /// Creates an idle monitor.
+    pub fn new() -> Self {
+        DdrMonitor::default()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> MonitorState {
+        self.state
+    }
+
+    /// The XPoint controller's ready signal arrives: pause issue and arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor is not idle (reverse writes serialise).
+    pub fn arm(&mut self, now: Ps, target: Addr) {
+        assert_eq!(self.state, MonitorState::Idle, "monitor already engaged");
+        self.state = MonitorState::Armed;
+        self.target = Some(target);
+        self.armed_at = now;
+    }
+
+    /// The XPoint→DRAM burst begins; the monitor couples to the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor was not armed.
+    pub fn begin_snarf(&mut self, _now: Ps) {
+        assert_eq!(self.state, MonitorState::Armed, "snarf without arming");
+        self.state = MonitorState::Snarfing;
+    }
+
+    /// The burst completes: returns the captured line address and goes
+    /// idle, accounting the pause window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor was not snarfing.
+    pub fn complete(&mut self, now: Ps) -> Option<Addr> {
+        assert_eq!(self.state, MonitorState::Snarfing, "complete without snarf");
+        self.state = MonitorState::Idle;
+        self.snarfs.incr();
+        self.paused_time += now - self.armed_at;
+        self.target.take()
+    }
+
+    /// Reverse writes captured.
+    pub fn snarfs(&self) -> u64 {
+        self.snarfs.get()
+    }
+
+    /// Total time request issue was paused by the monitor.
+    pub fn paused_time(&self) -> Ps {
+        self.paused_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_dram() -> DramModule {
+        DramModule::new(DramConfig { refresh_enabled: false, ..DramConfig::default() })
+    }
+
+    #[test]
+    fn plan_has_one_cas_per_line_and_activates_per_row() {
+        let dram = quiet_dram();
+        let mut generator = DdrSequenceGenerator::new(128);
+        // 4 KB page over 2 KB rows: 2 rows -> 2 activates, 32 CAS.
+        let seq = generator.plan_page(&dram, Addr::new(0), 4096, MemKind::Read);
+        let activates = seq.iter().filter(|c| matches!(c, DdrCommand::Activate { .. })).count();
+        let reads = seq.iter().filter(|c| matches!(c, DdrCommand::Read { .. })).count();
+        assert_eq!(activates, 2);
+        assert_eq!(reads, 32);
+        assert_eq!(generator.commands_issued(), 34);
+    }
+
+    #[test]
+    fn plan_precharges_only_on_same_bank_row_change() {
+        let dram = quiet_dram();
+        let mut generator = DdrSequenceGenerator::new(128);
+        // Consecutive 2 KB rows land in different banks, so no precharge.
+        let seq = generator.plan_page(&dram, Addr::new(0), 4096, MemKind::Write);
+        assert!(!seq.iter().any(|c| matches!(c, DdrCommand::Precharge { .. })));
+        let writes = seq.iter().filter(|c| matches!(c, DdrCommand::Write { .. })).count();
+        assert_eq!(writes, 32);
+    }
+
+    #[test]
+    fn execute_page_times_match_module_accounting() {
+        let mut dram = quiet_dram();
+        let mut generator = DdrSequenceGenerator::new(128);
+        let done = generator.execute_page(&mut dram, Ps::ZERO, Addr::new(0), 4096, MemKind::Write);
+        assert!(done >= Ps::from_ns(36), "at least one activate + CAS");
+        assert_eq!(dram.writes(), 32);
+        assert_eq!(generator.pages_processed(), 1);
+    }
+
+    #[test]
+    fn monitor_full_cycle() {
+        let mut monitor = DdrMonitor::new();
+        monitor.arm(Ps::from_ns(10), Addr::new(0x80));
+        monitor.begin_snarf(Ps::from_ns(12));
+        let got = monitor.complete(Ps::from_ns(20));
+        assert_eq!(got, Some(Addr::new(0x80)));
+        assert_eq!(monitor.snarfs(), 1);
+        assert_eq!(monitor.paused_time(), Ps::from_ns(10));
+        // Reusable after completion.
+        monitor.arm(Ps::from_ns(30), Addr::new(0x100));
+        assert_eq!(monitor.state(), MonitorState::Armed);
+    }
+
+    #[test]
+    #[should_panic(expected = "already engaged")]
+    fn monitor_rejects_double_arm() {
+        let mut monitor = DdrMonitor::new();
+        monitor.arm(Ps::ZERO, Addr::new(0));
+        monitor.arm(Ps::ZERO, Addr::new(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "snarf without arming")]
+    fn monitor_rejects_unarmed_snarf() {
+        let mut monitor = DdrMonitor::new();
+        monitor.begin_snarf(Ps::ZERO);
+    }
+}

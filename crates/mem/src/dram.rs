@@ -1,0 +1,573 @@
+//! Banked DRAM module with row-buffer timing.
+//!
+//! Models a GDDR-class DRAM device at the level the paper's evaluation
+//! needs: per-bank row buffers with activate/precharge/CAS timing from
+//! Table I (tRCD 25 ns, tRP 10 ns, tCL 11 ns, tRRD 5 ns), plus periodic
+//! refresh. Data burst serialisation is *not* modelled here — it belongs to
+//! whichever channel (electrical or optical) carries the burst, and is
+//! booked by the memory controller.
+
+use ohm_sim::{Addr, Calendar, Counter, Ps};
+
+use crate::protocol::MemKind;
+
+/// DRAM core timing parameters.
+///
+/// Defaults are the paper's Table I values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Row activate delay (RAS-to-CAS).
+    pub trcd: Ps,
+    /// Precharge delay.
+    pub trp: Ps,
+    /// CAS (column access) latency.
+    pub tcl: Ps,
+    /// Activate-to-activate delay between different banks.
+    pub trrd: Ps,
+    /// Minimum row-open time (activate to precharge).
+    pub tras: Ps,
+    /// Write recovery: last write data to precharge.
+    pub twr: Ps,
+    /// Four-activate window: at most four activates per tFAW.
+    pub tfaw: Ps,
+    /// Average refresh interval (one refresh command per tREFI).
+    pub trefi: Ps,
+    /// Refresh cycle time (all banks busy).
+    pub trfc: Ps,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        DramTiming {
+            trcd: Ps::from_ns(25),
+            trp: Ps::from_ns(10),
+            tcl: Ps::from_ns(11),
+            trrd: Ps::from_ns(5),
+            tras: Ps::from_ns(32),
+            twr: Ps::from_ns(15),
+            tfaw: Ps::from_ns(20),
+            trefi: Ps::from_ns(7_800),
+            trfc: Ps::from_ns(350),
+        }
+    }
+}
+
+/// Static organisation of a DRAM module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Core timing.
+    pub timing: DramTiming,
+    /// Number of banks (total, across all ranks).
+    pub banks: usize,
+    /// Number of ranks (devices): tRRD and tFAW apply per rank.
+    pub ranks: usize,
+    /// Row (page) size in bytes. Must be a power of two.
+    pub row_bytes: u64,
+    /// Module capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Whether periodic refresh is simulated.
+    pub refresh_enabled: bool,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            timing: DramTiming::default(),
+            banks: 16,
+            ranks: 1,
+            row_bytes: 2048,
+            capacity_bytes: 4 << 30,
+            refresh_enabled: true,
+        }
+    }
+}
+
+/// The outcome of a DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAccess {
+    /// When the bank began servicing the access.
+    pub start: Ps,
+    /// When data is available in the row buffer (read) or written (write).
+    pub data_at: Ps,
+    /// Whether the access hit the open row.
+    pub row_hit: bool,
+    /// Bank index that serviced the access.
+    pub bank: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Bank {
+    cal: Calendar,
+    open_row: Option<u64>,
+    /// When the open row was activated (tRAS floor for the next precharge).
+    activated_at: Ps,
+    /// End of the last write burst in the open row (tWR floor).
+    last_write_end: Ps,
+}
+
+/// A banked DRAM module.
+///
+/// # Example
+///
+/// ```
+/// use ohm_mem::{DramConfig, DramModule, MemKind};
+/// use ohm_sim::{Addr, Ps};
+///
+/// let mut dram = DramModule::new(DramConfig { refresh_enabled: false, ..DramConfig::default() });
+/// let first = dram.access(Ps::ZERO, Addr::new(0), MemKind::Read);
+/// assert!(!first.row_hit); // cold bank: activate + CAS
+/// let second = dram.access(first.data_at, Addr::new(64), MemKind::Read);
+/// assert!(second.row_hit); // same row: CAS only
+/// assert!(second.data_at - second.start < first.data_at - first.start);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModule {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    /// Enforces tRRD between activates across banks, one gate per rank.
+    activate_gates: Vec<Calendar>,
+    /// Start times of recent activates (tFAW sliding window), per rank.
+    faw_windows: Vec<std::collections::VecDeque<Ps>>,
+    next_refresh: Ps,
+    row_hits: Counter,
+    row_misses: Counter,
+    row_conflicts: Counter,
+    activations: Counter,
+    reads: Counter,
+    writes: Counter,
+    refreshes: Counter,
+}
+
+impl DramModule {
+    /// Creates an idle module with all banks precharged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks or a non-power-of-two row
+    /// size.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.banks > 0, "DRAM must have at least one bank");
+        assert!(cfg.ranks > 0, "DRAM must have at least one rank");
+        assert!(cfg.banks.is_multiple_of(cfg.ranks), "banks must divide evenly into ranks");
+        assert!(cfg.row_bytes.is_power_of_two(), "row size must be a power of two");
+        DramModule {
+            banks: vec![
+                Bank {
+                    cal: Calendar::new(),
+                    open_row: None,
+                    activated_at: Ps::ZERO,
+                    last_write_end: Ps::ZERO,
+                };
+                cfg.banks
+            ],
+            activate_gates: vec![Calendar::new(); cfg.ranks],
+            faw_windows: vec![std::collections::VecDeque::new(); cfg.ranks],
+            next_refresh: cfg.timing.trefi,
+            cfg,
+            row_hits: Counter::new(),
+            row_misses: Counter::new(),
+            row_conflicts: Counter::new(),
+            activations: Counter::new(),
+            reads: Counter::new(),
+            writes: Counter::new(),
+            refreshes: Counter::new(),
+        }
+    }
+
+    /// The module configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    fn decode(&self, addr: Addr) -> (usize, u64) {
+        let row_index = addr.block_index(self.cfg.row_bytes);
+        let bank = (row_index % self.cfg.banks as u64) as usize;
+        let row = row_index / self.cfg.banks as u64;
+        (bank, row)
+    }
+
+    fn rank_of(&self, bank: usize) -> usize {
+        bank / (self.cfg.banks / self.cfg.ranks)
+    }
+
+    fn maybe_refresh(&mut self, now: Ps) {
+        if !self.cfg.refresh_enabled {
+            return;
+        }
+        while now >= self.next_refresh {
+            let at = self.next_refresh;
+            for bank in &mut self.banks {
+                bank.cal.book(at, self.cfg.timing.trfc);
+                bank.open_row = None;
+            }
+            self.refreshes.incr();
+            self.next_refresh += self.cfg.timing.trefi;
+        }
+    }
+
+    /// Performs a line access (read or write) at simulated time `now`.
+    ///
+    /// Row-buffer policy is open-page: the accessed row stays open.
+    /// The returned [`DramAccess::data_at`] excludes channel burst time.
+    pub fn access(&mut self, now: Ps, addr: Addr, kind: MemKind) -> DramAccess {
+        self.maybe_refresh(now);
+        let (bank_idx, row) = self.decode(addr);
+        let rank = self.rank_of(bank_idx);
+        let t = self.cfg.timing;
+        let bank = &mut self.banks[bank_idx];
+
+        let (row_hit, latency) = match bank.open_row {
+            Some(open) if open == row => (true, t.tcl),
+            Some(_) => (false, t.trp + t.trcd + t.tcl),
+            None => (false, t.trcd + t.tcl),
+        };
+
+        let ready = if row_hit {
+            now
+        } else {
+            // The precharge closing the old row must respect tRAS (row
+            // open long enough) and tWR (write recovery).
+            let mut ready = now;
+            if bank.open_row.is_some() {
+                ready = ready
+                    .max(bank.activated_at + t.tras)
+                    .max(bank.last_write_end + t.twr);
+            }
+            // The activate needs a tRRD slot on its rank's gate...
+            let (_, gate_end) = self.activate_gates[rank].book(ready, t.trrd);
+            let mut ready = gate_end - t.trrd;
+            // ...and must respect the rank's four-activate window (tFAW).
+            let faw = &mut self.faw_windows[rank];
+            while let Some(&front) = faw.front() {
+                if front + t.tfaw <= ready || faw.len() < 4 {
+                    if faw.len() >= 4 {
+                        faw.pop_front();
+                    }
+                    break;
+                }
+                ready = front + t.tfaw;
+                faw.pop_front();
+            }
+            self.activations.incr();
+            ready
+        };
+
+        let (start, end) = bank.cal.book(ready, latency);
+        if row_hit {
+            self.row_hits.incr();
+        } else if bank.open_row.is_some() {
+            self.row_conflicts.incr();
+        } else {
+            self.row_misses.incr();
+        }
+        if !row_hit {
+            // The activate lands right before the CAS completes its tRCD.
+            let t_act = end - t.tcl - t.trcd;
+            self.banks[bank_idx].activated_at = t_act;
+            let faw = &mut self.faw_windows[rank];
+            faw.push_back(t_act);
+            if faw.len() > 4 {
+                faw.pop_front();
+            }
+        }
+        let bank = &mut self.banks[bank_idx];
+        bank.open_row = Some(row);
+        if matches!(kind, MemKind::Write) {
+            bank.last_write_end = bank.last_write_end.max(end);
+        }
+        match kind {
+            MemKind::Read => self.reads.incr(),
+            MemKind::Write => self.writes.incr(),
+        }
+        DramAccess { start, data_at: end, row_hit, bank: bank_idx }
+    }
+
+    /// Precharges and activates the row containing `addr`, leaving the bank
+    /// with the row open — the memory controller uses this to preset a bank
+    /// to a stable state before issuing `SWAP-CMD` (paper, Figure 11 step 1).
+    ///
+    /// Returns the time at which the row is open and stable.
+    pub fn preset_row(&mut self, now: Ps, addr: Addr) -> Ps {
+        self.maybe_refresh(now);
+        let (bank_idx, row) = self.decode(addr);
+        let rank = self.rank_of(bank_idx);
+        let t = self.cfg.timing;
+        let bank = &mut self.banks[bank_idx];
+        if bank.open_row == Some(row) {
+            return bank.cal.next_free().max(now);
+        }
+        let had_open = bank.open_row.is_some();
+        let ready = if had_open {
+            now.max(bank.activated_at + t.tras).max(bank.last_write_end + t.twr)
+        } else {
+            now
+        };
+        let latency = if had_open { t.trp + t.trcd } else { t.trcd };
+        let (_, gate_end) = self.activate_gates[rank].book(ready, t.trrd);
+        self.activations.incr();
+        let (_, end) = bank.cal.book(gate_end - t.trrd, latency);
+        bank.open_row = Some(row);
+        bank.activated_at = end - t.trcd;
+        if had_open {
+            self.row_conflicts.incr();
+        } else {
+            self.row_misses.incr();
+        }
+        end
+    }
+
+    /// Whether the row containing `addr` is currently open in its bank.
+    pub fn row_is_open(&self, addr: Addr) -> bool {
+        let (bank, row) = self.decode(addr);
+        self.banks[bank].open_row == Some(row)
+    }
+
+    /// Blocks the bank containing `addr` until `until` (used by the
+    /// conflict-detection logic while a delegated migration owns the bank).
+    pub fn reserve_bank(&mut self, addr: Addr, until: Ps) {
+        let (bank, _) = self.decode(addr);
+        self.banks[bank].cal.block_until(until);
+    }
+
+    /// When the bank containing `addr` next becomes free.
+    pub fn bank_free_at(&self, addr: Addr) -> Ps {
+        let (bank, _) = self.decode(addr);
+        self.banks[bank].cal.next_free()
+    }
+
+    /// Row-buffer hit count.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits.get()
+    }
+
+    /// Accesses to a precharged (empty) bank.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses.get()
+    }
+
+    /// Accesses that had to close another open row first.
+    pub fn row_conflicts(&self) -> u64 {
+        self.row_conflicts.get()
+    }
+
+    /// Total row activations performed.
+    pub fn activations(&self) -> u64 {
+        self.activations.get()
+    }
+
+    /// Read accesses serviced.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Write accesses serviced.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Refresh operations performed.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes.get()
+    }
+
+    /// Total busy time across all banks (for utilisation reporting).
+    pub fn busy_time(&self) -> Ps {
+        self.banks.iter().map(|b| b.cal.busy_time()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg() -> DramConfig {
+        DramConfig { refresh_enabled: false, ..DramConfig::default() }
+    }
+
+    #[test]
+    fn cold_access_pays_activate() {
+        let mut d = DramModule::new(quiet_cfg());
+        let a = d.access(Ps::ZERO, Addr::new(0), MemKind::Read);
+        // tRCD + tCL = 36 ns
+        assert_eq!(a.data_at - a.start, Ps::from_ns(36));
+        assert!(!a.row_hit);
+        assert_eq!(d.row_misses(), 1);
+    }
+
+    #[test]
+    fn row_hit_pays_cas_only() {
+        let mut d = DramModule::new(quiet_cfg());
+        let a = d.access(Ps::ZERO, Addr::new(0), MemKind::Read);
+        let b = d.access(a.data_at, Addr::new(128), MemKind::Read);
+        assert!(b.row_hit);
+        assert_eq!(b.data_at - b.start, Ps::from_ns(11));
+        assert_eq!(d.row_hits(), 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let cfg = quiet_cfg();
+        let row_stride = cfg.row_bytes * cfg.banks as u64; // same bank, next row
+        let mut d = DramModule::new(cfg);
+        let a = d.access(Ps::ZERO, Addr::new(0), MemKind::Read);
+        let b = d.access(a.data_at, Addr::new(row_stride), MemKind::Read);
+        assert!(!b.row_hit);
+        // tRP + tRCD + tCL = 46 ns
+        assert_eq!(b.data_at - b.start, Ps::from_ns(46));
+        assert_eq!(d.row_conflicts(), 1);
+    }
+
+    #[test]
+    fn different_banks_overlap_but_respect_trrd() {
+        let cfg = quiet_cfg();
+        let mut d = DramModule::new(cfg);
+        let a = d.access(Ps::ZERO, Addr::new(0), MemKind::Read);
+        // Next bank: different row_bytes-sized block.
+        let b = d.access(Ps::ZERO, Addr::new(cfg.row_bytes), MemKind::Read);
+        assert_eq!(a.bank, 0);
+        assert_eq!(b.bank, 1);
+        // Bank 1's activate is delayed by tRRD relative to bank 0's.
+        assert_eq!(b.start - a.start, cfg.timing.trrd);
+        // But they overlap: b starts before a completes.
+        assert!(b.start < a.data_at);
+    }
+
+    #[test]
+    fn same_bank_serialises() {
+        let cfg = quiet_cfg();
+        let row_stride = cfg.row_bytes * cfg.banks as u64;
+        let mut d = DramModule::new(cfg);
+        let a = d.access(Ps::ZERO, Addr::new(0), MemKind::Read);
+        let b = d.access(Ps::ZERO, Addr::new(row_stride * 2), MemKind::Read);
+        assert_eq!(a.bank, b.bank);
+        assert!(b.start >= a.data_at);
+    }
+
+    #[test]
+    fn refresh_closes_rows_and_blocks() {
+        let cfg = DramConfig::default();
+        let mut d = DramModule::new(cfg);
+        let a = d.access(Ps::ZERO, Addr::new(0), MemKind::Read);
+        assert!(!a.row_hit);
+        // Jump past the first refresh interval: the open row must be gone.
+        let later = cfg.timing.trefi + Ps::from_ns(1);
+        let b = d.access(later, Addr::new(0), MemKind::Read);
+        assert!(!b.row_hit, "refresh should close the open row");
+        assert!(d.refreshes() >= 1);
+        // The access is pushed behind the refresh.
+        assert!(b.start >= cfg.timing.trefi + cfg.timing.trfc);
+    }
+
+    #[test]
+    fn preset_row_makes_following_access_a_hit() {
+        let mut d = DramModule::new(quiet_cfg());
+        let open_at = d.preset_row(Ps::ZERO, Addr::new(4096));
+        let a = d.access(open_at, Addr::new(4096), MemKind::Write);
+        assert!(a.row_hit);
+        assert!(d.row_is_open(Addr::new(4096)));
+    }
+
+    #[test]
+    fn reserve_bank_delays_access() {
+        let mut d = DramModule::new(quiet_cfg());
+        d.reserve_bank(Addr::new(0), Ps::from_us(5));
+        let a = d.access(Ps::ZERO, Addr::new(0), MemKind::Read);
+        assert!(a.start >= Ps::from_us(5));
+        assert_eq!(d.bank_free_at(Addr::new(64)), a.data_at);
+    }
+
+    #[test]
+    fn tras_delays_early_conflict() {
+        let cfg = quiet_cfg();
+        let row_stride = cfg.row_bytes * cfg.banks as u64;
+        let mut d = DramModule::new(cfg);
+        let a = d.access(Ps::ZERO, Addr::new(0), MemKind::Read);
+        // Conflict immediately after the data: the precharge must wait for
+        // tRAS from the activate (activate at data_at - tCL - tRCD = 0).
+        let b = d.access(a.data_at, Addr::new(row_stride), MemKind::Read);
+        assert!(
+            b.start >= cfg.timing.tras,
+            "precharge before tRAS: start {} < {}",
+            b.start,
+            cfg.timing.tras
+        );
+    }
+
+    #[test]
+    fn twr_delays_precharge_after_write() {
+        let cfg = quiet_cfg();
+        let row_stride = cfg.row_bytes * cfg.banks as u64;
+        let mut d = DramModule::new(cfg);
+        let w = d.access(Ps::ZERO, Addr::new(0), MemKind::Write);
+        let b = d.access(w.data_at, Addr::new(row_stride), MemKind::Read);
+        assert!(
+            b.start >= w.data_at + cfg.timing.twr,
+            "write recovery violated: {} < {}",
+            b.start,
+            w.data_at + cfg.timing.twr
+        );
+    }
+
+    #[test]
+    fn tfaw_limits_activate_bursts() {
+        let cfg = quiet_cfg();
+        let mut d = DramModule::new(cfg);
+        // Five activates to five different banks at t=0: the fifth must
+        // wait for the tFAW window to roll past the first.
+        let mut starts = Vec::new();
+        for bank in 0..5u64 {
+            let acc = d.access(Ps::ZERO, Addr::new(bank * cfg.row_bytes), MemKind::Read);
+            starts.push(acc.start);
+        }
+        let act0 = starts[0] + cfg.timing.trcd - cfg.timing.trcd; // activate ~ start
+        assert!(
+            starts[4] >= act0 + cfg.timing.tfaw,
+            "fifth activate inside tFAW: {} < {}",
+            starts[4],
+            act0 + cfg.timing.tfaw
+        );
+        // The first four proceed at tRRD spacing.
+        assert_eq!(starts[1] - starts[0], cfg.timing.trrd);
+    }
+
+    #[test]
+    fn ranks_have_independent_activate_windows() {
+        // Same workload, one vs four ranks: the four-rank module issues
+        // activate bursts in parallel tFAW domains.
+        let one = DramConfig { refresh_enabled: false, banks: 16, ranks: 1, ..DramConfig::default() };
+        let four = DramConfig { refresh_enabled: false, banks: 16, ranks: 4, ..DramConfig::default() };
+        let mut d1 = DramModule::new(one);
+        let mut d4 = DramModule::new(four);
+        let mut last1 = Ps::ZERO;
+        let mut last4 = Ps::ZERO;
+        for bank in 0..8u64 {
+            let a = Addr::new(bank * one.row_bytes);
+            last1 = last1.max(d1.access(Ps::ZERO, a, MemKind::Read).start);
+            last4 = last4.max(d4.access(Ps::ZERO, a, MemKind::Read).start);
+        }
+        assert!(last4 < last1, "four ranks must start bursts sooner: {last4} vs {last1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_ranks_rejected() {
+        let _ = DramModule::new(DramConfig { banks: 16, ranks: 3, ..DramConfig::default() });
+    }
+
+    #[test]
+    fn counters_track_kinds() {
+        let mut d = DramModule::new(quiet_cfg());
+        d.access(Ps::ZERO, Addr::new(0), MemKind::Read);
+        d.access(Ps::ZERO, Addr::new(64), MemKind::Write);
+        assert_eq!(d.reads(), 1);
+        assert_eq!(d.writes(), 1);
+        assert_eq!(d.activations(), 1); // second access was a row hit
+        assert!(d.busy_time() > Ps::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let _ = DramModule::new(DramConfig { banks: 0, ..DramConfig::default() });
+    }
+}

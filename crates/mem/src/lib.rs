@@ -1,0 +1,42 @@
+//! Memory device models for the Ohm-GPU reproduction.
+//!
+//! This crate implements the heterogeneous-memory substrate the paper
+//! builds on (its Section II-C and Figure 4):
+//!
+//! * [`dram`] — a banked DRAM module with row buffers and the Table I
+//!   timing parameters (tRCD 25 ns, tRP 10 ns, tCL 11 ns, tRRD 5 ns) plus
+//!   periodic refresh.
+//! * [`xpoint`] — the 3D XPoint media model: 190 ns reads, 763 ns writes,
+//!   per-partition service, a read buffer and a persistent write buffer
+//!   (the asymmetric-frequency decoupling of the XPoint controller).
+//! * [`wear`] — Start-Gap wear leveling [Qureshi et al., MICRO'09], the
+//!   scheme the paper adopts to avoid a DRAM-resident mapping table, plus
+//!   endurance accounting.
+//! * [`xpoint_ctrl`] — the XPoint controller: address translation through
+//!   Start-Gap, buffering, the DDR-T asynchronous handshake, the *snarf*
+//!   capability used by auto-read/write, and the DDR sequence generator
+//!   used by the swap function.
+//! * [`protocol`] — DDR command and DDR-T message vocabulary, including the
+//!   paper's new `SWAP-CMD`.
+//! * [`serdes`] — the SerDes + 16 KB register front-end that adapts
+//!   parallel memory devices to the serial optical channel.
+//! * [`ddr_seq`] — the DDR sequence generator (swap function) and the DDR
+//!   monitor (reverse write) of Section V-A.
+
+#![warn(missing_docs)]
+
+pub mod ddr_seq;
+pub mod dram;
+pub mod protocol;
+pub mod serdes;
+pub mod wear;
+pub mod xpoint;
+pub mod xpoint_ctrl;
+
+pub use ddr_seq::{DdrMonitor, DdrSequenceGenerator, MonitorState};
+pub use dram::{DramAccess, DramConfig, DramModule, DramTiming};
+pub use protocol::{DdrCommand, DdrTMessage, MemKind, SwapCmd};
+pub use serdes::SerdesFrontend;
+pub use wear::{StartGap, WearStats};
+pub use xpoint::{XPointConfig, XPointMedia};
+pub use xpoint_ctrl::{XPointController, XpCompletion};

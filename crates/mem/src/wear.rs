@@ -1,0 +1,312 @@
+//! Start-Gap wear leveling.
+//!
+//! The paper's XPoint controller adopts a Start-Gap scheme inspired by
+//! [Qureshi et al., MICRO'09]: instead of a DRAM-resident mapping table, two
+//! registers (`start`, `gap`) define an algebraic logical→physical mapping
+//! over `N` lines plus one spare (the *gap*). Every `psi` writes the gap
+//! walks one position, slowly rotating the whole address space so that hot
+//! lines spread their wear across the media. This lets Ohm-GPU's
+//! logic-layer XPoint controller "fully eliminate the usage of the DRAM
+//! buffer" for translation metadata (Section III-A).
+
+use ohm_sim::{Addr, Counter};
+
+/// Number of coarse wear-tracking buckets (physical lines are folded into
+/// these so endurance accounting stays O(1) in memory for huge modules).
+const WEAR_BUCKETS: usize = 4096;
+
+/// A physical data movement required by a gap rotation: the line at
+/// `from` must be copied to `to` (one media read + one media write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapMove {
+    /// Physical source slot.
+    pub from: u64,
+    /// Physical destination slot (the old gap position).
+    pub to: u64,
+}
+
+/// Endurance summary derived from per-bucket write counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearStats {
+    /// Total line writes observed (including gap-move copies).
+    pub total_writes: u64,
+    /// Mean writes per bucket.
+    pub mean_bucket_writes: f64,
+    /// Maximum writes in any bucket.
+    pub max_bucket_writes: u64,
+    /// Max/mean ratio — 1.0 is perfectly even wear.
+    pub imbalance: f64,
+    /// Gap rotations performed so far.
+    pub gap_moves: u64,
+}
+
+/// Start-Gap address translation over `lines` logical lines backed by
+/// `lines + 1` physical slots.
+///
+/// # Example
+///
+/// ```
+/// use ohm_mem::StartGap;
+///
+/// let mut sg = StartGap::new(8, 4); // 8 lines, rotate every 4 writes
+/// let before = sg.translate(3);
+/// for _ in 0..4 { sg.record_write(3); }
+/// // After one rotation some line has moved; the mapping stays injective.
+/// let mapped: std::collections::BTreeSet<u64> = (0..8).map(|l| sg.translate(l)).collect();
+/// assert_eq!(mapped.len(), 8);
+/// let _ = before;
+/// ```
+#[derive(Debug, Clone)]
+pub struct StartGap {
+    lines: u64,
+    start: u64,
+    gap: u64,
+    psi: u32,
+    writes_since_move: u32,
+    gap_moves: Counter,
+    total_writes: Counter,
+    bucket_writes: Vec<u64>,
+}
+
+impl StartGap {
+    /// Creates a mapper over `lines` logical lines that rotates the gap
+    /// every `psi` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or `psi` is zero.
+    pub fn new(lines: u64, psi: u32) -> Self {
+        assert!(lines > 0, "need at least one line");
+        assert!(psi > 0, "psi must be positive");
+        StartGap {
+            lines,
+            start: 0,
+            gap: lines, // gap begins at the spare (last) slot
+            psi,
+            writes_since_move: 0,
+            gap_moves: Counter::new(),
+            total_writes: Counter::new(),
+            bucket_writes: vec![0; WEAR_BUCKETS.min(lines as usize + 1)],
+        }
+    }
+
+    /// Number of logical lines.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Translates a logical line index to a physical slot in
+    /// `[0, lines]`; the slot equal to the current gap is never returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= lines`.
+    pub fn translate(&self, logical: u64) -> u64 {
+        assert!(logical < self.lines, "logical line out of range");
+        let rotated = (logical + self.start) % self.lines;
+        if rotated >= self.gap {
+            rotated + 1
+        } else {
+            rotated
+        }
+    }
+
+    /// Translates a logical byte address given the line size.
+    pub fn translate_addr(&self, addr: Addr, line_bytes: u64) -> Addr {
+        let logical = addr.block_index(line_bytes) % self.lines;
+        let phys = self.translate(logical);
+        Addr::from_block(phys, line_bytes).offset(addr.offset_in(line_bytes))
+    }
+
+    /// Records a line write to `logical`. Every `psi` writes this triggers
+    /// a gap rotation; the returned [`GapMove`] tells the caller which
+    /// physical copy (one read + one write on the media) must be performed.
+    pub fn record_write(&mut self, logical: u64) -> Option<GapMove> {
+        let phys = self.translate(logical);
+        self.count_bucket(phys);
+        self.total_writes.incr();
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.psi {
+            return None;
+        }
+        self.writes_since_move = 0;
+        Some(self.move_gap())
+    }
+
+    fn move_gap(&mut self) -> GapMove {
+        self.gap_moves.incr();
+        let mv = if self.gap == 0 {
+            // Wrap: the spare returns to the top and the rotation advances.
+            let mv = GapMove { from: self.lines, to: 0 };
+            self.gap = self.lines;
+            self.start = (self.start + 1) % self.lines;
+            mv
+        } else {
+            let mv = GapMove { from: self.gap - 1, to: self.gap };
+            self.gap -= 1;
+            mv
+        };
+        // The copy itself writes the destination slot.
+        self.count_bucket(mv.to);
+        self.total_writes.incr();
+        mv
+    }
+
+    fn count_bucket(&mut self, phys: u64) {
+        let n = self.bucket_writes.len() as u64;
+        self.bucket_writes[(phys % n) as usize] += 1;
+    }
+
+    /// Gap rotations performed so far.
+    pub fn gap_moves(&self) -> u64 {
+        self.gap_moves.get()
+    }
+
+    /// Estimated media lifetime in seconds: with the observed write rate
+    /// and imbalance, how long until the hottest line exhausts
+    /// `endurance_writes` program cycles.
+    ///
+    /// Returns `None` when no writes (or no elapsed time) were observed.
+    pub fn lifetime_secs(&self, elapsed_secs: f64, endurance_writes: u64) -> Option<f64> {
+        if elapsed_secs <= 0.0 {
+            return None;
+        }
+        let stats = self.wear_stats();
+        if stats.total_writes == 0 || stats.max_bucket_writes == 0 {
+            return None;
+        }
+        // Hottest-bucket write rate, spread over the lines in a bucket.
+        let lines_per_bucket =
+            ((self.lines + 1) as f64 / self.bucket_writes.len() as f64).max(1.0);
+        let hottest_line_rate =
+            stats.max_bucket_writes as f64 / lines_per_bucket / elapsed_secs;
+        Some(endurance_writes as f64 / hottest_line_rate)
+    }
+
+    /// Endurance summary.
+    pub fn wear_stats(&self) -> WearStats {
+        let total = self.total_writes.get();
+        let max = self.bucket_writes.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / self.bucket_writes.len() as f64;
+        WearStats {
+            total_writes: total,
+            mean_bucket_writes: mean,
+            max_bucket_writes: max,
+            imbalance: if mean > 0.0 { max as f64 / mean } else { 1.0 },
+            gap_moves: self.gap_moves.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn initial_mapping_is_identity() {
+        let sg = StartGap::new(16, 100);
+        for l in 0..16 {
+            assert_eq!(sg.translate(l), l);
+        }
+    }
+
+    #[test]
+    fn mapping_is_injective_after_many_moves() {
+        let mut sg = StartGap::new(8, 1); // rotate on every write
+        for step in 0..100 {
+            sg.record_write(step % 8);
+            let mapped: BTreeSet<u64> = (0..8).map(|l| sg.translate(l)).collect();
+            assert_eq!(mapped.len(), 8, "collision after step {step}");
+            for &p in &mapped {
+                assert!(p <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn gap_is_never_mapped() {
+        let mut sg = StartGap::new(8, 1);
+        for step in 0..50 {
+            sg.record_write(step % 8);
+            let gap = (0..=8u64).find(|p| !(0..8).any(|l| sg.translate(l) == *p));
+            assert!(gap.is_some(), "some slot must be the unmapped gap");
+        }
+    }
+
+    #[test]
+    fn gap_move_happens_every_psi_writes() {
+        let mut sg = StartGap::new(8, 4);
+        assert!(sg.record_write(0).is_none());
+        assert!(sg.record_write(0).is_none());
+        assert!(sg.record_write(0).is_none());
+        let mv = sg.record_write(0);
+        assert_eq!(mv, Some(GapMove { from: 7, to: 8 }));
+        assert_eq!(sg.gap_moves(), 1);
+    }
+
+    #[test]
+    fn gap_wraps_and_rotation_advances() {
+        let lines = 4u64;
+        let mut sg = StartGap::new(lines, 1);
+        // Drive lines+1 moves: gap walks 3,2,1,0 then wraps.
+        let mut last = None;
+        for i in 0..(lines + 1) {
+            last = sg.record_write(i % lines);
+        }
+        assert_eq!(last, Some(GapMove { from: lines, to: 0 }));
+        // After the wrap, start has advanced: logical 0 no longer maps to 0.
+        assert_ne!(sg.translate(0), 0);
+    }
+
+    #[test]
+    fn translate_addr_preserves_offset() {
+        let sg = StartGap::new(64, 100);
+        let a = Addr::new(3 * 256 + 17);
+        let t = sg.translate_addr(a, 256);
+        assert_eq!(t.offset_in(256), 17);
+        assert_eq!(t.block_index(256), 3); // identity before any rotation
+    }
+
+    #[test]
+    fn hot_line_wear_spreads_over_time() {
+        // Hammer a single logical line; with rotation its physical position
+        // keeps changing, so no single bucket absorbs all writes.
+        let mut sg = StartGap::new(64, 8);
+        for _ in 0..64 * 64 {
+            sg.record_write(7);
+        }
+        let stats = sg.wear_stats();
+        // Without leveling, imbalance would be ~bucket_count; with start-gap
+        // the hot line visits many physical slots.
+        assert!(stats.imbalance < 40.0, "imbalance {}", stats.imbalance);
+        assert!(stats.gap_moves > 0);
+        assert_eq!(stats.total_writes, 64 * 64 + stats.gap_moves);
+    }
+
+    #[test]
+    fn lifetime_estimate_behaves() {
+        let mut sg = StartGap::new(1024, 16);
+        assert_eq!(sg.lifetime_secs(1.0, 1_000_000), None, "no writes yet");
+        for i in 0..10_000u64 {
+            sg.record_write(i % 1024);
+        }
+        let uniform = sg.lifetime_secs(1.0, 1_000_000).expect("writes observed");
+        assert!(uniform > 0.0);
+        // A hammered workload wears out faster than a uniform one.
+        let mut hot = StartGap::new(1024, 16);
+        for _ in 0..10_000u64 {
+            hot.record_write(7);
+        }
+        let hammered = hot.lifetime_secs(1.0, 1_000_000).expect("writes observed");
+        assert!(hammered < uniform, "hammered {hammered} vs uniform {uniform}");
+        assert_eq!(hot.lifetime_secs(0.0, 1_000_000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "logical line out of range")]
+    fn out_of_range_translate_panics() {
+        let sg = StartGap::new(4, 1);
+        let _ = sg.translate(4);
+    }
+}

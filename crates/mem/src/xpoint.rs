@@ -1,0 +1,345 @@
+//! 3D XPoint media model.
+//!
+//! The paper configures XPoint from real Optane DC PMM measurements
+//! [Izraelevitz et al.]: line reads take 190 ns and line writes 763 ns at
+//! the media (Table I, "PRAM read/write"). The media is organised into
+//! partitions that service accesses independently; a read buffer and a
+//! *persistent write buffer* in front of the media decouple the memory
+//! channel's clock from the media's (Section II-C). A write is
+//! acknowledged once it lands in the write buffer; the buffered line drains
+//! to the media in the background, and reads contend with drains for the
+//! partition.
+
+use std::collections::VecDeque;
+
+use ohm_sim::{Addr, Calendar, Counter, Ps};
+
+/// Static configuration of an XPoint module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XPointConfig {
+    /// Media line-read latency (Table I: 190 ns).
+    pub read_latency: Ps,
+    /// Media line-write latency (Table I: 763 ns).
+    pub write_latency: Ps,
+    /// Independent media partitions.
+    pub partitions: usize,
+    /// Depth of the read buffer, in lines (outstanding reads).
+    pub read_buffer_lines: usize,
+    /// Depth of the persistent write buffer, in lines.
+    pub write_buffer_lines: usize,
+    /// Module capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Line (access granule) size in bytes. Must be a power of two.
+    pub line_bytes: u64,
+}
+
+impl Default for XPointConfig {
+    fn default() -> Self {
+        XPointConfig {
+            read_latency: Ps::from_ns(190),
+            write_latency: Ps::from_ns(763),
+            partitions: 32,
+            read_buffer_lines: 64,
+            write_buffer_lines: 64,
+            capacity_bytes: 32 << 30,
+            line_bytes: 256,
+        }
+    }
+}
+
+/// The XPoint storage media with its partition service model and
+/// persistent write buffer.
+///
+/// Reads and buffered writes are serviced on separate per-partition
+/// planes: the controller prioritises latency-critical reads, draining
+/// the persistent write buffer in the background, so a read never queues
+/// behind a pending drain (each plane still serialises its own
+/// operations, preserving the 4x/6x read/write bandwidth asymmetry).
+///
+/// # Example
+///
+/// ```
+/// use ohm_mem::{XPointConfig, XPointMedia};
+/// use ohm_sim::{Addr, Ps};
+///
+/// let mut xp = XPointMedia::new(XPointConfig::default());
+/// let data_at = xp.read(Ps::ZERO, Addr::new(0));
+/// assert_eq!(data_at, Ps::from_ns(190));
+/// // A write is acknowledged immediately (buffered), drains in background.
+/// let ack = xp.write(Ps::ZERO, Addr::new(4096));
+/// assert_eq!(ack, Ps::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct XPointMedia {
+    cfg: XPointConfig,
+    read_planes: Vec<Calendar>,
+    write_planes: Vec<Calendar>,
+    /// Completion times of in-flight buffered writes (oldest first).
+    write_buffer: VecDeque<Ps>,
+    /// Completion times of in-flight reads (oldest first).
+    read_buffer: VecDeque<Ps>,
+    read_stalls: Counter,
+    reads: Counter,
+    writes: Counter,
+    write_stalls: Counter,
+    media_busy_reads: Ps,
+    media_busy_writes: Ps,
+}
+
+impl XPointMedia {
+    /// Creates an idle module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero partitions, a zero-depth write
+    /// buffer, or a non-power-of-two line size.
+    pub fn new(cfg: XPointConfig) -> Self {
+        assert!(cfg.partitions > 0, "XPoint must have at least one partition");
+        assert!(cfg.read_buffer_lines > 0, "read buffer must have at least one line");
+        assert!(cfg.write_buffer_lines > 0, "write buffer must have at least one line");
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        XPointMedia {
+            read_planes: vec![Calendar::new(); cfg.partitions],
+            write_planes: vec![Calendar::new(); cfg.partitions],
+            write_buffer: VecDeque::with_capacity(cfg.write_buffer_lines),
+            read_buffer: VecDeque::with_capacity(cfg.read_buffer_lines),
+            read_stalls: Counter::new(),
+            cfg,
+            reads: Counter::new(),
+            writes: Counter::new(),
+            write_stalls: Counter::new(),
+            media_busy_reads: Ps::ZERO,
+            media_busy_writes: Ps::ZERO,
+        }
+    }
+
+    /// The module configuration.
+    pub fn config(&self) -> &XPointConfig {
+        &self.cfg
+    }
+
+    fn partition_of(&self, addr: Addr) -> usize {
+        (addr.block_index(self.cfg.line_bytes) % self.cfg.partitions as u64) as usize
+    }
+
+    fn reclaim_buffer(&mut self, now: Ps) {
+        while let Some(&front) = self.write_buffer.front() {
+            if front <= now {
+                self.write_buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+        while let Some(&front) = self.read_buffer.front() {
+            if front <= now {
+                self.read_buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Reads the line containing `addr`; returns when data is available at
+    /// the module pins (excluding channel transfer).
+    pub fn read(&mut self, now: Ps, addr: Addr) -> Ps {
+        self.reclaim_buffer(now);
+        // The read buffer holds each outstanding read until its data
+        // leaves for the channel; a full buffer stalls admission.
+        let ready = if self.read_buffer.len() >= self.cfg.read_buffer_lines {
+            self.read_stalls.incr();
+            self.read_buffer.pop_front().expect("buffer non-empty").max(now)
+        } else {
+            now
+        };
+        let p = self.partition_of(addr);
+        let (_, end) = self.read_planes[p].book(ready, self.cfg.read_latency);
+        self.read_buffer.push_back(end);
+        self.reads.incr();
+        self.media_busy_reads += self.cfg.read_latency;
+        end
+    }
+
+    /// Writes the line containing `addr`; returns the acknowledgement time
+    /// (when the line is accepted into the persistent write buffer).
+    ///
+    /// If the write buffer is full, the acknowledgement stalls until the
+    /// oldest buffered write drains.
+    pub fn write(&mut self, now: Ps, addr: Addr) -> Ps {
+        self.reclaim_buffer(now);
+        let ack = if self.write_buffer.len() >= self.cfg.write_buffer_lines {
+            self.write_stalls.incr();
+            // Stall until the oldest buffered write completes.
+            self.write_buffer.pop_front().expect("buffer non-empty").max(now)
+        } else {
+            now
+        };
+        let p = self.partition_of(addr);
+        let (_, drain_done) = self.write_planes[p].book(ack, self.cfg.write_latency);
+        self.write_buffer.push_back(drain_done);
+        self.writes.incr();
+        self.media_busy_writes += self.cfg.write_latency;
+        ack
+    }
+
+    /// When all currently buffered writes will have drained to the media.
+    pub fn drained_at(&self) -> Ps {
+        self.write_buffer.back().copied().unwrap_or(Ps::ZERO)
+    }
+
+    /// Lines currently held in the persistent write buffer (as of the last
+    /// operation's timestamp).
+    pub fn buffered_writes(&self) -> usize {
+        self.write_buffer.len()
+    }
+
+    /// Media line reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Media line writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Writes that stalled on a full persistent write buffer.
+    pub fn write_stalls(&self) -> u64 {
+        self.write_stalls.get()
+    }
+
+    /// Reads that stalled on a full read buffer.
+    pub fn read_stalls(&self) -> u64 {
+        self.read_stalls.get()
+    }
+
+    /// Total media time spent on reads (for energy accounting).
+    pub fn media_busy_reads(&self) -> Ps {
+        self.media_busy_reads
+    }
+
+    /// Total media time spent on writes (for energy accounting).
+    pub fn media_busy_writes(&self) -> Ps {
+        self.media_busy_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> XPointConfig {
+        XPointConfig {
+            partitions: 2,
+            read_buffer_lines: 4,
+            write_buffer_lines: 2,
+            ..XPointConfig::default()
+        }
+    }
+
+    #[test]
+    fn read_takes_media_latency() {
+        let mut xp = XPointMedia::new(XPointConfig::default());
+        assert_eq!(xp.read(Ps::ZERO, Addr::new(0)), Ps::from_ns(190));
+        assert_eq!(xp.reads(), 1);
+    }
+
+    #[test]
+    fn reads_to_same_partition_serialise() {
+        let cfg = small_cfg();
+        let stride = cfg.line_bytes * cfg.partitions as u64;
+        let mut xp = XPointMedia::new(cfg);
+        let a = xp.read(Ps::ZERO, Addr::new(0));
+        let b = xp.read(Ps::ZERO, Addr::new(stride));
+        assert_eq!(a, Ps::from_ns(190));
+        assert_eq!(b, Ps::from_ns(380));
+    }
+
+    #[test]
+    fn reads_to_different_partitions_overlap() {
+        let cfg = small_cfg();
+        let mut xp = XPointMedia::new(cfg);
+        let a = xp.read(Ps::ZERO, Addr::new(0));
+        let b = xp.read(Ps::ZERO, Addr::new(cfg.line_bytes));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn writes_ack_fast_until_buffer_fills() {
+        let cfg = small_cfg(); // depth 2
+        let mut xp = XPointMedia::new(cfg);
+        let a1 = xp.write(Ps::ZERO, Addr::new(0));
+        let a2 = xp.write(Ps::ZERO, Addr::new(cfg.line_bytes));
+        assert_eq!(a1, Ps::ZERO);
+        assert_eq!(a2, Ps::ZERO);
+        // Third write: buffer full, stalls until the oldest drain (763 ns).
+        let a3 = xp.write(Ps::ZERO, Addr::new(2 * cfg.line_bytes));
+        assert_eq!(a3, Ps::from_ns(763));
+        assert_eq!(xp.write_stalls(), 1);
+    }
+
+    #[test]
+    fn buffer_reclaims_after_drain() {
+        let cfg = small_cfg();
+        let mut xp = XPointMedia::new(cfg);
+        xp.write(Ps::ZERO, Addr::new(0));
+        xp.write(Ps::ZERO, Addr::new(cfg.line_bytes));
+        assert_eq!(xp.buffered_writes(), 2);
+        // Long after both drains complete, a new write acks immediately.
+        let ack = xp.write(Ps::from_us(10), Addr::new(0));
+        assert_eq!(ack, Ps::from_us(10));
+        assert_eq!(xp.buffered_writes(), 1);
+    }
+
+    #[test]
+    fn reads_bypass_background_drains() {
+        // Read priority: a pending write drain does not delay a read to
+        // the same partition.
+        let cfg = small_cfg();
+        let mut xp = XPointMedia::new(cfg);
+        xp.write(Ps::ZERO, Addr::new(0)); // drain runs until 763 ns
+        let r = xp.read(Ps::ZERO, Addr::new(0));
+        assert_eq!(r, Ps::from_ns(190));
+    }
+
+    #[test]
+    fn full_read_buffer_stalls_admission() {
+        let cfg = XPointConfig {
+            partitions: 8,
+            read_buffer_lines: 2,
+            ..XPointConfig::default()
+        };
+        let mut xp = XPointMedia::new(cfg);
+        // Two reads to different partitions fill the buffer.
+        let a = xp.read(Ps::ZERO, Addr::new(0));
+        let b = xp.read(Ps::ZERO, Addr::new(cfg.line_bytes));
+        assert_eq!(a, b, "parallel partitions");
+        // The third admission waits for the oldest read to complete.
+        let c = xp.read(Ps::ZERO, Addr::new(2 * cfg.line_bytes));
+        assert_eq!(c, a + Ps::from_ns(190));
+        assert_eq!(xp.read_stalls(), 1);
+    }
+
+    #[test]
+    fn drained_at_tracks_last_write() {
+        let cfg = small_cfg();
+        let mut xp = XPointMedia::new(cfg);
+        assert_eq!(xp.drained_at(), Ps::ZERO);
+        xp.write(Ps::ZERO, Addr::new(0));
+        assert_eq!(xp.drained_at(), Ps::from_ns(763));
+    }
+
+    #[test]
+    fn busy_time_accounting() {
+        let mut xp = XPointMedia::new(small_cfg());
+        xp.read(Ps::ZERO, Addr::new(0));
+        xp.write(Ps::ZERO, Addr::new(0));
+        assert_eq!(xp.media_busy_reads(), Ps::from_ns(190));
+        assert_eq!(xp.media_busy_writes(), Ps::from_ns(763));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        let _ = XPointMedia::new(XPointConfig { partitions: 0, ..XPointConfig::default() });
+    }
+}

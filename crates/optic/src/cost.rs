@@ -1,0 +1,150 @@
+//! MRR layout counts (Figure 15) and photonic component costs (Table III).
+//!
+//! Supporting all three migration functions (auto-read/write, reverse-write
+//! and swap) between any DRAM/XPoint pair needs a general MRR array:
+//! conventional transmit/receive pairs plus half-coupled rings on both the
+//! forward and backward paths. The paper then specialises the array per
+//! operational mode — planar memory only needs the swap function,
+//! two-level memory only needs auto-read/write + reverse-write — cutting
+//! ring count by 58% and 42% respectively.
+//!
+//! We model the per-device-pair ring sets explicitly (from the Figure 15
+//! discussion: rings T3–T11 / R1–R11 minus the optional T9–T11) and expose
+//! the same reduction arithmetic; the fabrication cost per ring follows
+//! Table III ($3 per ~2,100 rings).
+
+/// The heterogeneous-memory operational mode (Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperationalMode {
+    /// DRAM and XPoint form one flat address space; DRAM pages swap with
+    /// hot XPoint pages (1:8 capacity ratio, 108 GB in the paper).
+    Planar,
+    /// DRAM is a direct-mapped inclusive cache of XPoint (1:64 ratio,
+    /// 390 GB in the paper).
+    TwoLevel,
+}
+
+/// MRR counts for one DRAM+XPoint device pair on one virtual channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrrLayout {
+    /// Fully-coupled transmitter rings.
+    pub full_transmitters: u32,
+    /// Half-coupled transmitter rings.
+    pub half_transmitters: u32,
+    /// Fully-coupled receiver rings.
+    pub full_receivers: u32,
+    /// Half-coupled receiver rings.
+    pub half_receivers: u32,
+}
+
+impl MrrLayout {
+    /// The general design supporting all three functions on any pair
+    /// (Figure 15a, required rings only: the text notes T9–T11 are
+    /// optional parallelism helpers).
+    pub fn general() -> Self {
+        // DRAM: T3,T4 + XPoint: T5..T8 => 3 full + 5 half transmitters;
+        // R1..R8 conventional/half mix + R11 => 5 full + 6 half receivers.
+        MrrLayout {
+            full_transmitters: 3,
+            half_transmitters: 5,
+            full_receivers: 5,
+            half_receivers: 6,
+        }
+    }
+
+    /// The mode-specialised design (Figure 15b).
+    pub fn for_mode(mode: OperationalMode) -> Self {
+        match mode {
+            // Planar only needs the swap function: conventional pairs plus
+            // half-coupled transmitters for the shared-light swap.
+            OperationalMode::Planar => MrrLayout {
+                full_transmitters: 2,
+                half_transmitters: 2,
+                full_receivers: 3,
+                half_receivers: 1,
+            },
+            // Two-level needs auto-read/write + reverse-write: conventional
+            // pairs plus half-coupled receivers on both paths.
+            OperationalMode::TwoLevel => MrrLayout {
+                full_transmitters: 3,
+                half_transmitters: 0,
+                full_receivers: 4,
+                half_receivers: 4,
+            },
+        }
+    }
+
+    /// Total rings in this layout.
+    pub fn total(&self) -> u32 {
+        self.full_transmitters + self.half_transmitters + self.full_receivers + self.half_receivers
+    }
+
+    /// Total transmitter rings.
+    pub fn transmitters(&self) -> u32 {
+        self.full_transmitters + self.half_transmitters
+    }
+
+    /// Total receiver rings.
+    pub fn receivers(&self) -> u32 {
+        self.full_receivers + self.half_receivers
+    }
+
+    /// Ring-count reduction of this layout relative to the general design.
+    pub fn reduction_vs_general(&self) -> f64 {
+        let general = MrrLayout::general().total() as f64;
+        1.0 - self.total() as f64 / general
+    }
+}
+
+/// Fabrication cost of micro-rings in dollars (Table III: ~2,100 rings for
+/// $3, after [Hausken]).
+pub const MRR_UNIT_COST_USD: f64 = 3.0 / 2112.0;
+
+/// Cost of a VCSEL laser source array (Table III).
+pub const VCSEL_COST_USD: f64 = 100.0;
+
+/// Dollar cost of `rings` micro-rings.
+pub fn mrr_cost_usd(rings: u64) -> f64 {
+    rings as f64 * MRR_UNIT_COST_USD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_layout_total() {
+        let g = MrrLayout::general();
+        assert_eq!(g.total(), 19);
+        assert_eq!(g.transmitters(), 8);
+        assert_eq!(g.receivers(), 11);
+    }
+
+    #[test]
+    fn planar_reduction_matches_paper_58pct() {
+        let r = MrrLayout::for_mode(OperationalMode::Planar).reduction_vs_general();
+        assert!((r - 0.58).abs() < 0.01, "planar reduction {r}");
+    }
+
+    #[test]
+    fn two_level_reduction_matches_paper_42pct() {
+        let r = MrrLayout::for_mode(OperationalMode::TwoLevel).reduction_vs_general();
+        assert!((r - 0.42).abs() < 0.01, "two-level reduction {r}");
+    }
+
+    #[test]
+    fn specialised_layouts_are_subsets_in_size() {
+        let g = MrrLayout::general().total();
+        for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+            assert!(MrrLayout::for_mode(mode).total() < g);
+        }
+    }
+
+    #[test]
+    fn mrr_costs_match_table3_scale() {
+        // Table III: 2,112 modulators cost ~$3.
+        let c = mrr_cost_usd(2112);
+        assert!((c - 3.0).abs() < 1e-9);
+        assert!(mrr_cost_usd(4928) > mrr_cost_usd(2368));
+    }
+}

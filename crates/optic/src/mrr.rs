@@ -1,0 +1,177 @@
+//! Micro-ring resonator (MRR) model.
+//!
+//! MRRs implement both photonic modulators (transmitters) and detectors
+//! (receivers). A ring tuned to full resonance with a wavelength couples
+//! (absorbs) all of its light; tuned off resonance it passes the light
+//! untouched. Ohm-GPU additionally uses *half-coupled* rings (HCMRR,
+//! Section IV-C, after [Peter et al.]): tuned slightly off the carrier
+//! (λ₀′), a ring absorbs only part of the light, letting the rest travel
+//! on to a second device — the physical basis of the dual routes.
+//!
+//! Timing: switching between coupled and non-coupled costs ~100 ps; the
+//! fine-granule tuning required to hit the half-coupled point costs 500 ps
+//! (the paper's motivation for deploying *arrays* of pre-tuned rings
+//! instead of retuning one ring on the fly). Tuning energy is 200 fJ/bit
+//! (Table I).
+
+use ohm_sim::Ps;
+
+/// Coupling state of a ring relative to a carrier wavelength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CouplingState {
+    /// Fully absorbs the carrier (modulating a `0`, or detecting).
+    Coupled,
+    /// Absorbs half the carrier power, passing the rest downstream.
+    HalfCoupled,
+    /// Passes the carrier untouched.
+    #[default]
+    NonCoupled,
+}
+
+impl CouplingState {
+    /// Fraction of incident power that continues past the ring.
+    pub fn pass_fraction(self) -> f64 {
+        match self {
+            CouplingState::Coupled => 0.0,
+            CouplingState::HalfCoupled => 0.5,
+            CouplingState::NonCoupled => 1.0,
+        }
+    }
+
+    /// Fraction of incident power absorbed by the ring.
+    pub fn absorb_fraction(self) -> f64 {
+        1.0 - self.pass_fraction()
+    }
+}
+
+/// Whether a ring is deployed as a modulator or a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MrrKind {
+    /// Transmitter: modulates electrical data onto the light.
+    Modulator,
+    /// Receiver: couples light and senses its strength.
+    Detector,
+}
+
+/// Coarse (coupled ↔ non-coupled) retuning latency.
+pub const COARSE_TUNE: Ps = Ps::from_ps(100);
+/// Fine-granule retuning latency to reach the half-coupled point.
+pub const FINE_TUNE: Ps = Ps::from_ps(500);
+/// Tuning energy per modulated/detected bit, in femtojoules (Table I).
+pub const TUNING_ENERGY_FJ_PER_BIT: f64 = 200.0;
+
+/// An active micro-ring resonator.
+///
+/// # Example
+///
+/// ```
+/// use ohm_optic::{CouplingState, MicroRing, MrrKind};
+/// use ohm_sim::Ps;
+///
+/// let mut ring = MicroRing::new(MrrKind::Detector);
+/// let t = ring.retune(Ps::ZERO, CouplingState::HalfCoupled);
+/// assert_eq!(t, Ps::from_ps(500)); // fine-granule tuning
+/// assert_eq!(ring.state(), CouplingState::HalfCoupled);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MicroRing {
+    kind: MrrKind,
+    state: CouplingState,
+    retunes: u64,
+    bits_handled: u64,
+}
+
+impl MicroRing {
+    /// Creates a non-coupled ring of the given kind.
+    pub fn new(kind: MrrKind) -> Self {
+        MicroRing { kind, state: CouplingState::NonCoupled, retunes: 0, bits_handled: 0 }
+    }
+
+    /// The ring's deployment kind.
+    pub fn kind(&self) -> MrrKind {
+        self.kind
+    }
+
+    /// Current coupling state.
+    pub fn state(&self) -> CouplingState {
+        self.state
+    }
+
+    /// Retunes the ring to `target`, returning when the new state is
+    /// stable. Entering or leaving the half-coupled point pays the
+    /// fine-granule tuning latency; other transitions pay the coarse one.
+    /// Retuning to the current state is free.
+    pub fn retune(&mut self, now: Ps, target: CouplingState) -> Ps {
+        if target == self.state {
+            return now;
+        }
+        let fine = matches!(target, CouplingState::HalfCoupled)
+            || matches!(self.state, CouplingState::HalfCoupled);
+        self.state = target;
+        self.retunes += 1;
+        now + if fine { FINE_TUNE } else { COARSE_TUNE }
+    }
+
+    /// Accounts `bits` modulated or detected through this ring; returns the
+    /// tuning energy consumed in femtojoules.
+    pub fn handle_bits(&mut self, bits: u64) -> f64 {
+        self.bits_handled += bits;
+        bits as f64 * TUNING_ENERGY_FJ_PER_BIT
+    }
+
+    /// Number of state retunes performed.
+    pub fn retunes(&self) -> u64 {
+        self.retunes
+    }
+
+    /// Total bits modulated/detected.
+    pub fn bits_handled(&self) -> u64 {
+        self.bits_handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_fractions() {
+        assert_eq!(CouplingState::Coupled.pass_fraction(), 0.0);
+        assert_eq!(CouplingState::HalfCoupled.pass_fraction(), 0.5);
+        assert_eq!(CouplingState::NonCoupled.pass_fraction(), 1.0);
+        assert_eq!(CouplingState::HalfCoupled.absorb_fraction(), 0.5);
+    }
+
+    #[test]
+    fn coarse_retune_is_fast() {
+        let mut r = MicroRing::new(MrrKind::Modulator);
+        let t = r.retune(Ps::ZERO, CouplingState::Coupled);
+        assert_eq!(t, COARSE_TUNE);
+        assert_eq!(r.retunes(), 1);
+    }
+
+    #[test]
+    fn half_coupled_retune_is_slow_both_ways() {
+        let mut r = MicroRing::new(MrrKind::Detector);
+        let t1 = r.retune(Ps::ZERO, CouplingState::HalfCoupled);
+        assert_eq!(t1, FINE_TUNE);
+        let t2 = r.retune(t1, CouplingState::Coupled);
+        assert_eq!(t2, t1 + FINE_TUNE);
+    }
+
+    #[test]
+    fn retune_to_same_state_is_free() {
+        let mut r = MicroRing::new(MrrKind::Detector);
+        let t = r.retune(Ps::from_ns(1), CouplingState::NonCoupled);
+        assert_eq!(t, Ps::from_ns(1));
+        assert_eq!(r.retunes(), 0);
+    }
+
+    #[test]
+    fn tuning_energy_accumulates() {
+        let mut r = MicroRing::new(MrrKind::Modulator);
+        let fj = r.handle_bits(1000);
+        assert_eq!(fj, 200_000.0);
+        assert_eq!(r.bits_handled(), 1000);
+    }
+}

@@ -1,0 +1,142 @@
+//! Physical waveguide layout.
+//!
+//! The optical channel is a *bus*: the waveguide leaves the memory
+//! controller, passes every memory device in turn, and light for a far
+//! device accumulates the propagation loss of the whole run plus the
+//! through-loss of every ring array it passes (Figure 6b). This module
+//! models that geometry, giving per-device path losses that feed the BER
+//! analysis — the paper's 0.73 mW laser budget must close for the
+//! *farthest* device.
+
+use crate::power::OpticalPathLoss;
+
+/// Through-loss of passing one (untuned) device ring array, in dB.
+pub const DEVICE_THROUGH_DB: f64 = 0.05;
+
+/// Geometry of one waveguide run.
+///
+/// # Example
+///
+/// ```
+/// use ohm_optic::waveguide::WaveguideLayout;
+///
+/// let layout = WaveguideLayout::new(0.5, 1.0, 4); // 0.5 cm to first, 1 cm spacing
+/// assert_eq!(layout.devices(), 4);
+/// assert!(layout.loss_to(3).total_db() > layout.loss_to(0).total_db());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveguideLayout {
+    /// Distance from the controller to the first device, cm.
+    lead_cm: f64,
+    /// Spacing between adjacent devices, cm.
+    spacing_cm: f64,
+    /// Devices on the run.
+    devices: usize,
+}
+
+impl WaveguideLayout {
+    /// Creates a layout with `devices` devices spaced `spacing_cm` apart,
+    /// the first `lead_cm` from the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no devices or a distance is negative.
+    pub fn new(lead_cm: f64, spacing_cm: f64, devices: usize) -> Self {
+        assert!(devices > 0, "a waveguide run needs at least one device");
+        assert!(lead_cm >= 0.0 && spacing_cm >= 0.0, "distances cannot be negative");
+        WaveguideLayout { lead_cm, spacing_cm, devices }
+    }
+
+    /// The paper's 24-device configuration on a 4 cm run.
+    pub fn paper_default() -> Self {
+        WaveguideLayout::new(0.5, 3.5 / 23.0, 24)
+    }
+
+    /// Number of devices on the run.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Distance from the controller to device `index`, cm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn distance_to(&self, index: usize) -> f64 {
+        assert!(index < self.devices, "device index out of range");
+        self.lead_cm + self.spacing_cm * index as f64
+    }
+
+    /// Total run length, cm.
+    pub fn length_cm(&self) -> f64 {
+        self.distance_to(self.devices - 1)
+    }
+
+    /// The controller→device path loss for device `index`: modulator,
+    /// propagation over the distance, the through-loss of every array
+    /// passed on the way, the filter drop and the detector.
+    pub fn loss_to(&self, index: usize) -> OpticalPathLoss {
+        let mut path = OpticalPathLoss::new()
+            .modulator(0.5)
+            .waveguide_cm(self.distance_to(index))
+            .filter_drop()
+            .detector();
+        for _ in 0..index {
+            path = path.through_device();
+        }
+        path
+    }
+
+    /// The worst-case (farthest-device) path loss — the one the laser
+    /// budget must close.
+    pub fn worst_loss(&self) -> OpticalPathLoss {
+        self.loss_to(self.devices - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ber::BerModel;
+    use crate::power::OpticalPowerModel;
+
+    #[test]
+    fn distances_accumulate() {
+        let l = WaveguideLayout::new(1.0, 0.5, 4);
+        assert_eq!(l.distance_to(0), 1.0);
+        assert_eq!(l.distance_to(3), 2.5);
+        assert_eq!(l.length_cm(), 2.5);
+    }
+
+    #[test]
+    fn farther_devices_lose_more() {
+        let l = WaveguideLayout::paper_default();
+        let mut last = -1.0;
+        for d in 0..l.devices() {
+            let db = l.loss_to(d).total_db();
+            assert!(db > last, "loss must grow along the run");
+            last = db;
+        }
+    }
+
+    #[test]
+    fn paper_run_closes_the_link_budget() {
+        // The farthest of the 24 devices must still meet 1e-15 with the
+        // default 0.73 mW laser — the budget the paper's Table I implies.
+        let l = WaveguideLayout::paper_default();
+        let model = BerModel::paper_default();
+        let power = OpticalPowerModel::default();
+        let worst = power.received_mw(l.worst_loss());
+        // The worst device needs < 2x the nominal-path power.
+        let scale = model.required_laser_scale(l.worst_loss());
+        assert!(scale < 2.0, "farthest device needs {scale:.2}x laser");
+        assert!(worst > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_device_panics() {
+        let l = WaveguideLayout::new(1.0, 1.0, 2);
+        let _ = l.distance_to(2);
+    }
+}

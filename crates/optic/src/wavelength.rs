@@ -1,0 +1,121 @@
+//! DWDM wavelength grid and virtual-channel division.
+//!
+//! An external VCSEL array injects laser light of many wavelengths into a
+//! single waveguide (dense wavelength-division multiplexing). Ohm-GPU
+//! statically partitions those wavelengths into *virtual channels*, one per
+//! GPU memory controller, so controllers never conflict on the channel
+//! (Section III-A). Table I: 96 wavelengths (bits of parallel width) split
+//! into 6 virtual channels of 16 bits each.
+
+/// A single DWDM wavelength, identified by its grid index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Wavelength(pub u32);
+
+/// A static DWDM grid divided evenly into virtual channels.
+///
+/// # Example
+///
+/// ```
+/// use ohm_optic::WdmGrid;
+///
+/// let grid = WdmGrid::new(96, 6); // Table I default
+/// assert_eq!(grid.bits_per_channel(), 16);
+/// assert_eq!(grid.channel_of(grid.wavelengths_of(4)[0]), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WdmGrid {
+    total: u32,
+    channels: u32,
+}
+
+impl WdmGrid {
+    /// Creates a grid of `total` wavelengths divided into `channels`
+    /// virtual channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero or does not divide `total` evenly.
+    pub fn new(total: u32, channels: u32) -> Self {
+        assert!(channels > 0, "need at least one virtual channel");
+        assert!(
+            total.is_multiple_of(channels),
+            "wavelengths ({total}) must divide evenly into channels ({channels})"
+        );
+        WdmGrid { total, channels }
+    }
+
+    /// Total wavelengths in the grid.
+    pub fn total_wavelengths(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of virtual channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Parallel bit width of one virtual channel.
+    pub fn bits_per_channel(&self) -> u32 {
+        self.total / self.channels
+    }
+
+    /// The wavelengths belonging to virtual channel `vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn wavelengths_of(&self, vc: u32) -> Vec<Wavelength> {
+        assert!(vc < self.channels, "virtual channel out of range");
+        let w = self.bits_per_channel();
+        (vc * w..(vc + 1) * w).map(Wavelength).collect()
+    }
+
+    /// The virtual channel that owns wavelength `wl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wavelength is outside the grid.
+    pub fn channel_of(&self, wl: Wavelength) -> u32 {
+        assert!(wl.0 < self.total, "wavelength outside grid");
+        wl.0 / self.bits_per_channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_matches_table1() {
+        let g = WdmGrid::new(96, 6);
+        assert_eq!(g.bits_per_channel(), 16);
+        assert_eq!(g.total_wavelengths(), 96);
+        assert_eq!(g.channels(), 6);
+    }
+
+    #[test]
+    fn channels_partition_the_grid() {
+        let g = WdmGrid::new(96, 6);
+        let mut seen = std::collections::BTreeSet::new();
+        for vc in 0..6 {
+            for wl in g.wavelengths_of(vc) {
+                assert_eq!(g.channel_of(wl), vc);
+                assert!(seen.insert(wl), "wavelength assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_division_rejected() {
+        let _ = WdmGrid::new(97, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual channel out of range")]
+    fn out_of_range_vc_rejected() {
+        let g = WdmGrid::new(96, 6);
+        let _ = g.wavelengths_of(6);
+    }
+}

@@ -1,0 +1,197 @@
+//! Write-once-memory (WOM) coding for dual-route modulation.
+//!
+//! To let the swap function share a laser light with normal memory
+//! requests (Figure 14), Ohm-GPU borrows the Rivest–Shamir ⟨2,2⟩ WOM code:
+//! 2 data bits are written twice into 3 code bits under the *write-once*
+//! constraint that a light bit, once consumed (driven towards `1` in the
+//! paper's half-power convention), cannot be restored by a downstream
+//! modulator. The memory controller writes the first generation; the
+//! XPoint controller overwrites with the second generation; each receiver
+//! decodes its own generation from the mapping table.
+//!
+//! The cost: 3 light bits carry 2 data bits, so the effective bandwidth of
+//! the data route drops to 2/3 while WOM is active — the paper's quoted
+//! "33% bandwidth reduction", which motivates the half-coupled-MRR
+//! alternative (`Ohm-BW`).
+
+/// Which write generation a decoded codeword belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WomGeneration {
+    /// Written by the first writer (the memory controller).
+    First,
+    /// Overwritten by the second writer (the XPoint controller).
+    Second,
+}
+
+/// The Rivest–Shamir ⟨2,2⟩ WOM code over 3-bit codewords.
+///
+/// First-generation codes have Hamming weight ≤ 1; second-generation codes
+/// are the bitwise complements of first-generation codes (weight ≥ 2), so
+/// every overwrite only sets bits — never clears them.
+///
+/// # Example
+///
+/// ```
+/// use ohm_optic::Wom22;
+/// use ohm_optic::wom::WomGeneration;
+///
+/// let c1 = Wom22::encode_first(0b10);
+/// assert_eq!(c1, 0b010);
+/// let c2 = Wom22::encode_second(c1, 0b01);
+/// assert_eq!(Wom22::decode(c2), (WomGeneration::Second, 0b01));
+/// // Write-once: the overwrite never cleared a bit.
+/// assert_eq!(c1 & !c2, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Wom22;
+
+impl Wom22 {
+    /// Effective bandwidth factor of a WOM-coded route: 2 data bits per 3
+    /// light bits.
+    pub const BANDWIDTH_FACTOR: f64 = 2.0 / 3.0;
+
+    /// First-generation code for a 2-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a 2-bit value.
+    pub fn encode_first(data: u8) -> u8 {
+        assert!(data < 4, "WOM payload must be 2 bits");
+        match data {
+            0b00 => 0b000,
+            0b01 => 0b001,
+            0b10 => 0b010,
+            _ => 0b100,
+        }
+    }
+
+    /// Second-generation code overwriting `current` with a 2-bit value.
+    ///
+    /// If the new value equals the currently stored one, the codeword is
+    /// left unchanged (no bits need to be consumed). Otherwise the
+    /// complement of the value's first-generation code is written, which
+    /// by construction only sets bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not 2 bits or `current` is not a valid
+    /// first-generation codeword.
+    pub fn encode_second(current: u8, data: u8) -> u8 {
+        assert!(data < 4, "WOM payload must be 2 bits");
+        let (generation, stored) = Self::decode(current);
+        assert_eq!(
+            generation,
+            WomGeneration::First,
+            "second write requires a first-generation codeword"
+        );
+        if stored == data {
+            return current;
+        }
+        let code = !Self::encode_first(data) & 0b111;
+        debug_assert_eq!(current & !code, 0, "write-once violation");
+        code
+    }
+
+    /// Decodes a 3-bit codeword into its generation and 2-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is wider than 3 bits.
+    pub fn decode(code: u8) -> (WomGeneration, u8) {
+        assert!(code < 8, "WOM codeword must be 3 bits");
+        match code.count_ones() {
+            0 | 1 => {
+                let data = match code {
+                    0b000 => 0b00,
+                    0b001 => 0b01,
+                    0b010 => 0b10,
+                    _ => 0b11, // 0b100
+                };
+                (WomGeneration::First, data)
+            }
+            _ => {
+                let data = match code {
+                    0b111 => 0b00,
+                    0b110 => 0b01,
+                    0b101 => 0b10,
+                    _ => 0b11, // 0b011
+                };
+                (WomGeneration::Second, data)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_generation_roundtrip() {
+        for d in 0..4u8 {
+            let c = Wom22::encode_first(d);
+            assert_eq!(Wom22::decode(c), (WomGeneration::First, d));
+            assert!(c.count_ones() <= 1);
+        }
+    }
+
+    #[test]
+    fn second_generation_roundtrip_all_pairs() {
+        for first in 0..4u8 {
+            for second in 0..4u8 {
+                let c1 = Wom22::encode_first(first);
+                let c2 = Wom22::encode_second(c1, second);
+                if first == second {
+                    // Unchanged codeword still decodes to the right value.
+                    let (_, v) = Wom22::decode(c2);
+                    assert_eq!(v, second);
+                } else {
+                    assert_eq!(Wom22::decode(c2), (WomGeneration::Second, second));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overwrites_never_clear_bits() {
+        for first in 0..4u8 {
+            for second in 0..4u8 {
+                let c1 = Wom22::encode_first(first);
+                let c2 = Wom22::encode_second(c1, second);
+                assert_eq!(c1 & !c2, 0, "bit cleared overwriting {first:02b} with {second:02b}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_codewords_decode_uniquely() {
+        let mut seen = std::collections::HashMap::new();
+        for code in 0..8u8 {
+            let (generation, v) = Wom22::decode(code);
+            assert!(
+                seen.insert(code, (generation, v)).is_none(),
+                "duplicate decode for {code:03b}"
+            );
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn bandwidth_factor_is_two_thirds() {
+        assert!((Wom22::BANDWIDTH_FACTOR - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 bits")]
+    fn wide_payload_rejected() {
+        let _ = Wom22::encode_first(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "first-generation")]
+    fn third_write_rejected() {
+        let c1 = Wom22::encode_first(0b01);
+        let c2 = Wom22::encode_second(c1, 0b10);
+        let _ = Wom22::encode_second(c2, 0b11);
+    }
+}

@@ -1,0 +1,135 @@
+//! Physical addresses and address arithmetic.
+//!
+//! A single [`Addr`] vocabulary type is shared by the cache hierarchy, the
+//! memory controllers and the device models so that line/page arithmetic is
+//! written once. Addresses are byte addresses in a flat physical space.
+
+use std::fmt;
+
+/// A byte address in the simulated physical address space.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::Addr;
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.align_down(64), Addr::new(0x1200));
+/// assert_eq!(a.block_index(64), 0x48);
+/// assert_eq!(a.offset_in(4096), 0x234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The zero address.
+    pub const ZERO: Addr = Addr(0);
+
+    /// Creates an address from a raw byte offset.
+    #[inline]
+    pub const fn new(a: u64) -> Self {
+        Addr(a)
+    }
+
+    /// Raw byte offset.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Aligns the address down to a `block`-byte boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `block` is not a power of two.
+    #[inline]
+    pub fn align_down(self, block: u64) -> Addr {
+        debug_assert!(block.is_power_of_two(), "block must be a power of two");
+        Addr(self.0 & !(block - 1))
+    }
+
+    /// Index of the `block`-byte block containing this address.
+    #[inline]
+    pub fn block_index(self, block: u64) -> u64 {
+        debug_assert!(block.is_power_of_two(), "block must be a power of two");
+        self.0 / block
+    }
+
+    /// Byte offset within the containing `block`-byte block.
+    #[inline]
+    pub fn offset_in(self, block: u64) -> u64 {
+        debug_assert!(block.is_power_of_two(), "block must be a power of two");
+        self.0 & (block - 1)
+    }
+
+    /// The address of the `index`-th `block`-byte block.
+    #[inline]
+    pub fn from_block(index: u64, block: u64) -> Addr {
+        debug_assert!(block.is_power_of_two(), "block must be a power of two");
+        Addr(index * block)
+    }
+
+    /// Address advanced by `bytes`.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(a: u64) -> Self {
+        Addr(a)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_and_offset() {
+        let a = Addr::new(0xfedc);
+        assert_eq!(a.align_down(0x100), Addr::new(0xfe00));
+        assert_eq!(a.offset_in(0x100), 0xdc);
+        assert_eq!(a.block_index(0x100), 0xfe);
+    }
+
+    #[test]
+    fn from_block_roundtrip() {
+        let a = Addr::from_block(42, 4096);
+        assert_eq!(a, Addr::new(42 * 4096));
+        assert_eq!(a.block_index(4096), 42);
+        assert_eq!(a.offset_in(4096), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Addr = 77u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 77);
+        assert_eq!(a.to_string(), "0x4d");
+        assert_eq!(format!("{a:x}"), "4d");
+    }
+
+    #[test]
+    fn offset_advances() {
+        assert_eq!(Addr::new(10).offset(6), Addr::new(16));
+    }
+}

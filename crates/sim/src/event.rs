@@ -1,0 +1,199 @@
+//! Deterministic event queue.
+//!
+//! [`EventQueue`] is a priority queue keyed on [`Ps`] timestamps with a
+//! monotonically increasing sequence number as tiebreak, so events that are
+//! scheduled for the same instant are delivered in the order they were
+//! pushed. Determinism matters here: every experiment in the paper is a
+//! comparison between platforms, and nondeterministic tie-breaking would add
+//! noise to exactly the quantities being compared.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Ps;
+
+/// An entry in the heap. Ordering is reversed (earliest first) and ties are
+/// broken by insertion sequence (lowest first).
+#[derive(Debug)]
+struct Entry<E> {
+    time: Ps,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue with stable FIFO ordering at equal timestamps.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::{EventQueue, Ps};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Ps::from_ns(10), 'b');
+/// q.push(Ps::from_ns(10), 'c'); // same instant: FIFO after 'b'
+/// q.push(Ps::from_ns(1), 'a');
+///
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Ps,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Ps::ZERO }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0, now: Ps::ZERO }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// Scheduling in the past is clamped to the current time rather than
+    /// rejected: components frequently compute "ready" instants that an
+    /// earlier event has already passed.
+    pub fn push(&mut self, time: Ps, event: E) {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the queue's clock.
+    pub fn pop(&mut self) -> Option<(Ps, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "event queue time went backwards");
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Ps> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The time of the most recently popped event (the simulation "now").
+    pub fn now(&self) -> Ps {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Ps::from_ns(3), 3);
+        q.push(Ps::from_ns(1), 1);
+        q.push(Ps::from_ns(2), 2);
+        assert_eq!(q.pop(), Some((Ps::from_ns(1), 1)));
+        assert_eq!(q.pop(), Some((Ps::from_ns(2), 2)));
+        assert_eq!(q.pop(), Some((Ps::from_ns(3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Ps::from_ns(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Ps::from_ns(7), i)));
+        }
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.push(Ps::from_ns(10), "a");
+        assert_eq!(q.pop(), Some((Ps::from_ns(10), "a")));
+        q.push(Ps::from_ns(5), "late");
+        assert_eq!(q.pop(), Some((Ps::from_ns(10), "late")));
+        assert_eq!(q.now(), Ps::from_ns(10));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Ps::from_ns(1), 1);
+        q.push(Ps::from_ns(5), 5);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Ps::from_ns(3), 3);
+        q.push(Ps::from_ns(4), 4);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert_eq!(q.pop().unwrap().1, 5);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Ps::from_ns(1), ());
+        q.push(Ps::from_ns(2), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_time_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(Ps::from_ns(9), 'x');
+        assert_eq!(q.peek_time(), Some(Ps::from_ns(9)));
+        assert_eq!(q.len(), 1);
+    }
+}

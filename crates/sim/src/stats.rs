@@ -1,0 +1,558 @@
+//! Statistics collection for simulation reports.
+//!
+//! These are deliberately simple accumulators: the figures in the paper are
+//! averages, fractions and breakdowns, so we track exact sums rather than
+//! approximate sketches.
+
+use std::fmt;
+
+use crate::time::Ps;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running min/max/mean statistics over `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] { s.push(x); }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningStats {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds a sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a [`Ps`] duration sample, in nanoseconds.
+    #[inline]
+    pub fn push_ps(&mut self, t: Ps) {
+        self.push(t.as_ns_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            let m = self.mean();
+            (self.sum_sq / self.count as f64 - m * m).max(0.0)
+        }
+    }
+
+    /// Population standard deviation (0 when empty).
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A power-of-two bucketed latency histogram.
+///
+/// Bucket `i` counts samples `x` with `2^i <= x < 2^(i+1)` (bucket 0 also
+/// absorbs `x == 0`). Useful for tail-latency inspection in examples and
+/// debugging; the paper's figures use means.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(5);
+/// h.record(6);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.bucket_count(2), 2); // both fall in [4, 8)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; 64], count: 0, sum: 0 }
+    }
+
+    /// Records a sample.
+    #[inline]
+    pub fn record(&mut self, x: u64) {
+        let idx = if x == 0 { 0 } else { 63 - x.leading_zeros() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += x as u128;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of samples in bucket `i` (`[2^i, 2^(i+1))`).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Approximate quantile: the lower bound of the bucket containing the
+    /// `q`-quantile sample (`q` in `[0, 1]`). Returns 0 when empty.
+    pub fn quantile_lower_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << 63
+    }
+}
+
+/// A time-bucketed accumulator for "quantity over time" series
+/// (bandwidth timelines, migration-rate plots).
+///
+/// Samples are added at an instant and summed into fixed-width buckets;
+/// the series grows as needed.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::{stats::TimeSeries, Ps};
+///
+/// let mut ts = TimeSeries::new(Ps::from_us(1));
+/// ts.record(Ps::from_ns(200), 64.0);
+/// ts.record(Ps::from_ns(900), 64.0);
+/// ts.record(Ps::from_us(1), 32.0);
+/// assert_eq!(ts.buckets(), &[128.0, 32.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket: Ps,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket width is zero.
+    pub fn new(bucket: Ps) -> Self {
+        assert!(bucket > Ps::ZERO, "bucket width must be positive");
+        TimeSeries { bucket, values: Vec::new() }
+    }
+
+    /// Adds `amount` at instant `t`.
+    pub fn record(&mut self, t: Ps, amount: f64) {
+        let idx = (t.as_ps() / self.bucket.as_ps()) as usize;
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, 0.0);
+        }
+        self.values[idx] += amount;
+    }
+
+    /// The bucket width.
+    pub fn bucket_width(&self) -> Ps {
+        self.bucket
+    }
+
+    /// The bucket sums, oldest first.
+    pub fn buckets(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sum across the whole series.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Peak bucket value (0 when empty).
+    pub fn peak(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean rate per bucket over the observed span (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.total() / self.values.len() as f64
+        }
+    }
+}
+
+/// A labelled breakdown of a quantity into named categories.
+///
+/// Backed by a fixed label set chosen at construction; used for the
+/// execution-time and energy breakdown figures.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::Breakdown;
+/// let mut b = Breakdown::new(&["compute", "transfer", "storage"]);
+/// b.add("compute", 34.0);
+/// b.add("transfer", 45.0);
+/// b.add("storage", 21.0);
+/// assert!((b.fraction("transfer") - 0.45).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    labels: Vec<&'static str>,
+    values: Vec<f64>,
+}
+
+impl Breakdown {
+    /// Creates a breakdown over the given labels, all zero.
+    pub fn new(labels: &[&'static str]) -> Self {
+        Breakdown { labels: labels.to_vec(), values: vec![0.0; labels.len()] }
+    }
+
+    /// Adds `amount` to the category `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not one of the construction labels.
+    pub fn add(&mut self, label: &str, amount: f64) {
+        let i = self.index_of(label);
+        self.values[i] += amount;
+    }
+
+    /// Value of a category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not one of the construction labels.
+    pub fn get(&self, label: &str) -> f64 {
+        self.values[self.index_of(label)]
+    }
+
+    /// Sum across all categories.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Fraction of the total in `label` (0 when the total is 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not one of the construction labels.
+    pub fn fraction(&self, label: &str) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(label) / total
+        }
+    }
+
+    /// Iterates `(label, value)` pairs in construction order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.labels.iter().copied().zip(self.values.iter().copied())
+    }
+
+    fn index_of(&self, label: &str) -> usize {
+        self.labels
+            .iter()
+            .position(|&l| l == label)
+            .unwrap_or_else(|| panic!("unknown breakdown label: {label}"))
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        for (i, (label, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let pct = if total == 0.0 { 0.0 } else { 100.0 * v / total };
+            write!(f, "{label}: {v:.3} ({pct:.1}%)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.add(10);
+        c.incr();
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.to_string(), "11");
+    }
+
+    #[test]
+    fn running_stats_basic() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 6.0, 8.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 8.0);
+        assert!((s.variance() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_empty_is_zero() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        a.push(1.0);
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 2.0);
+        a.merge(&RunningStats::new()); // merging empty is a no-op
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn running_stats_push_ps() {
+        let mut s = RunningStats::new();
+        s.push_ps(Ps::from_ns(10));
+        assert_eq!(s.mean(), 10.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket_count(0), 2); // 0 and 1
+        assert_eq!(h.bucket_count(1), 2); // 2 and 3
+        assert_eq!(h.bucket_count(10), 1); // 1024
+        assert!((h.mean() - 206.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.quantile_lower_bound(0.5), 4);
+        assert_eq!(h.quantile_lower_bound(1.0), 1 << 20);
+        assert_eq!(Histogram::new().quantile_lower_bound(0.5), 0);
+    }
+
+    #[test]
+    fn time_series_buckets_and_stats() {
+        let mut ts = TimeSeries::new(Ps::from_ns(100));
+        ts.record(Ps::ZERO, 1.0);
+        ts.record(Ps::from_ns(99), 2.0);
+        ts.record(Ps::from_ns(100), 4.0);
+        ts.record(Ps::from_ns(350), 8.0);
+        assert_eq!(ts.buckets(), &[3.0, 4.0, 0.0, 8.0]);
+        assert_eq!(ts.total(), 15.0);
+        assert_eq!(ts.peak(), 8.0);
+        assert!((ts.mean() - 3.75).abs() < 1e-12);
+        assert_eq!(ts.bucket_width(), Ps::from_ns(100));
+    }
+
+    #[test]
+    fn empty_time_series_is_quiet() {
+        let ts = TimeSeries::new(Ps::from_ns(10));
+        assert!(ts.buckets().is_empty());
+        assert_eq!(ts.total(), 0.0);
+        assert_eq!(ts.peak(), 0.0);
+        assert_eq!(ts.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_rejected() {
+        let _ = TimeSeries::new(Ps::ZERO);
+    }
+
+    #[test]
+    fn breakdown_fractions() {
+        let mut b = Breakdown::new(&["a", "b"]);
+        b.add("a", 1.0);
+        b.add("b", 3.0);
+        assert_eq!(b.total(), 4.0);
+        assert!((b.fraction("a") - 0.25).abs() < 1e-12);
+        let pairs: Vec<_> = b.iter().collect();
+        assert_eq!(pairs, vec![("a", 1.0), ("b", 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown breakdown label")]
+    fn breakdown_unknown_label_panics() {
+        let b = Breakdown::new(&["a"]);
+        let _ = b.get("nope");
+    }
+
+    #[test]
+    fn breakdown_empty_fraction_is_zero() {
+        let b = Breakdown::new(&["a"]);
+        assert_eq!(b.fraction("a"), 0.0);
+    }
+}

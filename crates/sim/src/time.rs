@@ -1,0 +1,398 @@
+//! Simulated time and clock domains.
+//!
+//! All simulated time in the workspace is carried as [`Ps`], an integral
+//! number of picoseconds. A picosecond resolves every clock in the paper's
+//! Table I: one 30 GHz optical cycle is ~33 ps, one 1.2 GHz SM cycle is
+//! ~833 ps. Durations derived from frequencies are rounded to the nearest
+//! picosecond; the rounding error is below 0.1% for every clock used here,
+//! far below the modelling error of an architectural simulator.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, or a duration, in picoseconds.
+///
+/// `Ps` is used for both instants and durations; arithmetic is saturating
+/// on subtraction so that latency computations of the form `end - start`
+/// never wrap when a component reports an out-of-order timestamp.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::Ps;
+/// let t = Ps::from_ns(3) + Ps::from_ps(500);
+/// assert_eq!(t.as_ps(), 3_500);
+/// assert_eq!(t.as_ns_f64(), 3.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ps(u64);
+
+impl Ps {
+    /// Zero time: the start of every simulation.
+    pub const ZERO: Ps = Ps(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: Ps = Ps(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Ps(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Ps(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Ps(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Ps(ms * 1_000_000_000)
+    }
+
+    /// Creates a duration from a (possibly fractional) number of
+    /// nanoseconds, rounding to the nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or does not fit in a `u64` of picoseconds.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        assert!(ns >= 0.0 && ns.is_finite(), "invalid duration: {ns} ns");
+        Ps((ns * 1_000.0).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time in nanoseconds as a float (for reporting).
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time in microseconds as a float (for reporting).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Time in seconds as a float (for energy = power × time integration).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction; returns [`Ps::ZERO`] instead of wrapping.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Ps) -> Ps {
+        Ps(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Ps) -> Option<Ps> {
+        self.0.checked_add(rhs.0).map(Ps)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, rhs: Ps) -> Ps {
+        Ps(self.0.max(rhs.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, rhs: Ps) -> Ps {
+        Ps(self.0.min(rhs.0))
+    }
+
+    /// Scales a duration by a dimensionless factor, rounding to the nearest
+    /// picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Ps {
+        assert!(factor >= 0.0 && factor.is_finite(), "invalid scale factor: {factor}");
+        Ps((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} ns", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+impl Add for Ps {
+    type Output = Ps;
+    #[inline]
+    fn add(self, rhs: Ps) -> Ps {
+        Ps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ps {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ps {
+    type Output = Ps;
+    /// Saturating: an out-of-order `end - start` yields zero, not a wrap.
+    #[inline]
+    fn sub(self, rhs: Ps) -> Ps {
+        Ps(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Ps {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ps) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ps {
+        Ps(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn div(self, rhs: u64) -> Ps {
+        Ps(self.0 / rhs)
+    }
+}
+
+impl Sum for Ps {
+    fn sum<I: Iterator<Item = Ps>>(iter: I) -> Ps {
+        iter.fold(Ps::ZERO, Add::add)
+    }
+}
+
+/// A clock domain, defined by its frequency in hertz.
+///
+/// `Freq` converts between cycle counts and [`Ps`] durations, and computes
+/// serialisation delays for links of a given bit width — the workhorse of
+/// the electrical- and optical-channel models.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::{Freq, Ps};
+/// let optical = Freq::from_ghz(30.0);
+/// // One 32-byte burst over a 16-bit virtual channel:
+/// let dur = optical.transfer_time(32 * 8, 16);
+/// assert_eq!(dur, Ps::from_ps(533)); // 16 cycles of ~33.3 ps
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Freq {
+    hz: u64,
+}
+
+impl Freq {
+    /// Creates a clock from a frequency in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0, "frequency must be positive");
+        Freq { hz }
+    }
+
+    /// Creates a clock from a frequency in megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self::from_hz((mhz * 1e6).round() as u64)
+    }
+
+    /// Creates a clock from a frequency in gigahertz.
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self::from_hz((ghz * 1e9).round() as u64)
+    }
+
+    /// Frequency in hertz.
+    #[inline]
+    pub fn hz(self) -> u64 {
+        self.hz
+    }
+
+    /// Frequency in gigahertz.
+    #[inline]
+    pub fn ghz(self) -> f64 {
+        self.hz as f64 / 1e9
+    }
+
+    /// Duration of `cycles` clock cycles, rounded to the nearest picosecond
+    /// of the *total* (not per-cycle, so the error does not accumulate).
+    #[inline]
+    pub fn cycles(self, cycles: u64) -> Ps {
+        // ps = cycles * 1e12 / hz, in u128 to avoid overflow.
+        let num = cycles as u128 * 1_000_000_000_000u128 + (self.hz as u128 / 2);
+        Ps((num / self.hz as u128) as u64)
+    }
+
+    /// Duration of a single clock cycle.
+    #[inline]
+    pub fn period(self) -> Ps {
+        self.cycles(1)
+    }
+
+    /// How many whole cycles elapse in `dur` (floor).
+    #[inline]
+    pub fn cycles_in(self, dur: Ps) -> u64 {
+        ((dur.as_ps() as u128 * self.hz as u128) / 1_000_000_000_000u128) as u64
+    }
+
+    /// Time to serialise `bits` over a link `width_bits` wide clocked at
+    /// this frequency (single data rate), rounded *up* to whole cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is zero.
+    #[inline]
+    pub fn transfer_time(self, bits: u64, width_bits: u64) -> Ps {
+        assert!(width_bits > 0, "link width must be positive");
+        let cycles = bits.div_ceil(width_bits);
+        self.cycles(cycles)
+    }
+
+    /// Raw bandwidth of a link `width_bits` wide in bits per second.
+    #[inline]
+    pub fn bandwidth_bps(self, width_bits: u64) -> f64 {
+        self.hz as f64 * width_bits as f64
+    }
+
+    /// Raw bandwidth of a link `width_bits` wide in gigabytes per second.
+    #[inline]
+    pub fn bandwidth_gbps(self, width_bits: u64) -> f64 {
+        self.bandwidth_bps(width_bits) / 8.0 / 1e9
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hz >= 1_000_000_000 {
+            write!(f, "{:.2} GHz", self.hz as f64 / 1e9)
+        } else {
+            write!(f, "{:.2} MHz", self.hz as f64 / 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_constructors_agree() {
+        assert_eq!(Ps::from_ns(1), Ps::from_ps(1_000));
+        assert_eq!(Ps::from_us(1), Ps::from_ns(1_000));
+        assert_eq!(Ps::from_ms(1), Ps::from_us(1_000));
+        assert_eq!(Ps::from_ns_f64(2.5), Ps::from_ps(2_500));
+    }
+
+    #[test]
+    fn ps_sub_saturates() {
+        assert_eq!(Ps::from_ns(1) - Ps::from_ns(2), Ps::ZERO);
+        assert_eq!(Ps::from_ns(2) - Ps::from_ns(1), Ps::from_ns(1));
+    }
+
+    #[test]
+    fn ps_display_scales_unit() {
+        assert_eq!(Ps::from_ps(12).to_string(), "12 ps");
+        assert_eq!(Ps::from_ns(12).to_string(), "12.000 ns");
+        assert_eq!(Ps::from_us(12).to_string(), "12.000 us");
+        assert_eq!(Ps::from_ms(12).to_string(), "12.000 ms");
+    }
+
+    #[test]
+    fn ps_scale_rounds() {
+        assert_eq!(Ps::from_ps(10).scale(0.25), Ps::from_ps(3));
+        assert_eq!(Ps::from_ps(10).scale(1.5), Ps::from_ps(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale factor")]
+    fn ps_scale_rejects_negative() {
+        let _ = Ps::from_ps(10).scale(-1.0);
+    }
+
+    #[test]
+    fn freq_period_rounds_to_nearest() {
+        // 30 GHz -> 33.33 ps -> 33 ps
+        assert_eq!(Freq::from_ghz(30.0).period(), Ps::from_ps(33));
+        // 1.2 GHz -> 833.33 ps -> 833 ps
+        assert_eq!(Freq::from_ghz(1.2).period(), Ps::from_ps(833));
+        // 15 GHz -> 66.67 ps -> 67 ps
+        assert_eq!(Freq::from_ghz(15.0).period(), Ps::from_ps(67));
+    }
+
+    #[test]
+    fn freq_cycles_does_not_accumulate_error() {
+        let f = Freq::from_ghz(30.0);
+        // 3_000_000 cycles at 30 GHz is exactly 100 us.
+        assert_eq!(f.cycles(3_000_000), Ps::from_us(100));
+    }
+
+    #[test]
+    fn freq_transfer_time_rounds_up_to_cycles() {
+        let f = Freq::from_ghz(1.0); // period = 1 ns
+        assert_eq!(f.transfer_time(1, 16), Ps::from_ns(1));
+        assert_eq!(f.transfer_time(16, 16), Ps::from_ns(1));
+        assert_eq!(f.transfer_time(17, 16), Ps::from_ns(2));
+    }
+
+    #[test]
+    fn freq_cycles_in_floor() {
+        let f = Freq::from_ghz(1.0);
+        assert_eq!(f.cycles_in(Ps::from_ps(999)), 0);
+        assert_eq!(f.cycles_in(Ps::from_ns(1)), 1);
+        assert_eq!(f.cycles_in(Ps::from_ps(2_500)), 2);
+    }
+
+    #[test]
+    fn freq_bandwidth_matches_paper_table1() {
+        // Six 32-bit electrical channels at 15 GHz: 6*32*15e9/8 = 360 GB/s.
+        let elec = Freq::from_ghz(15.0);
+        let total: f64 = 6.0 * elec.bandwidth_gbps(32);
+        assert!((total - 360.0).abs() < 1e-6);
+        // One 96-bit optical waveguide at 30 GHz matches it.
+        let opt = Freq::from_ghz(30.0);
+        assert!((opt.bandwidth_gbps(96) - 360.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ps_sum_iterates() {
+        let total: Ps = [Ps::from_ns(1), Ps::from_ns(2), Ps::from_ns(3)].into_iter().sum();
+        assert_eq!(total, Ps::from_ns(6));
+    }
+}

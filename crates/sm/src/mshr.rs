@@ -1,0 +1,169 @@
+//! Miss-status holding registers.
+//!
+//! MSHRs merge concurrent misses to the same cache line into a single
+//! memory request: the first miss is *primary* (it goes to memory), later
+//! ones are *secondary* (they piggy-back on the primary's response). A
+//! full MSHR file stalls further misses — a first-order throughput limit
+//! for memory-intensive GPU kernels.
+
+use std::collections::HashMap;
+
+use ohm_sim::Addr;
+
+/// Outcome of registering a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss to the line: issue it to memory.
+    Primary,
+    /// Merged with an outstanding miss: wait for its response.
+    Secondary,
+    /// No free entries: the requester must retry later.
+    Full,
+}
+
+/// An MSHR file tracking outstanding misses by line address, with a list
+/// of waiter tokens per line.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sm::{Mshr, MshrOutcome};
+/// use ohm_sim::Addr;
+///
+/// let mut m: Mshr<u32> = Mshr::new(4, 64);
+/// assert_eq!(m.register(Addr::new(0x100), 1), MshrOutcome::Primary);
+/// assert_eq!(m.register(Addr::new(0x100), 2), MshrOutcome::Secondary);
+/// assert_eq!(m.complete(Addr::new(0x100)), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr<T> {
+    entries: HashMap<u64, Vec<T>>,
+    capacity: usize,
+    line_bytes: u64,
+    merges: u64,
+    stalls: u64,
+    peak: usize,
+}
+
+impl<T> Mshr<T> {
+    /// Creates an MSHR file with `capacity` line entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `line_bytes` is not a power of two.
+    pub fn new(capacity: usize, line_bytes: u64) -> Self {
+        assert!(capacity > 0, "MSHR file cannot be empty");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        Mshr {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            line_bytes,
+            merges: 0,
+            stalls: 0,
+            peak: 0,
+        }
+    }
+
+    fn line_of(&self, addr: Addr) -> u64 {
+        addr.block_index(self.line_bytes)
+    }
+
+    /// Registers a miss by `waiter` for the line containing `addr`.
+    pub fn register(&mut self, addr: Addr, waiter: T) -> MshrOutcome {
+        let line = self.line_of(addr);
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            waiters.push(waiter);
+            self.merges += 1;
+            return MshrOutcome::Secondary;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, vec![waiter]);
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Primary
+    }
+
+    /// Completes the outstanding miss for the line containing `addr`,
+    /// returning all waiters (empty if the line was not outstanding).
+    pub fn complete(&mut self, addr: Addr) -> Vec<T> {
+        let line = self.line_of(addr);
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Whether the line containing `addr` has an outstanding miss.
+    pub fn is_outstanding(&self, addr: Addr) -> bool {
+        self.entries.contains_key(&self.line_of(addr))
+    }
+
+    /// Currently occupied entries.
+    pub fn occupied(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file has no free entries.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Secondary merges recorded.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Registration attempts rejected because the file was full.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Peak simultaneous occupancy.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_secondary_complete_cycle() {
+        let mut m: Mshr<&str> = Mshr::new(2, 64);
+        assert_eq!(m.register(Addr::new(0), "a"), MshrOutcome::Primary);
+        assert_eq!(m.register(Addr::new(32), "b"), MshrOutcome::Secondary); // same line
+        assert!(m.is_outstanding(Addr::new(63)));
+        assert_eq!(m.complete(Addr::new(0)), vec!["a", "b"]);
+        assert!(!m.is_outstanding(Addr::new(0)));
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn full_file_stalls() {
+        let mut m: Mshr<u8> = Mshr::new(2, 64);
+        m.register(Addr::new(0), 0);
+        m.register(Addr::new(64), 1);
+        assert!(m.is_full());
+        assert_eq!(m.register(Addr::new(128), 2), MshrOutcome::Full);
+        assert_eq!(m.stalls(), 1);
+        // Merging into an existing entry is still allowed while full.
+        assert_eq!(m.register(Addr::new(0), 3), MshrOutcome::Secondary);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m: Mshr<u8> = Mshr::new(2, 64);
+        assert!(m.complete(Addr::new(0)).is_empty());
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water() {
+        let mut m: Mshr<u8> = Mshr::new(4, 64);
+        m.register(Addr::new(0), 0);
+        m.register(Addr::new(64), 1);
+        m.complete(Addr::new(0));
+        m.complete(Addr::new(64));
+        assert_eq!(m.occupied(), 0);
+        assert_eq!(m.peak_occupancy(), 2);
+    }
+}

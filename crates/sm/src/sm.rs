@@ -1,0 +1,238 @@
+//! Streaming multiprocessors and warps.
+//!
+//! Each SM (Table I: 16 SMs at 1.2 GHz) runs a set of warps in lockstep
+//! groups of 32 threads. We model warp execution event-wise: a warp books
+//! its compute segment on the SM's issue pipeline (one warp issues per
+//! cycle, so concurrent warps naturally interleave and hide each other's
+//! memory latency), then blocks on its memory access until the memory
+//! system responds. IPC falls out as retired instructions over elapsed
+//! time — the paper's Figure 16 metric.
+
+use ohm_sim::{Calendar, Freq, Ps};
+
+/// Identifies a warp as (SM index, warp slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WarpId {
+    /// SM index.
+    pub sm: usize,
+    /// Warp slot within the SM.
+    pub warp: usize,
+}
+
+/// Per-SM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmConfig {
+    /// Core clock (Table I: 1.2 GHz).
+    pub freq: Freq,
+    /// Resident warps per SM.
+    pub warps: usize,
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        SmConfig { freq: Freq::from_ghz(1.2), warps: 24 }
+    }
+}
+
+/// Execution state of one warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// Ready to fetch its next slice.
+    Ready,
+    /// Waiting for a memory response.
+    Blocked,
+    /// Out of work.
+    Finished,
+}
+
+/// A warp's bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    state: WarpState,
+    retired: u64,
+}
+
+impl Default for Warp {
+    fn default() -> Self {
+        Warp { state: WarpState::Ready, retired: 0 }
+    }
+}
+
+impl Warp {
+    /// Current state.
+    pub fn state(&self) -> WarpState {
+        self.state
+    }
+
+    /// Instructions retired by this warp.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+}
+
+/// One streaming multiprocessor.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sm::{Sm, SmConfig};
+/// use ohm_sim::Ps;
+///
+/// let mut sm = Sm::new(SmConfig::default());
+/// // Warp 0 issues a 100-instruction compute segment.
+/// let done = sm.issue_compute(Ps::ZERO, 0, 100);
+/// assert!(done > Ps::ZERO);
+/// assert_eq!(sm.retired(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sm {
+    cfg: SmConfig,
+    issue: Calendar,
+    warps: Vec<Warp>,
+}
+
+impl Sm {
+    /// Creates an idle SM with all warps ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero warps.
+    pub fn new(cfg: SmConfig) -> Self {
+        assert!(cfg.warps > 0, "an SM needs at least one warp");
+        Sm { issue: Calendar::new(), warps: vec![Warp::default(); cfg.warps], cfg }
+    }
+
+    /// The SM configuration.
+    pub fn config(&self) -> &SmConfig {
+        &self.cfg
+    }
+
+    /// Books `insts` instructions of warp `warp` on the issue pipeline,
+    /// returning their completion time. The warp retires them immediately
+    /// for accounting purposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warp` is out of range.
+    pub fn issue_compute(&mut self, now: Ps, warp: usize, insts: u64) -> Ps {
+        let w = &mut self.warps[warp];
+        w.retired += insts;
+        if insts == 0 {
+            return now;
+        }
+        let dur = self.cfg.freq.cycles(insts);
+        let (_, end) = self.issue.book(now, dur);
+        end
+    }
+
+    /// Marks warp `warp` blocked on a memory access (it also retires the
+    /// access instruction).
+    pub fn block_on_memory(&mut self, warp: usize) {
+        self.warps[warp].retired += 1;
+        self.warps[warp].state = WarpState::Blocked;
+    }
+
+    /// Marks warp `warp` ready again (memory response arrived).
+    pub fn unblock(&mut self, warp: usize) {
+        debug_assert_eq!(self.warps[warp].state, WarpState::Blocked);
+        self.warps[warp].state = WarpState::Ready;
+    }
+
+    /// Marks warp `warp` finished (its stream ran dry).
+    pub fn finish(&mut self, warp: usize) {
+        self.warps[warp].state = WarpState::Finished;
+    }
+
+    /// State of warp `warp`.
+    pub fn warp_state(&self, warp: usize) -> WarpState {
+        self.warps[warp].state
+    }
+
+    /// Whether every warp has finished.
+    pub fn all_finished(&self) -> bool {
+        self.warps.iter().all(|w| w.state == WarpState::Finished)
+    }
+
+    /// Total instructions retired by this SM.
+    pub fn retired(&self) -> u64 {
+        self.warps.iter().map(|w| w.retired).sum()
+    }
+
+    /// Issue-pipeline busy time (for utilisation reporting).
+    pub fn busy_time(&self) -> Ps {
+        self.issue.busy_time()
+    }
+
+    /// IPC over a window ending at `horizon` (instructions per SM cycle).
+    pub fn ipc(&self, horizon: Ps) -> f64 {
+        let cycles = self.cfg.freq.cycles_in(horizon);
+        if cycles == 0 {
+            0.0
+        } else {
+            self.retired() as f64 / cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_books_cycles() {
+        let mut sm = Sm::new(SmConfig::default());
+        let done = sm.issue_compute(Ps::ZERO, 0, 120);
+        // 120 cycles at 1.2 GHz = 100 ns.
+        assert_eq!(done, Ps::from_ns(100));
+    }
+
+    #[test]
+    fn warps_share_the_issue_pipeline() {
+        let mut sm = Sm::new(SmConfig::default());
+        let a = sm.issue_compute(Ps::ZERO, 0, 120);
+        let b = sm.issue_compute(Ps::ZERO, 1, 120);
+        assert_eq!(b, a + Ps::from_ns(100));
+    }
+
+    #[test]
+    fn zero_instruction_segment_is_free() {
+        let mut sm = Sm::new(SmConfig::default());
+        assert_eq!(sm.issue_compute(Ps::from_ns(3), 0, 0), Ps::from_ns(3));
+    }
+
+    #[test]
+    fn block_unblock_cycle() {
+        let mut sm = Sm::new(SmConfig::default());
+        assert_eq!(sm.warp_state(0), WarpState::Ready);
+        sm.block_on_memory(0);
+        assert_eq!(sm.warp_state(0), WarpState::Blocked);
+        sm.unblock(0);
+        assert_eq!(sm.warp_state(0), WarpState::Ready);
+        assert_eq!(sm.retired(), 1); // the memory instruction
+    }
+
+    #[test]
+    fn finish_tracking() {
+        let mut sm = Sm::new(SmConfig { warps: 2, ..SmConfig::default() });
+        sm.finish(0);
+        assert!(!sm.all_finished());
+        sm.finish(1);
+        assert!(sm.all_finished());
+    }
+
+    #[test]
+    fn ipc_accounting() {
+        let mut sm = Sm::new(SmConfig::default());
+        sm.issue_compute(Ps::ZERO, 0, 600);
+        // 600 instructions in 1000 ns = 1200 cycles -> IPC 0.5.
+        let ipc = sm.ipc(Ps::from_us(1));
+        assert!((ipc - 0.5).abs() < 1e-3, "ipc={ipc}");
+        assert_eq!(sm.ipc(Ps::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn zero_warps_rejected() {
+        let _ = Sm::new(SmConfig { warps: 0, ..SmConfig::default() });
+    }
+}

@@ -1,0 +1,103 @@
+//! Warp instruction-stream vocabulary.
+//!
+//! A warp's execution, as the memory system sees it, is a sequence of
+//! [`WarpSlice`]s: a burst of arithmetic instructions followed by at most
+//! one memory access. Workload generators implement
+//! [`InstructionStream`] to produce these slices with the APKI, read ratio
+//! and locality of the Table II applications.
+
+use ohm_sim::Addr;
+
+/// Whether an access loads or stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load; the warp blocks until data returns.
+    Load,
+    /// A store; the warp continues once the store is accepted.
+    Store,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Load`].
+    pub fn is_load(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+}
+
+/// One scheduling quantum of a warp: `compute_insts` back-to-back
+/// instructions, then optionally one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpSlice {
+    /// Arithmetic instructions issued before the access (may be zero).
+    pub compute_insts: u64,
+    /// The memory access closing the slice, if any.
+    pub access: Option<(Addr, AccessKind)>,
+}
+
+impl WarpSlice {
+    /// A compute-only slice.
+    pub fn compute(insts: u64) -> Self {
+        WarpSlice { compute_insts: insts, access: None }
+    }
+
+    /// A slice ending in a memory access.
+    pub fn memory(insts: u64, addr: Addr, kind: AccessKind) -> Self {
+        WarpSlice { compute_insts: insts, access: Some((addr, kind)) }
+    }
+
+    /// Total instructions in the slice (the access counts as one).
+    pub fn instructions(&self) -> u64 {
+        self.compute_insts + u64::from(self.access.is_some())
+    }
+}
+
+/// A source of warp slices — one per (SM, warp) lane.
+///
+/// Implementations must be deterministic given their construction seed.
+pub trait InstructionStream {
+    /// Produces the next slice for warp `warp` of SM `sm`, or `None` when
+    /// the kernel has run out of work for that lane.
+    fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice>;
+}
+
+impl<F> InstructionStream for F
+where
+    F: FnMut(usize, usize) -> Option<WarpSlice>,
+{
+    fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
+        self(sm, warp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_instruction_count() {
+        assert_eq!(WarpSlice::compute(10).instructions(), 10);
+        assert_eq!(WarpSlice::memory(10, Addr::ZERO, AccessKind::Load).instructions(), 11);
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Load.is_load());
+        assert!(!AccessKind::Store.is_load());
+    }
+
+    #[test]
+    fn closures_are_streams() {
+        let mut n = 0;
+        let mut stream = move |_sm: usize, _warp: usize| {
+            n += 1;
+            if n <= 2 {
+                Some(WarpSlice::compute(n))
+            } else {
+                None
+            }
+        };
+        assert_eq!(stream.next_slice(0, 0), Some(WarpSlice::compute(1)));
+        assert_eq!(stream.next_slice(0, 0), Some(WarpSlice::compute(2)));
+        assert_eq!(stream.next_slice(0, 0), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! Multi-tenant workload composition.
+//!
+//! The paper motivates Ohm-GPU with large-scale multi-application GPUs;
+//! [`CompositeWorkload`] models that scenario by partitioning the SMs
+//! among several kernels (spatial multi-tenancy, as in NVIDIA MPS or
+//! MIG): each partition runs its own [`KernelWorkload`] over its own
+//! footprint slice, and the partitions contend for the shared memory
+//! system.
+
+use ohm_sim::Addr;
+use ohm_sm::{InstructionStream, WarpSlice};
+
+use crate::generator::KernelWorkload;
+use crate::spec::WorkloadSpec;
+
+/// One tenant: a kernel pinned to a contiguous range of SMs, with its
+/// footprint placed at an offset in the physical space.
+#[derive(Debug, Clone)]
+struct Tenant {
+    first_sm: usize,
+    sms: usize,
+    base: Addr,
+    kernel: KernelWorkload,
+}
+
+/// Several kernels sharing one GPU, each on its own SM partition.
+///
+/// # Example
+///
+/// ```
+/// use ohm_workloads::{workload_by_name, CompositeWorkload};
+/// use ohm_sm::InstructionStream;
+///
+/// let a = workload_by_name("pagerank").unwrap();
+/// let b = workload_by_name("GRAMS").unwrap();
+/// // 4 SMs: pagerank on SMs 0-1, GRAMS on SMs 2-3.
+/// let mut multi = CompositeWorkload::new(&[(a, 2), (b, 2)], 8, 1000, 7);
+/// assert!(multi.next_slice(0, 0).is_some()); // pagerank lane
+/// assert!(multi.next_slice(2, 0).is_some()); // GRAMS lane
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompositeWorkload {
+    tenants: Vec<Tenant>,
+    /// Total bytes across all tenant footprints.
+    total_footprint: u64,
+}
+
+impl CompositeWorkload {
+    /// Builds a partitioned GPU: `parts` lists each tenant's spec and SM
+    /// count (partitions are laid out contiguously from SM 0); every lane
+    /// runs `warps_per_sm` warps of `insts_per_warp` instructions.
+    ///
+    /// Tenant footprints are placed back-to-back in the physical space so
+    /// tenants never alias each other's pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or any SM count is zero.
+    pub fn new(
+        parts: &[(WorkloadSpec, usize)],
+        warps_per_sm: usize,
+        insts_per_warp: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(!parts.is_empty(), "need at least one tenant");
+        let mut tenants = Vec::new();
+        let mut first_sm = 0usize;
+        let mut base = 0u64;
+        for (i, &(spec, sms)) in parts.iter().enumerate() {
+            assert!(sms > 0, "tenant {i} has zero SMs");
+            tenants.push(Tenant {
+                first_sm,
+                sms,
+                base: Addr::new(base),
+                kernel: KernelWorkload::new(
+                    spec,
+                    sms,
+                    warps_per_sm,
+                    insts_per_warp,
+                    seed.wrapping_add(i as u64),
+                ),
+            });
+            first_sm += sms;
+            base += spec.footprint_bytes;
+        }
+        CompositeWorkload { tenants, total_footprint: base }
+    }
+
+    /// Total SMs across all partitions.
+    pub fn total_sms(&self) -> usize {
+        self.tenants.iter().map(|t| t.sms).sum()
+    }
+
+    /// Combined footprint of all tenants in bytes.
+    pub fn total_footprint_bytes(&self) -> u64 {
+        self.total_footprint
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    fn tenant_of(&mut self, sm: usize) -> Option<&mut Tenant> {
+        self.tenants.iter_mut().find(|t| sm >= t.first_sm && sm < t.first_sm + t.sms)
+    }
+}
+
+impl InstructionStream for CompositeWorkload {
+    fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
+        let tenant = self.tenant_of(sm)?;
+        let local_sm = sm - tenant.first_sm;
+        let base = tenant.base;
+        let slice = tenant.kernel.next_slice(local_sm, warp)?;
+        Some(WarpSlice {
+            compute_insts: slice.compute_insts,
+            access: slice.access.map(|(a, k)| (base.offset(a.get()), k)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table2::workload_by_name;
+
+    fn two_tenants() -> CompositeWorkload {
+        let a = workload_by_name("pagerank").unwrap().with_footprint(1 << 20);
+        let b = workload_by_name("GRAMS").unwrap().with_footprint(1 << 20);
+        CompositeWorkload::new(&[(a, 2), (b, 2)], 4, 500, 11)
+    }
+
+    #[test]
+    fn partitions_cover_their_sms() {
+        let mut multi = two_tenants();
+        assert_eq!(multi.total_sms(), 4);
+        assert_eq!(multi.tenants(), 2);
+        for sm in 0..4 {
+            assert!(multi.next_slice(sm, 0).is_some(), "sm {sm} must have work");
+        }
+        assert!(multi.next_slice(4, 0).is_none(), "beyond the partitions");
+    }
+
+    #[test]
+    fn tenant_footprints_do_not_alias() {
+        let mut multi = two_tenants();
+        let boundary = 1u64 << 20;
+        // Drain both partitions; tenant 0 addresses stay below the
+        // boundary, tenant 1 addresses at or above it.
+        for sm in 0..4usize {
+            for w in 0..4 {
+                while let Some(s) = multi.next_slice(sm, w) {
+                    if let Some((addr, _)) = s.access {
+                        if sm < 2 {
+                            assert!(addr.get() < boundary, "tenant 0 leaked: {addr}");
+                        } else {
+                            assert!(addr.get() >= boundary, "tenant 1 leaked: {addr}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgets_are_per_lane() {
+        let mut multi = two_tenants();
+        let mut total = 0u64;
+        for sm in 0..4usize {
+            for w in 0..4 {
+                while let Some(s) = multi.next_slice(sm, w) {
+                    total += s.instructions();
+                }
+            }
+        }
+        assert_eq!(total, 4 * 4 * 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero SMs")]
+    fn zero_sm_tenant_rejected() {
+        let a = workload_by_name("lud").unwrap();
+        let _ = CompositeWorkload::new(&[(a, 0)], 1, 100, 0);
+    }
+}

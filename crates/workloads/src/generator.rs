@@ -1,0 +1,387 @@
+//! Synthetic kernel generator.
+//!
+//! [`KernelWorkload`] turns a [`WorkloadSpec`] into a deterministic
+//! [`InstructionStream`]: each (SM, warp) lane receives its own RNG stream
+//! and walks the footprint according to the spec's pattern class, emitting
+//! memory accesses at the spec's APKI with the spec's read ratio.
+
+use ohm_sim::{Addr, SplitMix64};
+use ohm_sm::{AccessKind, InstructionStream, WarpSlice};
+
+use crate::spec::{AccessPattern, WorkloadSpec};
+
+/// Access granularity: one GPU cache line.
+const LINE_BYTES: u64 = 128;
+
+#[derive(Debug, Clone)]
+struct LaneState {
+    rng: SplitMix64,
+    remaining_insts: u64,
+    /// Streaming/blocked cursor (line index within the footprint).
+    cursor: u64,
+    /// Remaining accesses within the current tile (blocked pattern).
+    dwell_left: u32,
+    /// Current tile base (line index).
+    tile_base: u64,
+}
+
+/// A deterministic synthetic GPU kernel.
+///
+/// # Example
+///
+/// ```
+/// use ohm_workloads::{workload_by_name, KernelWorkload};
+/// use ohm_sm::InstructionStream;
+///
+/// let spec = workload_by_name("pagerank").unwrap();
+/// let mut k = KernelWorkload::new(spec, 16, 24, 10_000, 42);
+/// let slice = k.next_slice(0, 0).unwrap();
+/// assert!(slice.instructions() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelWorkload {
+    spec: WorkloadSpec,
+    sms: usize,
+    warps_per_sm: usize,
+    lanes: Vec<LaneState>,
+    footprint_lines: u64,
+    cold_cursor: u64,
+    issued_accesses: u64,
+    issued_reads: u64,
+    issued_insts: u64,
+}
+
+impl KernelWorkload {
+    /// Creates a kernel over `sms × warps_per_sm` lanes, each executing
+    /// `insts_per_warp` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the footprint is smaller than
+    /// one line.
+    pub fn new(
+        spec: WorkloadSpec,
+        sms: usize,
+        warps_per_sm: usize,
+        insts_per_warp: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(sms > 0 && warps_per_sm > 0, "kernel needs at least one lane");
+        assert!(insts_per_warp > 0, "warps need a positive instruction budget");
+        let footprint_lines = spec.footprint_bytes / LINE_BYTES;
+        assert!(footprint_lines > 0, "footprint smaller than one line");
+        let mut root = SplitMix64::new(seed ^ 0x04_6D_47_5A);
+        let total_lanes = sms * warps_per_sm;
+        let lanes = (0..total_lanes)
+            .map(|i| {
+                let mut rng = root.fork(i as u64);
+                // Spread streaming cursors across the active window so
+                // lanes behave like different thread blocks.
+                let cursor = rng.next_below((footprint_lines / 8).max(1));
+                LaneState {
+                    rng,
+                    remaining_insts: insts_per_warp,
+                    cursor,
+                    dwell_left: 0,
+                    // Tiled lanes start their sweeps spread across the
+                    // footprint, like different thread blocks.
+                    tile_base: cursor,
+                }
+            })
+            .collect();
+        KernelWorkload {
+            spec,
+            sms,
+            warps_per_sm,
+            lanes,
+            footprint_lines,
+            cold_cursor: 0,
+            issued_accesses: 0,
+            issued_reads: 0,
+            issued_insts: 0,
+        }
+    }
+
+    /// The generating spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn lane_index(&self, sm: usize, warp: usize) -> usize {
+        assert!(sm < self.sms && warp < self.warps_per_sm, "lane out of range");
+        sm * self.warps_per_sm + warp
+    }
+
+    fn next_line(
+        lane: &mut LaneState,
+        pattern: AccessPattern,
+        footprint_lines: u64,
+        global_accesses: u64,
+        cold_cursor: &mut u64,
+    ) -> u64 {
+        match pattern {
+            AccessPattern::Streaming => {
+                // Streaming kernels double-buffer: at any instant the live
+                // tiles cover a bounded, forward-moving region (an eighth
+                // of the footprint), inside which each lane walks
+                // sequentially. The region advances with global progress,
+                // covering the array like the real kernel's pass.
+                let window = (footprint_lines / 8).max(1);
+                let frontier =
+                    global_accesses * (window / 8 + 1) / 32_768 % footprint_lines;
+                lane.cursor = (lane.cursor + 1) % window;
+                (frontier + lane.cursor) % footprint_lines
+            }
+            AccessPattern::Blocked { block_bytes, dwell } => {
+                // Tiled kernels (LU panels, backprop layers) dwell inside a
+                // tile drawn from the same bounded moving region.
+                let window = (footprint_lines / 8).max(1);
+                let frontier =
+                    global_accesses * (window / 8 + 1) / 32_768 % footprint_lines;
+                let block_lines = (block_bytes / LINE_BYTES).max(1);
+                if lane.dwell_left == 0 {
+                    let blocks = (window / block_lines).max(1);
+                    lane.tile_base = lane.rng.next_below(blocks) * block_lines;
+                    lane.dwell_left = dwell;
+                }
+                lane.dwell_left -= 1;
+                (frontier + lane.tile_base + lane.rng.next_below(block_lines))
+                    % footprint_lines
+            }
+            AccessPattern::Graph { gamma, window_frac, cold_frac } => {
+                let window = ((footprint_lines as f64 * window_frac) as u64).max(1);
+                // The frontier window drifts *continuously* at a rate of
+                // one eighth of its size per 32 K kernel-wide accesses:
+                // slow enough that hot vertices are revisited many times
+                // while resident (the temporal locality graph kernels
+                // exhibit), fast enough that a full run turns over the hot
+                // set a few times (the churn that drives data migration).
+                // Continuous motion avoids artificial whole-window jumps
+                // that would synchronise misses into bursts.
+                // The frontier starts a third of the way into the graph
+                // (kernels rarely start at address zero), which also means
+                // the initial hot set starts on XPoint-resident pages in
+                // the heterogeneous platforms.
+                let frontier = (footprint_lines / 3
+                    + global_accesses * (window / 8 + 1) / 32_768)
+                    % footprint_lines;
+                if lane.rng.chance(cold_frac) {
+                    // Cold edges stream sequentially through the rest of
+                    // the footprint ahead of the frontier (edge lists are
+                    // read as streams); each touch samples one line per
+                    // page of the stream, so the cold walker ranges across
+                    // the whole graph within a run. Sequentiality keeps
+                    // host staging segmental.
+                    const COLD_STRIDE_LINES: u64 = 32; // one 4 KB page
+                    let span = (footprint_lines - window).max(1);
+                    let off = window + (*cold_cursor * COLD_STRIDE_LINES) % span;
+                    *cold_cursor += 1;
+                    (frontier + off) % footprint_lines
+                } else {
+                    let u = lane.rng.next_f64();
+                    let off = (u.powf(gamma) * window as f64) as u64;
+                    (frontier + off.min(window - 1)) % footprint_lines
+                }
+            }
+            AccessPattern::Uniform => lane.rng.next_below(footprint_lines),
+        }
+    }
+
+    /// Memory accesses issued so far across all lanes.
+    pub fn issued_accesses(&self) -> u64 {
+        self.issued_accesses
+    }
+
+    /// Read accesses issued so far.
+    pub fn issued_reads(&self) -> u64 {
+        self.issued_reads
+    }
+
+    /// Instructions issued so far (compute + memory).
+    pub fn issued_insts(&self) -> u64 {
+        self.issued_insts
+    }
+
+    /// Measured APKI of the emitted stream so far.
+    pub fn measured_apki(&self) -> f64 {
+        if self.issued_insts == 0 {
+            0.0
+        } else {
+            self.issued_accesses as f64 * 1000.0 / self.issued_insts as f64
+        }
+    }
+
+    /// Measured read ratio of the emitted stream so far.
+    pub fn measured_read_ratio(&self) -> f64 {
+        if self.issued_accesses == 0 {
+            0.0
+        } else {
+            self.issued_reads as f64 / self.issued_accesses as f64
+        }
+    }
+}
+
+impl InstructionStream for KernelWorkload {
+    fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
+        let idx = self.lane_index(sm, warp);
+        let pattern = self.spec.pattern;
+        let footprint_lines = self.footprint_lines;
+        let gap = self.spec.mean_compute_gap();
+        let read_ratio = self.spec.read_ratio;
+
+        let lane = &mut self.lanes[idx];
+        if lane.remaining_insts == 0 {
+            return None;
+        }
+
+        // Exponentially distributed compute gap with mean `gap`; zero is
+        // allowed so APKIs above 500 (pagerank: 599) remain reachable.
+        let compute = if gap <= 0.0 {
+            0
+        } else {
+            (-lane.rng.next_f64().max(1e-18).ln() * gap).round() as u64
+        };
+        let compute = compute.min(lane.remaining_insts.saturating_sub(1));
+
+        if lane.remaining_insts <= compute + 1 {
+            // Budget exhausted by compute alone: drain without an access.
+            let insts = lane.remaining_insts;
+            lane.remaining_insts = 0;
+            self.issued_insts += insts;
+            return Some(WarpSlice::compute(insts));
+        }
+
+        lane.remaining_insts -= compute + 1;
+        let mut cold = self.cold_cursor;
+        let line = Self::next_line(
+            lane,
+            pattern,
+            footprint_lines,
+            self.issued_accesses,
+            &mut cold,
+        );
+        self.cold_cursor = cold;
+        let lane = &mut self.lanes[idx];
+        let kind =
+            if lane.rng.chance(read_ratio) { AccessKind::Load } else { AccessKind::Store };
+        let addr = Addr::from_block(line, LINE_BYTES);
+        self.issued_accesses += 1;
+        self.issued_insts += compute + 1;
+        if kind.is_load() {
+            self.issued_reads += 1;
+        }
+        Some(WarpSlice::memory(compute, addr, kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table2::workload_by_name;
+
+    fn drain(spec_name: &str, insts: u64) -> KernelWorkload {
+        let spec = workload_by_name(spec_name).unwrap();
+        let mut k = KernelWorkload::new(spec, 2, 4, insts, 7);
+        for sm in 0..2 {
+            for w in 0..4 {
+                while k.next_slice(sm, w).is_some() {}
+            }
+        }
+        k
+    }
+
+    #[test]
+    fn apki_matches_spec_within_tolerance() {
+        for name in ["pagerank", "lud", "FDTD", "betw"] {
+            let k = drain(name, 50_000);
+            let target = k.spec().apki as f64;
+            let measured = k.measured_apki();
+            let rel = (measured - target).abs() / target;
+            assert!(rel < 0.15, "{name}: APKI target {target}, measured {measured:.1}");
+        }
+    }
+
+    #[test]
+    fn read_ratio_matches_spec() {
+        let k = drain("bfsdata", 50_000);
+        assert!((k.measured_read_ratio() - 0.95).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let spec = workload_by_name("GRAMS").unwrap();
+        let mut a = KernelWorkload::new(spec, 1, 2, 1000, 99);
+        let mut b = KernelWorkload::new(spec, 1, 2, 1000, 99);
+        for _ in 0..200 {
+            assert_eq!(a.next_slice(0, 1), b.next_slice(0, 1));
+        }
+    }
+
+    #[test]
+    fn lanes_exhaust_exactly_their_budget() {
+        let spec = workload_by_name("backp").unwrap().with_footprint(1 << 20);
+        let mut k = KernelWorkload::new(spec, 1, 1, 5000, 1);
+        let mut total = 0;
+        while let Some(s) = k.next_slice(0, 0) {
+            total += s.instructions();
+        }
+        assert_eq!(total, 5000);
+        assert!(k.next_slice(0, 0).is_none());
+    }
+
+    #[test]
+    fn graph_pattern_is_skewed() {
+        // The hottest tenth of the footprint (by measured frequency) must
+        // absorb most accesses - the power-law concentration that makes
+        // hot-page migration worthwhile.
+        let spec = workload_by_name("pagerank").unwrap().with_footprint(1 << 24);
+        let mut k = KernelWorkload::new(spec, 1, 1, 200_000, 3);
+        const BUCKETS: usize = 1024;
+        let mut counts = [0u64; BUCKETS];
+        let mut total = 0u64;
+        let footprint_lines = (1u64 << 24) / 128;
+        while let Some(s) = k.next_slice(0, 0) {
+            if let Some((addr, _)) = s.access {
+                total += 1;
+                let b = (addr.block_index(128) * BUCKETS as u64 / footprint_lines) as usize;
+                counts[b.min(BUCKETS - 1)] += 1;
+            }
+        }
+        assert!(total > 1000);
+        let mut sorted = counts;
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let hot: u64 = sorted[..BUCKETS / 10].iter().sum();
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.5, "hot-decile concentration {frac}");
+    }
+
+    #[test]
+    fn streaming_pattern_is_sequential() {
+        let spec = workload_by_name("GRAMS").unwrap().with_footprint(1 << 22);
+        let mut k = KernelWorkload::new(spec, 1, 1, 100_000, 5);
+        let mut last: Option<u64> = None;
+        let mut seq = 0u64;
+        let mut total = 0u64;
+        while let Some(s) = k.next_slice(0, 0) {
+            if let Some((addr, _)) = s.access {
+                let line = addr.block_index(128);
+                if let Some(prev) = last {
+                    total += 1;
+                    if line == prev + 1 {
+                        seq += 1;
+                    }
+                }
+                last = Some(line);
+            }
+        }
+        assert!(seq as f64 / total as f64 > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane out of range")]
+    fn out_of_range_lane_panics() {
+        let spec = workload_by_name("lud").unwrap();
+        let mut k = KernelWorkload::new(spec, 1, 1, 100, 0);
+        let _ = k.next_slice(1, 0);
+    }
+}

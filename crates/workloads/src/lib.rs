@@ -1,0 +1,39 @@
+//! Synthetic GPU workloads matching the paper's Table II, plus the
+//! host/SSD substrate used by the breakdown study (Figure 3) and the
+//! `Origin` platform.
+//!
+//! The paper evaluates ten applications from Rodinia, GraphBIG and
+//! Polybench, characterised by their **APKI** (memory accesses per kilo
+//! instruction) and **read ratio**. We do not have the authors' GPU
+//! traces; instead each application is reproduced as a deterministic
+//! synthetic kernel with the same APKI, read ratio and an access-pattern
+//! class matching its domain (tiled/blocked for the Rodinia kernels,
+//! streaming for the Polybench stencils, power-law graph for the GraphBIG
+//! workloads). DESIGN.md documents why this substitution preserves the
+//! paper's comparisons.
+//!
+//! * [`spec`] — workload descriptors and pattern classes.
+//! * [`table2`] — the ten Table II applications as constants.
+//! * [`generator`] — [`KernelWorkload`], an
+//!   [`InstructionStream`](ohm_sm::InstructionStream) implementation.
+//! * [`ssd`] — SSD + PCIe DMA model for GPU↔host data movement.
+//! * [`trace`] — record/replay of memory traces, for users with real
+//!   GPU traces.
+//! * [`composite`] — spatial multi-tenancy: several kernels partitioned
+//!   across the SMs, sharing the memory system.
+
+#![warn(missing_docs)]
+
+pub mod composite;
+pub mod generator;
+pub mod spec;
+pub mod ssd;
+pub mod table2;
+pub mod trace;
+
+pub use composite::CompositeWorkload;
+pub use generator::KernelWorkload;
+pub use spec::{AccessPattern, WorkloadSpec};
+pub use ssd::{HostStorage, HostStorageConfig};
+pub use table2::{all_workloads, workload_by_name};
+pub use trace::{Trace, TraceRecord, TraceRecorder, TraceWorkload};

@@ -1,0 +1,116 @@
+//! Workload descriptors.
+
+/// The memory access-pattern class of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Sequential streaming through the footprint (stencils, BLAS-like
+    /// kernels: FDTD, GRAMS).
+    Streaming,
+    /// Tiled/blocked locality: dwell inside a block, then jump
+    /// (backprop, LU decomposition).
+    Blocked {
+        /// Tile size in bytes.
+        block_bytes: u64,
+        /// Mean accesses spent inside one tile before jumping.
+        dwell: u32,
+    },
+    /// Power-law skewed accesses concentrated in a slowly drifting
+    /// *frontier window* (graph analytics: BFS, betweenness, pagerank,
+    /// SSSP/"SSSD", graph colouring). The window models the frontier /
+    /// hot-vertex set that iterative graph kernels revisit; its drift
+    /// generates the steady hot-page churn that drives data migration.
+    Graph {
+        /// Skew exponent within the window: offset ∝ u^gamma.
+        gamma: f64,
+        /// Window size as a fraction of the footprint.
+        window_frac: f64,
+        /// Fraction of accesses that range ahead of the window (cold
+        /// edges being pulled in).
+        cold_frac: f64,
+    },
+    /// Uniform random (worst-case locality).
+    Uniform,
+}
+
+/// A Table II application descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Application name as in Table II.
+    pub name: &'static str,
+    /// Memory accesses per kilo-instruction (Table II).
+    pub apki: u32,
+    /// Fraction of memory accesses that are reads (Table II).
+    pub read_ratio: f64,
+    /// Benchmark suite of origin, for documentation.
+    pub suite: &'static str,
+    /// Access-pattern class.
+    pub pattern: AccessPattern,
+    /// Working-set footprint in bytes (paper: 8 GB, scaled 12×; see
+    /// DESIGN.md — defaults here are further scaled for simulation speed
+    /// and can be overridden).
+    pub footprint_bytes: u64,
+}
+
+impl WorkloadSpec {
+    /// Mean arithmetic instructions between two memory accesses implied by
+    /// the APKI (at least zero).
+    pub fn mean_compute_gap(&self) -> f64 {
+        (1000.0 / self.apki as f64 - 1.0).max(0.0)
+    }
+
+    /// Returns a copy with a different footprint.
+    pub fn with_footprint(mut self, bytes: u64) -> Self {
+        self.footprint_bytes = bytes;
+        self
+    }
+
+    /// Whether Table II would classify this workload as read-intensive
+    /// (read ratio above 0.9).
+    pub fn is_read_intensive(&self) -> bool {
+        self.read_ratio > 0.9
+    }
+
+    /// Whether Table II would classify this workload as memory-intensive
+    /// (APKI of 80 or more).
+    pub fn is_memory_intensive(&self) -> bool {
+        self.apki >= 80
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(apki: u32, rr: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            apki,
+            read_ratio: rr,
+            suite: "synthetic",
+            pattern: AccessPattern::Uniform,
+            footprint_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn compute_gap_from_apki() {
+        // APKI 100 -> one access every 10 instructions -> 9 compute insts.
+        assert!((spec(100, 0.5).mean_compute_gap() - 9.0).abs() < 1e-12);
+        // Very high APKI clamps at zero gap.
+        assert_eq!(spec(2000, 0.5).mean_compute_gap(), 0.0);
+    }
+
+    #[test]
+    fn intensity_classification() {
+        assert!(spec(599, 0.99).is_memory_intensive());
+        assert!(!spec(20, 0.52).is_memory_intensive());
+        assert!(spec(100, 0.95).is_read_intensive());
+        assert!(!spec(100, 0.53).is_read_intensive());
+    }
+
+    #[test]
+    fn with_footprint_overrides() {
+        let s = spec(100, 0.5).with_footprint(42);
+        assert_eq!(s.footprint_bytes, 42);
+    }
+}

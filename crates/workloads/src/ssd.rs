@@ -1,0 +1,182 @@
+//! Host storage substrate: SSD + PCIe DMA.
+//!
+//! The paper motivates Ohm-GPU with a breakdown of a GPU + SSD system
+//! (Figure 3): when the working set exceeds GPU memory, data must be
+//! staged from an SSD over the host interconnect, and those two steps
+//! dominate execution time (21% storage access + 45% transfer on
+//! average). We model a Z-NAND-class SSD (Samsung Z-SSD, the paper's
+//! reference device) and a PCIe 3.0 x16 DMA path. The `Origin` platform
+//! uses this model whenever its footprint misses GPU memory.
+
+use ohm_sim::{Calendar, Counter, Ps};
+
+/// Host storage configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostStorageConfig {
+    /// SSD read access latency (Z-NAND class: ~20 us).
+    pub ssd_read_latency: Ps,
+    /// SSD write access latency.
+    pub ssd_write_latency: Ps,
+    /// SSD streaming bandwidth, bytes per second.
+    pub ssd_bandwidth_bps: u64,
+    /// Host↔GPU DMA bandwidth (PCIe 3.0 x16 ≈ 12 GB/s effective).
+    pub dma_bandwidth_bps: u64,
+    /// DMA setup latency per transfer.
+    pub dma_setup: Ps,
+}
+
+impl Default for HostStorageConfig {
+    fn default() -> Self {
+        HostStorageConfig {
+            ssd_read_latency: Ps::from_us(20),
+            ssd_write_latency: Ps::from_us(30),
+            ssd_bandwidth_bps: 3_000_000_000,
+            dma_bandwidth_bps: 12_000_000_000,
+            dma_setup: Ps::from_us(5),
+        }
+    }
+}
+
+/// Completion report for one staging operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagingTimes {
+    /// When the SSD finished its part.
+    pub storage_done: Ps,
+    /// When the DMA into GPU memory finished (data usable).
+    pub transfer_done: Ps,
+}
+
+/// SSD + DMA path between host storage and GPU memory.
+///
+/// # Example
+///
+/// ```
+/// use ohm_workloads::{HostStorage, HostStorageConfig};
+/// use ohm_sim::Ps;
+///
+/// let mut host = HostStorage::new(HostStorageConfig::default());
+/// let t = host.stage_in(Ps::ZERO, 2 << 20); // page in 2 MiB
+/// assert!(t.transfer_done > t.storage_done);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostStorage {
+    cfg: HostStorageConfig,
+    ssd: Calendar,
+    dma: Calendar,
+    staged_in: Counter,
+    staged_out: Counter,
+    bytes_moved: u64,
+}
+
+impl HostStorage {
+    /// Creates an idle host-storage path.
+    pub fn new(cfg: HostStorageConfig) -> Self {
+        HostStorage {
+            cfg,
+            ssd: Calendar::new(),
+            dma: Calendar::new(),
+            staged_in: Counter::new(),
+            staged_out: Counter::new(),
+            bytes_moved: 0,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &HostStorageConfig {
+        &self.cfg
+    }
+
+    fn stream_time(bytes: u64, bps: u64) -> Ps {
+        Ps::from_ps(((bytes as u128 * 1_000_000_000_000u128) / bps as u128) as u64)
+    }
+
+    /// Stages `bytes` from the SSD into GPU memory (page-in).
+    pub fn stage_in(&mut self, now: Ps, bytes: u64) -> StagingTimes {
+        let ssd_time = self.cfg.ssd_read_latency
+            + Self::stream_time(bytes, self.cfg.ssd_bandwidth_bps);
+        let (_, storage_done) = self.ssd.book(now, ssd_time);
+        let dma_time = self.cfg.dma_setup + Self::stream_time(bytes, self.cfg.dma_bandwidth_bps);
+        let (_, transfer_done) = self.dma.book(storage_done, dma_time);
+        self.staged_in.incr();
+        self.bytes_moved += bytes;
+        StagingTimes { storage_done, transfer_done }
+    }
+
+    /// Stages `bytes` from GPU memory out to the SSD (page-out / spill).
+    pub fn stage_out(&mut self, now: Ps, bytes: u64) -> StagingTimes {
+        let dma_time = self.cfg.dma_setup + Self::stream_time(bytes, self.cfg.dma_bandwidth_bps);
+        let (_, transfer_done) = self.dma.book(now, dma_time);
+        let ssd_time = self.cfg.ssd_write_latency
+            + Self::stream_time(bytes, self.cfg.ssd_bandwidth_bps);
+        let (_, storage_done) = self.ssd.book(transfer_done, ssd_time);
+        self.staged_out.incr();
+        self.bytes_moved += bytes;
+        StagingTimes { storage_done, transfer_done }
+    }
+
+    /// Total SSD busy time (the Figure 3a "storage access" component).
+    pub fn storage_busy(&self) -> Ps {
+        self.ssd.busy_time()
+    }
+
+    /// Total DMA busy time (the Figure 3a "data transfer" component).
+    pub fn dma_busy(&self) -> Ps {
+        self.dma.busy_time()
+    }
+
+    /// Number of page-in operations.
+    pub fn staged_in(&self) -> u64 {
+        self.staged_in.get()
+    }
+
+    /// Number of page-out operations.
+    pub fn staged_out(&self) -> u64 {
+        self.staged_out.get()
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_in_latency_composition() {
+        let mut h = HostStorage::new(HostStorageConfig::default());
+        let t = h.stage_in(Ps::ZERO, 3_000_000_000 / 1000); // 3 MB => 1 ms at 3 GB/s
+        assert_eq!(t.storage_done, Ps::from_us(20) + Ps::from_ms(1));
+        // DMA: 5 us setup + 0.25 ms at 12 GB/s.
+        assert_eq!(t.transfer_done, t.storage_done + Ps::from_us(5) + Ps::from_us(250));
+    }
+
+    #[test]
+    fn staging_serialises_on_the_ssd() {
+        let mut h = HostStorage::new(HostStorageConfig::default());
+        let a = h.stage_in(Ps::ZERO, 1 << 20);
+        let b = h.stage_in(Ps::ZERO, 1 << 20);
+        assert!(b.storage_done > a.storage_done);
+        assert_eq!(h.staged_in(), 2);
+    }
+
+    #[test]
+    fn stage_out_moves_dma_first() {
+        let mut h = HostStorage::new(HostStorageConfig::default());
+        let t = h.stage_out(Ps::ZERO, 1 << 20);
+        assert!(t.storage_done > t.transfer_done);
+        assert_eq!(h.staged_out(), 1);
+        assert_eq!(h.bytes_moved(), 1 << 20);
+    }
+
+    #[test]
+    fn busy_accounting_splits_components() {
+        let mut h = HostStorage::new(HostStorageConfig::default());
+        h.stage_in(Ps::ZERO, 1 << 20);
+        assert!(h.storage_busy() > Ps::ZERO);
+        assert!(h.dma_busy() > Ps::ZERO);
+        assert!(h.storage_busy() > h.dma_busy()); // SSD is the slower leg
+    }
+}

@@ -1,0 +1,144 @@
+//! The ten Table II applications.
+//!
+//! APKI and read ratios are taken verbatim from the paper's Table II; the
+//! pattern class is assigned from each application's domain. Default
+//! footprints are 64 MB — the paper's 8 GB footprint scaled for simulation
+//! speed; every experiment harness scales memory capacities by the same
+//! factor, preserving the footprint : DRAM : XPoint ratios (the paper
+//! itself applies a 12× scaling for the same reason).
+
+use crate::spec::{AccessPattern, WorkloadSpec};
+
+/// Default synthetic footprint (see module docs).
+pub const DEFAULT_FOOTPRINT: u64 = 64 << 20;
+
+const BLOCKED: AccessPattern = AccessPattern::Blocked { block_bytes: 64 * 1024, dwell: 48 };
+const GRAPH: AccessPattern =
+    AccessPattern::Graph { gamma: 3.0, window_frac: 0.015, cold_frac: 0.15 };
+
+/// All ten Table II workloads, in the paper's order.
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "backp",
+            apki: 30,
+            read_ratio: 0.53,
+            suite: "rodinia",
+            pattern: BLOCKED,
+            footprint_bytes: DEFAULT_FOOTPRINT,
+        },
+        WorkloadSpec {
+            name: "lud",
+            apki: 20,
+            read_ratio: 0.52,
+            suite: "rodinia",
+            pattern: BLOCKED,
+            footprint_bytes: DEFAULT_FOOTPRINT,
+        },
+        WorkloadSpec {
+            name: "GRAMS",
+            apki: 266,
+            read_ratio: 0.7,
+            suite: "polybench",
+            pattern: AccessPattern::Streaming,
+            footprint_bytes: DEFAULT_FOOTPRINT,
+        },
+        WorkloadSpec {
+            name: "FDTD",
+            apki: 86,
+            read_ratio: 0.7,
+            suite: "polybench",
+            pattern: AccessPattern::Streaming,
+            footprint_bytes: DEFAULT_FOOTPRINT,
+        },
+        WorkloadSpec {
+            name: "betw",
+            apki: 193,
+            read_ratio: 0.99,
+            suite: "graphbig",
+            pattern: GRAPH,
+            footprint_bytes: DEFAULT_FOOTPRINT,
+        },
+        WorkloadSpec {
+            name: "bfsdata",
+            apki: 84,
+            read_ratio: 0.95,
+            suite: "graphbig",
+            pattern: GRAPH,
+            footprint_bytes: DEFAULT_FOOTPRINT,
+        },
+        WorkloadSpec {
+            name: "bfstopo",
+            apki: 25,
+            read_ratio: 0.97,
+            suite: "graphbig",
+            pattern: GRAPH,
+            footprint_bytes: DEFAULT_FOOTPRINT,
+        },
+        WorkloadSpec {
+            name: "gctopo",
+            apki: 93,
+            read_ratio: 0.99,
+            suite: "graphbig",
+            pattern: GRAPH,
+            footprint_bytes: DEFAULT_FOOTPRINT,
+        },
+        WorkloadSpec {
+            name: "pagerank",
+            apki: 599,
+            read_ratio: 0.99,
+            suite: "graphbig",
+            pattern: GRAPH,
+            footprint_bytes: DEFAULT_FOOTPRINT,
+        },
+        WorkloadSpec {
+            name: "SSSD",
+            apki: 103,
+            read_ratio: 0.98,
+            suite: "graphbig",
+            pattern: GRAPH,
+            footprint_bytes: DEFAULT_FOOTPRINT,
+        },
+    ]
+}
+
+/// Looks up a Table II workload by its paper name (case-sensitive).
+pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_workloads_with_paper_values() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 10);
+        let pr = workload_by_name("pagerank").unwrap();
+        assert_eq!(pr.apki, 599);
+        assert!((pr.read_ratio - 0.99).abs() < 1e-12);
+        let lud = workload_by_name("lud").unwrap();
+        assert_eq!(lud.apki, 20);
+        assert!((lud.read_ratio - 0.52).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = all_workloads();
+        let names: std::collections::BTreeSet<_> = all.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn suites_match_paper() {
+        for w in all_workloads() {
+            assert!(matches!(w.suite, "rodinia" | "polybench" | "graphbig"));
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Memory-trace recording and replay.
+//!
+//! The synthetic Table II kernels are the default workload source, but a
+//! downstream user with real GPU traces (e.g. from a binary-instrumented
+//! run) can feed them straight into the simulator: [`TraceWorkload`]
+//! replays a recorded slice stream, and [`TraceRecorder`] captures any
+//! [`InstructionStream`] into one. Traces serialise to a simple
+//! line-oriented text format:
+//!
+//! ```text
+//! # sm warp compute [R|W addr]
+//! 0 3 12 R 0x1f80
+//! 0 3 7
+//! 1 0 0 W 0x44c0
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use ohm_sim::Addr;
+use ohm_sm::{AccessKind, InstructionStream, WarpSlice};
+
+/// One recorded warp slice, tagged with its lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// SM index of the issuing lane.
+    pub sm: usize,
+    /// Warp slot of the issuing lane.
+    pub warp: usize,
+    /// The slice that was issued.
+    pub slice: WarpSlice,
+}
+
+impl TraceRecord {
+    fn to_line(self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{} {} {}", self.sm, self.warp, self.slice.compute_insts);
+        if let Some((addr, kind)) = self.slice.access {
+            let k = if kind.is_load() { 'R' } else { 'W' };
+            let _ = write!(s, " {k} {:#x}", addr.get());
+        }
+        s
+    }
+}
+
+/// Parse error for the text trace format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// An in-memory trace: an ordered list of [`TraceRecord`]s.
+///
+/// # Example
+///
+/// ```
+/// use ohm_workloads::trace::Trace;
+///
+/// let text = "0 0 5 R 0x100\n0 0 3\n";
+/// let trace: Trace = text.parse()?;
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.to_text().lines().count(), 2);
+/// # Ok::<(), ohm_workloads::trace::ParseTraceError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates a trace from records.
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        Trace { records }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records in issue order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Serialises to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total instructions in the trace.
+    pub fn instructions(&self) -> u64 {
+        self.records.iter().map(|r| r.slice.instructions()).sum()
+    }
+
+    /// Total memory accesses in the trace.
+    pub fn accesses(&self) -> u64 {
+        self.records.iter().filter(|r| r.slice.access.is_some()).count() as u64
+    }
+}
+
+impl FromStr for Trace {
+    type Err = ParseTraceError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let mut records = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut parts = content.split_whitespace();
+            let err = |message: String| ParseTraceError { line, message };
+            let sm: usize = parts
+                .next()
+                .ok_or_else(|| err("missing sm".into()))?
+                .parse()
+                .map_err(|e| err(format!("bad sm: {e}")))?;
+            let warp: usize = parts
+                .next()
+                .ok_or_else(|| err("missing warp".into()))?
+                .parse()
+                .map_err(|e| err(format!("bad warp: {e}")))?;
+            let compute: u64 = parts
+                .next()
+                .ok_or_else(|| err("missing compute count".into()))?
+                .parse()
+                .map_err(|e| err(format!("bad compute count: {e}")))?;
+            let access = match parts.next() {
+                None => None,
+                Some(k) => {
+                    let kind = match k {
+                        "R" | "r" => AccessKind::Load,
+                        "W" | "w" => AccessKind::Store,
+                        other => return Err(err(format!("bad access kind: {other}"))),
+                    };
+                    let addr_str = parts.next().ok_or_else(|| err("missing address".into()))?;
+                    let digits = addr_str.trim_start_matches("0x").trim_start_matches("0X");
+                    let addr = u64::from_str_radix(digits, 16)
+                        .map_err(|e| err(format!("bad address: {e}")))?;
+                    Some((Addr::new(addr), kind))
+                }
+            };
+            if parts.next().is_some() {
+                return Err(err("trailing tokens".into()));
+            }
+            records.push(TraceRecord {
+                sm,
+                warp,
+                slice: WarpSlice { compute_insts: compute, access },
+            });
+        }
+        Ok(Trace { records })
+    }
+}
+
+/// Wraps an [`InstructionStream`], recording every slice it produces.
+///
+/// # Example
+///
+/// ```
+/// use ohm_workloads::trace::TraceRecorder;
+/// use ohm_workloads::{workload_by_name, KernelWorkload};
+/// use ohm_sm::InstructionStream;
+///
+/// let spec = workload_by_name("lud").unwrap();
+/// let mut rec = TraceRecorder::new(KernelWorkload::new(spec, 1, 1, 200, 1));
+/// while rec.next_slice(0, 0).is_some() {}
+/// assert!(rec.trace().len() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRecorder<S> {
+    inner: S,
+    trace: Trace,
+}
+
+impl<S: InstructionStream> TraceRecorder<S> {
+    /// Wraps `inner`, starting with an empty trace.
+    pub fn new(inner: S) -> Self {
+        TraceRecorder { inner, trace: Trace::new() }
+    }
+
+    /// The trace captured so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the recorder, returning the captured trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl<S: InstructionStream> InstructionStream for TraceRecorder<S> {
+    fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
+        let slice = self.inner.next_slice(sm, warp)?;
+        self.trace.push(TraceRecord { sm, warp, slice });
+        Some(slice)
+    }
+}
+
+/// Replays a [`Trace`] as an [`InstructionStream`]: each lane consumes its
+/// own records in recorded order.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    lanes: std::collections::HashMap<(usize, usize), VecDeque<WarpSlice>>,
+}
+
+impl TraceWorkload {
+    /// Builds a replayer from a trace.
+    pub fn new(trace: &Trace) -> Self {
+        let mut lanes: std::collections::HashMap<(usize, usize), VecDeque<WarpSlice>> =
+            std::collections::HashMap::new();
+        for r in trace.records() {
+            lanes.entry((r.sm, r.warp)).or_default().push_back(r.slice);
+        }
+        TraceWorkload { lanes }
+    }
+
+    /// Slices remaining across all lanes.
+    pub fn remaining(&self) -> usize {
+        self.lanes.values().map(|q| q.len()).sum()
+    }
+}
+
+impl InstructionStream for TraceWorkload {
+    fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
+        self.lanes.get_mut(&(sm, warp))?.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table2::workload_by_name;
+    use crate::KernelWorkload;
+
+    #[test]
+    fn text_roundtrip() {
+        let text = "# header comment\n0 0 5 R 0x100\n0 0 3\n1 2 0 W 0x44c0\n";
+        let trace: Trace = text.parse().unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.instructions(), 5 + 1 + 3 + 1);
+        assert_eq!(trace.accesses(), 2);
+        let reparsed: Trace = trace.to_text().parse().unwrap();
+        assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = "0 0 5 R 0x100\n0 bad 3\n".parse::<Trace>().unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("warp"));
+        let e = "0 0 5 X 0x100\n".parse::<Trace>().unwrap_err();
+        assert!(e.message.contains("access kind"));
+        let e = "0 0 5 R\n".parse::<Trace>().unwrap_err();
+        assert!(e.message.contains("address"));
+        let e = "0 0 5 R 0x100 junk\n".parse::<Trace>().unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn record_then_replay_is_identical() {
+        let spec = workload_by_name("bfsdata").unwrap();
+        let mut rec = TraceRecorder::new(KernelWorkload::new(spec, 2, 2, 500, 3));
+        // Interleave lanes the way the simulator would.
+        let mut live = Vec::new();
+        'outer: loop {
+            let mut all_done = true;
+            for sm in 0..2 {
+                for w in 0..2 {
+                    if let Some(s) = rec.next_slice(sm, w) {
+                        live.push((sm, w, s));
+                        all_done = false;
+                    }
+                }
+            }
+            if all_done {
+                break 'outer;
+            }
+        }
+        let trace = rec.into_trace();
+        let mut replay = TraceWorkload::new(&trace);
+        for &(sm, w, s) in &live {
+            assert_eq!(replay.next_slice(sm, w), Some(s));
+        }
+        assert_eq!(replay.remaining(), 0);
+        assert_eq!(replay.next_slice(0, 0), None);
+    }
+
+    #[test]
+    fn replay_through_serialisation() {
+        let spec = workload_by_name("lud").unwrap();
+        let mut rec = TraceRecorder::new(KernelWorkload::new(spec, 1, 1, 300, 9));
+        use ohm_sm::InstructionStream as _;
+        while rec.next_slice(0, 0).is_some() {}
+        let trace = rec.into_trace();
+        let roundtripped: Trace = trace.to_text().parse().unwrap();
+        assert_eq!(roundtripped, trace);
+        let mut replay = TraceWorkload::new(&roundtripped);
+        assert_eq!(replay.remaining(), trace.len());
+        let first = replay.next_slice(0, 0).unwrap();
+        assert_eq!(first, trace.records()[0].slice);
+    }
+
+    #[test]
+    fn unknown_lane_is_exhausted() {
+        let trace: Trace = "0 0 1\n".parse().unwrap();
+        let mut replay = TraceWorkload::new(&trace);
+        assert_eq!(replay.next_slice(5, 5), None);
+    }
+}

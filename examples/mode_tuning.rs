@@ -1,0 +1,62 @@
+//! Memory-mode and policy tuning: sweep the planar hot-page threshold and
+//! compare the two operational modes — the design-space exploration a
+//! system integrator would run before deploying Ohm memory.
+//!
+//! ```sh
+//! cargo run --release --example mode_tuning
+//! ```
+
+use ohm_gpu::core::config::SystemConfig;
+use ohm_gpu::core::runner::run_platform;
+use ohm_gpu::core::Platform;
+use ohm_gpu::optic::OperationalMode;
+use ohm_gpu::workloads::workload_by_name;
+
+fn main() {
+    let spec = workload_by_name("gctopo").expect("Table II workload");
+
+    println!("Planar hot-page threshold sweep (Ohm-WOM, {}):\n", spec.name);
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>12}",
+        "threshold", "IPC", "migrations", "DRAM share", "mig-channel"
+    );
+    for threshold in [4u32, 8, 16, 32, 64] {
+        let mut cfg = SystemConfig::quick_test();
+        cfg.memory.hot_threshold = threshold;
+        let r = run_platform(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
+        println!(
+            "{:>10} {:>8.3} {:>12} {:>11.1}% {:>11.1}%",
+            threshold,
+            r.ipc,
+            r.migrations,
+            r.hetero_dram_hit_rate * 100.0,
+            r.migration_channel_fraction * 100.0
+        );
+    }
+    println!("\nLow thresholds promote aggressively (more DRAM service, more");
+    println!("migration traffic); high thresholds leave hot data on XPoint.");
+
+    println!("\nOperational-mode comparison (Ohm-BW):\n");
+    println!(
+        "{:>10} {:>10} {:>8} {:>10} {:>12}",
+        "mode", "capacity", "IPC", "lat(ns)", "DRAM share"
+    );
+    let cfg = SystemConfig::quick_test();
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        let r = run_platform(&cfg, Platform::OhmBw, mode, &spec);
+        let ratio = match mode {
+            OperationalMode::Planar => cfg.memory.planar_ratio,
+            OperationalMode::TwoLevel => cfg.memory.two_level_ratio,
+        };
+        println!(
+            "{:>10} {:>9}x {:>8.3} {:>10.0} {:>11.1}%",
+            format!("{mode:?}"),
+            ratio + 1,
+            r.ipc,
+            r.avg_mem_latency_ns,
+            r.hetero_dram_hit_rate * 100.0
+        );
+    }
+    println!("\nPlanar maximises DRAM-backed capacity per group (1:{}),", 8);
+    println!("two-level maximises total capacity (1:{}) behind a DRAM cache.", 64);
+}

@@ -1,0 +1,59 @@
+//! Optical link engineering: explore how laser power, path losses and
+//! half-coupled splits move the bit error rate — the Figure 20b analysis
+//! as an interactive design tool.
+//!
+//! ```sh
+//! cargo run --release --example optical_reliability
+//! ```
+
+use ohm_gpu::core::reliability::{platform_ber, HALF_COUPLE_ABSORB};
+use ohm_gpu::core::Platform;
+use ohm_gpu::optic::{BerModel, OpticalPathLoss, OpticalPowerModel};
+
+fn main() {
+    let model = BerModel::paper_default();
+
+    println!("Laser power sweep on the nominal Ohm-base path:\n");
+    println!("{:>8} {:>12} {:>12} {:>6}", "laser", "rx power", "BER", "ok");
+    for scale in [0.5, 0.75, 1.0, 1.5, 2.0, 4.0] {
+        let power = OpticalPowerModel { laser_scale: scale, ..OpticalPowerModel::default() };
+        let rx = power.received_mw(BerModel::nominal_path());
+        let ber = model.ber(rx);
+        println!(
+            "{:>7.2}x {:>9.3} mW {:>12.2e} {:>6}",
+            scale,
+            rx,
+            ber,
+            if ber < BerModel::REQUIREMENT { "yes" } else { "NO" }
+        );
+    }
+
+    println!("\nWaveguide length sweep (1x laser):\n");
+    println!("{:>8} {:>10} {:>12}", "length", "loss", "BER");
+    for cm in [1.0, 2.0, 4.0, 6.0, 8.0] {
+        let path = OpticalPathLoss::new()
+            .modulator(0.5)
+            .waveguide_cm(cm)
+            .filter_drop()
+            .detector();
+        let rx = OpticalPowerModel::default().received_mw(path);
+        println!("{cm:>6} cm {:>7.2} dB {:>12.2e}", path.total_db(), model.ber(rx));
+    }
+
+    println!(
+        "\nPlatform light paths (half-coupled rings absorb {:.0}%):\n",
+        HALF_COUPLE_ABSORB * 100.0
+    );
+    for p in [Platform::OhmBase, Platform::AutoRw, Platform::OhmWom, Platform::OhmBw] {
+        for pt in platform_ber(p) {
+            println!(
+                "{:>9} {:<22} {:>6.3} mW  BER {:.2e}",
+                p.name(),
+                pt.function,
+                pt.received_mw,
+                pt.ber
+            );
+        }
+    }
+    println!("\nEvery path must stay under the paper's 1e-15 requirement.");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build one Ohm-GPU platform, run one Table II workload,
+//! and read the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ohm_gpu::core::config::SystemConfig;
+use ohm_gpu::core::{Platform, System};
+use ohm_gpu::optic::OperationalMode;
+use ohm_gpu::workloads::workload_by_name;
+
+fn main() {
+    // A small configuration that runs in well under a second; see
+    // SystemConfig::evaluation() for the paper-scale setup.
+    let cfg = SystemConfig::quick_test();
+
+    // Pick a Table II workload. Each comes with the paper's APKI and
+    // read-ratio characteristics baked in.
+    let spec = workload_by_name("bfsdata").expect("Table II workload");
+
+    // Assemble the Ohm-WOM platform (optical channel + heterogeneous
+    // memory + dual routes) in planar memory mode, and run the kernel.
+    let mut system = System::new(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
+    let report = system.run();
+
+    println!("workload     : {} (APKI {})", report.workload, spec.apki);
+    println!("platform     : {} / {:?}", report.platform.name(), report.mode);
+    println!("makespan     : {}", report.makespan);
+    println!("instructions : {}", report.instructions);
+    println!("IPC          : {:.3}", report.ipc);
+    println!("mem requests : {}", report.mem_requests);
+    println!("avg latency  : {:.0} ns", report.avg_mem_latency_ns);
+    println!("L1 / L2 hit  : {:.1}% / {:.1}%", report.l1_hit_rate * 100.0, report.l2_hit_rate * 100.0);
+    println!("DRAM share   : {:.1}% of heterogeneous services", report.hetero_dram_hit_rate * 100.0);
+    println!("migrations   : {}", report.migrations);
+    println!(
+        "channel      : {:.1}% utilised, {:.1}% of busy time is migration",
+        report.channel_utilization * 100.0,
+        report.migration_channel_fraction * 100.0
+    );
+    println!("energy       : {:.3} mJ total", report.energy.total_j() * 1e3);
+}

@@ -1,0 +1,56 @@
+//! XPoint endurance: drive hot write traffic through the logic-layer
+//! XPoint controller and watch Start-Gap spread the wear.
+//!
+//! ```sh
+//! cargo run --release --example wear_leveling
+//! ```
+
+use ohm_gpu::mem::xpoint_ctrl::{XpCtrlConfig, XPointController};
+use ohm_gpu::mem::{StartGap, XPointConfig};
+use ohm_gpu::sim::{Addr, Ps, SplitMix64};
+
+fn main() {
+    println!("Start-Gap rotation on a hammered line:\n");
+    let mut sg = StartGap::new(64, 16);
+    println!("{:>10} {:>10} {:>12} {:>10}", "writes", "gap moves", "max/mean", "phys(7)");
+    for step in 1..=6 {
+        for _ in 0..1000 {
+            sg.record_write(7); // one pathological hot line
+        }
+        let w = sg.wear_stats();
+        println!(
+            "{:>10} {:>10} {:>12.1} {:>10}",
+            step * 1000,
+            w.gap_moves,
+            w.imbalance,
+            sg.translate(7)
+        );
+    }
+    println!("\nWithout leveling the hot line would absorb 100% of the writes");
+    println!("(imbalance ~= the line count); Start-Gap keeps max/mean low and");
+    println!("the hot line's physical slot keeps moving.");
+
+    println!("\nFull controller with wear-leveling folded in:\n");
+    let cfg = XpCtrlConfig {
+        psi: 16,
+        media: XPointConfig { capacity_bytes: 64 << 10, ..XPointConfig::default() },
+        ..XpCtrlConfig::default()
+    };
+    let mut ctrl = XPointController::new(cfg);
+    let mut rng = SplitMix64::new(9);
+    let mut now = Ps::ZERO;
+    for _ in 0..20_000 {
+        // Skewed writes: 80% land on 32 hot lines.
+        let line = if rng.chance(0.8) { rng.next_below(32) } else { rng.next_below(512) };
+        ctrl.write(now, Addr::new(line * 128));
+        now += Ps::from_ns(50);
+    }
+    let stats = ctrl.wear_stats();
+    let (moves_r, moves_w) = ctrl.wear_move_ops();
+    println!("total line writes : {}", stats.total_writes);
+    println!("gap rotations     : {}", stats.gap_moves);
+    println!("leveling copies   : {moves_r} reads + {moves_w} writes on the media");
+    println!("wear imbalance    : {:.2} (1.0 = perfectly even)", stats.imbalance);
+    println!("\nThe rotation cost rides the media in the background — it never");
+    println!("occupies the optical channel, exactly as the logic-layer design intends.");
+}

@@ -1,0 +1,25 @@
+//! # Ohm-GPU
+//!
+//! Facade crate for the Ohm-GPU reproduction. Re-exports the public APIs of
+//! every crate in the workspace so that examples, integration tests and
+//! downstream users can depend on a single crate.
+//!
+//! See the individual crates for the full documentation:
+//!
+//! * [`sim`] — discrete-event simulation kernel.
+//! * [`mem`] — DRAM / 3D XPoint device and controller models.
+//! * [`optic`] — silicon nano-photonic network models.
+//! * [`sm`] — GPU streaming-multiprocessor and cache models.
+//! * [`hetero`] — heterogeneous-memory modes and migration engines.
+//! * [`workloads`] — Table II workload generators and the host/SSD substrate.
+//! * [`core`] — system assembly, platforms, metrics, energy and cost models.
+
+#![warn(missing_docs)]
+
+pub use ohm_core as core;
+pub use ohm_hetero as hetero;
+pub use ohm_mem as mem;
+pub use ohm_optic as optic;
+pub use ohm_sim as sim;
+pub use ohm_sm as sm;
+pub use ohm_workloads as workloads;

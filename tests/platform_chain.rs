@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: the paper's headline platform orderings
+//! at the evaluation configuration (reduced budget for CI speed).
+
+use ohm_gpu::core::config::SystemConfig;
+use ohm_gpu::core::runner::{geomean, run_platform};
+use ohm_gpu::core::{Platform, SimReport};
+use ohm_gpu::optic::OperationalMode;
+use ohm_gpu::workloads::workload_by_name;
+
+/// A scaled-down evaluation configuration: full Table I machine shape,
+/// shorter instruction budget.
+fn eval_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::evaluation();
+    cfg.insts_per_warp = 1200;
+    cfg
+}
+
+fn run(platform: Platform, mode: OperationalMode, workload: &str) -> SimReport {
+    let spec = workload_by_name(workload)
+        .unwrap()
+        .with_footprint(SystemConfig::EVALUATION_FOOTPRINT / 2);
+    run_platform(&eval_cfg(), platform, mode, &spec)
+}
+
+#[test]
+fn figure16_planar_ordering_holds_on_pagerank() {
+    let origin = run(Platform::Origin, OperationalMode::Planar, "pagerank");
+    let hetero = run(Platform::Hetero, OperationalMode::Planar, "pagerank");
+    let base = run(Platform::OhmBase, OperationalMode::Planar, "pagerank");
+    let wom = run(Platform::OhmWom, OperationalMode::Planar, "pagerank");
+    let oracle = run(Platform::Oracle, OperationalMode::Planar, "pagerank");
+
+    assert!(origin.ipc < hetero.ipc, "Origin must trail Hetero");
+    let parity = base.ipc / hetero.ipc;
+    assert!((0.9..=1.1).contains(&parity), "Ohm-base ~ Hetero, got {parity}");
+    assert!(wom.ipc > base.ipc, "dual routes must beat the baseline");
+    assert!(oracle.ipc > wom.ipc, "Oracle is the upper bound");
+}
+
+#[test]
+fn figure18_dual_routes_clear_the_data_route() {
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        let base = run(Platform::OhmBase, mode, "pagerank");
+        let wom = run(Platform::OhmWom, mode, "pagerank");
+        assert!(base.migration_channel_fraction > 0.1, "{mode:?}: baseline must migrate on the channel");
+        assert!(
+            wom.migration_channel_fraction < base.migration_channel_fraction / 5.0,
+            "{mode:?}: WOM must clear most migration traffic ({} vs {})",
+            wom.migration_channel_fraction,
+            base.migration_channel_fraction
+        );
+    }
+}
+
+#[test]
+fn figure17_memory_latency_improves_down_the_chain() {
+    let base = run(Platform::OhmBase, OperationalMode::Planar, "pagerank");
+    let bw = run(Platform::OhmBw, OperationalMode::Planar, "pagerank");
+    let oracle = run(Platform::Oracle, OperationalMode::Planar, "pagerank");
+    assert!(bw.avg_mem_latency_ns <= base.avg_mem_latency_ns * 1.02);
+    // Oracle's *performance* always dominates; its raw latency can sit
+    // near Ohm-BW's because all traffic hits the same DRAM banks instead
+    // of spreading across DRAM + XPoint.
+    assert!(oracle.ipc > bw.ipc);
+    assert!(oracle.avg_mem_latency_ns < base.avg_mem_latency_ns);
+}
+
+#[test]
+fn figure19_optical_channel_cuts_dma_energy() {
+    let hetero = run(Platform::Hetero, OperationalMode::Planar, "bfsdata");
+    let base = run(Platform::OhmBase, OperationalMode::Planar, "bfsdata");
+    assert!(base.energy.dma_j < hetero.energy.dma_j);
+    // Identical demand implies identical XPoint energy scale.
+    let ratio = base.energy.xpoint_j / hetero.energy.xpoint_j;
+    assert!((0.8..1.2).contains(&ratio), "xpoint energy ratio {ratio}");
+}
+
+#[test]
+fn origin_reports_staging_and_pays_for_it() {
+    let origin = run(Platform::Origin, OperationalMode::Planar, "GRAMS");
+    let host = origin.host.expect("origin reports staging");
+    assert!(host.staged_in > 0);
+    assert!(host.bytes_moved > 0);
+    assert!(origin.host.is_some());
+    let hetero = run(Platform::Hetero, OperationalMode::Planar, "GRAMS");
+    assert!(hetero.host.is_none());
+}
+
+#[test]
+fn waveguide_scaling_improves_ohm_platforms() {
+    let spec = workload_by_name("pagerank")
+        .unwrap()
+        .with_footprint(SystemConfig::EVALUATION_FOOTPRINT / 2);
+    let mut cfg8 = eval_cfg();
+    cfg8.optical.waveguides = 8;
+    let one = run_platform(&eval_cfg(), Platform::OhmBase, OperationalMode::Planar, &spec);
+    let eight = run_platform(&cfg8, Platform::OhmBase, OperationalMode::Planar, &spec);
+    assert!(
+        eight.ipc > one.ipc,
+        "8 waveguides must help: {} vs {}",
+        eight.ipc,
+        one.ipc
+    );
+}
+
+#[test]
+fn geomean_across_three_workloads_keeps_the_chain() {
+    let mut per_platform = Vec::new();
+    for p in [Platform::OhmBase, Platform::OhmWom, Platform::Oracle] {
+        let ipcs: Vec<f64> = ["pagerank", "bfsdata", "gctopo"]
+            .iter()
+            .map(|w| run(p, OperationalMode::Planar, w).ipc)
+            .collect();
+        per_platform.push(geomean(&ipcs));
+    }
+    assert!(per_platform[0] < per_platform[1], "WOM beats base in geomean");
+    assert!(per_platform[1] < per_platform[2], "Oracle bounds WOM in geomean");
+}

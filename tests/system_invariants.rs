@@ -1,0 +1,111 @@
+//! Cross-crate invariants: accounting identities that must hold for any
+//! platform, mode and workload.
+
+use ohm_gpu::core::config::SystemConfig;
+use ohm_gpu::core::runner::run_platform;
+use ohm_gpu::core::Platform;
+use ohm_gpu::optic::OperationalMode;
+use ohm_gpu::sim::Ps;
+use ohm_gpu::workloads::{all_workloads, workload_by_name};
+
+#[test]
+fn every_platform_mode_workload_combination_runs() {
+    let cfg = {
+        let mut c = SystemConfig::quick_test();
+        c.insts_per_warp = 300;
+        c
+    };
+    for spec in all_workloads() {
+        for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+            for platform in Platform::ALL {
+                let r = run_platform(&cfg, platform, mode, &spec);
+                assert!(r.makespan > Ps::ZERO, "{}/{mode:?}/{}", platform.name(), spec.name);
+                assert_eq!(
+                    r.instructions,
+                    (cfg.gpu.sms * cfg.gpu.sm.warps) as u64 * cfg.insts_per_warp,
+                    "all instructions must retire"
+                );
+                assert!(r.ipc > 0.0);
+                assert!((0.0..=1.0).contains(&r.l1_hit_rate));
+                assert!((0.0..=1.0).contains(&r.l2_hit_rate));
+                assert!((0.0..=1.0).contains(&r.migration_channel_fraction));
+                assert!((0.0..=1.0).contains(&r.hetero_dram_hit_rate));
+                assert!(r.energy.total_j() > 0.0);
+                assert!(r.energy.dma_j >= 0.0 && r.energy.dram_static_j > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let cfg = SystemConfig::quick_test();
+    let spec = workload_by_name("betw").unwrap();
+    for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+        let a = run_platform(&cfg, Platform::OhmBw, mode, &spec);
+        let b = run_platform(&cfg, Platform::OhmBw, mode, &spec);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.mem_requests, b.mem_requests);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.channel_bits, b.channel_bits);
+    }
+}
+
+#[test]
+fn seed_changes_the_run_but_not_the_accounting() {
+    let mut cfg_a = SystemConfig::quick_test();
+    let mut cfg_b = SystemConfig::quick_test();
+    cfg_a.seed = 1;
+    cfg_b.seed = 2;
+    let spec = workload_by_name("FDTD").unwrap();
+    let a = run_platform(&cfg_a, Platform::OhmBase, OperationalMode::Planar, &spec);
+    let b = run_platform(&cfg_b, Platform::OhmBase, OperationalMode::Planar, &spec);
+    assert_ne!(a.makespan, b.makespan, "different seeds should differ");
+    assert_eq!(a.instructions, b.instructions, "budgets are exact either way");
+}
+
+#[test]
+fn homogeneous_platforms_never_migrate() {
+    let cfg = SystemConfig::quick_test();
+    let spec = workload_by_name("pagerank").unwrap();
+    for platform in [Platform::Origin, Platform::Oracle] {
+        for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
+            let r = run_platform(&cfg, platform, mode, &spec);
+            assert_eq!(r.migrations, 0, "{} must not migrate", platform.name());
+            assert_eq!(r.migration_channel_fraction, 0.0);
+            if platform == Platform::Oracle {
+                assert_eq!(r.hetero_dram_hit_rate, 1.0);
+            } else {
+                // Origin counts host-staging faults against its DRAM share.
+                assert!(r.hetero_dram_hit_rate > 0.9, "got {}", r.hetero_dram_hit_rate);
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_dominates_every_heterogeneous_platform() {
+    let cfg = SystemConfig::quick_test();
+    let spec = workload_by_name("pagerank").unwrap();
+    let oracle = run_platform(&cfg, Platform::Oracle, OperationalMode::Planar, &spec);
+    for platform in [Platform::Hetero, Platform::OhmBase, Platform::AutoRw, Platform::OhmWom] {
+        let r = run_platform(&cfg, platform, OperationalMode::Planar, &spec);
+        assert!(
+            oracle.ipc >= r.ipc,
+            "oracle {} must dominate {} ({})",
+            oracle.ipc,
+            platform.name(),
+            r.ipc
+        );
+    }
+}
+
+#[test]
+fn wear_leveling_is_reported_for_heterogeneous_platforms() {
+    let cfg = SystemConfig::quick_test();
+    let spec = workload_by_name("backp").unwrap(); // write-heavy
+    let r = run_platform(&cfg, Platform::OhmBase, OperationalMode::TwoLevel, &spec);
+    assert!(r.wear_imbalance >= 1.0);
+    let oracle = run_platform(&cfg, Platform::Oracle, OperationalMode::Planar, &spec);
+    assert_eq!(oracle.wear_imbalance, 1.0, "no XPoint, neutral imbalance");
+}
