@@ -1,49 +1,43 @@
-//! Criterion micro-benchmarks over the simulator's hot kernels: the DES
-//! event queue, calendar booking with backfill, cache lookups, WOM
+//! Micro-benchmarks over the simulator's hot kernels: the DES event
+//! queue, calendar booking with backfill, cache lookups, WOM
 //! encode/decode, Start-Gap translation and DRAM bank scheduling.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ohm_bench::harness::{black_box, BenchGroup};
 use ohm_mem::{DramConfig, DramModule, MemKind, StartGap};
 use ohm_optic::Wom22;
 use ohm_sim::{Addr, Calendar, EventQueue, Ps, SplitMix64};
 use ohm_sm::{Cache, CacheConfig};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
-            let mut rng = SplitMix64::new(1);
-            for i in 0..1024u64 {
-                q.push(Ps::from_ps(rng.next_below(1_000_000)), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            black_box(acc)
-        })
-    });
-}
+fn main() {
+    let group = BenchGroup::new("kernels");
 
-fn bench_calendar(c: &mut Criterion) {
-    c.bench_function("calendar_book_backfill_1k", |b| {
-        b.iter(|| {
-            let mut cal = Calendar::new();
-            let mut rng = SplitMix64::new(2);
-            for _ in 0..1024 {
-                let ready = Ps::from_ps(rng.next_below(100_000));
-                cal.book(ready, Ps::from_ps(1 + rng.next_below(500)));
-            }
-            black_box(cal.busy_time())
-        })
+    group.bench("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::with_capacity(1024);
+        let mut rng = SplitMix64::new(1);
+        for i in 0..1024u64 {
+            q.push(Ps::from_ps(rng.next_below(1_000_000)), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc);
     });
-}
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("l2_cache_access_1k", |b| {
+    group.bench("calendar_book_backfill_1k", || {
+        let mut cal = Calendar::new();
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..1024 {
+            let ready = Ps::from_ps(rng.next_below(100_000));
+            cal.book(ready, Ps::from_ps(1 + rng.next_below(500)));
+        }
+        black_box(cal.busy_time());
+    });
+
+    {
         let mut cache = Cache::new(CacheConfig::l2_table1());
         let mut rng = SplitMix64::new(3);
-        b.iter(|| {
+        group.bench("l2_cache_access_1k", || {
             let mut hits = 0u64;
             for _ in 0..1024 {
                 let addr = Addr::new(rng.next_below(64 << 20) & !127);
@@ -51,66 +45,49 @@ fn bench_cache(c: &mut Criterion) {
                     hits += 1;
                 }
             }
-            black_box(hits)
-        })
-    });
-}
+            black_box(hits);
+        });
+    }
 
-fn bench_wom(c: &mut Criterion) {
-    c.bench_function("wom22_encode_decode_1k", |b| {
-        b.iter(|| {
-            let mut acc = 0u8;
-            for i in 0..1024u32 {
-                let first = (i % 4) as u8;
-                let second = ((i / 4) % 4) as u8;
-                let c1 = Wom22::encode_first(first);
-                let c2 = Wom22::encode_second(c1, second);
-                acc ^= Wom22::decode(c2).1;
-            }
-            black_box(acc)
-        })
+    group.bench("wom22_encode_decode_1k", || {
+        let mut acc = 0u8;
+        for i in 0..1024u32 {
+            let first = (i % 4) as u8;
+            let second = ((i / 4) % 4) as u8;
+            let c1 = Wom22::encode_first(first);
+            let c2 = Wom22::encode_second(c1, second);
+            acc ^= Wom22::decode(c2).1;
+        }
+        black_box(acc);
     });
-}
 
-fn bench_start_gap(c: &mut Criterion) {
-    c.bench_function("start_gap_translate_write_1k", |b| {
+    {
         let mut sg = StartGap::new(1 << 20, 128);
-        b.iter(|| {
+        group.bench("start_gap_translate_write_1k", || {
             let mut acc = 0u64;
             for i in 0..1024u64 {
                 acc ^= sg.translate(i * 37 % (1 << 20));
                 sg.record_write(i % (1 << 20));
             }
-            black_box(acc)
-        })
+            black_box(acc);
+        });
+    }
+
+    group.bench("dram_bank_schedule_1k", || {
+        let mut d = DramModule::new(DramConfig::default());
+        let mut rng = SplitMix64::new(5);
+        let mut now = Ps::ZERO;
+        let mut acc = 0u64;
+        for _ in 0..1024 {
+            let a = Addr::new(rng.next_below(1 << 26) & !127);
+            let kind = if rng.chance(0.7) {
+                MemKind::Read
+            } else {
+                MemKind::Write
+            };
+            acc ^= d.access(now, a, kind).data_at.as_ps();
+            now += Ps::from_ns(5);
+        }
+        black_box(acc);
     });
 }
-
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram_bank_schedule_1k", |b| {
-        b.iter(|| {
-            let mut d = DramModule::new(DramConfig::default());
-            let mut rng = SplitMix64::new(5);
-            let mut now = Ps::ZERO;
-            let mut acc = 0u64;
-            for _ in 0..1024 {
-                let a = Addr::new(rng.next_below(1 << 26) & !127);
-                let kind = if rng.chance(0.7) { MemKind::Read } else { MemKind::Write };
-                acc ^= d.access(now, a, kind).data_at.as_ps();
-                now += Ps::from_ns(5);
-            }
-            black_box(acc)
-        })
-    });
-}
-
-criterion_group!(
-    kernels,
-    bench_event_queue,
-    bench_calendar,
-    bench_cache,
-    bench_wom,
-    bench_start_gap,
-    bench_dram
-);
-criterion_main!(kernels);

@@ -1,45 +1,33 @@
-//! Criterion macro-benchmarks: one end-to-end platform simulation per
-//! evaluated design point, exercising the entire stack (SMs, caches,
-//! channel, devices, migration machinery) on a reduced configuration.
+//! Macro-benchmarks: one end-to-end platform simulation per evaluated
+//! design point, exercising the entire stack (SMs, caches, channel,
+//! devices, migration machinery) on a reduced configuration.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ohm_bench::harness::{black_box, BenchGroup};
 use ohm_core::config::SystemConfig;
 use ohm_core::runner::run_platform;
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 use ohm_workloads::workload_by_name;
 
-fn bench_platforms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("platform_end_to_end");
-    group.sample_size(10);
+fn main() {
+    let mut platforms = BenchGroup::new("platform_end_to_end");
+    platforms.sample_size(10).iters_per_batch(1);
     let cfg = SystemConfig::quick_test();
     let spec = workload_by_name("bfsdata").unwrap();
     for platform in Platform::ALL {
-        group.bench_function(platform.name(), |b| {
-            b.iter(|| {
-                let r = run_platform(&cfg, platform, OperationalMode::Planar, &spec);
-                black_box(r.ipc)
-            })
+        platforms.bench(platform.name(), || {
+            let r = run_platform(&cfg, platform, OperationalMode::Planar, &spec);
+            black_box(r.ipc);
         });
     }
-    group.finish();
-}
 
-fn bench_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mode_end_to_end");
-    group.sample_size(10);
-    let cfg = SystemConfig::quick_test();
+    let mut modes = BenchGroup::new("mode_end_to_end");
+    modes.sample_size(10).iters_per_batch(1);
     let spec = workload_by_name("pagerank").unwrap();
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
-        group.bench_function(format!("{mode:?}"), |b| {
-            b.iter(|| {
-                let r = run_platform(&cfg, Platform::OhmWom, mode, &spec);
-                black_box(r.avg_mem_latency_ns)
-            })
+        modes.bench(&format!("{mode:?}"), || {
+            let r = run_platform(&cfg, Platform::OhmWom, mode, &spec);
+            black_box(r.avg_mem_latency_ns);
         });
     }
-    group.finish();
 }
-
-criterion_group!(platforms, bench_platforms, bench_modes);
-criterion_main!(platforms);

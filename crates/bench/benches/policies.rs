@@ -1,15 +1,16 @@
-//! Criterion benchmarks over the policy layers: planar remapping,
-//! two-level cache decisions, conflict detection, workload generation and
-//! trace parsing.
+//! Benchmarks over the policy layers: planar remapping, two-level cache
+//! decisions, conflict detection, workload generation and trace parsing.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ohm_bench::harness::{black_box, BenchGroup};
 use ohm_hetero::{ConflictDetector, PlanarConfig, PlanarMapping, TwoLevelCache, TwoLevelConfig};
 use ohm_sim::{Addr, Ps, SplitMix64};
 use ohm_sm::InstructionStream;
 use ohm_workloads::{workload_by_name, KernelWorkload, Trace};
 
-fn bench_planar(c: &mut Criterion) {
-    c.bench_function("planar_lookup_record_1k", |b| {
+fn main() {
+    let group = BenchGroup::new("policies");
+
+    {
         let mut map = PlanarMapping::new(PlanarConfig {
             page_bytes: 4096,
             ratio: 8,
@@ -17,7 +18,7 @@ fn bench_planar(c: &mut Criterion) {
             capacity_bytes: 1024 * 9 * 4096,
         });
         let mut rng = SplitMix64::new(1);
-        b.iter(|| {
+        group.bench("planar_lookup_record_1k", || {
             let mut dram_hits = 0u64;
             for _ in 0..1024 {
                 let addr = Addr::new(rng.next_below(1024 * 9) * 4096);
@@ -28,20 +29,18 @@ fn bench_planar(c: &mut Criterion) {
                     dram_hits += 1;
                 }
             }
-            black_box(dram_hits)
-        })
-    });
-}
+            black_box(dram_hits);
+        });
+    }
 
-fn bench_two_level(c: &mut Criterion) {
-    c.bench_function("two_level_access_1k", |b| {
+    {
         let mut cache = TwoLevelCache::new(TwoLevelConfig {
             dram_bytes: 1 << 20,
             xpoint_bytes: 64 << 20,
             line_bytes: 256,
         });
         let mut rng = SplitMix64::new(2);
-        b.iter(|| {
+        group.bench("two_level_access_1k", || {
             let mut hits = 0u64;
             for _ in 0..1024 {
                 let addr = Addr::new(rng.next_below(64 << 20) & !255);
@@ -49,75 +48,67 @@ fn bench_two_level(c: &mut Criterion) {
                     hits += 1;
                 }
             }
-            black_box(hits)
-        })
-    });
-}
+            black_box(hits);
+        });
+    }
 
-fn bench_conflicts(c: &mut Criterion) {
-    c.bench_function("conflict_register_check_1k", |b| {
-        b.iter(|| {
-            let mut cd = ConflictDetector::new(4096);
-            let mut rng = SplitMix64::new(3);
-            let mut hits = 0u64;
-            for i in 0..256u64 {
-                let id = cd.register(
-                    Addr::new(rng.next_below(1 << 20) & !4095),
-                    Addr::new(rng.next_below(1 << 20) & !4095),
-                    Ps::from_us(i),
-                );
-                for _ in 0..3 {
-                    if cd.redirect_dram(Addr::new(rng.next_below(1 << 20))).is_some() {
-                        hits += 1;
-                    }
-                }
-                if i % 2 == 0 {
-                    cd.complete(id);
+    group.bench("conflict_register_check_1k", || {
+        let mut cd = ConflictDetector::new(4096);
+        let mut rng = SplitMix64::new(3);
+        let mut hits = 0u64;
+        for i in 0..256u64 {
+            let id = cd.register(
+                Addr::new(rng.next_below(1 << 20) & !4095),
+                Addr::new(rng.next_below(1 << 20) & !4095),
+                Ps::from_us(i),
+            );
+            for _ in 0..3 {
+                if cd
+                    .redirect_dram(Addr::new(rng.next_below(1 << 20)))
+                    .is_some()
+                {
+                    hits += 1;
                 }
             }
-            black_box(hits)
-        })
+            if i % 2 == 0 {
+                cd.complete(id);
+            }
+        }
+        black_box(hits);
     });
-}
 
-fn bench_workload_generation(c: &mut Criterion) {
-    c.bench_function("kernel_slices_1k", |b| {
+    {
         let spec = workload_by_name("pagerank").unwrap();
         let mut k = KernelWorkload::new(spec, 1, 1, u64::MAX / 2, 4);
-        b.iter(|| {
+        group.bench("kernel_slices_1k", || {
             let mut insts = 0u64;
             for _ in 0..1024 {
                 if let Some(s) = k.next_slice(0, 0) {
                     insts += s.instructions();
                 }
             }
-            black_box(insts)
-        })
-    });
-}
-
-fn bench_trace_parse(c: &mut Criterion) {
-    // Build a 1k-record trace text once, parse it repeatedly.
-    let mut text = String::new();
-    let mut rng = SplitMix64::new(5);
-    for i in 0..1024u64 {
-        let kind = if rng.chance(0.7) { 'R' } else { 'W' };
-        text.push_str(&format!("{} {} {} {} {:#x}\n", i % 16, i % 24, i % 50, kind, i * 128));
+            black_box(insts);
+        });
     }
-    c.bench_function("trace_parse_1k", |b| {
-        b.iter(|| {
-            let trace: Trace = black_box(&text).parse().unwrap();
-            black_box(trace.len())
-        })
-    });
-}
 
-criterion_group!(
-    policies,
-    bench_planar,
-    bench_two_level,
-    bench_conflicts,
-    bench_workload_generation,
-    bench_trace_parse
-);
-criterion_main!(policies);
+    {
+        // Build a 1k-record trace text once, parse it repeatedly.
+        let mut text = String::new();
+        let mut rng = SplitMix64::new(5);
+        for i in 0..1024u64 {
+            let kind = if rng.chance(0.7) { 'R' } else { 'W' };
+            text.push_str(&format!(
+                "{} {} {} {} {:#x}\n",
+                i % 16,
+                i % 24,
+                i % 50,
+                kind,
+                i * 128
+            ));
+        }
+        group.bench("trace_parse_1k", || {
+            let trace: Trace = black_box(&text).parse().unwrap();
+            black_box(trace.len());
+        });
+    }
+}

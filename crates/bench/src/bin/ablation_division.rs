@@ -23,8 +23,18 @@ fn main() {
             .with_footprint(SystemConfig::EVALUATION_FOOTPRINT);
         let strategies: [(&str, ChannelDivision); 3] = [
             ("static", ChannelDivision::Static),
-            ("dynamic (0.5 ns retune)", ChannelDivision::Dynamic { reallocation: Ps::from_ps(500) }),
-            ("dynamic (5 ns retune)", ChannelDivision::Dynamic { reallocation: Ps::from_ns(5) }),
+            (
+                "dynamic (0.5 ns retune)",
+                ChannelDivision::Dynamic {
+                    reallocation: Ps::from_ps(500),
+                },
+            ),
+            (
+                "dynamic (5 ns retune)",
+                ChannelDivision::Dynamic {
+                    reallocation: Ps::from_ns(5),
+                },
+            ),
         ];
         for (label, division) in strategies {
             let mut cfg = SystemConfig::evaluation();

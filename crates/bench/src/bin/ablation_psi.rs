@@ -10,7 +10,16 @@ use ohm_sim::SplitMix64;
 fn main() {
     println!("Ablation: Start-Gap rotation period under skewed writes\n");
     let widths = [8, 12, 12, 14, 16];
-    print_header(&["psi", "gap moves", "imbalance", "overhead", "lifetime (rel)"], &widths);
+    print_header(
+        &[
+            "psi",
+            "gap moves",
+            "imbalance",
+            "overhead",
+            "lifetime (rel)",
+        ],
+        &widths,
+    );
 
     const LINES: u64 = 1024;
     const WRITES: u64 = 2_000_000;
@@ -20,7 +29,11 @@ fn main() {
         let mut rng = SplitMix64::new(11);
         for _ in 0..WRITES {
             // 90% of writes hammer a single pathological line.
-            let line = if rng.chance(0.9) { 7 } else { rng.next_below(LINES) };
+            let line = if rng.chance(0.9) {
+                7
+            } else {
+                rng.next_below(LINES)
+            };
             sg.record_write(line);
         }
         let stats = sg.wear_stats();

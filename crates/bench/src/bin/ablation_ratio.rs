@@ -15,9 +15,22 @@ fn main() {
     let spec = workload_by_name("bfsdata")
         .unwrap()
         .with_footprint(SystemConfig::EVALUATION_FOOTPRINT);
-    println!("Ablation: DRAM:XPoint capacity ratio ({}, Ohm-BW)\n", spec.name);
+    println!(
+        "Ablation: DRAM:XPoint capacity ratio ({}, Ohm-BW)\n",
+        spec.name
+    );
     let widths = [8, 11, 9, 11, 12, 12];
-    print_header(&["mode", "ratio", "IPC", "lat(ns)", "DRAM share", "migrations"], &widths);
+    print_header(
+        &[
+            "mode",
+            "ratio",
+            "IPC",
+            "lat(ns)",
+            "DRAM share",
+            "migrations",
+        ],
+        &widths,
+    );
 
     for ratio in [4usize, 8, 16, 32] {
         let mut cfg = SystemConfig::evaluation();

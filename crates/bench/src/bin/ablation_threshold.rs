@@ -18,7 +18,14 @@ fn main() {
     println!("Ablation: planar hot-page threshold ({})\n", spec.name);
     let widths = [10, 10, 9, 12, 12, 12];
     print_header(
-        &["threshold", "platform", "IPC", "migrations", "DRAM share", "mig-channel"],
+        &[
+            "threshold",
+            "platform",
+            "IPC",
+            "migrations",
+            "DRAM share",
+            "mig-channel",
+        ],
         &widths,
     );
     for threshold in [8u32, 16, 32, 64, 128] {

@@ -11,7 +11,12 @@ use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 
 fn main() {
-    println!("{}", SimReport::csv_header().split_whitespace().collect::<String>());
+    println!(
+        "{}",
+        SimReport::csv_header()
+            .split_whitespace()
+            .collect::<String>()
+    );
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
         let grid = evaluation_grid(&Platform::ALL, mode);
         for row in &grid {

@@ -15,7 +15,10 @@ fn main() {
     let cfg = SystemConfig::evaluation();
     println!("Figure 3a: execution breakdown on the GPU+SSD platform (Origin)\n");
     let widths = [9, 10, 10, 10, 12];
-    print_header(&["app", "compute", "transfer", "storage", "makespan"], &widths);
+    print_header(
+        &["app", "compute", "transfer", "storage", "makespan"],
+        &widths,
+    );
 
     let mut sums = (0.0, 0.0, 0.0);
     let mut slowdowns = Vec::new();
@@ -65,7 +68,10 @@ fn main() {
     let mut gt = 1.0f64;
     let mut ge = 1.0f64;
     for (name, t, e) in &slowdowns {
-        print_row(&[name.to_string(), format!("{t:.2}"), format!("{e:.2}")], &widths);
+        print_row(
+            &[name.to_string(), format!("{t:.2}"), format!("{e:.2}")],
+            &widths,
+        );
         gt *= t;
         ge *= e;
     }

@@ -11,7 +11,12 @@ use ohm_optic::OperationalMode;
 use ohm_workloads::all_workloads;
 
 fn main() {
-    let platforms = [Platform::OhmBase, Platform::AutoRw, Platform::OhmWom, Platform::OhmBw];
+    let platforms = [
+        Platform::OhmBase,
+        Platform::AutoRw,
+        Platform::OhmWom,
+        Platform::OhmBw,
+    ];
     let names: Vec<&str> = platforms.iter().map(|p| p.name()).collect();
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
         println!("Figure 18 ({mode:?}): migration share of data-route bandwidth\n");

@@ -21,7 +21,17 @@ fn main() {
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
         println!("Figure 19 ({mode:?}): memory-system energy, mJ summed over Table II\n");
         let widths = [9, 10, 12, 12, 10, 10];
-        print_header(&["platform", "DMA", "DRAM stat", "DRAM dyn", "XPoint", "total"], &widths);
+        print_header(
+            &[
+                "platform",
+                "DMA",
+                "DRAM stat",
+                "DRAM dyn",
+                "XPoint",
+                "total",
+            ],
+            &widths,
+        );
 
         let grid = evaluation_grid(&platforms, mode);
         let mut dma = Vec::new();

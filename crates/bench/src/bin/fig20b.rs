@@ -12,8 +12,16 @@ use ohm_optic::BerModel;
 fn main() {
     println!("Figure 20b: end-to-end BER per platform light path\n");
     let widths = [9, 22, 8, 12, 12, 6];
-    print_header(&["platform", "path", "laser", "rx power", "BER", "ok"], &widths);
-    for p in [Platform::OhmBase, Platform::AutoRw, Platform::OhmWom, Platform::OhmBw] {
+    print_header(
+        &["platform", "path", "laser", "rx power", "BER", "ok"],
+        &widths,
+    );
+    for p in [
+        Platform::OhmBase,
+        Platform::AutoRw,
+        Platform::OhmWom,
+        Platform::OhmBw,
+    ] {
         for pt in platform_ber(p) {
             print_row(
                 &[

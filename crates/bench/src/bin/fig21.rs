@@ -25,7 +25,12 @@ fn main() {
             let cp = cost_performance(perf[i], cost);
             cps.push(cp);
             print_row(
-                &[p.name().to_string(), f3(perf[i]), format!("{cost:.0}"), f3(cp)],
+                &[
+                    p.name().to_string(),
+                    f3(perf[i]),
+                    format!("{cost:.0}"),
+                    f3(cp),
+                ],
                 &widths,
             );
         }

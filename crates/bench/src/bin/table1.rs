@@ -5,14 +5,17 @@
 //! are the ones every experiment actually runs with.
 
 use ohm_core::config::SystemConfig;
-use ohm_optic::{OpticalPathLoss, OperationalMode};
+use ohm_optic::{OperationalMode, OpticalPathLoss};
 
 fn main() {
     let cfg = SystemConfig::evaluation();
     println!("Table I: system configurations (values as simulated)\n");
 
     println!("GPU configuration");
-    println!("  SM / freq.            {}/{}", cfg.gpu.sms, cfg.gpu.sm.freq);
+    println!(
+        "  SM / freq.            {}/{}",
+        cfg.gpu.sms, cfg.gpu.sm.freq
+    );
     println!(
         "  L1 cache              {} KB, {}-way, private",
         cfg.gpu.l1.size_bytes / 1024,
@@ -29,7 +32,10 @@ fn main() {
     );
 
     println!("\nOptical channel configuration");
-    println!("  Channel width         {} bits", cfg.optical.grid.total_wavelengths());
+    println!(
+        "  Channel width         {} bits",
+        cfg.optical.grid.total_wavelengths()
+    );
     println!("  Frequency             {}", cfg.optical.freq);
     println!("  Strategy              Static channel division");
     println!("  Virtual channels      {}", cfg.optical.grid.channels());
@@ -44,13 +50,20 @@ fn main() {
     println!("  tRP  (DRAM)           {}", cfg.memory.dram_timing.trp);
     println!("  tCL  (DRAM)           {}", cfg.memory.dram_timing.tcl);
     println!("  tRRD                  {}", cfg.memory.dram_timing.trrd);
-    println!("  PRAM read             {}", cfg.memory.xpoint.media.read_latency);
-    println!("  PRAM write            {}", cfg.memory.xpoint.media.write_latency);
+    println!(
+        "  PRAM read             {}",
+        cfg.memory.xpoint.media.read_latency
+    );
+    println!(
+        "  PRAM write            {}",
+        cfg.memory.xpoint.media.write_latency
+    );
 
     println!("\nDRAM : XPoint capacity (per mode)");
-    for (mode, label) in
-        [(OperationalMode::Planar, "Planar memory"), (OperationalMode::TwoLevel, "Two-level memory")]
-    {
+    for (mode, label) in [
+        (OperationalMode::Planar, "Planar memory"),
+        (OperationalMode::TwoLevel, "Two-level memory"),
+    ] {
         let ratio = match mode {
             OperationalMode::Planar => cfg.memory.planar_ratio,
             OperationalMode::TwoLevel => cfg.memory.two_level_ratio,
@@ -66,9 +79,21 @@ fn main() {
 
     println!("\nOptical power model");
     println!("  MRR tuning power      200 fJ/bit");
-    println!("  Filter drop           {} dB", OpticalPathLoss::FILTER_DROP_DB);
-    println!("  Waveguide loss        {} dB/cm", OpticalPathLoss::WAVEGUIDE_DB_PER_CM);
-    println!("  Optical splitter      {} dB", OpticalPathLoss::SPLITTER_DB);
-    println!("  Detector loss         {} dB", OpticalPathLoss::DETECTOR_DB);
+    println!(
+        "  Filter drop           {} dB",
+        OpticalPathLoss::FILTER_DROP_DB
+    );
+    println!(
+        "  Waveguide loss        {} dB/cm",
+        OpticalPathLoss::WAVEGUIDE_DB_PER_CM
+    );
+    println!(
+        "  Optical splitter      {} dB",
+        OpticalPathLoss::SPLITTER_DB
+    );
+    println!(
+        "  Detector loss         {} dB",
+        OpticalPathLoss::DETECTOR_DB
+    );
     println!("  Modulator loss        0~1 dB");
 }

@@ -12,7 +12,15 @@ fn main() {
     println!("Table II: workload characteristics (target vs measured)\n");
     let widths = [9, 6, 12, 10, 12, 10, 10];
     print_header(
-        &["app", "APKI", "APKI(meas)", "read", "read(meas)", "suite", "pattern"],
+        &[
+            "app",
+            "APKI",
+            "APKI(meas)",
+            "read",
+            "read(meas)",
+            "suite",
+            "pattern",
+        ],
         &widths,
     );
     for spec in all_workloads() {

@@ -11,7 +11,15 @@ fn main() {
     println!("Table III: cost estimation of different Ohm memories\n");
     let widths = [9, 11, 11, 11, 14, 14, 8];
     print_header(
-        &["platform", "mode", "DRAM $", "XPoint $", "modulators", "detectors", "VCSEL"],
+        &[
+            "platform",
+            "mode",
+            "DRAM $",
+            "XPoint $",
+            "modulators",
+            "detectors",
+            "VCSEL",
+        ],
         &widths,
     );
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
@@ -45,7 +53,12 @@ fn main() {
 
     println!("\nFigure 15: MRR layout per device pair (general vs mode-specialised)");
     let general = MrrLayout::general();
-    println!("  general design: {} rings ({}T + {}R)", general.total(), general.transmitters(), general.receivers());
+    println!(
+        "  general design: {} rings ({}T + {}R)",
+        general.total(),
+        general.transmitters(),
+        general.receivers()
+    );
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
         let l = MrrLayout::for_mode(mode);
         println!(

@@ -1,0 +1,119 @@
+//! A minimal, dependency-free timing harness for the `benches/` targets.
+//!
+//! The container this workspace builds in has no network access, so the
+//! benchmarks cannot rely on an external framework. This harness keeps the
+//! same shape criterion-style code has — named closures timed over many
+//! iterations — and reports median / mean / min per iteration.
+//!
+//! Timings come from [`std::time::Instant`]; each benchmark runs a short
+//! warm-up, then a fixed number of timed batches. Results print as one
+//! aligned row per benchmark.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], so benchmark bodies can keep the
+/// familiar `black_box(...)` idiom.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A named group of benchmarks printed under a common heading.
+pub struct BenchGroup {
+    name: String,
+    batches: usize,
+    iters_per_batch: u64,
+}
+
+impl BenchGroup {
+    /// Creates a group with the default sampling plan (16 batches of 32
+    /// iterations after 4 warm-up iterations).
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        println!(
+            "{:<40} {:>12} {:>12} {:>12}",
+            "benchmark", "median", "mean", "min"
+        );
+        BenchGroup {
+            name: name.to_string(),
+            batches: 16,
+            iters_per_batch: 32,
+        }
+    }
+
+    /// Overrides the number of timed batches (samples).
+    pub fn sample_size(&mut self, batches: usize) -> &mut Self {
+        self.batches = batches.max(2);
+        self
+    }
+
+    /// Overrides iterations per timed batch.
+    pub fn iters_per_batch(&mut self, iters: u64) -> &mut Self {
+        self.iters_per_batch = iters.max(1);
+        self
+    }
+
+    /// Times `f`, printing one result row. The closure is the whole
+    /// measured body (state setup belongs outside the call).
+    pub fn bench<F: FnMut()>(&self, label: &str, mut f: F) {
+        for _ in 0..4 {
+            f(); // warm-up
+        }
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                f();
+            }
+            per_iter.push(t0.elapsed() / self.iters_per_batch as u32);
+        }
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        let min = per_iter[0];
+        println!(
+            "{:<40} {:>12} {:>12} {:>12}",
+            format!("{}/{label}", self.name),
+            fmt_duration(median),
+            fmt_duration(mean),
+            fmt_duration(min),
+        );
+    }
+}
+
+/// Formats a duration with an adaptive unit (ns/µs/ms/s).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut group = BenchGroup::new("smoke");
+        group.sample_size(2).iters_per_batch(1);
+        let mut count = 0u64;
+        group.bench("counter", || count += 1);
+        // 4 warm-up + 2 batches x 1 iteration.
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn durations_format_with_adaptive_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(15)), "15.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(15)), "15.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(11)), "11.00 s");
+    }
+}

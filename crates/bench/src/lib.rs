@@ -2,9 +2,13 @@
 //!
 //! The binaries in this crate regenerate the paper's tables and figures
 //! (see DESIGN.md's experiment index for the figure <-> binary mapping);
-//! this library holds the sweep and formatting helpers they share.
+//! this library holds the sweep and formatting helpers they share, plus
+//! the self-contained [`harness`] the micro/macro benchmarks run on (the
+//! workspace builds fully offline, so no external bench framework).
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use ohm_core::config::SystemConfig;
 use ohm_core::metrics::SimReport;
@@ -102,6 +106,8 @@ mod tests {
     fn workload_set_is_complete() {
         let w = evaluation_workloads();
         assert_eq!(w.len(), 10);
-        assert!(w.iter().all(|s| s.footprint_bytes == SystemConfig::EVALUATION_FOOTPRINT));
+        assert!(w
+            .iter()
+            .all(|s| s.footprint_bytes == SystemConfig::EVALUATION_FOOTPRINT));
     }
 }

@@ -10,9 +10,9 @@ use ohm_mem::dram::{DramConfig, DramTiming};
 use ohm_mem::xpoint::XPointConfig;
 use ohm_mem::xpoint_ctrl::XpCtrlConfig;
 use ohm_optic::{ElectricalConfig, OperationalMode, OpticalChannelConfig};
-use ohm_sim::Ps;
 #[cfg(test)]
 use ohm_sim::Freq;
+use ohm_sim::Ps;
 use ohm_sm::{CacheConfig, InterconnectConfig, SmConfig};
 
 /// GPU front-end configuration.
@@ -179,7 +179,10 @@ impl std::fmt::Display for ConfigError {
         match self {
             ConfigError::NoControllers => write!(f, "need at least one memory controller"),
             ConfigError::LineSizeMismatch { l1, system } => {
-                write!(f, "L1 line size {l1} does not match system granularity {system}")
+                write!(
+                    f,
+                    "L1 line size {l1} does not match system granularity {system}"
+                )
             }
             ConfigError::NotPowerOfTwo(what) => write!(f, "{what} must be a power of two"),
             ConfigError::EmptyGpu => write!(f, "need at least one SM and one warp per SM"),
@@ -240,7 +243,11 @@ impl SystemConfig {
         cfg.gpu.sms = 4;
         cfg.gpu.sm.warps = 8;
         cfg.insts_per_warp = 800;
-        cfg.gpu.l2 = CacheConfig { size_bytes: 768 * 1024, ways: 8, line_bytes: 128 };
+        cfg.gpu.l2 = CacheConfig {
+            size_bytes: 768 * 1024,
+            ways: 8,
+            line_bytes: 128,
+        };
         cfg.memory.hot_threshold = 8;
         cfg.memory.origin_segment_bytes = 1 << 20;
         cfg
@@ -253,8 +260,15 @@ impl SystemConfig {
     /// the 6 MB L2 shrinks to 768 KB to preserve the cache : footprint
     /// ratio the paper's memory system operates under).
     pub fn evaluation() -> Self {
-        let mut cfg = SystemConfig { insts_per_warp: 3000, ..SystemConfig::default() };
-        cfg.gpu.l2 = CacheConfig { size_bytes: 768 * 1024, ways: 8, line_bytes: 128 };
+        let mut cfg = SystemConfig {
+            insts_per_warp: 3000,
+            ..SystemConfig::default()
+        };
+        cfg.gpu.l2 = CacheConfig {
+            size_bytes: 768 * 1024,
+            ways: 8,
+            line_bytes: 128,
+        };
         // K80-class (GK210) SMs hold up to 64 resident warps; the full
         // occupancy is what loads the memory channel to the paper's
         // operating point.
@@ -352,16 +366,24 @@ mod tests {
         cfg.memory.controllers = 0;
         assert_eq!(cfg.validate(), Err(ConfigError::NoControllers));
 
-        let mut cfg = SystemConfig::default();
-        cfg.line_bytes = 256; // L1 still 128
-        assert!(matches!(cfg.validate(), Err(ConfigError::LineSizeMismatch { .. })));
+        // L1 still 128
+        let cfg = SystemConfig {
+            line_bytes: 256,
+            ..Default::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::LineSizeMismatch { .. })
+        ));
 
         let mut cfg = SystemConfig::default();
         cfg.memory.page_bytes = 3000;
         assert_eq!(cfg.validate(), Err(ConfigError::NotPowerOfTwo("page size")));
 
-        let mut cfg = SystemConfig::default();
-        cfg.insts_per_warp = 0;
+        let cfg = SystemConfig {
+            insts_per_warp: 0,
+            ..Default::default()
+        };
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroBudget));
         assert!(ConfigError::ZeroBudget.to_string().contains("positive"));
     }

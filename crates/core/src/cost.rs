@@ -54,8 +54,7 @@ pub struct CostBreakdown {
 impl CostBreakdown {
     /// Memory-system cost on top of the GPU itself.
     pub fn memory_system_usd(&self) -> f64 {
-        self.dram_usd + self.xpoint_usd + self.modulators_usd + self.detectors_usd
-            + self.vcsel_usd
+        self.dram_usd + self.xpoint_usd + self.modulators_usd + self.detectors_usd + self.vcsel_usd
     }
 
     /// Full platform cost including the GPU.
@@ -105,7 +104,11 @@ pub fn cost_breakdown(platform: Platform, mode: OperationalMode) -> CostBreakdow
         _ => mode_capacities_gb(mode),
     };
     let optical = platform.laser_power_scale() > 0.0;
-    let (modulators, detectors) = if optical { ring_counts(platform, mode) } else { (0, 0) };
+    let (modulators, detectors) = if optical {
+        ring_counts(platform, mode)
+    } else {
+        (0, 0)
+    };
     CostBreakdown {
         dram_usd: dram_gb * DRAM_USD_PER_GB,
         xpoint_usd: xpoint_gb * XPOINT_USD_PER_GB,
@@ -146,12 +149,24 @@ mod tests {
         assert_eq!(d_base, 2112);
         // Ohm-BW planar: 2,176 / 3,136 in the paper — ours within 15%.
         let (m_bwp, d_bwp) = ring_counts(Platform::OhmBw, OperationalMode::Planar);
-        assert!((m_bwp as f64 / 2176.0 - 1.0).abs() < 0.15, "bw planar modulators {m_bwp}");
-        assert!((d_bwp as f64 / 3136.0 - 1.0).abs() < 0.15, "bw planar detectors {d_bwp}");
+        assert!(
+            (m_bwp as f64 / 2176.0 - 1.0).abs() < 0.15,
+            "bw planar modulators {m_bwp}"
+        );
+        assert!(
+            (d_bwp as f64 / 3136.0 - 1.0).abs() < 0.15,
+            "bw planar detectors {d_bwp}"
+        );
         // Ohm-BW two-level: 2,368 / 4,928 in the paper — ours within 15%.
         let (m_bwt, d_bwt) = ring_counts(Platform::OhmBw, OperationalMode::TwoLevel);
-        assert!((m_bwt as f64 / 2368.0 - 1.0).abs() < 0.15, "bw two-level modulators {m_bwt}");
-        assert!((d_bwt as f64 / 4928.0 - 1.0).abs() < 0.15, "bw two-level detectors {d_bwt}");
+        assert!(
+            (m_bwt as f64 / 2368.0 - 1.0).abs() < 0.15,
+            "bw two-level modulators {m_bwt}"
+        );
+        assert!(
+            (d_bwt as f64 / 4928.0 - 1.0).abs() < 0.15,
+            "bw two-level detectors {d_bwt}"
+        );
     }
 
     #[test]
@@ -176,10 +191,22 @@ mod tests {
     fn cost_performance_orders_platforms() {
         // With the paper's relative performance (Origin 1.0, Ohm-BW 2.8,
         // Oracle 3.2) the CP ordering matches Figure 21.
-        let origin = cost_performance(1.0, cost_breakdown(Platform::Origin, OperationalMode::Planar).total_usd());
-        let bw = cost_performance(2.8, cost_breakdown(Platform::OhmBw, OperationalMode::Planar).total_usd());
-        let oracle = cost_performance(3.2, cost_breakdown(Platform::Oracle, OperationalMode::Planar).total_usd());
-        assert!(bw > origin && bw > oracle, "bw {bw}, origin {origin}, oracle {oracle}");
+        let origin = cost_performance(
+            1.0,
+            cost_breakdown(Platform::Origin, OperationalMode::Planar).total_usd(),
+        );
+        let bw = cost_performance(
+            2.8,
+            cost_breakdown(Platform::OhmBw, OperationalMode::Planar).total_usd(),
+        );
+        let oracle = cost_performance(
+            3.2,
+            cost_breakdown(Platform::Oracle, OperationalMode::Planar).total_usd(),
+        );
+        assert!(
+            bw > origin && bw > oracle,
+            "bw {bw}, origin {origin}, oracle {oracle}"
+        );
     }
 
     #[test]

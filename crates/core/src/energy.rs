@@ -85,12 +85,21 @@ pub fn energy_report(platform: Platform, inputs: &EnergyInputs) -> EnergyReport 
             * 1e-12;
 
     let xpoint_j = XPOINT_STATIC_W_PER_GB * gb(inputs.xpoint_capacity_bytes) * secs
-        + inputs.xpoint_reads as f64 * inputs.xpoint_line_bits as f64 * XPOINT_READ_PJ_PER_BIT
+        + inputs.xpoint_reads as f64
+            * inputs.xpoint_line_bits as f64
+            * XPOINT_READ_PJ_PER_BIT
             * 1e-12
-        + inputs.xpoint_writes as f64 * inputs.xpoint_line_bits as f64 * XPOINT_WRITE_PJ_PER_BIT
+        + inputs.xpoint_writes as f64
+            * inputs.xpoint_line_bits as f64
+            * XPOINT_WRITE_PJ_PER_BIT
             * 1e-12;
 
-    EnergyReport { dma_j, dram_static_j, dram_dynamic_j, xpoint_j }
+    EnergyReport {
+        dma_j,
+        dram_static_j,
+        dram_dynamic_j,
+        xpoint_j,
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +127,12 @@ mod tests {
         let inputs = base_inputs();
         let hetero = energy_report(Platform::Hetero, &inputs);
         let ohm = energy_report(Platform::OhmBase, &inputs);
-        assert!(ohm.dma_j < hetero.dma_j, "ohm {} vs hetero {}", ohm.dma_j, hetero.dma_j);
+        assert!(
+            ohm.dma_j < hetero.dma_j,
+            "ohm {} vs hetero {}",
+            ohm.dma_j,
+            hetero.dma_j
+        );
         // Non-channel components are platform-independent.
         assert_eq!(ohm.dram_dynamic_j, hetero.dram_dynamic_j);
         assert_eq!(ohm.xpoint_j, hetero.xpoint_j);

@@ -19,6 +19,13 @@
 //!   and produce the rows printed by the figure harnesses.
 //! * [`sweep`] — single-knob parameter sweeps (the ablation harnesses'
 //!   backbone).
+//! * [`par`] — the deterministic scoped-thread fan-out behind the
+//!   parallel [`runner`] and [`sweep`] paths.
+//!
+//! The system model itself is layered (see [`system`]): a warp engine
+//! over cache glue over a memory subsystem whose platform policy is a
+//! [`system::MemoryBackend`] and whose channel is a [`system::Fabric`],
+//! all reporting through one [`system::StatsSink`].
 //!
 //! # Quickstart
 //!
@@ -41,6 +48,7 @@ pub mod config;
 pub mod cost;
 pub mod energy;
 pub mod metrics;
+pub mod par;
 pub mod reliability;
 pub mod runner;
 pub mod sweep;

@@ -141,7 +141,10 @@ impl SimReport {
     ///
     /// Panics if the baseline latency is zero.
     pub fn latency_normalized_to(&self, baseline: &SimReport) -> f64 {
-        assert!(baseline.avg_mem_latency_ns > 0.0, "baseline latency must be positive");
+        assert!(
+            baseline.avg_mem_latency_ns > 0.0,
+            "baseline latency must be positive"
+        );
         self.avg_mem_latency_ns / baseline.avg_mem_latency_ns
     }
 }
@@ -192,7 +195,12 @@ mod tests {
 
     #[test]
     fn energy_total() {
-        let e = EnergyReport { dma_j: 1.0, dram_static_j: 2.0, dram_dynamic_j: 3.0, xpoint_j: 4.0 };
+        let e = EnergyReport {
+            dma_j: 1.0,
+            dram_static_j: 2.0,
+            dram_dynamic_j: 3.0,
+            xpoint_j: 4.0,
+        };
         assert_eq!(e.total_j(), 10.0);
     }
 

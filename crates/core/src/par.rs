@@ -1,0 +1,108 @@
+//! Deterministic scoped-thread fan-out for embarrassingly parallel jobs.
+//!
+//! Simulation cells (platform × workload, or sweep points) share no
+//! state: each builds its own [`System`](crate::system::System) from a
+//! cloned config. Running them on scoped threads therefore produces
+//! *bit-identical* results to the serial path — every job computes the
+//! same `SimReport` regardless of which worker runs it or when — and
+//! [`par_map_indexed`] additionally returns results in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `job` over `0..n` on up to `threads` scoped worker threads,
+/// returning results in index order.
+///
+/// Workers pull the next index from a shared counter (dynamic load
+/// balancing — simulation cells vary widely in cost) and tag each result
+/// with its index; the tags scatter results back into input order, so
+/// the output is independent of scheduling. With `threads <= 1` (or a
+/// single job) the map runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the scope joins.
+pub fn par_map_indexed<R, F>(n: usize, threads: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return (0..n).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let job = &job;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, job(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("simulation worker panicked"));
+        }
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in tagged {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index produces exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = par_map_indexed(13, threads, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn balances_uneven_jobs() {
+        // Jobs of wildly different cost still land in order.
+        let out = par_map_indexed(8, 3, |i| {
+            let spin = if i % 3 == 0 { 20_000 } else { 10 };
+            (0..spin).fold(i as u64, |acc, _| acc.wrapping_mul(31).wrapping_add(7))
+        });
+        let serial: Vec<u64> = (0..8)
+            .map(|i| {
+                let spin = if i % 3 == 0 { 20_000 } else { 10 };
+                (0..spin).fold(i as u64, |acc, _| acc.wrapping_mul(31).wrapping_add(7))
+            })
+            .collect();
+        assert_eq!(out, serial);
+    }
+}

@@ -35,7 +35,12 @@ fn point(
 ) -> BerPoint {
     let received_mw = power.received_mw(path);
     let ber = model.ber(received_mw);
-    BerPoint { function, received_mw, ber, meets_requirement: ber < BerModel::REQUIREMENT }
+    BerPoint {
+        function,
+        received_mw,
+        ber,
+        meets_requirement: ber < BerModel::REQUIREMENT,
+    }
 }
 
 /// Evaluates every light path a platform uses (Figure 20b's data points).
@@ -47,7 +52,10 @@ pub fn platform_ber(platform: Platform) -> Vec<BerPoint> {
         return Vec::new();
     }
     let model = BerModel::paper_default();
-    let power = OpticalPowerModel { laser_scale: scale, ..OpticalPowerModel::default() };
+    let power = OpticalPowerModel {
+        laser_scale: scale,
+        ..OpticalPowerModel::default()
+    };
     let nominal = BerModel::nominal_path();
     let caps = platform.migration_caps();
 
@@ -55,7 +63,11 @@ pub fn platform_ber(platform: Platform) -> Vec<BerPoint> {
     // even a logical `0` keeps half the carrier strength), so every one of
     // its paths starts 3 dB down; the 4x laser absorbs it.
     let tx_half = caps.swap && !caps.wom_coding;
-    let demand_base = if tx_half { nominal.half_couple_pass(HALF_COUPLE_ABSORB) } else { nominal };
+    let demand_base = if tx_half {
+        nominal.half_couple_pass(HALF_COUPLE_ABSORB)
+    } else {
+        nominal
+    };
 
     let mut points = vec![point(
         &model,
@@ -85,7 +97,9 @@ pub fn platform_ber(platform: Platform) -> Vec<BerPoint> {
         // half-coupled transmitters (Ohm-BW) the first writer also only
         // draws half strength, costing one more 3 dB split that the 4×
         // laser absorbs.
-        let swap_path = demand_base.half_couple_pass(HALF_COUPLE_ABSORB).waveguide_cm(0.1);
+        let swap_path = demand_base
+            .half_couple_pass(HALF_COUPLE_ABSORB)
+            .waveguide_cm(0.1);
         points.push(point(&model, &power, "swap", swap_path));
     }
     points
@@ -94,9 +108,10 @@ pub fn platform_ber(platform: Platform) -> Vec<BerPoint> {
 /// The worst BER across all of a platform's paths (`None` for electrical
 /// platforms).
 pub fn worst_ber(platform: Platform) -> Option<f64> {
-    platform_ber(platform).into_iter().map(|p| p.ber).fold(None, |acc, b| {
-        Some(acc.map_or(b, |a: f64| a.max(b)))
-    })
+    platform_ber(platform)
+        .into_iter()
+        .map(|p| p.ber)
+        .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.max(b))))
 }
 
 #[cfg(test)]
@@ -120,7 +135,12 @@ mod tests {
 
     #[test]
     fn all_optical_platforms_meet_the_requirement() {
-        for p in [Platform::OhmBase, Platform::AutoRw, Platform::OhmWom, Platform::OhmBw] {
+        for p in [
+            Platform::OhmBase,
+            Platform::AutoRw,
+            Platform::OhmWom,
+            Platform::OhmBw,
+        ] {
             for pt in platform_ber(p) {
                 assert!(
                     pt.meets_requirement,

@@ -10,6 +10,7 @@ use ohm_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
 use crate::metrics::SimReport;
+use crate::par::{default_threads, par_map_indexed};
 use crate::system::System;
 
 /// Runs one platform/mode/workload combination.
@@ -24,21 +25,48 @@ pub fn run_platform(
 
 /// Runs several platforms over several workloads in one mode, returning
 /// `results[workload][platform]` in input order.
+///
+/// Cells run in parallel across the machine's cores; each cell builds
+/// its own [`System`], so the reports are bit-identical to
+/// [`run_grid_serial`]'s.
 pub fn run_grid(
     cfg: &SystemConfig,
     platforms: &[Platform],
     mode: OperationalMode,
     specs: &[WorkloadSpec],
 ) -> Vec<Vec<SimReport>> {
-    specs
-        .iter()
-        .map(|spec| {
-            platforms
-                .iter()
-                .map(|&p| run_platform(cfg, p, mode, spec))
-                .collect()
-        })
-        .collect()
+    run_grid_threaded(cfg, platforms, mode, specs, default_threads())
+}
+
+/// [`run_grid`] on the caller's thread only — the reference the parallel
+/// path is checked against.
+pub fn run_grid_serial(
+    cfg: &SystemConfig,
+    platforms: &[Platform],
+    mode: OperationalMode,
+    specs: &[WorkloadSpec],
+) -> Vec<Vec<SimReport>> {
+    run_grid_threaded(cfg, platforms, mode, specs, 1)
+}
+
+/// [`run_grid`] over an explicit worker count.
+pub fn run_grid_threaded(
+    cfg: &SystemConfig,
+    platforms: &[Platform],
+    mode: OperationalMode,
+    specs: &[WorkloadSpec],
+    threads: usize,
+) -> Vec<Vec<SimReport>> {
+    let cols = platforms.len();
+    let cells = par_map_indexed(specs.len() * cols, threads, |i| {
+        run_platform(cfg, platforms[i % cols], mode, &specs[i / cols])
+    });
+    let mut rows: Vec<Vec<SimReport>> = Vec::with_capacity(specs.len());
+    let mut cells = cells.into_iter();
+    for _ in 0..specs.len() {
+        rows.push(cells.by_ref().take(cols).collect());
+    }
+    rows
 }
 
 /// Geometric mean of a positive series (0 for an empty one).

@@ -10,6 +10,7 @@ use ohm_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
 use crate::metrics::SimReport;
+use crate::par::{default_threads, par_map_indexed};
 use crate::system::System;
 
 /// One sweep point: the knob value and the report it produced.
@@ -53,20 +54,69 @@ pub fn sweep<T, I, F>(
     mode: OperationalMode,
     spec: &WorkloadSpec,
     values: I,
-    mut configure: F,
+    configure: F,
 ) -> Vec<SweepPoint<T>>
 where
+    T: Sync,
     I: IntoIterator<Item = T>,
-    F: FnMut(&mut SystemConfig, &T),
+    F: Fn(&mut SystemConfig, &T) + Sync,
 {
+    sweep_threaded(
+        base,
+        platform,
+        mode,
+        spec,
+        values,
+        configure,
+        default_threads(),
+    )
+}
+
+/// [`sweep`] on the caller's thread only — the reference the parallel
+/// path is checked against.
+pub fn sweep_serial<T, I, F>(
+    base: &SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    spec: &WorkloadSpec,
+    values: I,
+    configure: F,
+) -> Vec<SweepPoint<T>>
+where
+    T: Sync,
+    I: IntoIterator<Item = T>,
+    F: Fn(&mut SystemConfig, &T) + Sync,
+{
+    sweep_threaded(base, platform, mode, spec, values, configure, 1)
+}
+
+/// [`sweep`] over an explicit worker count. Each point builds its own
+/// config and [`System`], so points are independent and the reports are
+/// bit-identical at any thread count.
+pub fn sweep_threaded<T, I, F>(
+    base: &SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    spec: &WorkloadSpec,
+    values: I,
+    configure: F,
+    threads: usize,
+) -> Vec<SweepPoint<T>>
+where
+    T: Sync,
+    I: IntoIterator<Item = T>,
+    F: Fn(&mut SystemConfig, &T) + Sync,
+{
+    let values: Vec<T> = values.into_iter().collect();
+    let reports = par_map_indexed(values.len(), threads, |i| {
+        let mut cfg = base.clone();
+        configure(&mut cfg, &values[i]);
+        System::new(&cfg, platform, mode, spec).run()
+    });
     values
         .into_iter()
-        .map(|value| {
-            let mut cfg = base.clone();
-            configure(&mut cfg, &value);
-            let report = System::new(&cfg, platform, mode, spec).run();
-            SweepPoint { value, report }
-        })
+        .zip(reports)
+        .map(|(value, report)| SweepPoint { value, report })
         .collect()
 }
 

@@ -1,0 +1,153 @@
+//! The fabric layer: a uniform transfer interface over either channel
+//! technology.
+//!
+//! [`Fabric`] absorbs what used to be an ad-hoc `Channel::Optical /
+//! Channel::Electrical` enum dispatch inside the system monolith. The
+//! memory subsystem talks to one trait object; which physics sits behind
+//! it is decided once, at construction, from the platform.
+
+use ohm_hetero::{MigrationCaps, Platform};
+use ohm_optic::{
+    DualRouteMode, ElectricalChannel, OperationalMode, OpticalChannel, OpticalChannelConfig,
+    TrafficClass,
+};
+use ohm_sim::Ps;
+
+use crate::config::SystemConfig;
+
+/// A memory channel behind a uniform transfer interface.
+///
+/// Implementations book wire occupancy on a per-virtual-channel data
+/// route; optical fabrics additionally expose the dedicated memory route
+/// (dual-route platforms) used by delegated migrations.
+pub trait Fabric {
+    /// Books `bits` on virtual channel `ch`'s data route toward `device`,
+    /// returning the transfer's `(start, end)`.
+    fn xfer(
+        &mut self,
+        now: Ps,
+        ch: usize,
+        bits: u64,
+        class: TrafficClass,
+        device: usize,
+    ) -> (Ps, Ps);
+
+    /// Books `bits` on the dedicated memory route (device-to-device
+    /// copies that bypass the data route).
+    ///
+    /// # Panics
+    ///
+    /// Panics on fabrics without a memory route (electrical platforms
+    /// never delegate migrations).
+    fn memory_route(&mut self, now: Ps, ch: usize, bits: u64) -> (Ps, Ps);
+
+    /// Fraction of data-route busy time carrying migration traffic.
+    fn migration_fraction(&self) -> f64;
+
+    /// Mean per-channel utilization over `horizon`.
+    fn utilization(&self, horizon: Ps) -> f64;
+
+    /// Total bits moved, split `(demand, migration)`.
+    fn bits(&self) -> (u64, u64);
+}
+
+impl Fabric for OpticalChannel {
+    fn xfer(
+        &mut self,
+        now: Ps,
+        ch: usize,
+        bits: u64,
+        class: TrafficClass,
+        device: usize,
+    ) -> (Ps, Ps) {
+        self.transfer(now, ch, bits, class, device)
+    }
+
+    fn memory_route(&mut self, now: Ps, ch: usize, bits: u64) -> (Ps, Ps) {
+        self.memory_route_transfer(now, ch, bits)
+    }
+
+    fn migration_fraction(&self) -> f64 {
+        OpticalChannel::migration_fraction(self)
+    }
+
+    fn utilization(&self, horizon: Ps) -> f64 {
+        OpticalChannel::utilization(self, horizon)
+    }
+
+    fn bits(&self) -> (u64, u64) {
+        (
+            self.bits_by_class(TrafficClass::Demand),
+            self.bits_by_class(TrafficClass::Migration),
+        )
+    }
+}
+
+impl Fabric for ElectricalChannel {
+    fn xfer(
+        &mut self,
+        now: Ps,
+        ch: usize,
+        bits: u64,
+        class: TrafficClass,
+        _device: usize,
+    ) -> (Ps, Ps) {
+        self.transfer(now, ch, bits, class)
+    }
+
+    fn memory_route(&mut self, _now: Ps, _ch: usize, _bits: u64) -> (Ps, Ps) {
+        unreachable!("electrical platforms never use the memory route")
+    }
+
+    fn migration_fraction(&self) -> f64 {
+        ElectricalChannel::migration_fraction(self)
+    }
+
+    fn utilization(&self, horizon: Ps) -> f64 {
+        if horizon == Ps::ZERO {
+            0.0
+        } else {
+            let per = self.busy_time().as_ps() as f64 / self.config().channels as f64;
+            per / horizon.as_ps() as f64
+        }
+    }
+
+    fn bits(&self) -> (u64, u64) {
+        (
+            self.bits_by_class(TrafficClass::Demand),
+            self.bits_by_class(TrafficClass::Migration),
+        )
+    }
+}
+
+/// Builds the fabric a platform runs on: electrical for `Origin`/`Hetero`,
+/// optical (with the platform's dual-route capability) for the rest.
+///
+/// WOM coding exists to share a light between the memory controller and
+/// the swap function (Section V-B) — planar mode only. The two-level
+/// mode's auto-read/write + reverse-write use half-coupled MRR
+/// *receivers* (Figure 15b) and carry no coding penalty.
+pub(crate) fn build_fabric(
+    cfg: &SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    caps: &MigrationCaps,
+) -> Box<dyn Fabric + Send> {
+    let dual_route = if caps.swap || caps.reverse_write || caps.auto_rw {
+        if caps.wom_coding && mode == OperationalMode::Planar {
+            DualRouteMode::Wom
+        } else {
+            DualRouteMode::HalfCoupled
+        }
+    } else {
+        DualRouteMode::Serialized
+    };
+
+    match platform {
+        Platform::Origin | Platform::Hetero => Box::new(ElectricalChannel::new(cfg.electrical)),
+        _ => Box::new(OpticalChannel::new(OpticalChannelConfig {
+            dual_route,
+            ..cfg.optical
+        })),
+    }
+}

@@ -1,0 +1,395 @@
+//! The memory subsystem: controllers, their devices, and the shared
+//! round-trip plumbing every backend services requests through.
+//!
+//! A [`MemoryController`] owns the hardware blocks behind one channel:
+//! the controller pipeline calendar, the DRAM module, the optional XPoint
+//! controller, the conflict detector tracking in-flight migrations, and
+//! the DDR sequence generator / DDR monitor engines of the delegated
+//! migration machinery. Capacity-management *policy* lives one layer up,
+//! in a [`MemoryBackend`](super::MemoryBackend); the wiring between the
+//! two is a [`MemEnv`], which also carries the [`Fabric`] and the
+//! [`StatsSink`](super::StatsSink).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use ohm_hetero::{ConflictDetector, Platform};
+use ohm_mem::{DdrMonitor, DdrSequenceGenerator, DramModule, MemKind, XPointController};
+use ohm_optic::{OperationalMode, TrafficClass};
+use ohm_sim::{Addr, Ps};
+use ohm_workloads::WorkloadSpec;
+
+use crate::config::SystemConfig;
+use crate::metrics::HostReport;
+
+use super::backend::build_backend;
+use super::fabric::{build_fabric, Fabric};
+use super::{MemoryBackend, StatsSink};
+
+/// Command/address bits preceding each data burst on the channel.
+pub(crate) const CMD_BITS: u64 = 64;
+/// Device indices on a virtual channel, for demux-arbitration tracking.
+pub(crate) const DEV_DRAM: usize = 0;
+pub(crate) const DEV_XPOINT: usize = 1;
+
+/// One memory controller and the hardware blocks behind it.
+#[derive(Debug)]
+pub struct MemoryController {
+    /// Controller pipeline occupancy.
+    pub(crate) ctrl: ohm_sim::Calendar,
+    /// The DRAM module on this channel.
+    pub(crate) dram: DramModule,
+    /// The XPoint controller (heterogeneous platforms only).
+    pub(crate) xpoint: Option<XPointController>,
+    /// In-flight migration tracking (stale-copy redirects).
+    pub(crate) conflicts: ConflictDetector,
+    /// DDR sequence generator (swap function, in the XPoint controller).
+    pub(crate) ddr_seq: DdrSequenceGenerator,
+    /// DDR monitor (reverse write, in the memory controller).
+    pub(crate) ddr_monitor: DdrMonitor,
+    /// Completion times of in-flight misses (MSHR occupancy).
+    pub(crate) outstanding: BinaryHeap<Reverse<u64>>,
+}
+
+/// A deferred migration-completion notice `(when, controller, id)`;
+/// the warp engine turns these into events on the global queue.
+pub(crate) type PendingRelease = (Ps, usize, u64);
+
+/// Everything a backend needs to service one request: the controllers,
+/// the fabric, the stats sink, and a buffer for migration releases.
+pub struct MemEnv<'a> {
+    /// The system configuration.
+    pub cfg: &'a SystemConfig,
+    /// All memory controllers (indexed by `mc`).
+    pub mcs: &'a mut [MemoryController],
+    /// The channel fabric requests travel over.
+    pub fabric: &'a mut dyn Fabric,
+    /// The uniform stats hook.
+    pub stats: &'a mut dyn StatsSink,
+    /// Migration releases to schedule on the event queue.
+    pub(crate) pending: &'a mut Vec<PendingRelease>,
+}
+
+impl MemEnv<'_> {
+    /// Round-trip of one line to the DRAM device: command, bank access,
+    /// and (for reads) the data burst back.
+    pub(crate) fn dram_line_rt(&mut self, now: Ps, mc: usize, la: Addr, kind: MemKind) -> Ps {
+        let line_bits = self.cfg.line_bytes * 8;
+        match kind {
+            MemKind::Read => {
+                let (_, cmd_done) =
+                    self.fabric
+                        .xfer(now, mc, CMD_BITS, TrafficClass::Demand, DEV_DRAM);
+                let acc = self.mcs[mc].dram.access(cmd_done, la, kind);
+                let (_, data_done) =
+                    self.fabric
+                        .xfer(acc.data_at, mc, line_bits, TrafficClass::Demand, DEV_DRAM);
+                data_done
+            }
+            MemKind::Write => {
+                let (_, xfer_done) = self.fabric.xfer(
+                    now,
+                    mc,
+                    CMD_BITS + line_bits,
+                    TrafficClass::Demand,
+                    DEV_DRAM,
+                );
+                self.mcs[mc].dram.access(xfer_done, la, kind).data_at
+            }
+        }
+    }
+
+    /// Round-trip of one line to the XPoint device.
+    pub(crate) fn xpoint_line_rt(&mut self, now: Ps, mc: usize, la: Addr, kind: MemKind) -> Ps {
+        let line_bits = self.cfg.line_bytes * 8;
+        match kind {
+            MemKind::Read => {
+                let (_, cmd_done) =
+                    self.fabric
+                        .xfer(now, mc, CMD_BITS, TrafficClass::Demand, DEV_XPOINT);
+                let ready = {
+                    let xp = self.mcs[mc]
+                        .xpoint
+                        .as_mut()
+                        .expect("heterogeneous platform");
+                    xp.read(cmd_done, la).ready_at
+                };
+                let (_, data_done) =
+                    self.fabric
+                        .xfer(ready, mc, line_bits, TrafficClass::Demand, DEV_XPOINT);
+                self.stats.record_xpoint_stages(
+                    cmd_done - now,
+                    ready - cmd_done,
+                    data_done - ready,
+                );
+                data_done
+            }
+            MemKind::Write => {
+                let (_, xfer_done) = self.fabric.xfer(
+                    now,
+                    mc,
+                    CMD_BITS + line_bits,
+                    TrafficClass::Demand,
+                    DEV_XPOINT,
+                );
+                let xp = self.mcs[mc]
+                    .xpoint
+                    .as_mut()
+                    .expect("heterogeneous platform");
+                xp.write(xfer_done, la).ready_at
+            }
+        }
+    }
+
+    /// Books the DRAM side of a page copy: `lines` consecutive line
+    /// accesses (mostly row hits), returning the last completion.
+    pub(crate) fn dram_page_op(&mut self, start: Ps, mc: usize, base: Addr, kind: MemKind) -> Ps {
+        let lines = self.cfg.memory.page_bytes / self.cfg.line_bytes;
+        let mut done = start;
+        for i in 0..lines {
+            let acc = self.mcs[mc]
+                .dram
+                .access(start, base.offset(i * self.cfg.line_bytes), kind);
+            done = done.max(acc.data_at);
+        }
+        done
+    }
+
+    /// Registers the two pages of a swap with *independent* release
+    /// times: the promoted page is DRAM-served once the promote leg's
+    /// DRAM write completes, regardless of how long the (cold) demoted
+    /// page's XPoint write stays buffered.
+    pub(crate) fn register_swap_pages(
+        &mut self,
+        mc: usize,
+        dram_addr: Addr,
+        xpoint_addr: Addr,
+        promote_done: Ps,
+        demote_done: Ps,
+    ) {
+        let id1 = self.mcs[mc]
+            .conflicts
+            .register_dram_page(dram_addr, xpoint_addr, promote_done);
+        self.pending.push((promote_done, mc, id1));
+        let id2 = self.mcs[mc]
+            .conflicts
+            .register_xpoint_page(xpoint_addr, dram_addr, demote_done);
+        self.pending.push((demote_done, mc, id2));
+    }
+}
+
+/// The assembled memory side of a platform: controllers, fabric, and the
+/// platform/mode-specific [`MemoryBackend`].
+pub(crate) struct MemorySubsystem {
+    pub(crate) mcs: Vec<MemoryController>,
+    pub(crate) fabric: Box<dyn Fabric + Send>,
+    pub(crate) backend: Box<dyn MemoryBackend + Send>,
+    /// Completion times of in-flight line fills (cross-MC MSHR merging).
+    in_flight: HashMap<u64, Ps>,
+    /// Migration releases awaiting transfer onto the event queue.
+    pending: Vec<PendingRelease>,
+    /// Total DRAM capacity across controllers.
+    pub(crate) dram_capacity: u64,
+    /// Total XPoint capacity across controllers.
+    pub(crate) xpoint_capacity: u64,
+}
+
+impl MemorySubsystem {
+    /// Sizes and assembles the memory side of `platform` around `spec`.
+    pub(crate) fn build(
+        cfg: &SystemConfig,
+        platform: Platform,
+        mode: OperationalMode,
+        spec: &WorkloadSpec,
+    ) -> Self {
+        let controllers = cfg.memory.controllers;
+        let page = cfg.memory.page_bytes;
+        let footprint_pages = (spec.footprint_bytes / page).max(1);
+        let pages_per_mc = footprint_pages.div_ceil(controllers as u64);
+
+        // Per-MC capacities, preserving the mode's capacity ratios.
+        let (dram_local, xp_local) = match (platform.is_heterogeneous(), mode) {
+            (true, OperationalMode::Planar) => {
+                let group = cfg.memory.planar_ratio as u64 + 1;
+                let groups = pages_per_mc.div_ceil(group);
+                (
+                    groups * page,
+                    groups * cfg.memory.planar_ratio as u64 * page,
+                )
+            }
+            (true, OperationalMode::TwoLevel) => {
+                let span = pages_per_mc * page;
+                let dram = (span / (cfg.memory.two_level_ratio as u64 + 1))
+                    .next_power_of_two()
+                    .max(cfg.line_bytes);
+                (dram, span)
+            }
+            (false, _) => match platform {
+                Platform::Origin => {
+                    let span = pages_per_mc * page;
+                    let dram =
+                        ((span as f64 * cfg.memory.origin_resident_fraction) as u64).max(page);
+                    (dram, 0)
+                }
+                _ => (pages_per_mc * page, 0), // Oracle: all-DRAM
+            },
+        };
+
+        // Every platform presents the same per-channel DRAM interface
+        // (dual-rank modules); capacity differences change how much data
+        // fits, not the pin-side bank parallelism.
+        let dram_cfg = ohm_mem::DramConfig {
+            timing: cfg.memory.dram_timing,
+            banks: cfg.memory.dram_banks,
+            ranks: cfg.memory.dram_ranks,
+            row_bytes: 2048,
+            capacity_bytes: dram_local.max(2048),
+            refresh_enabled: true,
+        };
+        let xp_cfg = ohm_mem::xpoint_ctrl::XpCtrlConfig {
+            media: ohm_mem::XPointConfig {
+                capacity_bytes: xp_local.max(page),
+                line_bytes: cfg.line_bytes,
+                ..cfg.memory.xpoint.media
+            },
+            ..cfg.memory.xpoint
+        };
+
+        let mcs = (0..controllers)
+            .map(|_| MemoryController {
+                ctrl: ohm_sim::Calendar::new(),
+                dram: DramModule::new(dram_cfg),
+                xpoint: platform
+                    .is_heterogeneous()
+                    .then(|| XPointController::new(xp_cfg)),
+                conflicts: ConflictDetector::new(page),
+                ddr_seq: DdrSequenceGenerator::new(cfg.line_bytes),
+                ddr_monitor: DdrMonitor::new(),
+                outstanding: BinaryHeap::new(),
+            })
+            .collect();
+
+        let caps = platform.migration_caps();
+        let fabric = build_fabric(cfg, platform, mode, &caps);
+        let backend = build_backend(cfg, platform, mode, spec, caps, dram_local, xp_local);
+
+        MemorySubsystem {
+            mcs,
+            fabric,
+            backend,
+            in_flight: HashMap::new(),
+            pending: Vec::new(),
+            dram_capacity: dram_local * controllers as u64,
+            xpoint_capacity: xp_local * controllers as u64,
+        }
+    }
+
+    /// The controller owning a global address under the interleaving.
+    pub(crate) fn mc_of(&self, cfg: &SystemConfig, addr: Addr) -> usize {
+        (addr.block_index(cfg.memory.interleave_bytes) % cfg.memory.controllers as u64) as usize
+    }
+
+    /// Translates a global address to the controller-local address space.
+    fn local_addr(cfg: &SystemConfig, addr: Addr) -> Addr {
+        let il = cfg.memory.interleave_bytes;
+        let chunk = addr.block_index(il) / cfg.memory.controllers as u64;
+        Addr::from_block(chunk, il).offset(addr.offset_in(il))
+    }
+
+    /// A demand read reaching memory controller `mc`; returns when data
+    /// is back at the controller.
+    pub(crate) fn read(
+        &mut self,
+        cfg: &SystemConfig,
+        stats: &mut dyn StatsSink,
+        now: Ps,
+        mc: usize,
+        addr: Addr,
+    ) -> Ps {
+        let line = addr.block_index(cfg.line_bytes);
+        if let Some(&done) = self.in_flight.get(&line) {
+            if done > now {
+                return done; // MSHR merge with the outstanding fill
+            }
+            self.in_flight.remove(&line);
+        }
+        stats.record_mem_request(now, cfg.line_bytes);
+        // MSHR file: a full set of outstanding misses delays this one
+        // until the earliest in-flight miss completes.
+        let now = {
+            let m = &mut self.mcs[mc];
+            while m
+                .outstanding
+                .peek()
+                .is_some_and(|&Reverse(t)| t <= now.as_ps())
+            {
+                m.outstanding.pop();
+            }
+            if m.outstanding.len() >= cfg.memory.mshr_per_mc {
+                stats.record_mshr_stall(mc);
+                match m.outstanding.pop() {
+                    Some(Reverse(t)) => now.max(Ps::from_ps(t)),
+                    None => now,
+                }
+            } else {
+                now
+            }
+        };
+        let (_, t0) = self.mcs[mc].ctrl.book(now, cfg.memory.mc_overhead);
+        let done = self.service(cfg, stats, t0, mc, addr, MemKind::Read);
+        self.mcs[mc].outstanding.push(Reverse(done.as_ps()));
+        stats.record_mem_latency(done - now);
+        self.in_flight.insert(line, done);
+        done
+    }
+
+    /// A write reaching memory controller `mc` (stores, L2 writebacks).
+    pub(crate) fn write(
+        &mut self,
+        cfg: &SystemConfig,
+        stats: &mut dyn StatsSink,
+        now: Ps,
+        mc: usize,
+        addr: Addr,
+    ) {
+        let (_, t0) = self.mcs[mc].ctrl.book(now, cfg.memory.mc_overhead);
+        let _ = self.service(cfg, stats, t0, mc, addr, MemKind::Write);
+    }
+
+    /// Platform/mode-dependent service of one line request at one MC,
+    /// delegated to the backend. `ga` is the global line address.
+    fn service(
+        &mut self,
+        cfg: &SystemConfig,
+        stats: &mut dyn StatsSink,
+        now: Ps,
+        mc: usize,
+        ga: Addr,
+        kind: MemKind,
+    ) -> Ps {
+        let la = Self::local_addr(cfg, ga);
+        let mut env = MemEnv {
+            cfg,
+            mcs: &mut self.mcs,
+            fabric: self.fabric.as_mut(),
+            stats,
+            pending: &mut self.pending,
+        };
+        self.backend.service(&mut env, now, mc, ga, la, kind)
+    }
+
+    /// A delegated migration released its pages.
+    pub(crate) fn complete_migration(&mut self, mc: usize, id: u64) {
+        self.mcs[mc].conflicts.complete(id);
+    }
+
+    /// Drains the migration releases produced since the last call.
+    pub(crate) fn take_pending(&mut self) -> Vec<PendingRelease> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// The host-staging breakdown, if this platform stages over a host.
+    pub(crate) fn host_report(&self) -> Option<HostReport> {
+        self.backend.host_report()
+    }
+}

@@ -1,0 +1,169 @@
+//! Report generation: folding the layers' counters into a [`SimReport`]
+//! and the debugging resource summary.
+
+use ohm_sim::Ps;
+
+use crate::energy::{energy_report, EnergyInputs};
+use crate::metrics::SimReport;
+
+use super::System;
+
+impl System {
+    /// One-line-per-resource busy summary for debugging and examples.
+    pub fn resource_summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let horizon = self.engine.queue.now();
+        let _ = writeln!(out, "makespan: {horizon}");
+        let issue_busy: Ps = self.engine.sms.iter().map(|s| s.busy_time()).sum();
+        let _ = writeln!(
+            out,
+            "sm issue: busy {} over {} SMs ({:.1}% of makespan each)",
+            issue_busy,
+            self.engine.sms.len(),
+            100.0 * issue_busy.as_ps() as f64
+                / (self.engine.sms.len() as f64 * horizon.as_ps().max(1) as f64),
+        );
+        let _ = writeln!(
+            out,
+            "xbar: {} messages, busy {} ({:.1}% per port)",
+            self.xbar.messages(),
+            self.xbar.busy_time(),
+            100.0 * self.xbar.busy_time().as_ps() as f64
+                / (self.cfg.gpu.xbar.ports as f64 * horizon.as_ps().max(1) as f64),
+        );
+        for (i, mc) in self.mem.mcs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "mc{i}: ctrl busy {} ({:.1}%), ctrl free@{}, dram busy {} ({} banks), xp reads {} writes {} stalls {}, conflicts {}/{}",
+                mc.ctrl.busy_time(),
+                100.0 * mc.ctrl.busy_time().as_ps() as f64 / horizon.as_ps().max(1) as f64,
+                mc.ctrl.next_free(),
+                mc.dram.busy_time(),
+                self.cfg.memory.dram_banks,
+                mc.xpoint.as_ref().map_or(0, |x| x.media().reads()),
+                mc.xpoint.as_ref().map_or(0, |x| x.media().writes()),
+                mc.xpoint.as_ref().map_or(0, |x| x.media().write_stalls()),
+                mc.conflicts.stalls(),
+                mc.conflicts.checks(),
+            );
+        }
+        let _ = writeln!(out, "slice latency: {} (ns)", self.stats.slice_latency);
+        let _ = writeln!(
+            out,
+            "dram read latency: {} (ns)",
+            self.stats.dram_read_latency
+        );
+        let _ = writeln!(
+            out,
+            "xpoint read latency: {} (ns)",
+            self.stats.xpoint_read_latency
+        );
+        let _ = writeln!(out, "conflict stall: {} (ns)", self.stats.stall_latency);
+        let _ = writeln!(
+            out,
+            "xp stages cmd: {} dev: {} resp: {}",
+            self.stats.xp_cmd_stage, self.stats.xp_dev_stage, self.stats.xp_resp_stage
+        );
+        let _ = writeln!(out, "swap window: {} (ns)", self.stats.swap_window);
+        let (d, m) = self.mem.fabric.bits();
+        let _ = writeln!(
+            out,
+            "channel: demand {d} bits, migration {m} bits, util {:.3}",
+            self.mem.fabric.utilization(horizon)
+        );
+        out
+    }
+
+    pub(crate) fn report(&mut self) -> SimReport {
+        // Migration-completion bookkeeping may trail the last warp; the
+        // kernel's makespan is when the warps finished.
+        let makespan = if self.engine.kernel_end > Ps::ZERO {
+            self.engine.kernel_end
+        } else {
+            self.engine.queue.now()
+        };
+        let instructions = self.engine.retired();
+        let cycles = self.cfg.gpu.sm.freq.cycles_in(makespan).max(1);
+        let l1_hits: u64 = self.l1s.iter().map(|c| c.hits()).sum();
+        let l1_total: u64 = self.l1s.iter().map(|c| c.hits() + c.misses()).sum();
+
+        let (demand_bits, migration_bits) = self.mem.fabric.bits();
+        let dram_activations: u64 = self.mem.mcs.iter().map(|m| m.dram.activations()).sum();
+        let dram_accesses: u64 = self
+            .mem
+            .mcs
+            .iter()
+            .map(|m| m.dram.reads() + m.dram.writes())
+            .sum();
+        let (xp_reads, xp_writes) = self.mem.mcs.iter().fold((0, 0), |(r, w), m| {
+            m.xpoint
+                .as_ref()
+                .map(|x| (r + x.media().reads(), w + x.media().writes()))
+                .unwrap_or((r, w))
+        });
+
+        let energy = energy_report(
+            self.platform,
+            &EnergyInputs {
+                makespan,
+                channel_bits: demand_bits + migration_bits,
+                dram_capacity_bytes: self.mem.dram_capacity,
+                dram_activations,
+                dram_accesses,
+                dram_access_bits: self.cfg.line_bytes * 8,
+                xpoint_capacity_bytes: self.mem.xpoint_capacity,
+                xpoint_reads: xp_reads,
+                xpoint_writes: xp_writes,
+                xpoint_line_bits: self.cfg.line_bytes * 8,
+                wavelengths: self.cfg.optical.grid.total_wavelengths()
+                    * self.cfg.optical.waveguides,
+            },
+        );
+
+        let host = self.mem.host_report();
+        let (dram_service, service_total) = self.stats.service_totals();
+        let wear = {
+            let stats: Vec<f64> = self
+                .mem
+                .mcs
+                .iter()
+                .filter_map(|m| m.xpoint.as_ref().map(|x| x.wear_stats().imbalance))
+                .collect();
+            if stats.is_empty() {
+                1.0
+            } else {
+                stats.iter().sum::<f64>() / stats.len() as f64
+            }
+        };
+
+        SimReport {
+            platform: self.platform,
+            mode: self.mode,
+            workload: self.spec.name.to_string(),
+            makespan,
+            instructions,
+            ipc: instructions as f64 / cycles as f64,
+            mem_requests: self.stats.mem_requests,
+            avg_mem_latency_ns: self.stats.mem_latency.mean(),
+            l1_hit_rate: if l1_total == 0 {
+                0.0
+            } else {
+                l1_hits as f64 / l1_total as f64
+            },
+            l2_hit_rate: self.l2.hit_rate(),
+            hetero_dram_hit_rate: if service_total == 0 {
+                1.0
+            } else {
+                dram_service as f64 / service_total as f64
+            },
+            migration_channel_fraction: self.mem.fabric.migration_fraction(),
+            migrations: self.stats.total_migrations(),
+            channel_utilization: self.mem.fabric.utilization(makespan),
+            channel_bits: (demand_bits, migration_bits),
+            energy,
+            host,
+            wear_imbalance: wear,
+        }
+    }
+}

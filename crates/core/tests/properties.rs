@@ -1,13 +1,14 @@
-//! Property-based tests over the full system: random small configurations
-//! must simulate without panics and satisfy the accounting identities.
+//! Randomized-property tests over the full system: random small
+//! configurations must simulate without panics and satisfy the accounting
+//! identities. Cases are drawn from the workspace's own deterministic
+//! [`SplitMix64`] generator.
 
 use ohm_core::config::SystemConfig;
 use ohm_core::runner::run_platform;
 use ohm_core::Platform;
 use ohm_optic::OperationalMode;
-use ohm_sim::Ps;
+use ohm_sim::{Ps, SplitMix64};
 use ohm_workloads::all_workloads;
-use proptest::prelude::*;
 
 fn tiny_cfg(sms: usize, warps: usize, insts: u64, seed: u64) -> SystemConfig {
     let mut cfg = SystemConfig::quick_test();
@@ -18,37 +19,41 @@ fn tiny_cfg(sms: usize, warps: usize, insts: u64, seed: u64) -> SystemConfig {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any platform/mode/workload on a random tiny machine completes and
-    /// retires the exact instruction budget.
-    #[test]
-    fn random_configs_complete(
-        sms in 1usize..4,
-        warps in 1usize..6,
-        insts in 100u64..600,
-        seed in any::<u64>(),
-        platform_idx in 0usize..7,
-        workload_idx in 0usize..10,
-        two_level in any::<bool>(),
-    ) {
+/// Any platform/mode/workload on a random tiny machine completes and
+/// retires the exact instruction budget.
+#[test]
+fn random_configs_complete() {
+    let mut rng = SplitMix64::new(0x5F5);
+    for _case in 0..12 {
+        let sms = 1 + rng.next_below(3) as usize;
+        let warps = 1 + rng.next_below(5) as usize;
+        let insts = 100 + rng.next_below(500);
+        let seed = rng.next_u64();
+        let platform = Platform::ALL[rng.next_below(7) as usize];
+        let mode = if rng.chance(0.5) {
+            OperationalMode::TwoLevel
+        } else {
+            OperationalMode::Planar
+        };
+        let spec = all_workloads()[rng.next_below(10) as usize];
         let cfg = tiny_cfg(sms, warps, insts, seed);
-        let platform = Platform::ALL[platform_idx];
-        let mode = if two_level { OperationalMode::TwoLevel } else { OperationalMode::Planar };
-        let spec = all_workloads()[workload_idx];
         let r = run_platform(&cfg, platform, mode, &spec);
-        prop_assert_eq!(r.instructions, (sms * warps) as u64 * insts);
-        prop_assert!(r.makespan > Ps::ZERO);
-        prop_assert!(r.ipc > 0.0);
-        prop_assert!((0.0..=1.0).contains(&r.migration_channel_fraction));
-        prop_assert!(r.avg_mem_latency_ns >= 0.0);
+        assert_eq!(r.instructions, (sms * warps) as u64 * insts);
+        assert!(r.makespan > Ps::ZERO);
+        assert!(r.ipc > 0.0);
+        assert!((0.0..=1.0).contains(&r.migration_channel_fraction));
+        assert!(r.avg_mem_latency_ns >= 0.0);
     }
+}
 
-    /// Doubling the instruction budget at least doubles retired work and
-    /// never shrinks the makespan.
-    #[test]
-    fn longer_kernels_take_longer(seed in any::<u64>(), insts in 200u64..500) {
+/// Doubling the instruction budget at least doubles retired work and
+/// never shrinks the makespan.
+#[test]
+fn longer_kernels_take_longer() {
+    let mut rng = SplitMix64::new(0x10E);
+    for _case in 0..6 {
+        let seed = rng.next_u64();
+        let insts = 200 + rng.next_below(300);
         let spec = all_workloads()[4]; // betw
         let short = run_platform(
             &tiny_cfg(2, 4, insts, seed),
@@ -62,7 +67,7 @@ proptest! {
             OperationalMode::Planar,
             &spec,
         );
-        prop_assert_eq!(long.instructions, short.instructions * 2);
-        prop_assert!(long.makespan >= short.makespan);
+        assert_eq!(long.instructions, short.instructions * 2);
+        assert!(long.makespan >= short.makespan);
     }
 }

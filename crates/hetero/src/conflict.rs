@@ -58,7 +58,10 @@ impl ConflictDetector {
     ///
     /// Panics if `page_bytes` is not a power of two.
     pub fn new(page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         ConflictDetector {
             page_bytes,
             busy_pages: HashMap::new(),
@@ -81,8 +84,10 @@ impl ConflictDetector {
         self.next_id += 1;
         let dram_page = dram_addr.block_index(self.page_bytes);
         let xp_page = xpoint_addr.block_index(self.page_bytes) | (1 << 62);
-        self.busy_pages.insert(dram_page, (id, expected_done, xpoint_addr));
-        self.busy_pages.insert(xp_page, (id, expected_done, dram_addr));
+        self.busy_pages
+            .insert(dram_page, (id, expected_done, xpoint_addr));
+        self.busy_pages
+            .insert(xp_page, (id, expected_done, dram_addr));
         self.migrations.insert(id, vec![dram_page, xp_page]);
         id
     }
@@ -126,10 +131,13 @@ impl ConflictDetector {
     pub fn redirect_dram(&mut self, addr: Addr) -> Option<Redirect> {
         self.checks += 1;
         let page = addr.block_index(self.page_bytes);
-        let hit = self.busy_pages.get(&page).map(|&(_, release, paired)| Redirect {
-            paired: paired.offset(addr.offset_in(self.page_bytes)),
-            release,
-        });
+        let hit = self
+            .busy_pages
+            .get(&page)
+            .map(|&(_, release, paired)| Redirect {
+                paired: paired.offset(addr.offset_in(self.page_bytes)),
+                release,
+            });
         if hit.is_some() {
             self.stalls += 1;
         }
@@ -140,10 +148,13 @@ impl ConflictDetector {
     pub fn redirect_xpoint(&mut self, addr: Addr) -> Option<Redirect> {
         self.checks += 1;
         let page = addr.block_index(self.page_bytes) | (1 << 62);
-        let hit = self.busy_pages.get(&page).map(|&(_, release, paired)| Redirect {
-            paired: paired.offset(addr.offset_in(self.page_bytes)),
-            release,
-        });
+        let hit = self
+            .busy_pages
+            .get(&page)
+            .map(|&(_, release, paired)| Redirect {
+                paired: paired.offset(addr.offset_in(self.page_bytes)),
+                release,
+            });
         if hit.is_some() {
             self.stalls += 1;
         }
@@ -155,7 +166,11 @@ impl ConflictDetector {
         if let Some(pages) = self.migrations.remove(&id) {
             for p in pages {
                 // Only remove if still owned by this migration.
-                if self.busy_pages.get(&p).is_some_and(|&(owner, _, _)| owner == id) {
+                if self
+                    .busy_pages
+                    .get(&p)
+                    .is_some_and(|&(owner, _, _)| owner == id)
+                {
                     self.busy_pages.remove(&p);
                 }
             }
@@ -188,7 +203,10 @@ mod tests {
         let id = cd.register(Addr::new(4096), Addr::new(8192), Ps::from_us(1));
         assert_eq!(cd.in_flight(), 1);
         assert_eq!(cd.stall_until(Addr::new(4096 + 100)), Some(Ps::from_us(1)));
-        assert_eq!(cd.stall_until_xpoint(Addr::new(8192 + 5)), Some(Ps::from_us(1)));
+        assert_eq!(
+            cd.stall_until_xpoint(Addr::new(8192 + 5)),
+            Some(Ps::from_us(1))
+        );
         cd.complete(id);
         assert_eq!(cd.in_flight(), 0);
         assert_eq!(cd.stall_until(Addr::new(4096)), None);
@@ -223,8 +241,8 @@ mod tests {
         let a = cd.register(Addr::new(0), Addr::new(4096), Ps::from_us(1));
         cd.complete(a);
         cd.complete(a); // no panic
-        // A new migration re-claims the same pages; completing the stale id
-        // again must not release them.
+                        // A new migration re-claims the same pages; completing the stale id
+                        // again must not release them.
         let _b = cd.register(Addr::new(0), Addr::new(4096), Ps::from_us(5));
         cd.complete(a);
         assert_eq!(cd.stall_until(Addr::new(0)), Some(Ps::from_us(5)));

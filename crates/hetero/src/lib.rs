@@ -29,5 +29,5 @@ pub mod two_level;
 
 pub use conflict::{ConflictDetector, Redirect};
 pub use migration::{MigrationCaps, MigrationKind, Platform};
-pub use planar::{PlanarConfig, PlanarMapping, PlanarLocation, SwapRequest};
+pub use planar::{PlanarConfig, PlanarLocation, PlanarMapping, SwapRequest};
 pub use two_level::{TwoLevelCache, TwoLevelConfig, TwoLevelOutcome};

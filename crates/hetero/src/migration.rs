@@ -112,7 +112,10 @@ impl Platform {
             Platform::Origin | Platform::Oracle | Platform::Hetero | Platform::OhmBase => {
                 MigrationCaps::default()
             }
-            Platform::AutoRw => MigrationCaps { auto_rw: true, ..MigrationCaps::default() },
+            Platform::AutoRw => MigrationCaps {
+                auto_rw: true,
+                ..MigrationCaps::default()
+            },
             Platform::OhmWom => MigrationCaps {
                 auto_rw: true,
                 swap: true,
@@ -192,7 +195,12 @@ mod tests {
     fn heterogeneity() {
         assert!(!Platform::Origin.is_heterogeneous());
         assert!(!Platform::Oracle.is_heterogeneous());
-        for p in [Platform::Hetero, Platform::OhmBase, Platform::AutoRw, Platform::OhmWom] {
+        for p in [
+            Platform::Hetero,
+            Platform::OhmBase,
+            Platform::AutoRw,
+            Platform::OhmWom,
+        ] {
             assert!(p.is_heterogeneous());
         }
     }
@@ -220,10 +228,25 @@ mod tests {
 
     #[test]
     fn mechanism_selection() {
-        assert_eq!(Platform::OhmBase.demote_mechanism(), MigrationKind::ViaController);
-        assert_eq!(Platform::AutoRw.demote_mechanism(), MigrationKind::AutoReadWrite);
-        assert_eq!(Platform::AutoRw.promote_mechanism(), MigrationKind::ViaController);
-        assert_eq!(Platform::OhmWom.demote_mechanism(), MigrationKind::SwapFunction);
-        assert_eq!(Platform::OhmBw.promote_mechanism(), MigrationKind::SwapFunction);
+        assert_eq!(
+            Platform::OhmBase.demote_mechanism(),
+            MigrationKind::ViaController
+        );
+        assert_eq!(
+            Platform::AutoRw.demote_mechanism(),
+            MigrationKind::AutoReadWrite
+        );
+        assert_eq!(
+            Platform::AutoRw.promote_mechanism(),
+            MigrationKind::ViaController
+        );
+        assert_eq!(
+            Platform::OhmWom.demote_mechanism(),
+            MigrationKind::SwapFunction
+        );
+        assert_eq!(
+            Platform::OhmBw.promote_mechanism(),
+            MigrationKind::SwapFunction
+        );
     }
 }

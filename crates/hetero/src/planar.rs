@@ -139,7 +139,10 @@ impl PlanarMapping {
     /// Panics if the configuration yields zero groups or a non-power-of-two
     /// page size.
     pub fn new(cfg: PlanarConfig) -> Self {
-        assert!(cfg.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            cfg.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(cfg.ratio > 0, "need at least one XPoint page per group");
         let n = cfg.groups();
         assert!(n > 0, "capacity too small for one group");
@@ -154,7 +157,11 @@ impl PlanarMapping {
                 counters: vec![0; group_pages],
             })
             .collect();
-        PlanarMapping { cfg, groups, swaps: 0 }
+        PlanarMapping {
+            cfg,
+            groups,
+            swaps: 0,
+        }
     }
 
     /// The mapping configuration.
@@ -180,9 +187,7 @@ impl PlanarMapping {
     }
 
     fn xpoint_addr(&self, group: u64, sub_slot: u16, offset: u64) -> Addr {
-        Addr::new(
-            (group * self.cfg.ratio as u64 + sub_slot as u64) * self.cfg.page_bytes + offset,
-        )
+        Addr::new((group * self.cfg.ratio as u64 + sub_slot as u64) * self.cfg.page_bytes + offset)
     }
 
     /// Resolves a logical address to its current physical location.

@@ -25,7 +25,11 @@ pub struct TwoLevelConfig {
 
 impl Default for TwoLevelConfig {
     fn default() -> Self {
-        TwoLevelConfig { dram_bytes: 6 << 20, xpoint_bytes: 384 << 20, line_bytes: 256 }
+        TwoLevelConfig {
+            dram_bytes: 6 << 20,
+            xpoint_bytes: 384 << 20,
+            line_bytes: 256,
+        }
     }
 }
 
@@ -126,9 +130,15 @@ impl TwoLevelCache {
     /// Panics if the geometry is degenerate (zero lines, XPoint smaller
     /// than DRAM, or a non-power-of-two line size).
     pub fn new(cfg: TwoLevelConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.cache_lines() > 0, "DRAM cache needs at least one line");
-        assert!(cfg.xpoint_bytes >= cfg.dram_bytes, "XPoint must back the whole DRAM cache");
+        assert!(
+            cfg.xpoint_bytes >= cfg.dram_bytes,
+            "XPoint must back the whole DRAM cache"
+        );
         TwoLevelCache {
             meta: vec![Meta::default(); cfg.cache_lines() as usize],
             cfg,
@@ -155,7 +165,10 @@ impl TwoLevelCache {
     }
 
     fn xpoint_addr(&self, index: usize, tag: u64) -> Addr {
-        Addr::from_block(tag * self.cfg.cache_lines() + index as u64, self.cfg.line_bytes)
+        Addr::from_block(
+            tag * self.cfg.cache_lines() + index as u64,
+            self.cfg.line_bytes,
+        )
     }
 
     /// Accesses the line containing `addr` (an XPoint-space address); on a
@@ -165,7 +178,10 @@ impl TwoLevelCache {
     ///
     /// Panics if `addr` is beyond the XPoint capacity.
     pub fn access(&mut self, addr: Addr, is_write: bool) -> TwoLevelOutcome {
-        assert!(addr.get() < self.cfg.xpoint_bytes, "address beyond XPoint capacity");
+        assert!(
+            addr.get() < self.cfg.xpoint_bytes,
+            "address beyond XPoint capacity"
+        );
         let (index, tag) = self.decode(addr);
         let dram_addr = self.dram_addr(index);
         let m = self.meta[index];
@@ -180,8 +196,16 @@ impl TwoLevelCache {
             self.xpoint_addr(index, m.tag)
         });
         let xpoint_addr = self.xpoint_addr(index, tag);
-        self.meta[index] = Meta { tag, valid: true, dirty: is_write };
-        TwoLevelOutcome::Miss { dram_addr, xpoint_addr, evict_to }
+        self.meta[index] = Meta {
+            tag,
+            valid: true,
+            dirty: is_write,
+        };
+        TwoLevelOutcome::Miss {
+            dram_addr,
+            xpoint_addr,
+            evict_to,
+        }
     }
 
     /// Whether the line containing `addr` is currently cached.
@@ -233,17 +257,29 @@ mod tests {
     #[test]
     fn tag_bits_match_ratio() {
         // 1:64 ratio -> 6 tag bits, the paper's upper bound.
-        let c = TwoLevelConfig { dram_bytes: 6 << 20, xpoint_bytes: 384 << 20, line_bytes: 256 };
+        let c = TwoLevelConfig {
+            dram_bytes: 6 << 20,
+            xpoint_bytes: 384 << 20,
+            line_bytes: 256,
+        };
         assert_eq!(c.tag_bits(), 6);
         // 1:8 -> 3 bits, the paper's lower bound.
-        let c8 = TwoLevelConfig { dram_bytes: 1 << 20, xpoint_bytes: 8 << 20, line_bytes: 256 };
+        let c8 = TwoLevelConfig {
+            dram_bytes: 1 << 20,
+            xpoint_bytes: 8 << 20,
+            line_bytes: 256,
+        };
         assert_eq!(c8.tag_bits(), 3);
     }
 
     #[test]
     fn metadata_fits_the_ecc_region_at_paper_ratios() {
         for (dram, xp) in [(6u64 << 20, 48u64 << 20), (6 << 20, 384 << 20)] {
-            let c = TwoLevelConfig { dram_bytes: dram, xpoint_bytes: xp, line_bytes: 256 };
+            let c = TwoLevelConfig {
+                dram_bytes: dram,
+                xpoint_bytes: xp,
+                line_bytes: 256,
+            };
             assert!(c.metadata_bits() <= 8, "paper: 1+1+3..6 bits");
             assert!(c.metadata_fits_ecc(), "ratio {}:{}", dram >> 20, xp >> 20);
         }
@@ -254,7 +290,11 @@ mod tests {
         let mut c = tiny();
         let o = c.access(Addr::new(0), false);
         match o {
-            TwoLevelOutcome::Miss { dram_addr, xpoint_addr, evict_to } => {
+            TwoLevelOutcome::Miss {
+                dram_addr,
+                xpoint_addr,
+                evict_to,
+            } => {
                 assert_eq!(dram_addr, Addr::new(0));
                 assert_eq!(xpoint_addr, Addr::new(0));
                 assert_eq!(evict_to, None);
@@ -309,7 +349,11 @@ mod tests {
         // Fill index 2 with tag 3: XPoint line 3*4+2 = 14.
         let addr = Addr::new(14 * 256);
         match c.access(addr, false) {
-            TwoLevelOutcome::Miss { dram_addr, xpoint_addr, .. } => {
+            TwoLevelOutcome::Miss {
+                dram_addr,
+                xpoint_addr,
+                ..
+            } => {
                 assert_eq!(dram_addr, Addr::new(2 * 256));
                 assert_eq!(xpoint_addr, addr);
             }

@@ -1,24 +1,24 @@
-//! Property-based tests for heterogeneous-memory policy invariants.
+//! Randomized-property tests for heterogeneous-memory policy invariants,
+//! driven by the workspace's own deterministic [`SplitMix64`] generator.
 
-use ohm_hetero::{
-    ConflictDetector, PlanarConfig, PlanarMapping, TwoLevelCache, TwoLevelConfig,
-};
-use ohm_sim::{Addr, Ps};
-use proptest::prelude::*;
+use ohm_hetero::{ConflictDetector, PlanarConfig, PlanarMapping, TwoLevelCache, TwoLevelConfig};
+use ohm_sim::{Addr, Ps, SplitMix64};
 
-proptest! {
-    /// The planar remap stays a bijection over the whole logical space
-    /// under any access sequence (swaps committed as they trigger).
-    #[test]
-    fn planar_mapping_stays_bijective(accesses in prop::collection::vec(0u64..(4 * 9), 1..400)) {
+/// The planar remap stays a bijection over the whole logical space
+/// under any access sequence (swaps committed as they trigger).
+#[test]
+fn planar_mapping_stays_bijective() {
+    let mut rng = SplitMix64::new(0xB11);
+    for _case in 0..32 {
+        let n = 1 + rng.next_below(400) as usize;
         let mut map = PlanarMapping::new(PlanarConfig {
             page_bytes: 4096,
             ratio: 8,
             hot_threshold: 3,
             capacity_bytes: 4 * 9 * 4096,
         });
-        for &page in &accesses {
-            let addr = Addr::new(page * 4096);
+        for _ in 0..n {
+            let addr = Addr::new(rng.next_below(4 * 9) * 4096);
             if let Some(req) = map.record_access(addr) {
                 map.commit_swap(&req);
             }
@@ -26,7 +26,7 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         for page in 0..(4 * 9u64) {
             let loc = map.lookup(Addr::new(page * 4096));
-            prop_assert!(
+            assert!(
                 seen.insert((loc.is_dram(), loc.addr().get())),
                 "two pages share a physical location"
             );
@@ -35,35 +35,48 @@ proptest! {
         let dram_count = (0..(4 * 9u64))
             .filter(|&p| map.lookup(Addr::new(p * 4096)).is_dram())
             .count();
-        prop_assert_eq!(dram_count, 4);
+        assert_eq!(dram_count, 4);
     }
+}
 
-    /// The most recently accessed line is always resident in the
-    /// direct-mapped DRAM cache, and hit/miss counts partition accesses.
-    #[test]
-    fn two_level_inclusion_of_last_access(
-        ops in prop::collection::vec((0u64..256, any::<bool>()), 1..300)
-    ) {
+/// The most recently accessed line is always resident in the
+/// direct-mapped DRAM cache, and hit/miss counts partition accesses.
+#[test]
+fn two_level_inclusion_of_last_access() {
+    let mut rng = SplitMix64::new(0x212);
+    for _case in 0..32 {
+        let n = 1 + rng.next_below(300) as usize;
         let mut cache = TwoLevelCache::new(TwoLevelConfig {
             dram_bytes: 2048,
             xpoint_bytes: 64 * 1024,
             line_bytes: 256,
         });
-        for &(line, w) in &ops {
-            let addr = Addr::new(line * 256);
-            cache.access(addr, w);
-            prop_assert!(cache.contains(addr), "just-accessed line must be cached");
+        for _ in 0..n {
+            let addr = Addr::new(rng.next_below(256) * 256);
+            cache.access(addr, rng.chance(0.5));
+            assert!(cache.contains(addr), "just-accessed line must be cached");
         }
-        prop_assert_eq!(cache.hits() + cache.misses(), ops.len() as u64);
-        prop_assert!(cache.dirty_evictions() <= cache.misses());
+        assert_eq!(cache.hits() + cache.misses(), n as u64);
+        assert!(cache.dirty_evictions() <= cache.misses());
     }
+}
 
-    /// Conflict-detector redirects always point at the registered pair and
-    /// preserve the in-page offset; completing releases both pages.
-    #[test]
-    fn conflict_redirects_roundtrip(
-        pairs in prop::collection::vec((0u64..64, 64u64..128, 0u64..4096), 1..50)
-    ) {
+/// Conflict-detector redirects always point at the registered pair and
+/// preserve the in-page offset; completing releases both pages.
+#[test]
+fn conflict_redirects_roundtrip() {
+    let mut rng = SplitMix64::new(0xC0F);
+    for _case in 0..32 {
+        let n = 1 + rng.next_below(50) as usize;
+        let pairs: Vec<(u64, u64, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.next_below(64),
+                    64 + rng.next_below(64),
+                    rng.next_below(4096),
+                )
+            })
+            .collect();
         let mut cd = ConflictDetector::new(4096);
         let mut ids = Vec::new();
         for &(dram_page, xp_page, offset) in &pairs {
@@ -73,21 +86,23 @@ proptest! {
             // A redirect for any offset within the page maps to the same
             // offset on the paired device.
             if let Some(r) = cd.redirect_dram(Addr::new(dram_page * 4096 + offset)) {
-                prop_assert_eq!(r.paired.offset_in(4096), offset);
-                prop_assert_eq!(r.paired.align_down(4096).block_index(4096) * 4096,
-                    r.paired.align_down(4096).get());
+                assert_eq!(r.paired.offset_in(4096), offset);
+                assert_eq!(
+                    r.paired.align_down(4096).block_index(4096) * 4096,
+                    r.paired.align_down(4096).get()
+                );
             } else {
-                prop_assert!(false, "registered page must redirect");
+                panic!("registered page must redirect");
             }
             ids.push(id);
         }
         for id in ids {
             cd.complete(id);
         }
-        prop_assert_eq!(cd.in_flight(), 0);
+        assert_eq!(cd.in_flight(), 0);
         for &(dram_page, xp_page, _) in &pairs {
-            prop_assert!(cd.redirect_dram(Addr::new(dram_page * 4096)).is_none());
-            prop_assert!(cd.redirect_xpoint(Addr::new(xp_page * 4096)).is_none());
+            assert!(cd.redirect_dram(Addr::new(dram_page * 4096)).is_none());
+            assert!(cd.redirect_xpoint(Addr::new(xp_page * 4096)).is_none());
         }
     }
 }

@@ -50,7 +50,10 @@ impl DdrSequenceGenerator {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn new(line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         DdrSequenceGenerator {
             line_bytes,
             commands_issued: Counter::new(),
@@ -228,7 +231,10 @@ mod tests {
     use super::*;
 
     fn quiet_dram() -> DramModule {
-        DramModule::new(DramConfig { refresh_enabled: false, ..DramConfig::default() })
+        DramModule::new(DramConfig {
+            refresh_enabled: false,
+            ..DramConfig::default()
+        })
     }
 
     #[test]
@@ -237,8 +243,14 @@ mod tests {
         let mut generator = DdrSequenceGenerator::new(128);
         // 4 KB page over 2 KB rows: 2 rows -> 2 activates, 32 CAS.
         let seq = generator.plan_page(&dram, Addr::new(0), 4096, MemKind::Read);
-        let activates = seq.iter().filter(|c| matches!(c, DdrCommand::Activate { .. })).count();
-        let reads = seq.iter().filter(|c| matches!(c, DdrCommand::Read { .. })).count();
+        let activates = seq
+            .iter()
+            .filter(|c| matches!(c, DdrCommand::Activate { .. }))
+            .count();
+        let reads = seq
+            .iter()
+            .filter(|c| matches!(c, DdrCommand::Read { .. }))
+            .count();
         assert_eq!(activates, 2);
         assert_eq!(reads, 32);
         assert_eq!(generator.commands_issued(), 34);
@@ -250,8 +262,13 @@ mod tests {
         let mut generator = DdrSequenceGenerator::new(128);
         // Consecutive 2 KB rows land in different banks, so no precharge.
         let seq = generator.plan_page(&dram, Addr::new(0), 4096, MemKind::Write);
-        assert!(!seq.iter().any(|c| matches!(c, DdrCommand::Precharge { .. })));
-        let writes = seq.iter().filter(|c| matches!(c, DdrCommand::Write { .. })).count();
+        assert!(!seq
+            .iter()
+            .any(|c| matches!(c, DdrCommand::Precharge { .. })));
+        let writes = seq
+            .iter()
+            .filter(|c| matches!(c, DdrCommand::Write { .. }))
+            .count();
         assert_eq!(writes, 32);
     }
 

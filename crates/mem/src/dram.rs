@@ -148,8 +148,14 @@ impl DramModule {
     pub fn new(cfg: DramConfig) -> Self {
         assert!(cfg.banks > 0, "DRAM must have at least one bank");
         assert!(cfg.ranks > 0, "DRAM must have at least one rank");
-        assert!(cfg.banks.is_multiple_of(cfg.ranks), "banks must divide evenly into ranks");
-        assert!(cfg.row_bytes.is_power_of_two(), "row size must be a power of two");
+        assert!(
+            cfg.banks.is_multiple_of(cfg.ranks),
+            "banks must divide evenly into ranks"
+        );
+        assert!(
+            cfg.row_bytes.is_power_of_two(),
+            "row size must be a power of two"
+        );
         DramModule {
             banks: vec![
                 Bank {
@@ -279,7 +285,12 @@ impl DramModule {
             MemKind::Read => self.reads.incr(),
             MemKind::Write => self.writes.incr(),
         }
-        DramAccess { start, data_at: end, row_hit, bank: bank_idx }
+        DramAccess {
+            start,
+            data_at: end,
+            row_hit,
+            bank: bank_idx,
+        }
     }
 
     /// Precharges and activates the row containing `addr`, leaving the bank
@@ -298,7 +309,8 @@ impl DramModule {
         }
         let had_open = bank.open_row.is_some();
         let ready = if had_open {
-            now.max(bank.activated_at + t.tras).max(bank.last_write_end + t.twr)
+            now.max(bank.activated_at + t.tras)
+                .max(bank.last_write_end + t.twr)
         } else {
             now
         };
@@ -381,7 +393,10 @@ mod tests {
     use super::*;
 
     fn quiet_cfg() -> DramConfig {
-        DramConfig { refresh_enabled: false, ..DramConfig::default() }
+        DramConfig {
+            refresh_enabled: false,
+            ..DramConfig::default()
+        }
     }
 
     #[test]
@@ -534,8 +549,18 @@ mod tests {
     fn ranks_have_independent_activate_windows() {
         // Same workload, one vs four ranks: the four-rank module issues
         // activate bursts in parallel tFAW domains.
-        let one = DramConfig { refresh_enabled: false, banks: 16, ranks: 1, ..DramConfig::default() };
-        let four = DramConfig { refresh_enabled: false, banks: 16, ranks: 4, ..DramConfig::default() };
+        let one = DramConfig {
+            refresh_enabled: false,
+            banks: 16,
+            ranks: 1,
+            ..DramConfig::default()
+        };
+        let four = DramConfig {
+            refresh_enabled: false,
+            banks: 16,
+            ranks: 4,
+            ..DramConfig::default()
+        };
         let mut d1 = DramModule::new(one);
         let mut d4 = DramModule::new(four);
         let mut last1 = Ps::ZERO;
@@ -545,13 +570,20 @@ mod tests {
             last1 = last1.max(d1.access(Ps::ZERO, a, MemKind::Read).start);
             last4 = last4.max(d4.access(Ps::ZERO, a, MemKind::Read).start);
         }
-        assert!(last4 < last1, "four ranks must start bursts sooner: {last4} vs {last1}");
+        assert!(
+            last4 < last1,
+            "four ranks must start bursts sooner: {last4} vs {last1}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "divide evenly")]
     fn uneven_ranks_rejected() {
-        let _ = DramModule::new(DramConfig { banks: 16, ranks: 3, ..DramConfig::default() });
+        let _ = DramModule::new(DramConfig {
+            banks: 16,
+            ranks: 3,
+            ..DramConfig::default()
+        });
     }
 
     #[test]
@@ -568,6 +600,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_rejected() {
-        let _ = DramModule::new(DramConfig { banks: 0, ..DramConfig::default() });
+        let _ = DramModule::new(DramConfig {
+            banks: 0,
+            ..DramConfig::default()
+        });
     }
 }

@@ -137,12 +137,18 @@ impl StartGap {
         self.gap_moves.incr();
         let mv = if self.gap == 0 {
             // Wrap: the spare returns to the top and the rotation advances.
-            let mv = GapMove { from: self.lines, to: 0 };
+            let mv = GapMove {
+                from: self.lines,
+                to: 0,
+            };
             self.gap = self.lines;
             self.start = (self.start + 1) % self.lines;
             mv
         } else {
-            let mv = GapMove { from: self.gap - 1, to: self.gap };
+            let mv = GapMove {
+                from: self.gap - 1,
+                to: self.gap,
+            };
             self.gap -= 1;
             mv
         };
@@ -176,10 +182,8 @@ impl StartGap {
             return None;
         }
         // Hottest-bucket write rate, spread over the lines in a bucket.
-        let lines_per_bucket =
-            ((self.lines + 1) as f64 / self.bucket_writes.len() as f64).max(1.0);
-        let hottest_line_rate =
-            stats.max_bucket_writes as f64 / lines_per_bucket / elapsed_secs;
+        let lines_per_bucket = ((self.lines + 1) as f64 / self.bucket_writes.len() as f64).max(1.0);
+        let hottest_line_rate = stats.max_bucket_writes as f64 / lines_per_bucket / elapsed_secs;
         Some(endurance_writes as f64 / hottest_line_rate)
     }
 
@@ -299,7 +303,10 @@ mod tests {
             hot.record_write(7);
         }
         let hammered = hot.lifetime_secs(1.0, 1_000_000).expect("writes observed");
-        assert!(hammered < uniform, "hammered {hammered} vs uniform {uniform}");
+        assert!(
+            hammered < uniform,
+            "hammered {hammered} vs uniform {uniform}"
+        );
         assert_eq!(hot.lifetime_secs(0.0, 1_000_000), None);
     }
 

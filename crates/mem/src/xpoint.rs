@@ -94,10 +94,22 @@ impl XPointMedia {
     /// Panics if the configuration has zero partitions, a zero-depth write
     /// buffer, or a non-power-of-two line size.
     pub fn new(cfg: XPointConfig) -> Self {
-        assert!(cfg.partitions > 0, "XPoint must have at least one partition");
-        assert!(cfg.read_buffer_lines > 0, "read buffer must have at least one line");
-        assert!(cfg.write_buffer_lines > 0, "write buffer must have at least one line");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.partitions > 0,
+            "XPoint must have at least one partition"
+        );
+        assert!(
+            cfg.read_buffer_lines > 0,
+            "read buffer must have at least one line"
+        );
+        assert!(
+            cfg.write_buffer_lines > 0,
+            "write buffer must have at least one line"
+        );
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         XPointMedia {
             read_planes: vec![Calendar::new(); cfg.partitions],
             write_planes: vec![Calendar::new(); cfg.partitions],
@@ -147,7 +159,10 @@ impl XPointMedia {
         // leaves for the channel; a full buffer stalls admission.
         let ready = if self.read_buffer.len() >= self.cfg.read_buffer_lines {
             self.read_stalls.incr();
-            self.read_buffer.pop_front().expect("buffer non-empty").max(now)
+            self.read_buffer
+                .pop_front()
+                .expect("buffer non-empty")
+                .max(now)
         } else {
             now
         };
@@ -169,7 +184,10 @@ impl XPointMedia {
         let ack = if self.write_buffer.len() >= self.cfg.write_buffer_lines {
             self.write_stalls.incr();
             // Stall until the oldest buffered write completes.
-            self.write_buffer.pop_front().expect("buffer non-empty").max(now)
+            self.write_buffer
+                .pop_front()
+                .expect("buffer non-empty")
+                .max(now)
         } else {
             now
         };
@@ -340,6 +358,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_rejected() {
-        let _ = XPointMedia::new(XPointConfig { partitions: 0, ..XPointConfig::default() });
+        let _ = XPointMedia::new(XPointConfig {
+            partitions: 0,
+            ..XPointConfig::default()
+        });
     }
 }

@@ -117,7 +117,9 @@ impl XPointController {
         let (_, ingress_done) = self.engine.book(now, self.cfg.ctrl_overhead);
         let phys = self.translate(addr);
         let data_at = self.media.read(ingress_done, phys);
-        XpCompletion { ready_at: data_at + self.cfg.ddrt_handshake }
+        XpCompletion {
+            ready_at: data_at + self.cfg.ddrt_handshake,
+        }
     }
 
     /// Services a line write whose command+data arrive at `now`.
@@ -141,7 +143,9 @@ impl XPointController {
             self.wear_move_reads += 1;
             self.wear_move_writes += 1;
         }
-        XpCompletion { ready_at: ack + self.cfg.ddrt_handshake }
+        XpCompletion {
+            ready_at: ack + self.cfg.ddrt_handshake,
+        }
     }
 
     /// Reads `lines` consecutive media lines starting at `addr` (a page
@@ -226,7 +230,10 @@ mod tests {
     fn read_latency_composition() {
         let mut c = XPointController::new(small());
         let done = c.read(Ps::ZERO, Addr::new(0));
-        assert_eq!(done.ready_at, Ps::from_ns(5) + Ps::from_ns(190) + Ps::from_ns(10));
+        assert_eq!(
+            done.ready_at,
+            Ps::from_ns(5) + Ps::from_ns(190) + Ps::from_ns(10)
+        );
     }
 
     #[test]
@@ -253,7 +260,10 @@ mod tests {
             c.write(Ps::ZERO, Addr::new(i * 256));
         }
         let (r, w) = c.wear_move_ops();
-        assert!(r >= 3, "psi=4 over 16 writes should rotate >= 3 times, got {r}");
+        assert!(
+            r >= 3,
+            "psi=4 over 16 writes should rotate >= 3 times, got {r}"
+        );
         assert_eq!(r, w);
         assert!(c.wear_stats().gap_moves >= 3);
     }

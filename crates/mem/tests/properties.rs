@@ -1,80 +1,98 @@
-//! Property-based tests for memory-device invariants.
+//! Randomized-property tests for memory-device invariants, driven by the
+//! workspace's own deterministic [`SplitMix64`] generator.
 
 use ohm_mem::{DramConfig, DramModule, MemKind, StartGap, XPointConfig, XPointMedia};
-use ohm_sim::{Addr, Ps};
-use proptest::prelude::*;
+use ohm_sim::{Addr, Ps, SplitMix64};
 
-proptest! {
-    /// Start-Gap stays a bijection from logical lines onto a subset of
-    /// physical slots for any write sequence and rotation period.
-    #[test]
-    fn start_gap_always_injective(
-        lines in 2u64..64,
-        psi in 1u32..16,
-        writes in prop::collection::vec(0u64..64, 0..300),
-    ) {
+/// Start-Gap stays a bijection from logical lines onto a subset of
+/// physical slots for any write sequence and rotation period.
+#[test]
+fn start_gap_always_injective() {
+    let mut rng = SplitMix64::new(0x5A9);
+    for _case in 0..48 {
+        let lines = 2 + rng.next_below(62);
+        let psi = 1 + rng.next_below(15) as u32;
+        let writes: Vec<u64> = (0..rng.next_below(300))
+            .map(|_| rng.next_below(64))
+            .collect();
         let mut sg = StartGap::new(lines, psi);
         for &w in &writes {
             sg.record_write(w % lines);
             let mut seen = std::collections::HashSet::new();
             for l in 0..lines {
                 let p = sg.translate(l);
-                prop_assert!(p <= lines, "physical slot out of range");
-                prop_assert!(seen.insert(p), "collision at logical {l}");
+                assert!(p <= lines, "physical slot out of range");
+                assert!(seen.insert(p), "collision at logical {l}");
             }
         }
     }
+}
 
-    /// Start-Gap translation preserves the byte offset within a line.
-    #[test]
-    fn start_gap_preserves_offsets(
-        lines in 2u64..64,
-        block in 0u64..64,
-        off in 0u64..256,
-    ) {
+/// Start-Gap translation preserves the byte offset within a line.
+#[test]
+fn start_gap_preserves_offsets() {
+    let mut rng = SplitMix64::new(0x0FF);
+    for _case in 0..256 {
+        let lines = 2 + rng.next_below(62);
+        let block = rng.next_below(64);
+        let off = rng.next_below(256);
         let sg = StartGap::new(lines, 8);
-        let a = Addr::new((block % lines) * 256 + off % 256);
+        let a = Addr::new((block % lines) * 256 + off);
         let t = sg.translate_addr(a, 256);
-        prop_assert_eq!(t.offset_in(256), a.offset_in(256));
+        assert_eq!(t.offset_in(256), a.offset_in(256));
     }
+}
 
-    /// DRAM accesses never travel back in time (causality: the bank slot
-    /// starts no earlier than the request), never overlap within a bank,
-    /// and the data time always follows the start by at least tCL.
-    #[test]
-    fn dram_bank_slots_are_exclusive_and_causal(
-        addrs in prop::collection::vec((0u64..1u64 << 20, any::<bool>()), 1..200)
-    ) {
-        let cfg = DramConfig { refresh_enabled: false, ..DramConfig::default() };
+/// DRAM accesses never travel back in time (causality: the bank slot
+/// starts no earlier than the request), never overlap within a bank,
+/// and the data time always follows the start by at least tCL.
+#[test]
+fn dram_bank_slots_are_exclusive_and_causal() {
+    let mut rng = SplitMix64::new(0xD7A);
+    for _case in 0..32 {
+        let n = 1 + rng.next_below(200) as usize;
+        let addrs: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.next_below(1 << 20), rng.chance(0.5)))
+            .collect();
+        let cfg = DramConfig {
+            refresh_enabled: false,
+            ..DramConfig::default()
+        };
         let mut d = DramModule::new(cfg);
         let mut now = Ps::ZERO;
         let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); cfg.banks];
         for &(a, is_read) in &addrs {
-            let kind = if is_read { MemKind::Read } else { MemKind::Write };
+            let kind = if is_read {
+                MemKind::Read
+            } else {
+                MemKind::Write
+            };
             let acc = d.access(now, Addr::new(a & !63), kind);
-            prop_assert!(acc.start >= now, "access started before it was issued");
-            prop_assert!(acc.data_at >= acc.start + cfg.timing.tcl);
+            assert!(acc.start >= now, "access started before it was issued");
+            assert!(acc.data_at >= acc.start + cfg.timing.tcl);
             for &(s, e) in &intervals[acc.bank] {
                 let (ns, ne) = (acc.start.as_ps(), acc.data_at.as_ps());
-                prop_assert!(ne <= s || ns >= e, "bank slot overlap");
+                assert!(ne <= s || ns >= e, "bank slot overlap");
             }
             intervals[acc.bank].push((acc.start.as_ps(), acc.data_at.as_ps()));
             now += Ps::from_ns(1);
         }
         // Hit + miss + conflict classification covers every access.
-        prop_assert_eq!(
+        assert_eq!(
             d.row_hits() + d.row_misses() + d.row_conflicts(),
             addrs.len() as u64
         );
     }
+}
 
-    /// The XPoint persistent write buffer never acknowledges a write
-    /// before its arrival, and never holds more than its capacity.
-    #[test]
-    fn xpoint_write_buffer_bounded(
-        writes in prop::collection::vec(0u64..1u64 << 16, 1..200),
-        depth in 1usize..16,
-    ) {
+/// The XPoint persistent write buffer never acknowledges a write
+/// before its arrival, and never holds more than its capacity.
+#[test]
+fn xpoint_write_buffer_bounded() {
+    let mut rng = SplitMix64::new(0xB0F);
+    for _case in 0..48 {
+        let depth = 1 + rng.next_below(15) as usize;
+        let n = 1 + rng.next_below(200) as usize;
         let cfg = XPointConfig {
             write_buffer_lines: depth,
             capacity_bytes: 1 << 20,
@@ -82,23 +100,31 @@ proptest! {
         };
         let mut xp = XPointMedia::new(cfg);
         let mut now = Ps::ZERO;
-        for &a in &writes {
+        for _ in 0..n {
+            let a = rng.next_below(1 << 16);
             let ack = xp.write(now, Addr::new(a & !255));
-            prop_assert!(ack >= now);
-            prop_assert!(xp.buffered_writes() <= depth);
+            assert!(ack >= now);
+            assert!(xp.buffered_writes() <= depth);
             now += Ps::from_ns(10);
         }
     }
+}
 
-    /// Reads always complete at least one media latency after issue.
-    #[test]
-    fn xpoint_read_latency_floor(addrs in prop::collection::vec(0u64..1u64 << 16, 1..100)) {
-        let cfg = XPointConfig { capacity_bytes: 1 << 20, ..XPointConfig::default() };
+/// Reads always complete at least one media latency after issue.
+#[test]
+fn xpoint_read_latency_floor() {
+    let mut rng = SplitMix64::new(0xF10);
+    for _case in 0..32 {
+        let cfg = XPointConfig {
+            capacity_bytes: 1 << 20,
+            ..XPointConfig::default()
+        };
         let mut xp = XPointMedia::new(cfg);
-        for &a in &addrs {
+        for _ in 0..100 {
+            let a = rng.next_below(1 << 16);
             let t0 = Ps::from_ns(a % 1000);
             let done = xp.read(t0, Addr::new(a & !255));
-            prop_assert!(done >= t0 + cfg.read_latency);
+            assert!(done >= t0 + cfg.read_latency);
         }
     }
 }

@@ -49,7 +49,9 @@ impl PhotonicDemux {
     pub fn new(devices: usize) -> Self {
         assert!(devices > 0, "demux needs at least one device");
         PhotonicDemux {
-            detectors: (0..devices).map(|_| MicroRing::new(MrrKind::Detector)).collect(),
+            detectors: (0..devices)
+                .map(|_| MicroRing::new(MrrKind::Detector))
+                .collect(),
             enabled: None,
             grants: vec![Counter::new(); devices],
             switches: Counter::new(),
@@ -169,7 +171,10 @@ mod tests {
         for i in 0..10 {
             now = demux.grant(now, i % 2);
         }
-        assert!((demux.fairness() - 1.0).abs() < 1e-12, "alternating is fair");
+        assert!(
+            (demux.fairness() - 1.0).abs() < 1e-12,
+            "alternating is fair"
+        );
         // Monopolising device 0 (re-grants don't count): re-create and skew.
         let mut skew = PhotonicDemux::new(4);
         skew.grant(Ps::ZERO, 0);

@@ -83,7 +83,11 @@ impl BerModel {
     /// The nominal Ohm-base light path: MC modulator, 2 cm of waveguide,
     /// filter drop, device detector.
     pub fn nominal_path() -> OpticalPathLoss {
-        OpticalPathLoss::new().modulator(0.5).waveguide_cm(2.0).filter_drop().detector()
+        OpticalPathLoss::new()
+            .modulator(0.5)
+            .waveguide_cm(2.0)
+            .filter_drop()
+            .detector()
     }
 
     /// Builds the model calibrated so that the nominal path at default
@@ -100,7 +104,10 @@ impl BerModel {
     /// Panics if the arguments are not positive or the BER is not below ½.
     pub fn calibrated(p_ref_mw: f64, ber_at_ref: f64) -> Self {
         assert!(p_ref_mw > 0.0, "reference power must be positive");
-        assert!(ber_at_ref > 0.0 && ber_at_ref < 0.5, "BER must be in (0, 0.5)");
+        assert!(
+            ber_at_ref > 0.0 && ber_at_ref < 0.5,
+            "BER must be in (0, 0.5)"
+        );
         // Bisection for q_ref: ber_from_q is strictly decreasing.
         let (mut lo, mut hi) = (0.0f64, 40.0f64);
         for _ in 0..200 {
@@ -111,7 +118,10 @@ impl BerModel {
                 hi = mid;
             }
         }
-        BerModel { p_ref_mw, q_ref: 0.5 * (lo + hi) }
+        BerModel {
+            p_ref_mw,
+            q_ref: 0.5 * (lo + hi),
+        }
     }
 
     /// BER at a given received power (mW).
@@ -195,7 +205,10 @@ mod tests {
         let m = BerModel::paper_default();
         let p = OpticalPowerModel::default().received_mw(BerModel::nominal_path());
         let ber = m.ber(p);
-        assert!((ber / BerModel::ANCHOR_BER - 1.0).abs() < 1e-6, "ber={ber:e}");
+        assert!(
+            (ber / BerModel::ANCHOR_BER - 1.0).abs() < 1e-6,
+            "ber={ber:e}"
+        );
         assert!(m.meets_requirement(p));
     }
 
@@ -251,7 +264,10 @@ mod tests {
         let m = BerModel::paper_default();
         let dual = BerModel::nominal_path().half_couple_pass(0.45);
         let single = OpticalPowerModel::default();
-        let boosted = OpticalPowerModel { laser_scale: 2.0, ..single };
+        let boosted = OpticalPowerModel {
+            laser_scale: 2.0,
+            ..single
+        };
         assert!(!m.meets_requirement(single.received_mw(dual)));
         assert!(m.meets_requirement(boosted.received_mw(dual)));
     }

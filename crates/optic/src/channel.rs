@@ -121,7 +121,8 @@ impl OpticalChannelConfig {
 
     /// Aggregate raw bandwidth of the channel in GB/s.
     pub fn total_bandwidth_gbps(&self) -> f64 {
-        self.freq.bandwidth_gbps(self.grid.total_wavelengths() as u64 * self.waveguides as u64)
+        self.freq
+            .bandwidth_gbps(self.grid.total_wavelengths() as u64 * self.waveguides as u64)
     }
 }
 
@@ -170,7 +171,9 @@ impl OpticalChannel {
     /// Creates an idle channel.
     pub fn new(cfg: OpticalChannelConfig) -> Self {
         OpticalChannel {
-            vcs: (0..cfg.grid.channels()).map(|_| VirtualChannel::new()).collect(),
+            vcs: (0..cfg.grid.channels())
+                .map(|_| VirtualChannel::new())
+                .collect(),
             cfg,
             bits_transferred: [0; 2],
             borrows: 0,
@@ -271,7 +274,9 @@ impl OpticalChannel {
         let width = self.cfg.vc_width_bits();
         let dur = self.cfg.freq.transfer_time(bits, width);
         self.bits_transferred[TrafficClass::Migration as usize] += bits;
-        self.vcs[vc].memory_route.book(now, dur, TrafficClass::Migration as usize)
+        self.vcs[vc]
+            .memory_route
+            .book(now, dur, TrafficClass::Migration as usize)
     }
 
     /// When the data route of `vc` next becomes free.
@@ -288,14 +293,22 @@ impl OpticalChannel {
     /// the paper's Figure 8/18 metric. Dual-route migrations do not count
     /// because they leave the data route available for demand requests.
     pub fn migration_fraction(&self) -> f64 {
-        let total: u64 = self.vcs.iter().map(|c| c.data_route.busy_time().as_ps()).sum();
+        let total: u64 = self
+            .vcs
+            .iter()
+            .map(|c| c.data_route.busy_time().as_ps())
+            .sum();
         if total == 0 {
             return 0.0;
         }
         let migration: u64 = self
             .vcs
             .iter()
-            .map(|c| c.data_route.busy_by_tag(TrafficClass::Migration as usize).as_ps())
+            .map(|c| {
+                c.data_route
+                    .busy_by_tag(TrafficClass::Migration as usize)
+                    .as_ps()
+            })
             .sum();
         migration as f64 / total as f64
     }
@@ -330,7 +343,10 @@ impl OpticalChannel {
         if self.vcs.is_empty() {
             return 0.0;
         }
-        self.vcs.iter().map(|c| c.data_route.utilization(horizon)).sum::<f64>()
+        self.vcs
+            .iter()
+            .map(|c| c.data_route.utilization(horizon))
+            .sum::<f64>()
             / self.vcs.len() as f64
     }
 }
@@ -427,7 +443,10 @@ mod tests {
 
     #[test]
     fn more_waveguides_speed_up_transfers() {
-        let cfg8 = OpticalChannelConfig { waveguides: 8, ..OpticalChannelConfig::default() };
+        let cfg8 = OpticalChannelConfig {
+            waveguides: 8,
+            ..OpticalChannelConfig::default()
+        };
         let mut ch1 = OpticalChannel::new(OpticalChannelConfig::default());
         let mut ch8 = OpticalChannel::new(cfg8);
         let (s1, e1) = ch1.transfer(Ps::ZERO, 0, 4096, TrafficClass::Demand, 0);
@@ -446,7 +465,9 @@ mod tests {
     #[test]
     fn dynamic_division_borrows_idle_vcs() {
         let mut ch = OpticalChannel::new(OpticalChannelConfig {
-            division: ChannelDivision::Dynamic { reallocation: Ps::from_ps(500) },
+            division: ChannelDivision::Dynamic {
+                reallocation: Ps::from_ps(500),
+            },
             ..OpticalChannelConfig::default()
         });
         // Saturate VC 0 far into the future.
@@ -461,7 +482,9 @@ mod tests {
     #[test]
     fn dynamic_division_prefers_home_when_idle() {
         let mut ch = OpticalChannel::new(OpticalChannelConfig {
-            division: ChannelDivision::Dynamic { reallocation: Ps::from_ps(500) },
+            division: ChannelDivision::Dynamic {
+                reallocation: Ps::from_ps(500),
+            },
             ..OpticalChannelConfig::default()
         });
         let (start, _) = ch.transfer(Ps::ZERO, 3, 256, TrafficClass::Demand, 0);

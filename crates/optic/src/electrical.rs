@@ -23,7 +23,11 @@ pub struct ElectricalConfig {
 
 impl Default for ElectricalConfig {
     fn default() -> Self {
-        ElectricalConfig { channels: 6, width_bits: 32, freq: Freq::from_ghz(15.0) }
+        ElectricalConfig {
+            channels: 6,
+            width_bits: 32,
+            freq: Freq::from_ghz(15.0),
+        }
     }
 }
 

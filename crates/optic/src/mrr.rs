@@ -84,7 +84,12 @@ pub struct MicroRing {
 impl MicroRing {
     /// Creates a non-coupled ring of the given kind.
     pub fn new(kind: MrrKind) -> Self {
-        MicroRing { kind, state: CouplingState::NonCoupled, retunes: 0, bits_handled: 0 }
+        MicroRing {
+            kind,
+            state: CouplingState::NonCoupled,
+            retunes: 0,
+            bits_handled: 0,
+        }
     }
 
     /// The ring's deployment kind.

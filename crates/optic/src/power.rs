@@ -50,7 +50,10 @@ impl OpticalPathLoss {
     ///
     /// Panics if the loss is outside the Table I range `[0, 1]` dB.
     pub fn modulator(mut self, db: f64) -> Self {
-        assert!((0.0..=1.0).contains(&db), "modulator loss must be within 0..=1 dB");
+        assert!(
+            (0.0..=1.0).contains(&db),
+            "modulator loss must be within 0..=1 dB"
+        );
         self.total_db += db;
         self
     }
@@ -101,7 +104,10 @@ impl OpticalPathLoss {
     ///
     /// Panics if `absorb` is not within `(0, 1)`.
     pub fn half_couple_pass(mut self, absorb: f64) -> Self {
-        assert!(absorb > 0.0 && absorb < 1.0, "absorb fraction must be in (0, 1)");
+        assert!(
+            absorb > 0.0 && absorb < 1.0,
+            "absorb fraction must be in (0, 1)"
+        );
         self.total_db += -10.0 * (1.0 - absorb).log10();
         self
     }
@@ -113,7 +119,10 @@ impl OpticalPathLoss {
     ///
     /// Panics if `absorb` is not within `(0, 1)`.
     pub fn half_couple_tap(mut self, absorb: f64) -> Self {
-        assert!(absorb > 0.0 && absorb < 1.0, "absorb fraction must be in (0, 1)");
+        assert!(
+            absorb > 0.0 && absorb < 1.0,
+            "absorb fraction must be in (0, 1)"
+        );
         self.total_db += -10.0 * absorb.log10();
         self
     }
@@ -161,7 +170,8 @@ impl OpticalPowerModel {
 
     /// Static laser wall power (W) for `wavelengths` active wavelengths.
     pub fn laser_wall_power_w(&self, wavelengths: u32) -> f64 {
-        self.laser_mw_per_wavelength * self.laser_scale * wavelengths as f64 / 1000.0
+        self.laser_mw_per_wavelength * self.laser_scale * wavelengths as f64
+            / 1000.0
             / self.laser_efficiency
     }
 
@@ -178,7 +188,11 @@ mod tests {
 
     #[test]
     fn nominal_path_loss() {
-        let p = OpticalPathLoss::new().modulator(0.5).waveguide_cm(2.0).filter_drop().detector();
+        let p = OpticalPathLoss::new()
+            .modulator(0.5)
+            .waveguide_cm(2.0)
+            .filter_drop()
+            .detector();
         assert!((p.total_db() - 2.7).abs() < 1e-9);
         assert!((p.transmission() - 10f64.powf(-0.27)).abs() < 1e-12);
     }
@@ -201,7 +215,10 @@ mod tests {
     fn received_power_scales_with_laser() {
         let path = OpticalPathLoss::new().filter_drop().detector();
         let base = OpticalPowerModel::default();
-        let boosted = OpticalPowerModel { laser_scale: 4.0, ..base };
+        let boosted = OpticalPowerModel {
+            laser_scale: 4.0,
+            ..base
+        };
         assert!((boosted.received_mw(path) / base.received_mw(path) - 4.0).abs() < 1e-12);
     }
 

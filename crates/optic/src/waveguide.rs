@@ -43,8 +43,15 @@ impl WaveguideLayout {
     /// Panics if there are no devices or a distance is negative.
     pub fn new(lead_cm: f64, spacing_cm: f64, devices: usize) -> Self {
         assert!(devices > 0, "a waveguide run needs at least one device");
-        assert!(lead_cm >= 0.0 && spacing_cm >= 0.0, "distances cannot be negative");
-        WaveguideLayout { lead_cm, spacing_cm, devices }
+        assert!(
+            lead_cm >= 0.0 && spacing_cm >= 0.0,
+            "distances cannot be negative"
+        );
+        WaveguideLayout {
+            lead_cm,
+            spacing_cm,
+            devices,
+        }
     }
 
     /// The paper's 24-device configuration on a 4 cm run.

@@ -158,7 +158,11 @@ mod tests {
             for second in 0..4u8 {
                 let c1 = Wom22::encode_first(first);
                 let c2 = Wom22::encode_second(c1, second);
-                assert_eq!(c1 & !c2, 0, "bit cleared overwriting {first:02b} with {second:02b}");
+                assert_eq!(
+                    c1 & !c2,
+                    0,
+                    "bit cleared overwriting {first:02b} with {second:02b}"
+                );
             }
         }
     }

@@ -1,94 +1,132 @@
-//! Property-based tests for photonic-layer invariants.
+//! Randomized-property tests for photonic-layer invariants, driven by the
+//! workspace's own deterministic [`SplitMix64`] generator.
 
 use ohm_optic::wom::WomGeneration;
 use ohm_optic::{
     BerModel, DualRouteMode, OpticalChannel, OpticalChannelConfig, OpticalPathLoss,
     OpticalPowerModel, TrafficClass, Wom22,
 };
-use ohm_sim::Ps;
-use proptest::prelude::*;
+use ohm_sim::{Ps, SplitMix64};
 
-proptest! {
-    /// Every (first, second) WOM write pair decodes the second value and
-    /// never clears a light bit.
-    #[test]
-    fn wom_write_once_and_decodable(first in 0u8..4, second in 0u8..4) {
-        let c1 = Wom22::encode_first(first);
-        let c2 = Wom22::encode_second(c1, second);
-        prop_assert_eq!(c1 & !c2, 0, "write-once violated");
-        let (generation, v) = Wom22::decode(c2);
-        prop_assert_eq!(v, second);
-        if first != second {
-            prop_assert_eq!(generation, WomGeneration::Second);
+/// Every (first, second) WOM write pair decodes the second value and
+/// never clears a light bit.
+#[test]
+fn wom_write_once_and_decodable() {
+    for first in 0u8..4 {
+        for second in 0u8..4 {
+            let c1 = Wom22::encode_first(first);
+            let c2 = Wom22::encode_second(c1, second);
+            assert_eq!(c1 & !c2, 0, "write-once violated");
+            let (generation, v) = Wom22::decode(c2);
+            assert_eq!(v, second);
+            if first != second {
+                assert_eq!(generation, WomGeneration::Second);
+            }
         }
     }
+}
 
-    /// Channel transfers never overlap on the same VC data route, and
-    /// demand + migration busy time partitions the total.
-    #[test]
-    fn channel_data_route_never_double_books(
-        ops in prop::collection::vec((0usize..6, 1u64..4096, any::<bool>(), 0usize..4), 1..100)
-    ) {
+/// Channel transfers never overlap on the same VC data route, and
+/// demand + migration busy time partitions the total.
+#[test]
+fn channel_data_route_never_double_books() {
+    let mut rng = SplitMix64::new(0xC4A);
+    for _case in 0..48 {
+        let n = 1 + rng.next_below(100) as usize;
         let mut ch = OpticalChannel::new(OpticalChannelConfig::default());
         let mut now = Ps::ZERO;
         let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 6];
-        for &(vc, bits, is_demand, dev) in &ops {
-            let class = if is_demand { TrafficClass::Demand } else { TrafficClass::Migration };
+        for _ in 0..n {
+            let vc = rng.next_below(6) as usize;
+            let bits = 1 + rng.next_below(4095);
+            let class = if rng.chance(0.5) {
+                TrafficClass::Demand
+            } else {
+                TrafficClass::Migration
+            };
+            let dev = rng.next_below(4) as usize;
             let (s, e) = ch.transfer(now, vc, bits, class, dev);
-            prop_assert!(s >= now);
+            assert!(s >= now);
             for &(ps, pe) in &intervals[vc] {
-                prop_assert!(e.as_ps() <= ps || s.as_ps() >= pe, "overlap on vc {vc}");
+                assert!(e.as_ps() <= ps || s.as_ps() >= pe, "overlap on vc {vc}");
             }
             intervals[vc].push((s.as_ps(), e.as_ps()));
             now += Ps::from_ps(50);
         }
         let f = ch.migration_fraction();
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f));
     }
+}
 
-    /// In WOM mode a transfer is never faster than the same transfer in
-    /// half-coupled mode under identical interference.
-    #[test]
-    fn wom_never_beats_half_coupled(bits in 1u64..16384) {
-        let mk = |mode| OpticalChannel::new(OpticalChannelConfig {
-            dual_route: mode,
-            ..OpticalChannelConfig::default()
-        });
+/// In WOM mode a transfer is never faster than the same transfer in
+/// half-coupled mode under identical interference.
+#[test]
+fn wom_never_beats_half_coupled() {
+    let mut rng = SplitMix64::new(0x303);
+    for _case in 0..256 {
+        let bits = 1 + rng.next_below(16383);
+        let mk = |mode| {
+            OpticalChannel::new(OpticalChannelConfig {
+                dual_route: mode,
+                ..OpticalChannelConfig::default()
+            })
+        };
         let mut wom = mk(DualRouteMode::Wom);
         let mut hc = mk(DualRouteMode::HalfCoupled);
         wom.memory_route_transfer(Ps::ZERO, 0, 1 << 20);
         hc.memory_route_transfer(Ps::ZERO, 0, 1 << 20);
         let (ws, we) = wom.transfer(Ps::ZERO, 0, bits, TrafficClass::Demand, 0);
         let (hs, he) = hc.transfer(Ps::ZERO, 0, bits, TrafficClass::Demand, 0);
-        prop_assert!(we - ws >= he - hs);
+        assert!(we - ws >= he - hs);
     }
+}
 
-    /// BER is monotone: more received power never increases BER, and any
-    /// positive power yields a BER strictly below 0.5.
-    #[test]
-    fn ber_monotone_in_power(p1 in 0.01f64..10.0, p2 in 0.01f64..10.0) {
+/// BER is monotone: more received power never increases BER, and any
+/// positive power yields a BER strictly below 0.5.
+#[test]
+fn ber_monotone_in_power() {
+    let mut rng = SplitMix64::new(0xBE6);
+    for _case in 0..1_000 {
+        let p1 = 0.01 + rng.next_f64() * 9.99;
+        let p2 = 0.01 + rng.next_f64() * 9.99;
         let m = BerModel::paper_default();
         let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
-        prop_assert!(m.ber(hi) <= m.ber(lo));
-        prop_assert!(m.ber(lo) < 0.5);
+        assert!(m.ber(hi) <= m.ber(lo));
+        assert!(m.ber(lo) < 0.5);
     }
+}
 
-    /// Path loss composition is additive: splitting a waveguide run into
-    /// two segments gives the same total loss.
-    #[test]
-    fn path_loss_additive(a in 0.0f64..5.0, b in 0.0f64..5.0) {
+/// Path loss composition is additive: splitting a waveguide run into
+/// two segments gives the same total loss.
+#[test]
+fn path_loss_additive() {
+    let mut rng = SplitMix64::new(0xADD);
+    for _case in 0..1_000 {
+        let a = rng.next_f64() * 5.0;
+        let b = rng.next_f64() * 5.0;
         let whole = OpticalPathLoss::new().waveguide_cm(a + b).total_db();
-        let split = OpticalPathLoss::new().waveguide_cm(a).waveguide_cm(b).total_db();
-        prop_assert!((whole - split).abs() < 1e-9);
+        let split = OpticalPathLoss::new()
+            .waveguide_cm(a)
+            .waveguide_cm(b)
+            .total_db();
+        assert!((whole - split).abs() < 1e-9);
     }
+}
 
-    /// Laser scaling scales received power linearly for any path.
-    #[test]
-    fn laser_scale_is_linear(scale in 1.0f64..8.0, cm in 0.0f64..10.0) {
+/// Laser scaling scales received power linearly for any path.
+#[test]
+fn laser_scale_is_linear() {
+    let mut rng = SplitMix64::new(0x1A5);
+    for _case in 0..1_000 {
+        let scale = 1.0 + rng.next_f64() * 7.0;
+        let cm = rng.next_f64() * 10.0;
         let path = OpticalPathLoss::new().waveguide_cm(cm).detector();
         let base = OpticalPowerModel::default();
-        let scaled = OpticalPowerModel { laser_scale: scale, ..base };
+        let scaled = OpticalPowerModel {
+            laser_scale: scale,
+            ..base
+        };
         let ratio = scaled.received_mw(path) / base.received_mw(path);
-        prop_assert!((ratio - scale).abs() < 1e-9);
+        assert!((ratio - scale).abs() < 1e-9);
     }
 }

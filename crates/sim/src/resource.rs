@@ -172,7 +172,10 @@ pub struct TaggedCalendar {
 impl TaggedCalendar {
     /// Creates an idle resource tracking `tags` distinct busy-time classes.
     pub fn new(tags: usize) -> Self {
-        TaggedCalendar { inner: Calendar::new(), by_tag: vec![Ps::ZERO; tags] }
+        TaggedCalendar {
+            inner: Calendar::new(),
+            by_tag: vec![Ps::ZERO; tags],
+        }
     }
 
     /// Books an exclusive interval, attributing its duration to `tag`.

@@ -78,7 +78,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds a sample.
@@ -207,13 +213,21 @@ impl Default for Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { buckets: [0; 64], count: 0, sum: 0 }
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+        }
     }
 
     /// Records a sample.
     #[inline]
     pub fn record(&mut self, x: u64) {
-        let idx = if x == 0 { 0 } else { 63 - x.leading_zeros() as usize };
+        let idx = if x == 0 {
+            0
+        } else {
+            63 - x.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += x as u128;
@@ -287,7 +301,10 @@ impl TimeSeries {
     /// Panics if the bucket width is zero.
     pub fn new(bucket: Ps) -> Self {
         assert!(bucket > Ps::ZERO, "bucket width must be positive");
-        TimeSeries { bucket, values: Vec::new() }
+        TimeSeries {
+            bucket,
+            values: Vec::new(),
+        }
     }
 
     /// Adds `amount` at instant `t`.
@@ -353,7 +370,10 @@ pub struct Breakdown {
 impl Breakdown {
     /// Creates a breakdown over the given labels, all zero.
     pub fn new(labels: &[&'static str]) -> Self {
-        Breakdown { labels: labels.to_vec(), values: vec![0.0; labels.len()] }
+        Breakdown {
+            labels: labels.to_vec(),
+            values: vec![0.0; labels.len()],
+        }
     }
 
     /// Adds `amount` to the category `label`.

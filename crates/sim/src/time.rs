@@ -126,7 +126,10 @@ impl Ps {
     /// Panics if `factor` is negative or not finite.
     #[inline]
     pub fn scale(self, factor: f64) -> Ps {
-        assert!(factor >= 0.0 && factor.is_finite(), "invalid scale factor: {factor}");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "invalid scale factor: {factor}"
+        );
         Ps((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -392,7 +395,9 @@ mod tests {
 
     #[test]
     fn ps_sum_iterates() {
-        let total: Ps = [Ps::from_ns(1), Ps::from_ns(2), Ps::from_ns(3)].into_iter().sum();
+        let total: Ps = [Ps::from_ns(1), Ps::from_ns(2), Ps::from_ns(3)]
+            .into_iter()
+            .sum();
         assert_eq!(total, Ps::from_ns(6));
     }
 }

@@ -1,87 +1,112 @@
-//! Property-based tests for the simulation kernel invariants.
+//! Randomized-property tests for the simulation kernel invariants.
+//!
+//! The workspace builds offline, so these use the crate's own
+//! deterministic [`SplitMix64`] to drive many random cases per property
+//! instead of an external property-testing framework.
 
 use ohm_sim::{Calendar, EventQueue, Ps, SplitMix64, TaggedCalendar};
-use proptest::prelude::*;
 
-proptest! {
-    /// The event queue always delivers events in nondecreasing time order,
-    /// and FIFO among equal timestamps.
-    #[test]
-    fn event_queue_is_time_ordered(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// The event queue always delivers events in nondecreasing time order,
+/// and FIFO among equal timestamps.
+#[test]
+fn event_queue_is_time_ordered() {
+    let mut rng = SplitMix64::new(0xE1);
+    for _case in 0..64 {
+        let n = 1 + rng.next_below(200) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(Ps::from_ps(t), i);
+        for i in 0..n {
+            q.push(Ps::from_ps(rng.next_below(1_000)), i);
         }
         let mut last_time = Ps::ZERO;
         let mut last_seq_at_time: Option<usize> = None;
         while let Some((t, seq)) = q.pop() {
-            prop_assert!(t >= last_time);
+            assert!(t >= last_time);
             if t == last_time {
                 if let Some(prev) = last_seq_at_time {
-                    prop_assert!(seq > prev, "FIFO violated at equal timestamps");
+                    assert!(seq > prev, "FIFO violated at equal timestamps");
                 }
-            } else {
-                last_seq_at_time = None;
             }
             last_time = t;
             last_seq_at_time = Some(seq);
         }
     }
+}
 
-    /// A calendar never grants overlapping intervals and never lets a
-    /// booking start before the client is ready.
-    #[test]
-    fn calendar_never_double_books(reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..200)) {
+/// A calendar never grants overlapping intervals and never lets a
+/// booking start before the client is ready.
+#[test]
+fn calendar_never_double_books() {
+    let mut rng = SplitMix64::new(0xCA1);
+    for _case in 0..64 {
+        let n = 1 + rng.next_below(200) as usize;
+        let reqs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.next_below(10_000), 1 + rng.next_below(499)))
+            .collect();
         let mut cal = Calendar::new();
         let mut intervals: Vec<(u64, u64)> = Vec::new();
         for &(ready, dur) in &reqs {
             let (start, end) = cal.book(Ps::from_ps(ready), Ps::from_ps(dur));
-            prop_assert!(start >= Ps::from_ps(ready));
-            prop_assert_eq!(end - start, Ps::from_ps(dur));
+            assert!(start >= Ps::from_ps(ready));
+            assert_eq!(end - start, Ps::from_ps(dur));
             for &(s, e) in &intervals {
                 let (ns, ne) = (start.as_ps(), end.as_ps());
-                prop_assert!(ne <= s || ns >= e, "overlap: [{ns},{ne}) vs [{s},{e})");
+                assert!(ne <= s || ns >= e, "overlap: [{ns},{ne}) vs [{s},{e})");
             }
             intervals.push((start.as_ps(), end.as_ps()));
         }
         // Busy time equals the sum of requested durations.
         let total: u64 = reqs.iter().map(|&(_, d)| d).sum();
-        prop_assert_eq!(cal.busy_time(), Ps::from_ps(total));
+        assert_eq!(cal.busy_time(), Ps::from_ps(total));
     }
+}
 
-    /// Tagged busy times always sum to the calendar's total busy time.
-    #[test]
-    fn tagged_calendar_tags_partition_busy(
-        reqs in prop::collection::vec((0u64..10_000, 1u64..500, 0usize..4), 1..100)
-    ) {
+/// Tagged busy times always sum to the calendar's total busy time.
+#[test]
+fn tagged_calendar_tags_partition_busy() {
+    let mut rng = SplitMix64::new(0x7A6);
+    for _case in 0..64 {
+        let n = 1 + rng.next_below(100) as usize;
         let mut cal = TaggedCalendar::new(4);
-        for &(ready, dur, tag) in &reqs {
+        for _ in 0..n {
+            let ready = rng.next_below(10_000);
+            let dur = 1 + rng.next_below(499);
+            let tag = rng.next_below(4) as usize;
             cal.book(Ps::from_ps(ready), Ps::from_ps(dur), tag);
         }
         let sum: u64 = (0..4).map(|t| cal.busy_by_tag(t).as_ps()).sum();
-        prop_assert_eq!(sum, cal.busy_time().as_ps());
+        assert_eq!(sum, cal.busy_time().as_ps());
         let frac_sum: f64 = (0..4).map(|t| cal.tag_fraction(t)).sum();
-        prop_assert!((frac_sum - 1.0).abs() < 1e-9);
+        assert!((frac_sum - 1.0).abs() < 1e-9);
     }
+}
 
-    /// SplitMix64 streams are reproducible and next_below respects bounds.
-    #[test]
-    fn rng_reproducible_and_bounded(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// SplitMix64 streams are reproducible and next_below respects bounds.
+#[test]
+fn rng_reproducible_and_bounded() {
+    let mut meta = SplitMix64::new(0x5EED);
+    for _case in 0..64 {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.next_below(1_000_000);
         let mut a = SplitMix64::new(seed);
         let mut b = SplitMix64::new(seed);
         for _ in 0..50 {
             let x = a.next_below(bound);
-            prop_assert_eq!(x, b.next_below(bound));
-            prop_assert!(x < bound);
+            assert_eq!(x, b.next_below(bound));
+            assert!(x < bound);
         }
     }
+}
 
-    /// Ps arithmetic: (a + b) - b == a (with saturating subtraction this
-    /// holds whenever a + b does not overflow, which the ranges guarantee).
-    #[test]
-    fn ps_add_sub_roundtrip(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+/// Ps arithmetic: (a + b) - b == a (with saturating subtraction this
+/// holds whenever a + b does not overflow, which the ranges guarantee).
+#[test]
+fn ps_add_sub_roundtrip() {
+    let mut rng = SplitMix64::new(0xADD);
+    for _case in 0..10_000 {
+        let a = rng.next_below(u32::MAX as u64);
+        let b = rng.next_below(u32::MAX as u64);
         let pa = Ps::from_ps(a);
         let pb = Ps::from_ps(b);
-        prop_assert_eq!((pa + pb) - pb, pa);
+        assert_eq!((pa + pb) - pb, pa);
     }
 }

@@ -21,12 +21,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's L1D: 48 KB, 6-way, 128 B lines.
     pub fn l1d_table1() -> Self {
-        CacheConfig { size_bytes: 48 * 1024, ways: 6, line_bytes: 128 }
+        CacheConfig {
+            size_bytes: 48 * 1024,
+            ways: 6,
+            line_bytes: 128,
+        }
     }
 
     /// The paper's shared L2: 6 MB, 8-way, 128 B lines.
     pub fn l2_table1() -> Self {
-        CacheConfig { size_bytes: 6 * 1024 * 1024, ways: 8, line_bytes: 128 }
+        CacheConfig {
+            size_bytes: 6 * 1024 * 1024,
+            ways: 8,
+            line_bytes: 128,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -86,7 +94,10 @@ impl Cache {
     /// line size, or capacity not divisible into sets).
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.ways > 0, "cache must have at least one way");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = cfg.sets();
         assert!(sets > 0, "cache capacity too small for its geometry");
         assert_eq!(
@@ -117,7 +128,10 @@ impl Cache {
     }
 
     fn line_addr(&self, set: usize, tag: u64) -> Addr {
-        Addr::from_block(tag * self.sets.len() as u64 + set as u64, self.cfg.line_bytes)
+        Addr::from_block(
+            tag * self.sets.len() as u64 + set as u64,
+            self.cfg.line_bytes,
+        )
     }
 
     /// Accesses the line containing `addr`; on a miss the line is
@@ -131,7 +145,10 @@ impl Cache {
             line.lru = self.tick;
             line.dirty |= is_write;
             self.hits += 1;
-            return Lookup { hit: true, writeback: None };
+            return Lookup {
+                hit: true,
+                writeback: None,
+            };
         }
 
         self.misses += 1;
@@ -146,9 +163,16 @@ impl Cache {
             self.writebacks += 1;
             self.line_addr(set_idx, victim.tag)
         });
-        self.sets[set_idx][victim_idx] =
-            Line { tag, valid: true, dirty: is_write, lru: self.tick };
-        Lookup { hit: false, writeback }
+        self.sets[set_idx][victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.tick,
+        };
+        Lookup {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Whether the line containing `addr` is present (no LRU update).
@@ -204,7 +228,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -293,6 +321,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity must equal")]
     fn inconsistent_geometry_rejected() {
-        let _ = Cache::new(CacheConfig { size_bytes: 500, ways: 2, line_bytes: 64 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 500,
+            ways: 2,
+            line_bytes: 64,
+        });
     }
 }

@@ -61,7 +61,11 @@ impl Interconnect {
     /// Panics if the configuration has zero ports.
     pub fn new(cfg: InterconnectConfig) -> Self {
         assert!(cfg.ports > 0, "interconnect needs at least one port");
-        Interconnect { ports: vec![Calendar::new(); cfg.ports], cfg, messages: 0 }
+        Interconnect {
+            ports: vec![Calendar::new(); cfg.ports],
+            cfg,
+            messages: 0,
+        }
     }
 
     /// The interconnect configuration.
@@ -125,6 +129,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one port")]
     fn zero_ports_rejected() {
-        let _ = Interconnect::new(InterconnectConfig { ports: 0, ..Default::default() });
+        let _ = Interconnect::new(InterconnectConfig {
+            ports: 0,
+            ..Default::default()
+        });
     }
 }

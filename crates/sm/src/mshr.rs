@@ -53,7 +53,10 @@ impl<T> Mshr<T> {
     /// Panics if `capacity` is zero or `line_bytes` is not a power of two.
     pub fn new(capacity: usize, line_bytes: u64) -> Self {
         assert!(capacity > 0, "MSHR file cannot be empty");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Mshr {
             entries: HashMap::with_capacity(capacity),
             capacity,

@@ -30,7 +30,10 @@ pub struct SmConfig {
 
 impl Default for SmConfig {
     fn default() -> Self {
-        SmConfig { freq: Freq::from_ghz(1.2), warps: 24 }
+        SmConfig {
+            freq: Freq::from_ghz(1.2),
+            warps: 24,
+        }
     }
 }
 
@@ -54,7 +57,10 @@ pub struct Warp {
 
 impl Default for Warp {
     fn default() -> Self {
-        Warp { state: WarpState::Ready, retired: 0 }
+        Warp {
+            state: WarpState::Ready,
+            retired: 0,
+        }
     }
 }
 
@@ -99,7 +105,11 @@ impl Sm {
     /// Panics if the configuration has zero warps.
     pub fn new(cfg: SmConfig) -> Self {
         assert!(cfg.warps > 0, "an SM needs at least one warp");
-        Sm { issue: Calendar::new(), warps: vec![Warp::default(); cfg.warps], cfg }
+        Sm {
+            issue: Calendar::new(),
+            warps: vec![Warp::default(); cfg.warps],
+            cfg,
+        }
     }
 
     /// The SM configuration.
@@ -213,7 +223,10 @@ mod tests {
 
     #[test]
     fn finish_tracking() {
-        let mut sm = Sm::new(SmConfig { warps: 2, ..SmConfig::default() });
+        let mut sm = Sm::new(SmConfig {
+            warps: 2,
+            ..SmConfig::default()
+        });
         sm.finish(0);
         assert!(!sm.all_finished());
         sm.finish(1);
@@ -233,6 +246,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one warp")]
     fn zero_warps_rejected() {
-        let _ = Sm::new(SmConfig { warps: 0, ..SmConfig::default() });
+        let _ = Sm::new(SmConfig {
+            warps: 0,
+            ..SmConfig::default()
+        });
     }
 }

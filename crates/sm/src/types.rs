@@ -37,12 +37,18 @@ pub struct WarpSlice {
 impl WarpSlice {
     /// A compute-only slice.
     pub fn compute(insts: u64) -> Self {
-        WarpSlice { compute_insts: insts, access: None }
+        WarpSlice {
+            compute_insts: insts,
+            access: None,
+        }
     }
 
     /// A slice ending in a memory access.
     pub fn memory(insts: u64, addr: Addr, kind: AccessKind) -> Self {
-        WarpSlice { compute_insts: insts, access: Some((addr, kind)) }
+        WarpSlice {
+            compute_insts: insts,
+            access: Some((addr, kind)),
+        }
     }
 
     /// Total instructions in the slice (the access counts as one).
@@ -76,7 +82,10 @@ mod tests {
     #[test]
     fn slice_instruction_count() {
         assert_eq!(WarpSlice::compute(10).instructions(), 10);
-        assert_eq!(WarpSlice::memory(10, Addr::ZERO, AccessKind::Load).instructions(), 11);
+        assert_eq!(
+            WarpSlice::memory(10, Addr::ZERO, AccessKind::Load).instructions(),
+            11
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl CompositeWorkload {
             first_sm += sms;
             base += spec.footprint_bytes;
         }
-        CompositeWorkload { tenants, total_footprint: base }
+        CompositeWorkload {
+            tenants,
+            total_footprint: base,
+        }
     }
 
     /// Total SMs across all partitions.
@@ -102,7 +105,9 @@ impl CompositeWorkload {
     }
 
     fn tenant_of(&mut self, sm: usize) -> Option<&mut Tenant> {
-        self.tenants.iter_mut().find(|t| sm >= t.first_sm && sm < t.first_sm + t.sms)
+        self.tenants
+            .iter_mut()
+            .find(|t| sm >= t.first_sm && sm < t.first_sm + t.sms)
     }
 }
 
@@ -125,7 +130,9 @@ mod tests {
     use crate::table2::workload_by_name;
 
     fn two_tenants() -> CompositeWorkload {
-        let a = workload_by_name("pagerank").unwrap().with_footprint(1 << 20);
+        let a = workload_by_name("pagerank")
+            .unwrap()
+            .with_footprint(1 << 20);
         let b = workload_by_name("GRAMS").unwrap().with_footprint(1 << 20);
         CompositeWorkload::new(&[(a, 2), (b, 2)], 4, 500, 11)
     }

@@ -66,8 +66,14 @@ impl KernelWorkload {
         insts_per_warp: u64,
         seed: u64,
     ) -> Self {
-        assert!(sms > 0 && warps_per_sm > 0, "kernel needs at least one lane");
-        assert!(insts_per_warp > 0, "warps need a positive instruction budget");
+        assert!(
+            sms > 0 && warps_per_sm > 0,
+            "kernel needs at least one lane"
+        );
+        assert!(
+            insts_per_warp > 0,
+            "warps need a positive instruction budget"
+        );
         let footprint_lines = spec.footprint_bytes / LINE_BYTES;
         assert!(footprint_lines > 0, "footprint smaller than one line");
         let mut root = SplitMix64::new(seed ^ 0x04_6D_47_5A);
@@ -108,7 +114,10 @@ impl KernelWorkload {
     }
 
     fn lane_index(&self, sm: usize, warp: usize) -> usize {
-        assert!(sm < self.sms && warp < self.warps_per_sm, "lane out of range");
+        assert!(
+            sm < self.sms && warp < self.warps_per_sm,
+            "lane out of range"
+        );
         sm * self.warps_per_sm + warp
     }
 
@@ -127,8 +136,7 @@ impl KernelWorkload {
                 // sequentially. The region advances with global progress,
                 // covering the array like the real kernel's pass.
                 let window = (footprint_lines / 8).max(1);
-                let frontier =
-                    global_accesses * (window / 8 + 1) / 32_768 % footprint_lines;
+                let frontier = global_accesses * (window / 8 + 1) / 32_768 % footprint_lines;
                 lane.cursor = (lane.cursor + 1) % window;
                 (frontier + lane.cursor) % footprint_lines
             }
@@ -136,8 +144,7 @@ impl KernelWorkload {
                 // Tiled kernels (LU panels, backprop layers) dwell inside a
                 // tile drawn from the same bounded moving region.
                 let window = (footprint_lines / 8).max(1);
-                let frontier =
-                    global_accesses * (window / 8 + 1) / 32_768 % footprint_lines;
+                let frontier = global_accesses * (window / 8 + 1) / 32_768 % footprint_lines;
                 let block_lines = (block_bytes / LINE_BYTES).max(1);
                 if lane.dwell_left == 0 {
                     let blocks = (window / block_lines).max(1);
@@ -145,10 +152,13 @@ impl KernelWorkload {
                     lane.dwell_left = dwell;
                 }
                 lane.dwell_left -= 1;
-                (frontier + lane.tile_base + lane.rng.next_below(block_lines))
-                    % footprint_lines
+                (frontier + lane.tile_base + lane.rng.next_below(block_lines)) % footprint_lines
             }
-            AccessPattern::Graph { gamma, window_frac, cold_frac } => {
+            AccessPattern::Graph {
+                gamma,
+                window_frac,
+                cold_frac,
+            } => {
                 let window = ((footprint_lines as f64 * window_frac) as u64).max(1);
                 // The frontier window drifts *continuously* at a rate of
                 // one eighth of its size per 32 K kernel-wide accesses:
@@ -162,8 +172,7 @@ impl KernelWorkload {
                 // (kernels rarely start at address zero), which also means
                 // the initial hot set starts on XPoint-resident pages in
                 // the heterogeneous platforms.
-                let frontier = (footprint_lines / 3
-                    + global_accesses * (window / 8 + 1) / 32_768)
+                let frontier = (footprint_lines / 3 + global_accesses * (window / 8 + 1) / 32_768)
                     % footprint_lines;
                 if lane.rng.chance(cold_frac) {
                     // Cold edges stream sequentially through the rest of
@@ -262,8 +271,11 @@ impl InstructionStream for KernelWorkload {
         );
         self.cold_cursor = cold;
         let lane = &mut self.lanes[idx];
-        let kind =
-            if lane.rng.chance(read_ratio) { AccessKind::Load } else { AccessKind::Store };
+        let kind = if lane.rng.chance(read_ratio) {
+            AccessKind::Load
+        } else {
+            AccessKind::Store
+        };
         let addr = Addr::from_block(line, LINE_BYTES);
         self.issued_accesses += 1;
         self.issued_insts += compute + 1;
@@ -297,7 +309,10 @@ mod tests {
             let target = k.spec().apki as f64;
             let measured = k.measured_apki();
             let rel = (measured - target).abs() / target;
-            assert!(rel < 0.15, "{name}: APKI target {target}, measured {measured:.1}");
+            assert!(
+                rel < 0.15,
+                "{name}: APKI target {target}, measured {measured:.1}"
+            );
         }
     }
 
@@ -334,7 +349,9 @@ mod tests {
         // The hottest tenth of the footprint (by measured frequency) must
         // absorb most accesses - the power-law concentration that makes
         // hot-page migration worthwhile.
-        let spec = workload_by_name("pagerank").unwrap().with_footprint(1 << 24);
+        let spec = workload_by_name("pagerank")
+            .unwrap()
+            .with_footprint(1 << 24);
         let mut k = KernelWorkload::new(spec, 1, 1, 200_000, 3);
         const BUCKETS: usize = 1024;
         let mut counts = [0u64; BUCKETS];

@@ -92,26 +92,32 @@ impl HostStorage {
 
     /// Stages `bytes` from the SSD into GPU memory (page-in).
     pub fn stage_in(&mut self, now: Ps, bytes: u64) -> StagingTimes {
-        let ssd_time = self.cfg.ssd_read_latency
-            + Self::stream_time(bytes, self.cfg.ssd_bandwidth_bps);
+        let ssd_time =
+            self.cfg.ssd_read_latency + Self::stream_time(bytes, self.cfg.ssd_bandwidth_bps);
         let (_, storage_done) = self.ssd.book(now, ssd_time);
         let dma_time = self.cfg.dma_setup + Self::stream_time(bytes, self.cfg.dma_bandwidth_bps);
         let (_, transfer_done) = self.dma.book(storage_done, dma_time);
         self.staged_in.incr();
         self.bytes_moved += bytes;
-        StagingTimes { storage_done, transfer_done }
+        StagingTimes {
+            storage_done,
+            transfer_done,
+        }
     }
 
     /// Stages `bytes` from GPU memory out to the SSD (page-out / spill).
     pub fn stage_out(&mut self, now: Ps, bytes: u64) -> StagingTimes {
         let dma_time = self.cfg.dma_setup + Self::stream_time(bytes, self.cfg.dma_bandwidth_bps);
         let (_, transfer_done) = self.dma.book(now, dma_time);
-        let ssd_time = self.cfg.ssd_write_latency
-            + Self::stream_time(bytes, self.cfg.ssd_bandwidth_bps);
+        let ssd_time =
+            self.cfg.ssd_write_latency + Self::stream_time(bytes, self.cfg.ssd_bandwidth_bps);
         let (_, storage_done) = self.ssd.book(transfer_done, ssd_time);
         self.staged_out.incr();
         self.bytes_moved += bytes;
-        StagingTimes { storage_done, transfer_done }
+        StagingTimes {
+            storage_done,
+            transfer_done,
+        }
     }
 
     /// Total SSD busy time (the Figure 3a "storage access" component).
@@ -150,7 +156,10 @@ mod tests {
         let t = h.stage_in(Ps::ZERO, 3_000_000_000 / 1000); // 3 MB => 1 ms at 3 GB/s
         assert_eq!(t.storage_done, Ps::from_us(20) + Ps::from_ms(1));
         // DMA: 5 us setup + 0.25 ms at 12 GB/s.
-        assert_eq!(t.transfer_done, t.storage_done + Ps::from_us(5) + Ps::from_us(250));
+        assert_eq!(
+            t.transfer_done,
+            t.storage_done + Ps::from_us(5) + Ps::from_us(250)
+        );
     }
 
     #[test]

@@ -12,9 +12,15 @@ use crate::spec::{AccessPattern, WorkloadSpec};
 /// Default synthetic footprint (see module docs).
 pub const DEFAULT_FOOTPRINT: u64 = 64 << 20;
 
-const BLOCKED: AccessPattern = AccessPattern::Blocked { block_bytes: 64 * 1024, dwell: 48 };
-const GRAPH: AccessPattern =
-    AccessPattern::Graph { gamma: 3.0, window_frac: 0.015, cold_frac: 0.15 };
+const BLOCKED: AccessPattern = AccessPattern::Blocked {
+    block_bytes: 64 * 1024,
+    dwell: 48,
+};
+const GRAPH: AccessPattern = AccessPattern::Graph {
+    gamma: 3.0,
+    window_frac: 0.015,
+    cold_frac: 0.15,
+};
 
 /// All ten Table II workloads, in the paper's order.
 pub fn all_workloads() -> Vec<WorkloadSpec> {

@@ -55,7 +55,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -127,7 +131,10 @@ impl Trace {
 
     /// Total memory accesses in the trace.
     pub fn accesses(&self) -> u64 {
-        self.records.iter().filter(|r| r.slice.access.is_some()).count() as u64
+        self.records
+            .iter()
+            .filter(|r| r.slice.access.is_some())
+            .count() as u64
     }
 }
 
@@ -180,7 +187,10 @@ impl FromStr for Trace {
             records.push(TraceRecord {
                 sm,
                 warp,
-                slice: WarpSlice { compute_insts: compute, access },
+                slice: WarpSlice {
+                    compute_insts: compute,
+                    access,
+                },
             });
         }
         Ok(Trace { records })
@@ -210,7 +220,10 @@ pub struct TraceRecorder<S> {
 impl<S: InstructionStream> TraceRecorder<S> {
     /// Wraps `inner`, starting with an empty trace.
     pub fn new(inner: S) -> Self {
-        TraceRecorder { inner, trace: Trace::new() }
+        TraceRecorder {
+            inner,
+            trace: Trace::new(),
+        }
     }
 
     /// The trace captured so far.

@@ -15,7 +15,10 @@ use ohm_gpu::workloads::workload_by_name;
 fn main() {
     let spec = workload_by_name("gctopo").expect("Table II workload");
 
-    println!("Planar hot-page threshold sweep (Ohm-WOM, {}):\n", spec.name);
+    println!(
+        "Planar hot-page threshold sweep (Ohm-WOM, {}):\n",
+        spec.name
+    );
     println!(
         "{:>10} {:>8} {:>12} {:>12} {:>12}",
         "threshold", "IPC", "migrations", "DRAM share", "mig-channel"
@@ -57,6 +60,12 @@ fn main() {
             r.hetero_dram_hit_rate * 100.0
         );
     }
-    println!("\nPlanar maximises DRAM-backed capacity per group (1:{}),", 8);
-    println!("two-level maximises total capacity (1:{}) behind a DRAM cache.", 64);
+    println!(
+        "\nPlanar maximises DRAM-backed capacity per group (1:{}),",
+        8
+    );
+    println!(
+        "two-level maximises total capacity (1:{}) behind a DRAM cache.",
+        64
+    );
 }

@@ -18,7 +18,9 @@ fn main() {
 
     // Tenant A: latency-sensitive graph analytics on SMs 0-1.
     // Tenant B: bandwidth-hungry streaming stencil on SMs 2-3.
-    let a = workload_by_name("pagerank").unwrap().with_footprint(32 << 20);
+    let a = workload_by_name("pagerank")
+        .unwrap()
+        .with_footprint(32 << 20);
     let b = workload_by_name("FDTD").unwrap().with_footprint(32 << 20);
     let multi = CompositeWorkload::new(&[(a, 2), (b, 2)], cfg.gpu.sm.warps, cfg.insts_per_warp, 42);
 
@@ -31,13 +33,14 @@ fn main() {
         "{:>10} {:>8} {:>10} {:>12} {:>12}",
         "platform", "IPC", "lat(ns)", "migrations", "mig-channel"
     );
-    for platform in [Platform::OhmBase, Platform::AutoRw, Platform::OhmWom, Platform::OhmBw] {
-        let multi = CompositeWorkload::new(
-            &[(a, 2), (b, 2)],
-            cfg.gpu.sm.warps,
-            cfg.insts_per_warp,
-            42,
-        );
+    for platform in [
+        Platform::OhmBase,
+        Platform::AutoRw,
+        Platform::OhmWom,
+        Platform::OhmBw,
+    ] {
+        let multi =
+            CompositeWorkload::new(&[(a, 2), (b, 2)], cfg.gpu.sm.warps, cfg.insts_per_warp, 42);
         let mut sys = System::with_stream(
             &cfg,
             platform,

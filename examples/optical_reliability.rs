@@ -14,9 +14,15 @@ fn main() {
     let model = BerModel::paper_default();
 
     println!("Laser power sweep on the nominal Ohm-base path:\n");
-    println!("{:>8} {:>12} {:>12} {:>6}", "laser", "rx power", "BER", "ok");
+    println!(
+        "{:>8} {:>12} {:>12} {:>6}",
+        "laser", "rx power", "BER", "ok"
+    );
     for scale in [0.5, 0.75, 1.0, 1.5, 2.0, 4.0] {
-        let power = OpticalPowerModel { laser_scale: scale, ..OpticalPowerModel::default() };
+        let power = OpticalPowerModel {
+            laser_scale: scale,
+            ..OpticalPowerModel::default()
+        };
         let rx = power.received_mw(BerModel::nominal_path());
         let ber = model.ber(rx);
         println!(
@@ -24,7 +30,11 @@ fn main() {
             scale,
             rx,
             ber,
-            if ber < BerModel::REQUIREMENT { "yes" } else { "NO" }
+            if ber < BerModel::REQUIREMENT {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
 
@@ -37,14 +47,23 @@ fn main() {
             .filter_drop()
             .detector();
         let rx = OpticalPowerModel::default().received_mw(path);
-        println!("{cm:>6} cm {:>7.2} dB {:>12.2e}", path.total_db(), model.ber(rx));
+        println!(
+            "{cm:>6} cm {:>7.2} dB {:>12.2e}",
+            path.total_db(),
+            model.ber(rx)
+        );
     }
 
     println!(
         "\nPlatform light paths (half-coupled rings absorb {:.0}%):\n",
         HALF_COUPLE_ABSORB * 100.0
     );
-    for p in [Platform::OhmBase, Platform::AutoRw, Platform::OhmWom, Platform::OhmBw] {
+    for p in [
+        Platform::OhmBase,
+        Platform::AutoRw,
+        Platform::OhmWom,
+        Platform::OhmBw,
+    ] {
         for pt in platform_ber(p) {
             println!(
                 "{:>9} {:<22} {:>6.3} mW  BER {:.2e}",

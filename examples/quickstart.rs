@@ -25,19 +25,33 @@ fn main() {
     let report = system.run();
 
     println!("workload     : {} (APKI {})", report.workload, spec.apki);
-    println!("platform     : {} / {:?}", report.platform.name(), report.mode);
+    println!(
+        "platform     : {} / {:?}",
+        report.platform.name(),
+        report.mode
+    );
     println!("makespan     : {}", report.makespan);
     println!("instructions : {}", report.instructions);
     println!("IPC          : {:.3}", report.ipc);
     println!("mem requests : {}", report.mem_requests);
     println!("avg latency  : {:.0} ns", report.avg_mem_latency_ns);
-    println!("L1 / L2 hit  : {:.1}% / {:.1}%", report.l1_hit_rate * 100.0, report.l2_hit_rate * 100.0);
-    println!("DRAM share   : {:.1}% of heterogeneous services", report.hetero_dram_hit_rate * 100.0);
+    println!(
+        "L1 / L2 hit  : {:.1}% / {:.1}%",
+        report.l1_hit_rate * 100.0,
+        report.l2_hit_rate * 100.0
+    );
+    println!(
+        "DRAM share   : {:.1}% of heterogeneous services",
+        report.hetero_dram_hit_rate * 100.0
+    );
     println!("migrations   : {}", report.migrations);
     println!(
         "channel      : {:.1}% utilised, {:.1}% of busy time is migration",
         report.channel_utilization * 100.0,
         report.migration_channel_fraction * 100.0
     );
-    println!("energy       : {:.3} mJ total", report.energy.total_j() * 1e3);
+    println!(
+        "energy       : {:.3} mJ total",
+        report.energy.total_j() * 1e3
+    );
 }

@@ -5,14 +5,17 @@
 //! cargo run --release --example wear_leveling
 //! ```
 
-use ohm_gpu::mem::xpoint_ctrl::{XpCtrlConfig, XPointController};
+use ohm_gpu::mem::xpoint_ctrl::{XPointController, XpCtrlConfig};
 use ohm_gpu::mem::{StartGap, XPointConfig};
 use ohm_gpu::sim::{Addr, Ps, SplitMix64};
 
 fn main() {
     println!("Start-Gap rotation on a hammered line:\n");
     let mut sg = StartGap::new(64, 16);
-    println!("{:>10} {:>10} {:>12} {:>10}", "writes", "gap moves", "max/mean", "phys(7)");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10}",
+        "writes", "gap moves", "max/mean", "phys(7)"
+    );
     for step in 1..=6 {
         for _ in 0..1000 {
             sg.record_write(7); // one pathological hot line
@@ -33,7 +36,10 @@ fn main() {
     println!("\nFull controller with wear-leveling folded in:\n");
     let cfg = XpCtrlConfig {
         psi: 16,
-        media: XPointConfig { capacity_bytes: 64 << 10, ..XPointConfig::default() },
+        media: XPointConfig {
+            capacity_bytes: 64 << 10,
+            ..XPointConfig::default()
+        },
         ..XpCtrlConfig::default()
     };
     let mut ctrl = XPointController::new(cfg);
@@ -41,7 +47,11 @@ fn main() {
     let mut now = Ps::ZERO;
     for _ in 0..20_000 {
         // Skewed writes: 80% land on 32 hot lines.
-        let line = if rng.chance(0.8) { rng.next_below(32) } else { rng.next_below(512) };
+        let line = if rng.chance(0.8) {
+            rng.next_below(32)
+        } else {
+            rng.next_below(512)
+        };
         ctrl.write(now, Addr::new(line * 128));
         now += Ps::from_ns(50);
     }
@@ -50,7 +60,10 @@ fn main() {
     println!("total line writes : {}", stats.total_writes);
     println!("gap rotations     : {}", stats.gap_moves);
     println!("leveling copies   : {moves_r} reads + {moves_w} writes on the media");
-    println!("wear imbalance    : {:.2} (1.0 = perfectly even)", stats.imbalance);
+    println!(
+        "wear imbalance    : {:.2} (1.0 = perfectly even)",
+        stats.imbalance
+    );
     println!("\nThe rotation cost rides the media in the background — it never");
     println!("occupies the optical channel, exactly as the logic-layer design intends.");
 }

@@ -32,7 +32,10 @@ fn figure16_planar_ordering_holds_on_pagerank() {
 
     assert!(origin.ipc < hetero.ipc, "Origin must trail Hetero");
     let parity = base.ipc / hetero.ipc;
-    assert!((0.9..=1.1).contains(&parity), "Ohm-base ~ Hetero, got {parity}");
+    assert!(
+        (0.9..=1.1).contains(&parity),
+        "Ohm-base ~ Hetero, got {parity}"
+    );
     assert!(wom.ipc > base.ipc, "dual routes must beat the baseline");
     assert!(oracle.ipc > wom.ipc, "Oracle is the upper bound");
 }
@@ -42,7 +45,10 @@ fn figure18_dual_routes_clear_the_data_route() {
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
         let base = run(Platform::OhmBase, mode, "pagerank");
         let wom = run(Platform::OhmWom, mode, "pagerank");
-        assert!(base.migration_channel_fraction > 0.1, "{mode:?}: baseline must migrate on the channel");
+        assert!(
+            base.migration_channel_fraction > 0.1,
+            "{mode:?}: baseline must migrate on the channel"
+        );
         assert!(
             wom.migration_channel_fraction < base.migration_channel_fraction / 5.0,
             "{mode:?}: WOM must clear most migration traffic ({} vs {})",
@@ -93,7 +99,12 @@ fn waveguide_scaling_improves_ohm_platforms() {
         .with_footprint(SystemConfig::EVALUATION_FOOTPRINT / 2);
     let mut cfg8 = eval_cfg();
     cfg8.optical.waveguides = 8;
-    let one = run_platform(&eval_cfg(), Platform::OhmBase, OperationalMode::Planar, &spec);
+    let one = run_platform(
+        &eval_cfg(),
+        Platform::OhmBase,
+        OperationalMode::Planar,
+        &spec,
+    );
     let eight = run_platform(&cfg8, Platform::OhmBase, OperationalMode::Planar, &spec);
     assert!(
         eight.ipc > one.ipc,
@@ -113,6 +124,12 @@ fn geomean_across_three_workloads_keeps_the_chain() {
             .collect();
         per_platform.push(geomean(&ipcs));
     }
-    assert!(per_platform[0] < per_platform[1], "WOM beats base in geomean");
-    assert!(per_platform[1] < per_platform[2], "Oracle bounds WOM in geomean");
+    assert!(
+        per_platform[0] < per_platform[1],
+        "WOM beats base in geomean"
+    );
+    assert!(
+        per_platform[1] < per_platform[2],
+        "Oracle bounds WOM in geomean"
+    );
 }

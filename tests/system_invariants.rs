@@ -19,7 +19,12 @@ fn every_platform_mode_workload_combination_runs() {
         for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
             for platform in Platform::ALL {
                 let r = run_platform(&cfg, platform, mode, &spec);
-                assert!(r.makespan > Ps::ZERO, "{}/{mode:?}/{}", platform.name(), spec.name);
+                assert!(
+                    r.makespan > Ps::ZERO,
+                    "{}/{mode:?}/{}",
+                    platform.name(),
+                    spec.name
+                );
                 assert_eq!(
                     r.instructions,
                     (cfg.gpu.sms * cfg.gpu.sm.warps) as u64 * cfg.insts_per_warp,
@@ -61,7 +66,10 @@ fn seed_changes_the_run_but_not_the_accounting() {
     let a = run_platform(&cfg_a, Platform::OhmBase, OperationalMode::Planar, &spec);
     let b = run_platform(&cfg_b, Platform::OhmBase, OperationalMode::Planar, &spec);
     assert_ne!(a.makespan, b.makespan, "different seeds should differ");
-    assert_eq!(a.instructions, b.instructions, "budgets are exact either way");
+    assert_eq!(
+        a.instructions, b.instructions,
+        "budgets are exact either way"
+    );
 }
 
 #[test]
@@ -77,7 +85,11 @@ fn homogeneous_platforms_never_migrate() {
                 assert_eq!(r.hetero_dram_hit_rate, 1.0);
             } else {
                 // Origin counts host-staging faults against its DRAM share.
-                assert!(r.hetero_dram_hit_rate > 0.9, "got {}", r.hetero_dram_hit_rate);
+                assert!(
+                    r.hetero_dram_hit_rate > 0.9,
+                    "got {}",
+                    r.hetero_dram_hit_rate
+                );
             }
         }
     }
@@ -88,7 +100,12 @@ fn oracle_dominates_every_heterogeneous_platform() {
     let cfg = SystemConfig::quick_test();
     let spec = workload_by_name("pagerank").unwrap();
     let oracle = run_platform(&cfg, Platform::Oracle, OperationalMode::Planar, &spec);
-    for platform in [Platform::Hetero, Platform::OhmBase, Platform::AutoRw, Platform::OhmWom] {
+    for platform in [
+        Platform::Hetero,
+        Platform::OhmBase,
+        Platform::AutoRw,
+        Platform::OhmWom,
+    ] {
         let r = run_platform(&cfg, platform, OperationalMode::Planar, &spec);
         assert!(
             oracle.ipc >= r.ipc,

@@ -52,7 +52,7 @@ fn replayed_trace_reproduces_the_run() {
         }
     }
     let trace = rerecord.into_trace();
-    assert!(trace.len() > 0);
+    assert!(!trace.is_empty());
 
     // Serialise and reparse, then replay through a fresh system.
     let text = trace.to_text();
