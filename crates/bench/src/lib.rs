@@ -26,11 +26,34 @@ pub fn evaluation_workloads() -> Vec<WorkloadSpec> {
         .collect()
 }
 
+/// Whether `OHM_PROFILE` asks grid runs to print per-cell wall-clock
+/// profiles (sim time, events/sec) to stderr.
+pub fn profiling_enabled() -> bool {
+    std::env::var("OHM_PROFILE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Runs `platforms` over the full Table II set in `mode` with the
 /// evaluation configuration. Returns `grid[workload][platform]`.
+///
+/// With `OHM_PROFILE=1` in the environment, a per-cell wall-clock
+/// profile table is printed to stderr (stdout stays identical, so figure
+/// output remains diffable).
 pub fn evaluation_grid(platforms: &[Platform], mode: OperationalMode) -> Vec<Vec<SimReport>> {
     let cfg = SystemConfig::evaluation();
-    runner::run_grid(&cfg, platforms, mode, &evaluation_workloads())
+    let specs = evaluation_workloads();
+    if profiling_enabled() {
+        let (grid, profiles) = runner::run_grid_profiled(
+            &cfg,
+            platforms,
+            mode,
+            &specs,
+            ohm_core::par::default_threads(),
+        );
+        eprint!("{}", runner::format_profiles(&profiles));
+        grid
+    } else {
+        runner::run_grid(&cfg, platforms, mode, &specs)
+    }
 }
 
 /// Prints a table header row followed by an underline.

@@ -53,6 +53,7 @@ pub mod reliability;
 pub mod runner;
 pub mod sweep;
 pub mod system;
+mod trace;
 
 pub use config::{ConfigError, SystemConfig};
 pub use metrics::SimReport;

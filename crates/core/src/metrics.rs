@@ -46,6 +46,91 @@ pub struct HostReport {
     pub bytes_moved: u64,
 }
 
+/// One row of the per-stage latency table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    /// Stage name (see `system::stats::Stage`).
+    pub name: &'static str,
+    /// Recorded intervals.
+    pub count: u64,
+    /// Mean stage latency, ns.
+    pub mean_ns: f64,
+    /// Median lower bound (log-bucket resolution), ns.
+    pub p50_ns: f64,
+    /// 99th-percentile lower bound (log-bucket resolution), ns.
+    pub p99_ns: f64,
+}
+
+/// Busy-time summary of one resource's utilization timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceUtil {
+    /// Resource track name (e.g. `vc0 data-route`, `mc1 dram`).
+    pub name: String,
+    /// Total busy time, µs.
+    pub busy_us: f64,
+    /// Mean windowed utilization over the run, in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Peak windowed utilization, in `[0, 1]`.
+    pub peak_utilization: f64,
+}
+
+/// Per-stage latency breakdown and per-resource utilization of one run.
+///
+/// Only populated when observability was enabled before the run; it is
+/// deliberately *not* part of the CSV row so figure exports are
+/// unaffected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// One row per request-path stage, in display order.
+    pub stages: Vec<StageRow>,
+    /// Per-resource busy/utilization rows (channels, devices).
+    pub utilization: Vec<ResourceUtil>,
+    /// Trace events dropped after the collector's cap.
+    pub dropped_events: u64,
+}
+
+impl StageSummary {
+    /// Renders the summary as a fixed-width text table.
+    pub fn format_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>12} {:>12} {:>12}",
+            "stage", "count", "mean_ns", "p50_ns", "p99_ns"
+        );
+        for row in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>10} {:>12.1} {:>12.1} {:>12.1}",
+                row.name, row.count, row.mean_ns, row.p50_ns, row.p99_ns
+            );
+        }
+        if !self.utilization.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<20} {:>12} {:>10} {:>10}",
+                "resource", "busy_us", "mean_util", "peak_util"
+            );
+            for r in &self.utilization {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>12.3} {:>10.3} {:>10.3}",
+                    r.name, r.busy_us, r.mean_utilization, r.peak_utilization
+                );
+            }
+        }
+        if self.dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "\n({} trace events dropped at cap)",
+                self.dropped_events
+            );
+        }
+        out
+    }
+}
+
 /// The result of one full-system simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -86,6 +171,9 @@ pub struct SimReport {
     pub host: Option<HostReport>,
     /// XPoint wear-leveling imbalance (max/mean bucket writes).
     pub wear_imbalance: f64,
+    /// Per-stage latency/utilization breakdown; `Some` only when
+    /// observability was enabled for the run. Not exported to CSV.
+    pub stages: Option<StageSummary>,
 }
 
 impl SimReport {
@@ -173,6 +261,7 @@ mod tests {
             energy: EnergyReport::default(),
             host: None,
             wear_imbalance: 1.0,
+            stages: None,
         }
     }
 

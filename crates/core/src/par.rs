@@ -7,7 +7,9 @@
 //! same `SimReport` regardless of which worker runs it or when — and
 //! [`par_map_indexed`] additionally returns results in input order.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// The default worker count: the machine's available parallelism.
 pub fn default_threads() -> usize {
@@ -25,7 +27,10 @@ pub fn default_threads() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any job after the scope joins.
+/// If a job panics, the failing cell index is reported on stderr and the
+/// job's *original* panic payload is rethrown (`resume_unwind`) after
+/// the remaining workers wind down, so the caller sees the real failure
+/// rather than a generic join error.
 pub fn par_map_indexed<R, F>(n: usize, threads: usize, job: F) -> Vec<R>
 where
     R: Send,
@@ -37,29 +42,53 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    // A panicked cell flips this so the other workers stop pulling new
+    // indices instead of burning through the rest of the grid.
+    let poisoned = AtomicBool::new(false);
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+    let mut failure: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
+                let poisoned = &poisoned;
                 let job = &job;
                 s.spawn(move || {
                     let mut local = Vec::new();
+                    let mut caught = None;
                     loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, job(i)));
+                        match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                            Ok(r) => local.push((i, r)),
+                            Err(payload) => {
+                                poisoned.store(true, Ordering::Relaxed);
+                                caught = Some((i, payload));
+                                break;
+                            }
+                        }
                     }
-                    local
+                    (local, caught)
                 })
             })
             .collect();
         for h in handles {
-            tagged.extend(h.join().expect("simulation worker panicked"));
+            let (local, caught) = h.join().expect("worker thread itself panicked");
+            tagged.extend(local);
+            if failure.is_none() {
+                failure = caught;
+            }
         }
     });
+    if let Some((i, payload)) = failure {
+        eprintln!("par_map_indexed: job for cell {i} panicked; rethrowing");
+        resume_unwind(payload);
+    }
 
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in tagged {
@@ -70,6 +99,23 @@ where
         .into_iter()
         .map(|r| r.expect("every index produces exactly one result"))
         .collect()
+}
+
+/// [`par_map_indexed`] that additionally measures the wall-clock time of
+/// each job, returning `(result, elapsed)` pairs in index order.
+///
+/// The timing is harness-side profiling only — it never feeds back into
+/// simulated results, which stay deterministic.
+pub fn par_map_indexed_profiled<R, F>(n: usize, threads: usize, job: F) -> Vec<(R, Duration)>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indexed(n, threads, |i| {
+        let t0 = std::time::Instant::now();
+        let r = job(i);
+        (r, t0.elapsed())
+    })
 }
 
 #[cfg(test)]
@@ -88,6 +134,37 @@ mod tests {
     fn handles_empty_and_single() {
         assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(par_map_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn panic_resumes_with_original_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_indexed(8, 2, |i| {
+                if i == 5 {
+                    panic!("cell five exploded");
+                }
+                i
+            })
+        })
+        .expect_err("panic must propagate");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| caught.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        assert!(
+            msg.contains("cell five exploded"),
+            "original payload lost: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn profiled_map_preserves_results() {
+        let out = par_map_indexed_profiled(6, 3, |i| i * 2);
+        assert_eq!(
+            out.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec![0, 2, 4, 6, 8, 10]
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use ohm_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
 use crate::metrics::SimReport;
-use crate::par::{default_threads, par_map_indexed};
+use crate::par::{default_threads, par_map_indexed, par_map_indexed_profiled};
 use crate::system::System;
 
 /// Runs one platform/mode/workload combination.
@@ -67,6 +67,94 @@ pub fn run_grid_threaded(
         rows.push(cells.by_ref().take(cols).collect());
     }
     rows
+}
+
+/// Wall-clock profile of one grid cell — harness-side reporting only;
+/// the [`SimReport`] itself never carries wall-clock time, so simulated
+/// results stay deterministic.
+#[derive(Debug, Clone)]
+pub struct CellProfile {
+    /// Platform simulated in this cell.
+    pub platform: Platform,
+    /// Workload name.
+    pub workload: String,
+    /// Host wall-clock time the cell's simulation took.
+    pub wall: std::time::Duration,
+    /// Simulated makespan of the cell.
+    pub sim_makespan: ohm_sim::Ps,
+    /// Simulation throughput: retired instructions + memory requests
+    /// processed per host second.
+    pub events_per_sec: f64,
+}
+
+impl CellProfile {
+    fn new(report: &SimReport, wall: std::time::Duration) -> Self {
+        let events = report.instructions + report.mem_requests;
+        CellProfile {
+            platform: report.platform,
+            workload: report.workload.clone(),
+            wall,
+            sim_makespan: report.makespan,
+            events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+/// Renders cell profiles as a fixed-width table (one line per cell plus
+/// a total), for printing to stderr after a grid run.
+pub fn format_profiles(profiles: &[CellProfile]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<10} {:>10} {:>12} {:>14}",
+        "platform", "workload", "wall_ms", "sim_us", "events/sec"
+    );
+    for p in profiles {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<10} {:>10.1} {:>12.1} {:>14.0}",
+            p.platform.name(),
+            p.workload,
+            p.wall.as_secs_f64() * 1e3,
+            p.sim_makespan.as_us_f64(),
+            p.events_per_sec
+        );
+    }
+    let total: f64 = profiles.iter().map(|p| p.wall.as_secs_f64()).sum();
+    let _ = writeln!(
+        out,
+        "total wall: {:.2}s over {} cells",
+        total,
+        profiles.len()
+    );
+    out
+}
+
+/// [`run_grid_threaded`] that additionally profiles each cell's
+/// wall-clock cost, returning `(grid, profiles)` with profiles in cell
+/// (row-major) order.
+pub fn run_grid_profiled(
+    cfg: &SystemConfig,
+    platforms: &[Platform],
+    mode: OperationalMode,
+    specs: &[WorkloadSpec],
+    threads: usize,
+) -> (Vec<Vec<SimReport>>, Vec<CellProfile>) {
+    let cols = platforms.len();
+    let cells = par_map_indexed_profiled(specs.len() * cols, threads, |i| {
+        run_platform(cfg, platforms[i % cols], mode, &specs[i / cols])
+    });
+    let profiles: Vec<CellProfile> = cells
+        .iter()
+        .map(|(r, wall)| CellProfile::new(r, *wall))
+        .collect();
+    let mut rows: Vec<Vec<SimReport>> = Vec::with_capacity(specs.len());
+    let mut cells = cells.into_iter().map(|(r, _)| r);
+    for _ in 0..specs.len() {
+        rows.push(cells.by_ref().take(cols).collect());
+    }
+    (rows, profiles)
 }
 
 /// Geometric mean of a positive series (0 for an empty one).

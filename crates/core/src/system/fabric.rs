@@ -8,8 +8,8 @@
 
 use ohm_hetero::{MigrationCaps, Platform};
 use ohm_optic::{
-    DualRouteMode, ElectricalChannel, OperationalMode, OpticalChannel, OpticalChannelConfig,
-    TrafficClass,
+    BusyInterval, DualRouteMode, ElectricalChannel, OperationalMode, OpticalChannel,
+    OpticalChannelConfig, TrafficClass,
 };
 use ohm_sim::Ps;
 
@@ -49,6 +49,14 @@ pub trait Fabric {
 
     /// Total bits moved, split `(demand, migration)`.
     fn bits(&self) -> (u64, u64);
+
+    /// Enables or disables per-transfer busy-interval logging (used by the
+    /// observability layer; off by default, zero overhead when off).
+    fn set_interval_logging(&mut self, enabled: bool);
+
+    /// Takes the busy intervals logged since the last drain. Empty when
+    /// logging is disabled.
+    fn drain_intervals(&mut self) -> Vec<BusyInterval>;
 }
 
 impl Fabric for OpticalChannel {
@@ -81,6 +89,14 @@ impl Fabric for OpticalChannel {
             self.bits_by_class(TrafficClass::Migration),
         )
     }
+
+    fn set_interval_logging(&mut self, enabled: bool) {
+        OpticalChannel::set_interval_logging(self, enabled);
+    }
+
+    fn drain_intervals(&mut self) -> Vec<BusyInterval> {
+        OpticalChannel::drain_intervals(self)
+    }
 }
 
 impl Fabric for ElectricalChannel {
@@ -104,12 +120,7 @@ impl Fabric for ElectricalChannel {
     }
 
     fn utilization(&self, horizon: Ps) -> f64 {
-        if horizon == Ps::ZERO {
-            0.0
-        } else {
-            let per = self.busy_time().as_ps() as f64 / self.config().channels as f64;
-            per / horizon.as_ps() as f64
-        }
+        ElectricalChannel::utilization(self, horizon)
     }
 
     fn bits(&self) -> (u64, u64) {
@@ -117,6 +128,14 @@ impl Fabric for ElectricalChannel {
             self.bits_by_class(TrafficClass::Demand),
             self.bits_by_class(TrafficClass::Migration),
         )
+    }
+
+    fn set_interval_logging(&mut self, enabled: bool) {
+        ElectricalChannel::set_interval_logging(self, enabled);
+    }
+
+    fn drain_intervals(&mut self) -> Vec<BusyInterval> {
+        ElectricalChannel::drain_intervals(self)
     }
 }
 

@@ -24,6 +24,7 @@ use crate::metrics::HostReport;
 
 use super::backend::build_backend;
 use super::fabric::{build_fabric, Fabric};
+use super::stats::Stage;
 use super::{MemoryBackend, StatsSink};
 
 /// Command/address bits preceding each data burst on the channel.
@@ -81,6 +82,8 @@ impl MemEnv<'_> {
                     self.fabric
                         .xfer(now, mc, CMD_BITS, TrafficClass::Demand, DEV_DRAM);
                 let acc = self.mcs[mc].dram.access(cmd_done, la, kind);
+                self.stats
+                    .record_stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
                 let (_, data_done) =
                     self.fabric
                         .xfer(acc.data_at, mc, line_bits, TrafficClass::Demand, DEV_DRAM);
@@ -94,7 +97,10 @@ impl MemEnv<'_> {
                     TrafficClass::Demand,
                     DEV_DRAM,
                 );
-                self.mcs[mc].dram.access(xfer_done, la, kind).data_at
+                let acc = self.mcs[mc].dram.access(xfer_done, la, kind);
+                self.stats
+                    .record_stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
+                acc.data_at
             }
         }
     }
@@ -112,7 +118,10 @@ impl MemEnv<'_> {
                         .xpoint
                         .as_mut()
                         .expect("heterogeneous platform");
-                    xp.read(cmd_done, la).ready_at
+                    let c = xp.read(cmd_done, la);
+                    self.stats
+                        .record_stage(Stage::DeviceXPoint, mc, c.accepted_at, c.media_done);
+                    c.ready_at
                 };
                 let (_, data_done) =
                     self.fabric
@@ -132,11 +141,16 @@ impl MemEnv<'_> {
                     TrafficClass::Demand,
                     DEV_XPOINT,
                 );
-                let xp = self.mcs[mc]
-                    .xpoint
-                    .as_mut()
-                    .expect("heterogeneous platform");
-                xp.write(xfer_done, la).ready_at
+                let c = {
+                    let xp = self.mcs[mc]
+                        .xpoint
+                        .as_mut()
+                        .expect("heterogeneous platform");
+                    xp.write(xfer_done, la)
+                };
+                self.stats
+                    .record_stage(Stage::DeviceXPoint, mc, c.accepted_at, c.media_done);
+                c.ready_at
             }
         }
     }
@@ -150,6 +164,8 @@ impl MemEnv<'_> {
             let acc = self.mcs[mc]
                 .dram
                 .access(start, base.offset(i * self.cfg.line_bytes), kind);
+            self.stats
+                .record_stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
             done = done.max(acc.data_at);
         }
         done
@@ -336,6 +352,7 @@ impl MemorySubsystem {
             }
         };
         let (_, t0) = self.mcs[mc].ctrl.book(now, cfg.memory.mc_overhead);
+        stats.record_stage(Stage::CtrlQueue, mc, now, t0);
         let done = self.service(cfg, stats, t0, mc, addr, MemKind::Read);
         self.mcs[mc].outstanding.push(Reverse(done.as_ps()));
         stats.record_mem_latency(done - now);
@@ -353,6 +370,7 @@ impl MemorySubsystem {
         addr: Addr,
     ) {
         let (_, t0) = self.mcs[mc].ctrl.book(now, cfg.memory.mc_overhead);
+        stats.record_stage(Stage::CtrlQueue, mc, now, t0);
         let _ = self.service(cfg, stats, t0, mc, addr, MemKind::Write);
     }
 

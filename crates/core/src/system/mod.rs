@@ -38,7 +38,7 @@ mod warp;
 
 pub use backend::MemoryBackend;
 pub use fabric::Fabric;
-pub use stats::{RunStats, StatsSink};
+pub use stats::{RunStats, Stage, StatsSink};
 
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
@@ -149,6 +149,29 @@ impl System {
         }
     }
 
+    /// Turns on the observability layer for this run: per-stage latency
+    /// histograms, busy-interval logging on the fabric, utilization
+    /// timelines, and Chrome-trace export via [`System::chrome_trace`].
+    ///
+    /// Call before [`System::run`]. Recording is passive — it never
+    /// affects timing, so the report's numbers are bit-identical to a
+    /// run without observability (modulo the extra `stages` field).
+    pub fn enable_observability(&mut self) {
+        self.stats.enable_observability();
+        self.mem.fabric.set_interval_logging(true);
+    }
+
+    /// Chrome trace-event JSON (`{"traceEvents": [...]}`) of the
+    /// intervals recorded since [`System::enable_observability`];
+    /// loadable in `chrome://tracing` or Perfetto. `None` when
+    /// observability is disabled. Call after [`System::run`].
+    pub fn chrome_trace(&mut self) -> Option<String> {
+        let intervals = self.mem.fabric.drain_intervals();
+        let obs = self.stats.obs.as_mut()?;
+        obs.absorb_channel_intervals(intervals);
+        Some(crate::trace::chrome_trace_json(obs))
+    }
+
     /// Runs the kernel to completion and reports.
     pub fn run(&mut self) -> SimReport {
         self.engine.seed();
@@ -190,7 +213,9 @@ impl System {
         let one_cycle = self.cfg.gpu.sm.freq.period();
 
         if kind.is_load() && self.l1s[w.sm].access(line_addr, false).hit {
-            return now + self.cfg.gpu.l1_hit_latency;
+            let done = now + self.cfg.gpu.l1_hit_latency;
+            self.stats.record_stage(Stage::L1Hit, w.sm, now, done);
+            return done;
         }
 
         // To L2 over the crossbar.
@@ -209,6 +234,7 @@ impl System {
         }
 
         if lookup.hit {
+            self.stats.record_stage(Stage::L2Hit, mc, now, l2_done);
             return if kind.is_load() {
                 self.xbar.traverse(l2_done, mc, self.cfg.line_bytes)
             } else {

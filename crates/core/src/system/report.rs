@@ -121,6 +121,15 @@ impl System {
             },
         );
 
+        // Fold the fabric's busy windows into the observability collector
+        // (when enabled) and derive the per-stage summary. Reading the
+        // collector never affects timing, so everything above this point
+        // is bit-identical with observability off.
+        let stages = self.stats.obs.as_mut().map(|obs| {
+            obs.absorb_channel_intervals(self.mem.fabric.drain_intervals());
+            obs.summary(makespan)
+        });
+
         let host = self.mem.host_report();
         let (dram_service, service_total) = self.stats.service_totals();
         let wear = {
@@ -164,6 +173,7 @@ impl System {
             energy,
             host,
             wear_imbalance: wear,
+            stages,
         }
     }
 }

@@ -6,7 +6,185 @@
 //! [`RunStats`] is the concrete collector a [`System`](super::System)
 //! owns; reports and resource summaries read it back out.
 
-use ohm_sim::{Ps, RunningStats, TimeSeries};
+use ohm_optic::BusyInterval;
+use ohm_sim::{Histogram, Ps, RunningStats, TimeSeries};
+
+use crate::metrics::{ResourceUtil, StageRow, StageSummary};
+
+/// A request-path stage the observability layer attributes latency to.
+///
+/// The taxonomy follows the paper's request path: SM → L1 → L2 →
+/// controller → channel → device, plus the migration machinery that runs
+/// as a side effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Load served by the SM's L1 data cache.
+    L1Hit = 0,
+    /// Request resolved at L2 (crossbar traversal + L2 lookup).
+    L2Hit = 1,
+    /// Memory-controller queue: MC arrival to pipeline-slot grant.
+    CtrlQueue = 2,
+    /// Wire occupancy of one channel transfer (data or memory route).
+    ChannelXfer = 3,
+    /// DRAM device access (bank access, row activation included).
+    DeviceDram = 4,
+    /// XPoint device access (ingress grant to media completion).
+    DeviceXPoint = 5,
+    /// Migration machinery: swap blocking window / two-level fill.
+    Migration = 6,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 7;
+
+    /// Every stage, in display order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::L1Hit,
+        Stage::L2Hit,
+        Stage::CtrlQueue,
+        Stage::ChannelXfer,
+        Stage::DeviceDram,
+        Stage::DeviceXPoint,
+        Stage::Migration,
+    ];
+
+    /// Short stable name used in tables and trace tracks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::L1Hit => "l1-hit",
+            Stage::L2Hit => "l2-hit",
+            Stage::CtrlQueue => "ctrl-queue",
+            Stage::ChannelXfer => "channel-xfer",
+            Stage::DeviceDram => "dram-access",
+            Stage::DeviceXPoint => "xpoint-access",
+            Stage::Migration => "migration",
+        }
+    }
+}
+
+/// One recorded stage interval, kept for trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StageEvent {
+    pub(crate) stage: Stage,
+    /// Resource index: SM for [`Stage::L1Hit`], controller otherwise.
+    pub(crate) res: u32,
+    pub(crate) start: Ps,
+    pub(crate) end: Ps,
+}
+
+/// Trace events kept before the collector starts counting drops instead
+/// (bounds memory on long runs; histograms keep recording regardless).
+pub(crate) const MAX_TRACE_EVENTS: usize = 1 << 20;
+
+/// The optional per-stage collector behind [`RunStats`].
+///
+/// Owned as `Option<Box<..>>`: a disabled run pays one branch per hook
+/// and allocates nothing, keeping baseline timing numbers bit-identical.
+#[derive(Debug)]
+pub(crate) struct Observability {
+    /// Latency histogram per stage (picoseconds).
+    pub(crate) stage_hist: [Histogram; Stage::COUNT],
+    /// Raw intervals for trace export, capped at [`MAX_TRACE_EVENTS`].
+    pub(crate) events: Vec<StageEvent>,
+    /// Intervals dropped after the cap.
+    pub(crate) dropped: u64,
+    /// Channel busy windows drained from the fabric at report time.
+    pub(crate) channel_intervals: Vec<BusyInterval>,
+}
+
+impl Observability {
+    pub(crate) fn new() -> Self {
+        Observability {
+            stage_hist: std::array::from_fn(|_| Histogram::new()),
+            events: Vec::new(),
+            dropped: 0,
+            channel_intervals: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record(&mut self, stage: Stage, res: usize, start: Ps, end: Ps) {
+        self.stage_hist[stage as usize].record((end - start).as_ps());
+        if self.events.len() < MAX_TRACE_EVENTS {
+            self.events.push(StageEvent {
+                stage,
+                res: res as u32,
+                start,
+                end,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Folds the fabric's drained busy windows in: they feed the
+    /// channel-transfer histogram and the per-VC trace tracks.
+    pub(crate) fn absorb_channel_intervals(&mut self, intervals: Vec<BusyInterval>) {
+        for iv in &intervals {
+            self.stage_hist[Stage::ChannelXfer as usize].record((iv.end - iv.start).as_ps());
+        }
+        self.channel_intervals.extend(intervals);
+    }
+
+    /// Builds the per-stage latency table and per-resource utilization
+    /// rows over a run of length `makespan`.
+    pub(crate) fn summary(&self, makespan: Ps) -> StageSummary {
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| {
+                let h = &self.stage_hist[s as usize];
+                StageRow {
+                    name: s.name(),
+                    count: h.count(),
+                    mean_ns: h.mean() / 1000.0,
+                    p50_ns: h.quantile_lower_bound(0.50) as f64 / 1000.0,
+                    p99_ns: h.quantile_lower_bound(0.99) as f64 / 1000.0,
+                }
+            })
+            .collect();
+
+        // Utilization timelines: 64 windows across the makespan.
+        let window = Ps::from_ps((makespan.as_ps() / 64).max(1));
+        let mut utils: Vec<ResourceUtil> = Vec::new();
+        {
+            use std::collections::BTreeMap;
+            let mut tracks: BTreeMap<String, ohm_sim::Timeline> = BTreeMap::new();
+            for iv in &self.channel_intervals {
+                let route = if iv.memory_route { "memory" } else { "data" };
+                tracks
+                    .entry(format!("vc{} {route}-route", iv.vc))
+                    .or_insert_with(|| ohm_sim::Timeline::new(window))
+                    .record_busy(iv.start, iv.end);
+            }
+            for ev in &self.events {
+                let name = match ev.stage {
+                    Stage::DeviceDram => format!("mc{} dram", ev.res),
+                    Stage::DeviceXPoint => format!("mc{} xpoint", ev.res),
+                    _ => continue,
+                };
+                tracks
+                    .entry(name)
+                    .or_insert_with(|| ohm_sim::Timeline::new(window))
+                    .record_busy(ev.start, ev.end);
+            }
+            for (name, tl) in tracks {
+                let n = tl.len().max(1) as f64;
+                utils.push(ResourceUtil {
+                    name,
+                    busy_us: tl.total_busy().as_us_f64(),
+                    mean_utilization: tl.utilizations().iter().sum::<f64>() / n,
+                    peak_utilization: tl.peak_utilization(),
+                });
+            }
+        }
+
+        StageSummary {
+            stages,
+            utilization: utils,
+            dropped_events: self.dropped,
+        }
+    }
+}
 
 /// The uniform hook the system's layers record measurements through.
 ///
@@ -35,6 +213,11 @@ pub trait StatsSink {
     fn record_xpoint_stages(&mut self, cmd: Ps, dev: Ps, resp: Ps);
     /// Blocking window of one planar swap (trigger to DRAM-copy done).
     fn record_swap_window(&mut self, window: Ps);
+    /// One request-path stage interval on resource `res` (the SM index
+    /// for [`Stage::L1Hit`], the controller index otherwise). The default
+    /// ignores it, so sinks without an observability collector pay
+    /// nothing.
+    fn record_stage(&mut self, _stage: Stage, _res: usize, _start: Ps, _end: Ps) {}
 }
 
 /// The concrete per-run collector behind [`StatsSink`].
@@ -68,6 +251,8 @@ pub struct RunStats {
     pub(crate) dram_service_hits: Vec<u64>,
     /// Per-controller serviced requests.
     pub(crate) service_total: Vec<u64>,
+    /// Per-stage collector; `None` (the default) disables recording.
+    pub(crate) obs: Option<Box<Observability>>,
 }
 
 impl RunStats {
@@ -90,6 +275,14 @@ impl RunStats {
             migrations: vec![0; controllers],
             dram_service_hits: vec![0; controllers],
             service_total: vec![0; controllers],
+            obs: None,
+        }
+    }
+
+    /// Switches the per-stage collector on.
+    pub(crate) fn enable_observability(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Box::new(Observability::new()));
         }
     }
 
@@ -161,5 +354,11 @@ impl StatsSink for RunStats {
 
     fn record_swap_window(&mut self, window: Ps) {
         self.swap_window.push_ps(window);
+    }
+
+    fn record_stage(&mut self, stage: Stage, res: usize, start: Ps, end: Ps) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.record(stage, res, start, end);
+        }
     }
 }

@@ -1,0 +1,164 @@
+//! Chrome-trace-event export of an observed run.
+//!
+//! The observability layer (enabled with
+//! [`System::enable_observability`](crate::system::System::enable_observability))
+//! collects request-path stage intervals and channel busy windows; this
+//! module serialises them into the Chrome trace-event JSON format, which
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly.
+//!
+//! The format is hand-rolled (the workspace carries no JSON dependency):
+//! every interval becomes a complete (`"ph": "X"`) event with `ts`/`dur`
+//! in microseconds, and each track gets a `thread_name` metadata event so
+//! the UI shows readable lanes. Simulated time maps to trace time — no
+//! wall-clock ever enters the file, so exports are deterministic.
+
+use ohm_optic::BusyInterval;
+use ohm_sim::Ps;
+
+use crate::system::stats::{Observability, Stage, StageEvent};
+
+/// Process id used for request-path stage tracks.
+const PID_STAGES: u32 = 1;
+/// Process id used for channel (per-VC) tracks.
+const PID_CHANNEL: u32 = 2;
+
+fn ps_to_us(t: Ps) -> f64 {
+    t.as_ps() as f64 / 1e6
+}
+
+fn push_event(out: &mut String, name: &str, cat: &str, pid: u32, tid: u32, start: Ps, end: Ps) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.6},\"dur\":{:.6},\"pid\":{},\"tid\":{}}}",
+        name,
+        cat,
+        ps_to_us(start),
+        ps_to_us(end.max(start) - start).max(1e-6),
+        pid,
+        tid
+    );
+}
+
+fn push_thread_name(out: &mut String, pid: u32, tid: u32, name: &str) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{name}\"}}}}"
+    );
+}
+
+fn push_process_name(out: &mut String, pid: u32, name: &str) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+         \"args\":{{\"name\":\"{name}\"}}}}"
+    );
+}
+
+/// Track (tid) of one stage event: stages are grouped per resource so
+/// e.g. every controller gets its own set of lanes.
+fn stage_tid(ev: &StageEvent) -> u32 {
+    ev.res * Stage::COUNT as u32 + ev.stage as u32
+}
+
+fn stage_track_name(ev: &StageEvent) -> String {
+    match ev.stage {
+        Stage::L1Hit => format!("sm{} {}", ev.res, ev.stage.name()),
+        _ => format!("mc{} {}", ev.res, ev.stage.name()),
+    }
+}
+
+/// Track (tid) of one channel interval: two lanes (data/memory route)
+/// per virtual channel.
+fn channel_tid(iv: &BusyInterval) -> u32 {
+    iv.vc as u32 * 2 + iv.memory_route as u32
+}
+
+fn channel_track_name(iv: &BusyInterval) -> String {
+    let route = if iv.memory_route { "memory" } else { "data" };
+    format!("vc{} {route}-route", iv.vc)
+}
+
+/// Serialises the collected intervals as one Chrome trace-event JSON
+/// document (`{"traceEvents": [...]}`).
+pub(crate) fn chrome_trace_json(obs: &Observability) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write;
+
+    let mut out =
+        String::with_capacity(64 + 160 * (obs.events.len() + obs.channel_intervals.len()));
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+    };
+
+    sep(&mut out);
+    push_process_name(&mut out, PID_STAGES, "request path");
+    sep(&mut out);
+    push_process_name(&mut out, PID_CHANNEL, "memory channel");
+
+    // Name each track once.
+    let mut stage_tracks: BTreeMap<u32, String> = BTreeMap::new();
+    for ev in &obs.events {
+        stage_tracks
+            .entry(stage_tid(ev))
+            .or_insert_with(|| stage_track_name(ev));
+    }
+    for (tid, name) in &stage_tracks {
+        sep(&mut out);
+        push_thread_name(&mut out, PID_STAGES, *tid, name);
+    }
+    let mut channel_tracks: BTreeMap<u32, String> = BTreeMap::new();
+    for iv in &obs.channel_intervals {
+        channel_tracks
+            .entry(channel_tid(iv))
+            .or_insert_with(|| channel_track_name(iv));
+    }
+    for (tid, name) in &channel_tracks {
+        sep(&mut out);
+        push_thread_name(&mut out, PID_CHANNEL, *tid, name);
+    }
+
+    for ev in &obs.events {
+        sep(&mut out);
+        push_event(
+            &mut out,
+            ev.stage.name(),
+            "stage",
+            PID_STAGES,
+            stage_tid(ev),
+            ev.start,
+            ev.end,
+        );
+    }
+    for iv in &obs.channel_intervals {
+        sep(&mut out);
+        let name = match iv.class {
+            ohm_optic::TrafficClass::Demand => "demand",
+            ohm_optic::TrafficClass::Migration => "migration",
+        };
+        push_event(
+            &mut out,
+            name,
+            "channel",
+            PID_CHANNEL,
+            channel_tid(iv),
+            iv.start,
+            iv.end,
+        );
+    }
+
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"droppedEvents\":{}}}}}",
+        obs.dropped
+    );
+    out
+}

@@ -1,7 +1,8 @@
 //! Randomized-property tests over the full system: random small
 //! configurations must simulate without panics and satisfy the accounting
 //! identities. Cases are drawn from the workspace's own deterministic
-//! [`SplitMix64`] generator.
+//! [`SplitMix64`] generator; set `OHM_SOAK_ITERS` to raise the case
+//! count for a long soak run.
 
 use ohm_core::config::SystemConfig;
 use ohm_core::runner::run_platform;
@@ -24,7 +25,7 @@ fn tiny_cfg(sms: usize, warps: usize, insts: u64, seed: u64) -> SystemConfig {
 #[test]
 fn random_configs_complete() {
     let mut rng = SplitMix64::new(0x5F5);
-    for _case in 0..12 {
+    for _case in 0..ohm_sim::soak_iters(12) {
         let sms = 1 + rng.next_below(3) as usize;
         let warps = 1 + rng.next_below(5) as usize;
         let insts = 100 + rng.next_below(500);
@@ -51,7 +52,7 @@ fn random_configs_complete() {
 #[test]
 fn longer_kernels_take_longer() {
     let mut rng = SplitMix64::new(0x10E);
-    for _case in 0..6 {
+    for _case in 0..ohm_sim::soak_iters(6) {
         let seed = rng.next_u64();
         let insts = 200 + rng.next_below(300);
         let spec = all_workloads()[4]; // betw

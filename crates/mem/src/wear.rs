@@ -34,7 +34,9 @@ pub struct WearStats {
     pub mean_bucket_writes: f64,
     /// Maximum writes in any bucket.
     pub max_bucket_writes: u64,
-    /// Max/mean ratio — 1.0 is perfectly even wear.
+    /// Max/mean ratio — 1.0 is perfectly even wear. Always finite and
+    /// `>= 1.0`: with zero observed writes (mean 0) it is defined as 1.0
+    /// rather than NaN.
     pub imbalance: f64,
     /// Gap rotations performed so far.
     pub gap_moves: u64,
@@ -308,6 +310,25 @@ mod tests {
             "hammered {hammered} vs uniform {uniform}"
         );
         assert_eq!(hot.lifetime_secs(0.0, 1_000_000), None);
+    }
+
+    #[test]
+    fn fresh_mapper_wear_stats_are_finite() {
+        // Zero-denominator case: no writes at all.
+        let stats = StartGap::new(64, 8).wear_stats();
+        assert_eq!(stats.total_writes, 0);
+        assert_eq!(stats.max_bucket_writes, 0);
+        assert!(stats.imbalance.is_finite());
+        assert_eq!(stats.imbalance, 1.0);
+    }
+
+    #[test]
+    fn imbalance_is_at_least_one_once_writing() {
+        let mut sg = StartGap::new(64, 8);
+        sg.record_write(0);
+        let stats = sg.wear_stats();
+        assert!(stats.imbalance.is_finite());
+        assert!(stats.imbalance >= 1.0);
     }
 
     #[test]

@@ -48,8 +48,21 @@ impl Default for XpCtrlConfig {
 }
 
 /// Completion report for a controller operation.
+///
+/// Besides the final `ready_at`, the completion carries the internal
+/// stage boundaries so the observability layer can split controller
+/// latency into ingress / media / handshake portions without changing
+/// any timing:
+///
+/// `accepted_at` ≤ `media_done` ≤ `ready_at`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct XpCompletion {
+    /// When the protocol engine finished ingress processing and the
+    /// request entered the media path.
+    pub accepted_at: Ps,
+    /// When the media finished its part (read data at the logic layer /
+    /// write buffered persistently), before the DDR-T handshake back.
+    pub media_done: Ps,
     /// When the operation's result is available at the controller pins
     /// (read data ready / write acknowledged).
     pub ready_at: Ps,
@@ -118,6 +131,8 @@ impl XPointController {
         let phys = self.translate(addr);
         let data_at = self.media.read(ingress_done, phys);
         XpCompletion {
+            accepted_at: ingress_done,
+            media_done: data_at,
             ready_at: data_at + self.cfg.ddrt_handshake,
         }
     }
@@ -144,6 +159,8 @@ impl XPointController {
             self.wear_move_writes += 1;
         }
         XpCompletion {
+            accepted_at: ingress_done,
+            media_done: ack,
             ready_at: ack + self.cfg.ddrt_handshake,
         }
     }
@@ -153,24 +170,38 @@ impl XPointController {
     /// is ready at the pins.
     pub fn read_page(&mut self, now: Ps, addr: Addr, lines: u64) -> XpCompletion {
         let line = self.cfg.media.line_bytes;
-        let mut last = now;
+        let mut agg: Option<XpCompletion> = None;
         for i in 0..lines.max(1) {
             let c = self.read(now, addr.offset(i * line));
-            last = last.max(c.ready_at);
+            agg = Some(match agg {
+                None => c,
+                Some(a) => XpCompletion {
+                    accepted_at: a.accepted_at.min(c.accepted_at),
+                    media_done: a.media_done.max(c.media_done),
+                    ready_at: a.ready_at.max(c.ready_at),
+                },
+            });
         }
-        XpCompletion { ready_at: last }
+        agg.expect("at least one line")
     }
 
     /// Writes `lines` consecutive media lines starting at `addr` (a page
     /// store). Returns when the last line is acknowledged.
     pub fn write_page(&mut self, now: Ps, addr: Addr, lines: u64) -> XpCompletion {
         let line = self.cfg.media.line_bytes;
-        let mut last = now;
+        let mut agg: Option<XpCompletion> = None;
         for i in 0..lines.max(1) {
             let c = self.write(now, addr.offset(i * line));
-            last = last.max(c.ready_at);
+            agg = Some(match agg {
+                None => c,
+                Some(a) => XpCompletion {
+                    accepted_at: a.accepted_at.min(c.accepted_at),
+                    media_done: a.media_done.max(c.media_done),
+                    ready_at: a.ready_at.max(c.ready_at),
+                },
+            });
         }
-        XpCompletion { ready_at: last }
+        agg.expect("at least one line")
     }
 
     /// The *snarf* path (auto-read/write): the controller observes a
@@ -286,6 +317,19 @@ mod tests {
         let wa = a.write(Ps::from_ns(7), Addr::new(512));
         let wb = b.snarf_write(Ps::from_ns(7), Addr::new(512));
         assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn completion_stages_are_ordered() {
+        let mut c = XPointController::new(small());
+        let r = c.read(Ps::ZERO, Addr::new(0));
+        assert!(r.accepted_at <= r.media_done && r.media_done <= r.ready_at);
+        assert_eq!(r.accepted_at, Ps::from_ns(5));
+        assert_eq!(r.media_done, Ps::from_ns(5 + 190));
+        let w = c.write(r.ready_at, Addr::new(256));
+        assert!(w.accepted_at <= w.media_done && w.media_done <= w.ready_at);
+        let p = c.read_page(w.ready_at, Addr::new(0), 4);
+        assert!(p.accepted_at <= p.media_done && p.media_done <= p.ready_at);
     }
 
     #[test]

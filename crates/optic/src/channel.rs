@@ -126,6 +126,27 @@ impl OpticalChannelConfig {
     }
 }
 
+/// One recorded busy window on a channel resource.
+///
+/// Interval logging is off by default (zero overhead); when enabled via
+/// `set_interval_logging(true)` every booked transfer appends one of
+/// these, and the observability layer drains them into per-resource
+/// utilization timelines and Chrome-trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyInterval {
+    /// Virtual channel (optical) or lane (electrical) index.
+    pub vc: usize,
+    /// When the resource became busy.
+    pub start: Ps,
+    /// When the resource freed up (exclusive).
+    pub end: Ps,
+    /// Traffic class carried during the window.
+    pub class: TrafficClass,
+    /// Whether the window was on the device↔device memory route rather
+    /// than the data route. Always `false` for electrical channels.
+    pub memory_route: bool,
+}
+
 #[derive(Debug, Clone)]
 struct VirtualChannel {
     data_route: TaggedCalendar,
@@ -165,6 +186,7 @@ pub struct OpticalChannel {
     vcs: Vec<VirtualChannel>,
     bits_transferred: [u64; 2],
     borrows: u64,
+    interval_log: Option<Vec<BusyInterval>>,
 }
 
 impl OpticalChannel {
@@ -177,7 +199,23 @@ impl OpticalChannel {
             cfg,
             bits_transferred: [0; 2],
             borrows: 0,
+            interval_log: None,
         }
+    }
+
+    /// Enables or disables busy-interval logging. Disabling drops any
+    /// intervals collected so far.
+    pub fn set_interval_logging(&mut self, enabled: bool) {
+        self.interval_log = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes every busy interval logged since the last drain. Empty when
+    /// logging is disabled.
+    pub fn drain_intervals(&mut self) -> Vec<BusyInterval> {
+        self.interval_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Channel configuration.
@@ -255,7 +293,17 @@ impl OpticalChannel {
             base
         };
         self.bits_transferred[class as usize] += bits;
-        ch.data_route.book(ready, dur, class as usize)
+        let (start, end) = ch.data_route.book(ready, dur, class as usize);
+        if let Some(log) = self.interval_log.as_mut() {
+            log.push(BusyInterval {
+                vc,
+                start,
+                end,
+                class,
+                memory_route: false,
+            });
+        }
+        (start, end)
     }
 
     /// Transfers `bits` on the independent memory route (device↔device) of
@@ -274,9 +322,20 @@ impl OpticalChannel {
         let width = self.cfg.vc_width_bits();
         let dur = self.cfg.freq.transfer_time(bits, width);
         self.bits_transferred[TrafficClass::Migration as usize] += bits;
-        self.vcs[vc]
-            .memory_route
-            .book(now, dur, TrafficClass::Migration as usize)
+        let (start, end) =
+            self.vcs[vc]
+                .memory_route
+                .book(now, dur, TrafficClass::Migration as usize);
+        if let Some(log) = self.interval_log.as_mut() {
+            log.push(BusyInterval {
+                vc,
+                start,
+                end,
+                class: TrafficClass::Migration,
+                memory_route: true,
+            });
+        }
+        (start, end)
     }
 
     /// When the data route of `vc` next becomes free.
@@ -339,6 +398,10 @@ impl OpticalChannel {
     }
 
     /// Mean data-route utilisation over a window ending at `horizon`.
+    ///
+    /// Always a finite value in `[0, 1]`: an empty channel or zero-length
+    /// window reports 0, and per-VC fractions are clamped so bookings
+    /// extending past `horizon` cannot push the mean over unity.
     pub fn utilization(&self, horizon: Ps) -> f64 {
         if self.vcs.is_empty() {
             return 0.0;
@@ -500,6 +563,72 @@ mod tests {
         let (start, _) = ch.transfer(Ps::ZERO, 0, 256, TrafficClass::Demand, 0);
         assert!(start >= ch.data_route_free_at(0) - Ps::from_ps(533));
         assert_eq!(ch.vc_borrows(), 0);
+    }
+
+    #[test]
+    fn idle_channel_ratios_are_finite_zero() {
+        let ch = chan(DualRouteMode::Serialized);
+        // Zero-denominator cases: no traffic and/or an empty window must
+        // report exactly 0, never NaN or ∞.
+        assert_eq!(ch.migration_fraction(), 0.0);
+        assert_eq!(ch.utilization(Ps::ZERO), 0.0);
+        assert_eq!(ch.utilization(Ps::from_us(1)), 0.0);
+    }
+
+    #[test]
+    fn utilization_zero_horizon_with_traffic_is_zero() {
+        let mut ch = chan(DualRouteMode::Serialized);
+        ch.transfer(Ps::ZERO, 0, 4096, TrafficClass::Demand, 0);
+        assert_eq!(ch.utilization(Ps::ZERO), 0.0);
+    }
+
+    #[test]
+    fn utilization_clamped_to_unity() {
+        let mut ch = chan(DualRouteMode::Serialized);
+        // Saturate every VC far beyond a tiny horizon.
+        for vc in 0..ch.vc_count() {
+            ch.transfer(Ps::ZERO, vc, 1 << 20, TrafficClass::Demand, 0);
+        }
+        let u = ch.utilization(Ps::from_ps(1));
+        assert!(u.is_finite());
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        assert_eq!(u, 1.0);
+    }
+
+    #[test]
+    fn interval_logging_records_both_routes() {
+        let mut ch = chan(DualRouteMode::HalfCoupled);
+        // Disabled by default: nothing recorded.
+        ch.transfer(Ps::ZERO, 0, 256, TrafficClass::Demand, 0);
+        assert!(ch.drain_intervals().is_empty());
+
+        ch.set_interval_logging(true);
+        let (ds, de) = ch.transfer(Ps::ZERO, 1, 256, TrafficClass::Demand, 0);
+        let (ms, me) = ch.memory_route_transfer(Ps::ZERO, 2, 512);
+        let log = ch.drain_intervals();
+        assert_eq!(log.len(), 2);
+        assert_eq!(
+            log[0],
+            BusyInterval {
+                vc: 1,
+                start: ds,
+                end: de,
+                class: TrafficClass::Demand,
+                memory_route: false,
+            }
+        );
+        assert_eq!(
+            log[1],
+            BusyInterval {
+                vc: 2,
+                start: ms,
+                end: me,
+                class: TrafficClass::Migration,
+                memory_route: true,
+            }
+        );
+        // Drain empties the log.
+        assert!(ch.drain_intervals().is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use ohm_sim::{Freq, Ps, TaggedCalendar};
 
-use crate::channel::TrafficClass;
+use crate::channel::{BusyInterval, TrafficClass};
 
 /// Configuration of the electrical channel array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +55,7 @@ pub struct ElectricalChannel {
     cfg: ElectricalConfig,
     lanes: Vec<TaggedCalendar>,
     bits_transferred: [u64; 2],
+    interval_log: Option<Vec<BusyInterval>>,
 }
 
 impl ElectricalChannel {
@@ -69,7 +70,23 @@ impl ElectricalChannel {
             lanes: (0..cfg.channels).map(|_| TaggedCalendar::new(2)).collect(),
             cfg,
             bits_transferred: [0; 2],
+            interval_log: None,
         }
+    }
+
+    /// Enables or disables busy-interval logging. Disabling drops any
+    /// intervals collected so far.
+    pub fn set_interval_logging(&mut self, enabled: bool) {
+        self.interval_log = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes every busy interval logged since the last drain. Empty when
+    /// logging is disabled.
+    pub fn drain_intervals(&mut self) -> Vec<BusyInterval> {
+        self.interval_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Channel configuration.
@@ -86,7 +103,17 @@ impl ElectricalChannel {
         assert!(bits > 0, "cannot transfer zero bits");
         let dur = self.cfg.freq.transfer_time(bits, self.cfg.width_bits);
         self.bits_transferred[class as usize] += bits;
-        self.lanes[ch].book(now, dur, class as usize)
+        let (start, end) = self.lanes[ch].book(now, dur, class as usize);
+        if let Some(log) = self.interval_log.as_mut() {
+            log.push(BusyInterval {
+                vc: ch,
+                start,
+                end,
+                class,
+                memory_route: false,
+            });
+        }
+        (start, end)
     }
 
     /// When channel `ch` next becomes free.
@@ -111,6 +138,22 @@ impl ElectricalChannel {
     /// Total busy time across channels.
     pub fn busy_time(&self) -> Ps {
         self.lanes.iter().map(|l| l.busy_time()).sum()
+    }
+
+    /// Mean per-lane utilisation over a window ending at `horizon`.
+    ///
+    /// Always a finite value in `[0, 1]`: a zero-length window reports 0
+    /// and per-lane fractions are clamped, mirroring
+    /// `OpticalChannel::utilization`.
+    pub fn utilization(&self, horizon: Ps) -> f64 {
+        if self.lanes.is_empty() {
+            return 0.0;
+        }
+        self.lanes
+            .iter()
+            .map(|l| l.utilization(horizon))
+            .sum::<f64>()
+            / self.lanes.len() as f64
     }
 
     /// Bits transferred so far, by class.
@@ -155,6 +198,42 @@ mod tests {
         let f = ch.migration_fraction();
         assert!(f > 0.2 && f < 0.3, "fraction {f}");
         assert_eq!(ch.bits_by_class(TrafficClass::Migration), 1000);
+    }
+
+    #[test]
+    fn idle_channel_ratios_are_finite_zero() {
+        let ch = ElectricalChannel::new(ElectricalConfig::default());
+        assert_eq!(ch.migration_fraction(), 0.0);
+        assert_eq!(ch.utilization(Ps::ZERO), 0.0);
+        assert_eq!(ch.utilization(Ps::from_us(1)), 0.0);
+    }
+
+    #[test]
+    fn utilization_clamped_to_unity() {
+        let mut ch = ElectricalChannel::new(ElectricalConfig::default());
+        for lane in 0..ch.config().channels {
+            ch.transfer(Ps::ZERO, lane, 1 << 20, TrafficClass::Demand);
+        }
+        let u = ch.utilization(Ps::from_ps(1));
+        assert!(u.is_finite());
+        assert_eq!(u, 1.0);
+    }
+
+    #[test]
+    fn interval_logging_records_lane_windows() {
+        let mut ch = ElectricalChannel::new(ElectricalConfig::default());
+        ch.transfer(Ps::ZERO, 0, 256, TrafficClass::Demand);
+        assert!(ch.drain_intervals().is_empty());
+
+        ch.set_interval_logging(true);
+        let (s, e) = ch.transfer(Ps::ZERO, 3, 256, TrafficClass::Migration);
+        let log = ch.drain_intervals();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].vc, 3);
+        assert_eq!((log[0].start, log[0].end), (s, e));
+        assert_eq!(log[0].class, TrafficClass::Migration);
+        assert!(!log[0].memory_route);
+        assert!(ch.drain_intervals().is_empty());
     }
 
     #[test]

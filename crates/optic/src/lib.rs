@@ -45,7 +45,8 @@ pub mod wom;
 pub use arbiter::PhotonicDemux;
 pub use ber::{ber_from_q, q_factor, BerModel};
 pub use channel::{
-    ChannelDivision, DualRouteMode, OpticalChannel, OpticalChannelConfig, TrafficClass,
+    BusyInterval, ChannelDivision, DualRouteMode, OpticalChannel, OpticalChannelConfig,
+    TrafficClass,
 };
 pub use cost::{MrrLayout, OperationalMode};
 pub use electrical::{ElectricalChannel, ElectricalConfig};

@@ -47,5 +47,19 @@ pub use addr::Addr;
 pub use event::EventQueue;
 pub use resource::{Calendar, TaggedCalendar};
 pub use rng::SplitMix64;
-pub use stats::{Breakdown, Counter, Histogram, RunningStats, TimeSeries};
+pub use stats::{Breakdown, Counter, Histogram, RunningStats, TimeSeries, Timeline};
 pub use time::{Freq, Ps};
+
+/// Iteration budget for randomized property tests and soak runs.
+///
+/// Returns `default` unless the `OHM_SOAK_ITERS` environment variable is
+/// set to a positive integer, in which case that value wins. CI's
+/// scheduled job exports a large value to reach full soak coverage while
+/// the default `cargo test` run stays fast.
+pub fn soak_iters(default: u64) -> u64 {
+    std::env::var("OHM_SOAK_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}

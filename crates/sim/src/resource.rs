@@ -131,14 +131,17 @@ impl Calendar {
         self.bookings
     }
 
-    /// Busy fraction over an observation window ending at `horizon`.
+    /// Busy fraction over an observation window ending at `horizon`,
+    /// always a finite value in `[0, 1]`.
     ///
-    /// Returns 0 for an empty window.
+    /// Returns 0 for an empty window; bookings extending past `horizon`
+    /// (their busy time is counted in full) are clamped to 1 rather than
+    /// reporting an over-unity fraction.
     pub fn utilization(&self, horizon: Ps) -> f64 {
         if horizon == Ps::ZERO {
             0.0
         } else {
-            self.busy.as_ps() as f64 / horizon.as_ps() as f64
+            (self.busy.as_ps() as f64 / horizon.as_ps() as f64).clamp(0.0, 1.0)
         }
     }
 }

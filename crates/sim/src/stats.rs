@@ -252,6 +252,59 @@ impl Histogram {
         self.buckets.get(i).copied().unwrap_or(0)
     }
 
+    /// Number of buckets (fixed at 64: one per power of two of `u64`).
+    pub const fn buckets() -> usize {
+        64
+    }
+
+    /// Inclusive lower bound of bucket `i` (bucket 0 also absorbs 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        assert!(i < 64, "bucket index out of range: {i}");
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Exclusive upper bound of bucket `i` (`u64::MAX` for the last bucket,
+    /// whose true bound does not fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        assert!(i < 64, "bucket index out of range: {i}");
+        if i == 63 {
+            u64::MAX
+        } else {
+            1u64 << (i + 1)
+        }
+    }
+
+    /// Merges another histogram's samples into this one. Bucket layouts
+    /// are identical by construction, so the merge is exact.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Iterates `(bucket_index, lower_bound, count)` over non-empty buckets.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, Self::bucket_lower_bound(i), c))
+    }
+
     /// Approximate quantile: the lower bound of the bucket containing the
     /// `q`-quantile sample (`q` in `[0, 1]`). Returns 0 when empty.
     pub fn quantile_lower_bound(&self, q: f64) -> u64 {
@@ -342,6 +395,132 @@ impl TimeSeries {
             0.0
         } else {
             self.total() / self.values.len() as f64
+        }
+    }
+}
+
+/// A windowed busy-time accumulator for "utilization over time" series.
+///
+/// Unlike [`TimeSeries`], which sums point amounts, a `Timeline` accounts
+/// *intervals*: each `[start, end)` busy interval is split across
+/// fixed-width windows, so every window ends up with the busy time that
+/// actually fell inside it. Dividing by the window width gives a
+/// utilization-over-time curve for one resource (a controller pipeline, an
+/// optical virtual channel, a DRAM module).
+///
+/// Intervals recorded on one timeline are expected to come from one
+/// single-server resource and therefore not overlap; utilization values
+/// are clamped to `[0, 1]` regardless.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::{Ps, Timeline};
+///
+/// let mut tl = Timeline::new(Ps::from_ns(100));
+/// tl.record_busy(Ps::from_ns(50), Ps::from_ns(150)); // spans two windows
+/// assert_eq!(tl.busy_in(0), Ps::from_ns(50));
+/// assert_eq!(tl.busy_in(1), Ps::from_ns(50));
+/// assert!((tl.utilization_in(0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    window: Ps,
+    busy: Vec<Ps>,
+}
+
+impl Timeline {
+    /// Creates a timeline with the given window width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window width is zero.
+    pub fn new(window: Ps) -> Self {
+        assert!(window > Ps::ZERO, "window width must be positive");
+        Timeline {
+            window,
+            busy: Vec::new(),
+        }
+    }
+
+    /// Accounts a busy interval `[start, end)`, splitting it across the
+    /// windows it overlaps. Empty or inverted intervals are ignored.
+    pub fn record_busy(&mut self, start: Ps, end: Ps) {
+        if end <= start {
+            return;
+        }
+        let w = self.window.as_ps();
+        let first = (start.as_ps() / w) as usize;
+        let last = ((end.as_ps() - 1) / w) as usize;
+        if last >= self.busy.len() {
+            self.busy.resize(last + 1, Ps::ZERO);
+        }
+        for (i, slot) in self.busy.iter_mut().enumerate().take(last + 1).skip(first) {
+            let ws = Ps::from_ps(i as u64 * w);
+            let we = ws + self.window;
+            *slot += end.min(we) - start.max(ws);
+        }
+    }
+
+    /// The window width.
+    pub fn window_width(&self) -> Ps {
+        self.window
+    }
+
+    /// Number of windows observed so far.
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Whether no busy time has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.busy.is_empty()
+    }
+
+    /// Busy time that fell inside window `i` (zero for unseen windows).
+    pub fn busy_in(&self, i: usize) -> Ps {
+        self.busy.get(i).copied().unwrap_or(Ps::ZERO)
+    }
+
+    /// Busy fraction of window `i`, clamped to `[0, 1]`.
+    pub fn utilization_in(&self, i: usize) -> f64 {
+        (self.busy_in(i).as_ps() as f64 / self.window.as_ps() as f64).clamp(0.0, 1.0)
+    }
+
+    /// The utilization curve, one value per window, each in `[0, 1]`.
+    pub fn utilizations(&self) -> Vec<f64> {
+        (0..self.busy.len())
+            .map(|i| self.utilization_in(i))
+            .collect()
+    }
+
+    /// Total busy time across all windows.
+    pub fn total_busy(&self) -> Ps {
+        self.busy.iter().copied().sum()
+    }
+
+    /// Peak per-window utilization (0 when empty).
+    pub fn peak_utilization(&self) -> f64 {
+        (0..self.busy.len())
+            .map(|i| self.utilization_in(i))
+            .fold(0.0, f64::max)
+    }
+
+    /// Merges another timeline into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window widths differ.
+    pub fn merge(&mut self, other: &Timeline) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge timelines with different window widths"
+        );
+        if other.busy.len() > self.busy.len() {
+            self.busy.resize(other.busy.len(), Ps::ZERO);
+        }
+        for (slot, &b) in self.busy.iter_mut().zip(other.busy.iter()) {
+            *slot += b;
         }
     }
 }
@@ -521,6 +700,105 @@ mod tests {
         assert_eq!(h.quantile_lower_bound(0.5), 4);
         assert_eq!(h.quantile_lower_bound(1.0), 1 << 20);
         assert_eq!(Histogram::new().quantile_lower_bound(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds() {
+        assert_eq!(Histogram::bucket_lower_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(0), 2);
+        assert_eq!(Histogram::bucket_lower_bound(10), 1024);
+        assert_eq!(Histogram::bucket_upper_bound(10), 2048);
+        assert_eq!(Histogram::bucket_lower_bound(63), 1u64 << 63);
+        assert_eq!(Histogram::bucket_upper_bound(63), u64::MAX);
+        // Every recorded sample lands inside its bucket's bounds.
+        let mut h = Histogram::new();
+        for x in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(x);
+        }
+        for (i, lo, _) in h.nonzero_buckets() {
+            assert!(lo == Histogram::bucket_lower_bound(i));
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut reference = Histogram::new();
+        for x in [1u64, 5, 9000] {
+            a.record(x);
+            reference.record(x);
+        }
+        for x in [0u64, 5, 1 << 40] {
+            b.record(x);
+            reference.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), reference.count());
+        assert_eq!(a.mean(), reference.mean());
+        for i in 0..Histogram::buckets() {
+            assert_eq!(a.bucket_count(i), reference.bucket_count(i), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn timeline_splits_intervals_across_windows() {
+        let mut tl = Timeline::new(Ps::from_ns(100));
+        tl.record_busy(Ps::from_ns(50), Ps::from_ns(250));
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl.busy_in(0), Ps::from_ns(50));
+        assert_eq!(tl.busy_in(1), Ps::from_ns(100));
+        assert_eq!(tl.busy_in(2), Ps::from_ns(50));
+        assert_eq!(tl.total_busy(), Ps::from_ns(200));
+        assert!((tl.utilization_in(1) - 1.0).abs() < 1e-12);
+        assert_eq!(tl.peak_utilization(), 1.0);
+    }
+
+    #[test]
+    fn timeline_window_boundaries_are_half_open() {
+        let mut tl = Timeline::new(Ps::from_ns(10));
+        // Ends exactly on a boundary: nothing spills into the next window.
+        tl.record_busy(Ps::ZERO, Ps::from_ns(10));
+        assert_eq!(tl.len(), 1);
+        // Starts exactly on a boundary.
+        tl.record_busy(Ps::from_ns(10), Ps::from_ns(11));
+        assert_eq!(tl.busy_in(1), Ps::from_ns(1));
+    }
+
+    #[test]
+    fn timeline_ignores_empty_and_inverted_intervals() {
+        let mut tl = Timeline::new(Ps::from_ns(10));
+        tl.record_busy(Ps::from_ns(5), Ps::from_ns(5));
+        tl.record_busy(Ps::from_ns(9), Ps::from_ns(2));
+        assert!(tl.is_empty());
+        assert_eq!(tl.total_busy(), Ps::ZERO);
+        assert_eq!(tl.utilization_in(7), 0.0);
+        assert_eq!(tl.peak_utilization(), 0.0);
+    }
+
+    #[test]
+    fn timeline_merge_accumulates() {
+        let mut a = Timeline::new(Ps::from_ns(10));
+        let mut b = Timeline::new(Ps::from_ns(10));
+        a.record_busy(Ps::ZERO, Ps::from_ns(5));
+        b.record_busy(Ps::from_ns(12), Ps::from_ns(18));
+        a.merge(&b);
+        assert_eq!(a.busy_in(0), Ps::from_ns(5));
+        assert_eq!(a.busy_in(1), Ps::from_ns(6));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window widths")]
+    fn timeline_merge_rejects_mismatched_windows() {
+        let mut a = Timeline::new(Ps::from_ns(10));
+        a.merge(&Timeline::new(Ps::from_ns(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window width")]
+    fn timeline_zero_window_rejected() {
+        let _ = Timeline::new(Ps::ZERO);
     }
 
     #[test]
