@@ -38,7 +38,7 @@ fn main() {
     }
     println!("\nrequirement: BER < {:.0e}", BerModel::REQUIREMENT);
     for p in [Platform::OhmBase, Platform::OhmWom, Platform::OhmBw] {
-        if let Some(w) = worst_ber(p) {
+        if let Ok(w) = worst_ber(p) {
             println!("worst {}: {}", p.name(), sci(w));
         }
     }

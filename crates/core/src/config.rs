@@ -15,6 +15,8 @@ use ohm_sim::Freq;
 use ohm_sim::Ps;
 use ohm_sm::{CacheConfig, InterconnectConfig, SmConfig};
 
+use crate::fault::FaultPlan;
+
 /// GPU front-end configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GpuConfig {
@@ -136,6 +138,9 @@ pub struct SystemConfig {
     pub line_bytes: u64,
     /// RNG seed for workload generation.
     pub seed: u64,
+    /// Optional fault-injection plan. `None` (the default) runs the
+    /// fault-free fast path; see [`crate::fault`] for the model.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SystemConfig {
@@ -148,6 +153,7 @@ impl Default for SystemConfig {
             insts_per_warp: 4000,
             line_bytes: 128,
             seed: 0x07_4D_67_50,
+            faults: None,
         }
     }
 }
@@ -172,6 +178,8 @@ pub enum ConfigError {
     ZeroRatio(&'static str),
     /// The per-warp instruction budget must be positive.
     ZeroBudget,
+    /// A fault-plan field is outside its valid range.
+    BadFaultPlan(&'static str),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -188,6 +196,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::EmptyGpu => write!(f, "need at least one SM and one warp per SM"),
             ConfigError::ZeroRatio(what) => write!(f, "{what} must be positive"),
             ConfigError::ZeroBudget => write!(f, "instructions per warp must be positive"),
+            ConfigError::BadFaultPlan(what) => write!(f, "fault plan: {what}"),
         }
     }
 }
@@ -232,6 +241,23 @@ impl SystemConfig {
         }
         if self.memory.two_level_ratio == 0 {
             return Err(ConfigError::ZeroRatio("two-level DRAM:XPoint ratio"));
+        }
+        if let Some(plan) = &self.faults {
+            if !plan.q_derate.is_finite() || plan.q_derate < 1.0 {
+                return Err(ConfigError::BadFaultPlan(
+                    "q_derate must be finite and >= 1.0",
+                ));
+            }
+            if plan.mrr_fault_ppm > 1_000_000 {
+                return Err(ConfigError::BadFaultPlan(
+                    "mrr_fault_ppm must be <= 1,000,000",
+                ));
+            }
+            if plan.xpoint.stall_ppm > 1_000_000 {
+                return Err(ConfigError::BadFaultPlan(
+                    "xpoint stall_ppm must be <= 1,000,000",
+                ));
+            }
         }
         Ok(())
     }
@@ -386,6 +412,26 @@ mod tests {
         };
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroBudget));
         assert!(ConfigError::ZeroBudget.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn validate_checks_fault_plans() {
+        let mut cfg = SystemConfig::quick_test();
+        cfg.faults = Some(FaultPlan::at_severity(7, 0.5));
+        assert_eq!(cfg.validate(), Ok(()));
+
+        let mut bad = cfg.clone();
+        bad.faults.as_mut().unwrap().q_derate = 0.5;
+        assert!(matches!(bad.validate(), Err(ConfigError::BadFaultPlan(_))));
+
+        let mut bad = cfg.clone();
+        bad.faults.as_mut().unwrap().mrr_fault_ppm = 2_000_000;
+        assert!(matches!(bad.validate(), Err(ConfigError::BadFaultPlan(_))));
+
+        let mut bad = cfg;
+        bad.faults.as_mut().unwrap().xpoint.stall_ppm = 2_000_000;
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("fault plan"), "{err}");
     }
 
     #[test]

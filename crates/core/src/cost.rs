@@ -2,8 +2,8 @@
 //! (Figure 21).
 //!
 //! Memory prices follow the paper's sources (GDDR6 ≈ $11.7/GB, XPoint ≈
-//! $1.3/GB, after [Hagedoorn] and [Tallis]); MRR fabrication cost follows
-//! [Hausken] (~$3 per ~2,100 rings); the GPU baseline is the NVIDIA K80's
+//! $1.3/GB, after \[Hagedoorn\] and \[Tallis\]); MRR fabrication cost follows
+//! \[Hausken\] (~$3 per ~2,100 rings); the GPU baseline is the NVIDIA K80's
 //! $5,000 launch price. Ring counts per platform/mode are computed from
 //! the Figure 15 layouts scaled to the paper's 24-device configuration
 //! and the per-wavelength ring multiplicity.

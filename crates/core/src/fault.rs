@@ -1,0 +1,196 @@
+//! Deterministic fault injection and graceful degradation.
+//!
+//! The paper's optical network is only viable because errors stay below
+//! the 10⁻¹⁵ BER requirement (Section VI-E, Figure 20b) and because the
+//! DDR-T handshake tolerates nondeterministic XPoint latency (Section
+//! II-C). A production-scale simulator must also answer the question the
+//! paper never does: *what happens when those assumptions erode?* This
+//! module is the policy layer of that answer. A [`FaultPlan`] configured
+//! on [`SystemConfig`](crate::config::SystemConfig) drives three fault
+//! classes through the layers below:
+//!
+//! 1. **Optical corruption** — transfers fail CRC with a probability
+//!    derived from the *live* Q-factor of the platform's worst light
+//!    path ([`crate::reliability::degraded_ber`]), degraded by
+//!    [`FaultPlan::q_derate`]. Detection triggers bounded retransmission
+//!    with exponential backoff on the failing VC; exhaustion escalates
+//!    to the electrical fallback path.
+//! 2. **MRR stick/drift** — a demux ring sticks or drifts
+//!    ([`ohm_optic::mrr::RingHealth`]), making its VC untrustworthy for a
+//!    repair window. The fabric re-arbitrates onto a healthy wavelength,
+//!    or degrades to the electrical path when none exists.
+//! 3. **XPoint media stalls** — media ops hang past their DDR-T window
+//!    ([`ohm_mem::XpFaultConfig`]), are reissued, and poison the line
+//!    after a capped number of retries.
+//!
+//! Every recovery action is a first-class [`Stage`] in the observability
+//! taxonomy (`retransmit`, `rearbitrate`, `fallback-electrical`,
+//! `media-retry`), so Chrome traces and `StageSummary` tables show
+//! degraded runs with no extra plumbing.
+//!
+//! # Determinism contract
+//!
+//! All randomness comes from [`SplitMix64`](ohm_sim::SplitMix64) streams
+//! forked from [`FaultPlan::seed`]. The same seed and the same plan
+//! produce a bit-identical [`SimReport`](crate::metrics::SimReport);
+//! an all-zero plan ([`FaultPlan::quiescent`]) draws nothing and is
+//! bit-identical to running with no plan at all. DESIGN.md §"Fault &
+//! recovery model" states the full contract.
+
+use ohm_mem::XpFaultConfig;
+use ohm_sim::{ExponentialBackoff, Ps};
+
+use crate::system::Stage;
+
+/// A deterministic fault-injection plan for one run.
+///
+/// The default severity knobs are exposed directly so experiments can
+/// dial individual fault classes; [`FaultPlan::at_severity`] maps one
+/// scalar onto all of them for sweep harnesses like `fig_resilience`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed for every fault RNG stream (independent of the
+    /// workload-generation seed).
+    pub seed: u64,
+    /// Q-factor divisor applied to the platform's worst-path Q when
+    /// deriving the per-bit corruption probability. `1.0` keeps the
+    /// analytical operating point (BER ≈ 7.2e-16 — practically no
+    /// corruption); `2.0` collapses Q≈8 to Q≈4 (BER ≈ 1e-5/bit). Must
+    /// be finite and ≥ 1.0.
+    pub q_derate: f64,
+    /// Retransmissions allowed per transfer before escalating to the
+    /// electrical fallback path.
+    pub max_retransmissions: u32,
+    /// Backoff schedule between retransmissions of one transfer.
+    pub retx_backoff: ExponentialBackoff,
+    /// Probability, in parts-per-million per transfer, that the VC's
+    /// demux ring develops a stick or drift fault.
+    pub mrr_fault_ppm: u32,
+    /// How long a faulted ring's VC stays untrusted before thermal
+    /// recalibration repairs it.
+    pub mrr_repair: Ps,
+    /// XPoint media stall/retry/poison knobs.
+    pub xpoint: XpFaultConfig,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing. Runs configured with it draw no
+    /// random numbers and produce reports bit-identical to plan-free
+    /// runs — the determinism baseline the test suite pins.
+    pub fn quiescent(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            q_derate: 1.0,
+            max_retransmissions: 0,
+            retx_backoff: ExponentialBackoff::NONE,
+            mrr_fault_ppm: 0,
+            mrr_repair: Ps::ZERO,
+            xpoint: XpFaultConfig::NONE,
+        }
+    }
+
+    /// Maps a severity scalar in `[0, 1]` onto all fault knobs at once.
+    ///
+    /// Severity 0 is [`FaultPlan::quiescent`]; severity 1 is a heavily
+    /// degraded substrate (Q halved twice over, ~0.2% MRR faults and ~2%
+    /// media stalls per operation) where every recovery path fires
+    /// constantly and the optical advantage has largely evaporated —
+    /// the far end of the `fig_resilience` curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `severity` is not finite or outside `[0, 1]`.
+    pub fn at_severity(seed: u64, severity: f64) -> Self {
+        assert!(
+            severity.is_finite() && (0.0..=1.0).contains(&severity),
+            "severity must be in [0, 1], got {severity}"
+        );
+        if severity == 0.0 {
+            return FaultPlan::quiescent(seed);
+        }
+        FaultPlan {
+            seed,
+            q_derate: 1.0 + 2.0 * severity,
+            max_retransmissions: 3,
+            retx_backoff: ExponentialBackoff {
+                base: Ps::from_ns(1),
+                cap: Ps::from_ns(8),
+            },
+            mrr_fault_ppm: (severity * 2_000.0) as u32,
+            mrr_repair: Ps::from_ns(500),
+            xpoint: XpFaultConfig {
+                stall_ppm: (severity * 20_000.0) as u32,
+                stall: Ps::from_ns(100),
+                max_retries: 2,
+            },
+        }
+    }
+
+    /// Whether the plan can inject anything at all. A quiescent plan
+    /// keeps every layer on its fault-free (and RNG-free) path.
+    pub fn is_quiescent(&self) -> bool {
+        self.q_derate <= 1.0 && self.mrr_fault_ppm == 0 && self.xpoint.stall_ppm == 0
+    }
+}
+
+/// Fabric-side fault/recovery counters, surfaced through
+/// [`FaultReport`](crate::metrics::FaultReport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Transfers that failed CRC at least once.
+    pub corrupted_transfers: u64,
+    /// Retransmissions performed (a transfer can retransmit repeatedly).
+    pub retransmissions: u64,
+    /// Transfers whose retransmission budget ran out.
+    pub retx_exhausted: u64,
+    /// MRR stick/drift faults injected.
+    pub mrr_faults: u64,
+    /// Transfers re-arbitrated onto a healthy VC.
+    pub rearbitrations: u64,
+    /// Transfers degraded onto the electrical fallback path.
+    pub electrical_fallbacks: u64,
+}
+
+/// One recovery action taken by the fabric, drained by the memory
+/// subsystem into the observability taxonomy after each service call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Which recovery stage ([`Stage::Retransmit`], [`Stage::Rearbitrate`],
+    /// [`Stage::FallbackElectrical`] or [`Stage::MediaRetry`]).
+    pub stage: Stage,
+    /// The virtual channel (equivalently, memory controller) involved.
+    pub vc: usize,
+    /// When the recovery began (e.g. first CRC failure detected).
+    pub start: Ps,
+    /// When the recovered operation finally completed.
+    pub end: Ps,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_plan_is_quiescent() {
+        let p = FaultPlan::quiescent(1);
+        assert!(p.is_quiescent());
+        assert_eq!(p, FaultPlan::at_severity(1, 0.0));
+    }
+
+    #[test]
+    fn severity_scales_monotonically() {
+        let lo = FaultPlan::at_severity(9, 0.25);
+        let hi = FaultPlan::at_severity(9, 1.0);
+        assert!(!lo.is_quiescent());
+        assert!(lo.q_derate < hi.q_derate);
+        assert!(lo.mrr_fault_ppm < hi.mrr_fault_ppm);
+        assert!(lo.xpoint.stall_ppm < hi.xpoint.stall_ppm);
+        assert_eq!(hi.q_derate, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "severity")]
+    fn severity_out_of_range_rejected() {
+        let _ = FaultPlan::at_severity(0, 1.5);
+    }
+}

@@ -8,11 +8,14 @@
 //!   top of L1/L2 caches, six memory controllers, an electrical or
 //!   optical channel, DRAM/XPoint devices, and the platform-specific
 //!   migration machinery.
-//! * [`metrics`] — the [`SimReport`](metrics::SimReport) produced by every
-//!   run: IPC, memory latency, bandwidth breakdown, energy breakdown.
+//! * [`metrics`] — the [`SimReport`] produced by every run: IPC, memory
+//!   latency, bandwidth breakdown, energy breakdown.
 //! * [`energy`] — the energy model (GPUWattch-style DRAM numbers, Optane
 //!   measurements for XPoint, the Table I optical power model).
 //! * [`reliability`] — per-platform optical BER evaluation (Figure 20b).
+//! * [`fault`] — deterministic fault injection and the graceful-
+//!   degradation machinery (retransmission, re-arbitration, electrical
+//!   fallback, media retry).
 //! * [`cost`] — the Table III component-cost model and the
 //!   cost-performance analysis of Figure 21.
 //! * [`runner`] — convenience helpers that sweep platforms × workloads
@@ -47,6 +50,7 @@
 pub mod config;
 pub mod cost;
 pub mod energy;
+pub mod fault;
 pub mod metrics;
 pub mod par;
 pub mod reliability;
@@ -56,7 +60,8 @@ pub mod system;
 mod trace;
 
 pub use config::{ConfigError, SystemConfig};
-pub use metrics::SimReport;
+pub use fault::{FaultCounters, FaultPlan, RecoveryEvent};
+pub use metrics::{FaultReport, SimReport};
 pub use system::System;
 
 // Re-export the vocabulary types users need alongside this crate.

@@ -131,6 +131,43 @@ impl StageSummary {
     }
 }
 
+/// Fault-injection and recovery tallies of one run.
+///
+/// Only populated when the run's [`SystemConfig`](crate::config::SystemConfig)
+/// carried a [`FaultPlan`](crate::fault::FaultPlan); like
+/// [`StageSummary`] it is deliberately not part of the CSV row. The first
+/// six counters come from the fabric, the last three from the XPoint
+/// controllers (summed across MCs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Transfers that failed CRC at least once.
+    pub corrupted_transfers: u64,
+    /// Optical retransmissions performed.
+    pub retransmissions: u64,
+    /// Transfers whose retransmission budget was exhausted.
+    pub retx_exhausted: u64,
+    /// MRR stick/drift faults injected.
+    pub mrr_faults: u64,
+    /// Transfers re-arbitrated onto a healthy wavelength.
+    pub rearbitrations: u64,
+    /// Transfers degraded onto the electrical fallback path.
+    pub electrical_fallbacks: u64,
+    /// XPoint media operations that stalled past their DDR-T window.
+    pub media_stalls: u64,
+    /// XPoint media reissues (DDR-T retries).
+    pub media_retries: u64,
+    /// Lines poisoned after exhausting their media-retry budget.
+    pub poisoned_lines: u64,
+}
+
+impl FaultReport {
+    /// Total recovery actions of any kind — a quick "did anything
+    /// degrade" scalar for harnesses.
+    pub fn total_recoveries(&self) -> u64 {
+        self.retransmissions + self.rearbitrations + self.electrical_fallbacks + self.media_retries
+    }
+}
+
 /// The result of one full-system simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -174,6 +211,9 @@ pub struct SimReport {
     /// Per-stage latency/utilization breakdown; `Some` only when
     /// observability was enabled for the run. Not exported to CSV.
     pub stages: Option<StageSummary>,
+    /// Fault/recovery tallies; `Some` only when the run carried a
+    /// fault plan. Not exported to CSV.
+    pub faults: Option<FaultReport>,
 }
 
 impl SimReport {
@@ -262,6 +302,7 @@ mod tests {
             host: None,
             wear_imbalance: 1.0,
             stages: None,
+            faults: None,
         }
     }
 

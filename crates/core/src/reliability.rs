@@ -105,13 +105,68 @@ pub fn platform_ber(platform: Platform) -> Vec<BerPoint> {
     points
 }
 
-/// The worst BER across all of a platform's paths (`None` for electrical
-/// platforms).
-pub fn worst_ber(platform: Platform) -> Option<f64> {
+/// Why a reliability query could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliabilityError {
+    /// The platform has no optical light paths to analyse (electrical
+    /// platforms: `Origin`, `Hetero`).
+    NoOpticalPaths(Platform),
+}
+
+impl std::fmt::Display for ReliabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReliabilityError::NoOpticalPaths(p) => {
+                write!(f, "platform {} has no optical light paths", p.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReliabilityError {}
+
+/// The worst BER across all of a platform's paths.
+///
+/// Electrical platforms are an explicit [`ReliabilityError::NoOpticalPaths`]
+/// error: callers must decide how to handle a platform with nothing to
+/// analyse instead of silently skipping it.
+pub fn worst_ber(platform: Platform) -> Result<f64, ReliabilityError> {
     platform_ber(platform)
         .into_iter()
         .map(|p| p.ber)
         .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.max(b))))
+        .ok_or(ReliabilityError::NoOpticalPaths(platform))
+}
+
+/// The worst-path BER of a platform with its Q-factor divided by
+/// `q_derate` — the live operating point the fault-injection subsystem
+/// corrupts transfers at.
+///
+/// `q_derate = 1.0` reproduces [`worst_ber`] exactly; larger derates
+/// model eye closure from thermal drift, ageing lasers or detector noise
+/// (Section VI-E's margin discussion) and push the BER up the Figure 20b
+/// curve. The derate applies to Q, not BER, so small derates produce the
+/// steep super-exponential degradation real links exhibit.
+///
+/// # Panics
+///
+/// Panics if `q_derate` is not finite or is below 1.0.
+pub fn degraded_ber(platform: Platform, q_derate: f64) -> Result<f64, ReliabilityError> {
+    assert!(
+        q_derate.is_finite() && q_derate >= 1.0,
+        "q_derate must be finite and >= 1.0, got {q_derate}"
+    );
+    let model = BerModel::paper_default();
+    // The model's reference operating point: nominal path at 1x laser.
+    let p_ref = OpticalPowerModel::default().received_mw(BerModel::nominal_path());
+    platform_ber(platform)
+        .into_iter()
+        .map(|p| {
+            let q = ohm_optic::q_factor(p.received_mw, p_ref, model.q_ref());
+            ohm_optic::ber_from_q(q / q_derate)
+        })
+        .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.max(b))))
+        .ok_or(ReliabilityError::NoOpticalPaths(platform))
 }
 
 #[cfg(test)]
@@ -122,7 +177,17 @@ mod tests {
     fn electrical_platforms_have_no_optical_ber() {
         assert!(platform_ber(Platform::Origin).is_empty());
         assert!(platform_ber(Platform::Hetero).is_empty());
-        assert_eq!(worst_ber(Platform::Hetero), None);
+        assert_eq!(
+            worst_ber(Platform::Hetero),
+            Err(ReliabilityError::NoOpticalPaths(Platform::Hetero))
+        );
+        assert_eq!(
+            worst_ber(Platform::Origin),
+            Err(ReliabilityError::NoOpticalPaths(Platform::Origin))
+        );
+        // The error is self-describing for CLI surfaces.
+        let msg = worst_ber(Platform::Hetero).unwrap_err().to_string();
+        assert!(msg.contains("no optical light paths"), "{msg}");
     }
 
     #[test]
@@ -164,5 +229,46 @@ mod tests {
         let pts = platform_ber(Platform::OhmBw);
         let worst = worst_ber(Platform::OhmBw).unwrap();
         assert!(pts.iter().all(|p| p.ber <= worst));
+    }
+
+    #[test]
+    fn degraded_ber_at_unit_derate_matches_worst() {
+        for p in [Platform::OhmBase, Platform::OhmWom, Platform::OhmBw] {
+            let worst = worst_ber(p).unwrap();
+            let degraded = degraded_ber(p, 1.0).unwrap();
+            assert!(
+                (degraded / worst - 1.0).abs() < 1e-9,
+                "{}: {degraded:e} vs {worst:e}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_ber_is_monotone_in_derate() {
+        let mut last = degraded_ber(Platform::OhmBase, 1.0).unwrap();
+        for derate in [1.5, 2.0, 3.0, 4.0] {
+            let b = degraded_ber(Platform::OhmBase, derate).unwrap();
+            assert!(b > last, "derate {derate}: {b:e} !> {last:e}");
+            last = b;
+        }
+        // A derate of 2 collapses Q from ~8 to ~4: BER in the 1e-5 band,
+        // enough to visibly exercise retransmission on real transfers.
+        let b2 = degraded_ber(Platform::OhmBase, 2.0).unwrap();
+        assert!(b2 > 1e-7 && b2 < 1e-3, "b2={b2:e}");
+    }
+
+    #[test]
+    fn degraded_ber_errors_on_electrical_platforms() {
+        assert_eq!(
+            degraded_ber(Platform::Origin, 2.0),
+            Err(ReliabilityError::NoOpticalPaths(Platform::Origin))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "q_derate")]
+    fn degraded_ber_rejects_sub_unit_derate() {
+        let _ = degraded_ber(Platform::OhmBase, 0.5);
     }
 }

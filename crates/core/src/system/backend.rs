@@ -7,11 +7,11 @@
 //! system (policy state that is per-controller, like the planar mapping,
 //! is a `Vec` indexed by `mc`):
 //!
-//! - [`OracleBackend`] — all-DRAM upper bound, no policy at all.
-//! - [`OriginBackend`](super::origin::OriginBackend) — discrete GPU
-//!   memory with host/SSD staging (in [`origin`](super::origin)).
-//! - [`PlanarBackend`] — hot-page promotion by DRAM/XPoint page swaps.
-//! - [`TwoLevelBackend`] — DRAM as a direct-mapped cache over XPoint.
+//! - `OracleBackend` — all-DRAM upper bound, no policy at all.
+//! - `OriginBackend` — discrete GPU memory with host/SSD staging (in
+//!   the private `origin` module).
+//! - `PlanarBackend` — hot-page promotion by DRAM/XPoint page swaps.
+//! - `TwoLevelBackend` — DRAM as a direct-mapped cache over XPoint.
 
 use ohm_hetero::{
     MigrationCaps, PlanarConfig, PlanarLocation, PlanarMapping, Platform, SwapRequest,

@@ -6,9 +6,8 @@
 //! controller, the conflict detector tracking in-flight migrations, and
 //! the DDR sequence generator / DDR monitor engines of the delegated
 //! migration machinery. Capacity-management *policy* lives one layer up,
-//! in a [`MemoryBackend`](super::MemoryBackend); the wiring between the
-//! two is a [`MemEnv`], which also carries the [`Fabric`] and the
-//! [`StatsSink`](super::StatsSink).
+//! in a [`MemoryBackend`]; the wiring between the two is a [`MemEnv`],
+//! which also carries the [`Fabric`] and the [`StatsSink`].
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -16,7 +15,7 @@ use std::collections::{BinaryHeap, HashMap};
 use ohm_hetero::{ConflictDetector, Platform};
 use ohm_mem::{DdrMonitor, DdrSequenceGenerator, DramModule, MemKind, XPointController};
 use ohm_optic::{OperationalMode, TrafficClass};
-use ohm_sim::{Addr, Ps};
+use ohm_sim::{Addr, Ps, SplitMix64};
 use ohm_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
@@ -121,6 +120,10 @@ impl MemEnv<'_> {
                     let c = xp.read(cmd_done, la);
                     self.stats
                         .record_stage(Stage::DeviceXPoint, mc, c.accepted_at, c.media_done);
+                    if c.retries > 0 {
+                        self.stats
+                            .record_stage(Stage::MediaRetry, mc, c.accepted_at, c.media_done);
+                    }
                     c.ready_at
                 };
                 let (_, data_done) =
@@ -150,6 +153,10 @@ impl MemEnv<'_> {
                 };
                 self.stats
                     .record_stage(Stage::DeviceXPoint, mc, c.accepted_at, c.media_done);
+                if c.retries > 0 {
+                    self.stats
+                        .record_stage(Stage::MediaRetry, mc, c.accepted_at, c.media_done);
+                }
                 c.ready_at
             }
         }
@@ -272,12 +279,20 @@ impl MemorySubsystem {
         };
 
         let mcs = (0..controllers)
-            .map(|_| MemoryController {
+            .map(|mc| MemoryController {
                 ctrl: ohm_sim::Calendar::new(),
                 dram: DramModule::new(dram_cfg),
-                xpoint: platform
-                    .is_heterogeneous()
-                    .then(|| XPointController::new(xp_cfg)),
+                xpoint: platform.is_heterogeneous().then(|| {
+                    let mut xp = XPointController::new(xp_cfg);
+                    // Arm media stall injection with a per-MC RNG stream
+                    // forked from the plan seed (determinism contract:
+                    // DESIGN.md §"Fault & recovery model").
+                    if let Some(plan) = cfg.faults.as_ref().filter(|p| p.xpoint.stall_ppm > 0) {
+                        let mut root = SplitMix64::new(plan.seed);
+                        xp.inject_faults(plan.xpoint, root.fork(mc as u64));
+                    }
+                    xp
+                }),
                 conflicts: ConflictDetector::new(page),
                 ddr_seq: DdrSequenceGenerator::new(cfg.line_bytes),
                 ddr_monitor: DdrMonitor::new(),
@@ -393,7 +408,13 @@ impl MemorySubsystem {
             stats,
             pending: &mut self.pending,
         };
-        self.backend.service(&mut env, now, mc, ga, la, kind)
+        let done = self.backend.service(&mut env, now, mc, ga, la, kind);
+        // Surface the fabric's recovery actions (retransmissions,
+        // re-arbitrations, electrical fallbacks) as first-class stages.
+        for ev in self.fabric.drain_recovery() {
+            stats.record_stage(ev.stage, ev.vc, ev.start, ev.end);
+        }
+        done
     }
 
     /// A delegated migration released its pages.

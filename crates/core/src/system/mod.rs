@@ -15,13 +15,12 @@
 //! What used to be a single monolith is now four layers with explicit
 //! boundaries, each in its own module:
 //!
-//! - [`warp`] — the [`WarpEngine`](warp::WarpEngine): event loop, warp
-//!   scheduling, SM issue. Knows nothing about memory.
-//! - this module — the cache glue ([`System::memory_access`]: L1, the
+//! - `warp` — the `WarpEngine`: event loop, warp scheduling, SM issue.
+//!   Knows nothing about memory.
+//! - this module — the cache glue (`System::memory_access`: L1, the
 //!   crossbar, L2, writebacks) connecting warps to memory.
-//! - [`memory`] — the [`MemorySubsystem`](memory::MemorySubsystem):
-//!   controllers, MSHR files, devices, and the shared round-trip
-//!   plumbing, behind one [`Fabric`].
+//! - [`memory`] — the `MemorySubsystem`: controllers, MSHR files,
+//!   devices, and the shared round-trip plumbing, behind one [`Fabric`].
 //! - [`backend`] — a [`MemoryBackend`] per platform: *where* a request
 //!   is served and what migration machinery runs as a side effect.
 //!

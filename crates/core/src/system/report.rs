@@ -4,7 +4,7 @@
 use ohm_sim::Ps;
 
 use crate::energy::{energy_report, EnergyInputs};
-use crate::metrics::SimReport;
+use crate::metrics::{FaultReport, SimReport};
 
 use super::System;
 
@@ -130,6 +130,32 @@ impl System {
             obs.summary(makespan)
         });
 
+        // Fault/recovery tallies: fabric counters plus the per-MC XPoint
+        // controllers' media counters. Only reported when a plan was armed.
+        let faults = self.cfg.faults.as_ref().map(|_| {
+            let fc = self.mem.fabric.fault_counters();
+            let (stalls, retries, poisoned) = self.mem.mcs.iter().fold((0, 0, 0), |acc, m| {
+                m.xpoint.as_ref().map_or(acc, |x| {
+                    (
+                        acc.0 + x.media_stalls(),
+                        acc.1 + x.media_retries(),
+                        acc.2 + x.poisoned_lines(),
+                    )
+                })
+            });
+            FaultReport {
+                corrupted_transfers: fc.corrupted_transfers,
+                retransmissions: fc.retransmissions,
+                retx_exhausted: fc.retx_exhausted,
+                mrr_faults: fc.mrr_faults,
+                rearbitrations: fc.rearbitrations,
+                electrical_fallbacks: fc.electrical_fallbacks,
+                media_stalls: stalls,
+                media_retries: retries,
+                poisoned_lines: poisoned,
+            }
+        });
+
         let host = self.mem.host_report();
         let (dram_service, service_total) = self.stats.service_totals();
         let wear = {
@@ -174,6 +200,7 @@ impl System {
             host,
             wear_imbalance: wear,
             stages,
+            faults,
         }
     }
 }

@@ -32,11 +32,23 @@ pub enum Stage {
     DeviceXPoint = 5,
     /// Migration machinery: swap blocking window / two-level fill.
     Migration = 6,
+    /// Recovery: corrupted optical transfer re-sent after CRC detect,
+    /// spanning the original transfer's end to the successful resend.
+    Retransmit = 7,
+    /// Recovery: a transfer moved off a faulty VC onto a healthy one
+    /// (fine-granule retune included).
+    Rearbitrate = 8,
+    /// Recovery: a transfer degraded onto the electrical fallback path
+    /// because no healthy optical VC was available (or retransmission
+    /// was exhausted).
+    FallbackElectrical = 9,
+    /// Recovery: an XPoint media op reissued after a DDR-T timeout.
+    MediaRetry = 10,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 11;
 
     /// Every stage, in display order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -47,6 +59,10 @@ impl Stage {
         Stage::DeviceDram,
         Stage::DeviceXPoint,
         Stage::Migration,
+        Stage::Retransmit,
+        Stage::Rearbitrate,
+        Stage::FallbackElectrical,
+        Stage::MediaRetry,
     ];
 
     /// Short stable name used in tables and trace tracks.
@@ -59,6 +75,10 @@ impl Stage {
             Stage::DeviceDram => "dram-access",
             Stage::DeviceXPoint => "xpoint-access",
             Stage::Migration => "migration",
+            Stage::Retransmit => "retransmit",
+            Stage::Rearbitrate => "rearbitrate",
+            Stage::FallbackElectrical => "fallback-electrical",
+            Stage::MediaRetry => "media-retry",
         }
     }
 }

@@ -1,0 +1,119 @@
+//! Fault-injection guarantees: a quiescent plan is indistinguishable
+//! from no plan at all, armed plans are deterministic, severity degrades
+//! performance monotonically, and every recovery path surfaces in both
+//! the fault counters and the observability stage taxonomy.
+
+use ohm_core::config::SystemConfig;
+use ohm_core::fault::FaultPlan;
+use ohm_core::system::System;
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::workload_by_name;
+
+fn run_with(plan: Option<FaultPlan>, observe: bool) -> ohm_core::SimReport {
+    let mut cfg = SystemConfig::quick_test();
+    cfg.faults = plan;
+    let spec = workload_by_name("pagerank").unwrap();
+    let mut sys = System::new(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
+    if observe {
+        sys.enable_observability();
+    }
+    sys.run()
+}
+
+/// The determinism contract's baseline: a plan whose rates are all zero
+/// draws no random numbers, so the report is bit-identical to a plan-free
+/// run — the only difference is the (all-zero) fault tally itself.
+#[test]
+fn quiescent_plan_is_bit_identical_to_no_plan() {
+    let baseline = run_with(None, false);
+    let mut quiescent = run_with(Some(FaultPlan::quiescent(0xFA17)), false);
+    assert!(baseline.faults.is_none());
+    let tally = quiescent.faults.take().expect("plan armed");
+    assert_eq!(tally, Default::default(), "quiescent plan injected faults");
+    assert_eq!(
+        baseline, quiescent,
+        "a zero-rate fault plan changed simulated results"
+    );
+}
+
+/// Same seed + same plan ⇒ bit-identical report, even at high severity.
+#[test]
+fn armed_plans_are_deterministic() {
+    let a = run_with(Some(FaultPlan::at_severity(7, 0.75)), false);
+    let b = run_with(Some(FaultPlan::at_severity(7, 0.75)), false);
+    assert_eq!(a, b, "identical plan reruns diverged");
+    assert!(a.faults.unwrap().total_recoveries() > 0);
+}
+
+/// More injected faults can only cost performance: IPC degrades and the
+/// recovery tallies grow monotonically with severity.
+#[test]
+fn severity_degrades_ipc_monotonically() {
+    let reports: Vec<_> = [0.0, 0.5, 1.0]
+        .iter()
+        .map(|&s| run_with(Some(FaultPlan::at_severity(0xFA17, s)), false))
+        .collect();
+    for pair in reports.windows(2) {
+        assert!(
+            pair[1].ipc < pair[0].ipc,
+            "IPC did not degrade: {} !< {}",
+            pair[1].ipc,
+            pair[0].ipc
+        );
+        assert!(
+            pair[1].faults.unwrap().total_recoveries() > pair[0].faults.unwrap().total_recoveries(),
+            "recovery count did not grow with severity"
+        );
+    }
+}
+
+/// At full severity every recovery mechanism fires, and each one is
+/// visible both as a counter and as a first-class stage row.
+#[test]
+fn every_recovery_path_is_observable() {
+    let report = run_with(Some(FaultPlan::at_severity(0xFA17, 1.0)), true);
+    let f = report.faults.expect("plan armed");
+    assert!(f.corrupted_transfers > 0, "no CRC corruption: {f:?}");
+    assert!(f.retransmissions > 0, "no retransmissions: {f:?}");
+    assert!(f.mrr_faults > 0, "no MRR faults: {f:?}");
+    assert!(f.rearbitrations > 0, "no re-arbitrations: {f:?}");
+    assert!(f.electrical_fallbacks > 0, "no electrical fallbacks: {f:?}");
+    assert!(f.media_stalls > 0, "no media stalls: {f:?}");
+    assert!(f.media_retries > 0, "no media retries: {f:?}");
+
+    let summary = report.stages.expect("observability enabled");
+    for name in [
+        "retransmit",
+        "rearbitrate",
+        "fallback-electrical",
+        "media-retry",
+    ] {
+        let row = summary
+            .stages
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing recovery stage row {name}"));
+        assert!(row.count > 0, "{name}: recovery path never recorded");
+        assert!(row.mean_ns.is_finite() && row.mean_ns >= 0.0);
+    }
+}
+
+/// Recovery spans ride the existing trace plumbing: a degraded run's
+/// Chrome trace names the recovery tracks with no extra wiring.
+#[test]
+fn degraded_runs_trace_recovery_stages() {
+    let mut cfg = SystemConfig::quick_test();
+    cfg.faults = Some(FaultPlan::at_severity(0xFA17, 1.0));
+    let spec = workload_by_name("pagerank").unwrap();
+    let mut sys = System::new(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
+    sys.enable_observability();
+    sys.run();
+    let json = sys.chrome_trace().expect("enabled");
+    for name in ["retransmit", "rearbitrate", "media-retry"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{name}\"")),
+            "trace missing {name} spans"
+        );
+    }
+}

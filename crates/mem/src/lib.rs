@@ -39,4 +39,4 @@ pub use protocol::{DdrCommand, DdrTMessage, MemKind, SwapCmd};
 pub use serdes::SerdesFrontend;
 pub use wear::{StartGap, WearStats};
 pub use xpoint::{XPointConfig, XPointMedia};
-pub use xpoint_ctrl::{XPointController, XpCompletion};
+pub use xpoint_ctrl::{XPointController, XpCompletion, XpFaultConfig};

@@ -17,8 +17,23 @@
 //! Channel serialisation time is *not* modelled here; the caller (memory
 //! controller / migration engine) books the channel and hands this
 //! controller the instant at which command+data are present at its pins.
+//!
+//! # Fault model
+//!
+//! The DDR-T protocol exists precisely because XPoint media latency is
+//! nondeterministic (Section II-C): the controller signals readiness
+//! instead of the host counting cycles. The fault-injection subsystem
+//! exploits that slack — [`XPointController::inject_faults`] arms a
+//! deterministic RNG that makes a media operation *stall* with a
+//! configured probability. A stalled op times out after
+//! [`XpFaultConfig::stall`] and is reissued to the media; after
+//! [`XpFaultConfig::max_retries`] reissues the line is *poisoned*
+//! (tracked, counted, served best-effort) rather than retried forever —
+//! the capped-retry → poison escalation surfaced in `SimReport`.
 
-use ohm_sim::{Addr, Calendar, Ps};
+use std::collections::BTreeSet;
+
+use ohm_sim::{Addr, Calendar, Ps, SplitMix64};
 
 use crate::wear::{StartGap, WearStats};
 use crate::xpoint::{XPointConfig, XPointMedia};
@@ -47,6 +62,37 @@ impl Default for XpCtrlConfig {
     }
 }
 
+/// Media fault-injection knobs for one XPoint controller.
+///
+/// All-zero (the default, [`XpFaultConfig::NONE`]) injects nothing and
+/// draws nothing from the RNG, so a controller armed with a quiescent
+/// config is bit-identical to an unarmed one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XpFaultConfig {
+    /// Probability, in parts-per-million per media operation, that the
+    /// operation stalls past its DDR-T window and must be reissued.
+    pub stall_ppm: u32,
+    /// The DDR-T timeout waited before reissuing a stalled operation.
+    pub stall: Ps,
+    /// Reissues allowed before the line is poisoned instead.
+    pub max_retries: u32,
+}
+
+impl XpFaultConfig {
+    /// No injected faults.
+    pub const NONE: XpFaultConfig = XpFaultConfig {
+        stall_ppm: 0,
+        stall: Ps::ZERO,
+        max_retries: 0,
+    };
+}
+
+impl Default for XpFaultConfig {
+    fn default() -> Self {
+        XpFaultConfig::NONE
+    }
+}
+
 /// Completion report for a controller operation.
 ///
 /// Besides the final `ready_at`, the completion carries the internal
@@ -66,6 +112,9 @@ pub struct XpCompletion {
     /// When the operation's result is available at the controller pins
     /// (read data ready / write acknowledged).
     pub ready_at: Ps,
+    /// Media reissues this operation needed (0 on the fault-free path).
+    /// Page operations report the sum over their lines.
+    pub retries: u32,
 }
 
 /// The logic-layer XPoint controller: protocol engine, Start-Gap
@@ -91,6 +140,11 @@ pub struct XPointController {
     engine: Calendar,
     wear_move_reads: u64,
     wear_move_writes: u64,
+    faults: XpFaultConfig,
+    fault_rng: Option<SplitMix64>,
+    media_stalls: u64,
+    media_retries: u64,
+    poisoned: BTreeSet<u64>,
 }
 
 impl XPointController {
@@ -104,6 +158,46 @@ impl XPointController {
             cfg,
             wear_move_reads: 0,
             wear_move_writes: 0,
+            faults: XpFaultConfig::NONE,
+            fault_rng: None,
+            media_stalls: 0,
+            media_retries: 0,
+            poisoned: BTreeSet::new(),
+        }
+    }
+
+    /// Arms media fault injection with a dedicated RNG stream.
+    ///
+    /// A zero `stall_ppm` keeps the controller exactly on the fault-free
+    /// path (no RNG draws), preserving bit-identity with an unarmed run.
+    pub fn inject_faults(&mut self, faults: XpFaultConfig, rng: SplitMix64) {
+        self.faults = faults;
+        self.fault_rng = Some(rng);
+    }
+
+    /// Media operations that stalled past their DDR-T window.
+    pub fn media_stalls(&self) -> u64 {
+        self.media_stalls
+    }
+
+    /// Media reissues performed after stalls.
+    pub fn media_retries(&self) -> u64 {
+        self.media_retries
+    }
+
+    /// Lines poisoned after exhausting their retry budget.
+    pub fn poisoned_lines(&self) -> u64 {
+        self.poisoned.len() as u64
+    }
+
+    /// Whether a stall is drawn for the next media attempt.
+    fn draw_stall(&mut self) -> bool {
+        if self.faults.stall_ppm == 0 {
+            return false;
+        }
+        match self.fault_rng.as_mut() {
+            Some(rng) => rng.next_below(1_000_000) < self.faults.stall_ppm as u64,
+            None => false,
         }
     }
 
@@ -121,6 +215,46 @@ impl XPointController {
         self.map.translate_addr(addr, self.cfg.media.line_bytes)
     }
 
+    fn media_attempt(&mut self, at: Ps, phys: Addr, write: bool) -> Ps {
+        if write {
+            self.media.write(at, phys)
+        } else {
+            self.media.read(at, phys)
+        }
+    }
+
+    /// Issues a media operation, applying the injected stall/retry/poison
+    /// escalation. Returns when the (possibly reissued) operation
+    /// finished, and how many reissues it took.
+    fn faulted_media_op(&mut self, at: Ps, phys: Addr, write: bool) -> (Ps, u32) {
+        let mut done = self.media_attempt(at, phys, write);
+        if self.faults.stall_ppm == 0 || self.fault_rng.is_none() {
+            return (done, 0);
+        }
+        let line = phys.block_index(self.cfg.media.line_bytes);
+        if self.poisoned.contains(&line) {
+            // Already escalated: served best-effort, no further retries.
+            return (done, 0);
+        }
+        let mut retries = 0u32;
+        while self.draw_stall() {
+            self.media_stalls += 1;
+            // The op hung; the DDR-T window expires before we act.
+            let resume = done + self.faults.stall;
+            if retries >= self.faults.max_retries {
+                // Retry budget exhausted: poison the line and serve
+                // best-effort instead of retrying forever.
+                self.poisoned.insert(line);
+                done = resume;
+                break;
+            }
+            retries += 1;
+            self.media_retries += 1;
+            done = self.media_attempt(resume, phys, write);
+        }
+        (done, retries)
+    }
+
     /// Services a line read whose command arrives at `now`.
     ///
     /// The returned time includes protocol-engine occupancy, media access
@@ -129,11 +263,12 @@ impl XPointController {
     pub fn read(&mut self, now: Ps, addr: Addr) -> XpCompletion {
         let (_, ingress_done) = self.engine.book(now, self.cfg.ctrl_overhead);
         let phys = self.translate(addr);
-        let data_at = self.media.read(ingress_done, phys);
+        let (data_at, retries) = self.faulted_media_op(ingress_done, phys, false);
         XpCompletion {
             accepted_at: ingress_done,
             media_done: data_at,
             ready_at: data_at + self.cfg.ddrt_handshake,
+            retries,
         }
     }
 
@@ -143,12 +278,13 @@ impl XPointController {
     /// buffer. Start-Gap rotations triggered by the write are performed
     /// transparently (one media read + one media write), and their cost is
     /// attributed to the media calendars — they never occupy the memory
-    /// channel, exactly as in the paper's logic-layer design.
+    /// channel, exactly as in the paper's logic-layer design. Injected
+    /// stalls apply to the acknowledged write, not the background copies.
     pub fn write(&mut self, now: Ps, addr: Addr) -> XpCompletion {
         let (_, ingress_done) = self.engine.book(now, self.cfg.ctrl_overhead);
         let phys = self.translate(addr);
         let logical_line = addr.block_index(self.cfg.media.line_bytes) % self.map.lines();
-        let ack = self.media.write(ingress_done, phys);
+        let (ack, retries) = self.faulted_media_op(ingress_done, phys, true);
         if let Some(mv) = self.map.record_write(logical_line) {
             let line = self.cfg.media.line_bytes;
             let src = Addr::from_block(mv.from, line);
@@ -162,6 +298,7 @@ impl XPointController {
             accepted_at: ingress_done,
             media_done: ack,
             ready_at: ack + self.cfg.ddrt_handshake,
+            retries,
         }
     }
 
@@ -179,6 +316,7 @@ impl XPointController {
                     accepted_at: a.accepted_at.min(c.accepted_at),
                     media_done: a.media_done.max(c.media_done),
                     ready_at: a.ready_at.max(c.ready_at),
+                    retries: a.retries + c.retries,
                 },
             });
         }
@@ -198,6 +336,7 @@ impl XPointController {
                     accepted_at: a.accepted_at.min(c.accepted_at),
                     media_done: a.media_done.max(c.media_done),
                     ready_at: a.ready_at.max(c.ready_at),
+                    retries: a.retries + c.retries,
                 },
             });
         }
@@ -330,6 +469,73 @@ mod tests {
         assert!(w.accepted_at <= w.media_done && w.media_done <= w.ready_at);
         let p = c.read_page(w.ready_at, Addr::new(0), 4);
         assert!(p.accepted_at <= p.media_done && p.media_done <= p.ready_at);
+    }
+
+    #[test]
+    fn quiescent_fault_config_is_bit_identical() {
+        let mut plain = XPointController::new(small());
+        let mut armed = XPointController::new(small());
+        armed.inject_faults(XpFaultConfig::NONE, SplitMix64::new(42));
+        for i in 0..32 {
+            let a = plain.read(Ps::ZERO, Addr::new(i * 256));
+            let b = armed.read(Ps::ZERO, Addr::new(i * 256));
+            assert_eq!(a, b);
+            let a = plain.write(Ps::ZERO, Addr::new(i * 512));
+            let b = armed.write(Ps::ZERO, Addr::new(i * 512));
+            assert_eq!(a, b);
+        }
+        assert_eq!(armed.media_stalls(), 0);
+        assert_eq!(armed.media_retries(), 0);
+        assert_eq!(armed.poisoned_lines(), 0);
+    }
+
+    #[test]
+    fn stalls_reissue_and_lengthen_the_media_stage() {
+        let mut c = XPointController::new(small());
+        c.inject_faults(
+            XpFaultConfig {
+                stall_ppm: 500_000, // every other op, statistically
+                stall: Ps::from_ns(100),
+                max_retries: 4,
+            },
+            SplitMix64::new(7),
+        );
+        let baseline = XPointController::new(small()).read(Ps::ZERO, Addr::new(0));
+        let mut saw_retry = false;
+        for i in 0..64 {
+            let done = c.read(Ps::ZERO, Addr::new((i % 8) * 256));
+            assert!(done.accepted_at <= done.media_done && done.media_done <= done.ready_at);
+            if done.retries > 0 {
+                saw_retry = true;
+                assert!(
+                    done.ready_at - done.accepted_at > baseline.ready_at - baseline.accepted_at
+                );
+            }
+        }
+        assert!(saw_retry, "50% stall rate over 64 reads must retry");
+        assert!(c.media_stalls() >= c.media_retries());
+        assert!(c.media_retries() > 0);
+    }
+
+    #[test]
+    fn exhausted_retries_poison_the_line() {
+        let mut c = XPointController::new(small());
+        c.inject_faults(
+            XpFaultConfig {
+                stall_ppm: 1_000_000, // always stall
+                stall: Ps::from_ns(50),
+                max_retries: 2,
+            },
+            SplitMix64::new(3),
+        );
+        let done = c.read(Ps::ZERO, Addr::new(0));
+        // Always-stall exhausts the budget on the first op.
+        assert_eq!(done.retries, 2);
+        assert_eq!(c.poisoned_lines(), 1);
+        // A poisoned line is served best-effort without further draws.
+        let again = c.read(done.ready_at, Addr::new(0));
+        assert_eq!(again.retries, 0);
+        assert_eq!(c.poisoned_lines(), 1);
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //! BER of 7.2×10⁻¹⁶ (Figure 20b). The *relationships* (longer paths and
 //! power splits degrade BER, laser scaling restores it) are structural;
 //! only the single anchor point is calibrated.
+//!
+//! The fault-injection subsystem (`ohm-core`) reuses this model to turn
+//! analytical BER into injected transfer corruption: a fault plan's
+//! Q-derate divides the live Q-factor of the platform's worst path, and
+//! the resulting per-bit error rate — via [`ber_from_q`] — becomes the
+//! probability that a transfer fails CRC and must retransmit. The same
+//! curve that proves the design meets 10⁻¹⁵ (Section VI-E) thus also
+//! drives its degraded-mode behaviour.
 
 use crate::power::{OpticalPathLoss, OpticalPowerModel};
 

@@ -17,6 +17,17 @@
 //! How the two routes share light depends on [`DualRouteMode`]: with WOM
 //! coding the data route pays the 2/3 bandwidth factor while a migration
 //! is in flight; with half-coupled-MRR transmitters it runs at full speed.
+//!
+//! # Degraded operation
+//!
+//! The fault-injection subsystem (`ohm-core`) can declare a VC *faulty*
+//! for a window of simulated time — modelling a stuck or drifting demux
+//! ring that can no longer select targets reliably. The channel itself
+//! stays policy-free: it only records the health window
+//! ([`OpticalChannel::mark_vc_faulty`]) and answers queries
+//! ([`OpticalChannel::vc_faulty`], [`OpticalChannel::healthiest_vc`]);
+//! the fabric layer decides whether to re-arbitrate a transfer onto a
+//! healthy wavelength or fall back to the electrical path.
 
 use ohm_sim::{Freq, Ps, TaggedCalendar};
 
@@ -153,6 +164,7 @@ struct VirtualChannel {
     memory_route: TaggedCalendar,
     current_target: Option<usize>,
     target_switches: u64,
+    faulty_until: Ps,
 }
 
 impl VirtualChannel {
@@ -162,6 +174,7 @@ impl VirtualChannel {
             memory_route: TaggedCalendar::new(2),
             current_target: None,
             target_switches: 0,
+            faulty_until: Ps::ZERO,
         }
     }
 }
@@ -341,6 +354,31 @@ impl OpticalChannel {
     /// When the data route of `vc` next becomes free.
     pub fn data_route_free_at(&self, vc: usize) -> Ps {
         self.vcs[vc].data_route.next_free()
+    }
+
+    /// Declares `vc` faulty until `until` (exclusive): its demux cannot
+    /// be trusted to select targets during that window. Extends any
+    /// existing window rather than shrinking it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn mark_vc_faulty(&mut self, vc: usize, until: Ps) {
+        let w = &mut self.vcs[vc].faulty_until;
+        *w = (*w).max(until);
+    }
+
+    /// Whether `vc` is inside a declared fault window at `now`.
+    pub fn vc_faulty(&self, vc: usize, now: Ps) -> bool {
+        now < self.vcs[vc].faulty_until
+    }
+
+    /// The healthy VC whose data route frees up earliest at `now`
+    /// (lowest index wins ties), or `None` if every VC is faulty.
+    pub fn healthiest_vc(&self, now: Ps) -> Option<usize> {
+        (0..self.vcs.len())
+            .filter(|&i| !self.vc_faulty(i, now))
+            .min_by_key(|&i| (self.vcs[i].data_route.next_free(), i))
     }
 
     /// When the memory route of `vc` next becomes free.
@@ -629,6 +667,37 @@ mod tests {
         );
         // Drain empties the log.
         assert!(ch.drain_intervals().is_empty());
+    }
+
+    #[test]
+    fn fault_windows_expire_and_extend() {
+        let mut ch = chan(DualRouteMode::Serialized);
+        assert!(!ch.vc_faulty(2, Ps::ZERO));
+        ch.mark_vc_faulty(2, Ps::from_ns(5));
+        assert!(ch.vc_faulty(2, Ps::from_ns(4)));
+        assert!(!ch.vc_faulty(2, Ps::from_ns(5)));
+        // Extending forward works; shrinking is ignored.
+        ch.mark_vc_faulty(2, Ps::from_ns(8));
+        ch.mark_vc_faulty(2, Ps::from_ns(1));
+        assert!(ch.vc_faulty(2, Ps::from_ns(7)));
+    }
+
+    #[test]
+    fn healthiest_vc_skips_faulty_and_busy() {
+        let mut ch = chan(DualRouteMode::Serialized);
+        // Idle channel: lowest index wins.
+        assert_eq!(ch.healthiest_vc(Ps::ZERO), Some(0));
+        // Make VC 0 faulty and VC 1 busy: VC 2 is next best.
+        ch.mark_vc_faulty(0, Ps::from_us(1));
+        ch.transfer(Ps::ZERO, 1, 1 << 16, TrafficClass::Demand, 0);
+        assert_eq!(ch.healthiest_vc(Ps::ZERO), Some(2));
+        // All VCs faulty: no candidate.
+        for vc in 0..ch.vc_count() {
+            ch.mark_vc_faulty(vc, Ps::from_us(1));
+        }
+        assert_eq!(ch.healthiest_vc(Ps::ZERO), None);
+        // Windows expire: after the window everything is healthy again.
+        assert_eq!(ch.healthiest_vc(Ps::from_us(1)), Some(0));
     }
 
     #[test]

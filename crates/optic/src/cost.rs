@@ -97,7 +97,7 @@ impl MrrLayout {
 }
 
 /// Fabrication cost of micro-rings in dollars (Table III: ~2,100 rings for
-/// $3, after [Hausken]).
+/// $3, after \[Hausken\]).
 pub const MRR_UNIT_COST_USD: f64 = 3.0 / 2112.0;
 
 /// Cost of a VCSEL laser source array (Table III).

@@ -28,6 +28,15 @@
 //!   Q-factor model (Figure 20b).
 //! * [`cost`] — MRR layout counts per operational mode (Figure 15) and the
 //!   component cost model behind Table III.
+//!
+//! # Fault injection
+//!
+//! Components expose *mechanisms* for degraded operation — stuck/drifted
+//! ring health ([`mrr::RingHealth`]), per-VC fault windows and healthy-VC
+//! queries ([`channel::OpticalChannel::mark_vc_faulty`],
+//! [`channel::OpticalChannel::healthiest_vc`]) — while the *policy*
+//! (when to inject, how to recover) lives in `ohm-core`'s fault plan.
+//! See DESIGN.md §"Fault & recovery model".
 
 #![warn(missing_docs)]
 
@@ -50,7 +59,7 @@ pub use channel::{
 };
 pub use cost::{MrrLayout, OperationalMode};
 pub use electrical::{ElectricalChannel, ElectricalConfig};
-pub use mrr::{CouplingState, MicroRing, MrrKind};
+pub use mrr::{CouplingState, MicroRing, MrrKind, RingHealth};
 pub use power::{OpticalPathLoss, OpticalPowerModel};
 pub use waveguide::WaveguideLayout;
 pub use wavelength::{Wavelength, WdmGrid};

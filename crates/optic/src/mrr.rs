@@ -13,6 +13,17 @@
 //! (the paper's motivation for deploying *arrays* of pre-tuned rings
 //! instead of retuning one ring on the fly). Tuning energy is 200 fJ/bit
 //! (Table I).
+//!
+//! # Fault model
+//!
+//! Real rings are thermally sensitive: the resonance point wanders with
+//! temperature, and a failed heater leaves a ring pinned wherever it
+//! last sat. The fault-injection subsystem models both as [`RingHealth`]
+//! states: a *stuck* ring ignores retune requests entirely until
+//! repaired, while a *drifted* ring must pay the fine-granule tuning
+//! latency on its next retune — even one that would otherwise be free —
+//! to re-acquire lock. Fault injection is driven from the fabric layer
+//! (`ohm-core`); this module only supplies the mechanism.
 
 use ohm_sim::Ps;
 
@@ -60,6 +71,19 @@ pub const FINE_TUNE: Ps = Ps::from_ps(500);
 /// Tuning energy per modulated/detected bit, in femtojoules (Table I).
 pub const TUNING_ENERGY_FJ_PER_BIT: f64 = 200.0;
 
+/// Tuning health of a ring, used by the fault-injection subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RingHealth {
+    /// Heater and tuning loop track normally.
+    #[default]
+    Healthy,
+    /// Heater failed: the ring cannot leave its current state.
+    Stuck,
+    /// Thermal drift: the next retune must pay the fine-granule latency
+    /// to re-acquire lock, even if the target equals the current state.
+    Drifted,
+}
+
 /// An active micro-ring resonator.
 ///
 /// # Example
@@ -77,7 +101,9 @@ pub const TUNING_ENERGY_FJ_PER_BIT: f64 = 200.0;
 pub struct MicroRing {
     kind: MrrKind,
     state: CouplingState,
+    health: RingHealth,
     retunes: u64,
+    failed_retunes: u64,
     bits_handled: u64,
 }
 
@@ -87,7 +113,9 @@ impl MicroRing {
         MicroRing {
             kind,
             state: CouplingState::NonCoupled,
+            health: RingHealth::Healthy,
             retunes: 0,
+            failed_retunes: 0,
             bits_handled: 0,
         }
     }
@@ -102,11 +130,56 @@ impl MicroRing {
         self.state
     }
 
+    /// Current tuning health.
+    pub fn health(&self) -> RingHealth {
+        self.health
+    }
+
+    /// Injects a stuck-heater fault: retunes fail until [`MicroRing::repair`].
+    pub fn inject_stick(&mut self) {
+        self.health = RingHealth::Stuck;
+    }
+
+    /// Injects thermal drift: the next retune pays the fine-granule
+    /// latency to re-acquire lock, which clears the drift.
+    pub fn inject_drift(&mut self) {
+        self.health = RingHealth::Drifted;
+    }
+
+    /// Restores the ring to healthy tracking.
+    pub fn repair(&mut self) {
+        self.health = RingHealth::Healthy;
+    }
+
+    /// Retunes attempted while the ring was stuck.
+    pub fn failed_retunes(&self) -> u64 {
+        self.failed_retunes
+    }
+
     /// Retunes the ring to `target`, returning when the new state is
     /// stable. Entering or leaving the half-coupled point pays the
     /// fine-granule tuning latency; other transitions pay the coarse one.
     /// Retuning to the current state is free.
+    ///
+    /// Fault interactions: a [`RingHealth::Stuck`] ring ignores the
+    /// request (state unchanged, returns `now`, counted in
+    /// [`MicroRing::failed_retunes`]); a [`RingHealth::Drifted`] ring
+    /// pays [`FINE_TUNE`] even for a same-state retune, after which the
+    /// drift is cleared.
     pub fn retune(&mut self, now: Ps, target: CouplingState) -> Ps {
+        match self.health {
+            RingHealth::Stuck => {
+                self.failed_retunes += 1;
+                return now;
+            }
+            RingHealth::Drifted => {
+                self.health = RingHealth::Healthy;
+                self.state = target;
+                self.retunes += 1;
+                return now + FINE_TUNE;
+            }
+            RingHealth::Healthy => {}
+        }
         if target == self.state {
             return now;
         }
@@ -170,6 +243,35 @@ mod tests {
         let t = r.retune(Ps::from_ns(1), CouplingState::NonCoupled);
         assert_eq!(t, Ps::from_ns(1));
         assert_eq!(r.retunes(), 0);
+    }
+
+    #[test]
+    fn stuck_ring_ignores_retunes_until_repaired() {
+        let mut r = MicroRing::new(MrrKind::Detector);
+        r.inject_stick();
+        assert_eq!(r.health(), RingHealth::Stuck);
+        let t = r.retune(Ps::from_ns(3), CouplingState::Coupled);
+        assert_eq!(t, Ps::from_ns(3));
+        assert_eq!(r.state(), CouplingState::NonCoupled);
+        assert_eq!(r.failed_retunes(), 1);
+        assert_eq!(r.retunes(), 0);
+
+        r.repair();
+        let t = r.retune(t, CouplingState::Coupled);
+        assert_eq!(t, Ps::from_ns(3) + COARSE_TUNE);
+        assert_eq!(r.state(), CouplingState::Coupled);
+    }
+
+    #[test]
+    fn drifted_ring_pays_fine_tune_once() {
+        let mut r = MicroRing::new(MrrKind::Detector);
+        r.inject_drift();
+        // Same-state retune is no longer free: lock must be re-acquired.
+        let t = r.retune(Ps::ZERO, CouplingState::NonCoupled);
+        assert_eq!(t, FINE_TUNE);
+        assert_eq!(r.health(), RingHealth::Healthy);
+        // Drift cleared; same-state retunes are free again.
+        assert_eq!(r.retune(t, CouplingState::NonCoupled), t);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Deterministic exponential backoff schedules.
+//!
+//! Recovery paths (optical retransmission, DDR-T media retries) space
+//! their attempts with exponential backoff so a persistently faulty
+//! resource is not hammered at wire speed. The schedule is pure integer
+//! arithmetic over [`Ps`] — the same attempt number always produces the
+//! same delay, which the workspace's bit-identical-replay guarantee
+//! (same seed + same fault plan ⇒ same report) depends on.
+
+use crate::time::Ps;
+
+/// An exponential backoff schedule: `delay(n) = base · 2^(n-1)`, capped.
+///
+/// Attempt numbers are 1-based; attempt 0 (the initial try) carries no
+/// delay. The doubling saturates instead of wrapping, so arbitrarily
+/// large attempt numbers are safe and simply return [`ExponentialBackoff::cap`].
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::{ExponentialBackoff, Ps};
+///
+/// let b = ExponentialBackoff {
+///     base: Ps::from_ns(2),
+///     cap: Ps::from_ns(12),
+/// };
+/// assert_eq!(b.delay(0), Ps::ZERO);        // initial attempt
+/// assert_eq!(b.delay(1), Ps::from_ns(2));  // first retry
+/// assert_eq!(b.delay(2), Ps::from_ns(4));
+/// assert_eq!(b.delay(3), Ps::from_ns(8));
+/// assert_eq!(b.delay(4), Ps::from_ns(12)); // capped
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExponentialBackoff {
+    /// Delay before the first retry.
+    pub base: Ps,
+    /// Upper bound on any single delay.
+    pub cap: Ps,
+}
+
+impl ExponentialBackoff {
+    /// A schedule that never waits (all delays are zero).
+    pub const NONE: ExponentialBackoff = ExponentialBackoff {
+        base: Ps::ZERO,
+        cap: Ps::ZERO,
+    };
+
+    /// The delay before retry `attempt` (1-based); attempt 0 is free.
+    pub fn delay(&self, attempt: u32) -> Ps {
+        if attempt == 0 || self.base == Ps::ZERO {
+            return Ps::ZERO;
+        }
+        let shift = (attempt - 1).min(63);
+        let ps = self.base.as_ps().saturating_mul(1u64 << shift);
+        Ps::from_ps(ps).min(self.cap)
+    }
+
+    /// Total delay accumulated over retries `1..=attempts`.
+    pub fn total_delay(&self, attempts: u32) -> Ps {
+        (1..=attempts).fold(Ps::ZERO, |acc, a| acc + self.delay(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_cap() {
+        let b = ExponentialBackoff {
+            base: Ps::from_ps(100),
+            cap: Ps::from_ps(450),
+        };
+        assert_eq!(b.delay(1), Ps::from_ps(100));
+        assert_eq!(b.delay(2), Ps::from_ps(200));
+        assert_eq!(b.delay(3), Ps::from_ps(400));
+        assert_eq!(b.delay(4), Ps::from_ps(450));
+        assert_eq!(b.delay(100), Ps::from_ps(450));
+    }
+
+    #[test]
+    fn attempt_zero_is_free() {
+        let b = ExponentialBackoff {
+            base: Ps::from_ns(1),
+            cap: Ps::from_ns(8),
+        };
+        assert_eq!(b.delay(0), Ps::ZERO);
+    }
+
+    #[test]
+    fn none_schedule_never_waits() {
+        assert_eq!(ExponentialBackoff::NONE.delay(1), Ps::ZERO);
+        assert_eq!(ExponentialBackoff::NONE.delay(17), Ps::ZERO);
+        assert_eq!(ExponentialBackoff::NONE.total_delay(5), Ps::ZERO);
+    }
+
+    #[test]
+    fn huge_attempts_saturate_instead_of_wrapping() {
+        let b = ExponentialBackoff {
+            base: Ps::from_ps(u64::MAX / 2),
+            cap: Ps::MAX,
+        };
+        assert_eq!(b.delay(200), Ps::MAX);
+    }
+
+    #[test]
+    fn total_delay_sums_the_schedule() {
+        let b = ExponentialBackoff {
+            base: Ps::from_ps(10),
+            cap: Ps::from_ps(40),
+        };
+        // 10 + 20 + 40 + 40 = 110
+        assert_eq!(b.total_delay(4), Ps::from_ps(110));
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod backoff;
 pub mod event;
 pub mod resource;
 pub mod rng;
@@ -44,6 +45,7 @@ pub mod stats;
 pub mod time;
 
 pub use addr::Addr;
+pub use backoff::ExponentialBackoff;
 pub use event::EventQueue;
 pub use resource::{Calendar, TaggedCalendar};
 pub use rng::SplitMix64;
