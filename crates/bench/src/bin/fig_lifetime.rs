@@ -1,0 +1,140 @@
+//! Lifetime sweep — performance and capacity as the XPoint tier ages.
+//!
+//! Not a paper figure: the paper sizes the heterogeneous tier at its
+//! day-one capacity and leaves endurance as a lifetime *projection*
+//! (Section V's Start-Gap discussion). This harness closes the loop:
+//! it sweeps the accelerated-aging endurance budget of a
+//! [`LifecyclePlan`] downward — each step compressing more device
+//! lifetime into one simulated kernel — and reports IPC, memory latency,
+//! the ECC/retirement tallies and the *effective* XPoint capacity after
+//! wear-out. Expected shape: monotone non-increasing IPC and capacity as
+//! the media ages, with the run surviving 100% spare exhaustion on the
+//! best-effort dead-line path.
+//!
+//! `--smoke` runs the quick-test configuration over a reduced sweep for
+//! the scheduled CI soak job.
+
+use ohm_bench::{f3, print_header, print_row};
+use ohm_core::config::SystemConfig;
+use ohm_core::fault::LifecyclePlan;
+use ohm_core::system::System;
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::workload_by_name;
+
+/// Seed for the sweep's lifecycle plans (fixed: reruns are bit-identical).
+const LIFECYCLE_SEED: u64 = 0x11FE;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Endurance budget per wear bucket; 0 = lifecycle disabled (fresh
+    // device). Shrinking the budget compresses more aging into the run:
+    // 64 writes/bucket outlives this kernel untouched, 16 starts eating
+    // spares, 8 and 4 push past spare exhaustion into best-effort dead
+    // lines. (Below ~4 the planner has pinned so much of the hot set in
+    // DRAM that migration savings offset the media penalty and IPC
+    // plateaus; the sweep stops where degradation is still monotone.)
+    let endurances: &[u64] = if smoke {
+        &[0, 2, 1]
+    } else {
+        &[0, 64, 16, 8, 4]
+    };
+    let spec = workload_by_name("pagerank").unwrap();
+    println!(
+        "Lifetime: Ohm-WOM planar / pagerank under accelerated XPoint aging{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let widths = [9, 7, 8, 9, 8, 8, 9, 7, 8, 9, 8];
+    print_header(
+        &[
+            "endurance",
+            "ipc",
+            "lat_ns",
+            "ecc_corr",
+            "ecc_unc",
+            "retired",
+            "spares",
+            "dead",
+            "usable",
+            "eff_ratio",
+            "pinned",
+        ],
+        &widths,
+    );
+
+    let mut last = None;
+    for &e in endurances {
+        let mut cfg = if smoke {
+            SystemConfig::quick_test()
+        } else {
+            SystemConfig::evaluation()
+        };
+        cfg.lifecycle = (e > 0).then(|| LifecyclePlan::accelerated(LIFECYCLE_SEED, e));
+        let mut sys = System::new(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
+        sys.enable_observability();
+        let report = sys.run();
+        let w = report.wear.clone().unwrap_or_default();
+        let planner = w.planner.unwrap_or(ohm_core::metrics::PlannerWear {
+            pinned: 0,
+            usable_fraction: 1.0,
+            effective_ratio: cfg.memory.planar_ratio as f64,
+        });
+        print_row(
+            &[
+                if e == 0 {
+                    "fresh".to_string()
+                } else {
+                    e.to_string()
+                },
+                f3(report.ipc),
+                format!("{:.1}", report.avg_mem_latency_ns),
+                w.ecc_corrected.to_string(),
+                w.ecc_uncorrectable.to_string(),
+                w.retired_lines.to_string(),
+                format!("{}/{}", w.spares_used, w.spares_total),
+                w.dead_lines.to_string(),
+                format!("{:.4}", if e == 0 { 1.0 } else { w.usable_capacity }),
+                format!("{:.3}", planner.effective_ratio),
+                planner.pinned.to_string(),
+            ],
+            &widths,
+        );
+        last = Some(report);
+    }
+
+    // The lifecycle actions as first-class stages at the oldest point.
+    let oldest = last.expect("ran at least one endurance");
+    let summary = oldest.stages.expect("observability enabled");
+    println!(
+        "\nlifecycle stages at endurance {}:",
+        endurances.last().unwrap()
+    );
+    for name in ["ecc-correct", "line-retire", "remap-spare"] {
+        if let Some(row) = summary.stages.iter().find(|r| r.name == name) {
+            println!(
+                "  {:<14} count {:>8}  mean {:>9.1} ns  p99 {:>9.1} ns",
+                row.name, row.count, row.mean_ns, row.p99_ns
+            );
+        }
+    }
+    if let Some(w) = &oldest.wear {
+        if let (Some(first), Some(last)) = (w.capacity_curve.first(), w.capacity_curve.last()) {
+            println!(
+                "\neffective-capacity curve: {} samples, first escalation at {} \
+                 (usable {:.4}), final at {} (usable {:.4})",
+                w.capacity_curve.len(),
+                first.0,
+                first.1,
+                last.0,
+                last.1
+            );
+        }
+    }
+    println!(
+        "\n(endurance is the accelerated-aging write budget per wear bucket; \
+         'fresh' disables the lifecycle — the day-one device of Figure 16. \
+         Retired lines remap into spares until 'spares' exhausts, then die \
+         best-effort and shrink usable capacity; the planar planner pins \
+         hot pages in DRAM instead of demoting onto dead media.)"
+    );
+}

@@ -15,7 +15,7 @@ use ohm_sim::Freq;
 use ohm_sim::Ps;
 use ohm_sm::{CacheConfig, InterconnectConfig, SmConfig};
 
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, LifecyclePlan};
 
 /// GPU front-end configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +141,10 @@ pub struct SystemConfig {
     /// Optional fault-injection plan. `None` (the default) runs the
     /// fault-free fast path; see [`crate::fault`] for the model.
     pub faults: Option<FaultPlan>,
+    /// Optional wear-out lifecycle plan for the XPoint tier. `None` (the
+    /// default) runs the lifecycle-free fast path; see
+    /// [`crate::fault::LifecyclePlan`].
+    pub lifecycle: Option<LifecyclePlan>,
 }
 
 impl Default for SystemConfig {
@@ -154,6 +158,7 @@ impl Default for SystemConfig {
             line_bytes: 128,
             seed: 0x07_4D_67_50,
             faults: None,
+            lifecycle: None,
         }
     }
 }
@@ -180,6 +185,8 @@ pub enum ConfigError {
     ZeroBudget,
     /// A fault-plan field is outside its valid range.
     BadFaultPlan(&'static str),
+    /// A lifecycle-plan field is outside its valid range.
+    BadLifecyclePlan(&'static str),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -197,6 +204,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroRatio(what) => write!(f, "{what} must be positive"),
             ConfigError::ZeroBudget => write!(f, "instructions per warp must be positive"),
             ConfigError::BadFaultPlan(what) => write!(f, "fault plan: {what}"),
+            ConfigError::BadLifecyclePlan(what) => write!(f, "lifecycle plan: {what}"),
         }
     }
 }
@@ -256,6 +264,24 @@ impl SystemConfig {
             if plan.xpoint.stall_ppm > 1_000_000 {
                 return Err(ConfigError::BadFaultPlan(
                     "xpoint stall_ppm must be <= 1,000,000",
+                ));
+            }
+        }
+        if let Some(plan) = &self.lifecycle {
+            let xp = &plan.xpoint;
+            if !xp.ecc_onset.is_finite() || !(0.0..1.0).contains(&xp.ecc_onset) {
+                return Err(ConfigError::BadLifecyclePlan(
+                    "ecc_onset must be finite and in [0, 1)",
+                ));
+            }
+            if xp.ecc_correctable_ppm > 1_000_000 || xp.ecc_uncorrectable_ppm > 1_000_000 {
+                return Err(ConfigError::BadLifecyclePlan(
+                    "ECC rates must be <= 1,000,000 ppm",
+                ));
+            }
+            if xp.endurance_jitter_pct >= 100 {
+                return Err(ConfigError::BadLifecyclePlan(
+                    "endurance_jitter_pct must be < 100",
                 ));
             }
         }
@@ -432,6 +458,34 @@ mod tests {
         bad.faults.as_mut().unwrap().xpoint.stall_ppm = 2_000_000;
         let err = bad.validate().unwrap_err();
         assert!(err.to_string().contains("fault plan"), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_lifecycle_plans() {
+        let mut cfg = SystemConfig::quick_test();
+        cfg.lifecycle = Some(LifecyclePlan::accelerated(7, 10_000));
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.lifecycle = Some(LifecyclePlan::quiescent(7));
+        assert_eq!(cfg.validate(), Ok(()));
+
+        let mut bad = cfg.clone();
+        bad.lifecycle.as_mut().unwrap().xpoint.ecc_onset = 1.5;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::BadLifecyclePlan(_))
+        ));
+
+        let mut bad = cfg.clone();
+        bad.lifecycle.as_mut().unwrap().xpoint.ecc_correctable_ppm = 2_000_000;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::BadLifecyclePlan(_))
+        ));
+
+        let mut bad = cfg;
+        bad.lifecycle.as_mut().unwrap().xpoint.endurance_jitter_pct = 100;
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("lifecycle plan"), "{err}");
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //! bit-identical to running with no plan at all. DESIGN.md §"Fault &
 //! recovery model" states the full contract.
 
-use ohm_mem::XpFaultConfig;
+use ohm_mem::{XpFaultConfig, XpLifecycleConfig};
 use ohm_sim::{ExponentialBackoff, Ps};
 
 use crate::system::Stage;
@@ -133,6 +133,62 @@ impl FaultPlan {
     }
 }
 
+/// A deterministic wear-out lifecycle plan for one run: the endurance,
+/// ECC, and spare-provisioning knobs of the XPoint tier's end of life
+/// (see [`ohm_mem::lifecycle`]).
+///
+/// Orthogonal to [`FaultPlan`]: faults are *transient* events injected on
+/// an otherwise healthy device, while the lifecycle is the *permanent*
+/// aging of the media itself. The two share the determinism contract —
+/// all randomness forks from [`LifecyclePlan::seed`], and a quiescent
+/// plan is bit-identical to running with no plan at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecyclePlan {
+    /// Root seed for the per-controller lifecycle RNG streams
+    /// (independent of workload and fault seeds).
+    pub seed: u64,
+    /// XPoint endurance/ECC/spare knobs.
+    pub xpoint: XpLifecycleConfig,
+}
+
+impl LifecyclePlan {
+    /// A plan under which nothing ever wears out. Controllers are not
+    /// armed and no RNG is drawn — the determinism baseline.
+    pub fn quiescent(seed: u64) -> Self {
+        LifecyclePlan {
+            seed,
+            xpoint: XpLifecycleConfig::NONE,
+        }
+    }
+
+    /// An accelerated-aging plan: `endurance_writes` is the per-bucket
+    /// write budget (see [`ohm_mem::lifecycle`]) with 10% process
+    /// variation, ECC onset at 50% wear, a correctable:uncorrectable
+    /// ratio of 10:1 at full wear, and 32 spare lines per controller.
+    /// Sweeping the budget downward is the `fig_lifetime` aging axis.
+    pub fn accelerated(seed: u64, endurance_writes: u64) -> Self {
+        if endurance_writes == 0 {
+            return LifecyclePlan::quiescent(seed);
+        }
+        LifecyclePlan {
+            seed,
+            xpoint: XpLifecycleConfig {
+                endurance_writes,
+                endurance_jitter_pct: 10,
+                ecc_onset: 0.5,
+                ecc_correctable_ppm: 200_000,
+                ecc_uncorrectable_ppm: 20_000,
+                spare_lines: 32,
+            },
+        }
+    }
+
+    /// Whether the plan can age anything at all.
+    pub fn is_quiescent(&self) -> bool {
+        self.xpoint.is_disabled()
+    }
+}
+
 /// Fabric-side fault/recovery counters, surfaced through
 /// [`FaultReport`](crate::metrics::FaultReport).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -192,5 +248,16 @@ mod tests {
     #[should_panic(expected = "severity")]
     fn severity_out_of_range_rejected() {
         let _ = FaultPlan::at_severity(0, 1.5);
+    }
+
+    #[test]
+    fn lifecycle_plan_quiescence() {
+        assert!(LifecyclePlan::quiescent(7).is_quiescent());
+        assert!(LifecyclePlan::accelerated(7, 0).is_quiescent());
+        let aging = LifecyclePlan::accelerated(7, 10_000);
+        assert!(!aging.is_quiescent());
+        assert_eq!(aging.xpoint.endurance_writes, 10_000);
+        assert!(aging.xpoint.spare_lines > 0);
+        assert!(aging.xpoint.ecc_correctable_ppm > aging.xpoint.ecc_uncorrectable_ppm);
     }
 }

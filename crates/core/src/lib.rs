@@ -60,8 +60,8 @@ pub mod system;
 mod trace;
 
 pub use config::{ConfigError, SystemConfig};
-pub use fault::{FaultCounters, FaultPlan, RecoveryEvent};
-pub use metrics::{FaultReport, SimReport};
+pub use fault::{FaultCounters, FaultPlan, LifecyclePlan, RecoveryEvent};
+pub use metrics::{FaultReport, SimReport, WearReport};
 pub use system::System;
 
 // Re-export the vocabulary types users need alongside this crate.

@@ -156,7 +156,10 @@ pub struct FaultReport {
     pub media_stalls: u64,
     /// XPoint media reissues (DDR-T retries).
     pub media_retries: u64,
-    /// Lines poisoned after exhausting their media-retry budget.
+    /// Lines poisoned after exhausting their *injected-fault* media-retry
+    /// budget. Wear-retirement escalations are counted separately in
+    /// [`WearReport::dead_lines`], so this tally stays comparable with
+    /// injection-only reference runs (`fig_resilience`).
     pub poisoned_lines: u64,
 }
 
@@ -166,6 +169,53 @@ impl FaultReport {
     pub fn total_recoveries(&self) -> u64 {
         self.retransmissions + self.rearbitrations + self.electrical_fallbacks + self.media_retries
     }
+}
+
+/// Planner-side view of capacity degradation, reported by the memory
+/// backend (planar or two-level) when the XPoint tier loses lines.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlannerWear {
+    /// Planner actions suppressed by retirement: planar hot-page swaps
+    /// pinned in DRAM, or two-level fills bypassed.
+    pub pinned: u64,
+    /// Mean usable fraction of the planner's XPoint window across
+    /// controllers (1.0 = nothing retired).
+    pub usable_fraction: f64,
+    /// Effective XPoint:DRAM ratio after retirement (planar mode; equals
+    /// the usable fraction times the configured ratio).
+    pub effective_ratio: f64,
+}
+
+/// Wear-out lifecycle tallies of one run.
+///
+/// Only populated when the run's
+/// [`SystemConfig`](crate::config::SystemConfig) carried a
+/// [`LifecyclePlan`](crate::fault::LifecyclePlan); like [`FaultReport`]
+/// it is deliberately not part of the CSV row. Controller counters are
+/// summed across MCs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WearReport {
+    /// Logical lines retired (remapped into spares or escalated).
+    pub retired_lines: u64,
+    /// Spare slots consumed by retirement remaps.
+    pub spares_used: u64,
+    /// Spare slots provisioned across all controllers.
+    pub spares_total: u64,
+    /// Correctable ECC errors fixed transparently.
+    pub ecc_corrected: u64,
+    /// Uncorrectable ECC errors (each retired a line).
+    pub ecc_uncorrectable: u64,
+    /// Lines dead past the spare budget — lost capacity.
+    pub dead_lines: u64,
+    /// Fraction of the XPoint line space still usable at the end of the
+    /// run (dead lines excluded), in `[0, 1]`.
+    pub usable_capacity: f64,
+    /// Effective-capacity curve: `(when, usable fraction)` samples taken
+    /// at spare-exhausted escalations, merged across controllers and
+    /// downsampled. Monotone non-increasing in the second component.
+    pub capacity_curve: Vec<(Ps, f64)>,
+    /// Planner-side degradation view, when the backend reports one.
+    pub planner: Option<PlannerWear>,
 }
 
 /// The result of one full-system simulation.
@@ -214,6 +264,9 @@ pub struct SimReport {
     /// Fault/recovery tallies; `Some` only when the run carried a
     /// fault plan. Not exported to CSV.
     pub faults: Option<FaultReport>,
+    /// Wear-out lifecycle tallies; `Some` only when the run carried a
+    /// lifecycle plan. Not exported to CSV.
+    pub wear: Option<WearReport>,
 }
 
 impl SimReport {
@@ -303,6 +356,7 @@ mod tests {
             wear_imbalance: 1.0,
             stages: None,
             faults: None,
+            wear: None,
         }
     }
 

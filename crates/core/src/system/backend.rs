@@ -24,7 +24,7 @@ use ohm_sim::{Addr, Ps};
 use ohm_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
-use crate::metrics::HostReport;
+use crate::metrics::{HostReport, PlannerWear};
 
 use super::memory::{MemEnv, CMD_BITS, DEV_DRAM, DEV_XPOINT};
 use super::origin::OriginBackend;
@@ -49,6 +49,20 @@ pub trait MemoryBackend {
 
     /// The host-staging breakdown, for platforms that stage over a host.
     fn host_report(&self) -> Option<HostReport> {
+        None
+    }
+
+    /// Tells the backend that the XPoint line at `xpoint_addr` on
+    /// controller `mc` is permanently lost (wear retirement past the
+    /// spare budget, or an injected-fault poison under an armed
+    /// lifecycle): the page containing it must vanish from future
+    /// swap/migration targets. Default: ignore (platforms without an
+    /// XPoint tier, or without capacity planning).
+    fn retire_xpoint_line(&mut self, _mc: usize, _xpoint_addr: Addr) {}
+
+    /// Planner-side capacity-degradation view, for backends that track
+    /// one (see [`PlannerWear`]).
+    fn planner_wear(&self) -> Option<PlannerWear> {
         None
     }
 }
@@ -182,6 +196,24 @@ impl MemoryBackend for PlanarBackend {
                 done
             }
         }
+    }
+
+    fn retire_xpoint_line(&mut self, mc: usize, xpoint_addr: Addr) {
+        self.maps[mc].retire_xpoint_page(xpoint_addr);
+    }
+
+    fn planner_wear(&self) -> Option<PlannerWear> {
+        let n = self.maps.len().max(1) as f64;
+        Some(PlannerWear {
+            pinned: self.maps.iter().map(|m| m.pinned_swaps()).sum(),
+            usable_fraction: self
+                .maps
+                .iter()
+                .map(|m| m.usable_xpoint_fraction())
+                .sum::<f64>()
+                / n,
+            effective_ratio: self.maps.iter().map(|m| m.effective_ratio()).sum::<f64>() / n,
+        })
     }
 }
 
@@ -433,6 +465,37 @@ impl MemoryBackend for TwoLevelBackend {
                     .record_stage(Stage::Migration, mc, now, data_at_mc);
                 data_at_mc
             }
+            TwoLevelOutcome::Bypass { xpoint_addr } => {
+                // Retired-backed line (or a slot pinned by one): served
+                // straight from the best-effort XPoint path, never filled
+                // into DRAM — a fill would strand the only durable copy
+                // on dead media at eviction time.
+                env.stats.record_service(mc, false);
+                env.xpoint_line_rt(now, mc, xpoint_addr, kind)
+            }
         }
+    }
+
+    fn retire_xpoint_line(&mut self, mc: usize, xpoint_addr: Addr) {
+        self.caches[mc].retire_line(xpoint_addr);
+    }
+
+    fn planner_wear(&self) -> Option<PlannerWear> {
+        let n = self.caches.len().max(1) as f64;
+        let usable = self
+            .caches
+            .iter()
+            .map(|c| c.usable_xpoint_fraction())
+            .sum::<f64>()
+            / n;
+        // The two-level "ratio" is XPoint capacity over DRAM cache
+        // capacity; retirement shrinks the usable numerator.
+        let cfg = self.caches.first().map(|c| *c.config());
+        let ratio = cfg.map_or(0.0, |c| c.xpoint_bytes as f64 / c.dram_bytes.max(1) as f64);
+        Some(PlannerWear {
+            pinned: self.caches.iter().map(|c| c.bypasses()).sum(),
+            usable_fraction: usable,
+            effective_ratio: ratio * usable,
+        })
     }
 }

@@ -13,7 +13,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use ohm_hetero::{ConflictDetector, Platform};
-use ohm_mem::{DdrMonitor, DdrSequenceGenerator, DramModule, MemKind, XPointController};
+use ohm_mem::{
+    DdrMonitor, DdrSequenceGenerator, DramModule, MemKind, XPointController, XpLifecycleEventKind,
+};
 use ohm_optic::{OperationalMode, TrafficClass};
 use ohm_sim::{Addr, Ps, SplitMix64};
 use ohm_workloads::WorkloadSpec;
@@ -291,6 +293,14 @@ impl MemorySubsystem {
                         let mut root = SplitMix64::new(plan.seed);
                         xp.inject_faults(plan.xpoint, root.fork(mc as u64));
                     }
+                    // Arm the wear-out lifecycle the same way: one RNG
+                    // stream per MC forked from the plan seed. A quiescent
+                    // plan is never armed, so it draws nothing and stays
+                    // bit-identical to a plan-free run.
+                    if let Some(plan) = cfg.lifecycle.as_ref().filter(|p| !p.is_quiescent()) {
+                        let mut root = SplitMix64::new(plan.seed);
+                        xp.arm_lifecycle(plan.xpoint, root.fork(mc as u64));
+                    }
                     xp
                 }),
                 conflicts: ConflictDetector::new(page),
@@ -413,6 +423,28 @@ impl MemorySubsystem {
         // re-arbitrations, electrical fallbacks) as first-class stages.
         for ev in self.fabric.drain_recovery() {
             stats.record_stage(ev.stage, ev.vc, ev.start, ev.end);
+        }
+        // Surface the XPoint controller's lifecycle actions the same way,
+        // and feed permanently lost lines back into the capacity planner
+        // (detect → correct → retire → re-plan). An unarmed or quiescent
+        // lifecycle produces no events, so nothing is recorded.
+        let mut dead_lines = Vec::new();
+        if let Some(xp) = self.mcs[mc].xpoint.as_mut() {
+            if xp.lifecycle_armed() {
+                for ev in xp.drain_lifecycle_events() {
+                    let stage = match ev.kind {
+                        XpLifecycleEventKind::EccCorrect => Stage::EccCorrect,
+                        XpLifecycleEventKind::LineRetire => Stage::LineRetire,
+                        XpLifecycleEventKind::RemapSpare => Stage::RemapSpare,
+                    };
+                    stats.record_stage(stage, mc, ev.start, ev.end);
+                }
+                dead_lines = xp.drain_dead_notices();
+            }
+        }
+        for line in dead_lines {
+            self.backend
+                .retire_xpoint_line(mc, Addr::from_block(line, cfg.line_bytes));
         }
         done
     }

@@ -4,7 +4,7 @@
 use ohm_sim::Ps;
 
 use crate::energy::{energy_report, EnergyInputs};
-use crate::metrics::{FaultReport, SimReport};
+use crate::metrics::{FaultReport, SimReport, WearReport};
 
 use super::System;
 
@@ -156,6 +156,45 @@ impl System {
             }
         });
 
+        // Wear-out lifecycle tallies: controller counters summed across
+        // MCs, the merged effective-capacity curve, and the planner-side
+        // degradation view. Only reported when a plan was configured.
+        let wear_report = self.cfg.lifecycle.as_ref().map(|_| {
+            let mut r = WearReport::default();
+            let mut total_lines = 0u64;
+            let mut escalations: Vec<Ps> = Vec::new();
+            for m in &self.mem.mcs {
+                let Some(x) = m.xpoint.as_ref() else { continue };
+                r.retired_lines += x.retired_lines();
+                r.spares_used += x.spares_used();
+                r.spares_total += x.spares_total();
+                r.ecc_corrected += x.ecc_corrected();
+                r.ecc_uncorrectable += x.ecc_uncorrectable();
+                r.dead_lines += x.dead_lines();
+                total_lines += x.wear_map().lines();
+                escalations.extend(x.capacity_log().iter().map(|&(t, _)| t));
+            }
+            r.usable_capacity = if total_lines == 0 {
+                1.0
+            } else {
+                1.0 - r.dead_lines as f64 / total_lines as f64
+            };
+            // Merge the per-controller escalation instants into one
+            // monotone capacity curve, downsampled to a bounded number of
+            // samples (the last — final capacity — always kept).
+            escalations.sort_unstable();
+            let n = escalations.len();
+            let stride = n.div_ceil(64).max(1);
+            r.capacity_curve = escalations
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i + 1) % stride == 0 || *i == n - 1)
+                .map(|(i, &t)| (t, 1.0 - (i as u64 + 1) as f64 / total_lines.max(1) as f64))
+                .collect();
+            r.planner = self.mem.backend.planner_wear();
+            r
+        });
+
         let host = self.mem.host_report();
         let (dram_service, service_total) = self.stats.service_totals();
         let wear = {
@@ -201,6 +240,7 @@ impl System {
             wear_imbalance: wear,
             stages,
             faults,
+            wear: wear_report,
         }
     }
 }

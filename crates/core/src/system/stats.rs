@@ -44,11 +44,20 @@ pub enum Stage {
     FallbackElectrical = 9,
     /// Recovery: an XPoint media op reissued after a DDR-T timeout.
     MediaRetry = 10,
+    /// Lifecycle: a correctable ECC error fixed in flight, spanning the
+    /// detection to the end of the background scrub write.
+    EccCorrect = 11,
+    /// Lifecycle: a worn-out or uncorrectable line retired by the XPoint
+    /// controller.
+    LineRetire = 12,
+    /// Lifecycle: a retired line remapped into the spare region, spanning
+    /// the retirement to the end of the rebuild write.
+    RemapSpare = 13,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 14;
 
     /// Every stage, in display order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -63,6 +72,9 @@ impl Stage {
         Stage::Rearbitrate,
         Stage::FallbackElectrical,
         Stage::MediaRetry,
+        Stage::EccCorrect,
+        Stage::LineRetire,
+        Stage::RemapSpare,
     ];
 
     /// Short stable name used in tables and trace tracks.
@@ -79,6 +91,9 @@ impl Stage {
             Stage::Rearbitrate => "rearbitrate",
             Stage::FallbackElectrical => "fallback-electrical",
             Stage::MediaRetry => "media-retry",
+            Stage::EccCorrect => "ecc-correct",
+            Stage::LineRetire => "line-retire",
+            Stage::RemapSpare => "remap-spare",
         }
     }
 }

@@ -1,0 +1,210 @@
+//! Wear-out lifecycle guarantees: a disabled (or quiescent, or
+//! never-triggering) lifecycle is bit-identical to the plan-free
+//! simulator, armed plans reproduce retirement sequences exactly,
+//! accelerated aging degrades IPC and effective capacity monotonically
+//! while surviving total spare exhaustion, and retired media drops out
+//! of both planners' migration targets.
+
+use ohm_core::config::SystemConfig;
+use ohm_core::fault::LifecyclePlan;
+use ohm_core::system::System;
+use ohm_core::SimReport;
+use ohm_hetero::{
+    PlanarConfig, PlanarMapping, Platform, TwoLevelCache, TwoLevelConfig, TwoLevelOutcome,
+};
+use ohm_optic::OperationalMode;
+use ohm_sim::Addr;
+use ohm_workloads::workload_by_name;
+
+const SEED: u64 = 0x11FE;
+
+fn run_with(plan: Option<LifecyclePlan>) -> SimReport {
+    let mut cfg = SystemConfig::quick_test();
+    cfg.lifecycle = plan;
+    let spec = workload_by_name("pagerank").unwrap();
+    let mut sys = System::new(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
+    sys.run()
+}
+
+/// Strips the wear tally so a lifecycle-bearing report can be compared
+/// bit-for-bit against the plan-free baseline on every other field.
+fn without_wear(mut r: SimReport) -> SimReport {
+    r.wear = None;
+    r
+}
+
+/// The determinism contract's baseline: a quiescent plan arms nothing
+/// and must not perturb a single bit of the simulation.
+#[test]
+fn quiescent_plan_is_bit_identical_to_no_plan() {
+    let baseline = run_with(None);
+    let quiescent = run_with(Some(LifecyclePlan::quiescent(SEED)));
+    assert!(baseline.wear.is_none());
+    let wear = quiescent.wear.clone().expect("plan configured");
+    assert_eq!(wear.retired_lines, 0);
+    assert_eq!(wear.dead_lines, 0);
+    assert_eq!(wear.usable_capacity, 1.0);
+    assert_eq!(
+        baseline,
+        without_wear(quiescent),
+        "a quiescent lifecycle plan changed simulated results"
+    );
+}
+
+/// The armed-but-untriggered case (the CI tier-1 gate): a real plan with
+/// an endurance budget the kernel can never exhaust stays below the ECC
+/// onset, draws no random numbers, and is bit-identical to running with
+/// the lifecycle disabled.
+#[test]
+fn zero_wear_run_is_bit_identical_to_disabled_lifecycle() {
+    let baseline = run_with(None);
+    let armed = run_with(Some(LifecyclePlan::accelerated(SEED, 1 << 40)));
+    let wear = armed.wear.clone().expect("plan configured");
+    assert_eq!(wear.ecc_corrected + wear.ecc_uncorrectable, 0);
+    assert_eq!(wear.retired_lines, 0);
+    assert!(wear.spares_total > 0, "lifecycle was not armed");
+    assert_eq!(
+        baseline,
+        without_wear(armed),
+        "an armed but untriggered lifecycle changed simulated results"
+    );
+}
+
+/// Same seed + same config ⇒ the identical retirement sequence: the full
+/// report, including every wear tally and the timestamped capacity
+/// curve, matches bit-for-bit across reruns.
+#[test]
+fn same_seed_reproduces_identical_retirement_sequence() {
+    let a = run_with(Some(LifecyclePlan::accelerated(SEED, 1)));
+    let b = run_with(Some(LifecyclePlan::accelerated(SEED, 1)));
+    assert_eq!(a, b, "identical lifecycle reruns diverged");
+    let wear = a.wear.unwrap();
+    assert!(wear.retired_lines > 0, "accelerated plan retired nothing");
+    assert!(
+        !wear.capacity_curve.is_empty(),
+        "escalations left no capacity curve"
+    );
+}
+
+/// The `fig_lifetime` acceptance sweep: as the endurance budget shrinks,
+/// IPC and effective XPoint capacity are monotone non-increasing, and
+/// the harshest point exhausts 100% of the spare region yet completes on
+/// the best-effort dead-line path.
+#[test]
+fn aging_degrades_monotonically_and_survives_spare_exhaustion() {
+    let reports: Vec<SimReport> = [0u64, 2, 1]
+        .iter()
+        .map(|&e| run_with((e > 0).then(|| LifecyclePlan::accelerated(SEED, e))))
+        .collect();
+    for pair in reports.windows(2) {
+        assert!(
+            pair[1].ipc <= pair[0].ipc,
+            "aging raised IPC: {} -> {}",
+            pair[0].ipc,
+            pair[1].ipc
+        );
+        let usable = |r: &SimReport| r.wear.as_ref().map_or(1.0, |w| w.usable_capacity);
+        assert!(
+            usable(&pair[1]) <= usable(&pair[0]),
+            "aging grew usable capacity"
+        );
+    }
+    let oldest = reports.last().unwrap().wear.clone().unwrap();
+    assert!(oldest.spares_total > 0);
+    assert_eq!(
+        oldest.spares_used, oldest.spares_total,
+        "harshest endurance left spares unused"
+    );
+    assert!(
+        oldest.dead_lines > 0,
+        "spare exhaustion produced no dead lines"
+    );
+    assert!(oldest.usable_capacity < 1.0);
+    // Planner-side evidence that dead media left the migration schedule:
+    // promotions were pinned and the effective ratio shrank.
+    let planner = oldest.planner.expect("planar backend reports wear");
+    assert!(planner.pinned > 0, "no promotions were pinned");
+    assert!(planner.usable_fraction < 1.0);
+    assert!(planner.effective_ratio < 8.0);
+}
+
+/// Planar planner: once a demotion target is retired, the hot page stays
+/// pinned in DRAM — no swap is ever offered onto the dead page — while
+/// other sub-slots in the same group remain eligible.
+#[test]
+fn retired_pages_leave_planar_migration_targets() {
+    let cfg = PlanarConfig {
+        page_bytes: 4096,
+        ratio: 8,
+        hot_threshold: 4,
+        capacity_bytes: 4096 * 9 * 4, // four groups
+    };
+    let mut map = PlanarMapping::new(cfg);
+    // Pages are laid out column-major (group = page % groups), so slot 1
+    // of group 0 is logical page `groups`. Hammer it until it trips.
+    let hot = Addr::new(4 * 4096);
+    let req = loop {
+        if let Some(req) = map.record_access(hot) {
+            break req;
+        }
+    };
+    // Retire the demotion target instead of committing the swap.
+    assert!(map.retire_xpoint_page(req.xpoint_addr));
+    assert!(map.is_xpoint_page_retired(req.xpoint_addr));
+    // The same page re-heats but is never again offered a swap.
+    for _ in 0..3 * cfg.hot_threshold {
+        assert_eq!(
+            map.record_access(hot),
+            None,
+            "planner offered a retired page as a swap target"
+        );
+    }
+    assert!(map.pinned_swaps() >= 1);
+    assert_eq!(map.swaps(), 0);
+    // A different slot maps to a different sub-slot and still migrates.
+    let other = Addr::new(2 * 4 * 4096);
+    let req = loop {
+        if let Some(req) = map.record_access(other) {
+            break req;
+        }
+    };
+    assert!(!map.is_xpoint_page_retired(req.xpoint_addr));
+    assert!(map.usable_xpoint_fraction() < 1.0);
+    assert!(map.effective_ratio() < cfg.ratio as f64);
+}
+
+/// Two-level cache: retired-backed lines bypass the fill path entirely,
+/// and a cached retired-backed resident pins its slot against healthy
+/// rivals.
+#[test]
+fn retired_lines_leave_two_level_fill_targets() {
+    let cfg = TwoLevelConfig {
+        dram_bytes: 4096,
+        xpoint_bytes: 64 * 4096,
+        line_bytes: 256,
+    };
+    let span = cfg.dram_bytes; // one cache generation
+    let mut cache = TwoLevelCache::new(cfg);
+    // An uncached line whose backing store is retired must never fill.
+    let dead = Addr::new(span);
+    assert!(cache.retire_line(dead));
+    match cache.access(dead, false) {
+        TwoLevelOutcome::Bypass { xpoint_addr } => assert_eq!(xpoint_addr, dead),
+        other => panic!("retired line was offered a fill: {other:?}"),
+    }
+    assert!(!cache.contains(dead), "retired line was cached");
+    // A healthy resident that is retired afterwards pins its slot: the
+    // rival mapping to the same index bypasses instead of evicting it.
+    let resident = Addr::new(2 * span);
+    assert!(!cache.access(resident, true).is_hit());
+    assert!(cache.retire_line(resident));
+    let rival = Addr::new(3 * span);
+    assert!(matches!(
+        cache.access(rival, false),
+        TwoLevelOutcome::Bypass { .. }
+    ));
+    assert!(cache.contains(resident), "pinned resident was evicted");
+    assert_eq!(cache.pinned_lines(), 1);
+    assert_eq!(cache.bypasses(), 2);
+    assert!(cache.usable_xpoint_fraction() < 1.0);
+}

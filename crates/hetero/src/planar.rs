@@ -8,6 +8,18 @@
 //! XPoint-resident page collects enough accesses it is declared hot and
 //! swapped with the group's current DRAM resident (Figure 7a) — the data
 //! movement whose cost the paper's dual routes eliminate.
+//!
+//! # Capacity-aware degradation
+//!
+//! When the XPoint controller retires a device page past its spare budget,
+//! the planner is told via [`PlanarMapping::retire_xpoint_page`]. Retired
+//! pages are excluded as swap *targets*: a hot page would otherwise be
+//! demoted onto dead media. The swap is suppressed, the DRAM resident is
+//! *pinned*, and the shrunken usable ratio is reported through
+//! [`PlanarMapping::usable_xpoint_fraction`] /
+//! [`PlanarMapping::effective_ratio`].
+
+use std::collections::BTreeSet;
 
 use ohm_sim::Addr;
 
@@ -129,6 +141,12 @@ pub struct PlanarMapping {
     cfg: PlanarConfig,
     groups: Vec<Group>,
     swaps: u64,
+    /// Device page indices (XPoint physical page number) retired by the
+    /// memory tier — never valid swap targets.
+    retired_xp_pages: BTreeSet<u64>,
+    /// Hot-page promotions suppressed because the demotion target page was
+    /// retired (the DRAM resident stays pinned).
+    pinned_swaps: u64,
 }
 
 impl PlanarMapping {
@@ -161,6 +179,8 @@ impl PlanarMapping {
             cfg,
             groups,
             swaps: 0,
+            retired_xp_pages: BTreeSet::new(),
+            pinned_swaps: 0,
         }
     }
 
@@ -208,10 +228,17 @@ impl PlanarMapping {
     /// Records an access to a logical address; if this makes an
     /// XPoint-resident page hot, returns the swap the controller should
     /// schedule. Counters of the group reset when a swap is requested.
+    ///
+    /// A swap whose demotion target (the hot page's XPoint sub-slot) has
+    /// been retired is suppressed instead: the current DRAM resident stays
+    /// pinned, the group's counters still reset (so the dead page does not
+    /// re-trigger every access), and [`Self::pinned_swaps`] counts the
+    /// suppression.
     pub fn record_access(&mut self, addr: Addr) -> Option<SwapRequest> {
         let (group, slot, _) = self.split(addr);
         let group_pages = self.cfg.group_pages() as u64;
         let threshold = self.cfg.hot_threshold;
+        let ratio = self.cfg.ratio as u64;
         let g = &mut self.groups[group as usize];
         let resident = g.dram_resident as usize;
         g.counters[slot] += 1;
@@ -222,6 +249,13 @@ impl PlanarMapping {
             *c = 0;
         }
         let sub_slot = g.xp_slot[slot];
+        if self
+            .retired_xp_pages
+            .contains(&(group * ratio + sub_slot as u64))
+        {
+            self.pinned_swaps += 1;
+            return None;
+        }
         Some(SwapRequest {
             group,
             promote_page: group * group_pages + slot as u64,
@@ -259,6 +293,46 @@ impl PlanarMapping {
     /// Completed swaps so far.
     pub fn swaps(&self) -> u64 {
         self.swaps
+    }
+
+    /// Marks the XPoint device page containing `xpoint_addr` as retired
+    /// (dead media): it will never again be offered as a swap target.
+    /// Returns `true` if the page was newly retired.
+    pub fn retire_xpoint_page(&mut self, xpoint_addr: Addr) -> bool {
+        let page = xpoint_addr.block_index(self.cfg.page_bytes);
+        if page >= self.cfg.groups() * self.cfg.ratio as u64 {
+            return false; // outside the planner's XPoint window
+        }
+        self.retired_xp_pages.insert(page)
+    }
+
+    /// XPoint device pages retired so far.
+    pub fn retired_xpoint_pages(&self) -> u64 {
+        self.retired_xp_pages.len() as u64
+    }
+
+    /// Whether an XPoint device page is retired.
+    pub fn is_xpoint_page_retired(&self, xpoint_addr: Addr) -> bool {
+        self.retired_xp_pages
+            .contains(&xpoint_addr.block_index(self.cfg.page_bytes))
+    }
+
+    /// Hot-page promotions suppressed because their demotion target was
+    /// retired.
+    pub fn pinned_swaps(&self) -> u64 {
+        self.pinned_swaps
+    }
+
+    /// Fraction of the XPoint tier still usable (retired pages excluded).
+    pub fn usable_xpoint_fraction(&self) -> f64 {
+        let total = self.cfg.groups() * self.cfg.ratio as u64;
+        1.0 - self.retired_xp_pages.len() as f64 / total as f64
+    }
+
+    /// The effective XPoint:DRAM ratio after retirement — the configured
+    /// ratio scaled by the usable fraction. Shrinks as the device ages.
+    pub fn effective_ratio(&self) -> f64 {
+        self.cfg.ratio as f64 * self.usable_xpoint_fraction()
     }
 
     /// Fraction of lookups that would currently land in DRAM for a given
@@ -416,5 +490,65 @@ mod tests {
         let r2 = drive_swap(&mut m, page_addr(3, 2));
         m.commit_swap(&r2);
         m.commit_swap(&r1); // resident changed: must panic
+    }
+
+    #[test]
+    fn retired_page_is_never_a_swap_target() {
+        let mut m = small();
+        let hot = page_addr(0, 3);
+        // Retire the device page currently backing the hot page — the
+        // slot its demoted partner would land on.
+        let dead = m.lookup(hot).addr();
+        assert!(m.retire_xpoint_page(dead));
+        assert!(!m.retire_xpoint_page(dead), "idempotent");
+        assert!(m.is_xpoint_page_retired(dead));
+        // Hammering the hot page now pins the resident instead of
+        // demoting it onto dead media.
+        for _ in 0..64 {
+            if let Some(req) = m.record_access(hot) {
+                panic!("swap offered onto retired page: {req:?}");
+            }
+        }
+        assert!(m.pinned_swaps() >= 1);
+        assert_eq!(m.swaps(), 0);
+        assert!(m.lookup(page_addr(0, 0)).is_dram(), "resident pinned");
+        // Other groups are unaffected.
+        let req = drive_swap(&mut m, page_addr(1, 2));
+        m.commit_swap(&req);
+        assert_eq!(m.swaps(), 1);
+    }
+
+    #[test]
+    fn usable_fraction_and_effective_ratio_shrink() {
+        let mut m = small();
+        assert_eq!(m.usable_xpoint_fraction(), 1.0);
+        assert_eq!(m.effective_ratio(), 8.0);
+        // Retire a quarter of the XPoint pages (8 of 32).
+        for p in 0..8u64 {
+            assert!(m.retire_xpoint_page(Addr::new(p * PAGE)));
+        }
+        assert_eq!(m.retired_xpoint_pages(), 8);
+        assert!((m.usable_xpoint_fraction() - 0.75).abs() < 1e-12);
+        assert!((m.effective_ratio() - 6.0).abs() < 1e-12);
+        // Addresses past the planner's XPoint window are ignored.
+        assert!(!m.retire_xpoint_page(Addr::new(GROUPS * 8 * PAGE)));
+    }
+
+    #[test]
+    fn pinning_still_resets_counters() {
+        let mut m = small();
+        let hot = page_addr(2, 1);
+        let dead = m.lookup(hot).addr();
+        m.retire_xpoint_page(dead);
+        // Reaching the threshold suppresses the swap and resets counters:
+        // the next access does not immediately re-trigger.
+        for _ in 0..4 {
+            assert!(m.record_access(hot).is_none());
+        }
+        assert_eq!(m.pinned_swaps(), 1);
+        for _ in 0..3 {
+            assert!(m.record_access(hot).is_none());
+        }
+        assert_eq!(m.pinned_swaps(), 1, "threshold must be re-earned");
     }
 }

@@ -9,6 +9,19 @@
 //! writes back the victim if dirty). Direct mapping keeps the tag small
 //! enough to fit the ECC bits, which is why the paper rules out higher
 //! associativity.
+//!
+//! # Capacity-aware degradation
+//!
+//! When the XPoint tier retires a backing line past its spare budget, the
+//! cache is told via [`TwoLevelCache::retire_line`]. A retired-backed line
+//! must never be *filled* (its only durable copy would land on dead media
+//! after eviction): uncached accesses to it **bypass** the cache
+//! ([`TwoLevelOutcome::Bypass`]) and are served straight from the
+//! best-effort XPoint path, while a copy already cached when the line dies
+//! is *pinned* — it hits forever and is never chosen as an eviction
+//! victim, so healthy newcomers conflicting with it bypass instead.
+
+use std::collections::BTreeSet;
 
 use ohm_sim::Addr;
 
@@ -82,6 +95,13 @@ pub enum TwoLevelOutcome {
         /// XPoint address of the dirty victim to evict, if any.
         evict_to: Option<Addr>,
     },
+    /// The line is not cached and must not be filled — either its backing
+    /// line is retired, or the slot it maps to is pinned by a
+    /// retired-backed resident. Serve it directly from XPoint.
+    Bypass {
+        /// XPoint physical address of the requested line.
+        xpoint_addr: Addr,
+    },
 }
 
 impl TwoLevelOutcome {
@@ -120,6 +140,11 @@ pub struct TwoLevelCache {
     hits: u64,
     misses: u64,
     dirty_evictions: u64,
+    /// XPoint line indices retired by the memory tier — never fill
+    /// targets, never eviction destinations.
+    retired: BTreeSet<u64>,
+    /// Accesses served around the cache because of retirement.
+    bypasses: u64,
 }
 
 impl TwoLevelCache {
@@ -145,6 +170,8 @@ impl TwoLevelCache {
             hits: 0,
             misses: 0,
             dirty_evictions: 0,
+            retired: BTreeSet::new(),
+            bypasses: 0,
         }
     }
 
@@ -172,7 +199,10 @@ impl TwoLevelCache {
     }
 
     /// Accesses the line containing `addr` (an XPoint-space address); on a
-    /// miss the line is filled and the previous occupant evicted.
+    /// miss the line is filled and the previous occupant evicted. Lines
+    /// whose backing store is retired bypass the cache instead of filling,
+    /// and a cached retired-backed resident is pinned (see the module
+    /// docs).
     ///
     /// # Panics
     ///
@@ -189,6 +219,23 @@ impl TwoLevelCache {
             self.meta[index].dirty |= is_write;
             self.hits += 1;
             return TwoLevelOutcome::Hit { dram_addr };
+        }
+        if !self.retired.is_empty() {
+            let line = addr.block_index(self.cfg.line_bytes);
+            let xpoint_addr = self.xpoint_addr(index, tag);
+            if self.retired.contains(&line) {
+                // Retired-backed and uncached: filling would strand the
+                // only durable copy on dead media at eviction time.
+                self.bypasses += 1;
+                return TwoLevelOutcome::Bypass { xpoint_addr };
+            }
+            let resident_line = m.tag * self.cfg.cache_lines() + index as u64;
+            if m.valid && self.retired.contains(&resident_line) {
+                // The slot's resident is pinned (its backing line is
+                // dead); the healthy newcomer goes around the cache.
+                self.bypasses += 1;
+                return TwoLevelOutcome::Bypass { xpoint_addr };
+            }
         }
         self.misses += 1;
         let evict_to = (m.valid && m.dirty).then(|| {
@@ -228,6 +275,54 @@ impl TwoLevelCache {
     /// Dirty evictions (each one costs a DRAM read + XPoint write).
     pub fn dirty_evictions(&self) -> u64 {
         self.dirty_evictions
+    }
+
+    /// Marks the XPoint line containing `addr` as retired (dead backing
+    /// media). Returns `true` if the line was newly retired.
+    pub fn retire_line(&mut self, xpoint_addr: Addr) -> bool {
+        let line = xpoint_addr.block_index(self.cfg.line_bytes);
+        if line >= self.cfg.xpoint_bytes / self.cfg.line_bytes {
+            return false; // outside this cache's backing window
+        }
+        self.retired.insert(line)
+    }
+
+    /// XPoint lines retired so far.
+    pub fn retired_lines(&self) -> u64 {
+        self.retired.len() as u64
+    }
+
+    /// Whether the XPoint line containing `addr` is retired.
+    pub fn is_line_retired(&self, xpoint_addr: Addr) -> bool {
+        self.retired
+            .contains(&xpoint_addr.block_index(self.cfg.line_bytes))
+    }
+
+    /// Accesses served around the cache because of retirement (uncached
+    /// retired-backed lines plus newcomers blocked by pinned residents).
+    pub fn bypasses(&self) -> u64 {
+        self.bypasses
+    }
+
+    /// Cache slots currently pinned by a retired-backed resident.
+    pub fn pinned_lines(&self) -> u64 {
+        self.meta
+            .iter()
+            .enumerate()
+            .filter(|(index, m)| {
+                m.valid
+                    && self
+                        .retired
+                        .contains(&(m.tag * self.cfg.cache_lines() + *index as u64))
+            })
+            .count() as u64
+    }
+
+    /// Fraction of the backing XPoint still usable (retired lines
+    /// excluded).
+    pub fn usable_xpoint_fraction(&self) -> f64 {
+        let total = self.cfg.xpoint_bytes / self.cfg.line_bytes;
+        1.0 - self.retired.len() as f64 / total as f64
     }
 
     /// Hit rate so far (0 when no accesses).
@@ -366,5 +461,59 @@ mod tests {
     fn capacity_enforced() {
         let mut c = tiny();
         let _ = c.access(Addr::new(16 * 1024), false);
+    }
+
+    #[test]
+    fn retired_line_bypasses_instead_of_filling() {
+        let mut c = tiny();
+        let dead = Addr::new(8 * 256); // maps to index 0, tag 2
+        assert!(c.retire_line(dead));
+        assert!(!c.retire_line(dead), "idempotent");
+        assert!(c.is_line_retired(dead));
+        match c.access(dead, false) {
+            TwoLevelOutcome::Bypass { xpoint_addr } => assert_eq!(xpoint_addr, dead),
+            o => panic!("expected bypass, got {o:?}"),
+        }
+        assert!(!c.contains(dead), "bypass must not fill");
+        assert_eq!(c.bypasses(), 1);
+        assert_eq!(c.misses(), 0);
+        // The slot stays free for healthy lines.
+        assert!(!c.access(Addr::new(0), false).is_hit());
+        assert!(c.access(Addr::new(0), false).is_hit());
+    }
+
+    #[test]
+    fn cached_copy_of_retired_line_is_pinned() {
+        let mut c = tiny();
+        let line = Addr::new(4 * 256); // index 0, tag 1
+        c.access(line, true); // fill dirty
+        assert!(c.retire_line(line));
+        assert_eq!(c.pinned_lines(), 1);
+        // Still hits: the DRAM copy is the only good one left.
+        assert!(c.access(line, false).is_hit());
+        // A conflicting healthy line must not evict it.
+        let rival = Addr::new(0); // index 0, tag 0
+        match c.access(rival, false) {
+            TwoLevelOutcome::Bypass { xpoint_addr } => assert_eq!(xpoint_addr, rival),
+            o => panic!("expected bypass, got {o:?}"),
+        }
+        assert!(c.contains(line), "pinned resident survived");
+        assert!(!c.contains(rival));
+        // Unrelated indices are unaffected.
+        assert!(!c.access(Addr::new(256), false).is_hit());
+        assert!(c.access(Addr::new(256), false).is_hit());
+    }
+
+    #[test]
+    fn usable_fraction_tracks_retirement() {
+        let mut c = tiny();
+        assert_eq!(c.usable_xpoint_fraction(), 1.0);
+        for l in 0..16u64 {
+            assert!(c.retire_line(Addr::new(l * 256)));
+        }
+        assert_eq!(c.retired_lines(), 16);
+        assert!((c.usable_xpoint_fraction() - 0.75).abs() < 1e-12);
+        // Beyond the backing window: rejected.
+        assert!(!c.retire_line(Addr::new(16 * 1024)));
     }
 }

@@ -12,6 +12,10 @@
 //! * [`wear`] — Start-Gap wear leveling [Qureshi et al., MICRO'09], the
 //!   scheme the paper adopts to avoid a DRAM-resident mapping table, plus
 //!   endurance accounting.
+//! * [`lifecycle`] — the media end-of-life model: per-bucket endurance
+//!   budgets with process variation, wear-ramped ECC error rates, and the
+//!   classification (healthy / corrected / uncorrectable / worn-out) the
+//!   controller acts on.
 //! * [`xpoint_ctrl`] — the XPoint controller: address translation through
 //!   Start-Gap, buffering, the DDR-T asynchronous handshake, the *snarf*
 //!   capability used by auto-read/write, and the DDR sequence generator
@@ -27,6 +31,7 @@
 
 pub mod ddr_seq;
 pub mod dram;
+pub mod lifecycle;
 pub mod protocol;
 pub mod serdes;
 pub mod wear;
@@ -35,8 +40,11 @@ pub mod xpoint_ctrl;
 
 pub use ddr_seq::{DdrMonitor, DdrSequenceGenerator, MonitorState};
 pub use dram::{DramAccess, DramConfig, DramModule, DramTiming};
+pub use lifecycle::{
+    LifecycleOutcome, LineLifecycle, XpLifecycleConfig, XpLifecycleEvent, XpLifecycleEventKind,
+};
 pub use protocol::{DdrCommand, DdrTMessage, MemKind, SwapCmd};
 pub use serdes::SerdesFrontend;
-pub use wear::{StartGap, WearStats};
+pub use wear::{StartGap, WearError, WearStats};
 pub use xpoint::{XPointConfig, XPointMedia};
 pub use xpoint_ctrl::{XPointController, XpCompletion, XpFaultConfig};

@@ -1,0 +1,313 @@
+//! End-of-life lifecycle for XPoint media: endurance-driven wear-out and
+//! the ECC model in front of it.
+//!
+//! Start-Gap ([`crate::wear`]) spreads writes but cannot stop cells from
+//! exhausting their program-cycle budget. This module derives *permanent*
+//! per-line failure deterministically from the existing wear map: every
+//! wear bucket (a cohort of physical lines) carries an endurance budget
+//! with per-bucket process variation, and once the cohort exceeds it the
+//! cells begin to fail — first as correctable single-symbol ECC errors
+//! (fixed transparently, followed by a scrub write), then as
+//! uncorrectable errors or hard wear-out, both of which retire the line
+//! into the controller's spare region (see
+//! [`crate::xpoint_ctrl::XPointController`]).
+//!
+//! # Accelerated aging
+//!
+//! Real Optane-class media endures ~10⁶–10⁷ program cycles per line —
+//! unreachable in a microsecond-scale simulation. The endurance knob is
+//! therefore expressed at *bucket* granularity: [`XpLifecycleConfig::
+//! endurance_writes`] is the number of writes one wear bucket absorbs
+//! before its weakest cells start dying. Sweeping it downward compresses
+//! years of device aging into one simulated kernel (`fig_lifetime`).
+//!
+//! # Determinism contract
+//!
+//! The same contract as fault injection (DESIGN.md §3.4): all randomness
+//! comes from one forked [`SplitMix64`] stream handed to
+//! [`LineLifecycle::new`]. Per-bucket endurance variation is drawn
+//! eagerly at arm time; per-operation ECC classification draws exactly
+//! one number, and only once a bucket's wear fraction has reached
+//! [`XpLifecycleConfig::ecc_onset`] *and* an ECC rate is non-zero. A
+//! disabled config ([`XpLifecycleConfig::NONE`]) is never armed and a
+//! zero-wear run draws nothing per-op, so both are bit-identical to a
+//! lifecycle-free run.
+
+use ohm_sim::{Ps, SplitMix64};
+
+/// Wear-out lifecycle knobs for one XPoint controller.
+///
+/// All-zero ([`XpLifecycleConfig::NONE`], the default) disables the
+/// lifecycle model entirely: the controller never arms it and stays on
+/// the lifecycle-free fast path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XpLifecycleConfig {
+    /// Writes one wear bucket absorbs before its cells begin to fail
+    /// (accelerated-aging budget, see the module docs). `0` disables the
+    /// lifecycle model.
+    pub endurance_writes: u64,
+    /// Per-bucket endurance variation, ± percent of the budget (process
+    /// variation across the die). Drawn once per bucket at arm time.
+    pub endurance_jitter_pct: u32,
+    /// Wear fraction (bucket writes / bucket budget) at which ECC errors
+    /// begin to appear. Below it no per-op RNG draw happens at all.
+    pub ecc_onset: f64,
+    /// Correctable single-symbol error rate at 100% wear, in
+    /// parts-per-million per media operation. Ramps linearly from zero at
+    /// [`ecc_onset`](Self::ecc_onset).
+    pub ecc_correctable_ppm: u32,
+    /// Uncorrectable error rate at 100% wear, ppm per media operation.
+    pub ecc_uncorrectable_ppm: u32,
+    /// Spare lines available for retirement remaps before retired lines
+    /// escalate to the dead (best-effort) path.
+    pub spare_lines: u64,
+}
+
+impl XpLifecycleConfig {
+    /// Lifecycle model disabled.
+    pub const NONE: XpLifecycleConfig = XpLifecycleConfig {
+        endurance_writes: 0,
+        endurance_jitter_pct: 0,
+        ecc_onset: 0.0,
+        ecc_correctable_ppm: 0,
+        ecc_uncorrectable_ppm: 0,
+        spare_lines: 0,
+    };
+
+    /// Whether the config can ever detect or retire anything.
+    pub fn is_disabled(&self) -> bool {
+        self.endurance_writes == 0
+    }
+}
+
+impl Default for XpLifecycleConfig {
+    fn default() -> Self {
+        XpLifecycleConfig::NONE
+    }
+}
+
+/// Classification of one media operation against the wear state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleOutcome {
+    /// Nothing detected.
+    Healthy,
+    /// A correctable single-symbol error: fixed in flight, the line is
+    /// scrubbed (re-written) in the background.
+    Corrected,
+    /// An uncorrectable error: the data is lost and the line must retire.
+    Uncorrectable,
+    /// The bucket exhausted its endurance budget on a write: the written
+    /// line wears out and must retire.
+    WornOut,
+}
+
+/// What kind of lifecycle action an [`XpLifecycleEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XpLifecycleEventKind {
+    /// A correctable ECC error was fixed and the line scrubbed.
+    EccCorrect,
+    /// A line was retired (worn out or uncorrectable).
+    LineRetire,
+    /// A retired line was remapped into the spare region.
+    RemapSpare,
+}
+
+/// One lifecycle action taken by the XPoint controller, drained by the
+/// memory subsystem into the observability stage taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XpLifecycleEvent {
+    /// What happened.
+    pub kind: XpLifecycleEventKind,
+    /// The controller-local logical line involved.
+    pub line: u64,
+    /// `true` on a [`LineRetire`](XpLifecycleEventKind::LineRetire) whose
+    /// spare budget was exhausted: the line is dead and capacity planners
+    /// must exclude its page.
+    pub escalated: bool,
+    /// When the action began (the triggering media op's completion).
+    pub start: Ps,
+    /// When the action's background work (scrub / rebuild write) finished.
+    pub end: Ps,
+}
+
+/// The armed lifecycle state: per-bucket endurance budgets and the ECC
+/// classification RNG.
+#[derive(Debug, Clone)]
+pub struct LineLifecycle {
+    cfg: XpLifecycleConfig,
+    /// Effective endurance budget per wear bucket (jittered at arm time).
+    bucket_budget: Vec<u64>,
+    /// Per-operation ECC draw stream (continues after the eager budget
+    /// draws on the same forked stream).
+    rng: SplitMix64,
+}
+
+impl LineLifecycle {
+    /// Arms the lifecycle over `buckets` wear buckets, drawing each
+    /// bucket's effective budget eagerly from `rng` (so the thresholds do
+    /// not depend on operation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is disabled (`endurance_writes == 0`) — the
+    /// controller must not arm a disabled config.
+    pub fn new(cfg: XpLifecycleConfig, mut rng: SplitMix64, buckets: usize) -> Self {
+        assert!(
+            !cfg.is_disabled(),
+            "a disabled lifecycle config must not be armed"
+        );
+        let j = (cfg.endurance_jitter_pct as f64 / 100.0).min(0.99);
+        let bucket_budget = (0..buckets)
+            .map(|_| {
+                let f = 1.0 + j * (2.0 * rng.next_f64() - 1.0);
+                ((cfg.endurance_writes as f64 * f) as u64).max(1)
+            })
+            .collect();
+        LineLifecycle {
+            cfg,
+            bucket_budget,
+            rng,
+        }
+    }
+
+    /// The armed configuration.
+    pub fn config(&self) -> &XpLifecycleConfig {
+        &self.cfg
+    }
+
+    /// The effective (jittered) endurance budget of one bucket.
+    pub fn bucket_budget(&self, bucket: usize) -> u64 {
+        self.bucket_budget[bucket]
+    }
+
+    /// Classifies one media operation on a line in `bucket` whose wear
+    /// count stands at `writes`. Draws at most one random number, and
+    /// none below the ECC onset.
+    pub fn classify(&mut self, bucket: usize, writes: u64, is_write: bool) -> LifecycleOutcome {
+        let budget = self.bucket_budget[bucket];
+        if is_write && writes >= budget {
+            return LifecycleOutcome::WornOut;
+        }
+        let total_ppm = self.cfg.ecc_correctable_ppm as u64 + self.cfg.ecc_uncorrectable_ppm as u64;
+        if total_ppm == 0 {
+            return LifecycleOutcome::Healthy;
+        }
+        let wear = (writes as f64 / budget as f64).min(1.0);
+        if wear < self.cfg.ecc_onset {
+            return LifecycleOutcome::Healthy;
+        }
+        // Error rates ramp linearly from the onset to 100% wear.
+        let span = (1.0 - self.cfg.ecc_onset).max(f64::EPSILON);
+        let ramp = ((wear - self.cfg.ecc_onset) / span).clamp(0.0, 1.0);
+        let p_unc = (self.cfg.ecc_uncorrectable_ppm as f64 * ramp) as u64;
+        let p_corr = (self.cfg.ecc_correctable_ppm as f64 * ramp) as u64;
+        let r = self.rng.next_below(1_000_000);
+        if r < p_unc {
+            LifecycleOutcome::Uncorrectable
+        } else if r < p_unc + p_corr {
+            LifecycleOutcome::Corrected
+        } else {
+            LifecycleOutcome::Healthy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn armed(endurance: u64) -> LineLifecycle {
+        LineLifecycle::new(
+            XpLifecycleConfig {
+                endurance_writes: endurance,
+                endurance_jitter_pct: 10,
+                ecc_onset: 0.5,
+                ecc_correctable_ppm: 400_000,
+                ecc_uncorrectable_ppm: 50_000,
+                spare_lines: 4,
+            },
+            SplitMix64::new(0x11FE),
+            8,
+        )
+    }
+
+    #[test]
+    fn budgets_are_jittered_around_the_knob() {
+        let lc = armed(1000);
+        for b in 0..8 {
+            let budget = lc.bucket_budget(b);
+            assert!((900..=1100).contains(&budget), "bucket {b}: {budget}");
+        }
+        // Jitter actually varies across buckets.
+        let all: std::collections::BTreeSet<u64> = (0..8).map(|b| lc.bucket_budget(b)).collect();
+        assert!(all.len() > 1, "all budgets identical");
+    }
+
+    #[test]
+    fn fresh_media_is_healthy_without_draws() {
+        let mut a = armed(1000);
+        let mut b = armed(1000);
+        for _ in 0..100 {
+            assert_eq!(a.classify(0, 0, true), LifecycleOutcome::Healthy);
+        }
+        // `a` drew nothing below the onset: classification at the onset
+        // matches a virgin twin bit-for-bit.
+        for bucket in 0..8 {
+            assert_eq!(
+                a.classify(bucket, 900, false),
+                b.classify(bucket, 900, false)
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_bucket_wears_out_on_writes_only() {
+        let mut lc = armed(100);
+        let budget = lc.bucket_budget(2);
+        assert_eq!(lc.classify(2, budget, true), LifecycleOutcome::WornOut);
+        // Reads at the same wear level never report hard wear-out.
+        assert_ne!(lc.classify(2, budget, false), LifecycleOutcome::WornOut);
+    }
+
+    #[test]
+    fn worn_media_reports_ecc_errors() {
+        let mut lc = armed(100);
+        let budget = lc.bucket_budget(0);
+        let mut corrected = 0;
+        let mut uncorrectable = 0;
+        for _ in 0..2000 {
+            match lc.classify(0, budget - 1, false) {
+                LifecycleOutcome::Corrected => corrected += 1,
+                LifecycleOutcome::Uncorrectable => uncorrectable += 1,
+                _ => {}
+            }
+        }
+        assert!(corrected > 100, "~40% correctable rate: {corrected}");
+        assert!(
+            uncorrectable > 10,
+            "~5% uncorrectable rate: {uncorrectable}"
+        );
+        assert!(corrected > uncorrectable);
+    }
+
+    #[test]
+    fn same_seed_reproduces_classification() {
+        let mut a = armed(100);
+        let mut b = armed(100);
+        for i in 0..500u64 {
+            let bucket = (i % 8) as usize;
+            let writes = 60 + i % 50;
+            assert_eq!(
+                a.classify(bucket, writes, i % 3 == 0),
+                b.classify(bucket, writes, i % 3 == 0),
+                "diverged at op {i}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disabled lifecycle")]
+    fn arming_disabled_config_panics() {
+        let _ = LineLifecycle::new(XpLifecycleConfig::NONE, SplitMix64::new(1), 4);
+    }
+}

@@ -15,6 +15,34 @@ use ohm_sim::{Addr, Counter};
 /// these so endurance accounting stays O(1) in memory for huge modules).
 const WEAR_BUCKETS: usize = 4096;
 
+/// Why a lifetime projection could not be made.
+///
+/// Mirrors the explicit-error convention of the reliability layer: a
+/// projection over an idle or instantaneous window is a caller mistake
+/// worth naming, not a silent `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WearError {
+    /// No line writes were observed, so there is no write rate to project.
+    NoWrites,
+    /// The observation window is zero or negative.
+    NoElapsedTime,
+}
+
+impl std::fmt::Display for WearError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WearError::NoWrites => {
+                write!(f, "no writes observed: nothing to project a lifetime from")
+            }
+            WearError::NoElapsedTime => {
+                write!(f, "elapsed time must be positive to derive a write rate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WearError {}
+
 /// A physical data movement required by a gap rotation: the line at
 /// `from` must be copied to `to` (one media read + one media write).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,23 +198,59 @@ impl StartGap {
         self.gap_moves.get()
     }
 
+    /// Number of coarse wear buckets physical slots are folded into.
+    pub fn bucket_count(&self) -> usize {
+        self.bucket_writes.len()
+    }
+
+    /// The wear bucket a physical slot folds into.
+    pub fn bucket_of(&self, phys: u64) -> usize {
+        (phys % self.bucket_writes.len() as u64) as usize
+    }
+
+    /// Writes absorbed by one wear bucket so far (gap-move copies included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= bucket_count()`.
+    pub fn bucket_writes(&self, bucket: usize) -> u64 {
+        self.bucket_writes[bucket]
+    }
+
+    /// Physical slots folded into each wear bucket (at least 1.0).
+    pub fn lines_per_bucket(&self) -> f64 {
+        ((self.lines + 1) as f64 / self.bucket_writes.len() as f64).max(1.0)
+    }
+
     /// Estimated media lifetime in seconds: with the observed write rate
     /// and imbalance, how long until the hottest line exhausts
     /// `endurance_writes` program cycles.
     ///
-    /// Returns `None` when no writes (or no elapsed time) were observed.
-    pub fn lifetime_secs(&self, elapsed_secs: f64, endurance_writes: u64) -> Option<f64> {
+    /// This is the single home of the projection; the XPoint controller
+    /// exposes its mapper via
+    /// [`wear_map`](crate::xpoint_ctrl::XPointController::wear_map) rather
+    /// than duplicating a passthrough.
+    ///
+    /// # Errors
+    ///
+    /// [`WearError::NoElapsedTime`] when `elapsed_secs` is not positive,
+    /// [`WearError::NoWrites`] when no line writes were observed.
+    pub fn lifetime_secs(
+        &self,
+        elapsed_secs: f64,
+        endurance_writes: u64,
+    ) -> Result<f64, WearError> {
         if elapsed_secs <= 0.0 {
-            return None;
+            return Err(WearError::NoElapsedTime);
         }
         let stats = self.wear_stats();
         if stats.total_writes == 0 || stats.max_bucket_writes == 0 {
-            return None;
+            return Err(WearError::NoWrites);
         }
         // Hottest-bucket write rate, spread over the lines in a bucket.
-        let lines_per_bucket = ((self.lines + 1) as f64 / self.bucket_writes.len() as f64).max(1.0);
-        let hottest_line_rate = stats.max_bucket_writes as f64 / lines_per_bucket / elapsed_secs;
-        Some(endurance_writes as f64 / hottest_line_rate)
+        let hottest_line_rate =
+            stats.max_bucket_writes as f64 / self.lines_per_bucket() / elapsed_secs;
+        Ok(endurance_writes as f64 / hottest_line_rate)
     }
 
     /// Endurance summary.
@@ -293,7 +357,11 @@ mod tests {
     #[test]
     fn lifetime_estimate_behaves() {
         let mut sg = StartGap::new(1024, 16);
-        assert_eq!(sg.lifetime_secs(1.0, 1_000_000), None, "no writes yet");
+        assert_eq!(
+            sg.lifetime_secs(1.0, 1_000_000),
+            Err(WearError::NoWrites),
+            "no writes yet"
+        );
         for i in 0..10_000u64 {
             sg.record_write(i % 1024);
         }
@@ -309,7 +377,26 @@ mod tests {
             hammered < uniform,
             "hammered {hammered} vs uniform {uniform}"
         );
-        assert_eq!(hot.lifetime_secs(0.0, 1_000_000), None);
+        assert_eq!(
+            hot.lifetime_secs(0.0, 1_000_000),
+            Err(WearError::NoElapsedTime)
+        );
+        assert!(WearError::NoWrites.to_string().contains("no writes"));
+        assert!(WearError::NoElapsedTime.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn bucket_accessors_are_consistent() {
+        let mut sg = StartGap::new(64, 8);
+        assert_eq!(sg.bucket_count(), 65); // lines + 1 spare, under the cap
+        assert!(sg.lines_per_bucket() >= 1.0);
+        for _ in 0..10 {
+            sg.record_write(3);
+        }
+        let total: u64 = (0..sg.bucket_count()).map(|b| sg.bucket_writes(b)).sum();
+        assert_eq!(total, sg.wear_stats().total_writes);
+        assert_eq!(sg.bucket_of(3), 3);
+        assert_eq!(sg.bucket_of(65 + 3), 3); // folds modulo bucket count
     }
 
     #[test]

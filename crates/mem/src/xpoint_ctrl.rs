@@ -30,11 +30,31 @@
 //! [`XpFaultConfig::max_retries`] reissues the line is *poisoned*
 //! (tracked, counted, served best-effort) rather than retried forever —
 //! the capped-retry → poison escalation surfaced in `SimReport`.
+//!
+//! # Wear-out lifecycle
+//!
+//! Orthogonally to injected (transient) faults, the controller models the
+//! media's *permanent* end of life ([`crate::lifecycle`]). When armed via
+//! [`XPointController::arm_lifecycle`], every foreground media operation
+//! is classified against the wear map: correctable ECC errors are fixed
+//! transparently (plus a background scrub write), while uncorrectable
+//! errors and endurance exhaustion *retire* the logical line. Retired
+//! lines are remapped into a spare region at the top of the physical
+//! space; once spares run out the line escalates to the same best-effort
+//! path as a poisoned line — dead, served without retries, and excluded
+//! from capacity planning. Background Start-Gap copies are exempt from
+//! both injection and lifecycle checks, exactly like stall injection.
+//! Injected-fault poisons ([`XPointController::poisoned_lines`]) and
+//! wear escalations ([`XPointController::dead_lines`]) are tracked
+//! separately so fault tallies stay comparable across runs.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ohm_sim::{Addr, Calendar, Ps, SplitMix64};
 
+use crate::lifecycle::{
+    LifecycleOutcome, LineLifecycle, XpLifecycleConfig, XpLifecycleEvent, XpLifecycleEventKind,
+};
 use crate::wear::{StartGap, WearStats};
 use crate::xpoint::{XPointConfig, XPointMedia};
 
@@ -144,7 +164,29 @@ pub struct XPointController {
     fault_rng: Option<SplitMix64>,
     media_stalls: u64,
     media_retries: u64,
+    /// Physical lines poisoned by injected-fault retry exhaustion. Kept
+    /// separate from wear-retirement escalations ([`Self::dead`]) so
+    /// `FaultReport` tallies stay comparable with injection-only runs.
     poisoned: BTreeSet<u64>,
+    /// Armed wear-out lifecycle state (`None` = lifecycle-free path).
+    lifecycle: Option<LineLifecycle>,
+    /// Retired logical lines remapped into the spare region.
+    spare_map: BTreeMap<u64, u64>,
+    /// Logical lines whose retirement exhausted the spare budget: dead,
+    /// served best-effort, excluded from capacity planning.
+    dead: BTreeSet<u64>,
+    ecc_corrected: u64,
+    ecc_uncorrectable: u64,
+    retired: u64,
+    /// Lifecycle actions awaiting drain by the observability layer.
+    events: Vec<XpLifecycleEvent>,
+    /// Logical lines newly lost as usable capacity (spare-exhausted wear
+    /// escalations, plus injected-fault poisons while the lifecycle is
+    /// armed), awaiting drain by the capacity planners above.
+    dead_notices: Vec<u64>,
+    /// `(when, cumulative dead lines)` at each spare-exhausted escalation —
+    /// the effective-capacity curve.
+    capacity_log: Vec<(Ps, u64)>,
 }
 
 impl XPointController {
@@ -163,6 +205,15 @@ impl XPointController {
             media_stalls: 0,
             media_retries: 0,
             poisoned: BTreeSet::new(),
+            lifecycle: None,
+            spare_map: BTreeMap::new(),
+            dead: BTreeSet::new(),
+            ecc_corrected: 0,
+            ecc_uncorrectable: 0,
+            retired: 0,
+            events: Vec::new(),
+            dead_notices: Vec::new(),
+            capacity_log: Vec::new(),
         }
     }
 
@@ -175,6 +226,24 @@ impl XPointController {
         self.fault_rng = Some(rng);
     }
 
+    /// Arms the wear-out lifecycle with a dedicated RNG stream (see
+    /// [`crate::lifecycle`]). Per-bucket endurance variation is drawn
+    /// eagerly here; a run whose wear never reaches the ECC onset draws
+    /// nothing per-op and stays bit-identical to an unarmed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is disabled (`endurance_writes == 0`) — gate the
+    /// call instead of arming a no-op config.
+    pub fn arm_lifecycle(&mut self, cfg: XpLifecycleConfig, rng: SplitMix64) {
+        self.lifecycle = Some(LineLifecycle::new(cfg, rng, self.map.bucket_count()));
+    }
+
+    /// Whether the wear-out lifecycle is armed.
+    pub fn lifecycle_armed(&self) -> bool {
+        self.lifecycle.is_some()
+    }
+
     /// Media operations that stalled past their DDR-T window.
     pub fn media_stalls(&self) -> u64 {
         self.media_stalls
@@ -185,7 +254,10 @@ impl XPointController {
         self.media_retries
     }
 
-    /// Lines poisoned after exhausting their retry budget.
+    /// Lines poisoned after exhausting their *injected-fault* retry
+    /// budget. Wear-retirement escalations are tracked separately in
+    /// [`Self::dead_lines`], so this tally stays comparable with
+    /// injection-only reference runs.
     pub fn poisoned_lines(&self) -> u64 {
         self.poisoned.len() as u64
     }
@@ -255,6 +327,47 @@ impl XPointController {
         (done, retries)
     }
 
+    /// A faulted media op on a logical line's behalf: like
+    /// [`Self::faulted_media_op`], but if the op poisoned its line while
+    /// the lifecycle is armed, the logical line is also noted as lost
+    /// capacity for the planners above ([`Self::drain_dead_notices`]).
+    /// With no lifecycle armed the behavior is exactly the PR-3 poison
+    /// path, so injection-only runs stay bit-identical.
+    fn faulted_line_op(&mut self, at: Ps, logical: u64, phys: Addr, write: bool) -> (Ps, u32) {
+        let poisoned_before = self.poisoned.len();
+        let r = self.faulted_media_op(at, phys, write);
+        if self.lifecycle.is_some() && self.poisoned.len() > poisoned_before {
+            self.dead_notices.push(logical);
+        }
+        r
+    }
+
+    /// Records one write against the Start-Gap map and, when it triggers
+    /// a gap rotation, books the transparent copy on the media calendars
+    /// (one read + one write that never occupy the memory channel).
+    fn book_gap_move(&mut self, at: Ps, logical: u64) {
+        if let Some(mv) = self.map.record_write(logical) {
+            let line = self.cfg.media.line_bytes;
+            let src = Addr::from_block(mv.from, line);
+            let dst = Addr::from_block(mv.to, line);
+            let read_done = self.media.read(at, src);
+            self.media.write(read_done, dst);
+            self.wear_move_reads += 1;
+            self.wear_move_writes += 1;
+        }
+    }
+
+    /// The controller-local logical line of `addr`.
+    fn logical_line(&self, addr: Addr) -> u64 {
+        addr.block_index(self.cfg.media.line_bytes) % self.map.lines()
+    }
+
+    /// Physical address of spare slot `k`, placed just past the Start-Gap
+    /// region (lines `0..=lines` — the extra one is the gap line).
+    fn spare_addr(&self, k: u64) -> Addr {
+        Addr::from_block(self.map.lines() + 1 + k, self.cfg.media.line_bytes)
+    }
+
     /// Services a line read whose command arrives at `now`.
     ///
     /// The returned time includes protocol-engine occupancy, media access
@@ -262,8 +375,38 @@ impl XPointController {
     /// handshake back to the memory controller.
     pub fn read(&mut self, now: Ps, addr: Addr) -> XpCompletion {
         let (_, ingress_done) = self.engine.book(now, self.cfg.ctrl_overhead);
+        let logical = self.logical_line(addr);
+        if self.dead.contains(&logical) {
+            // Dead line, served best-effort: worn-out cells read
+            // marginally, so the controller re-reads with a boosted
+            // sensing reference before handing data up — every dead-line
+            // read pays a second media pass. No fault draws, no
+            // lifecycle checks.
+            let phys = self.translate(addr);
+            let first = self.media_attempt(ingress_done, phys, false);
+            let data_at = self.media_attempt(first, phys, false);
+            return XpCompletion {
+                accepted_at: ingress_done,
+                media_done: data_at,
+                ready_at: data_at + self.cfg.ddrt_handshake,
+                retries: 0,
+            };
+        }
+        if let Some(&k) = self.spare_map.get(&logical) {
+            // Remapped into the spare region: fresh cells, no further
+            // lifecycle checks and no Start-Gap translation.
+            let spare = self.spare_addr(k);
+            let (data_at, retries) = self.faulted_line_op(ingress_done, logical, spare, false);
+            return XpCompletion {
+                accepted_at: ingress_done,
+                media_done: data_at,
+                ready_at: data_at + self.cfg.ddrt_handshake,
+                retries,
+            };
+        }
         let phys = self.translate(addr);
-        let (data_at, retries) = self.faulted_media_op(ingress_done, phys, false);
+        let (data_at, retries) = self.faulted_line_op(ingress_done, logical, phys, false);
+        self.lifecycle_check(data_at, logical, phys, false);
         XpCompletion {
             accepted_at: ingress_done,
             media_done: data_at,
@@ -279,26 +422,128 @@ impl XPointController {
     /// transparently (one media read + one media write), and their cost is
     /// attributed to the media calendars — they never occupy the memory
     /// channel, exactly as in the paper's logic-layer design. Injected
-    /// stalls apply to the acknowledged write, not the background copies.
+    /// stalls apply to the acknowledged write, not the background copies;
+    /// lifecycle checks likewise apply only to the foreground write.
     pub fn write(&mut self, now: Ps, addr: Addr) -> XpCompletion {
         let (_, ingress_done) = self.engine.book(now, self.cfg.ctrl_overhead);
-        let phys = self.translate(addr);
-        let logical_line = addr.block_index(self.cfg.media.line_bytes) % self.map.lines();
-        let (ack, retries) = self.faulted_media_op(ingress_done, phys, true);
-        if let Some(mv) = self.map.record_write(logical_line) {
-            let line = self.cfg.media.line_bytes;
-            let src = Addr::from_block(mv.from, line);
-            let dst = Addr::from_block(mv.to, line);
-            let read_done = self.media.read(ack, src);
-            self.media.write(read_done, dst);
-            self.wear_move_reads += 1;
-            self.wear_move_writes += 1;
+        let logical = self.logical_line(addr);
+        if self.dead.contains(&logical) {
+            // Dead line, best-effort write: exhausted cells need extended
+            // program-and-verify loops, so the write occupies the media
+            // for two passes. No lifecycle draws; the Start-Gap rotation
+            // still advances — the leveling hardware rotates on raw write
+            // count and knows nothing of ECC retirement upstream.
+            let phys = self.translate(addr);
+            let first = self.media_attempt(ingress_done, phys, true);
+            let ack = self.media_attempt(first, phys, true);
+            self.book_gap_move(ack, logical);
+            return XpCompletion {
+                accepted_at: ingress_done,
+                media_done: ack,
+                ready_at: ack + self.cfg.ddrt_handshake,
+                retries: 0,
+            };
         }
+        if let Some(&k) = self.spare_map.get(&logical) {
+            // Spare cells are fresh: no lifecycle re-checks for a
+            // remapped line, but the write still counts toward the
+            // rotation cadence (see the dead-line path above).
+            let spare = self.spare_addr(k);
+            let (ack, retries) = self.faulted_line_op(ingress_done, logical, spare, true);
+            self.book_gap_move(ack, logical);
+            return XpCompletion {
+                accepted_at: ingress_done,
+                media_done: ack,
+                ready_at: ack + self.cfg.ddrt_handshake,
+                retries,
+            };
+        }
+        let phys = self.translate(addr);
+        let (ack, retries) = self.faulted_line_op(ingress_done, logical, phys, true);
+        self.book_gap_move(ack, logical);
+        self.lifecycle_check(ack, logical, phys, true);
         XpCompletion {
             accepted_at: ingress_done,
             media_done: ack,
             ready_at: ack + self.cfg.ddrt_handshake,
             retries,
+        }
+    }
+
+    /// Classifies a completed foreground media op against the wear map and
+    /// applies the outcome: transparent fix + scrub for correctable
+    /// errors, retirement for uncorrectable errors and wear-out.
+    fn lifecycle_check(&mut self, done: Ps, logical: u64, phys: Addr, is_write: bool) {
+        let line_bytes = self.cfg.media.line_bytes;
+        let bucket = self.map.bucket_of(phys.block_index(line_bytes));
+        let writes = self.map.bucket_writes(bucket);
+        let Some(lc) = self.lifecycle.as_mut() else {
+            return;
+        };
+        match lc.classify(bucket, writes, is_write) {
+            LifecycleOutcome::Healthy => {}
+            LifecycleOutcome::Corrected => {
+                // Single-symbol fix in flight; scrub the line in the
+                // background to refresh the stored codeword.
+                self.ecc_corrected += 1;
+                let scrubbed = self.media.write(done, phys);
+                self.events.push(XpLifecycleEvent {
+                    kind: XpLifecycleEventKind::EccCorrect,
+                    line: logical,
+                    escalated: false,
+                    start: done,
+                    end: scrubbed,
+                });
+            }
+            LifecycleOutcome::Uncorrectable => {
+                self.ecc_uncorrectable += 1;
+                self.retire_line(logical, done);
+            }
+            LifecycleOutcome::WornOut => self.retire_line(logical, done),
+        }
+    }
+
+    /// Retires a logical line: remaps it into the spare region while
+    /// spares remain, otherwise escalates it to the dead (best-effort)
+    /// path and logs the capacity loss.
+    fn retire_line(&mut self, logical: u64, at: Ps) {
+        self.retired += 1;
+        let retire_end = at + self.cfg.ctrl_overhead;
+        let spares = self
+            .lifecycle
+            .as_ref()
+            .map(|lc| lc.config().spare_lines)
+            .unwrap_or(0);
+        if (self.spare_map.len() as u64) < spares {
+            let k = self.spare_map.len() as u64;
+            self.spare_map.insert(logical, k);
+            // Rebuild the line's contents into its spare slot.
+            let rebuilt = self.media.write(at, self.spare_addr(k));
+            self.events.push(XpLifecycleEvent {
+                kind: XpLifecycleEventKind::LineRetire,
+                line: logical,
+                escalated: false,
+                start: at,
+                end: retire_end,
+            });
+            self.events.push(XpLifecycleEvent {
+                kind: XpLifecycleEventKind::RemapSpare,
+                line: logical,
+                escalated: false,
+                start: at,
+                end: rebuilt,
+            });
+        } else {
+            self.dead.insert(logical);
+            self.dead_notices.push(logical);
+            self.capacity_log.push((at, self.dead.len() as u64));
+            self.events.push(XpLifecycleEvent {
+                kind: XpLifecycleEventKind::LineRetire,
+                line: logical,
+                escalated: true,
+                start: at,
+                end: retire_end,
+            });
         }
     }
 
@@ -367,15 +612,77 @@ impl XPointController {
         self.map.wear_stats()
     }
 
-    /// Estimated media lifetime in seconds at the observed write rate
-    /// (see [`StartGap::lifetime_secs`]).
-    pub fn lifetime_secs(&self, elapsed_secs: f64, endurance_writes: u64) -> Option<f64> {
-        self.map.lifetime_secs(elapsed_secs, endurance_writes)
+    /// The wear-leveling map itself. Lifetime projection lives in one
+    /// place — call [`StartGap::lifetime_secs`] on this instead of a
+    /// controller passthrough.
+    pub fn wear_map(&self) -> &StartGap {
+        &self.map
     }
 
     /// Media operations spent on wear-leveling copies: `(reads, writes)`.
     pub fn wear_move_ops(&self) -> (u64, u64) {
         (self.wear_move_reads, self.wear_move_writes)
+    }
+
+    /// Correctable ECC errors fixed transparently (each followed by a
+    /// background scrub write).
+    pub fn ecc_corrected(&self) -> u64 {
+        self.ecc_corrected
+    }
+
+    /// Uncorrectable ECC errors (each retires its line).
+    pub fn ecc_uncorrectable(&self) -> u64 {
+        self.ecc_uncorrectable
+    }
+
+    /// Logical lines retired so far (remapped *or* escalated).
+    pub fn retired_lines(&self) -> u64 {
+        self.retired
+    }
+
+    /// Spare slots consumed by retirement remaps.
+    pub fn spares_used(&self) -> u64 {
+        self.spare_map.len() as u64
+    }
+
+    /// Spare slots provisioned by the armed lifecycle config (0 unarmed).
+    pub fn spares_total(&self) -> u64 {
+        self.lifecycle
+            .as_ref()
+            .map(|lc| lc.config().spare_lines)
+            .unwrap_or(0)
+    }
+
+    /// Logical lines whose retirement exhausted the spare budget — lost
+    /// capacity the planners above must stop targeting.
+    pub fn dead_lines(&self) -> u64 {
+        self.dead.len() as u64
+    }
+
+    /// Fraction of the logical line space still usable (dead lines
+    /// excluded; spare-remapped lines still count as usable).
+    pub fn usable_fraction(&self) -> f64 {
+        1.0 - self.dead.len() as f64 / self.map.lines() as f64
+    }
+
+    /// The effective-capacity curve: `(when, cumulative dead lines)` at
+    /// each spare-exhausted escalation.
+    pub fn capacity_log(&self) -> &[(Ps, u64)] {
+        &self.capacity_log
+    }
+
+    /// Drains buffered lifecycle events (ECC corrections, retirements,
+    /// spare remaps) for the observability layer.
+    pub fn drain_lifecycle_events(&mut self) -> Vec<XpLifecycleEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drains the logical lines newly lost as usable capacity —
+    /// spare-exhausted wear escalations plus injected-fault poisons under
+    /// an armed lifecycle — so capacity planners can stop targeting their
+    /// pages. Empty (and free) while the lifecycle is unarmed.
+    pub fn drain_dead_notices(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.dead_notices)
     }
 }
 
@@ -543,5 +850,130 @@ mod tests {
         let mut c = XPointController::new(small());
         let done = c.read_page(Ps::ZERO, Addr::new(0), 0);
         assert!(done.ready_at > Ps::ZERO); // clamps to one line
+    }
+
+    fn armed_small(endurance: u64, spares: u64, corr_ppm: u32, unc_ppm: u32) -> XPointController {
+        let mut c = XPointController::new(small());
+        c.arm_lifecycle(
+            XpLifecycleConfig {
+                endurance_writes: endurance,
+                endurance_jitter_pct: 0,
+                ecc_onset: 0.5,
+                ecc_correctable_ppm: corr_ppm,
+                ecc_uncorrectable_ppm: unc_ppm,
+                spare_lines: spares,
+            },
+            SplitMix64::new(0xBEEF),
+        );
+        c
+    }
+
+    #[test]
+    fn lifecycle_below_onset_is_bit_identical() {
+        // Huge endurance: wear never reaches the ECC onset, so the armed
+        // controller draws nothing and matches the unarmed one exactly.
+        let mut plain = XPointController::new(small());
+        let mut armed = armed_small(1 << 40, 8, 400_000, 50_000);
+        for i in 0..64 {
+            let a = plain.read(Ps::ZERO, Addr::new((i % 16) * 256));
+            let b = armed.read(Ps::ZERO, Addr::new((i % 16) * 256));
+            assert_eq!(a, b);
+            let a = plain.write(Ps::ZERO, Addr::new((i % 16) * 256));
+            let b = armed.write(Ps::ZERO, Addr::new((i % 16) * 256));
+            assert_eq!(a, b);
+        }
+        assert_eq!(armed.ecc_corrected(), 0);
+        assert_eq!(armed.retired_lines(), 0);
+        assert_eq!(armed.dead_lines(), 0);
+        assert!(armed.drain_lifecycle_events().is_empty());
+    }
+
+    #[test]
+    fn wear_out_fills_spares_then_escalates() {
+        // Endurance 2, no ECC noise: the second write to each line's
+        // bucket wears it out. Two spares, three victims.
+        let mut c = armed_small(2, 2, 0, 0);
+        for line in 0..3u64 {
+            c.write(Ps::ZERO, Addr::new(line * 256));
+            c.write(Ps::ZERO, Addr::new(line * 256));
+        }
+        assert_eq!(c.retired_lines(), 3);
+        assert_eq!(c.spares_used(), 2);
+        assert_eq!(c.spares_total(), 2);
+        assert_eq!(c.dead_lines(), 1);
+        // Wear escalation does not leak into the injected-fault tally.
+        assert_eq!(c.poisoned_lines(), 0);
+        assert!(c.usable_fraction() < 1.0);
+        assert_eq!(c.capacity_log().len(), 1);
+        let events = c.drain_lifecycle_events();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == XpLifecycleEventKind::RemapSpare));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == XpLifecycleEventKind::LineRetire && e.escalated));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == XpLifecycleEventKind::LineRetire && !e.escalated));
+        assert!(events.iter().all(|e| e.start <= e.end));
+        assert!(c.drain_lifecycle_events().is_empty(), "drain must consume");
+        // Retired lines keep being serviced, spares and dead alike.
+        let done = c.read(Ps::ZERO, Addr::new(0));
+        assert!(done.ready_at > Ps::ZERO);
+        let done = c.write(Ps::ZERO, Addr::new(2 * 256));
+        assert!(done.ready_at > Ps::ZERO);
+        assert_eq!(c.retired_lines(), 3, "remapped/dead lines never re-retire");
+    }
+
+    #[test]
+    fn worn_media_corrects_ecc_errors_transparently() {
+        // Endurance 10: push one bucket to 90% wear, then hammer reads.
+        // Correctable-only config: no retirement, counters + events only.
+        // Line 100 keeps clear of the gap-move destination buckets (the
+        // gap walks down from the top of the physical space).
+        let mut c = armed_small(10, 4, 1_000_000, 0);
+        let addr = Addr::new(100 * 256);
+        for _ in 0..9 {
+            c.write(Ps::ZERO, addr);
+        }
+        assert_eq!(c.retired_lines(), 0);
+        for _ in 0..50 {
+            c.read(Ps::ZERO, addr);
+        }
+        assert!(c.ecc_corrected() > 5, "80% ramp: {}", c.ecc_corrected());
+        assert_eq!(c.ecc_uncorrectable(), 0);
+        assert_eq!(c.retired_lines(), 0);
+        let events = c.drain_lifecycle_events();
+        assert!(events
+            .iter()
+            .all(|e| e.kind == XpLifecycleEventKind::EccCorrect));
+        assert_eq!(events.len() as u64, c.ecc_corrected());
+    }
+
+    #[test]
+    fn lifecycle_is_deterministic_per_seed() {
+        let run = || {
+            let mut c = armed_small(4, 2, 300_000, 100_000);
+            for i in 0..200u64 {
+                let addr = Addr::new((i % 8) * 256);
+                if i % 3 == 0 {
+                    c.read(Ps::ZERO, addr);
+                } else {
+                    c.write(Ps::ZERO, addr);
+                }
+            }
+            (
+                c.retired_lines(),
+                c.spares_used(),
+                c.dead_lines(),
+                c.ecc_corrected(),
+                c.ecc_uncorrectable(),
+                c.drain_lifecycle_events(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.0 > 0, "endurance 4 over 200 ops must retire something");
     }
 }

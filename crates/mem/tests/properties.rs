@@ -28,6 +28,44 @@ fn start_gap_always_injective() {
     }
 }
 
+/// A full gap rotation — the gap walks every physical slot and the start
+/// register advances — upholds every translation invariant at every step:
+/// bijectivity onto `[0, lines]`, exactly one unmapped slot (the gap),
+/// byte-offset preservation through `translate_addr`, and the gap-move
+/// cadence of one rotation per `psi` writes.
+#[test]
+fn start_gap_full_rotation_invariants() {
+    let mut rng = SplitMix64::new(0x60A);
+    for _case in 0..8 {
+        let lines = 4 + rng.next_below(28);
+        let psi = 1 + rng.next_below(7) as u32;
+        let mut sg = StartGap::new(lines, psi);
+        // (lines + 1) gap moves bring the gap back to the spare slot with
+        // `start` advanced — one full rotation.
+        let total_writes = (lines + 1) * psi as u64;
+        for k in 1..=total_writes {
+            let logical = rng.next_below(lines);
+            sg.record_write(logical);
+            // Cadence: exactly one rotation per psi writes, no drift.
+            assert_eq!(sg.gap_moves(), k / psi as u64, "cadence at write {k}");
+            // Bijectivity: no two logical lines share a physical slot.
+            let mapped: std::collections::BTreeSet<u64> =
+                (0..lines).map(|l| sg.translate(l)).collect();
+            assert_eq!(mapped.len() as u64, lines, "collision at write {k}");
+            assert!(mapped.iter().all(|&p| p <= lines), "slot out of range");
+            // Exactly one physical slot — the gap — stays unmapped.
+            let unmapped: Vec<u64> = (0..=lines).filter(|p| !mapped.contains(p)).collect();
+            assert_eq!(unmapped.len(), 1, "exactly one gap at write {k}");
+            // Offset preservation composes with rotation.
+            let a = Addr::new(logical * 256 + 17);
+            let t = sg.translate_addr(a, 256);
+            assert_eq!(t.offset_in(256), 17);
+            assert_eq!(t.block_index(256), sg.translate(logical));
+        }
+        assert_eq!(sg.gap_moves(), lines + 1, "full rotation completed");
+    }
+}
+
 /// Start-Gap translation preserves the byte offset within a line.
 #[test]
 fn start_gap_preserves_offsets() {
