@@ -37,8 +37,11 @@ fn main() {
             ),
         ];
         for (label, division) in strategies {
-            let mut cfg = SystemConfig::evaluation();
-            cfg.optical.division = division;
+            let cfg = SystemConfig::evaluation()
+                .to_builder()
+                .optical_division(division)
+                .build()
+                .expect("valid sweep config");
             let r = run_platform(&cfg, Platform::OhmBase, OperationalMode::Planar, &spec);
             print_row(
                 &[

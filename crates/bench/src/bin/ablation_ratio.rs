@@ -33,8 +33,11 @@ fn main() {
     );
 
     for ratio in [4usize, 8, 16, 32] {
-        let mut cfg = SystemConfig::evaluation();
-        cfg.memory.planar_ratio = ratio;
+        let cfg = SystemConfig::evaluation()
+            .to_builder()
+            .planar_ratio(ratio)
+            .build()
+            .expect("valid sweep config");
         let r = run_platform(&cfg, Platform::OhmBw, OperationalMode::Planar, &spec);
         print_row(
             &[
@@ -49,8 +52,11 @@ fn main() {
         );
     }
     for ratio in [16usize, 32, 64, 128] {
-        let mut cfg = SystemConfig::evaluation();
-        cfg.memory.two_level_ratio = ratio;
+        let cfg = SystemConfig::evaluation()
+            .to_builder()
+            .two_level_ratio(ratio)
+            .build()
+            .expect("valid sweep config");
         let r = run_platform(&cfg, Platform::OhmBw, OperationalMode::TwoLevel, &spec);
         print_row(
             &[

@@ -29,8 +29,11 @@ fn main() {
         &widths,
     );
     for threshold in [8u32, 16, 32, 64, 128] {
-        let mut cfg = SystemConfig::evaluation();
-        cfg.memory.hot_threshold = threshold;
+        let cfg = SystemConfig::evaluation()
+            .to_builder()
+            .hot_threshold(threshold)
+            .build()
+            .expect("valid sweep config");
         for p in [Platform::OhmBase, Platform::OhmBw] {
             let r = run_platform(&cfg, p, OperationalMode::Planar, &spec);
             print_row(

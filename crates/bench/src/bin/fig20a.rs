@@ -32,8 +32,11 @@ fn main() {
     let hetero_g = geomean(&hetero);
 
     for waveguides in [1u32, 2, 4, 8] {
-        let mut cfg = SystemConfig::evaluation();
-        cfg.optical.waveguides = waveguides;
+        let cfg = SystemConfig::evaluation()
+            .to_builder()
+            .optical_waveguides(waveguides)
+            .build()
+            .expect("valid sweep config");
         let base: Vec<f64> = workloads
             .iter()
             .map(|w| run_platform(&cfg, Platform::OhmBase, mode, w).ipc)

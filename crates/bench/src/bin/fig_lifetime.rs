@@ -64,12 +64,16 @@ fn main() {
 
     let mut last = None;
     for &e in endurances {
-        let mut cfg = if smoke {
+        let base = if smoke {
             SystemConfig::quick_test()
         } else {
             SystemConfig::evaluation()
         };
-        cfg.lifecycle = (e > 0).then(|| LifecyclePlan::accelerated(LIFECYCLE_SEED, e));
+        let cfg = base
+            .to_builder()
+            .lifecycle((e > 0).then(|| LifecyclePlan::accelerated(LIFECYCLE_SEED, e)))
+            .build()
+            .expect("valid sweep config");
         let mut sys = System::new(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
         sys.enable_observability();
         let report = sys.run();

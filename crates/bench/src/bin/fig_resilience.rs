@@ -36,8 +36,11 @@ fn main() {
 
     let mut last = None;
     for &s in &severities {
-        let mut cfg = SystemConfig::evaluation();
-        cfg.faults = Some(FaultPlan::at_severity(FAULT_SEED, s));
+        let cfg = SystemConfig::evaluation()
+            .to_builder()
+            .faults(Some(FaultPlan::at_severity(FAULT_SEED, s)))
+            .build()
+            .expect("valid sweep config");
         let mut sys = System::new(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
         sys.enable_observability();
         let report = sys.run();

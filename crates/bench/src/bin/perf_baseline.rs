@@ -1,0 +1,327 @@
+//! Simulation-throughput baseline — events/sec over the tier-1 grid.
+//!
+//! Not a paper figure: this harness measures the *simulator itself*.
+//! It runs the tier-1 grid (quick-test configuration, the ten Table II
+//! workloads at the tier-1 footprint, all seven platforms, planar mode)
+//! with per-cell wall-clock profiling, and writes the result as
+//! `BENCH_throughput.json` — the committed perf trajectory of the repo.
+//!
+//! ```text
+//! perf_baseline [--smoke] [--reps N] [--out PATH] [--no-compare]
+//! ```
+//!
+//! Cells run serially (the grid runner's `threads = 1`) so per-cell wall
+//! clocks are not polluted by core contention; each cell keeps the best
+//! (fastest) of `--reps` repetitions. `--smoke` shrinks the grid to a
+//! 3 platform × 2 workload corner with one repetition for CI.
+//!
+//! If a previous baseline already exists at the output path, the new
+//! measurement is compared against it cell-by-cell (matched on
+//! platform × workload, so a smoke run compares only the cells it ran)
+//! before the file is rewritten. A >20% geomean regression prints a
+//! GitHub `::warning::` annotation — advisory, never an exit failure,
+//! because shared CI runners are noisy.
+//!
+//! See DESIGN.md §3.6 for the format and the rebaselining procedure.
+
+use std::time::Duration;
+
+use ohm_core::config::SystemConfig;
+use ohm_core::runner::{self, CellProfile, GridRun};
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::{all_workloads, WorkloadSpec};
+
+/// Regression threshold for the advisory CI warning.
+const REGRESSION_WARN: f64 = 0.20;
+
+/// Geomean events/sec of the tier-1 grid measured at the
+/// pre-optimisation seed (commit 23a125a) on the reference dev host —
+/// the denominator of the JSON's `speedup_vs_reference` field. The
+/// number is host-specific: update it alongside the committed baseline
+/// when rebaselining on new hardware (DESIGN.md §3.6).
+const PRE_OPT_GEOMEAN: f64 = 10.69e6;
+
+struct Args {
+    smoke: bool,
+    reps: usize,
+    out: String,
+    compare: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: perf_baseline [--smoke] [--reps N] [--out PATH] [--no-compare]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        reps: 3,
+        out: "BENCH_throughput.json".to_string(),
+        compare: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--no-compare" => args.compare = false,
+            "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => args.reps = n,
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => args.out = p,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if args.smoke {
+        args.reps = 1;
+    }
+    args
+}
+
+/// The tier-1 grid: quick-test configuration at the integration-test
+/// footprint (half the evaluation footprint, as `tests/platform_chain.rs`
+/// uses), planar mode.
+fn tier1_specs() -> Vec<WorkloadSpec> {
+    all_workloads()
+        .into_iter()
+        .map(|w| w.with_footprint(SystemConfig::EVALUATION_FOOTPRINT / 2))
+        .collect()
+}
+
+fn measured_grid(smoke: bool) -> (Vec<Platform>, Vec<WorkloadSpec>) {
+    let specs = tier1_specs();
+    if smoke {
+        let platforms = vec![Platform::Hetero, Platform::OhmBase, Platform::OhmBw];
+        let specs = specs
+            .into_iter()
+            .filter(|s| s.name == "lud" || s.name == "pagerank")
+            .collect();
+        (platforms, specs)
+    } else {
+        (Platform::ALL.to_vec(), specs)
+    }
+}
+
+/// One measured cell: best-of-reps wall clock and the derived rate.
+struct Cell {
+    platform: &'static str,
+    workload: String,
+    events: u64,
+    wall: Duration,
+    events_per_sec: f64,
+}
+
+fn measure(platforms: &[Platform], specs: &[WorkloadSpec], reps: usize) -> Vec<Cell> {
+    let cfg = SystemConfig::quick_test();
+    let mut best: Vec<Option<CellProfile>> = vec![None; platforms.len() * specs.len()];
+    for rep in 0..reps {
+        let result =
+            GridRun::serial()
+                .profile(true)
+                .run(&cfg, platforms, OperationalMode::Planar, specs);
+        let profiles = result.profiles.expect("profiling was requested");
+        for (slot, p) in best.iter_mut().zip(profiles) {
+            let faster = slot.as_ref().is_none_or(|b| p.wall < b.wall);
+            if faster {
+                *slot = Some(p);
+            }
+        }
+        eprintln!("rep {}/{} done", rep + 1, reps);
+    }
+    best.into_iter()
+        .map(|p| {
+            let p = p.expect("every cell measured");
+            let events = (p.events_per_sec * p.wall.as_secs_f64()).round() as u64;
+            Cell {
+                platform: p.platform.name(),
+                workload: p.workload,
+                events,
+                wall: p.wall,
+                events_per_sec: p.events_per_sec,
+            }
+        })
+        .collect()
+}
+
+/// Renders the measurement as the committed JSON document (hand-rolled,
+/// like `trace.rs`: the workspace is dependency-free). One cell per line
+/// with a fixed key order — `parse_baseline` below relies on that shape.
+fn render_json(cells: &[Cell], reps: usize, geomean: f64) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    let _ = writeln!(
+        out,
+        "  \"grid\": \"quick_test x Table II (256 MiB footprint) x Planar, serial cells\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"host\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {} }},",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"geomean_events_per_sec\": {geomean:.1},");
+    let _ = writeln!(
+        out,
+        "  \"reference\": {{ \"label\": \"pre-optimisation seed (23a125a)\", \
+         \"geomean_events_per_sec\": {PRE_OPT_GEOMEAN:.1}, \
+         \"speedup_vs_reference\": {:.3} }},",
+        geomean / PRE_OPT_GEOMEAN
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"platform\": \"{}\", \"workload\": \"{}\", \"events\": {}, \
+             \"wall_ms\": {:.3}, \"events_per_sec\": {:.1} }}",
+            c.platform,
+            c.workload,
+            c.events,
+            c.wall.as_secs_f64() * 1e3,
+            c.events_per_sec
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `(platform, workload) -> events_per_sec` from a baseline
+/// file previously written by `render_json` (line-oriented scan; no JSON
+/// dependency in the workspace).
+fn parse_baseline(text: &str) -> Vec<(String, String, f64)> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find(['"', ',', ' ', '}']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+    text.lines()
+        .filter(|l| l.contains("\"platform\"") && l.contains("\"events_per_sec\""))
+        .filter_map(|l| {
+            let p = field(l, "platform")?.to_string();
+            let w = field(l, "workload")?.to_string();
+            let eps: f64 = field(l, "events_per_sec")?.parse().ok()?;
+            Some((p, w, eps))
+        })
+        .collect()
+}
+
+/// Compares the new cells against a prior baseline over the matched
+/// subset, returning `(speedup, matched_cells)`.
+fn compare(cells: &[Cell], baseline: &[(String, String, f64)]) -> Option<(f64, usize)> {
+    let ratios: Vec<f64> = cells
+        .iter()
+        .filter_map(|c| {
+            baseline
+                .iter()
+                .find(|(p, w, _)| p == c.platform && w == &c.workload)
+                .map(|(_, _, base)| c.events_per_sec / base.max(1e-9))
+        })
+        .collect();
+    if ratios.is_empty() {
+        None
+    } else {
+        Some((runner::geomean(&ratios), ratios.len()))
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (platforms, specs) = measured_grid(args.smoke);
+    eprintln!(
+        "perf_baseline: {} platforms x {} workloads, {} rep(s){}",
+        platforms.len(),
+        specs.len(),
+        args.reps,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+
+    let cells = measure(&platforms, &specs, args.reps);
+    let rates: Vec<f64> = cells.iter().map(|c| c.events_per_sec).collect();
+    let geomean = runner::geomean(&rates);
+
+    println!(
+        "{:<10} {:<10} {:>10} {:>10} {:>14}",
+        "platform", "workload", "events", "wall_ms", "events/sec"
+    );
+    for c in &cells {
+        println!(
+            "{:<10} {:<10} {:>10} {:>10.3} {:>14.0}",
+            c.platform,
+            c.workload,
+            c.events,
+            c.wall.as_secs_f64() * 1e3,
+            c.events_per_sec
+        );
+    }
+    println!("geomean events/sec: {geomean:.0}");
+
+    if args.compare {
+        if let Ok(prev) = std::fs::read_to_string(&args.out) {
+            match compare(&cells, &parse_baseline(&prev)) {
+                Some((speedup, n)) => {
+                    println!("vs committed baseline ({n} matched cells): {speedup:.3}x");
+                    if speedup < 1.0 - REGRESSION_WARN {
+                        println!(
+                            "::warning title=perf regression::geomean events/sec is \
+                             {speedup:.3}x the committed baseline (threshold {:.2}x); \
+                             rebaseline with `cargo run --release -p ohm-bench --bin \
+                             perf_baseline` if intended",
+                            1.0 - REGRESSION_WARN
+                        );
+                    }
+                }
+                None => eprintln!("no matching cells in {}; skipping comparison", args.out),
+            }
+        }
+    }
+
+    let json = render_json(&cells, args.reps, geomean);
+    std::fs::write(&args.out, &json).expect("write baseline JSON");
+    eprintln!("wrote {}", args.out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrip() {
+        let cells = vec![
+            Cell {
+                platform: "Ohm-base",
+                workload: "lud".into(),
+                events: 100,
+                wall: Duration::from_millis(2),
+                events_per_sec: 50_000.0,
+            },
+            Cell {
+                platform: "Oracle",
+                workload: "pagerank".into(),
+                events: 300,
+                wall: Duration::from_millis(3),
+                events_per_sec: 100_000.0,
+            },
+        ];
+        let json = render_json(&cells, 3, 70_710.7);
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "Ohm-base");
+        assert_eq!(parsed[0].1, "lud");
+        assert!((parsed[0].2 - 50_000.0).abs() < 0.1);
+        let (speedup, n) = compare(&cells, &parsed).unwrap();
+        assert_eq!(n, 2);
+        assert!((speedup - 1.0).abs() < 1e-9);
+    }
+}

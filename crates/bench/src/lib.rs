@@ -41,19 +41,13 @@ pub fn profiling_enabled() -> bool {
 pub fn evaluation_grid(platforms: &[Platform], mode: OperationalMode) -> Vec<Vec<SimReport>> {
     let cfg = SystemConfig::evaluation();
     let specs = evaluation_workloads();
-    if profiling_enabled() {
-        let (grid, profiles) = runner::run_grid_profiled(
-            &cfg,
-            platforms,
-            mode,
-            &specs,
-            ohm_core::par::default_threads(),
-        );
-        eprint!("{}", runner::format_profiles(&profiles));
-        grid
-    } else {
-        runner::run_grid(&cfg, platforms, mode, &specs)
+    let result = runner::GridRun::new()
+        .profile(profiling_enabled())
+        .run(&cfg, platforms, mode, &specs);
+    if let Some(profiles) = &result.profiles {
+        eprint!("{}", runner::format_profiles(profiles));
     }
+    result.rows
 }
 
 /// Prints a table header row followed by an underline.

@@ -9,7 +9,7 @@
 use ohm_mem::dram::{DramConfig, DramTiming};
 use ohm_mem::xpoint::XPointConfig;
 use ohm_mem::xpoint_ctrl::XpCtrlConfig;
-use ohm_optic::{ElectricalConfig, OperationalMode, OpticalChannelConfig};
+use ohm_optic::{ChannelDivision, ElectricalConfig, OperationalMode, OpticalChannelConfig};
 #[cfg(test)]
 use ohm_sim::Freq;
 use ohm_sim::Ps;
@@ -164,7 +164,7 @@ impl Default for SystemConfig {
 }
 
 /// A configuration problem detected by [`SystemConfig::validate`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// The memory system needs at least one controller.
     NoControllers,
@@ -183,6 +183,8 @@ pub enum ConfigError {
     ZeroRatio(&'static str),
     /// The per-warp instruction budget must be positive.
     ZeroBudget,
+    /// Origin's resident fraction must be finite and in `(0, 1]`.
+    BadResidentFraction(f64),
     /// A fault-plan field is outside its valid range.
     BadFaultPlan(&'static str),
     /// A lifecycle-plan field is outside its valid range.
@@ -203,6 +205,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::EmptyGpu => write!(f, "need at least one SM and one warp per SM"),
             ConfigError::ZeroRatio(what) => write!(f, "{what} must be positive"),
             ConfigError::ZeroBudget => write!(f, "instructions per warp must be positive"),
+            ConfigError::BadResidentFraction(v) => {
+                write!(f, "origin resident fraction {v} must be in (0, 1]")
+            }
             ConfigError::BadFaultPlan(what) => write!(f, "fault plan: {what}"),
             ConfigError::BadLifecyclePlan(what) => write!(f, "lifecycle plan: {what}"),
         }
@@ -249,6 +254,10 @@ impl SystemConfig {
         }
         if self.memory.two_level_ratio == 0 {
             return Err(ConfigError::ZeroRatio("two-level DRAM:XPoint ratio"));
+        }
+        let frac = self.memory.origin_resident_fraction;
+        if !(frac.is_finite() && frac > 0.0 && frac <= 1.0) {
+            return Err(ConfigError::BadResidentFraction(frac));
         }
         if let Some(plan) = &self.faults {
             if !plan.q_derate.is_finite() || plan.q_derate < 1.0 {
@@ -360,6 +369,148 @@ impl SystemConfig {
             capacity_bytes: (total_capacity / self.memory.controllers as u64).max(4096),
             ..self.memory.xpoint.media
         }
+    }
+
+    /// Starts a [`SystemConfigBuilder`] from the Table I defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfig::default().to_builder()
+    }
+
+    /// Starts a [`SystemConfigBuilder`] from this configuration — the
+    /// idiom for experiment harnesses that sweep one knob of a named
+    /// base configuration (e.g. [`SystemConfig::evaluation`]).
+    pub fn to_builder(self) -> SystemConfigBuilder {
+        SystemConfigBuilder { cfg: self }
+    }
+}
+
+/// Fluent, validating constructor for [`SystemConfig`].
+///
+/// Setters cover the knobs the experiment harnesses sweep; [`build`]
+/// runs [`SystemConfig::validate`] so an inconsistent configuration is
+/// reported as a [`ConfigError`] at construction instead of a panic
+/// deep inside [`crate::System`].
+///
+/// [`build`]: SystemConfigBuilder::build
+///
+/// # Example
+///
+/// ```
+/// use ohm_core::SystemConfig;
+///
+/// let cfg = SystemConfig::evaluation()
+///     .to_builder()
+///     .planar_ratio(16)
+///     .hot_threshold(32)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.memory.planar_ratio, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Number of streaming multiprocessors.
+    pub fn sms(mut self, sms: usize) -> Self {
+        self.cfg.gpu.sms = sms;
+        self
+    }
+
+    /// Resident warps per SM.
+    pub fn warps_per_sm(mut self, warps: usize) -> Self {
+        self.cfg.gpu.sm.warps = warps;
+        self
+    }
+
+    /// Instruction budget per warp lane.
+    pub fn insts_per_warp(mut self, insts: u64) -> Self {
+        self.cfg.insts_per_warp = insts;
+        self
+    }
+
+    /// Number of memory controllers / channels.
+    pub fn controllers(mut self, controllers: usize) -> Self {
+        self.cfg.memory.controllers = controllers;
+        self
+    }
+
+    /// Address-interleave granularity across controllers.
+    pub fn interleave_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.memory.interleave_bytes = bytes;
+        self
+    }
+
+    /// DRAM:XPoint capacity ratio in planar mode.
+    pub fn planar_ratio(mut self, ratio: usize) -> Self {
+        self.cfg.memory.planar_ratio = ratio;
+        self
+    }
+
+    /// DRAM:XPoint capacity ratio in two-level mode.
+    pub fn two_level_ratio(mut self, ratio: usize) -> Self {
+        self.cfg.memory.two_level_ratio = ratio;
+        self
+    }
+
+    /// Planar hot-page promotion threshold (accesses).
+    pub fn hot_threshold(mut self, threshold: u32) -> Self {
+        self.cfg.memory.hot_threshold = threshold;
+        self
+    }
+
+    /// Fraction of the footprint resident in Origin's DRAM, in `(0, 1]`.
+    pub fn origin_resident_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.memory.origin_resident_fraction = fraction;
+        self
+    }
+
+    /// Number of optical waveguides.
+    pub fn optical_waveguides(mut self, waveguides: u32) -> Self {
+        self.cfg.optical.waveguides = waveguides;
+        self
+    }
+
+    /// Optical channel-division strategy.
+    pub fn optical_division(mut self, division: ChannelDivision) -> Self {
+        self.cfg.optical.division = division;
+        self
+    }
+
+    /// RNG seed for workload generation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Fault-injection plan (`None` disables injection).
+    pub fn faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// XPoint wear-out lifecycle plan (`None` disables the lifecycle).
+    pub fn lifecycle(mut self, plan: Option<LifecyclePlan>) -> Self {
+        self.cfg.lifecycle = plan;
+        self
+    }
+
+    /// Escape hatch for fields without a dedicated setter.
+    pub fn tweak(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by
+    /// [`SystemConfig::validate`].
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -486,6 +637,70 @@ mod tests {
         bad.lifecycle.as_mut().unwrap().xpoint.endurance_jitter_pct = 100;
         let err = bad.validate().unwrap_err();
         assert!(err.to_string().contains("lifecycle plan"), "{err}");
+    }
+
+    #[test]
+    fn builder_sets_and_validates() {
+        let cfg = SystemConfig::builder()
+            .sms(4)
+            .warps_per_sm(8)
+            .insts_per_warp(500)
+            .planar_ratio(16)
+            .two_level_ratio(32)
+            .hot_threshold(32)
+            .seed(7)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.gpu.sms, 4);
+        assert_eq!(cfg.gpu.sm.warps, 8);
+        assert_eq!(cfg.insts_per_warp, 500);
+        assert_eq!(cfg.memory.planar_ratio, 16);
+        assert_eq!(cfg.memory.two_level_ratio, 32);
+        assert_eq!(cfg.memory.hot_threshold, 32);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn builder_rejects_invalid() {
+        assert_eq!(
+            SystemConfig::builder().controllers(0).build(),
+            Err(ConfigError::NoControllers)
+        );
+        assert_eq!(
+            SystemConfig::builder().sms(0).build(),
+            Err(ConfigError::EmptyGpu)
+        );
+        assert_eq!(
+            SystemConfig::builder().interleave_bytes(3000).build(),
+            Err(ConfigError::NotPowerOfTwo("interleave granularity"))
+        );
+        assert_eq!(
+            SystemConfig::builder().planar_ratio(0).build(),
+            Err(ConfigError::ZeroRatio("planar DRAM:XPoint ratio"))
+        );
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let err = SystemConfig::builder()
+                .origin_resident_fraction(bad)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, ConfigError::BadResidentFraction(_)),
+                "{bad}: {err}"
+            );
+        }
+        assert!(ConfigError::BadResidentFraction(1.5)
+            .to_string()
+            .contains("(0, 1]"));
+    }
+
+    #[test]
+    fn builder_tweak_reaches_any_field() {
+        let cfg = SystemConfig::quick_test()
+            .to_builder()
+            .tweak(|c| c.memory.mshr_per_mc = 64)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.memory.mshr_per_mc, 64);
     }
 
     #[test]

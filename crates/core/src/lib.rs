@@ -59,7 +59,7 @@ pub mod sweep;
 pub mod system;
 mod trace;
 
-pub use config::{ConfigError, SystemConfig};
+pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use fault::{FaultCounters, FaultPlan, LifecyclePlan, RecoveryEvent};
 pub use metrics::{FaultReport, SimReport, WearReport};
 pub use system::System;

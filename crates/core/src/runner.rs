@@ -2,7 +2,12 @@
 //!
 //! The figure harnesses in `ohm-bench` all follow the same shape: run a
 //! set of platforms over the Table II workloads in one or both memory
-//! modes, then normalise. These helpers centralise that plumbing.
+//! modes, then normalise. [`GridRun`] is the single entry point for
+//! those grids — an options struct selecting worker count, per-cell
+//! wall-clock profiling and stderr progress — and the older
+//! `run_grid*` free functions remain as thin deprecated wrappers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
@@ -23,33 +28,179 @@ pub fn run_platform(
     System::new(cfg, platform, mode, spec).run()
 }
 
+/// Options for one grid run — the single entry point that replaced the
+/// `run_grid` / `run_grid_serial` / `run_grid_threaded` /
+/// `run_grid_profiled` quartet.
+///
+/// ```no_run
+/// # use ohm_core::config::SystemConfig;
+/// # use ohm_core::runner::GridRun;
+/// # use ohm_hetero::Platform;
+/// # use ohm_optic::OperationalMode;
+/// # let specs = Vec::new();
+/// let result = GridRun::new()
+///     .profile(true)
+///     .run(
+///         &SystemConfig::quick_test(),
+///         &Platform::ALL,
+///         OperationalMode::Planar,
+///         &specs,
+///     );
+/// let grid = result.rows; // grid[workload][platform]
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridRun {
+    threads: usize,
+    profile: bool,
+    progress: bool,
+}
+
+impl Default for GridRun {
+    fn default() -> Self {
+        GridRun::new()
+    }
+}
+
+impl GridRun {
+    /// A grid run over all available cores, without profiling or
+    /// progress output.
+    pub fn new() -> Self {
+        GridRun {
+            threads: default_threads(),
+            profile: false,
+            progress: false,
+        }
+    }
+
+    /// A single-threaded grid run — the reference the parallel path is
+    /// checked against, and the right choice when cells are being
+    /// wall-clock timed (no core contention).
+    pub fn serial() -> Self {
+        GridRun::new().threads(1)
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Requests per-cell wall-clock profiles ([`GridResult::profiles`]).
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Prints one `[done/total] platform workload` line to stderr as
+    /// each cell completes. Completion order is nondeterministic under
+    /// parallelism; simulated results are unaffected.
+    pub fn progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Runs `platforms` over `specs` in `mode`, returning
+    /// `rows[workload][platform]` in input order.
+    ///
+    /// Cells run in parallel across `threads` workers; each cell builds
+    /// its own [`System`], so the reports are bit-identical to a serial
+    /// run's regardless of the worker count.
+    pub fn run(
+        &self,
+        cfg: &SystemConfig,
+        platforms: &[Platform],
+        mode: OperationalMode,
+        specs: &[WorkloadSpec],
+    ) -> GridResult {
+        let cols = platforms.len();
+        let n = specs.len() * cols;
+        let done = AtomicUsize::new(0);
+        let job = |i: usize| {
+            let report = run_platform(cfg, platforms[i % cols], mode, &specs[i / cols]);
+            if self.progress {
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[{finished}/{n}] {} {}",
+                    report.platform.name(),
+                    report.workload
+                );
+            }
+            report
+        };
+        if self.profile {
+            let cells = par_map_indexed_profiled(n, self.threads, job);
+            let profiles = cells
+                .iter()
+                .map(|(r, wall)| CellProfile::new(r, *wall))
+                .collect();
+            GridResult {
+                rows: chunk_rows(cells.into_iter().map(|(r, _)| r).collect(), cols),
+                profiles: Some(profiles),
+            }
+        } else {
+            let cells = par_map_indexed(n, self.threads, job);
+            GridResult {
+                rows: chunk_rows(cells, cols),
+                profiles: None,
+            }
+        }
+    }
+}
+
+/// The outcome of a [`GridRun`].
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// `rows[workload][platform]`, in input order.
+    pub rows: Vec<Vec<SimReport>>,
+    /// Per-cell wall-clock profiles in row-major cell order; `Some`
+    /// only when [`GridRun::profile`] was requested.
+    pub profiles: Option<Vec<CellProfile>>,
+}
+
+/// Splits a flat row-major cell vector into `rows[workload][platform]`.
+fn chunk_rows(cells: Vec<SimReport>, cols: usize) -> Vec<Vec<SimReport>> {
+    if cols == 0 {
+        return Vec::new();
+    }
+    let mut rows: Vec<Vec<SimReport>> = Vec::with_capacity(cells.len() / cols);
+    let mut cells = cells.into_iter();
+    loop {
+        let row: Vec<SimReport> = cells.by_ref().take(cols).collect();
+        if row.is_empty() {
+            return rows;
+        }
+        rows.push(row);
+    }
+}
+
 /// Runs several platforms over several workloads in one mode, returning
 /// `results[workload][platform]` in input order.
-///
-/// Cells run in parallel across the machine's cores; each cell builds
-/// its own [`System`], so the reports are bit-identical to
-/// [`run_grid_serial`]'s.
+#[deprecated(since = "0.2.0", note = "use `GridRun::new().run(...)` instead")]
 pub fn run_grid(
     cfg: &SystemConfig,
     platforms: &[Platform],
     mode: OperationalMode,
     specs: &[WorkloadSpec],
 ) -> Vec<Vec<SimReport>> {
-    run_grid_threaded(cfg, platforms, mode, specs, default_threads())
+    GridRun::new().run(cfg, platforms, mode, specs).rows
 }
 
-/// [`run_grid`] on the caller's thread only — the reference the parallel
-/// path is checked against.
+/// [`run_grid`] on the caller's thread only.
+#[deprecated(since = "0.2.0", note = "use `GridRun::serial().run(...)` instead")]
 pub fn run_grid_serial(
     cfg: &SystemConfig,
     platforms: &[Platform],
     mode: OperationalMode,
     specs: &[WorkloadSpec],
 ) -> Vec<Vec<SimReport>> {
-    run_grid_threaded(cfg, platforms, mode, specs, 1)
+    GridRun::serial().run(cfg, platforms, mode, specs).rows
 }
 
 /// [`run_grid`] over an explicit worker count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GridRun::new().threads(n).run(...)` instead"
+)]
 pub fn run_grid_threaded(
     cfg: &SystemConfig,
     platforms: &[Platform],
@@ -57,16 +208,31 @@ pub fn run_grid_threaded(
     specs: &[WorkloadSpec],
     threads: usize,
 ) -> Vec<Vec<SimReport>> {
-    let cols = platforms.len();
-    let cells = par_map_indexed(specs.len() * cols, threads, |i| {
-        run_platform(cfg, platforms[i % cols], mode, &specs[i / cols])
-    });
-    let mut rows: Vec<Vec<SimReport>> = Vec::with_capacity(specs.len());
-    let mut cells = cells.into_iter();
-    for _ in 0..specs.len() {
-        rows.push(cells.by_ref().take(cols).collect());
-    }
-    rows
+    GridRun::new()
+        .threads(threads)
+        .run(cfg, platforms, mode, specs)
+        .rows
+}
+
+/// [`run_grid_threaded`] that additionally profiles each cell's
+/// wall-clock cost.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GridRun::new().threads(n).profile(true).run(...)` instead"
+)]
+pub fn run_grid_profiled(
+    cfg: &SystemConfig,
+    platforms: &[Platform],
+    mode: OperationalMode,
+    specs: &[WorkloadSpec],
+    threads: usize,
+) -> (Vec<Vec<SimReport>>, Vec<CellProfile>) {
+    let result = GridRun::new()
+        .threads(threads)
+        .profile(true)
+        .run(cfg, platforms, mode, specs);
+    let profiles = result.profiles.expect("profiling was requested");
+    (result.rows, profiles)
 }
 
 /// Wall-clock profile of one grid cell — harness-side reporting only;
@@ -131,32 +297,6 @@ pub fn format_profiles(profiles: &[CellProfile]) -> String {
     out
 }
 
-/// [`run_grid_threaded`] that additionally profiles each cell's
-/// wall-clock cost, returning `(grid, profiles)` with profiles in cell
-/// (row-major) order.
-pub fn run_grid_profiled(
-    cfg: &SystemConfig,
-    platforms: &[Platform],
-    mode: OperationalMode,
-    specs: &[WorkloadSpec],
-    threads: usize,
-) -> (Vec<Vec<SimReport>>, Vec<CellProfile>) {
-    let cols = platforms.len();
-    let cells = par_map_indexed_profiled(specs.len() * cols, threads, |i| {
-        run_platform(cfg, platforms[i % cols], mode, &specs[i / cols])
-    });
-    let profiles: Vec<CellProfile> = cells
-        .iter()
-        .map(|(r, wall)| CellProfile::new(r, *wall))
-        .collect();
-    let mut rows: Vec<Vec<SimReport>> = Vec::with_capacity(specs.len());
-    let mut cells = cells.into_iter().map(|(r, _)| r);
-    for _ in 0..specs.len() {
-        rows.push(cells.by_ref().take(cols).collect());
-    }
-    (rows, profiles)
-}
-
 /// Geometric mean of a positive series (0 for an empty one).
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -168,10 +308,18 @@ pub fn geomean(xs: &[f64]) -> f64 {
 
 /// Normalises each row of a grid to the column `baseline` (e.g. IPC
 /// normalised to Ohm-base, as in Figure 16).
+///
+/// A stalled baseline cell (IPC ≤ 0, or non-finite) yields `0.0` for
+/// its whole row rather than Inf/NaN — the ratio-metric policy
+/// throughout the workspace is that degenerate denominators report a
+/// finite zero, so [`column_geomeans`] stays finite.
 pub fn normalize_ipc(grid: &[Vec<SimReport>], baseline: usize) -> Vec<Vec<f64>> {
     grid.iter()
         .map(|row| {
             let base = row[baseline].ipc;
+            if base <= 0.0 || !base.is_finite() {
+                return vec![0.0; row.len()];
+            }
             row.iter().map(|r| r.ipc / base).collect()
         })
         .collect()
@@ -208,7 +356,9 @@ mod tests {
         let cfg = SystemConfig::quick_test();
         let specs = vec![workload_by_name("lud").unwrap()];
         let platforms = [Platform::OhmBase, Platform::Oracle];
-        let grid = run_grid(&cfg, &platforms, OperationalMode::Planar, &specs);
+        let grid = GridRun::new()
+            .run(&cfg, &platforms, OperationalMode::Planar, &specs)
+            .rows;
         assert_eq!(grid.len(), 1);
         assert_eq!(grid[0].len(), 2);
         let norm = normalize_ipc(&grid, 0);
@@ -216,5 +366,68 @@ mod tests {
         let means = column_geomeans(&norm);
         assert_eq!(means.len(), 2);
         assert!((means[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_profile_matches_rows() {
+        let cfg = SystemConfig::quick_test();
+        let specs = vec![workload_by_name("lud").unwrap()];
+        let platforms = [Platform::OhmBase, Platform::Oracle];
+        let result =
+            GridRun::serial()
+                .profile(true)
+                .run(&cfg, &platforms, OperationalMode::Planar, &specs);
+        let profiles = result.profiles.expect("profiles requested");
+        assert_eq!(profiles.len(), 2);
+        for (p, r) in profiles.iter().zip(&result.rows[0]) {
+            assert_eq!(p.platform, r.platform);
+            assert_eq!(p.workload, r.workload);
+            assert_eq!(p.sim_makespan, r.makespan);
+            assert!(p.events_per_sec > 0.0);
+        }
+        // Unprofiled runs carry no profiles.
+        let plain = GridRun::serial().run(&cfg, &platforms, OperationalMode::Planar, &specs);
+        assert!(plain.profiles.is_none());
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_work() {
+        #![allow(deprecated)]
+        let cfg = SystemConfig::quick_test();
+        let specs = vec![workload_by_name("lud").unwrap()];
+        let platforms = [Platform::OhmBase];
+        let a = run_grid_serial(&cfg, &platforms, OperationalMode::Planar, &specs);
+        let b = GridRun::serial()
+            .run(&cfg, &platforms, OperationalMode::Planar, &specs)
+            .rows;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalize_ipc_guards_zero_baseline() {
+        let cfg = SystemConfig::quick_test();
+        let spec = workload_by_name("lud").unwrap();
+        let proto = run_platform(&cfg, Platform::OhmBase, OperationalMode::Planar, &spec);
+        let report = |ipc: f64| {
+            let mut r = proto.clone();
+            r.ipc = ipc;
+            r
+        };
+        let grid = vec![
+            vec![report(2.0), report(1.0)],
+            vec![report(3.0), report(0.0)],
+        ];
+        let norm = normalize_ipc(&grid, 1);
+        assert_eq!(norm[0], vec![2.0, 1.0]);
+        // Zero baseline: whole row reports finite zero, not Inf/NaN.
+        assert_eq!(norm[1], vec![0.0, 0.0]);
+        let means = column_geomeans(&norm);
+        assert!(means.iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn chunking_handles_empty_grids() {
+        assert!(chunk_rows(Vec::new(), 3).is_empty());
+        assert!(chunk_rows(Vec::new(), 0).is_empty());
     }
 }

@@ -270,8 +270,7 @@ impl PlanarBackend {
                 xp.write_page(to_xp, req.xpoint_addr, lines).ready_at
             };
             env.stats.record_swap_window(dram_written - now);
-            env.stats
-                .record_stage(Stage::Migration, mc, now, dram_written);
+            env.stage(Stage::Migration, mc, now, dram_written);
             env.register_swap_pages(mc, req.dram_addr, req.xpoint_addr, dram_written, xp_written);
         } else if self.caps.auto_rw {
             // Reads before writes: the XPoint controller prioritises
@@ -311,8 +310,7 @@ impl PlanarBackend {
             // requests to devices that are not busy (Figure 7a, step 1);
             // the migration's cost is the channel and device occupancy.
             env.stats.record_swap_window(dram_written - now);
-            env.stats
-                .record_stage(Stage::Migration, mc, now, dram_written);
+            env.stage(Stage::Migration, mc, now, dram_written);
             env.register_swap_pages(
                 mc,
                 req.dram_addr,
@@ -350,8 +348,7 @@ impl PlanarBackend {
                 xp.write_page(down2, req.xpoint_addr, lines).ready_at
             };
             env.stats.record_swap_window(dram_written - now);
-            env.stats
-                .record_stage(Stage::Migration, mc, now, dram_written);
+            env.stage(Stage::Migration, mc, now, dram_written);
             env.register_swap_pages(mc, req.dram_addr, req.xpoint_addr, dram_written, xp_written);
         }
         self.maps[mc].commit_swap(&req);
@@ -461,8 +458,7 @@ impl MemoryBackend for TwoLevelBackend {
                         .dram
                         .access(fill_xfer, dram_addr, MemKind::Write);
                 }
-                env.stats
-                    .record_stage(Stage::Migration, mc, now, data_at_mc);
+                env.stage(Stage::Migration, mc, now, data_at_mc);
                 data_at_mc
             }
             TwoLevelOutcome::Bypass { xpoint_addr } => {

@@ -68,11 +68,10 @@ pub trait Fabric {
     /// logging is disabled.
     fn drain_intervals(&mut self) -> Vec<BusyInterval>;
 
-    /// Takes the recovery events accumulated since the last drain.
+    /// Appends the recovery events accumulated since the last drain to
+    /// `out`, whose capacity the caller reuses across requests.
     /// Fault-free fabrics never produce any.
-    fn drain_recovery(&mut self) -> Vec<RecoveryEvent> {
-        Vec::new()
-    }
+    fn drain_recovery_into(&mut self, _out: &mut Vec<RecoveryEvent>) {}
 
     /// Snapshot of the fabric's fault/recovery counters. All-zero on
     /// fault-free fabrics.
@@ -428,8 +427,8 @@ impl Fabric for ResilientFabric {
         v
     }
 
-    fn drain_recovery(&mut self) -> Vec<RecoveryEvent> {
-        std::mem::take(&mut self.recovery)
+    fn drain_recovery_into(&mut self, out: &mut Vec<RecoveryEvent>) {
+        out.append(&mut self.recovery);
     }
 
     fn fault_counters(&self) -> FaultCounters {

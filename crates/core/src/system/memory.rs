@@ -10,22 +10,24 @@
 //! which also carries the [`Fabric`] and the [`StatsSink`].
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use ohm_hetero::{ConflictDetector, Platform};
 use ohm_mem::{
     DdrMonitor, DdrSequenceGenerator, DramModule, MemKind, XPointController, XpLifecycleEventKind,
 };
 use ohm_optic::{OperationalMode, TrafficClass};
-use ohm_sim::{Addr, Ps, SplitMix64};
+use ohm_sim::{Addr, FastDiv, FastMap, Ps, SplitMix64};
 use ohm_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
 use crate::metrics::HostReport;
 
+use crate::fault::RecoveryEvent;
+
 use super::backend::build_backend;
 use super::fabric::{build_fabric, Fabric};
-use super::stats::Stage;
+use super::stats::{Stage, StageEvent};
 use super::{MemoryBackend, StatsSink};
 
 /// Command/address bits preceding each data burst on the channel.
@@ -70,9 +72,28 @@ pub struct MemEnv<'a> {
     pub stats: &'a mut dyn StatsSink,
     /// Migration releases to schedule on the event queue.
     pub(crate) pending: &'a mut Vec<PendingRelease>,
+    /// Whether the sink's per-stage collector is on (sampled once per
+    /// request, so the hot path skips batching entirely when it is off).
+    pub(crate) stages_on: bool,
+    /// Stage intervals batched during one request and drained into the
+    /// sink once `service` returns; the buffer's capacity is reused.
+    pub(crate) stage_batch: &'a mut Vec<StageEvent>,
 }
 
 impl MemEnv<'_> {
+    /// Batches one request-path stage interval (drained to the sink after
+    /// the backend returns, preserving per-request recording order).
+    #[inline]
+    pub(crate) fn stage(&mut self, stage: Stage, res: usize, start: Ps, end: Ps) {
+        if self.stages_on {
+            self.stage_batch.push(StageEvent {
+                stage,
+                res: res as u32,
+                start,
+                end,
+            });
+        }
+    }
     /// Round-trip of one line to the DRAM device: command, bank access,
     /// and (for reads) the data burst back.
     pub(crate) fn dram_line_rt(&mut self, now: Ps, mc: usize, la: Addr, kind: MemKind) -> Ps {
@@ -83,8 +104,7 @@ impl MemEnv<'_> {
                     self.fabric
                         .xfer(now, mc, CMD_BITS, TrafficClass::Demand, DEV_DRAM);
                 let acc = self.mcs[mc].dram.access(cmd_done, la, kind);
-                self.stats
-                    .record_stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
+                self.stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
                 let (_, data_done) =
                     self.fabric
                         .xfer(acc.data_at, mc, line_bits, TrafficClass::Demand, DEV_DRAM);
@@ -99,8 +119,7 @@ impl MemEnv<'_> {
                     DEV_DRAM,
                 );
                 let acc = self.mcs[mc].dram.access(xfer_done, la, kind);
-                self.stats
-                    .record_stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
+                self.stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
                 acc.data_at
             }
         }
@@ -114,20 +133,18 @@ impl MemEnv<'_> {
                 let (_, cmd_done) =
                     self.fabric
                         .xfer(now, mc, CMD_BITS, TrafficClass::Demand, DEV_XPOINT);
-                let ready = {
+                let c = {
                     let xp = self.mcs[mc]
                         .xpoint
                         .as_mut()
                         .expect("heterogeneous platform");
-                    let c = xp.read(cmd_done, la);
-                    self.stats
-                        .record_stage(Stage::DeviceXPoint, mc, c.accepted_at, c.media_done);
-                    if c.retries > 0 {
-                        self.stats
-                            .record_stage(Stage::MediaRetry, mc, c.accepted_at, c.media_done);
-                    }
-                    c.ready_at
+                    xp.read(cmd_done, la)
                 };
+                self.stage(Stage::DeviceXPoint, mc, c.accepted_at, c.media_done);
+                if c.retries > 0 {
+                    self.stage(Stage::MediaRetry, mc, c.accepted_at, c.media_done);
+                }
+                let ready = c.ready_at;
                 let (_, data_done) =
                     self.fabric
                         .xfer(ready, mc, line_bits, TrafficClass::Demand, DEV_XPOINT);
@@ -153,11 +170,9 @@ impl MemEnv<'_> {
                         .expect("heterogeneous platform");
                     xp.write(xfer_done, la)
                 };
-                self.stats
-                    .record_stage(Stage::DeviceXPoint, mc, c.accepted_at, c.media_done);
+                self.stage(Stage::DeviceXPoint, mc, c.accepted_at, c.media_done);
                 if c.retries > 0 {
-                    self.stats
-                        .record_stage(Stage::MediaRetry, mc, c.accepted_at, c.media_done);
+                    self.stage(Stage::MediaRetry, mc, c.accepted_at, c.media_done);
                 }
                 c.ready_at
             }
@@ -173,8 +188,7 @@ impl MemEnv<'_> {
             let acc = self.mcs[mc]
                 .dram
                 .access(start, base.offset(i * self.cfg.line_bytes), kind);
-            self.stats
-                .record_stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
+            self.stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
             done = done.max(acc.data_at);
         }
         done
@@ -210,13 +224,21 @@ pub(crate) struct MemorySubsystem {
     pub(crate) fabric: Box<dyn Fabric + Send>,
     pub(crate) backend: Box<dyn MemoryBackend + Send>,
     /// Completion times of in-flight line fills (cross-MC MSHR merging).
-    in_flight: HashMap<u64, Ps>,
+    /// Keyed by line index, so the seedless [`FastMap`] hasher is safe
+    /// and shaves SipHash off the per-read path.
+    in_flight: FastMap<u64, Ps>,
     /// Migration releases awaiting transfer onto the event queue.
     pending: Vec<PendingRelease>,
+    /// Reusable buffer for stage intervals batched during one request.
+    stage_batch: Vec<StageEvent>,
+    /// Reusable buffer for fabric recovery events drained per request.
+    recovery_scratch: Vec<RecoveryEvent>,
     /// Total DRAM capacity across controllers.
     pub(crate) dram_capacity: u64,
     /// Total XPoint capacity across controllers.
     pub(crate) xpoint_capacity: u64,
+    /// Reciprocal of the controller count for per-access interleave decode.
+    ctrl_div: FastDiv,
 }
 
 impl MemorySubsystem {
@@ -318,22 +340,26 @@ impl MemorySubsystem {
             mcs,
             fabric,
             backend,
-            in_flight: HashMap::new(),
+            in_flight: FastMap::default(),
             pending: Vec::new(),
+            stage_batch: Vec::new(),
+            recovery_scratch: Vec::new(),
             dram_capacity: dram_local * controllers as u64,
             xpoint_capacity: xp_local * controllers as u64,
+            ctrl_div: FastDiv::new(controllers as u64),
         }
     }
 
     /// The controller owning a global address under the interleaving.
     pub(crate) fn mc_of(&self, cfg: &SystemConfig, addr: Addr) -> usize {
-        (addr.block_index(cfg.memory.interleave_bytes) % cfg.memory.controllers as u64) as usize
+        self.ctrl_div
+            .rem(addr.block_index(cfg.memory.interleave_bytes)) as usize
     }
 
     /// Translates a global address to the controller-local address space.
-    fn local_addr(cfg: &SystemConfig, addr: Addr) -> Addr {
+    fn local_addr(&self, cfg: &SystemConfig, addr: Addr) -> Addr {
         let il = cfg.memory.interleave_bytes;
-        let chunk = addr.block_index(il) / cfg.memory.controllers as u64;
+        let chunk = self.ctrl_div.div(addr.block_index(il));
         Addr::from_block(chunk, il).offset(addr.offset_in(il))
     }
 
@@ -410,18 +436,28 @@ impl MemorySubsystem {
         ga: Addr,
         kind: MemKind,
     ) -> Ps {
-        let la = Self::local_addr(cfg, ga);
+        let la = self.local_addr(cfg, ga);
+        let stages_on = stats.stages_enabled();
         let mut env = MemEnv {
             cfg,
             mcs: &mut self.mcs,
             fabric: self.fabric.as_mut(),
             stats,
             pending: &mut self.pending,
+            stages_on,
+            stage_batch: &mut self.stage_batch,
         };
         let done = self.backend.service(&mut env, now, mc, ga, la, kind);
+        // Drain the stage intervals the request batched, in recording
+        // order, before the recovery and lifecycle stages below — the
+        // same per-request order as recording each hop inline.
+        for ev in self.stage_batch.drain(..) {
+            stats.record_stage(ev.stage, ev.res as usize, ev.start, ev.end);
+        }
         // Surface the fabric's recovery actions (retransmissions,
         // re-arbitrations, electrical fallbacks) as first-class stages.
-        for ev in self.fabric.drain_recovery() {
+        self.fabric.drain_recovery_into(&mut self.recovery_scratch);
+        for ev in self.recovery_scratch.drain(..) {
             stats.record_stage(ev.stage, ev.vc, ev.start, ev.end);
         }
         // Surface the XPoint controller's lifecycle actions the same way,
@@ -454,9 +490,12 @@ impl MemorySubsystem {
         self.mcs[mc].conflicts.complete(id);
     }
 
-    /// Drains the migration releases produced since the last call.
-    pub(crate) fn take_pending(&mut self) -> Vec<PendingRelease> {
-        std::mem::take(&mut self.pending)
+    /// Drains the migration releases produced since the last call into
+    /// `out` (cleared first); both buffers keep their capacity, so the
+    /// steady state allocates nothing.
+    pub(crate) fn take_pending_into(&mut self, out: &mut Vec<PendingRelease>) {
+        out.clear();
+        std::mem::swap(out, &mut self.pending);
     }
 
     /// The host-staging breakdown, if this platform stages over a host.

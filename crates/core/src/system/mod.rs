@@ -83,6 +83,8 @@ pub struct System {
     mem: MemorySubsystem,
     /// Uniform per-layer counters.
     stats: RunStats,
+    /// Reusable buffer for migration releases drained per warp step.
+    pending_scratch: Vec<memory::PendingRelease>,
 }
 
 impl std::fmt::Debug for System {
@@ -145,6 +147,7 @@ impl System {
             mem,
             stats: RunStats::new(cfg.memory.controllers, Ps::from_us(10)),
             cfg: cfg.clone(),
+            pending_scratch: Vec::new(),
         }
     }
 
@@ -186,7 +189,9 @@ impl System {
     fn step_warp(&mut self, now: Ps, w: WarpId) {
         match self.engine.step(now, w) {
             SliceOutcome::Finished => {}
-            SliceOutcome::Compute { resume_at } => self.engine.resume(resume_at, w),
+            SliceOutcome::Compute { resume_at } => {
+                self.engine.resume(resume_at, w);
+            }
             SliceOutcome::Memory {
                 after_compute,
                 addr,
@@ -197,7 +202,8 @@ impl System {
                 // completions before the warp's resume — the same queue
                 // insertion order as resolving them inline, which FIFO
                 // tie-breaking at equal timestamps depends on.
-                for (at, mc, id) in self.mem.take_pending() {
+                self.mem.take_pending_into(&mut self.pending_scratch);
+                for &(at, mc, id) in &self.pending_scratch {
                     self.engine.push_migration_done(at, mc, id);
                 }
                 self.stats.record_slice_latency(resume_at - now);

@@ -132,7 +132,10 @@ impl Observability {
     pub(crate) fn new() -> Self {
         Observability {
             stage_hist: std::array::from_fn(|_| Histogram::new()),
-            events: Vec::new(),
+            // Pre-size well below MAX_TRACE_EVENTS: enough to absorb a
+            // quick-test run without regrowth, small enough that short
+            // runs don't waste memory.
+            events: Vec::with_capacity(4096),
             dropped: 0,
             channel_intervals: Vec::new(),
         }
@@ -253,6 +256,12 @@ pub trait StatsSink {
     /// ignores it, so sinks without an observability collector pay
     /// nothing.
     fn record_stage(&mut self, _stage: Stage, _res: usize, _start: Ps, _end: Ps) {}
+    /// Whether [`StatsSink::record_stage`] currently records anything.
+    /// Layers that batch stage intervals consult this once per request
+    /// and skip collection entirely when it is `false`.
+    fn stages_enabled(&self) -> bool {
+        false
+    }
 }
 
 /// The concrete per-run collector behind [`StatsSink`].
@@ -395,5 +404,9 @@ impl StatsSink for RunStats {
         if let Some(obs) = self.obs.as_mut() {
             obs.record(stage, res, start, end);
         }
+    }
+
+    fn stages_enabled(&self) -> bool {
+        self.obs.is_some()
     }
 }

@@ -8,7 +8,7 @@
 //! the single-thread reference.
 
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::{run_grid_serial, run_grid_threaded};
+use ohm_core::runner::GridRun;
 use ohm_core::sweep::{sweep_serial, sweep_threaded};
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
@@ -30,8 +30,11 @@ fn parallel_grid_matches_serial_bit_for_bit() {
         .map(|w| workload_by_name(w).unwrap())
         .collect();
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
-        let serial = run_grid_serial(&cfg, &PLATFORMS, mode, &specs);
-        let threaded = run_grid_threaded(&cfg, &PLATFORMS, mode, &specs, 4);
+        let serial = GridRun::serial().run(&cfg, &PLATFORMS, mode, &specs).rows;
+        let threaded = GridRun::new()
+            .threads(4)
+            .run(&cfg, &PLATFORMS, mode, &specs)
+            .rows;
         assert_eq!(
             serial, threaded,
             "thread count changed {mode:?} grid results"
@@ -57,9 +60,14 @@ fn parallel_grid_is_stable_across_thread_counts() {
         .iter()
         .map(|w| workload_by_name(w).unwrap())
         .collect();
-    let reference = run_grid_serial(&cfg, &PLATFORMS, OperationalMode::Planar, &specs);
+    let reference = GridRun::serial()
+        .run(&cfg, &PLATFORMS, OperationalMode::Planar, &specs)
+        .rows;
     for threads in [2, 3, 5] {
-        let got = run_grid_threaded(&cfg, &PLATFORMS, OperationalMode::Planar, &specs, threads);
+        let got = GridRun::new()
+            .threads(threads)
+            .run(&cfg, &PLATFORMS, OperationalMode::Planar, &specs)
+            .rows;
         assert_eq!(reference, got, "{threads} threads diverged from serial");
     }
 }

@@ -8,9 +8,7 @@
 //! in-flight migration footprints and answers, for each candidate demand
 //! request, whether it must stall and until when.
 
-use std::collections::HashMap;
-
-use ohm_sim::{Addr, Ps};
+use ohm_sim::{Addr, FastMap, Ps};
 
 /// Where a request touching an in-migration page should be served from
 /// instead (the stale copy on the other device), and until when the
@@ -42,10 +40,12 @@ pub struct Redirect {
 #[derive(Debug, Clone)]
 pub struct ConflictDetector {
     page_bytes: u64,
-    /// page index -> (migration id, release time, paired address)
-    busy_pages: HashMap<u64, (u64, Ps, Addr)>,
+    /// page index -> (migration id, release time, paired address).
+    /// Keyed lookups only (never iterated), so the seedless fast hasher
+    /// keeps results identical while staying off the SipHash cost.
+    busy_pages: FastMap<u64, (u64, Ps, Addr)>,
     /// migration id -> owned page indices
-    migrations: HashMap<u64, Vec<u64>>,
+    migrations: FastMap<u64, Vec<u64>>,
     next_id: u64,
     stalls: u64,
     checks: u64,
@@ -64,8 +64,8 @@ impl ConflictDetector {
         );
         ConflictDetector {
             page_bytes,
-            busy_pages: HashMap::new(),
-            migrations: HashMap::new(),
+            busy_pages: FastMap::default(),
+            migrations: FastMap::default(),
             next_id: 0,
             stalls: 0,
             checks: 0,

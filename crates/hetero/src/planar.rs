@@ -21,7 +21,7 @@
 
 use std::collections::BTreeSet;
 
-use ohm_sim::Addr;
+use ohm_sim::{Addr, FastDiv};
 
 /// Configuration of the planar mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +140,9 @@ struct Group {
 pub struct PlanarMapping {
     cfg: PlanarConfig,
     groups: Vec<Group>,
+    /// Reciprocal of the group count — `split` runs on every access and
+    /// the group count is rarely a power of two (ratio + 1 slots).
+    groups_div: FastDiv,
     swaps: u64,
     /// Device page indices (XPoint physical page number) retired by the
     /// memory tier — never valid swap targets.
@@ -178,6 +181,7 @@ impl PlanarMapping {
         PlanarMapping {
             cfg,
             groups,
+            groups_div: FastDiv::new(n),
             swaps: 0,
             retired_xp_pages: BTreeSet::new(),
             pinned_swaps: 0,
@@ -196,10 +200,8 @@ impl PlanarMapping {
     /// of any dense hot set at 1/(ratio+1).
     fn split(&self, addr: Addr) -> (u64, usize, u64) {
         let page = addr.block_index(self.cfg.page_bytes);
-        let groups = self.cfg.groups();
-        let group = page % groups;
-        let slot = (page / groups) as usize;
-        (group, slot, addr.offset_in(self.cfg.page_bytes))
+        let (slot, group) = self.groups_div.divmod(page);
+        (group, slot as usize, addr.offset_in(self.cfg.page_bytes))
     }
 
     fn dram_addr(&self, group: u64, offset: u64) -> Addr {

@@ -7,7 +7,7 @@
 //! whichever channel (electrical or optical) carries the burst, and is
 //! booked by the memory controller.
 
-use ohm_sim::{Addr, Calendar, Counter, Ps};
+use ohm_sim::{Addr, Calendar, Counter, FastDiv, Ps};
 
 use crate::protocol::MemKind;
 
@@ -136,6 +136,10 @@ pub struct DramModule {
     reads: Counter,
     writes: Counter,
     refreshes: Counter,
+    /// Reciprocal of `cfg.banks` for per-access decode.
+    banks_div: FastDiv,
+    /// `cfg.banks / cfg.ranks`, precomputed for rank lookup.
+    banks_per_rank: usize,
 }
 
 impl DramModule {
@@ -169,6 +173,8 @@ impl DramModule {
             activate_gates: vec![Calendar::new(); cfg.ranks],
             faw_windows: vec![std::collections::VecDeque::new(); cfg.ranks],
             next_refresh: cfg.timing.trefi,
+            banks_div: FastDiv::new(cfg.banks as u64),
+            banks_per_rank: cfg.banks / cfg.ranks,
             cfg,
             row_hits: Counter::new(),
             row_misses: Counter::new(),
@@ -187,13 +193,12 @@ impl DramModule {
 
     fn decode(&self, addr: Addr) -> (usize, u64) {
         let row_index = addr.block_index(self.cfg.row_bytes);
-        let bank = (row_index % self.cfg.banks as u64) as usize;
-        let row = row_index / self.cfg.banks as u64;
-        (bank, row)
+        let (row, bank) = self.banks_div.divmod(row_index);
+        (bank as usize, row)
     }
 
     fn rank_of(&self, bank: usize) -> usize {
-        bank / (self.cfg.banks / self.cfg.ranks)
+        bank / self.banks_per_rank
     }
 
     fn maybe_refresh(&mut self, now: Ps) {

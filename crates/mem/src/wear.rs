@@ -9,7 +9,7 @@
 //! logic-layer XPoint controller "fully eliminate the usage of the DRAM
 //! buffer" for translation metadata (Section III-A).
 
-use ohm_sim::{Addr, Counter};
+use ohm_sim::{Addr, Counter, FastDiv};
 
 /// Number of coarse wear-tracking buckets (physical lines are folded into
 /// these so endurance accounting stays O(1) in memory for huge modules).
@@ -96,6 +96,10 @@ pub struct StartGap {
     gap_moves: Counter,
     total_writes: Counter,
     bucket_writes: Vec<u64>,
+    /// Reciprocal of `lines` for the per-access address fold.
+    lines_div: FastDiv,
+    /// Reciprocal of the bucket count for the per-write wear fold.
+    buckets_div: FastDiv,
 }
 
 impl StartGap {
@@ -108,6 +112,7 @@ impl StartGap {
     pub fn new(lines: u64, psi: u32) -> Self {
         assert!(lines > 0, "need at least one line");
         assert!(psi > 0, "psi must be positive");
+        let buckets = WEAR_BUCKETS.min(lines as usize + 1);
         StartGap {
             lines,
             start: 0,
@@ -116,7 +121,9 @@ impl StartGap {
             writes_since_move: 0,
             gap_moves: Counter::new(),
             total_writes: Counter::new(),
-            bucket_writes: vec![0; WEAR_BUCKETS.min(lines as usize + 1)],
+            bucket_writes: vec![0; buckets],
+            lines_div: FastDiv::new(lines),
+            buckets_div: FastDiv::new(buckets as u64),
         }
     }
 
@@ -133,7 +140,14 @@ impl StartGap {
     /// Panics if `logical >= lines`.
     pub fn translate(&self, logical: u64) -> u64 {
         assert!(logical < self.lines, "logical line out of range");
-        let rotated = (logical + self.start) % self.lines;
+        // Both terms are below `lines`, so the fold is one conditional
+        // subtract rather than a hardware modulo.
+        let sum = logical + self.start;
+        let rotated = if sum >= self.lines {
+            sum - self.lines
+        } else {
+            sum
+        };
         if rotated >= self.gap {
             rotated + 1
         } else {
@@ -143,9 +157,14 @@ impl StartGap {
 
     /// Translates a logical byte address given the line size.
     pub fn translate_addr(&self, addr: Addr, line_bytes: u64) -> Addr {
-        let logical = addr.block_index(line_bytes) % self.lines;
+        let logical = self.logical_of(addr, line_bytes);
         let phys = self.translate(logical);
         Addr::from_block(phys, line_bytes).offset(addr.offset_in(line_bytes))
+    }
+
+    /// Folds a byte address onto this mapper's logical line space.
+    pub fn logical_of(&self, addr: Addr, line_bytes: u64) -> u64 {
+        self.lines_div.rem(addr.block_index(line_bytes))
     }
 
     /// Records a line write to `logical`. Every `psi` writes this triggers
@@ -172,7 +191,10 @@ impl StartGap {
                 to: 0,
             };
             self.gap = self.lines;
-            self.start = (self.start + 1) % self.lines;
+            self.start += 1;
+            if self.start >= self.lines {
+                self.start = 0;
+            }
             mv
         } else {
             let mv = GapMove {
@@ -189,8 +211,8 @@ impl StartGap {
     }
 
     fn count_bucket(&mut self, phys: u64) {
-        let n = self.bucket_writes.len() as u64;
-        self.bucket_writes[(phys % n) as usize] += 1;
+        let b = self.buckets_div.rem(phys) as usize;
+        self.bucket_writes[b] += 1;
     }
 
     /// Gap rotations performed so far.
@@ -205,7 +227,7 @@ impl StartGap {
 
     /// The wear bucket a physical slot folds into.
     pub fn bucket_of(&self, phys: u64) -> usize {
-        (phys % self.bucket_writes.len() as u64) as usize
+        self.buckets_div.rem(phys) as usize
     }
 
     /// Writes absorbed by one wear bucket so far (gap-move copies included).

@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use ohm_sim::{Addr, Calendar, Counter, Ps};
+use ohm_sim::{Addr, Calendar, Counter, FastDiv, Ps};
 
 /// Static configuration of an XPoint module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +84,8 @@ pub struct XPointMedia {
     write_stalls: Counter,
     media_busy_reads: Ps,
     media_busy_writes: Ps,
+    /// Reciprocal of `cfg.partitions` for per-access decode.
+    partitions_div: FastDiv,
 }
 
 impl XPointMedia {
@@ -116,6 +118,7 @@ impl XPointMedia {
             write_buffer: VecDeque::with_capacity(cfg.write_buffer_lines),
             read_buffer: VecDeque::with_capacity(cfg.read_buffer_lines),
             read_stalls: Counter::new(),
+            partitions_div: FastDiv::new(cfg.partitions as u64),
             cfg,
             reads: Counter::new(),
             writes: Counter::new(),
@@ -131,7 +134,8 @@ impl XPointMedia {
     }
 
     fn partition_of(&self, addr: Addr) -> usize {
-        (addr.block_index(self.cfg.line_bytes) % self.cfg.partitions as u64) as usize
+        self.partitions_div
+            .rem(addr.block_index(self.cfg.line_bytes)) as usize
     }
 
     fn reclaim_buffer(&mut self, now: Ps) {

@@ -359,7 +359,7 @@ impl XPointController {
 
     /// The controller-local logical line of `addr`.
     fn logical_line(&self, addr: Addr) -> u64 {
-        addr.block_index(self.cfg.media.line_bytes) % self.map.lines()
+        self.map.logical_of(addr, self.cfg.media.line_bytes)
     }
 
     /// Physical address of spare slot `k`, placed just past the Start-Gap
@@ -474,6 +474,9 @@ impl XPointController {
     /// applies the outcome: transparent fix + scrub for correctable
     /// errors, retirement for uncorrectable errors and wear-out.
     fn lifecycle_check(&mut self, done: Ps, logical: u64, phys: Addr, is_write: bool) {
+        if self.lifecycle.is_none() {
+            return;
+        }
         let line_bytes = self.cfg.media.line_bytes;
         let bucket = self.map.bucket_of(phys.block_index(line_bytes));
         let writes = self.map.bucket_writes(bucket);

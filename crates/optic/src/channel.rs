@@ -269,6 +269,15 @@ impl OpticalChannel {
         let (vc, borrow_penalty) = match self.cfg.division {
             ChannelDivision::Static => (vc, Ps::ZERO),
             ChannelDivision::Dynamic { reallocation } => {
+                // Fast path: an idle home VC always wins the arbitration
+                // outright — its key is `now`, strictly below every
+                // foreign key (at least `now + reallocation`) — so the
+                // full scan below can only reach the same answer. Only
+                // valid when borrowing actually costs something; at zero
+                // reallocation ties break toward the lowest index.
+                if reallocation > Ps::ZERO && self.vcs[vc].data_route.next_free() <= now {
+                    return self.transfer_on(now, vc, Ps::ZERO, bits, base, class, target_device);
+                }
                 let best = (0..self.vcs.len())
                     .min_by_key(|&i| {
                         let penalty = if i == vc { Ps::ZERO } else { reallocation };
@@ -283,6 +292,22 @@ impl OpticalChannel {
                 }
             }
         };
+        self.transfer_on(now, vc, borrow_penalty, bits, base, class, target_device)
+    }
+
+    /// The committed leg of [`OpticalChannel::transfer`], after VC
+    /// arbitration has chosen `vc` and its `borrow_penalty`.
+    #[allow(clippy::too_many_arguments)]
+    fn transfer_on(
+        &mut self,
+        now: Ps,
+        vc: usize,
+        borrow_penalty: Ps,
+        bits: u64,
+        base: Ps,
+        class: TrafficClass,
+        target_device: usize,
+    ) -> (Ps, Ps) {
         let ch = &mut self.vcs[vc];
 
         // Retargeting the photonic demux costs an MRR retune, but the

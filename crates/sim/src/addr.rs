@@ -51,7 +51,9 @@ impl Addr {
     #[inline]
     pub fn block_index(self, block: u64) -> u64 {
         debug_assert!(block.is_power_of_two(), "block must be a power of two");
-        self.0 / block
+        // `block` is a power of two by contract, so the quotient is a
+        // shift — the compiler cannot prove that for a runtime value.
+        self.0 >> block.trailing_zeros()
     }
 
     /// Byte offset within the containing `block`-byte block.

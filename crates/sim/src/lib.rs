@@ -38,7 +38,9 @@
 
 pub mod addr;
 pub mod backoff;
+pub mod div;
 pub mod event;
+pub mod hash;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -46,7 +48,9 @@ pub mod time;
 
 pub use addr::Addr;
 pub use backoff::ExponentialBackoff;
+pub use div::FastDiv;
 pub use event::EventQueue;
+pub use hash::{FastBuildHasher, FastHasher, FastMap};
 pub use resource::{Calendar, TaggedCalendar};
 pub use rng::SplitMix64;
 pub use stats::{Breakdown, Counter, Histogram, RunningStats, TimeSeries, Timeline};

@@ -37,20 +37,51 @@ const MAX_GAPS: usize = 64;
 /// assert_eq!(bus.book(Ps::ZERO, Ps::from_ns(10)), (Ps::ZERO, Ps::from_ns(10)));
 /// assert_eq!(bus.busy_time(), Ps::from_ns(20));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Calendar {
     /// Free time after the last scheduled interval.
     next_free: Ps,
-    /// Idle gaps `[start, end)` before `next_free`, oldest first.
-    gaps: Vec<(Ps, Ps)>,
+    /// Idle gaps `[start, end)` before `next_free`, oldest first, stored
+    /// as a ring: `gaps_head` indexes the oldest live entry and
+    /// `gaps_len` counts live entries. An inline ring makes both the
+    /// hot-path append and the oldest-gap eviction O(1) with no heap
+    /// traffic (`MAX_GAPS` is a power of two, so indices wrap by mask).
+    gaps: [(Ps, Ps); MAX_GAPS],
+    gaps_head: u32,
+    gaps_len: u32,
     busy: Ps,
     bookings: u64,
+}
+
+impl Default for Calendar {
+    fn default() -> Self {
+        Calendar {
+            next_free: Ps::ZERO,
+            gaps: [(Ps::ZERO, Ps::ZERO); MAX_GAPS],
+            gaps_head: 0,
+            gaps_len: 0,
+            busy: Ps::ZERO,
+            bookings: 0,
+        }
+    }
 }
 
 impl Calendar {
     /// Creates an idle resource, free from time zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The `i`-th live gap, oldest first.
+    #[inline]
+    fn gap(&self, i: u32) -> (Ps, Ps) {
+        self.gaps[((self.gaps_head + i) as usize) & (MAX_GAPS - 1)]
+    }
+
+    /// Overwrites the `i`-th live gap.
+    #[inline]
+    fn set_gap(&mut self, i: u32, g: (Ps, Ps)) {
+        self.gaps[((self.gaps_head + i) as usize) & (MAX_GAPS - 1)] = g;
     }
 
     /// Books an exclusive interval of length `dur`, starting no earlier
@@ -63,43 +94,105 @@ impl Calendar {
         self.bookings += 1;
         self.busy += dur;
 
-        // Try to backfill the earliest fitting gap.
-        for i in 0..self.gaps.len() {
-            let (gs, ge) = self.gaps[i];
-            let start = ready.max(gs);
-            let end = start + dur;
-            if end <= ge {
-                // Split the gap around the booking.
-                self.gaps.remove(i);
-                if start > gs {
-                    self.gaps.insert(i, (gs, start));
-                    if end < ge {
-                        self.gaps.insert(i + 1, (end, ge));
+        // Fast path: every gap ends at or before `next_free`, so a
+        // booking ready at the tail (the common case in a synchronous
+        // timing chain, which books forward in time) can never backfill
+        // — append directly without scanning the gap list.
+        if ready >= self.next_free {
+            if ready > self.next_free {
+                self.push_gap(self.next_free, ready);
+            }
+            let end = ready + dur;
+            self.next_free = end;
+            return (ready, end);
+        }
+
+        // Gap end times are non-decreasing along the list (tail appends
+        // start at the previous `next_free`; splits only shrink a gap in
+        // place), so the last gap's end bounds every gap's end. A booking
+        // that cannot fit before that bound can never backfill — skip
+        // the scan outright. This makes the tight same-calendar booking
+        // chains of page operations (swaps book 32 lines back-to-back)
+        // O(1) per line instead of a full stale-gap scan.
+        let can_backfill = self.gaps_len > 0 && ready + dur <= self.gap(self.gaps_len - 1).1;
+        if can_backfill {
+            // Backfill the earliest fitting gap, editing the split in
+            // place (only the both-sides-remain split grows the list).
+            for i in 0..self.gaps_len {
+                let (gs, ge) = self.gap(i);
+                let start = ready.max(gs);
+                let end = start + dur;
+                if end <= ge {
+                    match (start > gs, end < ge) {
+                        (false, false) => self.remove_gap(i),
+                        (false, true) => self.set_gap(i, (end, ge)),
+                        (true, false) => self.set_gap(i, (gs, start)),
+                        (true, true) => {
+                            self.set_gap(i, (gs, start));
+                            self.split_gap(i, (end, ge));
+                        }
                     }
-                } else if end < ge {
-                    self.gaps.insert(i, (end, ge));
+                    return (start, end);
                 }
-                self.trim_gaps();
-                return (start, end);
             }
         }
 
         // Append at the tail.
         let start = ready.max(self.next_free);
         if start > self.next_free {
-            self.gaps.push((self.next_free, start));
-            self.trim_gaps();
+            self.push_gap(self.next_free, start);
         }
         let end = start + dur;
         self.next_free = end;
         (start, end)
     }
 
-    fn trim_gaps(&mut self) {
-        if self.gaps.len() > MAX_GAPS {
-            let excess = self.gaps.len() - MAX_GAPS;
-            self.gaps.drain(..excess);
+    /// Appends a gap, forgetting the oldest one once the bound is hit.
+    #[inline]
+    fn push_gap(&mut self, start: Ps, end: Ps) {
+        if self.gaps_len as usize == MAX_GAPS {
+            self.gaps_head = (self.gaps_head + 1) & (MAX_GAPS as u32 - 1);
+            self.gaps_len -= 1;
         }
+        let tail = ((self.gaps_head + self.gaps_len) as usize) & (MAX_GAPS - 1);
+        self.gaps[tail] = (start, end);
+        self.gaps_len += 1;
+    }
+
+    /// Removes the `i`-th live gap, preserving order.
+    fn remove_gap(&mut self, i: u32) {
+        if i == 0 {
+            self.gaps_head = (self.gaps_head + 1) & (MAX_GAPS as u32 - 1);
+        } else {
+            for j in i..self.gaps_len - 1 {
+                let next = self.gap(j + 1);
+                self.set_gap(j, next);
+            }
+        }
+        self.gaps_len -= 1;
+    }
+
+    /// Inserts the right half of a split immediately after gap `i`,
+    /// forgetting the oldest gap if the ring is already full (matching
+    /// the eviction order of a plain append-then-trim list).
+    fn split_gap(&mut self, mut i: u32, right: (Ps, Ps)) {
+        if self.gaps_len as usize == MAX_GAPS {
+            if i == 0 {
+                // The evicted oldest gap *is* the left half of this
+                // split: the right half simply replaces it in front.
+                self.set_gap(0, right);
+                return;
+            }
+            self.gaps_head = (self.gaps_head + 1) & (MAX_GAPS as u32 - 1);
+            self.gaps_len -= 1;
+            i -= 1;
+        }
+        for j in (i + 1..self.gaps_len).rev() {
+            let cur = self.gap(j);
+            self.set_gap(j + 1, cur);
+        }
+        self.set_gap(i + 1, right);
+        self.gaps_len += 1;
     }
 
     /// When the resource is next free *at the tail* (ignoring gaps).

@@ -258,9 +258,15 @@ impl Freq {
     /// of the *total* (not per-cycle, so the error does not accumulate).
     #[inline]
     pub fn cycles(self, cycles: u64) -> Ps {
-        // ps = cycles * 1e12 / hz, in u128 to avoid overflow.
+        // ps = cycles * 1e12 / hz, in u128 to avoid overflow. When the
+        // numerator fits in 64 bits (cycles below ~18.4M — every burst
+        // and pipeline booking in practice) a hardware `div` replaces
+        // the much slower 128-bit software division.
         let num = cycles as u128 * 1_000_000_000_000u128 + (self.hz as u128 / 2);
-        Ps((num / self.hz as u128) as u64)
+        match u64::try_from(num) {
+            Ok(n) => Ps(n / self.hz),
+            Err(_) => Ps((num / self.hz as u128) as u64),
+        }
     }
 
     /// Duration of a single clock cycle.
@@ -284,7 +290,13 @@ impl Freq {
     #[inline]
     pub fn transfer_time(self, bits: u64, width_bits: u64) -> Ps {
         assert!(width_bits > 0, "link width must be positive");
-        let cycles = bits.div_ceil(width_bits);
+        // Link widths are powers of two in every modelled configuration,
+        // turning the ceiling division into a shift.
+        let cycles = if width_bits.is_power_of_two() {
+            (bits + (width_bits - 1)) >> width_bits.trailing_zeros()
+        } else {
+            bits.div_ceil(width_bits)
+        };
         self.cycles(cycles)
     }
 

@@ -78,7 +78,10 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat allocation, `num_sets` rows of `cfg.ways`
+    /// each — one cache-friendly slab instead of a Vec per set.
+    lines: Vec<Line>,
+    num_sets: usize,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -106,13 +109,24 @@ impl Cache {
             "capacity must equal sets * ways * line size"
         );
         Cache {
-            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            lines: vec![Line::default(); sets * cfg.ways],
+            num_sets: sets,
             cfg,
             tick: 0,
             hits: 0,
             misses: 0,
             writebacks: 0,
         }
+    }
+
+    /// The ways of one set as a slice of the flat line slab.
+    fn set(&self, set_idx: usize) -> &[Line] {
+        &self.lines[set_idx * self.cfg.ways..(set_idx + 1) * self.cfg.ways]
+    }
+
+    fn set_mut(&mut self, set_idx: usize) -> &mut [Line] {
+        let ways = self.cfg.ways;
+        &mut self.lines[set_idx * ways..(set_idx + 1) * ways]
     }
 
     /// The cache geometry.
@@ -122,27 +136,28 @@ impl Cache {
 
     fn index(&self, addr: Addr) -> (usize, u64) {
         let line = addr.block_index(self.cfg.line_bytes);
-        let set = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
+        let set = (line % self.num_sets as u64) as usize;
+        let tag = line / self.num_sets as u64;
         (set, tag)
     }
 
     fn line_addr(&self, set: usize, tag: u64) -> Addr {
-        Addr::from_block(
-            tag * self.sets.len() as u64 + set as u64,
-            self.cfg.line_bytes,
-        )
+        Addr::from_block(tag * self.num_sets as u64 + set as u64, self.cfg.line_bytes)
     }
 
     /// Accesses the line containing `addr`; on a miss the line is
     /// allocated (write-allocate) and the LRU victim evicted.
     pub fn access(&mut self, addr: Addr, is_write: bool) -> Lookup {
         self.tick += 1;
+        let tick = self.tick;
         let (set_idx, tag) = self.index(addr);
-        let set = &mut self.sets[set_idx];
+        let ways = self.cfg.ways;
+        // Borrow the set directly from the slab so the counter fields
+        // stay independently writable.
+        let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = self.tick;
+            line.lru = tick;
             line.dirty |= is_write;
             self.hits += 1;
             return Lookup {
@@ -159,16 +174,16 @@ impl Cache {
             .map(|(i, _)| i)
             .expect("non-empty set");
         let victim = set[victim_idx];
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: tick,
+        };
         let writeback = (victim.valid && victim.dirty).then(|| {
             self.writebacks += 1;
             self.line_addr(set_idx, victim.tag)
         });
-        self.sets[set_idx][victim_idx] = Line {
-            tag,
-            valid: true,
-            dirty: is_write,
-            lru: self.tick,
-        };
         Lookup {
             hit: false,
             writeback,
@@ -178,7 +193,7 @@ impl Cache {
     /// Whether the line containing `addr` is present (no LRU update).
     pub fn contains(&self, addr: Addr) -> bool {
         let (set, tag) = self.index(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.set(set).iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates the line containing `addr`, returning its address if it
@@ -186,7 +201,7 @@ impl Cache {
     pub fn invalidate(&mut self, addr: Addr) -> Option<Addr> {
         let (set_idx, tag) = self.index(addr);
         let line_addr = self.line_addr(set_idx, tag);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_mut(set_idx);
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             let was_dirty = line.dirty;
             line.valid = false;
