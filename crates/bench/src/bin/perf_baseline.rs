@@ -8,12 +8,23 @@
 //!
 //! ```text
 //! perf_baseline [--smoke] [--reps N] [--out PATH] [--no-compare]
+//!               [--footprint LIST]
 //! ```
 //!
 //! Cells run serially (the grid runner's `threads = 1`) so per-cell wall
 //! clocks are not polluted by core contention; each cell keeps the best
 //! (fastest) of `--reps` repetitions. `--smoke` shrinks the grid to a
 //! 3 platform × 2 workload corner with one repetition for CI.
+//!
+//! `--footprint 256M,1G,4G,16G` additionally sweeps a small fixed grid
+//! across workload footprints, recording geomean events/sec *and* the
+//! process peak RSS after each point — the committed evidence that
+//! simulation throughput and resident memory are footprint-independent
+//! (the memory stack stores its state sparsely, DESIGN.md §3.7). Full
+//! runs sweep that default list even without the flag; smoke runs sweep
+//! only what the flag names. Points run in ascending footprint order
+//! because `VmHWM` is a monotonic high-water mark: a flat `peak_rss_kb`
+//! column across ascending points is exactly the bounded-memory claim.
 //!
 //! If a previous baseline already exists at the output path, the new
 //! measurement is compared against it cell-by-cell (matched on
@@ -42,16 +53,59 @@ const REGRESSION_WARN: f64 = 0.20;
 /// when rebaselining on new hardware (DESIGN.md §3.6).
 const PRE_OPT_GEOMEAN: f64 = 10.69e6;
 
+/// Footprints a full (non-smoke) run sweeps when `--footprint` is not
+/// given: tier-1's 256 MiB up to the tens-of-GiB regime the sparse
+/// memory-system state exists for.
+const DEFAULT_FOOTPRINTS: &str = "256M,1G,4G,16G";
+
+/// Advisory threshold for the footprint sweep: warn when throughput at a
+/// larger footprint drops below this fraction of the smallest point's
+/// (footprint-independent simulation should stay roughly flat).
+const FOOTPRINT_WARN_FRACTION: f64 = 0.5;
+
 struct Args {
     smoke: bool,
     reps: usize,
     out: String,
     compare: bool,
+    /// Footprint sweep points in bytes (ascending); empty to skip.
+    footprints: Vec<u64>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: perf_baseline [--smoke] [--reps N] [--out PATH] [--no-compare]");
+    eprintln!(
+        "usage: perf_baseline [--smoke] [--reps N] [--out PATH] [--no-compare] \
+         [--footprint LIST]  (LIST e.g. 256M,1G,16G)"
+    );
     std::process::exit(2);
+}
+
+/// Parses a size with an optional K/M/G suffix (`256M`, `16G`, `4096`).
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, mult) = match s.char_indices().find(|(_, c)| !c.is_ascii_digit()) {
+        None => (s, 1u64),
+        Some((i, _)) => {
+            let mult = match s[i..].to_ascii_uppercase().as_str() {
+                "K" | "KIB" => 1u64 << 10,
+                "M" | "MIB" => 1 << 20,
+                "G" | "GIB" => 1 << 30,
+                _ => return None,
+            };
+            (&s[..i], mult)
+        }
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
+fn parse_footprint_list(list: &str) -> Option<Vec<u64>> {
+    let mut points = list
+        .split(',')
+        .map(parse_size)
+        .collect::<Option<Vec<u64>>>()?;
+    points.sort_unstable();
+    points.dedup();
+    Some(points)
 }
 
 fn parse_args() -> Args {
@@ -60,7 +114,9 @@ fn parse_args() -> Args {
         reps: 3,
         out: "BENCH_throughput.json".to_string(),
         compare: true,
+        footprints: Vec::new(),
     };
+    let mut explicit_footprints = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -74,11 +130,28 @@ fn parse_args() -> Args {
                 Some(p) => args.out = p,
                 None => usage(),
             },
+            "--footprint" => match it.next().as_deref().and_then(parse_footprint_list) {
+                Some(points) => {
+                    args.footprints = points;
+                    explicit_footprints = true;
+                }
+                None => usage(),
+            },
             _ => usage(),
         }
     }
     if args.smoke {
         args.reps = 1;
+    }
+    if !args.smoke && !explicit_footprints {
+        args.footprints = parse_footprint_list(DEFAULT_FOOTPRINTS).unwrap();
+    }
+    let cfg = SystemConfig::quick_test();
+    for &f in &args.footprints {
+        if let Err(e) = cfg.validate_footprint(f) {
+            eprintln!("perf_baseline: {e}");
+            usage();
+        }
     }
     args
 }
@@ -148,24 +221,132 @@ fn measure(platforms: &[Platform], specs: &[WorkloadSpec], reps: usize) -> Vec<C
         .collect()
 }
 
+/// One measured footprint-sweep point.
+struct FootprintPoint {
+    bytes: u64,
+    geomean_events_per_sec: f64,
+    /// Process peak RSS (`VmHWM`) after the point completed, in KiB.
+    /// Monotonic across the sweep — see the module docs. 0 when the
+    /// platform exposes no `/proc/self/status`.
+    peak_rss_kb: u64,
+}
+
+/// Human label for a footprint byte count (`256M`, `16G`, `1536K`, ...).
+fn size_label(bytes: u64) -> String {
+    for (shift, suffix) in [(30u32, "G"), (20, "M"), (10, "K")] {
+        if bytes >= 1 << shift && bytes % (1 << shift) == 0 {
+            return format!("{}{suffix}", bytes >> shift);
+        }
+    }
+    format!("{bytes}")
+}
+
+/// The process's peak resident set size (`VmHWM`) in KiB; 0 where
+/// `/proc/self/status` is unavailable (non-Linux hosts).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Counts the CPUs in a `/sys/devices/system/cpu/online` range list
+/// (`0-11`, `0,2-5`, ...).
+fn count_cpu_list(list: &str) -> Option<u64> {
+    let mut n = 0u64;
+    for part in list.trim().split(',') {
+        match part.split_once('-') {
+            None => {
+                part.parse::<u64>().ok()?;
+                n += 1;
+            }
+            Some((lo, hi)) => {
+                let (lo, hi): (u64, u64) = (lo.parse().ok()?, hi.parse().ok()?);
+                n += hi.checked_sub(lo)? + 1;
+            }
+        }
+    }
+    Some(n)
+}
+
+/// CPUs physically online on the machine, regardless of this process's
+/// affinity mask. Falls back to the affinity-visible count where sysfs
+/// is unavailable. Recorded separately from `cpus_available` because CI
+/// containers routinely pin the process to a subset (historically this
+/// file claimed `"cpus": 1` on a many-core machine).
+fn online_cpus() -> u64 {
+    std::fs::read_to_string("/sys/devices/system/cpu/online")
+        .ok()
+        .and_then(|s| count_cpu_list(&s))
+        .unwrap_or_else(|| available_cpus())
+}
+
+/// CPUs this process may schedule on (its affinity mask) — what the
+/// serial measurement actually had available.
+fn available_cpus() -> u64 {
+    std::thread::available_parallelism().map_or(0, |n| n.get() as u64)
+}
+
+/// Runs the footprint sweep: a small fixed grid (the smoke corner) per
+/// point, one rep, ascending footprints.
+fn measure_footprints(points: &[u64]) -> Vec<FootprintPoint> {
+    let cfg = SystemConfig::quick_test();
+    let platforms = [Platform::Hetero, Platform::OhmBase, Platform::OhmBw];
+    points
+        .iter()
+        .map(|&bytes| {
+            let specs: Vec<WorkloadSpec> = all_workloads()
+                .into_iter()
+                .filter(|s| s.name == "lud" || s.name == "pagerank")
+                .map(|w| w.with_footprint(bytes))
+                .collect();
+            let result =
+                GridRun::serial()
+                    .profile(true)
+                    .run(&cfg, &platforms, OperationalMode::Planar, &specs);
+            let profiles = result.profiles.expect("profiling was requested");
+            let rates: Vec<f64> = profiles.iter().map(|p| p.events_per_sec).collect();
+            let point = FootprintPoint {
+                bytes,
+                geomean_events_per_sec: runner::geomean(&rates),
+                peak_rss_kb: peak_rss_kb(),
+            };
+            eprintln!(
+                "footprint {}: geomean {:.0} events/sec, peak rss {} kB",
+                size_label(bytes),
+                point.geomean_events_per_sec,
+                point.peak_rss_kb
+            );
+            point
+        })
+        .collect()
+}
+
 /// Renders the measurement as the committed JSON document (hand-rolled,
 /// like `trace.rs`: the workspace is dependency-free). One cell per line
 /// with a fixed key order — `parse_baseline` below relies on that shape.
-fn render_json(cells: &[Cell], reps: usize, geomean: f64) -> String {
+fn render_json(cells: &[Cell], footprints: &[FootprintPoint], reps: usize, geomean: f64) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"schema\": 2,\n");
     let _ = writeln!(
         out,
         "  \"grid\": \"quick_test x Table II (256 MiB footprint) x Planar, serial cells\","
     );
     let _ = writeln!(
         out,
-        "  \"host\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {} }},",
+        "  \"host\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus_available\": {}, \
+         \"cpus_online\": {} }},",
         std::env::consts::OS,
         std::env::consts::ARCH,
-        std::thread::available_parallelism().map_or(0, |n| n.get())
+        available_cpus(),
+        online_cpus()
     );
     let _ = writeln!(out, "  \"reps\": {reps},");
     let _ = writeln!(out, "  \"geomean_events_per_sec\": {geomean:.1},");
@@ -189,6 +370,30 @@ fn render_json(cells: &[Cell], reps: usize, geomean: f64) -> String {
             c.events_per_sec
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    if footprints.is_empty() {
+        out.push_str("  ]\n}\n");
+        return out;
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"footprint_grid\": \"quick_test x {{lud, pagerank}} x {{Hetero, Ohm-base, \
+         Ohm-bw}} x Planar, serial cells, 1 rep; peak_rss_kb is the process VmHWM after \
+         the point (monotonic across the ascending sweep)\","
+    );
+    out.push_str("  \"footprints\": [\n");
+    for (i, p) in footprints.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"footprint\": \"{}\", \"bytes\": {}, \"geomean_events_per_sec\": {:.1}, \
+             \"peak_rss_kb\": {} }}",
+            size_label(p.bytes),
+            p.bytes,
+            p.geomean_events_per_sec,
+            p.peak_rss_kb
+        );
+        out.push_str(if i + 1 < footprints.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -287,9 +492,54 @@ fn main() {
         }
     }
 
-    let json = render_json(&cells, args.reps, geomean);
+    let footprints = if args.footprints.is_empty() {
+        Vec::new()
+    } else {
+        eprintln!(
+            "footprint sweep: {}",
+            args.footprints
+                .iter()
+                .map(|&b| size_label(b))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let points = measure_footprints(&args.footprints);
+        println!("{:<10} {:>16} {:>14}", "footprint", "events/sec", "rss_kb");
+        for p in &points {
+            println!(
+                "{:<10} {:>16.0} {:>14}",
+                size_label(p.bytes),
+                p.geomean_events_per_sec,
+                p.peak_rss_kb
+            );
+        }
+        warn_on_footprint_degradation(&points);
+        points
+    };
+
+    let json = render_json(&cells, &footprints, args.reps, geomean);
     std::fs::write(&args.out, &json).expect("write baseline JSON");
     eprintln!("wrote {}", args.out);
+}
+
+/// Advisory check that throughput stays roughly flat across the
+/// footprint sweep. Returns the offending point for testability.
+fn warn_on_footprint_degradation(points: &[FootprintPoint]) -> Option<u64> {
+    let first = points.first()?;
+    let floor = first.geomean_events_per_sec * FOOTPRINT_WARN_FRACTION;
+    let bad = points
+        .iter()
+        .find(|p| p.geomean_events_per_sec < floor)?;
+    println!(
+        "::warning title=superlinear footprint degradation::geomean events/sec at {} \
+         ({:.0}) is below {FOOTPRINT_WARN_FRACTION}x the {} point ({:.0}); simulation \
+         throughput should be footprint-independent (DESIGN.md section 3.7)",
+        size_label(bad.bytes),
+        bad.geomean_events_per_sec,
+        size_label(first.bytes),
+        first.geomean_events_per_sec
+    );
+    Some(bad.bytes)
 }
 
 #[cfg(test)]
@@ -314,7 +564,21 @@ mod tests {
                 events_per_sec: 100_000.0,
             },
         ];
-        let json = render_json(&cells, 3, 70_710.7);
+        let footprints = vec![
+            FootprintPoint {
+                bytes: 256 << 20,
+                geomean_events_per_sec: 1e6,
+                peak_rss_kb: 50_000,
+            },
+            FootprintPoint {
+                bytes: 16 << 30,
+                geomean_events_per_sec: 0.9e6,
+                peak_rss_kb: 52_000,
+            },
+        ];
+        let json = render_json(&cells, &footprints, 3, 70_710.7);
+        assert!(json.contains("\"footprint\": \"16G\""));
+        // The footprint lines must not confuse the cell-oriented parser.
         let parsed = parse_baseline(&json);
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].0, "Ohm-base");
@@ -323,5 +587,49 @@ mod tests {
         let (speedup, n) = compare(&cells, &parsed).unwrap();
         assert_eq!(n, 2);
         assert!((speedup - 1.0).abs() < 1e-9);
+        // A footprint-free document keeps the schema-1 shape.
+        let plain = render_json(&cells, &[], 3, 70_710.7);
+        assert!(!plain.contains("footprints"));
+        assert_eq!(parse_baseline(&plain).len(), 2);
+    }
+
+    #[test]
+    fn size_parsing_round_trips() {
+        assert_eq!(parse_size("256M"), Some(256 << 20));
+        assert_eq!(parse_size("16G"), Some(16u64 << 30));
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size("1KiB"), Some(1024));
+        assert_eq!(parse_size("12X"), None);
+        assert_eq!(parse_size(""), None);
+        assert_eq!(
+            parse_footprint_list("1G,256M,1G"),
+            Some(vec![256 << 20, 1 << 30])
+        );
+        assert_eq!(size_label(256 << 20), "256M");
+        assert_eq!(size_label(16u64 << 30), "16G");
+        assert_eq!(size_label(4096), "4K");
+        assert_eq!(size_label(3000), "3000");
+    }
+
+    #[test]
+    fn cpu_list_counting() {
+        assert_eq!(count_cpu_list("0-11\n"), Some(12));
+        assert_eq!(count_cpu_list("0"), Some(1));
+        assert_eq!(count_cpu_list("0,2-5,7"), Some(6));
+        assert_eq!(count_cpu_list("garbage"), None);
+    }
+
+    #[test]
+    fn footprint_degradation_warning_triggers_on_slowdown() {
+        let point = |bytes: u64, eps: f64| FootprintPoint {
+            bytes,
+            geomean_events_per_sec: eps,
+            peak_rss_kb: 0,
+        };
+        let flat = vec![point(256 << 20, 1e6), point(16 << 30, 0.8e6)];
+        assert_eq!(warn_on_footprint_degradation(&flat), None);
+        let degraded = vec![point(256 << 20, 1e6), point(16 << 30, 0.4e6)];
+        assert_eq!(warn_on_footprint_degradation(&degraded), Some(16 << 30));
+        assert_eq!(warn_on_footprint_degradation(&[]), None);
     }
 }

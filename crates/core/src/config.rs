@@ -189,6 +189,13 @@ pub enum ConfigError {
     BadFaultPlan(&'static str),
     /// A lifecycle-plan field is outside its valid range.
     BadLifecyclePlan(&'static str),
+    /// A workload footprint is incompatible with the memory geometry.
+    BadFootprint {
+        /// The offending footprint in bytes.
+        bytes: u64,
+        /// The constraint it violates.
+        why: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -210,6 +217,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadFaultPlan(what) => write!(f, "fault plan: {what}"),
             ConfigError::BadLifecyclePlan(what) => write!(f, "lifecycle plan: {what}"),
+            ConfigError::BadFootprint { bytes, why } => {
+                write!(f, "footprint of {bytes} bytes: {why}")
+            }
         }
     }
 }
@@ -371,6 +381,30 @@ impl SystemConfig {
         }
     }
 
+    /// Checks that a workload footprint is compatible with this
+    /// configuration's memory geometry: at least one line, and a whole
+    /// number of migration pages (partial pages would leave planner
+    /// groups half-backed by nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::BadFootprint`] naming the violated constraint.
+    pub fn validate_footprint(&self, bytes: u64) -> Result<(), ConfigError> {
+        if bytes < self.line_bytes {
+            return Err(ConfigError::BadFootprint {
+                bytes,
+                why: "smaller than one line",
+            });
+        }
+        if bytes % self.memory.page_bytes != 0 {
+            return Err(ConfigError::BadFootprint {
+                bytes,
+                why: "not a multiple of the page size",
+            });
+        }
+        Ok(())
+    }
+
     /// Starts a [`SystemConfigBuilder`] from the Table I defaults.
     pub fn builder() -> SystemConfigBuilder {
         SystemConfig::default().to_builder()
@@ -380,7 +414,10 @@ impl SystemConfig {
     /// idiom for experiment harnesses that sweep one knob of a named
     /// base configuration (e.g. [`SystemConfig::evaluation`]).
     pub fn to_builder(self) -> SystemConfigBuilder {
-        SystemConfigBuilder { cfg: self }
+        SystemConfigBuilder {
+            cfg: self,
+            footprint: None,
+        }
     }
 }
 
@@ -409,6 +446,11 @@ impl SystemConfig {
 #[derive(Debug, Clone)]
 pub struct SystemConfigBuilder {
     cfg: SystemConfig,
+    /// Workload footprint the configuration will drive, if declared —
+    /// checked against the memory geometry at [`build`] time.
+    ///
+    /// [`build`]: SystemConfigBuilder::build
+    footprint: Option<u64>,
 }
 
 impl SystemConfigBuilder {
@@ -502,14 +544,30 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Declares the workload footprint this configuration will drive
+    /// (e.g. the value passed to `WorkloadSpec::with_footprint`), so
+    /// [`build`](Self::build) rejects footprints the memory geometry
+    /// cannot express — smaller than one line, or not a whole number of
+    /// migration pages — with a typed [`ConfigError::BadFootprint`]
+    /// instead of a panic deep inside workload generation.
+    pub fn footprint(mut self, bytes: u64) -> Self {
+        self.footprint = Some(bytes);
+        self
+    }
+
     /// Validates and returns the finished configuration.
     ///
     /// # Errors
     ///
     /// Returns the first [`ConfigError`] found by
-    /// [`SystemConfig::validate`].
+    /// [`SystemConfig::validate`], or [`ConfigError::BadFootprint`] when
+    /// a declared [`footprint`](Self::footprint) does not fit the memory
+    /// geometry.
     pub fn build(self) -> Result<SystemConfig, ConfigError> {
         self.cfg.validate()?;
+        if let Some(bytes) = self.footprint {
+            self.cfg.validate_footprint(bytes)?;
+        }
         Ok(self.cfg)
     }
 }
@@ -557,6 +615,46 @@ mod tests {
         assert_eq!(d.capacity_bytes, 1 << 20);
         let x = cfg.xpoint_config(12 << 20);
         assert_eq!(x.capacity_bytes, 2 << 20);
+    }
+
+    #[test]
+    fn footprint_validation_rejects_bad_geometry() {
+        let cfg = SystemConfig::default();
+        // Smaller than one line.
+        assert_eq!(
+            cfg.validate_footprint(64),
+            Err(ConfigError::BadFootprint {
+                bytes: 64,
+                why: "smaller than one line",
+            })
+        );
+        // Not a whole number of pages.
+        assert_eq!(
+            cfg.validate_footprint(4096 + 128),
+            Err(ConfigError::BadFootprint {
+                bytes: 4096 + 128,
+                why: "not a multiple of the page size",
+            })
+        );
+        assert!(cfg.validate_footprint(256 << 20).is_ok());
+        assert!(cfg.validate_footprint(16 << 30).is_ok());
+        // The error names the value and constraint.
+        let msg = cfg.validate_footprint(64).unwrap_err().to_string();
+        assert!(msg.contains("64") && msg.contains("line"), "{msg}");
+    }
+
+    #[test]
+    fn builder_validates_declared_footprints() {
+        let err = SystemConfig::builder()
+            .footprint(4096 + 128)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BadFootprint { .. }));
+        let cfg = SystemConfig::builder()
+            .footprint(256 << 20)
+            .build()
+            .expect("whole-page footprint is valid");
+        assert_eq!(cfg.memory.page_bytes, 4096);
     }
 
     #[test]

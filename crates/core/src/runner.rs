@@ -4,8 +4,7 @@
 //! set of platforms over the Table II workloads in one or both memory
 //! modes, then normalise. [`GridRun`] is the single entry point for
 //! those grids — an options struct selecting worker count, per-cell
-//! wall-clock profiling and stderr progress — and the older
-//! `run_grid*` free functions remain as thin deprecated wrappers.
+//! wall-clock profiling and stderr progress.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -28,9 +27,8 @@ pub fn run_platform(
     System::new(cfg, platform, mode, spec).run()
 }
 
-/// Options for one grid run — the single entry point that replaced the
-/// `run_grid` / `run_grid_serial` / `run_grid_threaded` /
-/// `run_grid_profiled` quartet.
+/// Options for one grid run — the single entry point for sweeping
+/// platforms over workloads.
 ///
 /// ```no_run
 /// # use ohm_core::config::SystemConfig;
@@ -171,68 +169,6 @@ fn chunk_rows(cells: Vec<SimReport>, cols: usize) -> Vec<Vec<SimReport>> {
         }
         rows.push(row);
     }
-}
-
-/// Runs several platforms over several workloads in one mode, returning
-/// `results[workload][platform]` in input order.
-#[deprecated(since = "0.2.0", note = "use `GridRun::new().run(...)` instead")]
-pub fn run_grid(
-    cfg: &SystemConfig,
-    platforms: &[Platform],
-    mode: OperationalMode,
-    specs: &[WorkloadSpec],
-) -> Vec<Vec<SimReport>> {
-    GridRun::new().run(cfg, platforms, mode, specs).rows
-}
-
-/// [`run_grid`] on the caller's thread only.
-#[deprecated(since = "0.2.0", note = "use `GridRun::serial().run(...)` instead")]
-pub fn run_grid_serial(
-    cfg: &SystemConfig,
-    platforms: &[Platform],
-    mode: OperationalMode,
-    specs: &[WorkloadSpec],
-) -> Vec<Vec<SimReport>> {
-    GridRun::serial().run(cfg, platforms, mode, specs).rows
-}
-
-/// [`run_grid`] over an explicit worker count.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `GridRun::new().threads(n).run(...)` instead"
-)]
-pub fn run_grid_threaded(
-    cfg: &SystemConfig,
-    platforms: &[Platform],
-    mode: OperationalMode,
-    specs: &[WorkloadSpec],
-    threads: usize,
-) -> Vec<Vec<SimReport>> {
-    GridRun::new()
-        .threads(threads)
-        .run(cfg, platforms, mode, specs)
-        .rows
-}
-
-/// [`run_grid_threaded`] that additionally profiles each cell's
-/// wall-clock cost.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `GridRun::new().threads(n).profile(true).run(...)` instead"
-)]
-pub fn run_grid_profiled(
-    cfg: &SystemConfig,
-    platforms: &[Platform],
-    mode: OperationalMode,
-    specs: &[WorkloadSpec],
-    threads: usize,
-) -> (Vec<Vec<SimReport>>, Vec<CellProfile>) {
-    let result = GridRun::new()
-        .threads(threads)
-        .profile(true)
-        .run(cfg, platforms, mode, specs);
-    let profiles = result.profiles.expect("profiling was requested");
-    (result.rows, profiles)
 }
 
 /// Wall-clock profile of one grid cell — harness-side reporting only;
@@ -388,19 +324,6 @@ mod tests {
         // Unprofiled runs carry no profiles.
         let plain = GridRun::serial().run(&cfg, &platforms, OperationalMode::Planar, &specs);
         assert!(plain.profiles.is_none());
-    }
-
-    #[test]
-    fn deprecated_wrappers_still_work() {
-        #![allow(deprecated)]
-        let cfg = SystemConfig::quick_test();
-        let specs = vec![workload_by_name("lud").unwrap()];
-        let platforms = [Platform::OhmBase];
-        let a = run_grid_serial(&cfg, &platforms, OperationalMode::Planar, &specs);
-        let b = GridRun::serial()
-            .run(&cfg, &platforms, OperationalMode::Planar, &specs)
-            .rows;
-        assert_eq!(a, b);
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub trait MemoryBackend {
     fn planner_wear(&self) -> Option<PlannerWear> {
         None
     }
+
+    /// Heap bytes the backend's planner/metadata state occupies right
+    /// now. For sparse backends this scales with touched pages, not with
+    /// the simulated footprint — bounded-memory tests assert on it.
+    /// Default: zero (stateless backends).
+    fn state_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Builds the policy backend for `platform`, sized like the devices in
@@ -214,6 +222,10 @@ impl MemoryBackend for PlanarBackend {
                 / n,
             effective_ratio: self.maps.iter().map(|m| m.effective_ratio()).sum::<f64>() / n,
         })
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.maps.iter().map(|m| m.state_bytes()).sum()
     }
 }
 
@@ -493,5 +505,9 @@ impl MemoryBackend for TwoLevelBackend {
             usable_fraction: usable,
             effective_ratio: ratio * usable,
         })
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.caches.iter().map(|c| c.state_bytes()).sum()
     }
 }

@@ -502,4 +502,20 @@ impl MemorySubsystem {
     pub(crate) fn host_report(&self) -> Option<HostReport> {
         self.backend.host_report()
     }
+
+    /// Heap bytes held by footprint-proportional-looking metadata across
+    /// the subsystem: the policy backend's planner state plus every
+    /// XPoint controller's wear-tracking map. All of it is sparse, so
+    /// the result scales with pages/buckets actually touched — the
+    /// bounded-memory tier-1 test asserts this stays flat as the
+    /// simulated footprint grows.
+    pub(crate) fn state_bytes(&self) -> usize {
+        let wear: usize = self
+            .mcs
+            .iter()
+            .filter_map(|mc| mc.xpoint.as_ref())
+            .map(|xp| xp.wear_map().state_bytes())
+            .sum();
+        self.backend.state_bytes() + wear
+    }
 }

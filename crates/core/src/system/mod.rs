@@ -135,6 +135,9 @@ impl System {
         if let Err(e) = cfg.validate() {
             panic!("invalid system configuration: {e}");
         }
+        if let Err(e) = cfg.validate_footprint(spec.footprint_bytes) {
+            panic!("invalid workload footprint: {e}");
+        }
         let mem = MemorySubsystem::build(cfg, platform, mode, spec);
         System {
             platform,
@@ -172,6 +175,15 @@ impl System {
         let obs = self.stats.obs.as_mut()?;
         obs.absorb_channel_intervals(intervals);
         Some(crate::trace::chrome_trace_json(obs))
+    }
+
+    /// Heap bytes currently held by the memory subsystem's planner and
+    /// wear metadata. The memory stack stores this state sparsely
+    /// (DESIGN.md §3.7), so the number scales with pages actually
+    /// touched, not with the configured footprint — tier-1's
+    /// bounded-memory test asserts a 16 GiB-footprint cell stays flat.
+    pub fn memory_state_bytes(&self) -> usize {
+        self.mem.state_bytes()
     }
 
     /// Runs the kernel to completion and reports.

@@ -2,10 +2,10 @@
 //! holds part of the footprint, with overflow staged over the host/SSD
 //! path (the baseline the paper's Figure 3 breakdown motivates).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use ohm_mem::MemKind;
-use ohm_sim::{Addr, Ps};
+use ohm_sim::{Addr, FastBuildHasher, FastMap, Ps};
 use ohm_workloads::{HostStorage, HostStorageConfig, WorkloadSpec};
 
 use crate::config::SystemConfig;
@@ -22,9 +22,22 @@ use super::memory::MemEnv;
 struct ResidentSet {
     capacity_segments: usize,
     segment_bytes: u64,
-    /// segment -> last-touch stamp (LRU replacement).
-    resident: HashMap<u64, u64>,
-    dirty: HashSet<u64>,
+    /// segment -> last-touch stamp (LRU replacement). Only segments
+    /// touched since launch are materialized; the pre-warmed remainder
+    /// is represented analytically by `virgin_count`, so the set costs
+    /// O(touched segments), not O(footprint).
+    resident: FastMap<u64, u64>,
+    /// Pre-warmed segments (ids below capacity) not yet touched or
+    /// evicted: conceptually resident with stamp 0 (older than any
+    /// touched segment) and clean.
+    virgin_count: u64,
+    /// Former pre-warmed ids that were touched or evicted — the holes in
+    /// the virgin range.
+    virgin_gone: HashSet<u64, FastBuildHasher>,
+    /// Low-water cursor for finding the smallest remaining virgin id;
+    /// only ever advances, so victim scans are amortized O(1).
+    virgin_scan: u64,
+    dirty: HashSet<u64, FastBuildHasher>,
     clock: u64,
 }
 
@@ -33,16 +46,52 @@ impl ResidentSet {
     /// segments: the initial input staging happens before the kernel
     /// launches (a cudaMemcpy ahead of the timed region), so the kernel
     /// only pays for capacity misses — the thrashing the paper's
-    /// breakdown attributes to the too-small GPU memory.
+    /// breakdown attributes to the too-small GPU memory. The pre-warm is
+    /// lazy: nothing is allocated until segments are touched.
     fn new(capacity_segments: usize, segment_bytes: u64) -> Self {
         let capacity = capacity_segments.max(1);
         ResidentSet {
             capacity_segments: capacity,
             segment_bytes,
-            resident: (0..capacity as u64).map(|s| (s, 0)).collect(),
-            dirty: HashSet::new(),
+            resident: FastMap::default(),
+            virgin_count: capacity as u64,
+            virgin_gone: HashSet::default(),
+            virgin_scan: 0,
+            dirty: HashSet::default(),
             clock: 0,
         }
+    }
+
+    /// Removes `seg` from the virgin range.
+    fn depart_virgin(&mut self, seg: u64) {
+        self.virgin_gone.insert(seg);
+        self.virgin_count -= 1;
+    }
+
+    /// Picks the LRU victim deterministically: virgin segments (stamp 0)
+    /// are always older than touched ones and are evicted lowest-id
+    /// first; among touched segments, stamps are unique (one per clock
+    /// tick) with the segment id as a formal tie-break, so the choice
+    /// never depends on map iteration order.
+    fn pop_victim(&mut self) -> u64 {
+        if self.virgin_count > 0 {
+            while self.virgin_gone.contains(&self.virgin_scan) {
+                self.virgin_scan += 1;
+            }
+            let victim = self.virgin_scan;
+            self.depart_virgin(victim);
+            self.virgin_scan += 1;
+            return victim;
+        }
+        let victim = self
+            .resident
+            .iter()
+            .map(|(&s, &stamp)| (stamp, s))
+            .min()
+            .expect("resident set non-empty at capacity")
+            .1;
+        self.resident.remove(&victim);
+        victim
     }
 
     /// Returns whether the access faulted, plus the evicted segment (and
@@ -57,14 +106,19 @@ impl ResidentSet {
             }
             return (false, None);
         }
-        let evicted = if self.resident.len() >= self.capacity_segments {
-            let victim = self
-                .resident
-                .iter()
-                .min_by_key(|&(_, &stamp)| stamp)
-                .map(|(&s, _)| s)
-                .expect("resident set non-empty at capacity");
-            self.resident.remove(&victim);
+        if seg < self.capacity_segments as u64 && !self.virgin_gone.contains(&seg) {
+            // Pre-warmed and untouched: promote into the materialized
+            // set without a fault.
+            self.depart_virgin(seg);
+            self.resident.insert(seg, self.clock);
+            if is_write {
+                self.dirty.insert(seg);
+            }
+            return (false, None);
+        }
+        let occupied = self.resident.len() as u64 + self.virgin_count;
+        let evicted = if occupied >= self.capacity_segments as u64 {
+            let victim = self.pop_victim();
             let was_dirty = self.dirty.remove(&victim);
             Some((victim, was_dirty))
         } else {

@@ -21,7 +21,7 @@
 
 use std::collections::BTreeSet;
 
-use ohm_sim::{Addr, FastDiv};
+use ohm_sim::{Addr, FastDiv, SparseState};
 
 /// Configuration of the planar mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,15 +109,44 @@ pub struct SwapRequest {
     pub page_bytes: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Group {
-    /// Which in-group slot currently occupies the DRAM page.
-    dram_resident: u16,
-    /// `xp_slot[s]` = XPoint sub-slot (0..ratio) holding in-group slot `s`;
-    /// `u16::MAX` marks the DRAM resident.
-    xp_slot: Vec<u16>,
-    /// Access counters per in-group slot.
-    counters: Vec<u32>,
+/// Per-page planner state, stored sparsely at group-major page index
+/// (`group * group_pages + slot`). The all-zero default must describe
+/// the initial identity placement so untouched groups cost nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct PageState {
+    /// Hotness counter for the page.
+    counter: u32,
+    /// Encoded XPoint placement of the page — see [`decode_sub`]:
+    /// `0` = initial placement (slot 0 in DRAM, slot `s` in sub-slot
+    /// `s - 1`), `1` = in DRAM, `v >= 2` = XPoint sub-slot `v - 2`.
+    slot_enc: u32,
+}
+
+/// Decodes a [`PageState::slot_enc`] for in-group `slot`: `None` means
+/// the page occupies the group's DRAM slot, `Some(sub)` its XPoint
+/// sub-slot.
+#[inline]
+fn decode_sub(slot: usize, enc: u32) -> Option<u16> {
+    match enc {
+        0 => {
+            if slot == 0 {
+                None
+            } else {
+                Some((slot - 1) as u16)
+            }
+        }
+        1 => None,
+        v => Some((v - 2) as u16),
+    }
+}
+
+/// Inverse of [`decode_sub`] (always the explicit form, never `0`).
+#[inline]
+fn encode_sub(sub: Option<u16>) -> u32 {
+    match sub {
+        None => 1,
+        Some(s) => s as u32 + 2,
+    }
 }
 
 /// The planar-mode remap table and hotness tracker.
@@ -139,7 +168,13 @@ struct Group {
 #[derive(Debug, Clone)]
 pub struct PlanarMapping {
     cfg: PlanarConfig,
-    groups: Vec<Group>,
+    /// Current DRAM-resident slot per group (default `0`: the initial
+    /// identity placement). Materialized only for groups that swapped.
+    residents: SparseState<u16>,
+    /// Hotness counters and placement per group-major page, materialized
+    /// only for pages actually accessed. Untouched pages are in their
+    /// initial placement with a zero counter by construction.
+    pages: SparseState<PageState>,
     /// Reciprocal of the group count — `split` runs on every access and
     /// the group count is rarely a power of two (ratio + 1 slots).
     groups_div: FastDiv,
@@ -167,20 +202,13 @@ impl PlanarMapping {
         assert!(cfg.ratio > 0, "need at least one XPoint page per group");
         let n = cfg.groups();
         assert!(n > 0, "capacity too small for one group");
-        let group_pages = cfg.group_pages();
-        let groups = (0..n)
-            .map(|_| Group {
-                dram_resident: 0,
-                // Slot 0 in DRAM; slot s (s>=1) in XPoint sub-slot s-1.
-                xp_slot: (0..group_pages)
-                    .map(|s| if s == 0 { u16::MAX } else { (s - 1) as u16 })
-                    .collect(),
-                counters: vec![0; group_pages],
-            })
-            .collect();
+        // The sparse default (resident slot 0, counter 0, initial
+        // placement) *is* the identity mapping, so construction
+        // allocates nothing regardless of capacity.
         PlanarMapping {
+            residents: SparseState::new(n),
+            pages: SparseState::new(n * cfg.group_pages() as u64),
             cfg,
-            groups,
             groups_div: FastDiv::new(n),
             swaps: 0,
             retired_xp_pages: BTreeSet::new(),
@@ -201,7 +229,18 @@ impl PlanarMapping {
     fn split(&self, addr: Addr) -> (u64, usize, u64) {
         let page = addr.block_index(self.cfg.page_bytes);
         let (slot, group) = self.groups_div.divmod(page);
+        assert!(
+            (slot as usize) < self.cfg.group_pages(),
+            "address beyond configured capacity"
+        );
         (group, slot as usize, addr.offset_in(self.cfg.page_bytes))
+    }
+
+    /// Group-major page index of in-group `slot` of `group` — the key
+    /// into [`Self::pages`].
+    #[inline]
+    fn page_idx(&self, group: u64, slot: usize) -> u64 {
+        group * self.cfg.group_pages() as u64 + slot as u64
     }
 
     fn dram_addr(&self, group: u64, offset: u64) -> Addr {
@@ -219,11 +258,12 @@ impl PlanarMapping {
     /// Panics if the address is beyond the configured capacity.
     pub fn lookup(&self, addr: Addr) -> PlanarLocation {
         let (group, slot, offset) = self.split(addr);
-        let g = &self.groups[group as usize];
-        if g.dram_resident as usize == slot {
+        if *self.residents.get(group) as usize == slot {
             PlanarLocation::Dram(self.dram_addr(group, offset))
         } else {
-            PlanarLocation::XPoint(self.xpoint_addr(group, g.xp_slot[slot], offset))
+            let enc = self.pages.get(self.page_idx(group, slot)).slot_enc;
+            let sub = decode_sub(slot, enc).expect("non-resident page must be in XPoint");
+            PlanarLocation::XPoint(self.xpoint_addr(group, sub, offset))
         }
     }
 
@@ -241,16 +281,23 @@ impl PlanarMapping {
         let group_pages = self.cfg.group_pages() as u64;
         let threshold = self.cfg.hot_threshold;
         let ratio = self.cfg.ratio as u64;
-        let g = &mut self.groups[group as usize];
-        let resident = g.dram_resident as usize;
-        g.counters[slot] += 1;
-        if slot == resident || g.counters[slot] < threshold {
+        let resident = *self.residents.get(group) as usize;
+        let idx = self.page_idx(group, slot);
+        let st = self.pages.get_mut(idx);
+        st.counter += 1;
+        if slot == resident || st.counter < threshold {
             return None;
         }
-        for c in &mut g.counters {
-            *c = 0;
+        let sub_slot = decode_sub(slot, st.slot_enc).expect("hot page must be in XPoint");
+        // Reset the whole group's counters. Pages never touched hold a
+        // zero counter already — skip them so the reset cannot
+        // materialize chunks.
+        let base = group * group_pages;
+        for s in 0..group_pages {
+            if self.pages.get(base + s).counter != 0 {
+                self.pages.get_mut(base + s).counter = 0;
+            }
         }
-        let sub_slot = g.xp_slot[slot];
         if self
             .retired_xp_pages
             .contains(&(group * ratio + sub_slot as u64))
@@ -260,8 +307,8 @@ impl PlanarMapping {
         }
         Some(SwapRequest {
             group,
-            promote_page: group * group_pages + slot as u64,
-            demote_page: group * group_pages + resident as u64,
+            promote_page: base + slot as u64,
+            demote_page: base + resident as u64,
             dram_addr: self.dram_addr(group, 0),
             xpoint_addr: self.xpoint_addr(group, sub_slot, 0),
             page_bytes: self.cfg.page_bytes,
@@ -277,18 +324,19 @@ impl PlanarMapping {
     /// page was already promoted by a racing swap).
     pub fn commit_swap(&mut self, req: &SwapRequest) {
         let group_pages = self.cfg.group_pages() as u64;
-        let g = &mut self.groups[req.group as usize];
         let promote_slot = (req.promote_page % group_pages) as usize;
         let demote_slot = (req.demote_page % group_pages) as usize;
         assert_eq!(
-            g.dram_resident as usize, demote_slot,
+            *self.residents.get(req.group) as usize, demote_slot,
             "swap request stale: resident changed"
         );
-        let sub = g.xp_slot[promote_slot];
-        assert_ne!(sub, u16::MAX, "promoted page is already in DRAM");
-        g.xp_slot[demote_slot] = sub;
-        g.xp_slot[promote_slot] = u16::MAX;
-        g.dram_resident = promote_slot as u16;
+        let promote_idx = self.page_idx(req.group, promote_slot);
+        let demote_idx = self.page_idx(req.group, demote_slot);
+        let sub = decode_sub(promote_slot, self.pages.get(promote_idx).slot_enc);
+        assert!(sub.is_some(), "promoted page is already in DRAM");
+        self.pages.get_mut(demote_idx).slot_enc = encode_sub(sub);
+        self.pages.get_mut(promote_idx).slot_enc = encode_sub(None);
+        self.residents.set(req.group, promote_slot as u16);
         self.swaps += 1;
     }
 
@@ -323,6 +371,21 @@ impl PlanarMapping {
     /// retired.
     pub fn pinned_swaps(&self) -> u64 {
         self.pinned_swaps
+    }
+
+    /// Heap bytes held by the materialized remap/hotness state. Scales
+    /// with pages actually touched, not with
+    /// [`capacity_bytes`](PlanarConfig::capacity_bytes).
+    pub fn state_bytes(&self) -> usize {
+        self.pages.heap_bytes()
+            + self.residents.heap_bytes()
+            + self.retired_xp_pages.len() * 3 * std::mem::size_of::<u64>()
+    }
+
+    /// Number of sparse chunks materialized so far (diagnostic for
+    /// bounded-memory tests).
+    pub fn touched_chunks(&self) -> usize {
+        self.pages.touched_chunks() + self.residents.touched_chunks()
     }
 
     /// Fraction of the XPoint tier still usable (retired pages excluded).

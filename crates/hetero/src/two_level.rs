@@ -23,7 +23,7 @@
 
 use std::collections::BTreeSet;
 
-use ohm_sim::Addr;
+use ohm_sim::{Addr, SparseState};
 
 /// Geometry of the two-level mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +111,7 @@ impl TwoLevelOutcome {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 struct Meta {
     tag: u64,
     valid: bool,
@@ -126,7 +126,7 @@ struct Meta {
 ///
 /// ```
 /// use ohm_hetero::{TwoLevelCache, TwoLevelConfig};
-/// use ohm_sim::Addr;
+/// use ohm_sim::{Addr, SparseState};
 ///
 /// let mut c = TwoLevelCache::new(TwoLevelConfig::default());
 /// let first = c.access(Addr::new(0x1000), false);
@@ -136,7 +136,10 @@ struct Meta {
 #[derive(Debug, Clone)]
 pub struct TwoLevelCache {
     cfg: TwoLevelConfig,
-    meta: Vec<Meta>,
+    /// Per-slot cacheline metadata, materialized only for slots actually
+    /// filled — the all-invalid default is exactly an untouched slot, so
+    /// an empty cache costs nothing regardless of DRAM capacity.
+    meta: SparseState<Meta>,
     hits: u64,
     misses: u64,
     dirty_evictions: u64,
@@ -165,7 +168,7 @@ impl TwoLevelCache {
             "XPoint must back the whole DRAM cache"
         );
         TwoLevelCache {
-            meta: vec![Meta::default(); cfg.cache_lines() as usize],
+            meta: SparseState::new(cfg.cache_lines()),
             cfg,
             hits: 0,
             misses: 0,
@@ -214,9 +217,11 @@ impl TwoLevelCache {
         );
         let (index, tag) = self.decode(addr);
         let dram_addr = self.dram_addr(index);
-        let m = self.meta[index];
+        let m = *self.meta.get(index as u64);
         if m.valid && m.tag == tag {
-            self.meta[index].dirty |= is_write;
+            if is_write {
+                self.meta.get_mut(index as u64).dirty = true;
+            }
             self.hits += 1;
             return TwoLevelOutcome::Hit { dram_addr };
         }
@@ -243,11 +248,14 @@ impl TwoLevelCache {
             self.xpoint_addr(index, m.tag)
         });
         let xpoint_addr = self.xpoint_addr(index, tag);
-        self.meta[index] = Meta {
-            tag,
-            valid: true,
-            dirty: is_write,
-        };
+        self.meta.set(
+            index as u64,
+            Meta {
+                tag,
+                valid: true,
+                dirty: is_write,
+            },
+        );
         TwoLevelOutcome::Miss {
             dram_addr,
             xpoint_addr,
@@ -258,7 +266,7 @@ impl TwoLevelCache {
     /// Whether the line containing `addr` is currently cached.
     pub fn contains(&self, addr: Addr) -> bool {
         let (index, tag) = self.decode(addr);
-        let m = &self.meta[index];
+        let m = self.meta.get(index as u64);
         m.valid && m.tag == tag
     }
 
@@ -305,17 +313,30 @@ impl TwoLevelCache {
     }
 
     /// Cache slots currently pinned by a retired-backed resident.
+    /// Only visits materialized slots — untouched slots are invalid by
+    /// definition and can never pin anything.
     pub fn pinned_lines(&self) -> u64 {
         self.meta
-            .iter()
-            .enumerate()
+            .iter_touched()
             .filter(|(index, m)| {
                 m.valid
                     && self
                         .retired
-                        .contains(&(m.tag * self.cfg.cache_lines() + *index as u64))
+                        .contains(&(m.tag * self.cfg.cache_lines() + index))
             })
             .count() as u64
+    }
+
+    /// Heap bytes held by the materialized cache metadata. Scales with
+    /// slots actually filled, not with the configured DRAM capacity.
+    pub fn state_bytes(&self) -> usize {
+        self.meta.heap_bytes() + self.retired.len() * 3 * std::mem::size_of::<u64>()
+    }
+
+    /// Number of sparse metadata chunks materialized so far (diagnostic
+    /// for bounded-memory tests).
+    pub fn touched_chunks(&self) -> usize {
+        self.meta.touched_chunks()
     }
 
     /// Fraction of the backing XPoint still usable (retired lines

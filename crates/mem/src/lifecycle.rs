@@ -25,13 +25,19 @@
 //!
 //! The same contract as fault injection (DESIGN.md §3.4): all randomness
 //! comes from one forked [`SplitMix64`] stream handed to
-//! [`LineLifecycle::new`]. Per-bucket endurance variation is drawn
-//! eagerly at arm time; per-operation ECC classification draws exactly
-//! one number, and only once a bucket's wear fraction has reached
-//! [`XpLifecycleConfig::ecc_onset`] *and* an ECC rate is non-zero. A
-//! disabled config ([`XpLifecycleConfig::NONE`]) is never armed and a
-//! zero-wear run draws nothing per-op, so both are bit-identical to a
-//! lifecycle-free run.
+//! [`LineLifecycle::new`]. Per-bucket endurance variation occupies the
+//! first `buckets` draws of that stream — one per bucket, in bucket
+//! order — but is evaluated *lazily*: budgets are recomputed on demand
+//! by jumping the stream O(1) to the bucket's reserved draw
+//! ([`SplitMix64::advance`]), so arming costs no per-bucket memory or
+//! time while producing bit-identical budgets to the historical eager
+//! pass. Per-operation ECC classification continues after those
+//! reserved draws and draws exactly one number, and only once a
+//! bucket's wear fraction has reached [`XpLifecycleConfig::ecc_onset`]
+//! *and* an ECC rate is non-zero. A disabled config
+//! ([`XpLifecycleConfig::NONE`]) is never armed and a zero-wear run
+//! draws nothing per-op, so both are bit-identical to a lifecycle-free
+//! run.
 
 use ohm_sim::{Ps, SplitMix64};
 
@@ -130,42 +136,48 @@ pub struct XpLifecycleEvent {
     pub end: Ps,
 }
 
-/// The armed lifecycle state: per-bucket endurance budgets and the ECC
-/// classification RNG.
+/// The armed lifecycle state: per-bucket endurance budgets (lazily
+/// derived from the arm-time RNG state) and the ECC classification RNG.
 #[derive(Debug, Clone)]
 pub struct LineLifecycle {
     cfg: XpLifecycleConfig,
-    /// Effective endurance budget per wear bucket (jittered at arm time).
-    bucket_budget: Vec<u64>,
-    /// Per-operation ECC draw stream (continues after the eager budget
-    /// draws on the same forked stream).
+    /// Number of wear buckets the lifecycle was armed over; draws
+    /// `0..buckets` of [`base`](Self::base) are reserved for budgets.
+    buckets: u64,
+    /// Jitter half-width as a fraction (precomputed from the config).
+    jitter: f64,
+    /// The RNG state captured at arm time. Bucket `b`'s budget is a pure
+    /// function of this state: jump `b` draws forward and take one
+    /// `next_f64`. No per-bucket storage exists.
+    base: SplitMix64,
+    /// Per-operation ECC draw stream (continues after the reserved
+    /// budget draws on the same forked stream).
     rng: SplitMix64,
 }
 
 impl LineLifecycle {
-    /// Arms the lifecycle over `buckets` wear buckets, drawing each
-    /// bucket's effective budget eagerly from `rng` (so the thresholds do
-    /// not depend on operation order).
+    /// Arms the lifecycle over `buckets` wear buckets. Each bucket's
+    /// effective budget occupies one reserved draw at the head of `rng`'s
+    /// stream (so thresholds do not depend on operation order), but no
+    /// budget is materialized — they are recomputed on demand in O(1).
     ///
     /// # Panics
     ///
     /// Panics if the config is disabled (`endurance_writes == 0`) — the
     /// controller must not arm a disabled config.
-    pub fn new(cfg: XpLifecycleConfig, mut rng: SplitMix64, buckets: usize) -> Self {
+    pub fn new(cfg: XpLifecycleConfig, rng: SplitMix64, buckets: usize) -> Self {
         assert!(
             !cfg.is_disabled(),
             "a disabled lifecycle config must not be armed"
         );
-        let j = (cfg.endurance_jitter_pct as f64 / 100.0).min(0.99);
-        let bucket_budget = (0..buckets)
-            .map(|_| {
-                let f = 1.0 + j * (2.0 * rng.next_f64() - 1.0);
-                ((cfg.endurance_writes as f64 * f) as u64).max(1)
-            })
-            .collect();
+        let base = rng;
+        let mut rng = base.clone();
+        rng.advance(buckets as u64); // skip the reserved budget draws
         LineLifecycle {
             cfg,
-            bucket_budget,
+            buckets: buckets as u64,
+            jitter: (cfg.endurance_jitter_pct as f64 / 100.0).min(0.99),
+            base,
             rng,
         }
     }
@@ -175,16 +187,29 @@ impl LineLifecycle {
         &self.cfg
     }
 
-    /// The effective (jittered) endurance budget of one bucket.
+    /// The effective (jittered) endurance budget of one bucket,
+    /// recomputed in O(1) from the arm-time RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is outside the armed bucket range.
     pub fn bucket_budget(&self, bucket: usize) -> u64 {
-        self.bucket_budget[bucket]
+        assert!(
+            (bucket as u64) < self.buckets,
+            "bucket {bucket} out of range (armed over {})",
+            self.buckets
+        );
+        let mut draw = self.base.clone();
+        draw.advance(bucket as u64);
+        let f = 1.0 + self.jitter * (2.0 * draw.next_f64() - 1.0);
+        ((self.cfg.endurance_writes as f64 * f) as u64).max(1)
     }
 
     /// Classifies one media operation on a line in `bucket` whose wear
     /// count stands at `writes`. Draws at most one random number, and
     /// none below the ECC onset.
     pub fn classify(&mut self, bucket: usize, writes: u64, is_write: bool) -> LifecycleOutcome {
-        let budget = self.bucket_budget[bucket];
+        let budget = self.bucket_budget(bucket);
         if is_write && writes >= budget {
             return LifecycleOutcome::WornOut;
         }
@@ -303,6 +328,52 @@ mod tests {
                 "diverged at op {i}"
             );
         }
+    }
+
+    #[test]
+    fn lazy_budgets_match_eager_draws_bit_for_bit() {
+        // The historical implementation drew every bucket budget eagerly
+        // at arm time. The lazy form must reproduce that sequence
+        // exactly, including the per-op stream continuing after the
+        // reserved draws.
+        let endurance = 1000u64;
+        let lc = armed(endurance);
+        let mut eager = SplitMix64::new(0x11FE);
+        let j = 10.0 / 100.0;
+        for b in 0..8 {
+            let f = 1.0 + j * (2.0 * eager.next_f64() - 1.0);
+            let want = ((endurance as f64 * f) as u64).max(1);
+            assert_eq!(lc.bucket_budget(b), want, "bucket {b}");
+        }
+        // Budgets are pure: re-reading never perturbs anything.
+        assert_eq!(lc.bucket_budget(3), lc.bucket_budget(3));
+        // The first per-op draw is the 9th draw of the forked stream.
+        let mut live = lc.clone();
+        let budget = live.bucket_budget(0);
+        let outcome = live.classify(0, budget - 1, false);
+        let r = eager.next_below(1_000_000);
+        // armed(): onset 0.5, corr 400_000 ppm, unc 50_000 ppm; at
+        // wear ~= 1.0 the ramp is ~1.0, so classify thresholds r the
+        // same way the eager stream would.
+        let wear = ((budget - 1) as f64 / budget as f64).min(1.0);
+        let ramp = ((wear - 0.5) / 0.5).clamp(0.0, 1.0);
+        let p_unc = (50_000.0 * ramp) as u64;
+        let p_corr = (400_000.0 * ramp) as u64;
+        let want = if r < p_unc {
+            LifecycleOutcome::Uncorrectable
+        } else if r < p_unc + p_corr {
+            LifecycleOutcome::Corrected
+        } else {
+            LifecycleOutcome::Healthy
+        };
+        assert_eq!(outcome, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_budget_out_of_range_panics() {
+        let lc = armed(1000);
+        let _ = lc.bucket_budget(8);
     }
 
     #[test]

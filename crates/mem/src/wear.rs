@@ -9,7 +9,7 @@
 //! logic-layer XPoint controller "fully eliminate the usage of the DRAM
 //! buffer" for translation metadata (Section III-A).
 
-use ohm_sim::{Addr, Counter, FastDiv};
+use ohm_sim::{Addr, Counter, FastDiv, SparseState};
 
 /// Number of coarse wear-tracking buckets (physical lines are folded into
 /// these so endurance accounting stays O(1) in memory for huge modules).
@@ -95,7 +95,10 @@ pub struct StartGap {
     writes_since_move: u32,
     gap_moves: Counter,
     total_writes: Counter,
-    bucket_writes: Vec<u64>,
+    /// Per-bucket write counts, materialized only for buckets actually
+    /// written — untouched buckets read as zero analytically, so wear
+    /// summaries never visit (or allocate) the full bucket range.
+    bucket_writes: SparseState<u64>,
     /// Reciprocal of `lines` for the per-access address fold.
     lines_div: FastDiv,
     /// Reciprocal of the bucket count for the per-write wear fold.
@@ -121,7 +124,7 @@ impl StartGap {
             writes_since_move: 0,
             gap_moves: Counter::new(),
             total_writes: Counter::new(),
-            bucket_writes: vec![0; buckets],
+            bucket_writes: SparseState::new(buckets as u64),
             lines_div: FastDiv::new(lines),
             buckets_div: FastDiv::new(buckets as u64),
         }
@@ -211,8 +214,8 @@ impl StartGap {
     }
 
     fn count_bucket(&mut self, phys: u64) {
-        let b = self.buckets_div.rem(phys) as usize;
-        self.bucket_writes[b] += 1;
+        let b = self.buckets_div.rem(phys);
+        *self.bucket_writes.get_mut(b) += 1;
     }
 
     /// Gap rotations performed so far.
@@ -222,7 +225,7 @@ impl StartGap {
 
     /// Number of coarse wear buckets physical slots are folded into.
     pub fn bucket_count(&self) -> usize {
-        self.bucket_writes.len()
+        self.bucket_writes.len() as usize
     }
 
     /// The wear bucket a physical slot folds into.
@@ -236,7 +239,13 @@ impl StartGap {
     ///
     /// Panics if `bucket >= bucket_count()`.
     pub fn bucket_writes(&self, bucket: usize) -> u64 {
-        self.bucket_writes[bucket]
+        *self.bucket_writes.get(bucket as u64)
+    }
+
+    /// Heap bytes held by the materialized wear-tracking state. Scales
+    /// with buckets actually written, not with the module's line count.
+    pub fn state_bytes(&self) -> usize {
+        self.bucket_writes.heap_bytes()
     }
 
     /// Physical slots folded into each wear bucket (at least 1.0).
@@ -275,10 +284,17 @@ impl StartGap {
         Ok(endurance_writes as f64 / hottest_line_rate)
     }
 
-    /// Endurance summary.
+    /// Endurance summary. Untouched buckets contribute analytically
+    /// (they hold zero writes and can never be the maximum), so this
+    /// only visits materialized buckets.
     pub fn wear_stats(&self) -> WearStats {
         let total = self.total_writes.get();
-        let max = self.bucket_writes.iter().copied().max().unwrap_or(0);
+        let max = self
+            .bucket_writes
+            .iter_touched()
+            .map(|(_, &w)| w)
+            .max()
+            .unwrap_or(0);
         let mean = total as f64 / self.bucket_writes.len() as f64;
         WearStats {
             total_writes: total,

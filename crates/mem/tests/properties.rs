@@ -166,3 +166,80 @@ fn xpoint_read_latency_floor() {
         }
     }
 }
+
+/// The sparse per-bucket wear counts match a dense mirror maintained
+/// alongside: every write is counted in exactly the bucket the dense
+/// `Vec` layout would have counted it in (gap-move copies included).
+#[test]
+fn sparse_wear_counts_match_dense_mirror() {
+    let mut rng = SplitMix64::new(0xDE5E);
+    for _case in 0..24 {
+        let lines = 2 + rng.next_below(500);
+        let psi = 1 + rng.next_below(15) as u32;
+        let mut sg = StartGap::new(lines, psi);
+        let mut dense = vec![0u64; sg.bucket_count()];
+        let n = rng.next_below(600);
+        for _ in 0..n {
+            let logical = rng.next_below(lines);
+            // Mirror the counting the mapper does internally: the write
+            // lands on the *current* physical slot, and a gap rotation
+            // additionally writes the copy destination.
+            dense[sg.bucket_of(sg.translate(logical))] += 1;
+            if let Some(mv) = sg.record_write(logical) {
+                dense[sg.bucket_of(mv.to)] += 1;
+            }
+        }
+        for (b, &want) in dense.iter().enumerate() {
+            assert_eq!(sg.bucket_writes(b), want, "bucket {b}");
+        }
+        let stats = sg.wear_stats();
+        assert_eq!(stats.max_bucket_writes, dense.iter().copied().max().unwrap());
+        let total: u64 = dense.iter().sum();
+        let mean = total as f64 / dense.len() as f64;
+        assert!((stats.mean_bucket_writes - mean).abs() < 1e-9);
+    }
+}
+
+/// Wear tracking costs nothing until written, and only O(touched
+/// buckets) after — independent of the module's line count.
+#[test]
+fn wear_state_is_touch_proportional() {
+    // 16 GiB worth of 128-byte lines.
+    let mut sg = StartGap::new((16u64 << 30) / 128, 128);
+    assert_eq!(sg.state_bytes(), 0);
+    for logical in 0..50u64 {
+        sg.record_write(logical * 7919);
+    }
+    // 50 writes touch at most 50 buckets (plus gap-copy targets), far
+    // under the full 4096-bucket table.
+    assert!(sg.state_bytes() < 64 * 1024, "{} bytes", sg.state_bytes());
+}
+
+/// Lazily recomputed lifecycle budgets are bit-identical to the eager
+/// arm-time pass they replaced: drawing `buckets` jittered budgets up
+/// front from the same forked stream yields the same values, and the
+/// per-operation stream continues exactly where the eager pass left off.
+#[test]
+fn lazy_lifecycle_budgets_match_eager_pass() {
+    use ohm_mem::{LineLifecycle, XpLifecycleConfig};
+    let mut seeds = SplitMix64::new(0x1A2B);
+    for _case in 0..16 {
+        let seed = seeds.next_u64();
+        let buckets = 1 + seeds.next_below(300) as usize;
+        let jitter_pct = seeds.next_below(50) as u32;
+        let cfg = XpLifecycleConfig {
+            endurance_writes: 1 + seeds.next_below(1 << 20),
+            endurance_jitter_pct: jitter_pct,
+            ..XpLifecycleConfig::NONE
+        };
+        let lc = LineLifecycle::new(cfg, SplitMix64::new(seed), buckets);
+        // The historical eager pass: one next_f64 per bucket, in order.
+        let mut eager_rng = SplitMix64::new(seed);
+        let jitter = (jitter_pct as f64 / 100.0).min(0.99);
+        for b in 0..buckets {
+            let f = 1.0 + jitter * (2.0 * eager_rng.next_f64() - 1.0);
+            let want = ((cfg.endurance_writes as f64 * f) as u64).max(1);
+            assert_eq!(lc.bucket_budget(b), want, "bucket {b}");
+        }
+    }
+}

@@ -43,6 +43,7 @@ pub mod event;
 pub mod hash;
 pub mod resource;
 pub mod rng;
+pub mod sparse;
 pub mod stats;
 pub mod time;
 
@@ -53,6 +54,7 @@ pub use event::EventQueue;
 pub use hash::{FastBuildHasher, FastHasher, FastMap};
 pub use resource::{Calendar, TaggedCalendar};
 pub use rng::SplitMix64;
+pub use sparse::SparseState;
 pub use stats::{Breakdown, Counter, Histogram, RunningStats, TimeSeries, Timeline};
 pub use time::{Freq, Ps};
 

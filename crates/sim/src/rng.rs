@@ -8,6 +8,19 @@
 //!
 //! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
 
+/// Weyl-sequence increment: SplitMix64 advances its state by this fixed
+/// constant per output, which is what makes O(1) stream jumping possible.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output finalizer applied to a raw state value.
+#[inline]
+const fn mix(state: u64) -> u64 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A deterministic 64-bit PRNG (SplitMix64).
 ///
 /// # Example
@@ -34,11 +47,30 @@ impl SplitMix64 {
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        self.state = self.state.wrapping_add(GAMMA);
+        mix(self.state)
+    }
+
+    /// Skips `draws` outputs in O(1).
+    ///
+    /// SplitMix64's state is a Weyl sequence (it advances by a fixed
+    /// constant per output), so jumping the stream forward is a single
+    /// wrapping multiply-add. After `advance(n)` the generator produces
+    /// exactly the values a sibling would after `n` calls to
+    /// [`next_u64`](Self::next_u64) (or any other single-draw method).
+    /// This lets lazily evaluated consumers materialize only the draws
+    /// they touch while staying bit-identical to an eager pass.
+    #[inline]
+    pub fn advance(&mut self, draws: u64) {
+        self.state = self.state.wrapping_add(GAMMA.wrapping_mul(draws));
+    }
+
+    /// Returns the `n`-th upcoming raw output (0-based) without consuming
+    /// anything: `peek_nth(0)` is what the next [`next_u64`](Self::next_u64)
+    /// would return. O(1) for any `n`.
+    #[inline]
+    pub fn peek_nth(&self, n: u64) -> u64 {
+        mix(self.state.wrapping_add(GAMMA.wrapping_mul(n.wrapping_add(1))))
     }
 
     /// Uniform value in `[0, bound)` using Lemire's multiply-shift method
@@ -149,6 +181,31 @@ mod tests {
         for _ in 0..10_000 {
             assert!(r.next_geometric(0.01) >= 1);
         }
+    }
+
+    #[test]
+    fn advance_matches_discarding() {
+        for skip in [0u64, 1, 2, 63, 64, 1000, 4097] {
+            let mut eager = SplitMix64::new(11);
+            for _ in 0..skip {
+                eager.next_u64();
+            }
+            let mut lazy = SplitMix64::new(11);
+            lazy.advance(skip);
+            assert_eq!(lazy, eager, "state diverged after skipping {skip}");
+            assert_eq!(lazy.next_u64(), eager.next_u64());
+        }
+    }
+
+    #[test]
+    fn peek_nth_matches_future_draws() {
+        let base = SplitMix64::new(12);
+        let mut live = base.clone();
+        for n in 0..100 {
+            assert_eq!(base.peek_nth(n), live.next_u64(), "draw {n}");
+        }
+        // Peeking never perturbs the stream.
+        assert_eq!(base, SplitMix64::new(12));
     }
 
     #[test]

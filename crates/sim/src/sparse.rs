@@ -1,0 +1,279 @@
+//! Sparse, footprint-independent state maps.
+//!
+//! The simulator models address spaces that can be orders of magnitude
+//! larger than the machine it runs on (a 16 GiB simulated footprint must
+//! not cost 16 GiB — or even 16 MiB — of simulator heap). Any component
+//! whose state is conceptually "one value per page/line/bucket of the
+//! footprint" therefore stores it in a [`SparseState`]: a chunked map
+//! that allocates fixed-size chunks on first touch and answers reads of
+//! untouched regions with the type's default value, analytically.
+//!
+//! Invariants that keep sparse runs bit-identical to a dense array:
+//!
+//! * every index in `[0, len)` is readable at any time; untouched indices
+//!   read as `T::default()`,
+//! * writing the default value to an untouched region is a no-op (no
+//!   chunk is materialized), so pure-default passes allocate nothing,
+//! * iteration visits touched chunks in ascending index order regardless
+//!   of touch order, so report generation is deterministic.
+//!
+//! Backed by the seedless [`FastMap`], so chunk lookup is
+//! two multiplies plus a probe and identical across runs.
+
+use crate::hash::FastMap;
+
+/// log2 of the number of entries per chunk.
+const CHUNK_SHIFT: u32 = 6;
+
+/// Entries per allocated chunk (64: small enough that a lone touched
+/// index costs little, large enough to amortize map overhead for dense
+/// regions).
+pub const CHUNK_LEN: usize = 1 << CHUNK_SHIFT;
+
+/// A fixed-capacity array of `len` logical entries that only allocates
+/// the chunks actually written.
+///
+/// Reads of never-written indices return `T::default()` without
+/// allocating; writes materialize one [`CHUNK_LEN`]-entry chunk. The
+/// heap cost is `O(touched chunks)`, independent of `len`.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::SparseState;
+///
+/// // One counter per page of a 16 GiB footprint: free until touched.
+/// let mut counters: SparseState<u32> = SparseState::new(16 << 30 >> 12);
+/// assert_eq!(counters.touched_chunks(), 0);
+/// assert_eq!(*counters.get(1_000_000), 0);
+///
+/// *counters.get_mut(1_000_000) += 1;
+/// assert_eq!(*counters.get(1_000_000), 1);
+/// assert_eq!(counters.touched_chunks(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseState<T> {
+    len: u64,
+    default: T,
+    chunks: FastMap<u64, Box<[T]>>,
+}
+
+impl<T: Clone + Default + PartialEq> SparseState<T> {
+    /// Creates a sparse array of `len` logical entries, all reading as
+    /// `T::default()` until written. Allocates no chunks.
+    pub fn new(len: u64) -> Self {
+        SparseState {
+            len,
+            default: T::default(),
+            chunks: FastMap::default(),
+        }
+    }
+
+    /// Number of logical entries (dense length, not touched count).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads entry `idx` (the default value if its chunk was never
+    /// materialized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn get(&self, idx: u64) -> &T {
+        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        match self.chunks.get(&(idx >> CHUNK_SHIFT)) {
+            Some(chunk) => &chunk[(idx & (CHUNK_LEN as u64 - 1)) as usize],
+            None => &self.default,
+        }
+    }
+
+    /// Mutable access to entry `idx`, materializing its chunk (filled
+    /// with defaults) on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn get_mut(&mut self, idx: u64) -> &mut T {
+        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        let chunk = self
+            .chunks
+            .entry(idx >> CHUNK_SHIFT)
+            .or_insert_with(|| vec![T::default(); CHUNK_LEN].into_boxed_slice());
+        &mut chunk[(idx & (CHUNK_LEN as u64 - 1)) as usize]
+    }
+
+    /// Writes entry `idx`. Writing the default value to an untouched
+    /// chunk is a no-op — the chunk stays unmaterialized — so resetting
+    /// sparse regions to their initial state never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn set(&mut self, idx: u64, value: T) {
+        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        if value == self.default && !self.chunks.contains_key(&(idx >> CHUNK_SHIFT)) {
+            return;
+        }
+        *self.get_mut(idx) = value;
+    }
+
+    /// Iterates every entry of every materialized chunk as
+    /// `(index, &value)`, in ascending index order regardless of the
+    /// order chunks were touched. Untouched regions are skipped — their
+    /// contribution to any aggregate must be derived analytically from
+    /// the default value.
+    pub fn iter_touched(&self) -> impl Iterator<Item = (u64, &T)> {
+        let mut keys: Vec<u64> = self.chunks.keys().copied().collect();
+        keys.sort_unstable();
+        let len = self.len;
+        keys.into_iter().flat_map(move |k| {
+            let chunk = &self.chunks[&k];
+            chunk
+                .iter()
+                .enumerate()
+                .map(move |(off, v)| ((k << CHUNK_SHIFT) + off as u64, v))
+                .filter(move |(idx, _)| *idx < len)
+        })
+    }
+
+    /// Number of chunks materialized so far.
+    pub fn touched_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Approximate heap footprint of the materialized state in bytes
+    /// (chunk payloads plus per-entry map overhead). Used by
+    /// bounded-memory tests to assert state scales with touched pages,
+    /// not with [`len`](Self::len).
+    pub fn heap_bytes(&self) -> usize {
+        let per_chunk = CHUNK_LEN * std::mem::size_of::<T>()
+            + std::mem::size_of::<u64>()
+            + std::mem::size_of::<Box<[T]>>();
+        self.chunks.len() * per_chunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_reads_default_without_allocating() {
+        let s: SparseState<u32> = SparseState::new(1 << 40);
+        assert_eq!(*s.get(0), 0);
+        assert_eq!(*s.get((1 << 40) - 1), 0);
+        assert_eq!(s.touched_chunks(), 0);
+        assert_eq!(s.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn writing_default_to_untouched_region_is_free() {
+        let mut s: SparseState<u64> = SparseState::new(1 << 30);
+        for i in 0..1000 {
+            s.set(i * 12345, 0);
+        }
+        assert_eq!(s.touched_chunks(), 0);
+    }
+
+    #[test]
+    fn writes_round_trip_and_stay_chunk_local() {
+        let mut s: SparseState<u32> = SparseState::new(1 << 30);
+        *s.get_mut(7) += 3;
+        s.set(1 << 29, 99);
+        assert_eq!(*s.get(7), 3);
+        assert_eq!(*s.get(1 << 29), 99);
+        assert_eq!(*s.get(8), 0); // same chunk as 7, still default
+        assert_eq!(s.touched_chunks(), 2);
+        assert!(s.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn matches_dense_vector_under_random_ops() {
+        use crate::SplitMix64;
+        let len = 10_000u64;
+        let mut sparse: SparseState<u64> = SparseState::new(len);
+        let mut dense = vec![0u64; len as usize];
+        let mut rng = SplitMix64::new(0xC0FFEE);
+        for _ in 0..50_000 {
+            let idx = rng.next_below(len);
+            match rng.next_below(3) {
+                0 => {
+                    let v = rng.next_below(100);
+                    sparse.set(idx, v);
+                    dense[idx as usize] = v;
+                }
+                1 => {
+                    *sparse.get_mut(idx) += 1;
+                    dense[idx as usize] += 1;
+                }
+                _ => assert_eq!(*sparse.get(idx), dense[idx as usize]),
+            }
+        }
+        for (i, v) in dense.iter().enumerate() {
+            assert_eq!(sparse.get(i as u64), v, "index {i}");
+        }
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_clamped_to_len() {
+        let mut s: SparseState<u32> = SparseState::new(CHUNK_LEN as u64 + 3);
+        s.set(CHUNK_LEN as u64 + 1, 5); // tail chunk first
+        s.set(2, 7);
+        let seen: Vec<(u64, u32)> = s.iter_touched().map(|(i, v)| (i, *v)).collect();
+        // Both chunks fully enumerated, ascending, tail clamped at len.
+        assert_eq!(seen.len(), CHUNK_LEN + 3);
+        assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(seen.last().unwrap().0, CHUNK_LEN as u64 + 2);
+        assert_eq!(seen[2], (2, 7));
+    }
+
+    #[test]
+    fn iteration_order_independent_of_touch_order() {
+        let mut a: SparseState<u8> = SparseState::new(1 << 20);
+        let mut b: SparseState<u8> = SparseState::new(1 << 20);
+        let idxs = [900_000u64, 5, 70_000, 123, 500_000];
+        for &i in &idxs {
+            a.set(i, 1);
+        }
+        for &i in idxs.iter().rev() {
+            b.set(i, 1);
+        }
+        let va: Vec<_> = a.iter_touched().map(|(i, v)| (i, *v)).collect();
+        let vb: Vec<_> = b.iter_touched().map(|(i, v)| (i, *v)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn heap_cost_tracks_touch_count_not_len() {
+        let mut small: SparseState<u64> = SparseState::new(1 << 10);
+        let mut huge: SparseState<u64> = SparseState::new(1 << 40);
+        for i in 0..8 {
+            small.set(i, 1);
+            huge.set(i, 1);
+        }
+        assert_eq!(small.heap_bytes(), huge.heap_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let s: SparseState<u32> = SparseState::new(10);
+        s.get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_set_panics() {
+        let mut s: SparseState<u32> = SparseState::new(10);
+        s.set(10, 0);
+    }
+}
