@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! perf_baseline [--smoke] [--reps N] [--out PATH] [--no-compare]
-//!               [--footprint LIST]
+//!               [--footprint LIST] [--cell-threads LIST]
 //! ```
 //!
 //! Cells run serially (the grid runner's `threads = 1`) so per-cell wall
@@ -26,6 +26,14 @@
 //! because `VmHWM` is a monotonic high-water mark: a flat `peak_rss_kb`
 //! column across ascending points is exactly the bounded-memory claim.
 //!
+//! `--cell-threads 1,2,4` additionally sweeps the intra-cell sharded
+//! event loop (DESIGN.md §3.8) over worker counts on the pagerank
+//! corner, one cell at a time so each point owns the machine, recording
+//! per-platform events/sec and the speedup over the one-thread point.
+//! Full runs sweep `1,2,4` by default; smoke runs sweep only what the
+//! flag names. Strict mode keeps the *simulated* results bit-identical
+//! across the sweep — only the wall clock moves.
+//!
 //! If a previous baseline already exists at the output path, the new
 //! measurement is compared against it cell-by-cell (matched on
 //! platform × workload, so a smoke run compares only the cells it ran)
@@ -38,6 +46,7 @@
 use std::time::Duration;
 
 use ohm_core::config::SystemConfig;
+use ohm_core::json::escape_json;
 use ohm_core::runner::{self, CellProfile, GridRun};
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
@@ -63,6 +72,10 @@ const DEFAULT_FOOTPRINTS: &str = "256M,1G,4G,16G";
 /// (footprint-independent simulation should stay roughly flat).
 const FOOTPRINT_WARN_FRACTION: f64 = 0.5;
 
+/// Cell-thread counts a full (non-smoke) run sweeps when
+/// `--cell-threads` is not given.
+const DEFAULT_CELL_THREADS: &str = "1,2,4";
+
 struct Args {
     smoke: bool,
     reps: usize,
@@ -70,12 +83,14 @@ struct Args {
     compare: bool,
     /// Footprint sweep points in bytes (ascending); empty to skip.
     footprints: Vec<u64>,
+    /// Intra-cell worker counts to sweep (ascending); empty to skip.
+    cell_threads: Vec<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [--smoke] [--reps N] [--out PATH] [--no-compare] \
-         [--footprint LIST]  (LIST e.g. 256M,1G,16G)"
+         [--footprint LIST] [--cell-threads LIST]  (LIST e.g. 256M,1G,16G / 1,2,4)"
     );
     std::process::exit(2);
 }
@@ -108,6 +123,17 @@ fn parse_footprint_list(list: &str) -> Option<Vec<u64>> {
     Some(points)
 }
 
+/// Parses an ascending, deduplicated positive-integer list (`1,2,4`).
+fn parse_thread_list(list: &str) -> Option<Vec<usize>> {
+    let mut points = list
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0))
+        .collect::<Option<Vec<usize>>>()?;
+    points.sort_unstable();
+    points.dedup();
+    Some(points)
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
@@ -115,8 +141,10 @@ fn parse_args() -> Args {
         out: "BENCH_throughput.json".to_string(),
         compare: true,
         footprints: Vec::new(),
+        cell_threads: Vec::new(),
     };
     let mut explicit_footprints = false;
+    let mut explicit_cell_threads = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -137,6 +165,13 @@ fn parse_args() -> Args {
                 }
                 None => usage(),
             },
+            "--cell-threads" => match it.next().as_deref().and_then(parse_thread_list) {
+                Some(points) => {
+                    args.cell_threads = points;
+                    explicit_cell_threads = true;
+                }
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -145,6 +180,9 @@ fn parse_args() -> Args {
     }
     if !args.smoke && !explicit_footprints {
         args.footprints = parse_footprint_list(DEFAULT_FOOTPRINTS).unwrap();
+    }
+    if !args.smoke && !explicit_cell_threads {
+        args.cell_threads = parse_thread_list(DEFAULT_CELL_THREADS).unwrap();
     }
     let cfg = SystemConfig::quick_test();
     for &f in &args.footprints {
@@ -234,7 +272,7 @@ struct FootprintPoint {
 /// Human label for a footprint byte count (`256M`, `16G`, `1536K`, ...).
 fn size_label(bytes: u64) -> String {
     for (shift, suffix) in [(30u32, "G"), (20, "M"), (10, "K")] {
-        if bytes >= 1 << shift && bytes % (1 << shift) == 0 {
+        if bytes >= 1 << shift && bytes.is_multiple_of(1 << shift) {
             return format!("{}{suffix}", bytes >> shift);
         }
     }
@@ -283,7 +321,7 @@ fn online_cpus() -> u64 {
     std::fs::read_to_string("/sys/devices/system/cpu/online")
         .ok()
         .and_then(|s| count_cpu_list(&s))
-        .unwrap_or_else(|| available_cpus())
+        .unwrap_or_else(available_cpus)
 }
 
 /// CPUs this process may schedule on (its affinity mask) — what the
@@ -305,10 +343,12 @@ fn measure_footprints(points: &[u64]) -> Vec<FootprintPoint> {
                 .filter(|s| s.name == "lud" || s.name == "pagerank")
                 .map(|w| w.with_footprint(bytes))
                 .collect();
-            let result =
-                GridRun::serial()
-                    .profile(true)
-                    .run(&cfg, &platforms, OperationalMode::Planar, &specs);
+            let result = GridRun::serial().profile(true).run(
+                &cfg,
+                &platforms,
+                OperationalMode::Planar,
+                &specs,
+            );
             let profiles = result.profiles.expect("profiling was requested");
             let rates: Vec<f64> = profiles.iter().map(|p| p.events_per_sec).collect();
             let point = FootprintPoint {
@@ -327,10 +367,91 @@ fn measure_footprints(points: &[u64]) -> Vec<FootprintPoint> {
         .collect()
 }
 
+/// One measured cell-thread sweep point (one platform at one worker
+/// count on the pagerank corner).
+struct CellThreadPoint {
+    threads: usize,
+    platform: &'static str,
+    events_per_sec: f64,
+    /// Events/sec relative to the same platform's one-thread point
+    /// (1.0 when the sweep does not include threads = 1).
+    speedup: f64,
+    /// Whether the sharded scheduler actually engaged (false at one
+    /// thread, or when the configuration fell back to serial).
+    engaged: bool,
+}
+
+/// Sweeps the intra-cell sharded event loop over `counts` worker
+/// threads: pagerank (the memory-bound corner the sharding targets)
+/// across three platforms, one cell at a time, best-of-`reps`.
+///
+/// Points call [`ohm_core::system::System::set_cell_threads`] directly rather than going
+/// through the grid runner's oversubscription budget: each point owns
+/// the whole machine, and the axis exists to measure the sharded
+/// scheduler itself — including, honestly, its barrier overhead when
+/// the host exposes fewer cores than the requested workers.
+fn measure_cell_threads(counts: &[usize], reps: usize) -> Vec<CellThreadPoint> {
+    let cfg = SystemConfig::quick_test();
+    let platforms = [Platform::Hetero, Platform::OhmBase, Platform::OhmBw];
+    let spec = tier1_specs()
+        .into_iter()
+        .find(|s| s.name == "pagerank")
+        .expect("pagerank is a Table II workload");
+    let mut points = Vec::new();
+    for &threads in counts {
+        for &platform in &platforms {
+            let mut best: Option<(Duration, u64)> = None;
+            let mut engaged = false;
+            for _ in 0..reps {
+                let mut sys =
+                    ohm_core::system::System::new(&cfg, platform, OperationalMode::Planar, &spec);
+                sys.set_cell_threads(threads);
+                let start = std::time::Instant::now();
+                let report = sys.run();
+                let wall = start.elapsed();
+                engaged = sys.used_cell_parallelism();
+                let events = report.instructions + report.mem_requests;
+                if best.as_ref().is_none_or(|(b, _)| wall < *b) {
+                    best = Some((wall, events));
+                }
+            }
+            let (wall, events) = best.expect("at least one rep");
+            let events_per_sec = events as f64 / wall.as_secs_f64().max(1e-9);
+            let serial_eps = points
+                .iter()
+                .find(|q: &&CellThreadPoint| q.threads == 1 && q.platform == platform.name())
+                .map(|q| q.events_per_sec);
+            points.push(CellThreadPoint {
+                threads,
+                platform: platform.name(),
+                events_per_sec,
+                speedup: serial_eps.map_or(1.0, |s| events_per_sec / s.max(1e-9)),
+                engaged,
+            });
+            eprintln!(
+                "cell-threads {threads}: {} {:.0} events/sec ({:.2}x{})",
+                platform.name(),
+                events_per_sec,
+                points.last().unwrap().speedup,
+                if engaged { ", sharded" } else { ", serial" }
+            );
+        }
+    }
+    points
+}
+
 /// Renders the measurement as the committed JSON document (hand-rolled,
 /// like `trace.rs`: the workspace is dependency-free). One cell per line
 /// with a fixed key order — `parse_baseline` below relies on that shape.
-fn render_json(cells: &[Cell], footprints: &[FootprintPoint], reps: usize, geomean: f64) -> String {
+/// Free-form strings (host facts, workload names) go through
+/// [`escape_json`] so an exotic value cannot corrupt the document.
+fn render_json(
+    cells: &[Cell],
+    footprints: &[FootprintPoint],
+    cell_threads: &[CellThreadPoint],
+    reps: usize,
+    geomean: f64,
+) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     out.push_str("{\n");
@@ -343,8 +464,8 @@ fn render_json(cells: &[Cell], footprints: &[FootprintPoint], reps: usize, geome
         out,
         "  \"host\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus_available\": {}, \
          \"cpus_online\": {} }},",
-        std::env::consts::OS,
-        std::env::consts::ARCH,
+        escape_json(std::env::consts::OS),
+        escape_json(std::env::consts::ARCH),
         available_cpus(),
         online_cpus()
     );
@@ -363,19 +484,52 @@ fn render_json(cells: &[Cell], footprints: &[FootprintPoint], reps: usize, geome
             out,
             "    {{ \"platform\": \"{}\", \"workload\": \"{}\", \"events\": {}, \
              \"wall_ms\": {:.3}, \"events_per_sec\": {:.1} }}",
-            c.platform,
-            c.workload,
+            escape_json(c.platform),
+            escape_json(&c.workload),
             c.events,
             c.wall.as_secs_f64() * 1e3,
             c.events_per_sec
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
-    if footprints.is_empty() {
+    if footprints.is_empty() && cell_threads.is_empty() {
         out.push_str("  ]\n}\n");
         return out;
     }
     out.push_str("  ],\n");
+    if !cell_threads.is_empty() {
+        let _ = writeln!(
+            out,
+            "  \"cell_thread_sweep\": \"quick_test x pagerank (256 MiB) x {{Hetero, \
+             Ohm-base, Ohm-bw}} x Planar, one cell at a time, best of {reps}; strict \
+             sharded event loop (DESIGN.md section 3.8), simulated results identical \
+             across the sweep\","
+        );
+        out.push_str("  \"cell_threads\": [\n");
+        for (i, p) in cell_threads.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{ \"threads\": {}, \"platform\": \"{}\", \
+                 \"cell_events_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3}, \
+                 \"sharded\": {} }}",
+                p.threads,
+                escape_json(p.platform),
+                p.events_per_sec,
+                p.speedup,
+                p.engaged
+            );
+            out.push_str(if i + 1 < cell_threads.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        if footprints.is_empty() {
+            out.push_str("  ]\n}\n");
+            return out;
+        }
+        out.push_str("  ],\n");
+    }
     let _ = writeln!(
         out,
         "  \"footprint_grid\": \"quick_test x {{lud, pagerank}} x {{Hetero, Ohm-base, \
@@ -393,7 +547,11 @@ fn render_json(cells: &[Cell], footprints: &[FootprintPoint], reps: usize, geome
             p.geomean_events_per_sec,
             p.peak_rss_kb
         );
-        out.push_str(if i + 1 < footprints.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < footprints.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ]\n}\n");
     out
@@ -492,6 +650,31 @@ fn main() {
         }
     }
 
+    let cell_threads = if args.cell_threads.is_empty() {
+        Vec::new()
+    } else {
+        eprintln!(
+            "cell-thread sweep: {}",
+            args.cell_threads
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let points = measure_cell_threads(&args.cell_threads, args.reps);
+        println!(
+            "{:<8} {:<10} {:>16} {:>12}",
+            "threads", "platform", "events/sec", "vs 1t"
+        );
+        for p in &points {
+            println!(
+                "{:<8} {:<10} {:>16.0} {:>11.2}x",
+                p.threads, p.platform, p.events_per_sec, p.speedup
+            );
+        }
+        points
+    };
+
     let footprints = if args.footprints.is_empty() {
         Vec::new()
     } else {
@@ -517,7 +700,7 @@ fn main() {
         points
     };
 
-    let json = render_json(&cells, &footprints, args.reps, geomean);
+    let json = render_json(&cells, &footprints, &cell_threads, args.reps, geomean);
     std::fs::write(&args.out, &json).expect("write baseline JSON");
     eprintln!("wrote {}", args.out);
 }
@@ -527,9 +710,7 @@ fn main() {
 fn warn_on_footprint_degradation(points: &[FootprintPoint]) -> Option<u64> {
     let first = points.first()?;
     let floor = first.geomean_events_per_sec * FOOTPRINT_WARN_FRACTION;
-    let bad = points
-        .iter()
-        .find(|p| p.geomean_events_per_sec < floor)?;
+    let bad = points.iter().find(|p| p.geomean_events_per_sec < floor)?;
     println!(
         "::warning title=superlinear footprint degradation::geomean events/sec at {} \
          ({:.0}) is below {FOOTPRINT_WARN_FRACTION}x the {} point ({:.0}); simulation \
@@ -576,9 +757,28 @@ mod tests {
                 peak_rss_kb: 52_000,
             },
         ];
-        let json = render_json(&cells, &footprints, 3, 70_710.7);
+        let sweep = vec![
+            CellThreadPoint {
+                threads: 1,
+                platform: "Ohm-base",
+                events_per_sec: 1e6,
+                speedup: 1.0,
+                engaged: false,
+            },
+            CellThreadPoint {
+                threads: 4,
+                platform: "Ohm-base",
+                events_per_sec: 1.5e6,
+                speedup: 1.5,
+                engaged: true,
+            },
+        ];
+        let json = render_json(&cells, &footprints, &sweep, 3, 70_710.7);
         assert!(json.contains("\"footprint\": \"16G\""));
-        // The footprint lines must not confuse the cell-oriented parser.
+        assert!(json.contains("\"speedup_vs_1t\": 1.500"));
+        // Neither the footprint nor the sweep lines may confuse the
+        // cell-oriented parser (the sweep's rate key is deliberately
+        // `cell_events_per_sec`, which the cell filter cannot match).
         let parsed = parse_baseline(&json);
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].0, "Ohm-base");
@@ -587,10 +787,24 @@ mod tests {
         let (speedup, n) = compare(&cells, &parsed).unwrap();
         assert_eq!(n, 2);
         assert!((speedup - 1.0).abs() < 1e-9);
-        // A footprint-free document keeps the schema-1 shape.
-        let plain = render_json(&cells, &[], 3, 70_710.7);
+        // A sweep-free document keeps the schema-1 shape.
+        let plain = render_json(&cells, &[], &[], 3, 70_710.7);
         assert!(!plain.contains("footprints"));
+        assert!(!plain.contains("cell_threads"));
         assert_eq!(parse_baseline(&plain).len(), 2);
+        // A cell-threads-only document stays well-formed.
+        let ct_only = render_json(&cells, &[], &sweep, 3, 70_710.7);
+        assert!(ct_only.contains("\"cell_threads\": ["));
+        assert!(ct_only.trim_end().ends_with('}'));
+        assert_eq!(parse_baseline(&ct_only).len(), 2);
+    }
+
+    #[test]
+    fn thread_list_parsing() {
+        assert_eq!(parse_thread_list("1,2,4"), Some(vec![1, 2, 4]));
+        assert_eq!(parse_thread_list("4, 2,2"), Some(vec![2, 4]));
+        assert_eq!(parse_thread_list("0"), None);
+        assert_eq!(parse_thread_list("x"), None);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Accuracy-vs-speed sweep for the relaxed sharding window
+//! (DESIGN.md §3.8, recorded in EXPERIMENTS.md).
+//!
+//! Strict mode bounds every epoch by the cross-shard latency floor and
+//! is bit-identical to the serial event loop; relaxed mode stretches the
+//! window by a multiplier, trading timing fidelity for fewer epoch
+//! barriers. This harness runs the pagerank corner at a fixed worker
+//! count across window multipliers and reports, per point: simulation
+//! throughput, the relative error of IPC / makespan / mean memory
+//! latency against the strict reference, and whether the run stayed
+//! deterministic (each point runs twice and must reproduce itself).
+//!
+//! ```text
+//! relaxed_sweep [--threads N] [--mults LIST]   (defaults: 2 and 1,2,4,8,16)
+//! ```
+//!
+//! Multiplier 1 runs strict sharding (the bit-identity baseline); it is
+//! asserted equal to the serial reference, so the error columns measure
+//! pure window relaxation, never sharding bugs.
+
+use ohm_core::config::SystemConfig;
+use ohm_core::system::System;
+use ohm_core::SimReport;
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::{all_workloads, WorkloadSpec};
+
+fn usage() -> ! {
+    eprintln!("usage: relaxed_sweep [--threads N] [--mults LIST]  (LIST e.g. 1,2,4,8,16)");
+    std::process::exit(2);
+}
+
+fn spec() -> WorkloadSpec {
+    all_workloads()
+        .into_iter()
+        .find(|s| s.name == "pagerank")
+        .expect("pagerank is a Table II workload")
+        .with_footprint(SystemConfig::EVALUATION_FOOTPRINT / 2)
+}
+
+/// One measured point: the report plus its wall clock.
+fn run_point(threads: usize, mult: Option<f64>) -> (SimReport, f64) {
+    let cfg = SystemConfig::quick_test();
+    let mut sys = System::new(&cfg, Platform::OhmBase, OperationalMode::Planar, &spec());
+    sys.set_cell_threads(threads);
+    if let Some(m) = mult {
+        sys.set_relaxed_window(m);
+    }
+    let start = std::time::Instant::now();
+    let report = sys.run();
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn rel_err(x: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        return 0.0;
+    }
+    (x - reference).abs() / reference
+}
+
+fn main() {
+    let mut threads = 2usize;
+    let mut mults = vec![1.0, 2.0, 4.0, 8.0, 16.0];
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => usage(),
+            },
+            "--mults" => match it.next().map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().parse::<f64>().ok().filter(|m| *m >= 1.0))
+                    .collect::<Option<Vec<f64>>>()
+            }) {
+                Some(Some(m)) if !m.is_empty() => mults = m,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let (reference, serial_wall) = run_point(1, None);
+    let serial_eps =
+        (reference.instructions + reference.mem_requests) as f64 / serial_wall.max(1e-9);
+    println!(
+        "reference: serial, {:.0} events/sec, ipc {:.6}, makespan {:.3} us",
+        serial_eps,
+        reference.ipc,
+        reference.makespan.as_us_f64()
+    );
+    println!(
+        "| window | events/sec | vs serial | IPC err | makespan err | mem-lat err | deterministic |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for &m in &mults {
+        let mult = (m > 1.0).then_some(m);
+        let (a, wall_a) = run_point(threads, mult);
+        let (b, _) = run_point(threads, mult);
+        let eps = (a.instructions + a.mem_requests) as f64 / wall_a.max(1e-9);
+        if mult.is_none() {
+            assert_eq!(a, reference, "strict sharding must match serial");
+        }
+        println!(
+            "| {}x | {:.0} | {:.2}x | {:.3}% | {:.3}% | {:.3}% | {} |",
+            m,
+            eps,
+            eps / serial_eps,
+            rel_err(a.ipc, reference.ipc) * 100.0,
+            rel_err(a.makespan.as_us_f64(), reference.makespan.as_us_f64()) * 100.0,
+            rel_err(a.avg_mem_latency_ns, reference.avg_mem_latency_ns) * 100.0,
+            a == b
+        );
+    }
+}

@@ -396,7 +396,7 @@ impl SystemConfig {
                 why: "smaller than one line",
             });
         }
-        if bytes % self.memory.page_bytes != 0 {
+        if !bytes.is_multiple_of(self.memory.page_bytes) {
             return Err(ConfigError::BadFootprint {
                 bytes,
                 why: "not a multiple of the page size",

@@ -1,0 +1,103 @@
+//! Minimal JSON string escaping for the hand-rolled writers.
+//!
+//! The workspace carries no JSON dependency; the trace exporter and the
+//! bench harness write JSON by hand. Every *string* they interpolate —
+//! track names, hostnames, workload names — must go through
+//! [`escape_json`], otherwise a name containing `"` or `\` produces an
+//! invalid document.
+
+use std::fmt::Write;
+
+/// Appends `s` to `out` with JSON string escaping applied (quotes,
+/// backslashes, and control characters; no surrounding quotes).
+pub fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Returns `s` as a JSON-escaped string (no surrounding quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_json_into(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Undoes [`escape_json`] for the round-trip test below; only the
+    /// escapes the encoder can produce need decoding.
+    fn unescape(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('b') => out.push('\u{08}'),
+                Some('f') => out.push('\u{0c}'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).expect("valid \\u escape");
+                    out.push(char::from_u32(code).expect("valid scalar"));
+                }
+                other => panic!("unexpected escape: {other:?}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_name_round_trips() {
+        let hostile = "pager\"ank\\2026\n\tname with \u{1} ctrl and \u{0c} feed";
+        let escaped = escape_json(hostile);
+        // The escaped form must contain no raw quote, backslash-outside-
+        // escape, or control character…
+        assert!(!escaped.contains('\n'));
+        assert!(!escaped.contains('\t'));
+        assert!(escaped.chars().all(|c| (c as u32) >= 0x20));
+        let mut quoted = String::from("\"");
+        quoted.push_str(&escaped);
+        quoted.push('"');
+        assert!(quoted[1..quoted.len() - 1]
+            .match_indices('"')
+            .all(|(i, _)| quoted.as_bytes()[i] == b'\\'));
+        // …and decode back to the original.
+        assert_eq!(unescape(&escaped), hostile);
+    }
+
+    #[test]
+    fn plain_names_pass_through_unchanged() {
+        for name in ["pagerank", "mc3 CtrlQueue", "vc5 data-route", "host-01"] {
+            assert_eq!(escape_json(name), name);
+        }
+    }
+
+    #[test]
+    fn into_variant_appends() {
+        let mut out = String::from("prefix:");
+        escape_json_into(&mut out, "a\"b");
+        assert_eq!(out, "prefix:a\\\"b");
+    }
+}

@@ -51,6 +51,7 @@ pub mod config;
 pub mod cost;
 pub mod energy;
 pub mod fault;
+pub mod json;
 pub mod metrics;
 pub mod par;
 pub mod reliability;

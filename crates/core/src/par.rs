@@ -16,6 +16,37 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Clamps a per-cell worker request so grid-level × cell-level workers
+/// never oversubscribe [`default_threads`].
+///
+/// With `grid_threads` cells potentially running at once, each cell may
+/// use at most `default_threads() / grid_threads` workers (and always at
+/// least 1). A serial grid (`grid_threads <= 1`) leaves the whole budget
+/// to the single cell.
+pub fn budget_cell_threads(grid_threads: usize, cell_threads: usize) -> usize {
+    let budget = default_threads() / grid_threads.max(1);
+    cell_threads.clamp(1, budget.max(1))
+}
+
+/// Index of the most recently reported panicked cell, offset by one so 0
+/// means "none yet". Diagnostic only — read by tests to assert the
+/// failing-cell report fires on every path.
+static LAST_PANICKED_CELL: AtomicUsize = AtomicUsize::new(0);
+
+/// Reports a panicking cell on stderr before the payload is rethrown.
+/// Both the inline and the threaded execution paths funnel through here
+/// so the "failing cell index" report is guaranteed regardless of
+/// `threads`.
+fn report_cell_panic(i: usize) {
+    LAST_PANICKED_CELL.store(i + 1, Ordering::Relaxed);
+    eprintln!("par_map_indexed: job for cell {i} panicked; rethrowing");
+}
+
+#[cfg(test)]
+fn last_panicked_cell() -> Option<usize> {
+    LAST_PANICKED_CELL.load(Ordering::Relaxed).checked_sub(1)
+}
+
 /// Maps `job` over `0..n` on up to `threads` scoped worker threads,
 /// returning results in index order.
 ///
@@ -38,7 +69,19 @@ where
 {
     let threads = threads.clamp(1, n.max(1));
     if threads <= 1 {
-        return (0..n).map(job).collect();
+        // Inline path: same panic protocol as the threaded path below —
+        // report the failing cell index, then rethrow the original payload.
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    report_cell_panic(i);
+                    resume_unwind(payload);
+                }
+            }
+        }
+        return out;
     }
 
     let next = AtomicUsize::new(0);
@@ -86,7 +129,7 @@ where
         }
     });
     if let Some((i, payload)) = failure {
-        eprintln!("par_map_indexed: job for cell {i} panicked; rethrowing");
+        report_cell_panic(i);
         resume_unwind(payload);
     }
 
@@ -121,6 +164,12 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the panic-protocol tests: they share the global
+    /// LAST_PANICKED_CELL marker and would race under the parallel test
+    /// runner.
+    static PANIC_TEST_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn preserves_input_order() {
@@ -138,6 +187,7 @@ mod tests {
 
     #[test]
     fn panic_resumes_with_original_payload() {
+        let _guard = PANIC_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let caught = std::panic::catch_unwind(|| {
             par_map_indexed(8, 2, |i| {
                 if i == 5 {
@@ -156,6 +206,47 @@ mod tests {
             msg.contains("cell five exploded"),
             "original payload lost: {msg:?}"
         );
+    }
+
+    #[test]
+    fn inline_path_reports_failing_cell_at_one_thread() {
+        // The threads=1 path used to skip catch_unwind entirely, so a
+        // panicking cell was never identified. The report marker must now
+        // fire before the payload is rethrown.
+        let _guard = PANIC_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        LAST_PANICKED_CELL.store(0, Ordering::Relaxed);
+        let caught = std::panic::catch_unwind(|| {
+            par_map_indexed(4, 1, |i| {
+                if i == 2 {
+                    panic!("cell two exploded");
+                }
+                i
+            })
+        })
+        .expect_err("panic must propagate");
+        assert_eq!(last_panicked_cell(), Some(2), "report did not fire inline");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| caught.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        assert!(
+            msg.contains("cell two exploded"),
+            "original payload lost: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn budget_caps_cell_threads_by_grid_width() {
+        let total = default_threads();
+        // A serial grid gets the whole machine.
+        assert_eq!(budget_cell_threads(1, total), total);
+        // A grid as wide as the machine leaves one worker per cell.
+        assert_eq!(budget_cell_threads(total, 8), 1);
+        // Requests are floored at one and never exceed the request itself.
+        assert_eq!(budget_cell_threads(1, 0), 1);
+        assert!(budget_cell_threads(2, 3) <= 3);
+        assert!(budget_cell_threads(2, 3) * 2 <= total.max(2));
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub fn run_platform(
 #[derive(Debug, Clone)]
 pub struct GridRun {
     threads: usize,
+    cell_threads: usize,
     profile: bool,
     progress: bool,
 }
@@ -65,6 +66,7 @@ impl GridRun {
     pub fn new() -> Self {
         GridRun {
             threads: default_threads(),
+            cell_threads: crate::system::default_cell_threads(),
             profile: false,
             progress: false,
         }
@@ -80,6 +82,17 @@ impl GridRun {
     /// Sets the worker-thread count (clamped to at least 1).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Requests intra-cell event-loop workers per simulation
+    /// ([`System::set_cell_threads`], DESIGN.md §3.8). The request is
+    /// re-budgeted at run time with
+    /// [`budget_cell_threads`](crate::par::budget_cell_threads) so
+    /// grid-level × cell-level workers never oversubscribe the machine;
+    /// strict-mode results are identical either way.
+    pub fn cell_threads(mut self, cell_threads: usize) -> Self {
+        self.cell_threads = cell_threads.max(1);
         self
     }
 
@@ -113,8 +126,11 @@ impl GridRun {
         let cols = platforms.len();
         let n = specs.len() * cols;
         let done = AtomicUsize::new(0);
+        let cell_threads = crate::par::budget_cell_threads(self.threads, self.cell_threads);
         let job = |i: usize| {
-            let report = run_platform(cfg, platforms[i % cols], mode, &specs[i / cols]);
+            let mut sys = System::new(cfg, platforms[i % cols], mode, &specs[i / cols]);
+            sys.set_cell_threads(cell_threads);
+            let report = sys.run();
             if self.progress {
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(
@@ -346,6 +362,25 @@ mod tests {
         assert_eq!(norm[1], vec![0.0, 0.0]);
         let means = column_geomeans(&norm);
         assert!(means.iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn grid_cell_threads_is_bit_identical_and_budgeted() {
+        let cfg = SystemConfig::quick_test();
+        let specs = vec![workload_by_name("pagerank").unwrap()];
+        let platforms = [Platform::OhmBase, Platform::Oracle];
+        let reference = GridRun::serial()
+            .cell_threads(1)
+            .run(&cfg, &platforms, OperationalMode::Planar, &specs)
+            .rows;
+        // Grid workers × cell workers together; strict mode keeps the
+        // reports bit-identical while the budget caps oversubscription.
+        let sharded = GridRun::new()
+            .threads(2)
+            .cell_threads(8)
+            .run(&cfg, &platforms, OperationalMode::Planar, &specs)
+            .rows;
+        assert_eq!(reference, sharded);
     }
 
     #[test]

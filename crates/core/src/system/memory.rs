@@ -8,6 +8,13 @@
 //! migration machinery. Capacity-management *policy* lives one layer up,
 //! in a [`MemoryBackend`]; the wiring between the two is a [`MemEnv`],
 //! which also carries the [`Fabric`] and the [`StatsSink`].
+//!
+//! The request paths (`parts_read` / `parts_write` / `parts_service`)
+//! operate on a `MemParts` view rather than the subsystem directly, so
+//! the same code serves two callers: the serial loop borrowing the whole
+//! subsystem, and the epoch scheduler's per-cluster `McShard`s, each
+//! borrowing a contiguous slice of controllers plus the matching fabric
+//! and backend shards (DESIGN.md §3.8).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -25,8 +32,8 @@ use crate::metrics::HostReport;
 
 use crate::fault::RecoveryEvent;
 
-use super::backend::build_backend;
-use super::fabric::{build_fabric, Fabric};
+use super::backend::{build_backend, BackendShard};
+use super::fabric::{build_fabric, Fabric, FabricShard};
 use super::stats::{Stage, StageEvent};
 use super::{MemoryBackend, StatsSink};
 
@@ -64,8 +71,12 @@ pub(crate) type PendingRelease = (Ps, usize, u64);
 pub struct MemEnv<'a> {
     /// The system configuration.
     pub cfg: &'a SystemConfig,
-    /// All memory controllers (indexed by `mc`).
+    /// The memory controllers this view owns (global index `mc_base..`);
+    /// index through [`MemEnv::mc`], which rebases.
     pub mcs: &'a mut [MemoryController],
+    /// Global index of `mcs[0]` (0 for the whole subsystem; the cluster
+    /// start for an epoch-scheduler shard).
+    pub mc_base: usize,
     /// The channel fabric requests travel over.
     pub fabric: &'a mut dyn Fabric,
     /// The uniform stats hook.
@@ -81,6 +92,12 @@ pub struct MemEnv<'a> {
 }
 
 impl MemEnv<'_> {
+    /// The controller at *global* index `mc`, rebased into this view.
+    #[inline]
+    pub fn mc(&mut self, mc: usize) -> &mut MemoryController {
+        &mut self.mcs[mc - self.mc_base]
+    }
+
     /// Batches one request-path stage interval (drained to the sink after
     /// the backend returns, preserving per-request recording order).
     #[inline]
@@ -103,7 +120,7 @@ impl MemEnv<'_> {
                 let (_, cmd_done) =
                     self.fabric
                         .xfer(now, mc, CMD_BITS, TrafficClass::Demand, DEV_DRAM);
-                let acc = self.mcs[mc].dram.access(cmd_done, la, kind);
+                let acc = self.mc(mc).dram.access(cmd_done, la, kind);
                 self.stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
                 let (_, data_done) =
                     self.fabric
@@ -118,7 +135,7 @@ impl MemEnv<'_> {
                     TrafficClass::Demand,
                     DEV_DRAM,
                 );
-                let acc = self.mcs[mc].dram.access(xfer_done, la, kind);
+                let acc = self.mc(mc).dram.access(xfer_done, la, kind);
                 self.stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
                 acc.data_at
             }
@@ -134,10 +151,7 @@ impl MemEnv<'_> {
                     self.fabric
                         .xfer(now, mc, CMD_BITS, TrafficClass::Demand, DEV_XPOINT);
                 let c = {
-                    let xp = self.mcs[mc]
-                        .xpoint
-                        .as_mut()
-                        .expect("heterogeneous platform");
+                    let xp = self.mc(mc).xpoint.as_mut().expect("heterogeneous platform");
                     xp.read(cmd_done, la)
                 };
                 self.stage(Stage::DeviceXPoint, mc, c.accepted_at, c.media_done);
@@ -164,10 +178,7 @@ impl MemEnv<'_> {
                     DEV_XPOINT,
                 );
                 let c = {
-                    let xp = self.mcs[mc]
-                        .xpoint
-                        .as_mut()
-                        .expect("heterogeneous platform");
+                    let xp = self.mc(mc).xpoint.as_mut().expect("heterogeneous platform");
                     xp.write(xfer_done, la)
                 };
                 self.stage(Stage::DeviceXPoint, mc, c.accepted_at, c.media_done);
@@ -183,12 +194,17 @@ impl MemEnv<'_> {
     /// accesses (mostly row hits), returning the last completion.
     pub(crate) fn dram_page_op(&mut self, start: Ps, mc: usize, base: Addr, kind: MemKind) -> Ps {
         let lines = self.cfg.memory.page_bytes / self.cfg.line_bytes;
+        let line_bytes = self.cfg.line_bytes;
+        let stages_on = self.stages_on;
         let mut done = start;
         for i in 0..lines {
-            let acc = self.mcs[mc]
+            let acc = self
+                .mc(mc)
                 .dram
-                .access(start, base.offset(i * self.cfg.line_bytes), kind);
-            self.stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
+                .access(start, base.offset(i * line_bytes), kind);
+            if stages_on {
+                self.stage(Stage::DeviceDram, mc, acc.start, acc.data_at);
+            }
             done = done.max(acc.data_at);
         }
         done
@@ -206,15 +222,179 @@ impl MemEnv<'_> {
         promote_done: Ps,
         demote_done: Ps,
     ) {
-        let id1 = self.mcs[mc]
+        let id1 = self
+            .mc(mc)
             .conflicts
             .register_dram_page(dram_addr, xpoint_addr, promote_done);
         self.pending.push((promote_done, mc, id1));
-        let id2 = self.mcs[mc]
+        let id2 = self
+            .mc(mc)
             .conflicts
             .register_xpoint_page(xpoint_addr, dram_addr, demote_done);
         self.pending.push((demote_done, mc, id2));
     }
+}
+
+/// A borrowed view of the request-path state for a contiguous range of
+/// controllers: the whole subsystem (serial runs, `mc_base == 0`) or one
+/// memory-controller cluster (epoch-scheduler shards). All controller
+/// indices passed to the `parts_*` functions are *global*.
+pub(crate) struct MemParts<'a> {
+    pub(crate) cfg: &'a SystemConfig,
+    pub(crate) mcs: &'a mut [MemoryController],
+    pub(crate) mc_base: usize,
+    /// Per-controller in-flight line fills (MSHR merging). Lines map to
+    /// exactly one controller under the interleaving, so per-controller
+    /// maps partition the old global map exactly.
+    pub(crate) in_flight: &'a mut [FastMap<u64, Ps>],
+    pub(crate) fabric: &'a mut dyn Fabric,
+    pub(crate) backend: &'a mut dyn MemoryBackend,
+    pub(crate) ctrl_div: FastDiv,
+    pub(crate) stage_batch: &'a mut Vec<StageEvent>,
+    pub(crate) recovery_scratch: &'a mut Vec<RecoveryEvent>,
+}
+
+/// Translates a global address to the controller-local address space.
+#[inline]
+pub(crate) fn local_addr(ctrl_div: FastDiv, cfg: &SystemConfig, addr: Addr) -> Addr {
+    let il = cfg.memory.interleave_bytes;
+    let chunk = ctrl_div.div(addr.block_index(il));
+    Addr::from_block(chunk, il).offset(addr.offset_in(il))
+}
+
+/// The controller owning a global address under the interleaving.
+#[inline]
+pub(crate) fn mc_of_addr(ctrl_div: FastDiv, cfg: &SystemConfig, addr: Addr) -> usize {
+    ctrl_div.rem(addr.block_index(cfg.memory.interleave_bytes)) as usize
+}
+
+/// A demand read reaching memory controller `mc`; returns when data is
+/// back at the controller.
+pub(crate) fn parts_read(
+    p: &mut MemParts<'_>,
+    stats: &mut dyn StatsSink,
+    pending: &mut Vec<PendingRelease>,
+    now: Ps,
+    mc: usize,
+    addr: Addr,
+) -> Ps {
+    let cfg = p.cfg;
+    let mi = mc - p.mc_base;
+    let line = addr.block_index(cfg.line_bytes);
+    if let Some(&done) = p.in_flight[mi].get(&line) {
+        if done > now {
+            return done; // MSHR merge with the outstanding fill
+        }
+        p.in_flight[mi].remove(&line);
+    }
+    stats.record_mem_request(now, cfg.line_bytes);
+    // MSHR file: a full set of outstanding misses delays this one
+    // until the earliest in-flight miss completes.
+    let now = {
+        let m = &mut p.mcs[mi];
+        while m
+            .outstanding
+            .peek()
+            .is_some_and(|&Reverse(t)| t <= now.as_ps())
+        {
+            m.outstanding.pop();
+        }
+        if m.outstanding.len() >= cfg.memory.mshr_per_mc {
+            stats.record_mshr_stall(mc);
+            match m.outstanding.pop() {
+                Some(Reverse(t)) => now.max(Ps::from_ps(t)),
+                None => now,
+            }
+        } else {
+            now
+        }
+    };
+    let (_, t0) = p.mcs[mi].ctrl.book(now, cfg.memory.mc_overhead);
+    stats.record_stage(Stage::CtrlQueue, mc, now, t0);
+    let done = parts_service(p, stats, pending, t0, mc, addr, MemKind::Read);
+    p.mcs[mi].outstanding.push(Reverse(done.as_ps()));
+    stats.record_mem_latency(done - now);
+    p.in_flight[mi].insert(line, done);
+    done
+}
+
+/// A write reaching memory controller `mc` (stores, L2 writebacks).
+pub(crate) fn parts_write(
+    p: &mut MemParts<'_>,
+    stats: &mut dyn StatsSink,
+    pending: &mut Vec<PendingRelease>,
+    now: Ps,
+    mc: usize,
+    addr: Addr,
+) {
+    let (_, t0) = p.mcs[mc - p.mc_base]
+        .ctrl
+        .book(now, p.cfg.memory.mc_overhead);
+    stats.record_stage(Stage::CtrlQueue, mc, now, t0);
+    let _ = parts_service(p, stats, pending, t0, mc, addr, MemKind::Write);
+}
+
+/// Platform/mode-dependent service of one line request at one MC,
+/// delegated to the backend. `ga` is the global line address.
+fn parts_service(
+    p: &mut MemParts<'_>,
+    stats: &mut dyn StatsSink,
+    pending: &mut Vec<PendingRelease>,
+    now: Ps,
+    mc: usize,
+    ga: Addr,
+    kind: MemKind,
+) -> Ps {
+    let la = local_addr(p.ctrl_div, p.cfg, ga);
+    let stages_on = stats.stages_enabled();
+    let done = {
+        let mut env = MemEnv {
+            cfg: p.cfg,
+            mcs: p.mcs,
+            mc_base: p.mc_base,
+            fabric: &mut *p.fabric,
+            stats,
+            pending,
+            stages_on,
+            stage_batch: p.stage_batch,
+        };
+        p.backend.service(&mut env, now, mc, ga, la, kind)
+    };
+    // Drain the stage intervals the request batched, in recording
+    // order, before the recovery and lifecycle stages below — the
+    // same per-request order as recording each hop inline.
+    for ev in p.stage_batch.drain(..) {
+        stats.record_stage(ev.stage, ev.res as usize, ev.start, ev.end);
+    }
+    // Surface the fabric's recovery actions (retransmissions,
+    // re-arbitrations, electrical fallbacks) as first-class stages.
+    p.fabric.drain_recovery_into(p.recovery_scratch);
+    for ev in p.recovery_scratch.drain(..) {
+        stats.record_stage(ev.stage, ev.vc, ev.start, ev.end);
+    }
+    // Surface the XPoint controller's lifecycle actions the same way,
+    // and feed permanently lost lines back into the capacity planner
+    // (detect → correct → retire → re-plan). An unarmed or quiescent
+    // lifecycle produces no events, so nothing is recorded.
+    let mut dead_lines = Vec::new();
+    if let Some(xp) = p.mcs[mc - p.mc_base].xpoint.as_mut() {
+        if xp.lifecycle_armed() {
+            for ev in xp.drain_lifecycle_events() {
+                let stage = match ev.kind {
+                    XpLifecycleEventKind::EccCorrect => Stage::EccCorrect,
+                    XpLifecycleEventKind::LineRetire => Stage::LineRetire,
+                    XpLifecycleEventKind::RemapSpare => Stage::RemapSpare,
+                };
+                stats.record_stage(stage, mc, ev.start, ev.end);
+            }
+            dead_lines = xp.drain_dead_notices();
+        }
+    }
+    for line in dead_lines {
+        p.backend
+            .retire_xpoint_line(mc, Addr::from_block(line, p.cfg.line_bytes));
+    }
+    done
 }
 
 /// The assembled memory side of a platform: controllers, fabric, and the
@@ -223,10 +403,10 @@ pub(crate) struct MemorySubsystem {
     pub(crate) mcs: Vec<MemoryController>,
     pub(crate) fabric: Box<dyn Fabric + Send>,
     pub(crate) backend: Box<dyn MemoryBackend + Send>,
-    /// Completion times of in-flight line fills (cross-MC MSHR merging).
-    /// Keyed by line index, so the seedless [`FastMap`] hasher is safe
-    /// and shaves SipHash off the per-read path.
-    in_flight: FastMap<u64, Ps>,
+    /// Per-controller completion times of in-flight line fills (MSHR
+    /// merging). Keyed by line index, so the seedless [`FastMap`] hasher
+    /// is safe and shaves SipHash off the per-read path.
+    in_flight: Vec<FastMap<u64, Ps>>,
     /// Migration releases awaiting transfer onto the event queue.
     pending: Vec<PendingRelease>,
     /// Reusable buffer for stage intervals batched during one request.
@@ -239,6 +419,42 @@ pub(crate) struct MemorySubsystem {
     pub(crate) xpoint_capacity: u64,
     /// Reciprocal of the controller count for per-access interleave decode.
     ctrl_div: FastDiv,
+}
+
+/// One memory-controller cluster carved out of a [`MemorySubsystem`] for
+/// an epoch-scheduler worker: a contiguous controller range plus the
+/// matching fabric channels and backend state. Calendars and device
+/// state are mutated in place through the borrows, so nothing needs
+/// copying back; only the fabric's bit tallies accumulate shard-locally
+/// (fold with [`FabricShard::bits_delta`] after the shards drop).
+pub(crate) struct McShard<'a> {
+    pub(crate) mcs: &'a mut [MemoryController],
+    pub(crate) in_flight: &'a mut [FastMap<u64, Ps>],
+    pub(crate) backend: BackendShard<'a>,
+    pub(crate) fabric: FabricShard<'a>,
+    pub(crate) mc_base: usize,
+    pub(crate) ctrl_div: FastDiv,
+    /// Shard-local scratch (stages are always off in sharded runs, but
+    /// the request path's signature needs the buffers).
+    pub(crate) stage_batch: Vec<StageEvent>,
+    pub(crate) recovery_scratch: Vec<RecoveryEvent>,
+}
+
+impl McShard<'_> {
+    /// The request-path view over this cluster.
+    pub(crate) fn parts<'b>(&'b mut self, cfg: &'b SystemConfig) -> MemParts<'b> {
+        MemParts {
+            cfg,
+            mcs: self.mcs,
+            mc_base: self.mc_base,
+            in_flight: self.in_flight,
+            fabric: &mut self.fabric,
+            backend: &mut self.backend,
+            ctrl_div: self.ctrl_div,
+            stage_batch: &mut self.stage_batch,
+            recovery_scratch: &mut self.recovery_scratch,
+        }
+    }
 }
 
 impl MemorySubsystem {
@@ -340,7 +556,7 @@ impl MemorySubsystem {
             mcs,
             fabric,
             backend,
-            in_flight: FastMap::default(),
+            in_flight: (0..controllers).map(|_| FastMap::default()).collect(),
             pending: Vec::new(),
             stage_batch: Vec::new(),
             recovery_scratch: Vec::new(),
@@ -350,17 +566,36 @@ impl MemorySubsystem {
         }
     }
 
-    /// The controller owning a global address under the interleaving.
-    pub(crate) fn mc_of(&self, cfg: &SystemConfig, addr: Addr) -> usize {
+    /// The interleave-decode reciprocal (shared with the epoch scheduler,
+    /// which routes addresses to shards without borrowing the subsystem).
+    pub(crate) fn ctrl_div(&self) -> FastDiv {
         self.ctrl_div
-            .rem(addr.block_index(cfg.memory.interleave_bytes)) as usize
     }
 
-    /// Translates a global address to the controller-local address space.
-    fn local_addr(&self, cfg: &SystemConfig, addr: Addr) -> Addr {
-        let il = cfg.memory.interleave_bytes;
-        let chunk = self.ctrl_div.div(addr.block_index(il));
-        Addr::from_block(chunk, il).offset(addr.offset_in(il))
+    /// The controller owning a global address under the interleaving.
+    pub(crate) fn mc_of(&self, cfg: &SystemConfig, addr: Addr) -> usize {
+        mc_of_addr(self.ctrl_div, cfg, addr)
+    }
+
+    /// The whole-subsystem request-path view (serial runs).
+    fn parts<'b>(
+        &'b mut self,
+        cfg: &'b SystemConfig,
+    ) -> (MemParts<'b>, &'b mut Vec<PendingRelease>) {
+        (
+            MemParts {
+                cfg,
+                mcs: &mut self.mcs,
+                mc_base: 0,
+                in_flight: &mut self.in_flight,
+                fabric: self.fabric.as_mut(),
+                backend: self.backend.as_mut(),
+                ctrl_div: self.ctrl_div,
+                stage_batch: &mut self.stage_batch,
+                recovery_scratch: &mut self.recovery_scratch,
+            },
+            &mut self.pending,
+        )
     }
 
     /// A demand read reaching memory controller `mc`; returns when data
@@ -373,42 +608,8 @@ impl MemorySubsystem {
         mc: usize,
         addr: Addr,
     ) -> Ps {
-        let line = addr.block_index(cfg.line_bytes);
-        if let Some(&done) = self.in_flight.get(&line) {
-            if done > now {
-                return done; // MSHR merge with the outstanding fill
-            }
-            self.in_flight.remove(&line);
-        }
-        stats.record_mem_request(now, cfg.line_bytes);
-        // MSHR file: a full set of outstanding misses delays this one
-        // until the earliest in-flight miss completes.
-        let now = {
-            let m = &mut self.mcs[mc];
-            while m
-                .outstanding
-                .peek()
-                .is_some_and(|&Reverse(t)| t <= now.as_ps())
-            {
-                m.outstanding.pop();
-            }
-            if m.outstanding.len() >= cfg.memory.mshr_per_mc {
-                stats.record_mshr_stall(mc);
-                match m.outstanding.pop() {
-                    Some(Reverse(t)) => now.max(Ps::from_ps(t)),
-                    None => now,
-                }
-            } else {
-                now
-            }
-        };
-        let (_, t0) = self.mcs[mc].ctrl.book(now, cfg.memory.mc_overhead);
-        stats.record_stage(Stage::CtrlQueue, mc, now, t0);
-        let done = self.service(cfg, stats, t0, mc, addr, MemKind::Read);
-        self.mcs[mc].outstanding.push(Reverse(done.as_ps()));
-        stats.record_mem_latency(done - now);
-        self.in_flight.insert(line, done);
-        done
+        let (mut parts, pending) = self.parts(cfg);
+        parts_read(&mut parts, stats, pending, now, mc, addr)
     }
 
     /// A write reaching memory controller `mc` (stores, L2 writebacks).
@@ -420,69 +621,44 @@ impl MemorySubsystem {
         mc: usize,
         addr: Addr,
     ) {
-        let (_, t0) = self.mcs[mc].ctrl.book(now, cfg.memory.mc_overhead);
-        stats.record_stage(Stage::CtrlQueue, mc, now, t0);
-        let _ = self.service(cfg, stats, t0, mc, addr, MemKind::Write);
+        let (mut parts, pending) = self.parts(cfg);
+        parts_write(&mut parts, stats, pending, now, mc, addr);
     }
 
-    /// Platform/mode-dependent service of one line request at one MC,
-    /// delegated to the backend. `ga` is the global line address.
-    fn service(
-        &mut self,
-        cfg: &SystemConfig,
-        stats: &mut dyn StatsSink,
-        now: Ps,
-        mc: usize,
-        ga: Addr,
-        kind: MemKind,
-    ) -> Ps {
-        let la = self.local_addr(cfg, ga);
-        let stages_on = stats.stages_enabled();
-        let mut env = MemEnv {
-            cfg,
-            mcs: &mut self.mcs,
-            fabric: self.fabric.as_mut(),
-            stats,
-            pending: &mut self.pending,
-            stages_on,
-            stage_batch: &mut self.stage_batch,
-        };
-        let done = self.backend.service(&mut env, now, mc, ga, la, kind);
-        // Drain the stage intervals the request batched, in recording
-        // order, before the recovery and lifecycle stages below — the
-        // same per-request order as recording each hop inline.
-        for ev in self.stage_batch.drain(..) {
-            stats.record_stage(ev.stage, ev.res as usize, ev.start, ev.end);
+    /// Splits the subsystem into per-cluster shards, one per entry of
+    /// `counts` (controller counts, contiguous, summing to the controller
+    /// total). Returns `None` when any layer cannot shard — a backend
+    /// with cross-controller state (Origin's host staging), a fabric with
+    /// armed stochastic faults or interval logging, or a dynamically
+    /// divided optical channel — in which case the caller falls back to
+    /// the serial loop.
+    pub(crate) fn split_shards(&mut self, counts: &[usize]) -> Option<Vec<McShard<'_>>> {
+        debug_assert_eq!(counts.iter().sum::<usize>(), self.mcs.len());
+        let ctrl_div = self.ctrl_div;
+        let backends = self.backend.split_mc(counts)?;
+        let fabrics = self.fabric.split_channels(counts)?;
+        let mut shards = Vec::with_capacity(counts.len());
+        let mut mcs: &mut [MemoryController] = &mut self.mcs;
+        let mut infl: &mut [FastMap<u64, Ps>] = &mut self.in_flight;
+        let mut base = 0;
+        for ((&n, backend), fabric) in counts.iter().zip(backends).zip(fabrics) {
+            let (mh, mt) = mcs.split_at_mut(n);
+            mcs = mt;
+            let (ih, it) = infl.split_at_mut(n);
+            infl = it;
+            shards.push(McShard {
+                mcs: mh,
+                in_flight: ih,
+                backend,
+                fabric,
+                mc_base: base,
+                ctrl_div,
+                stage_batch: Vec::new(),
+                recovery_scratch: Vec::new(),
+            });
+            base += n;
         }
-        // Surface the fabric's recovery actions (retransmissions,
-        // re-arbitrations, electrical fallbacks) as first-class stages.
-        self.fabric.drain_recovery_into(&mut self.recovery_scratch);
-        for ev in self.recovery_scratch.drain(..) {
-            stats.record_stage(ev.stage, ev.vc, ev.start, ev.end);
-        }
-        // Surface the XPoint controller's lifecycle actions the same way,
-        // and feed permanently lost lines back into the capacity planner
-        // (detect → correct → retire → re-plan). An unarmed or quiescent
-        // lifecycle produces no events, so nothing is recorded.
-        let mut dead_lines = Vec::new();
-        if let Some(xp) = self.mcs[mc].xpoint.as_mut() {
-            if xp.lifecycle_armed() {
-                for ev in xp.drain_lifecycle_events() {
-                    let stage = match ev.kind {
-                        XpLifecycleEventKind::EccCorrect => Stage::EccCorrect,
-                        XpLifecycleEventKind::LineRetire => Stage::LineRetire,
-                        XpLifecycleEventKind::RemapSpare => Stage::RemapSpare,
-                    };
-                    stats.record_stage(stage, mc, ev.start, ev.end);
-                }
-                dead_lines = xp.drain_dead_notices();
-            }
-        }
-        for line in dead_lines {
-            self.backend
-                .retire_xpoint_line(mc, Addr::from_block(line, cfg.line_bytes));
-        }
-        done
+        Some(shards)
     }
 
     /// A delegated migration released its pages.

@@ -28,6 +28,7 @@
 //! collected uniformly instead of scattered over ad-hoc fields.
 
 pub mod backend;
+mod epoch;
 pub mod fabric;
 pub mod memory;
 mod origin;
@@ -85,6 +86,27 @@ pub struct System {
     stats: RunStats,
     /// Reusable buffer for migration releases drained per warp step.
     pending_scratch: Vec<memory::PendingRelease>,
+    /// Worker threads for this cell's event loop (1 = serial). See
+    /// [`System::set_cell_threads`].
+    cell_threads: usize,
+    /// Lookahead-window multiplier for relaxed-mode sharding; `None`
+    /// (strict, the default) keeps results bit-identical to serial.
+    relax_window: Option<f64>,
+    /// Whether the last [`System::run`] actually engaged the sharded
+    /// scheduler (it falls back to serial when the configuration cannot
+    /// be partitioned).
+    used_parallel: bool,
+}
+
+/// The process-wide default for [`System::set_cell_threads`], read once
+/// from `OHM_CELL_THREADS` (a number, or `max` for all cores).
+pub(crate) fn default_cell_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("OHM_CELL_THREADS") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("max") => crate::par::default_threads(),
+        Ok(v) => v.trim().parse().unwrap_or(1).max(1),
+        Err(_) => 1,
+    })
 }
 
 impl std::fmt::Debug for System {
@@ -151,7 +173,41 @@ impl System {
             stats: RunStats::new(cfg.memory.controllers, Ps::from_us(10)),
             cfg: cfg.clone(),
             pending_scratch: Vec::new(),
+            cell_threads: default_cell_threads(),
+            relax_window: None,
+            used_parallel: false,
         }
+    }
+
+    /// Requests `n` worker threads for this cell's event loop
+    /// (DESIGN.md §3.8). With `n >= 2` the run shards the memory
+    /// controllers across workers and commits events in lookahead
+    /// epochs; in strict mode (the default) the report is bit-identical
+    /// to the serial loop at every thread count. Configurations the
+    /// partitioner cannot split (observability, armed fault injection,
+    /// dynamic channel division, the Origin host model) fall back to the
+    /// serial loop. Grid drivers should budget with
+    /// [`crate::par::budget_cell_threads`] so grid × cell workers never
+    /// oversubscribe the machine.
+    pub fn set_cell_threads(&mut self, n: usize) {
+        self.cell_threads = n.max(1);
+    }
+
+    /// Stretches the sharding lookahead window by `multiplier` (>= 1),
+    /// trading strict serial equivalence for fewer epoch barriers.
+    /// Deferred pushes that land inside the stretched window are clamped
+    /// to the queue's current time, so timing is approximate (still
+    /// deterministic for a given thread configuration); EXPERIMENTS.md
+    /// quantifies the error.
+    pub fn set_relaxed_window(&mut self, multiplier: f64) {
+        self.relax_window = Some(multiplier.max(1.0));
+    }
+
+    /// Whether the last [`System::run`] engaged the sharded scheduler.
+    /// Test/diagnostic hook, not a stable API.
+    #[doc(hidden)]
+    pub fn used_cell_parallelism(&self) -> bool {
+        self.used_parallel
     }
 
     /// Turns on the observability layer for this run: per-stage latency
@@ -189,13 +245,66 @@ impl System {
     /// Runs the kernel to completion and reports.
     pub fn run(&mut self) -> SimReport {
         self.engine.seed();
-        while let Some((t, ev)) = self.engine.queue.pop() {
-            match ev {
-                Event::Resume(w) => self.step_warp(t, w),
-                Event::MigrationDone { mc, id } => self.mem.complete_migration(mc, id),
+        self.used_parallel = self.try_run_sharded();
+        if !self.used_parallel {
+            while let Some((t, ev)) = self.engine.queue.pop() {
+                match ev {
+                    Event::Resume(w) => self.step_warp(t, w),
+                    Event::MigrationDone { mc, id } => self.mem.complete_migration(mc, id),
+                }
             }
         }
         self.report()
+    }
+
+    /// Attempts to drain the (already seeded) event queue with the
+    /// sharded epoch scheduler (DESIGN.md §3.8). Returns `false` —
+    /// leaving the queue untouched — when the request or configuration
+    /// cannot be partitioned, in which case the caller runs serially.
+    fn try_run_sharded(&mut self) -> bool {
+        let controllers = self.cfg.memory.controllers;
+        // One port per controller is what makes a contiguous controller
+        // partition also partition the crossbar's destination ports.
+        if self.cell_threads < 2
+            || controllers < 2
+            || self.stats.obs.is_some()
+            || self.cfg.gpu.xbar.ports != controllers
+        {
+            return false;
+        }
+        let nsh = self.cell_threads.min(controllers);
+        let counts = epoch::balanced_counts(controllers, nsh);
+        // The lookahead floor: the L1 lookup, crossbar command leg, and
+        // L2 lookup every event crosses before its first controller-side
+        // effect. Deferred work therefore lands at least this far after
+        // its event's pop time.
+        let floor = self.cfg.gpu.l1_hit_latency
+            + self.xbar.min_latency(CMD_BITS / 8)
+            + self.cfg.gpu.l2_hit_latency;
+        let floor = match self.relax_window {
+            None => floor,
+            Some(m) => Ps::from_ps((floor.as_ps() as f64 * m) as u64),
+        };
+        let ctrl_div = self.mem.ctrl_div();
+        let Some(shards) = self.mem.split_shards(&counts) else {
+            return false;
+        };
+        let ports = self.xbar.split_ports(&counts);
+        let (bits, msgs) = epoch::run_sharded(
+            &self.cfg,
+            &mut self.engine,
+            &mut self.l1s,
+            &mut self.l2,
+            &mut self.stats,
+            ctrl_div,
+            shards,
+            ports,
+            floor,
+            self.relax_window.is_none(),
+        );
+        self.mem.fabric.merge_shard_bits(bits);
+        self.xbar.add_messages(msgs);
+        true
     }
 
     fn step_warp(&mut self, now: Ps, w: WarpId) {

@@ -6,7 +6,7 @@
 //! slice is reported back to the [`System`](super::System) as a
 //! [`SliceOutcome`] for the cache/memory glue to finish.
 
-use ohm_sim::{EventQueue, Ps};
+use ohm_sim::{EpochQueue, Ps};
 use ohm_sm::{AccessKind, InstructionStream, Sm, SmConfig, WarpId, WarpState};
 
 #[derive(Debug, Clone, Copy)]
@@ -34,8 +34,14 @@ pub(crate) enum SliceOutcome {
 }
 
 /// The event loop and warp scheduler.
+///
+/// The queue is an [`EpochQueue`]: under the serial loop its
+/// `(time, entry, slot)` keys reproduce the old `(time, seq)` FIFO order
+/// exactly (each pop's pushes get consecutive slots), and the epoch
+/// scheduler uses the same keys to commit deferred cross-shard pushes in
+/// serial order (DESIGN.md §3.8).
 pub(crate) struct WarpEngine {
-    pub(crate) queue: EventQueue<Event>,
+    pub(crate) queue: EpochQueue<Event>,
     stream: Box<dyn InstructionStream>,
     pub(crate) sms: Vec<Sm>,
     /// When the last warp retired its final instruction (the kernel's
@@ -46,7 +52,7 @@ pub(crate) struct WarpEngine {
 impl WarpEngine {
     pub(crate) fn new(sms: usize, sm_cfg: SmConfig, stream: Box<dyn InstructionStream>) -> Self {
         WarpEngine {
-            queue: EventQueue::with_capacity(sms * sm_cfg.warps),
+            queue: EpochQueue::with_capacity(sms * sm_cfg.warps),
             stream,
             sms: (0..sms).map(|_| Sm::new(sm_cfg)).collect(),
             kernel_end: Ps::ZERO,
@@ -90,9 +96,12 @@ impl WarpEngine {
         }
     }
 
-    /// Schedules warp `w` to resume at `at`.
+    /// Schedules warp `w` to resume at `at`. A popped event resumes at
+    /// most one warp, so the resume takes the entry's *final* slot —
+    /// sorting after any migration notices it pushed at the same time,
+    /// exactly like the old push-order sequence numbers.
     pub(crate) fn resume(&mut self, at: Ps, w: WarpId) {
-        self.queue.push(at, Event::Resume(w));
+        self.queue.push_final(at, Event::Resume(w));
     }
 
     /// Schedules a migration-completion notice.

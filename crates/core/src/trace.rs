@@ -16,6 +16,7 @@
 use ohm_optic::BusyInterval;
 use ohm_sim::Ps;
 
+use crate::json::escape_json;
 use crate::system::stats::{Observability, Stage, StageEvent};
 
 /// Process id used for request-path stage tracks.
@@ -32,8 +33,8 @@ fn push_event(out: &mut String, name: &str, cat: &str, pid: u32, tid: u32, start
     let _ = write!(
         out,
         "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.6},\"dur\":{:.6},\"pid\":{},\"tid\":{}}}",
-        name,
-        cat,
+        escape_json(name),
+        escape_json(cat),
         ps_to_us(start),
         ps_to_us(end.max(start) - start).max(1e-6),
         pid,
@@ -43,6 +44,7 @@ fn push_event(out: &mut String, name: &str, cat: &str, pid: u32, tid: u32, start
 
 fn push_thread_name(out: &mut String, pid: u32, tid: u32, name: &str) {
     use std::fmt::Write;
+    let name = escape_json(name);
     let _ = write!(
         out,
         "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
@@ -52,6 +54,7 @@ fn push_thread_name(out: &mut String, pid: u32, tid: u32, name: &str) {
 
 fn push_process_name(out: &mut String, pid: u32, name: &str) {
     use std::fmt::Write;
+    let name = escape_json(name);
     let _ = write!(
         out,
         "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\

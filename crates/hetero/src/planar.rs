@@ -327,7 +327,8 @@ impl PlanarMapping {
         let promote_slot = (req.promote_page % group_pages) as usize;
         let demote_slot = (req.demote_page % group_pages) as usize;
         assert_eq!(
-            *self.residents.get(req.group) as usize, demote_slot,
+            *self.residents.get(req.group) as usize,
+            demote_slot,
             "swap request stale: resident changed"
         );
         let promote_idx = self.page_idx(req.group, promote_slot);

@@ -371,7 +371,7 @@ fn sparse_two_level_matches_dense_oracle() {
                 continue;
             }
             let addr = Addr::new(rng.next_below(cfg.xpoint_bytes));
-            let is_write = op % 2 == 0;
+            let is_write = op.is_multiple_of(2);
             let want = dense.access(addr, is_write);
             let got = sparse.access(addr, is_write);
             match (got, want) {

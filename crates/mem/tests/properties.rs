@@ -193,7 +193,10 @@ fn sparse_wear_counts_match_dense_mirror() {
             assert_eq!(sg.bucket_writes(b), want, "bucket {b}");
         }
         let stats = sg.wear_stats();
-        assert_eq!(stats.max_bucket_writes, dense.iter().copied().max().unwrap());
+        assert_eq!(
+            stats.max_bucket_writes,
+            dense.iter().copied().max().unwrap()
+        );
         let total: u64 = dense.iter().sum();
         let mean = total as f64 / dense.len() as f64;
         assert!((stats.mean_bucket_writes - mean).abs() < 1e-9);

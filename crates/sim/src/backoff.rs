@@ -56,8 +56,14 @@ impl ExponentialBackoff {
     }
 
     /// Total delay accumulated over retries `1..=attempts`.
+    ///
+    /// Each per-attempt delay saturates at [`ExponentialBackoff::cap`],
+    /// but the *sum* of many capped delays can still exceed `u64::MAX`
+    /// picoseconds, so the accumulation itself saturates too: once the
+    /// running total reaches [`Ps::MAX`] it stays there instead of
+    /// wrapping (or panicking in debug builds).
     pub fn total_delay(&self, attempts: u32) -> Ps {
-        (1..=attempts).fold(Ps::ZERO, |acc, a| acc + self.delay(a))
+        (1..=attempts).fold(Ps::ZERO, |acc, a| acc.saturating_add(self.delay(a)))
     }
 }
 
@@ -101,6 +107,19 @@ mod tests {
             cap: Ps::MAX,
         };
         assert_eq!(b.delay(200), Ps::MAX);
+    }
+
+    #[test]
+    fn total_delay_saturates_near_ps_max() {
+        // Each term caps just below Ps::MAX, so two terms would already
+        // wrap a u64 accumulator; the fold must pin at Ps::MAX instead.
+        let b = ExponentialBackoff {
+            base: Ps::from_ps(u64::MAX - 1),
+            cap: Ps::from_ps(u64::MAX - 1),
+        };
+        assert_eq!(b.total_delay(1), Ps::from_ps(u64::MAX - 1));
+        assert_eq!(b.total_delay(2), Ps::MAX);
+        assert_eq!(b.total_delay(64), Ps::MAX);
     }
 
     #[test]

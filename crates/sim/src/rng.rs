@@ -70,7 +70,9 @@ impl SplitMix64 {
     /// would return. O(1) for any `n`.
     #[inline]
     pub fn peek_nth(&self, n: u64) -> u64 {
-        mix(self.state.wrapping_add(GAMMA.wrapping_mul(n.wrapping_add(1))))
+        mix(self
+            .state
+            .wrapping_add(GAMMA.wrapping_mul(n.wrapping_add(1))))
     }
 
     /// Uniform value in `[0, bound)` using Lemire's multiply-shift method

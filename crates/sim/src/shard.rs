@@ -1,0 +1,497 @@
+//! Primitives for deterministic intra-cell parallelism.
+//!
+//! Conservative parallel discrete-event simulation needs two things the
+//! serial engine does not: an event key that stays meaningful when an
+//! event's *push* is deferred past other pushes (so per-shard work can
+//! commit at an epoch barrier without perturbing order), and a cheap
+//! rendezvous for a handful of worker threads whose batches are
+//! microseconds long. [`EpochQueue`] provides the first, [`SpinBarrier`]
+//! the second.
+//!
+//! # Why `(time, entry, slot)` instead of `(time, seq)`
+//!
+//! [`EventQueue`](crate::EventQueue) breaks timestamp ties with a global
+//! push sequence number. That works only if pushes happen in execution
+//! order — which is exactly what an epoch scheduler gives up: the pushes
+//! caused by entry *i* may be materialised at the epoch barrier, after
+//! entries *i+1..j* have already pushed. [`EpochQueue`] instead keys
+//! every event by `(time, entry, slot)`, where `entry` identifies the
+//! queue pop whose processing pushed the event (0 for seeds pushed
+//! before the first pop) and `slot` numbers the pushes within that
+//! entry. As long as each entry's pushes are given the slots they would
+//! have received in serial execution, the key order is isomorphic to the
+//! serial `(time, seq)` order no matter *when* the pushes are issued —
+//! seq numbers increase with (entry, slot) lexicographically in a serial
+//! run, so comparing (entry, slot) compares serial seq.
+//!
+//! The one wrinkle is an entry whose final push (a warp resume, in the
+//! engine) must sort after deferred pushes whose count is unknown at pop
+//! time: [`EpochQueue::push_final`] assigns the reserved last slot so the
+//! resume always compares greater than any sibling push at equal time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+use crate::time::Ps;
+
+/// Identifies the queue pop whose processing pushes an event.
+///
+/// Obtained from [`EpochQueue::current_entry`] immediately after a pop
+/// and redeemed later with [`EpochQueue::push_deferred`] /
+/// [`EpochQueue::push_deferred_final`] once the deferred work for that
+/// entry has been executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryId(u64);
+
+/// Bits of the packed tie-break key reserved for the slot. An entry's
+/// pushes are bounded by the seed fan-out and per-pop effects (dozens),
+/// far below 2^21; the entry number gets the remaining 43 bits, enough
+/// for ~8.8e12 pops.
+const SLOT_BITS: u32 = 21;
+
+/// Reserved slot for the final push of an entry (see [`EpochQueue::push_final`]).
+const SLOT_FINAL: u32 = (1 << SLOT_BITS) - 1;
+
+/// Packs `(entry, slot)` so lexicographic order becomes one u64 compare.
+fn pack_key(entry: u64, slot: u32) -> u64 {
+    debug_assert!(entry < 1 << (64 - SLOT_BITS), "entry number overflow");
+    debug_assert!(slot <= SLOT_FINAL, "slot overflow");
+    (entry << SLOT_BITS) | u64::from(slot)
+}
+
+/// An entry in the heap. Ordering is reversed (earliest first); ties are
+/// broken by the packed (pushing entry, slot) key, lowest first.
+#[derive(Debug)]
+struct Entry<E> {
+    time: Ps,
+    key: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest key pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.key.cmp(&self.key))
+    }
+}
+
+/// A discrete-event queue whose tie-break key survives deferred pushes.
+///
+/// Used exactly like [`EventQueue`](crate::EventQueue) in serial code —
+/// [`push`](EpochQueue::push) inside an event handler, with the caveat
+/// that the handler's *last* push (if it must sort after pushes whose
+/// count is not yet known) goes through [`push_final`](EpochQueue::push_final).
+/// An epoch scheduler additionally captures [`current_entry`](EpochQueue::current_entry)
+/// at pop time and issues the entry's remaining pushes later via the
+/// `push_deferred*` methods; the resulting pop order is identical to the
+/// serial one.
+///
+/// # Example
+///
+/// ```
+/// use ohm_sim::{EpochQueue, Ps};
+///
+/// let mut q = EpochQueue::new();
+/// q.push(Ps::from_ns(10), 'b');
+/// q.push(Ps::from_ns(10), 'c'); // same instant: FIFO after 'b'
+/// q.push(Ps::from_ns(1), 'a');
+///
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EpochQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Ps,
+    /// 0 before the first pop (seed pushes); otherwise 1 + number of pops.
+    cur_entry: u64,
+    next_slot: u32,
+    #[cfg(debug_assertions)]
+    final_pushed: bool,
+}
+
+impl<E> Default for EpochQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EpochQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EpochQueue {
+            heap: BinaryHeap::new(),
+            now: Ps::ZERO,
+            cur_entry: 0,
+            next_slot: 0,
+            #[cfg(debug_assertions)]
+            final_pushed: false,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EpochQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            now: Ps::ZERO,
+            cur_entry: 0,
+            next_slot: 0,
+            #[cfg(debug_assertions)]
+            final_pushed: false,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`, attributed to the
+    /// current entry with the next ordinal slot.
+    ///
+    /// Scheduling in the past is clamped to the current time, matching
+    /// [`EventQueue::push`](crate::EventQueue::push).
+    pub fn push(&mut self, time: Ps, event: E) {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.insert(time, self.cur_entry, slot, event);
+    }
+
+    /// Schedules the current entry's *final* push: its slot is the
+    /// reserved maximum, so at equal time it sorts after every other
+    /// push of the same entry — including deferred ones issued later.
+    ///
+    /// At most one final push per entry; a second call would create a
+    /// duplicate key and break the deterministic total order.
+    pub fn push_final(&mut self, time: Ps, event: E) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(!self.final_pushed, "second final push for one entry");
+            self.final_pushed = true;
+        }
+        self.insert(time, self.cur_entry, SLOT_FINAL, event);
+    }
+
+    /// The id of the entry currently being processed (the most recent
+    /// pop), for use with the `push_deferred*` methods.
+    pub fn current_entry(&self) -> EntryId {
+        EntryId(self.cur_entry)
+    }
+
+    /// Issues a push on behalf of an earlier entry, with an explicit
+    /// slot. The caller is responsible for numbering an entry's deferred
+    /// slots 0, 1, 2, … in the order serial execution would have pushed
+    /// them, and for not colliding with slots handed out by
+    /// [`push`](EpochQueue::push) for the same entry.
+    pub fn push_deferred(&mut self, entry: EntryId, slot: u32, time: Ps, event: E) {
+        debug_assert!(slot != SLOT_FINAL, "deferred slot collides with final");
+        self.insert(time, entry.0, slot, event);
+    }
+
+    /// Issues an earlier entry's final push (see [`push_final`](EpochQueue::push_final)).
+    pub fn push_deferred_final(&mut self, entry: EntryId, time: Ps, event: E) {
+        self.insert(time, entry.0, SLOT_FINAL, event);
+    }
+
+    fn insert(&mut self, time: Ps, entry: u64, slot: u32, event: E) {
+        let time = time.max(self.now);
+        self.heap.push(Entry {
+            time,
+            key: pack_key(entry, slot),
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, advancing the queue's
+    /// clock and opening a fresh entry for subsequent pushes.
+    pub fn pop(&mut self) -> Option<(Ps, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "event queue time went backwards");
+        self.now = entry.time;
+        self.cur_entry += 1;
+        self.next_slot = 0;
+        #[cfg(debug_assertions)]
+        {
+            self.final_pushed = false;
+        }
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Ps> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The time of the most recently popped event (the simulation "now").
+    pub fn now(&self) -> Ps {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// How many times a waiter spins before starting to yield the CPU.
+/// On a single-CPU host spinning can never observe progress (the thread
+/// being waited on is not running), so the budget drops to zero and
+/// waiters yield immediately.
+pub fn spins_before_yield() -> usize {
+    static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => 4096,
+        _ => 0,
+    })
+}
+
+/// A sense-reversing barrier that spins before yielding.
+///
+/// Epoch batches are microseconds long, so parking worker threads in a
+/// kernel futex on every barrier would dominate the work. Waiters spin
+/// on a generation counter with [`std::hint::spin_loop`] and fall back
+/// to [`std::thread::yield_now`] once the spin budget is exhausted, so
+/// an oversubscribed machine still makes progress.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    participants: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// A barrier for `participants` threads (must be at least 1).
+    pub fn new(participants: usize) -> Self {
+        assert!(participants >= 1, "barrier needs at least one participant");
+        SpinBarrier {
+            participants,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until all participants have called `wait` for the current
+    /// generation. The last arriver releases the rest.
+    pub fn wait(&self) {
+        let gen = self.generation.load(AtomicOrdering::Acquire);
+        if self.arrived.fetch_add(1, AtomicOrdering::AcqRel) + 1 == self.participants {
+            // Reset the count before bumping the generation: waiters can
+            // only re-enter after observing the bump, so they never see a
+            // stale count.
+            self.arrived.store(0, AtomicOrdering::Relaxed);
+            self.generation.fetch_add(1, AtomicOrdering::Release);
+            return;
+        }
+        let budget = spins_before_yield();
+        let mut spins = 0usize;
+        while self.generation.load(AtomicOrdering::Acquire) == gen {
+            if spins < budget {
+                std::hint::spin_loop();
+                spins += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::EventQueue;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EpochQueue::new();
+        q.push(Ps::from_ns(3), 3);
+        q.push(Ps::from_ns(1), 1);
+        q.push(Ps::from_ns(1), 2); // same instant as 1: pushed later, pops later
+        assert_eq!(q.pop(), Some((Ps::from_ns(1), 1)));
+        assert_eq!(q.pop(), Some((Ps::from_ns(1), 2)));
+        assert_eq!(q.pop(), Some((Ps::from_ns(3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut q = EpochQueue::new();
+        q.push(Ps::from_ns(10), "a");
+        assert_eq!(q.pop(), Some((Ps::from_ns(10), "a")));
+        q.push(Ps::from_ns(5), "late");
+        assert_eq!(q.pop(), Some((Ps::from_ns(10), "late")));
+        assert_eq!(q.now(), Ps::from_ns(10));
+    }
+
+    #[test]
+    fn final_push_sorts_after_deferred_siblings_at_equal_time() {
+        let mut q = EpochQueue::new();
+        q.push(Ps::from_ns(1), "seed");
+        assert_eq!(q.pop().unwrap().1, "seed");
+        let entry = q.current_entry();
+        // The final push is issued *first*, then deferred siblings land at
+        // the same instant — yet the final one still pops last.
+        q.push_final(Ps::from_ns(5), "resume");
+        q.push_deferred(entry, 0, Ps::from_ns(5), "mig0");
+        q.push_deferred(entry, 1, Ps::from_ns(5), "mig1");
+        assert_eq!(q.pop().unwrap().1, "mig0");
+        assert_eq!(q.pop().unwrap().1, "mig1");
+        assert_eq!(q.pop().unwrap().1, "resume");
+    }
+
+    /// Drives an `EventQueue` and an `EpochQueue` through the same random
+    /// workload, where each popped event pushes a few same- or later-time
+    /// children followed by one "final" child (the serial engine's shape:
+    /// migrations pushed before the warp resume). The pop sequences must
+    /// be identical — the (entry, slot) key is order-isomorphic to seq.
+    #[test]
+    fn order_isomorphic_to_event_queue_under_serial_use() {
+        let mut rng = SplitMix64::new(0x5EED);
+        let mut base: EventQueue<u32> = EventQueue::new();
+        let mut epoch: EpochQueue<u32> = EpochQueue::new();
+        let mut next_tag = 0u32;
+        for _ in 0..64 {
+            let t = Ps::from_ps(rng.next_u64() % 50);
+            base.push(t, next_tag);
+            epoch.push(t, next_tag);
+            next_tag += 1;
+        }
+        let mut popped = 0u32;
+        loop {
+            let a = base.pop();
+            let b = epoch.pop();
+            assert_eq!(a, b, "queues diverged after {popped} pops");
+            let Some((t, _)) = a else { break };
+            popped += 1;
+            if popped < 4000 {
+                // A few ordinary children, then exactly one final child.
+                let kids = (rng.next_u64() % 3) as usize;
+                for _ in 0..kids {
+                    let dt = Ps::from_ps(rng.next_u64() % 20);
+                    base.push(t + dt, next_tag);
+                    epoch.push(t + dt, next_tag);
+                    next_tag += 1;
+                }
+                let dt = Ps::from_ps(rng.next_u64() % 20);
+                base.push(t + dt, next_tag);
+                epoch.push_final(t + dt, next_tag);
+                next_tag += 1;
+            }
+        }
+    }
+
+    /// Same workload, but the epoch queue defers each entry's pushes and
+    /// issues them (out of push order, even) via the deferred API after a
+    /// couple more pops — the pop sequence still matches the serial queue.
+    #[test]
+    fn deferred_pushes_preserve_serial_order() {
+        let mut rng = SplitMix64::new(0xD00F);
+        let mut base: EventQueue<u32> = EventQueue::new();
+        let mut epoch: EpochQueue<u32> = EpochQueue::new();
+        let mut next_tag = 0u32;
+        for _ in 0..32 {
+            let t = Ps::from_ps(rng.next_u64() % 40);
+            base.push(t, next_tag);
+            epoch.push(t, next_tag);
+            next_tag += 1;
+        }
+        // Window floor: children land at least FLOOR after their parent, so
+        // deferring their push past pops within the window is safe.
+        const FLOOR: u64 = 60;
+        type Pushes = Vec<(u32, Ps, u32)>;
+        let mut deferred: Vec<(EntryId, Pushes)> = Vec::new();
+        let mut popped = 0u32;
+        loop {
+            // Flush everything once any un-flushed push could affect the
+            // next pop (or a backlog builds up, or the queue ran dry).
+            let next = epoch.peek_time();
+            let unsafe_to_pop = next.is_none()
+                || deferred
+                    .iter()
+                    .any(|(_, p)| p.iter().any(|&(_, t, _)| Some(t) <= next));
+            if deferred.len() > 2 || unsafe_to_pop {
+                for (entry, pushes) in deferred.drain(..) {
+                    for (slot, t, tag) in pushes {
+                        if slot == SLOT_FINAL {
+                            epoch.push_deferred_final(entry, t, tag);
+                        } else {
+                            epoch.push_deferred(entry, slot, t, tag);
+                        }
+                    }
+                }
+            }
+            let a = base.pop();
+            let b = epoch.pop();
+            assert_eq!(a, b, "queues diverged after {popped} pops");
+            let Some((t, _)) = a else { break };
+            popped += 1;
+            if popped < 2000 {
+                let entry = epoch.current_entry();
+                let kids = (rng.next_u64() % 3) as usize;
+                let mut pushes = Vec::new();
+                for slot in 0..kids {
+                    let dt = Ps::from_ps(FLOOR + rng.next_u64() % 20);
+                    base.push(t + dt, next_tag);
+                    pushes.push((slot as u32, t + dt, next_tag));
+                    next_tag += 1;
+                }
+                let dt = Ps::from_ps(FLOOR + rng.next_u64() % 20);
+                base.push(t + dt, next_tag);
+                pushes.push((SLOT_FINAL, t + dt, next_tag));
+                next_tag += 1;
+                deferred.push((entry, pushes));
+            }
+        }
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_rounds() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let n = 4;
+        let rounds = 200;
+        let barrier = Arc::new(SpinBarrier::new(n));
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for round in 0..rounds {
+                        counter.fetch_add(1, AtomicOrdering::SeqCst);
+                        barrier.wait();
+                        // Every participant must have bumped the counter
+                        // for this round before anyone proceeds.
+                        let seen = counter.load(AtomicOrdering::SeqCst);
+                        assert!(seen >= (round + 1) * n as u64);
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(AtomicOrdering::SeqCst), rounds * n as u64);
+    }
+}

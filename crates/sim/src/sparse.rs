@@ -87,7 +87,11 @@ impl<T: Clone + Default + PartialEq> SparseState<T> {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn get(&self, idx: u64) -> &T {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         match self.chunks.get(&(idx >> CHUNK_SHIFT)) {
             Some(chunk) => &chunk[(idx & (CHUNK_LEN as u64 - 1)) as usize],
             None => &self.default,
@@ -102,7 +106,11 @@ impl<T: Clone + Default + PartialEq> SparseState<T> {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn get_mut(&mut self, idx: u64) -> &mut T {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         let chunk = self
             .chunks
             .entry(idx >> CHUNK_SHIFT)
@@ -119,7 +127,11 @@ impl<T: Clone + Default + PartialEq> SparseState<T> {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn set(&mut self, idx: u64, value: T) {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         if value == self.default && !self.chunks.contains_key(&(idx >> CHUNK_SHIFT)) {
             return;
         }

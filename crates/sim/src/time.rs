@@ -100,6 +100,14 @@ impl Ps {
         Ps(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition; returns [`Ps::MAX`] instead of wrapping.
+    /// Accumulations that may approach the sentinel (backoff schedules
+    /// summed over many attempts) use this instead of `+`.
+    #[inline]
+    pub fn saturating_add(self, rhs: Ps) -> Ps {
+        Ps(self.0.saturating_add(rhs.0))
+    }
+
     /// Checked addition; `None` on overflow.
     #[inline]
     pub fn checked_add(self, rhs: Ps) -> Option<Ps> {
