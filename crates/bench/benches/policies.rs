@@ -93,12 +93,12 @@ fn main() {
 
     {
         // Build a 1k-record trace text once, parse it repeatedly.
-        let mut text = String::new();
+        let mut text = String::from("ohm-trace v1\n");
         let mut rng = SplitMix64::new(5);
         for i in 0..1024u64 {
             let kind = if rng.chance(0.7) { 'R' } else { 'W' };
             text.push_str(&format!(
-                "{} {} {} {} {:#x}\n",
+                "{} {} {} {} {:#x} 128\n",
                 i % 16,
                 i % 24,
                 i % 50,

@@ -14,6 +14,7 @@ use ohm_optic::{ChannelDivision, ElectricalConfig, OperationalMode, OpticalChann
 use ohm_sim::Freq;
 use ohm_sim::Ps;
 use ohm_sm::{CacheConfig, InterconnectConfig, SmConfig};
+use ohm_workloads::PhasePlan;
 
 use crate::fault::{FaultPlan, LifecyclePlan};
 
@@ -145,6 +146,13 @@ pub struct SystemConfig {
     /// default) runs the lifecycle-free fast path; see
     /// [`crate::fault::LifecyclePlan`].
     pub lifecycle: Option<LifecyclePlan>,
+    /// Optional phase-structured workload plan. When set,
+    /// [`crate::System::new`] drives the run with a
+    /// [`ohm_workloads::PhasedWorkload`] over the workload's footprint
+    /// instead of the spec's synthetic kernel, and the resulting
+    /// [`crate::SimReport`] carries a per-phase breakdown. `None` (the
+    /// default) runs the spec's kernel unchanged.
+    pub phases: Option<PhasePlan>,
 }
 
 impl Default for SystemConfig {
@@ -159,6 +167,7 @@ impl Default for SystemConfig {
             seed: 0x07_4D_67_50,
             faults: None,
             lifecycle: None,
+            phases: None,
         }
     }
 }
@@ -189,6 +198,8 @@ pub enum ConfigError {
     BadFaultPlan(&'static str),
     /// A lifecycle-plan field is outside its valid range.
     BadLifecyclePlan(&'static str),
+    /// A phase-plan field is outside its valid range.
+    BadPhasePlan(&'static str),
     /// A workload footprint is incompatible with the memory geometry.
     BadFootprint {
         /// The offending footprint in bytes.
@@ -217,6 +228,7 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadFaultPlan(what) => write!(f, "fault plan: {what}"),
             ConfigError::BadLifecyclePlan(what) => write!(f, "lifecycle plan: {what}"),
+            ConfigError::BadPhasePlan(what) => write!(f, "phase plan: {what}"),
             ConfigError::BadFootprint { bytes, why } => {
                 write!(f, "footprint of {bytes} bytes: {why}")
             }
@@ -303,6 +315,9 @@ impl SystemConfig {
                     "endurance_jitter_pct must be < 100",
                 ));
             }
+        }
+        if let Some(plan) = &self.phases {
+            plan.validate().map_err(ConfigError::BadPhasePlan)?;
         }
         Ok(())
     }
@@ -538,6 +553,12 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Phase-structured workload plan (`None` runs the spec's kernel).
+    pub fn phases(mut self, plan: Option<PhasePlan>) -> Self {
+        self.cfg.phases = plan;
+        self
+    }
+
     /// Escape hatch for fields without a dedicated setter.
     pub fn tweak(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
         f(&mut self.cfg);
@@ -735,6 +756,29 @@ mod tests {
         bad.lifecycle.as_mut().unwrap().xpoint.endurance_jitter_pct = 100;
         let err = bad.validate().unwrap_err();
         assert!(err.to_string().contains("lifecycle plan"), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_phase_plans() {
+        let mut cfg = SystemConfig::quick_test();
+        cfg.phases = Some(PhasePlan::llm_inference());
+        assert_eq!(cfg.validate(), Ok(()));
+
+        let mut bad = cfg.clone();
+        bad.phases.as_mut().unwrap().phases.clear();
+        assert!(matches!(bad.validate(), Err(ConfigError::BadPhasePlan(_))));
+
+        let mut bad = cfg;
+        bad.phases.as_mut().unwrap().phases[0].read_ratio = -0.5;
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("phase plan"), "{err}");
+
+        let built = SystemConfig::quick_test()
+            .to_builder()
+            .phases(Some(PhasePlan::llm_inference()))
+            .build()
+            .expect("reference plan is valid");
+        assert_eq!(built.phases.unwrap().phases.len(), 5);
     }
 
     #[test]

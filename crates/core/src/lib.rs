@@ -62,7 +62,8 @@ mod trace;
 
 pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use fault::{FaultCounters, FaultPlan, LifecyclePlan, RecoveryEvent};
-pub use metrics::{FaultReport, SimReport, WearReport};
+pub use metrics::{FaultReport, PhaseRow, PhaseStageRow, PhaseSummary, SimReport, WearReport};
+pub use runner::{run_platform, run_recorded, run_replay};
 pub use system::System;
 
 // Re-export the vocabulary types users need alongside this crate.

@@ -131,6 +131,95 @@ impl StageSummary {
     }
 }
 
+/// One request-path stage's tally within one phase (count and mean
+/// only — the per-phase collector keeps sums, not histograms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStageRow {
+    /// Stage name (see `system::stats::Stage`).
+    pub name: &'static str,
+    /// Intervals attributed to the phase.
+    pub count: u64,
+    /// Mean stage latency, ns.
+    pub mean_ns: f64,
+}
+
+/// Per-phase breakdown row of a phase-structured run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Phase name, from the workload's `PhasePlan`.
+    pub name: String,
+    /// Instructions issued in the phase, summed over lanes.
+    pub instructions: u64,
+    /// Instructions per SM-cycle over the phase's issue span. Phases of
+    /// different lanes overlap in time, so per-phase IPCs are *not*
+    /// additive — each is the phase's own progress rate over its span.
+    pub ipc: f64,
+    /// First issue and last compute-drain time of the phase.
+    pub span: (Ps, Ps),
+    /// Demand requests reaching the memory controllers.
+    pub mem_requests: u64,
+    /// Mean demand-read round-trip latency, ns.
+    pub avg_mem_latency_ns: f64,
+    /// Mean warp-slice latency (issue to resume), ns.
+    pub avg_slice_latency_ns: f64,
+    /// Controller services satisfied by the DRAM side.
+    pub dram_served: u64,
+    /// Controller services satisfied by the XPoint side.
+    pub xpoint_served: u64,
+    /// DRAM share of controller services (1.0 when nothing was served).
+    pub dram_hit_rate: f64,
+    /// Non-empty stage tallies attributed to the phase, in stage order.
+    pub stages: Vec<PhaseStageRow>,
+}
+
+/// Per-phase breakdown of one phase-structured run.
+///
+/// Only populated when the run was driven by a phased stream (a
+/// `PhasePlan` in the configuration, or any stream with a non-empty
+/// phase vocabulary); like [`StageSummary`] it is deliberately not part
+/// of the CSV row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// One row per phase, in plan order.
+    pub phases: Vec<PhaseRow>,
+}
+
+impl PhaseSummary {
+    /// Renders the breakdown as a fixed-width text table: one headline
+    /// row per phase, then the phase's stage tallies indented under it.
+    pub fn format_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>8} {:>10} {:>12} {:>10} {:>10} {:>9}",
+            "phase", "insts", "ipc", "mem_reqs", "avg_mem_ns", "dram", "xpoint", "dram_hit"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>12} {:>8.3} {:>10} {:>12.1} {:>10} {:>10} {:>9.3}",
+                p.name,
+                p.instructions,
+                p.ipc,
+                p.mem_requests,
+                p.avg_mem_latency_ns,
+                p.dram_served,
+                p.xpoint_served,
+                p.dram_hit_rate,
+            );
+            for s in &p.stages {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {:>10} x {:>10.1} ns",
+                    s.name, s.count, s.mean_ns
+                );
+            }
+        }
+        out
+    }
+}
+
 /// Fault-injection and recovery tallies of one run.
 ///
 /// Only populated when the run's [`SystemConfig`](crate::config::SystemConfig)
@@ -267,6 +356,9 @@ pub struct SimReport {
     /// Wear-out lifecycle tallies; `Some` only when the run carried a
     /// lifecycle plan. Not exported to CSV.
     pub wear: Option<WearReport>,
+    /// Per-phase breakdown; `Some` only when the run was driven by a
+    /// phase-structured stream. Not exported to CSV.
+    pub phases: Option<PhaseSummary>,
 }
 
 impl SimReport {
@@ -357,6 +449,7 @@ mod tests {
             stages: None,
             faults: None,
             wear: None,
+            phases: None,
         }
     }
 

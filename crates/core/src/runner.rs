@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
+use ohm_workloads::trace::{TraceError, TraceRecorder, TraceReplay};
 use ohm_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
@@ -25,6 +26,61 @@ pub fn run_platform(
     spec: &WorkloadSpec,
 ) -> SimReport {
     System::new(cfg, platform, mode, spec).run()
+}
+
+/// Runs one cell exactly as [`run_platform`] would while capturing its
+/// instruction stream to `out` in the `ohm-trace v1` format
+/// (`docs/TRACE_FORMAT.md`). The recorder is a pass-through, so the
+/// returned report is bit-identical to an unrecorded run; replaying the
+/// captured trace with [`run_replay`] reproduces it bit-identically in
+/// turn.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] when the writer fails (header, any record, or the
+/// final flush).
+pub fn run_recorded<W: std::io::Write + 'static>(
+    cfg: &SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    spec: &WorkloadSpec,
+    out: W,
+) -> Result<(SimReport, W), TraceError> {
+    let base = crate::system::base_stream(cfg, spec);
+    let (recorder, handle) = TraceRecorder::new(base, out, cfg.line_bytes as u32)?;
+    let mut sys = System::with_stream(cfg, platform, mode, spec, Box::new(recorder));
+    let report = sys.run();
+    drop(sys); // releases the recorder so the handle can finish
+    Ok((report, handle.finish()?))
+}
+
+/// Runs one cell driven by a recorded trace, streaming records from
+/// `reader` (never materialising the trace). A trace captured by
+/// [`run_recorded`] replayed under the same configuration produces a
+/// bit-identical [`SimReport`], with one exception: trace records carry
+/// no phase identity, so a replayed phase-structured run reports
+/// `phases: None` (every other field matches).
+///
+/// # Errors
+///
+/// The header errors of
+/// [`TraceReader::new`](ohm_workloads::trace::TraceReader::new) before
+/// the run, or the [`TraceError`] of the first malformed record hit
+/// mid-replay (the run completes on the records before it).
+pub fn run_replay<R: std::io::BufRead + 'static>(
+    cfg: &SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    spec: &WorkloadSpec,
+    reader: R,
+) -> Result<SimReport, TraceError> {
+    let replay = TraceReplay::new(reader)?;
+    let errors = replay.error_handle();
+    let report = System::with_stream(cfg, platform, mode, spec, Box::new(replay)).run();
+    match errors.take() {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
 }
 
 /// Options for one grid run — the single entry point for sweeping

@@ -44,7 +44,7 @@ use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 use ohm_sim::{Addr, Ps, TimeSeries};
 use ohm_sm::{AccessKind, Cache, InstructionStream, Interconnect, WarpId};
-use ohm_workloads::{KernelWorkload, WorkloadSpec};
+use ohm_workloads::{KernelWorkload, PhasedWorkload, WorkloadSpec};
 
 use crate::config::SystemConfig;
 use crate::metrics::SimReport;
@@ -98,6 +98,32 @@ pub struct System {
     used_parallel: bool,
 }
 
+/// The instruction stream a configuration's own run uses: the spec's
+/// synthetic kernel, or — when the configuration carries a
+/// [`ohm_workloads::PhasePlan`] — a phased workload over the spec's
+/// footprint. [`System::new`] and the recording runner both build their
+/// stream here so a recorded run captures exactly what an unrecorded
+/// run executes.
+pub(crate) fn base_stream(cfg: &SystemConfig, spec: &WorkloadSpec) -> Box<dyn InstructionStream> {
+    match &cfg.phases {
+        Some(plan) => Box::new(PhasedWorkload::new(
+            plan.clone(),
+            cfg.gpu.sms,
+            cfg.gpu.sm.warps,
+            cfg.insts_per_warp,
+            spec.footprint_bytes,
+            cfg.seed,
+        )),
+        None => Box::new(KernelWorkload::new(
+            *spec,
+            cfg.gpu.sms,
+            cfg.gpu.sm.warps,
+            cfg.insts_per_warp,
+            cfg.seed,
+        )),
+    }
+}
+
 /// The process-wide default for [`System::set_cell_threads`], read once
 /// from `OHM_CELL_THREADS` (a number, or `max` for all cores).
 pub(crate) fn default_cell_threads() -> usize {
@@ -134,19 +160,22 @@ impl System {
         mode: OperationalMode,
         spec: &WorkloadSpec,
     ) -> Self {
-        let stream = Box::new(KernelWorkload::new(
-            *spec,
-            cfg.gpu.sms,
-            cfg.gpu.sm.warps,
-            cfg.insts_per_warp,
-            cfg.seed,
-        ));
-        Self::with_stream(cfg, platform, mode, spec, stream)
+        Self::with_stream(cfg, platform, mode, spec, base_stream(cfg, spec))
     }
 
     /// Builds a platform around an arbitrary instruction stream (e.g. a
-    /// replayed [`ohm_workloads::TraceWorkload`]); `spec` still provides
+    /// replayed [`ohm_workloads::TraceReplay`]); `spec` still provides
     /// the footprint (for capacity sizing) and the report's name.
+    ///
+    /// Streams with a non-empty
+    /// [`phase_names`](InstructionStream::phase_names) vocabulary arm
+    /// per-phase accounting: the report gains a
+    /// [`crate::metrics::PhaseSummary`] and the run executes on the
+    /// serial loop (like observability, phase attribution needs the
+    /// serial event order). Note a replayed trace is *unphased* — the v1
+    /// format does not carry phase identity — so a replay of a phased
+    /// run reproduces its timing bit-identically but reports
+    /// `phases: None`.
     pub fn with_stream(
         cfg: &SystemConfig,
         platform: Platform,
@@ -161,16 +190,21 @@ impl System {
             panic!("invalid workload footprint: {e}");
         }
         let mem = MemorySubsystem::build(cfg, platform, mode, spec);
+        let engine = WarpEngine::new(cfg.gpu.sms, cfg.gpu.sm, stream);
+        let mut stats = RunStats::new(cfg.memory.controllers, Ps::from_us(10));
+        if let Some(track) = engine.phase_track.as_ref() {
+            stats.enable_phases(track.names.clone());
+        }
         System {
             platform,
             mode,
             spec: *spec,
-            engine: WarpEngine::new(cfg.gpu.sms, cfg.gpu.sm, stream),
+            engine,
             l1s: (0..cfg.gpu.sms).map(|_| Cache::new(cfg.gpu.l1)).collect(),
             l2: Cache::new(cfg.gpu.l2),
             xbar: Interconnect::new(cfg.gpu.xbar),
             mem,
-            stats: RunStats::new(cfg.memory.controllers, Ps::from_us(10)),
+            stats,
             cfg: cfg.clone(),
             pending_scratch: Vec::new(),
             cell_threads: default_cell_threads(),
@@ -268,6 +302,7 @@ impl System {
         if self.cell_threads < 2
             || controllers < 2
             || self.stats.obs.is_some()
+            || self.stats.phases.is_some()
             || self.cfg.gpu.xbar.ports != controllers
         {
             return false;
@@ -308,7 +343,11 @@ impl System {
     }
 
     fn step_warp(&mut self, now: Ps, w: WarpId) {
-        match self.engine.step(now, w) {
+        let outcome = self.engine.step(now, w);
+        if self.stats.phases.is_some() && !matches!(outcome, SliceOutcome::Finished) {
+            self.stats.set_phase(self.engine.last_phase(w));
+        }
+        match outcome {
             SliceOutcome::Finished => {}
             SliceOutcome::Compute { resume_at } => {
                 self.engine.resume(resume_at, w);

@@ -4,8 +4,9 @@
 use ohm_sim::Ps;
 
 use crate::energy::{energy_report, EnergyInputs};
-use crate::metrics::{FaultReport, SimReport, WearReport};
+use crate::metrics::{FaultReport, PhaseRow, PhaseStageRow, PhaseSummary, SimReport, WearReport};
 
+use super::stats::Stage;
 use super::System;
 
 impl System {
@@ -195,6 +196,62 @@ impl System {
             r
         });
 
+        // Per-phase breakdown: join the engine's issue tallies (insts,
+        // spans) with the stats sink's attributed memory counters.
+        let phases = self.stats.phases.as_ref().map(|ph| {
+            let track = self
+                .engine
+                .phase_track
+                .as_ref()
+                .expect("phase stats imply an engine phase track");
+            let freq = self.cfg.gpu.sm.freq;
+            let rows = ph
+                .names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let span = match track.first[i] {
+                        Some(first) => (first, track.last[i].max(first)),
+                        None => (Ps::ZERO, Ps::ZERO),
+                    };
+                    let cycles = freq.cycles_in(span.1 - span.0).max(1);
+                    let served = ph.service_total[i];
+                    let stages = Stage::ALL
+                        .iter()
+                        .filter(|&&s| ph.stage_count[i][s as usize] > 0)
+                        .map(|&s| {
+                            let count = ph.stage_count[i][s as usize];
+                            PhaseStageRow {
+                                name: s.name(),
+                                count,
+                                mean_ns: ph.stage_total_ps[i][s as usize] as f64
+                                    / count as f64
+                                    / 1000.0,
+                            }
+                        })
+                        .collect();
+                    PhaseRow {
+                        name: name.clone(),
+                        instructions: track.insts[i],
+                        ipc: track.insts[i] as f64 / cycles as f64,
+                        span,
+                        mem_requests: ph.mem_requests[i],
+                        avg_mem_latency_ns: ph.mem_latency[i].mean(),
+                        avg_slice_latency_ns: ph.slice_latency[i].mean(),
+                        dram_served: ph.dram_hits[i],
+                        xpoint_served: served - ph.dram_hits[i],
+                        dram_hit_rate: if served == 0 {
+                            1.0
+                        } else {
+                            ph.dram_hits[i] as f64 / served as f64
+                        },
+                        stages,
+                    }
+                })
+                .collect();
+            PhaseSummary { phases: rows }
+        });
+
         let host = self.mem.host_report();
         let (dram_service, service_total) = self.stats.service_totals();
         let wear = {
@@ -241,6 +298,7 @@ impl System {
             stages,
             faults,
             wear: wear_report,
+            phases,
         }
     }
 }

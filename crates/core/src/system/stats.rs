@@ -224,6 +224,55 @@ impl Observability {
     }
 }
 
+/// Per-phase tallies behind [`RunStats`], armed only for
+/// phase-structured runs (see
+/// [`System::with_stream`](super::System::with_stream)).
+///
+/// The sink carries a *current phase* context, set by the system each
+/// time a warp issues a slice; every record between two context switches
+/// is attributed to that phase. Work a phase *triggers* that completes
+/// later (migration completions, background writebacks) is attributed to
+/// the phase whose context is live when it is recorded — attribution by
+/// trigger, documented in DESIGN.md §3.9.
+#[derive(Debug)]
+pub(crate) struct PhaseStats {
+    /// Phase names, in phase-index order.
+    pub(crate) names: Vec<String>,
+    /// Phase subsequent records are attributed to.
+    cur: usize,
+    /// Demand requests reaching the controllers, per phase.
+    pub(crate) mem_requests: Vec<u64>,
+    /// Controller services satisfied by the DRAM side, per phase.
+    pub(crate) dram_hits: Vec<u64>,
+    /// Controller services total, per phase.
+    pub(crate) service_total: Vec<u64>,
+    /// Demand read round-trip latency, per phase.
+    pub(crate) mem_latency: Vec<RunningStats>,
+    /// Warp slice latency, per phase.
+    pub(crate) slice_latency: Vec<RunningStats>,
+    /// Stage-interval counts, per phase × stage.
+    pub(crate) stage_count: Vec<[u64; Stage::COUNT]>,
+    /// Stage-interval latency sums (ps), per phase × stage.
+    pub(crate) stage_total_ps: Vec<[u64; Stage::COUNT]>,
+}
+
+impl PhaseStats {
+    pub(crate) fn new(names: Vec<String>) -> Self {
+        let n = names.len();
+        PhaseStats {
+            names,
+            cur: 0,
+            mem_requests: vec![0; n],
+            dram_hits: vec![0; n],
+            service_total: vec![0; n],
+            mem_latency: vec![RunningStats::new(); n],
+            slice_latency: vec![RunningStats::new(); n],
+            stage_count: vec![[0; Stage::COUNT]; n],
+            stage_total_ps: vec![[0; Stage::COUNT]; n],
+        }
+    }
+}
+
 /// The uniform hook the system's layers record measurements through.
 ///
 /// Methods are fire-and-forget; implementations must not affect timing.
@@ -297,6 +346,8 @@ pub struct RunStats {
     pub(crate) service_total: Vec<u64>,
     /// Per-stage collector; `None` (the default) disables recording.
     pub(crate) obs: Option<Box<Observability>>,
+    /// Per-phase tallies; `None` (the default) for unphased runs.
+    pub(crate) phases: Option<Box<PhaseStats>>,
 }
 
 impl RunStats {
@@ -320,6 +371,7 @@ impl RunStats {
             dram_service_hits: vec![0; controllers],
             service_total: vec![0; controllers],
             obs: None,
+            phases: None,
         }
     }
 
@@ -327,6 +379,20 @@ impl RunStats {
     pub(crate) fn enable_observability(&mut self) {
         if self.obs.is_none() {
             self.obs = Some(Box::new(Observability::new()));
+        }
+    }
+
+    /// Arms per-phase accounting with the stream's phase vocabulary.
+    pub(crate) fn enable_phases(&mut self, names: Vec<String>) {
+        if self.phases.is_none() && !names.is_empty() {
+            self.phases = Some(Box::new(PhaseStats::new(names)));
+        }
+    }
+
+    /// Sets the phase subsequent records are attributed to.
+    pub(crate) fn set_phase(&mut self, phase: usize) {
+        if let Some(ph) = self.phases.as_mut() {
+            ph.cur = phase.min(ph.names.len() - 1);
         }
     }
 
@@ -353,14 +419,23 @@ impl StatsSink for RunStats {
     fn record_mem_request(&mut self, now: Ps, bytes: u64) {
         self.mem_requests += 1;
         self.demand_timeline.record(now, bytes as f64);
+        if let Some(ph) = self.phases.as_mut() {
+            ph.mem_requests[ph.cur] += 1;
+        }
     }
 
     fn record_mem_latency(&mut self, latency: Ps) {
         self.mem_latency.push_ps(latency);
+        if let Some(ph) = self.phases.as_mut() {
+            ph.mem_latency[ph.cur].push_ps(latency);
+        }
     }
 
     fn record_slice_latency(&mut self, latency: Ps) {
         self.slice_latency.push_ps(latency);
+        if let Some(ph) = self.phases.as_mut() {
+            ph.slice_latency[ph.cur].push_ps(latency);
+        }
     }
 
     fn record_mshr_stall(&mut self, mc: usize) {
@@ -375,6 +450,10 @@ impl StatsSink for RunStats {
         self.service_total[mc] += 1;
         if dram {
             self.dram_service_hits[mc] += 1;
+        }
+        if let Some(ph) = self.phases.as_mut() {
+            ph.service_total[ph.cur] += 1;
+            ph.dram_hits[ph.cur] += u64::from(dram);
         }
     }
 
@@ -404,9 +483,13 @@ impl StatsSink for RunStats {
         if let Some(obs) = self.obs.as_mut() {
             obs.record(stage, res, start, end);
         }
+        if let Some(ph) = self.phases.as_mut() {
+            ph.stage_count[ph.cur][stage as usize] += 1;
+            ph.stage_total_ps[ph.cur][stage as usize] += (end - start).as_ps();
+        }
     }
 
     fn stages_enabled(&self) -> bool {
-        self.obs.is_some()
+        self.obs.is_some() || self.phases.is_some()
     }
 }

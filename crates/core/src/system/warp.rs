@@ -33,6 +33,33 @@ pub(crate) enum SliceOutcome {
     },
 }
 
+/// Per-phase issue accounting, allocated only for phase-structured
+/// streams (those whose [`InstructionStream::phase_names`] is
+/// non-empty).
+#[derive(Debug, Clone)]
+pub(crate) struct PhaseTrack {
+    /// Phase names, from the stream.
+    pub(crate) names: Vec<String>,
+    /// Instructions issued per phase (summed over lanes).
+    pub(crate) insts: Vec<u64>,
+    /// First issue time seen per phase.
+    pub(crate) first: Vec<Option<Ps>>,
+    /// Last compute-drain time seen per phase.
+    pub(crate) last: Vec<Ps>,
+}
+
+impl PhaseTrack {
+    fn new(names: Vec<String>) -> Self {
+        let n = names.len();
+        PhaseTrack {
+            names,
+            insts: vec![0; n],
+            first: vec![None; n],
+            last: vec![Ps::ZERO; n],
+        }
+    }
+}
+
 /// The event loop and warp scheduler.
 ///
 /// The queue is an [`EpochQueue`]: under the serial loop its
@@ -47,16 +74,26 @@ pub(crate) struct WarpEngine {
     /// When the last warp retired its final instruction (the kernel's
     /// completion time; bookkeeping events may trail it).
     pub(crate) kernel_end: Ps,
+    /// Per-phase issue tallies; `None` for unphased streams.
+    pub(crate) phase_track: Option<Box<PhaseTrack>>,
 }
 
 impl WarpEngine {
     pub(crate) fn new(sms: usize, sm_cfg: SmConfig, stream: Box<dyn InstructionStream>) -> Self {
+        let names = stream.phase_names();
         WarpEngine {
             queue: EpochQueue::with_capacity(sms * sm_cfg.warps),
             stream,
             sms: (0..sms).map(|_| Sm::new(sm_cfg)).collect(),
             kernel_end: Ps::ZERO,
+            phase_track: (!names.is_empty()).then(|| Box::new(PhaseTrack::new(names))),
         }
+    }
+
+    /// Phase of the slice most recently issued on lane `w` (0 for
+    /// unphased streams).
+    pub(crate) fn last_phase(&self, w: WarpId) -> usize {
+        self.stream.last_phase(w.sm, w.warp)
     }
 
     /// Seeds the queue with every warp's initial resume at time zero.
@@ -81,6 +118,15 @@ impl WarpEngine {
             return SliceOutcome::Finished;
         };
         let after_compute = self.sms[w.sm].issue_compute(now, w.warp, slice.compute_insts);
+        if let Some(track) = self.phase_track.as_mut() {
+            let p = self
+                .stream
+                .last_phase(w.sm, w.warp)
+                .min(track.names.len() - 1);
+            track.insts[p] += slice.instructions();
+            track.first[p].get_or_insert(now);
+            track.last[p] = track.last[p].max(after_compute);
+        }
         match slice.access {
             None => SliceOutcome::Compute {
                 resume_at: after_compute,

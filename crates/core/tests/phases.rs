@@ -1,0 +1,91 @@
+//! Per-phase reporting: a phase-structured run must produce a
+//! `PhaseSummary` whose rows line up with the configured `PhasePlan`,
+//! attribute real work to every phase, and be deterministic.
+
+use ohm_core::config::SystemConfig;
+use ohm_core::runner::run_platform;
+use ohm_hetero::Platform;
+use ohm_optic::OperationalMode;
+use ohm_workloads::{workload_by_name, PhasePlan};
+
+fn phased_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::quick_test();
+    cfg.insts_per_warp = 600;
+    cfg.phases = Some(PhasePlan::llm_inference());
+    cfg
+}
+
+#[test]
+fn phase_summary_matches_the_plan_shape() {
+    let cfg = phased_cfg();
+    let plan = cfg.phases.clone().unwrap();
+    let spec = workload_by_name("gctopo").unwrap();
+    let report = run_platform(&cfg, Platform::Hetero, OperationalMode::TwoLevel, &spec);
+
+    let summary = report.phases.expect("phased config produces a summary");
+    assert_eq!(summary.phases.len(), plan.phases.len());
+    for (row, spec) in summary.phases.iter().zip(&plan.phases) {
+        assert_eq!(row.name, spec.name, "rows come out in plan order");
+        assert!(
+            row.instructions > 0,
+            "{}: no instructions attributed",
+            row.name
+        );
+        assert!(row.ipc > 0.0, "{}: zero IPC", row.name);
+        assert!(row.span.1 >= row.span.0, "{}: inverted span", row.name);
+        assert!(row.mem_requests > 0, "{}: no memory requests", row.name);
+        assert!(
+            (0.0..=1.0).contains(&row.dram_hit_rate),
+            "{}: hit rate out of range",
+            row.name
+        );
+    }
+
+    // Phase instruction totals account for every retired instruction.
+    let phase_insts: u64 = summary.phases.iter().map(|r| r.instructions).sum();
+    assert_eq!(phase_insts, report.instructions);
+}
+
+#[test]
+fn kv_phases_hit_the_xpoint_tier() {
+    // On a heterogeneous platform the KV-cache phases live in the upper
+    // slice of the footprint, far beyond planar DRAM — the scan phase
+    // must be served (at least partly) from XPoint.
+    let cfg = phased_cfg();
+    let spec = workload_by_name("gctopo").unwrap();
+    let report = run_platform(&cfg, Platform::Hetero, OperationalMode::TwoLevel, &spec);
+    let summary = report.phases.unwrap();
+    let scan = summary
+        .phases
+        .iter()
+        .find(|r| r.name == "kv-scan")
+        .expect("reference plan has a kv-scan phase");
+    assert!(
+        scan.xpoint_served > 0,
+        "kv-scan should reach beyond planar DRAM (dram {} / xpoint {})",
+        scan.dram_served,
+        scan.xpoint_served
+    );
+    // The format helper renders one headline line per phase.
+    let table = summary.format_table();
+    for row in &summary.phases {
+        assert!(table.contains(&row.name), "table missing {}", row.name);
+    }
+}
+
+#[test]
+fn phased_runs_are_deterministic() {
+    let cfg = phased_cfg();
+    let spec = workload_by_name("pagerank").unwrap();
+    let a = run_platform(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
+    let b = run_platform(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn unphased_runs_report_no_phase_summary() {
+    let cfg = SystemConfig::quick_test();
+    let spec = workload_by_name("gctopo").unwrap();
+    let report = run_platform(&cfg, Platform::OhmBase, OperationalMode::Planar, &spec);
+    assert!(report.phases.is_none());
+}

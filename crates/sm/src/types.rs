@@ -64,6 +64,27 @@ pub trait InstructionStream {
     /// Produces the next slice for warp `warp` of SM `sm`, or `None` when
     /// the kernel has run out of work for that lane.
     fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice>;
+
+    /// Names of the stream's execution phases, in phase-index order.
+    ///
+    /// Phase-structured streams (e.g. an LLM prefill→decode plan) report
+    /// their phase vocabulary here so the simulator can attribute work
+    /// per phase. Unphased streams return an empty vector (the default),
+    /// which disables per-phase accounting entirely.
+    fn phase_names(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Index into [`InstructionStream::phase_names`] of the phase that
+    /// produced the most recent slice on lane (`sm`, `warp`).
+    ///
+    /// Queried by the simulator immediately after
+    /// [`InstructionStream::next_slice`] returns `Some`; the default
+    /// (`0`) is correct for unphased streams.
+    fn last_phase(&self, sm: usize, warp: usize) -> usize {
+        let _ = (sm, warp);
+        0
+    }
 }
 
 impl<F> InstructionStream for F
@@ -72,6 +93,21 @@ where
 {
     fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
         self(sm, warp)
+    }
+}
+
+// Lets adapters (e.g. a trace recorder) wrap an already-boxed stream.
+impl InstructionStream for Box<dyn InstructionStream> {
+    fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
+        (**self).next_slice(sm, warp)
+    }
+
+    fn phase_names(&self) -> Vec<String> {
+        (**self).phase_names()
+    }
+
+    fn last_phase(&self, sm: usize, warp: usize) -> usize {
+        (**self).last_phase(sm, warp)
     }
 }
 

@@ -11,18 +11,97 @@ use ohm_sm::{AccessKind, InstructionStream, WarpSlice};
 use crate::spec::{AccessPattern, WorkloadSpec};
 
 /// Access granularity: one GPU cache line.
-const LINE_BYTES: u64 = 128;
+pub(crate) const LINE_BYTES: u64 = 128;
 
 #[derive(Debug, Clone)]
-struct LaneState {
-    rng: SplitMix64,
-    remaining_insts: u64,
+pub(crate) struct LaneState {
+    pub(crate) rng: SplitMix64,
+    pub(crate) remaining_insts: u64,
     /// Streaming/blocked cursor (line index within the footprint).
-    cursor: u64,
+    pub(crate) cursor: u64,
     /// Remaining accesses within the current tile (blocked pattern).
-    dwell_left: u32,
+    pub(crate) dwell_left: u32,
     /// Current tile base (line index).
-    tile_base: u64,
+    pub(crate) tile_base: u64,
+}
+
+/// Advances `lane`'s walker one access through a `footprint_lines`-line
+/// region under `pattern`, returning the touched line index. Shared by
+/// [`KernelWorkload`] (whole-footprint walks) and the phase-structured
+/// [`crate::llm::PhasedWorkload`] (per-phase footprint slices).
+pub(crate) fn next_line(
+    lane: &mut LaneState,
+    pattern: AccessPattern,
+    footprint_lines: u64,
+    global_accesses: u64,
+    cold_cursor: &mut u64,
+) -> u64 {
+    match pattern {
+        AccessPattern::Streaming => {
+            // Streaming kernels double-buffer: at any instant the live
+            // tiles cover a bounded, forward-moving region (an eighth
+            // of the footprint), inside which each lane walks
+            // sequentially. The region advances with global progress,
+            // covering the array like the real kernel's pass.
+            let window = (footprint_lines / 8).max(1);
+            let frontier = global_accesses * (window / 8 + 1) / 32_768 % footprint_lines;
+            lane.cursor = (lane.cursor + 1) % window;
+            (frontier + lane.cursor) % footprint_lines
+        }
+        AccessPattern::Blocked { block_bytes, dwell } => {
+            // Tiled kernels (LU panels, backprop layers) dwell inside a
+            // tile drawn from the same bounded moving region.
+            let window = (footprint_lines / 8).max(1);
+            let frontier = global_accesses * (window / 8 + 1) / 32_768 % footprint_lines;
+            let block_lines = (block_bytes / LINE_BYTES).max(1);
+            if lane.dwell_left == 0 {
+                let blocks = (window / block_lines).max(1);
+                lane.tile_base = lane.rng.next_below(blocks) * block_lines;
+                lane.dwell_left = dwell;
+            }
+            lane.dwell_left -= 1;
+            (frontier + lane.tile_base + lane.rng.next_below(block_lines)) % footprint_lines
+        }
+        AccessPattern::Graph {
+            gamma,
+            window_frac,
+            cold_frac,
+        } => {
+            let window = ((footprint_lines as f64 * window_frac) as u64).max(1);
+            // The frontier window drifts *continuously* at a rate of
+            // one eighth of its size per 32 K kernel-wide accesses:
+            // slow enough that hot vertices are revisited many times
+            // while resident (the temporal locality graph kernels
+            // exhibit), fast enough that a full run turns over the hot
+            // set a few times (the churn that drives data migration).
+            // Continuous motion avoids artificial whole-window jumps
+            // that would synchronise misses into bursts.
+            // The frontier starts a third of the way into the graph
+            // (kernels rarely start at address zero), which also means
+            // the initial hot set starts on XPoint-resident pages in
+            // the heterogeneous platforms.
+            let frontier = (footprint_lines / 3 + global_accesses * (window / 8 + 1) / 32_768)
+                % footprint_lines;
+            if lane.rng.chance(cold_frac) {
+                // Cold edges stream sequentially through the rest of
+                // the footprint ahead of the frontier (edge lists are
+                // read as streams); each touch samples one line per
+                // page of the stream, so the cold walker ranges across
+                // the whole graph within a run. Sequentiality keeps
+                // host staging segmental.
+                const COLD_STRIDE_LINES: u64 = 32; // one 4 KB page
+                let span = (footprint_lines - window).max(1);
+                let off = window + (*cold_cursor * COLD_STRIDE_LINES) % span;
+                *cold_cursor += 1;
+                (frontier + off) % footprint_lines
+            } else {
+                let u = lane.rng.next_f64();
+                let off = (u.powf(gamma) * window as f64) as u64;
+                (frontier + off.min(window - 1)) % footprint_lines
+            }
+        }
+        AccessPattern::Uniform => lane.rng.next_below(footprint_lines),
+    }
 }
 
 /// A deterministic synthetic GPU kernel.
@@ -121,81 +200,6 @@ impl KernelWorkload {
         sm * self.warps_per_sm + warp
     }
 
-    fn next_line(
-        lane: &mut LaneState,
-        pattern: AccessPattern,
-        footprint_lines: u64,
-        global_accesses: u64,
-        cold_cursor: &mut u64,
-    ) -> u64 {
-        match pattern {
-            AccessPattern::Streaming => {
-                // Streaming kernels double-buffer: at any instant the live
-                // tiles cover a bounded, forward-moving region (an eighth
-                // of the footprint), inside which each lane walks
-                // sequentially. The region advances with global progress,
-                // covering the array like the real kernel's pass.
-                let window = (footprint_lines / 8).max(1);
-                let frontier = global_accesses * (window / 8 + 1) / 32_768 % footprint_lines;
-                lane.cursor = (lane.cursor + 1) % window;
-                (frontier + lane.cursor) % footprint_lines
-            }
-            AccessPattern::Blocked { block_bytes, dwell } => {
-                // Tiled kernels (LU panels, backprop layers) dwell inside a
-                // tile drawn from the same bounded moving region.
-                let window = (footprint_lines / 8).max(1);
-                let frontier = global_accesses * (window / 8 + 1) / 32_768 % footprint_lines;
-                let block_lines = (block_bytes / LINE_BYTES).max(1);
-                if lane.dwell_left == 0 {
-                    let blocks = (window / block_lines).max(1);
-                    lane.tile_base = lane.rng.next_below(blocks) * block_lines;
-                    lane.dwell_left = dwell;
-                }
-                lane.dwell_left -= 1;
-                (frontier + lane.tile_base + lane.rng.next_below(block_lines)) % footprint_lines
-            }
-            AccessPattern::Graph {
-                gamma,
-                window_frac,
-                cold_frac,
-            } => {
-                let window = ((footprint_lines as f64 * window_frac) as u64).max(1);
-                // The frontier window drifts *continuously* at a rate of
-                // one eighth of its size per 32 K kernel-wide accesses:
-                // slow enough that hot vertices are revisited many times
-                // while resident (the temporal locality graph kernels
-                // exhibit), fast enough that a full run turns over the hot
-                // set a few times (the churn that drives data migration).
-                // Continuous motion avoids artificial whole-window jumps
-                // that would synchronise misses into bursts.
-                // The frontier starts a third of the way into the graph
-                // (kernels rarely start at address zero), which also means
-                // the initial hot set starts on XPoint-resident pages in
-                // the heterogeneous platforms.
-                let frontier = (footprint_lines / 3 + global_accesses * (window / 8 + 1) / 32_768)
-                    % footprint_lines;
-                if lane.rng.chance(cold_frac) {
-                    // Cold edges stream sequentially through the rest of
-                    // the footprint ahead of the frontier (edge lists are
-                    // read as streams); each touch samples one line per
-                    // page of the stream, so the cold walker ranges across
-                    // the whole graph within a run. Sequentiality keeps
-                    // host staging segmental.
-                    const COLD_STRIDE_LINES: u64 = 32; // one 4 KB page
-                    let span = (footprint_lines - window).max(1);
-                    let off = window + (*cold_cursor * COLD_STRIDE_LINES) % span;
-                    *cold_cursor += 1;
-                    (frontier + off) % footprint_lines
-                } else {
-                    let u = lane.rng.next_f64();
-                    let off = (u.powf(gamma) * window as f64) as u64;
-                    (frontier + off.min(window - 1)) % footprint_lines
-                }
-            }
-            AccessPattern::Uniform => lane.rng.next_below(footprint_lines),
-        }
-    }
-
     /// Memory accesses issued so far across all lanes.
     pub fn issued_accesses(&self) -> u64 {
         self.issued_accesses
@@ -262,7 +266,7 @@ impl InstructionStream for KernelWorkload {
 
         lane.remaining_insts -= compute + 1;
         let mut cold = self.cold_cursor;
-        let line = Self::next_line(
+        let line = next_line(
             lane,
             pattern,
             footprint_lines,

@@ -12,13 +12,23 @@
 //! workloads). DESIGN.md documents why this substitution preserves the
 //! paper's comparisons.
 //!
-//! * [`spec`] — workload descriptors and pattern classes.
-//! * [`table2`] — the ten Table II applications as constants.
-//! * [`generator`] — [`KernelWorkload`], an
-//!   [`InstructionStream`](ohm_sm::InstructionStream) implementation.
+//! Three workload *sources* implement the same
+//! [`InstructionStream`](ohm_sm::InstructionStream) interface and are
+//! interchangeable from the simulator's point of view:
+//!
+//! * **Synthetic kernels** ([`generator`], [`table2`], [`spec`]) — the
+//!   ten Table II applications as deterministic generators.
+//! * **Trace replay** ([`trace`]) — the versioned `ohm-trace v1` format
+//!   with streaming record ([`TraceRecorder`]) and replay
+//!   ([`TraceReplay`]); any run can be captured and replayed
+//!   bit-identically (see `docs/TRACE_FORMAT.md`).
+//! * **Phase plans** ([`llm`]) — phase-structured LLM inference
+//!   (prefill-GEMM / softmax / decode / KV-cache phases), each phase
+//!   with its own APKI, read ratio, footprint slice and locality model.
+//!
+//! Supporting modules:
+//!
 //! * [`ssd`] — SSD + PCIe DMA model for GPU↔host data movement.
-//! * [`trace`] — record/replay of memory traces, for users with real
-//!   GPU traces.
 //! * [`composite`] — spatial multi-tenancy: several kernels partitioned
 //!   across the SMs, sharing the memory system.
 
@@ -26,6 +36,7 @@
 
 pub mod composite;
 pub mod generator;
+pub mod llm;
 pub mod spec;
 pub mod ssd;
 pub mod table2;
@@ -33,7 +44,11 @@ pub mod trace;
 
 pub use composite::CompositeWorkload;
 pub use generator::KernelWorkload;
+pub use llm::{PhasePlan, PhaseSpec, PhasedWorkload};
 pub use spec::{AccessPattern, WorkloadSpec};
 pub use ssd::{HostStorage, HostStorageConfig};
 pub use table2::{all_workloads, workload_by_name};
-pub use trace::{Trace, TraceRecord, TraceRecorder, TraceWorkload};
+pub use trace::{
+    RecorderHandle, ReplayErrorHandle, Trace, TraceError, TraceReader, TraceRecord, TraceRecorder,
+    TraceReplay, TraceWriter,
+};

@@ -1,0 +1,563 @@
+//! Phase-structured LLM inference workloads.
+//!
+//! Transformer inference is not one kernel but a *sequence of phases*
+//! with sharply different memory behaviour (Sim-FA, arXiv 2605.00555):
+//! prefill GEMMs are tiled and compute-rich, softmax streams small
+//! score matrices, decode GEMVs are read-heavy and bandwidth-bound, and
+//! the KV cache grows monotonically and is re-scanned on every emitted
+//! token. A [`PhasePlan`] describes such a sequence — each
+//! [`PhaseSpec`] carries its own APKI, read ratio, footprint *slice*
+//! and locality model — and [`PhasedWorkload`] executes it as a
+//! deterministic [`InstructionStream`], reporting phase identity
+//! through [`InstructionStream::phase_names`] /
+//! [`InstructionStream::last_phase`] so the simulator can attribute
+//! IPC, stage latencies and the DRAM/XPoint hit split per phase.
+//!
+//! # Example
+//!
+//! ```
+//! use ohm_workloads::llm::{PhasePlan, PhasedWorkload};
+//! use ohm_sm::InstructionStream;
+//!
+//! let plan = PhasePlan::llm_inference();
+//! assert_eq!(plan.phases.len(), 5);
+//! let mut w = PhasedWorkload::new(plan, 1, 2, 10_000, 64 << 20, 42);
+//! let names = w.phase_names();
+//! let slice = w.next_slice(0, 0).unwrap();
+//! assert!(slice.instructions() > 0);
+//! assert_eq!(names[w.last_phase(0, 0)], "prefill-gemm");
+//! ```
+
+use ohm_sim::{Addr, SplitMix64};
+use ohm_sm::{AccessKind, InstructionStream, WarpSlice};
+
+use crate::generator::{next_line, LaneState, LINE_BYTES};
+use crate::spec::AccessPattern;
+
+/// One named phase of a phase-structured workload.
+///
+/// The phase's footprint slice is expressed as fractions of the overall
+/// workload footprint, so the same plan scales from quick-test to
+/// evaluation footprints; overlapping slices model shared tensors
+/// (e.g. prefill and decode both touching the weight region).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase name, reported in the per-phase breakdown.
+    pub name: String,
+    /// Memory accesses per kilo-instruction within the phase.
+    pub apki: u32,
+    /// Fraction of the phase's accesses that are reads.
+    pub read_ratio: f64,
+    /// Start of the phase's footprint slice, as a fraction of the
+    /// workload footprint in `[0, 1)`.
+    pub slice_start: f64,
+    /// Length of the slice, as a fraction in `(0, 1]`;
+    /// `slice_start + slice_len` must not exceed 1.
+    pub slice_len: f64,
+    /// Locality model the phase walks its slice with.
+    pub pattern: AccessPattern,
+    /// Share of each lane's instruction budget spent in this phase
+    /// (weights are normalised over the plan).
+    pub weight: f64,
+}
+
+/// An ordered sequence of [`PhaseSpec`]s every lane executes in turn.
+///
+/// Lanes progress through phases by *instruction budget* (each phase
+/// gets its weight's share of `insts_per_warp`), so phase boundaries
+/// fall at the same per-lane instruction counts regardless of how the
+/// simulator interleaves lanes — the property that keeps phased runs
+/// deterministic and replayable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePlan {
+    /// The phases, in execution order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl PhasePlan {
+    /// The reference LLM-inference plan: prefill GEMM → softmax →
+    /// decode GEMV → KV-cache append → KV-cache scan.
+    ///
+    /// The footprint is split into a weight region (first half), an
+    /// activation/score scratch (next eighth) and a KV-cache region
+    /// (final three eighths). The KV region is several times larger
+    /// than planar DRAM (one ninth of the footprint at the paper's 1:8
+    /// ratio), so the read-heavy `kv-scan` phase is the natural stress
+    /// test for the DRAM/XPoint split.
+    pub fn llm_inference() -> Self {
+        let phase = |name: &str,
+                     apki: u32,
+                     read_ratio: f64,
+                     slice_start: f64,
+                     slice_len: f64,
+                     pattern: AccessPattern,
+                     weight: f64| PhaseSpec {
+            name: name.to_string(),
+            apki,
+            read_ratio,
+            slice_start,
+            slice_len,
+            pattern,
+            weight,
+        };
+        PhasePlan {
+            phases: vec![
+                // Tiled weight-matrix GEMM over the prompt: compute-rich,
+                // balanced reads (weights) and writes (activations).
+                phase(
+                    "prefill-gemm",
+                    40,
+                    0.67,
+                    0.0,
+                    0.5,
+                    AccessPattern::Blocked {
+                        block_bytes: 64 * 1024,
+                        dwell: 32,
+                    },
+                    0.35,
+                ),
+                // Row-wise normalisation of the score matrix: small
+                // footprint, read-modify-write streaming.
+                phase(
+                    "softmax",
+                    150,
+                    0.5,
+                    0.5,
+                    0.125,
+                    AccessPattern::Streaming,
+                    0.1,
+                ),
+                // Token-at-a-time GEMV over the weights: read-dominated,
+                // low arithmetic intensity.
+                phase(
+                    "decode-gemv",
+                    200,
+                    0.95,
+                    0.0,
+                    0.5,
+                    AccessPattern::Streaming,
+                    0.2,
+                ),
+                // Appending each new token's K/V vectors: write-heavy
+                // streaming into the KV region.
+                phase(
+                    "kv-append",
+                    120,
+                    0.1,
+                    0.625,
+                    0.375,
+                    AccessPattern::Streaming,
+                    0.1,
+                ),
+                // Attention over the whole cache for every token:
+                // read-heavy streaming across a region far larger than
+                // DRAM — the capacity stress test.
+                phase(
+                    "kv-scan",
+                    250,
+                    0.98,
+                    0.625,
+                    0.375,
+                    AccessPattern::Streaming,
+                    0.25,
+                ),
+            ],
+        }
+    }
+
+    /// Phase names in phase-index order.
+    pub fn phase_names(&self) -> Vec<String> {
+        self.phases.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// Checks the plan is executable; the message names the first
+    /// violated constraint.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the violation (empty plan, empty name,
+    /// zero APKI, non-positive/non-finite weight, read ratio outside
+    /// `[0, 1]`, or a footprint slice outside `[0, 1]`).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.phases.is_empty() {
+            return Err("phase plan has no phases");
+        }
+        for p in &self.phases {
+            if p.name.is_empty() {
+                return Err("phase name is empty");
+            }
+            if p.apki == 0 {
+                return Err("phase APKI must be positive");
+            }
+            if !(p.weight.is_finite() && p.weight > 0.0) {
+                return Err("phase weight must be positive and finite");
+            }
+            if !(0.0..=1.0).contains(&p.read_ratio) {
+                return Err("phase read ratio must be within [0, 1]");
+            }
+            let slice_ok = p.slice_start.is_finite()
+                && p.slice_len.is_finite()
+                && p.slice_start >= 0.0
+                && p.slice_len > 0.0
+                && p.slice_start + p.slice_len <= 1.0 + 1e-12;
+            if !slice_ok {
+                return Err("phase footprint slice must fit within [0, 1]");
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PhasedLane {
+    state: LaneState,
+    /// Current phase index; `plan.phases.len()` once the lane is done.
+    phase: usize,
+    /// Index of the phase that produced the lane's most recent slice.
+    last_phase: usize,
+}
+
+/// Per-phase geometry precomputed from the plan and footprint.
+#[derive(Debug, Clone, Copy)]
+struct PhaseGeometry {
+    /// First line of the phase's slice within the footprint.
+    start_line: u64,
+    /// Lines in the slice (at least one).
+    lines: u64,
+    /// Per-lane instruction budget for the phase.
+    budget: u64,
+}
+
+/// Executes a [`PhasePlan`] as a deterministic [`InstructionStream`].
+///
+/// Every lane runs the same phase sequence over the same footprint
+/// slices; per-lane [`SplitMix64`] forks keep lanes decorrelated while
+/// the instruction-budget phase boundaries keep the stream independent
+/// of lane interleaving. Construction mirrors
+/// [`crate::KernelWorkload::new`].
+#[derive(Debug, Clone)]
+pub struct PhasedWorkload {
+    plan: PhasePlan,
+    sms: usize,
+    warps_per_sm: usize,
+    lanes: Vec<PhasedLane>,
+    geometry: Vec<PhaseGeometry>,
+    /// Kernel-wide access counters, one per phase (frontier progress).
+    phase_accesses: Vec<u64>,
+    /// Kernel-wide cold-walker cursors, one per phase.
+    phase_cold: Vec<u64>,
+}
+
+impl PhasedWorkload {
+    /// Creates a phased workload over `sms × warps_per_sm` lanes, each
+    /// executing `insts_per_warp` instructions split across the plan's
+    /// phases by weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`PhasePlan::validate`], any dimension
+    /// is zero, or a phase's footprint slice is smaller than one line.
+    pub fn new(
+        plan: PhasePlan,
+        sms: usize,
+        warps_per_sm: usize,
+        insts_per_warp: u64,
+        footprint_bytes: u64,
+        seed: u64,
+    ) -> Self {
+        plan.validate().expect("invalid phase plan");
+        assert!(
+            sms > 0 && warps_per_sm > 0,
+            "kernel needs at least one lane"
+        );
+        assert!(
+            insts_per_warp > 0,
+            "warps need a positive instruction budget"
+        );
+        let footprint_lines = footprint_bytes / LINE_BYTES;
+        assert!(footprint_lines > 0, "footprint smaller than one line");
+
+        let total_weight: f64 = plan.phases.iter().map(|p| p.weight).sum();
+        let mut assigned = 0u64;
+        let geometry: Vec<PhaseGeometry> = plan
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // slice_start < 1 (validated: slice_len > 0, sum ≤ 1), so
+                // start_line < footprint_lines and the clamp is non-zero.
+                let start_line = (p.slice_start * footprint_lines as f64) as u64;
+                let lines = ((p.slice_len * footprint_lines as f64) as u64)
+                    .max(1)
+                    .min(footprint_lines - start_line);
+                assert!(lines > 0, "phase footprint slice smaller than one line");
+                // The last phase absorbs rounding so budgets sum exactly
+                // to insts_per_warp (lanes retire identical totals).
+                let budget = if i + 1 == plan.phases.len() {
+                    insts_per_warp - assigned
+                } else {
+                    let share = (p.weight / total_weight * insts_per_warp as f64).round() as u64;
+                    share.min(insts_per_warp - assigned)
+                };
+                assigned += budget;
+                PhaseGeometry {
+                    start_line,
+                    lines,
+                    budget,
+                }
+            })
+            .collect();
+
+        let mut root = SplitMix64::new(seed ^ 0x11_a7_70_ca);
+        let lanes = (0..sms * warps_per_sm)
+            .map(|i| {
+                let mut rng = root.fork(i as u64);
+                let first = geometry[0];
+                let cursor = rng.next_below((first.lines / 8).max(1));
+                PhasedLane {
+                    state: LaneState {
+                        rng,
+                        remaining_insts: first.budget,
+                        cursor,
+                        dwell_left: 0,
+                        tile_base: cursor,
+                    },
+                    phase: 0,
+                    last_phase: 0,
+                }
+            })
+            .collect();
+
+        let n = plan.phases.len();
+        PhasedWorkload {
+            plan,
+            sms,
+            warps_per_sm,
+            lanes,
+            geometry,
+            phase_accesses: vec![0; n],
+            phase_cold: vec![0; n],
+        }
+    }
+
+    /// The executing plan.
+    pub fn plan(&self) -> &PhasePlan {
+        &self.plan
+    }
+
+    fn lane_index(&self, sm: usize, warp: usize) -> usize {
+        assert!(
+            sm < self.sms && warp < self.warps_per_sm,
+            "lane out of range"
+        );
+        sm * self.warps_per_sm + warp
+    }
+
+    /// Advances `lane` past drained (or zero-budget) phases, resetting
+    /// walker state on entry to each new phase. Returns false when the
+    /// lane has finished the plan.
+    fn enter_live_phase(lane: &mut PhasedLane, geometry: &[PhaseGeometry]) -> bool {
+        while lane.state.remaining_insts == 0 {
+            lane.phase += 1;
+            let Some(g) = geometry.get(lane.phase) else {
+                return false;
+            };
+            lane.state.remaining_insts = g.budget;
+            // Fresh deterministic walker position inside the new slice
+            // (a new kernel launch does not inherit the old one's tile).
+            let cursor = lane.state.rng.next_below((g.lines / 8).max(1));
+            lane.state.cursor = cursor;
+            lane.state.tile_base = cursor;
+            lane.state.dwell_left = 0;
+        }
+        true
+    }
+}
+
+impl InstructionStream for PhasedWorkload {
+    fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
+        let idx = self.lane_index(sm, warp);
+        let lane = &mut self.lanes[idx];
+        if !Self::enter_live_phase(lane, &self.geometry) {
+            return None;
+        }
+        let phase = lane.phase;
+        lane.last_phase = phase;
+        let spec = &self.plan.phases[phase];
+        let g = self.geometry[phase];
+        let gap = (1000.0 / spec.apki as f64 - 1.0).max(0.0);
+
+        // Exponentially distributed compute gap with mean `gap`, as in
+        // `KernelWorkload` — zero keeps high APKIs reachable.
+        let compute = if gap <= 0.0 {
+            0
+        } else {
+            (-lane.state.rng.next_f64().max(1e-18).ln() * gap).round() as u64
+        };
+        let compute = compute.min(lane.state.remaining_insts.saturating_sub(1));
+
+        if lane.state.remaining_insts <= compute + 1 {
+            // Phase budget exhausted by compute alone: drain the phase.
+            let insts = lane.state.remaining_insts;
+            lane.state.remaining_insts = 0;
+            return Some(WarpSlice::compute(insts));
+        }
+
+        lane.state.remaining_insts -= compute + 1;
+        let line = next_line(
+            &mut lane.state,
+            spec.pattern,
+            g.lines,
+            self.phase_accesses[phase],
+            &mut self.phase_cold[phase],
+        );
+        let lane = &mut self.lanes[idx];
+        let kind = if lane.state.rng.chance(spec.read_ratio) {
+            AccessKind::Load
+        } else {
+            AccessKind::Store
+        };
+        self.phase_accesses[phase] += 1;
+        let addr = Addr::from_block(g.start_line + line, LINE_BYTES);
+        Some(WarpSlice::memory(compute, addr, kind))
+    }
+
+    fn phase_names(&self) -> Vec<String> {
+        self.plan.phase_names()
+    }
+
+    fn last_phase(&self, sm: usize, warp: usize) -> usize {
+        self.lanes[self.lane_index(sm, warp)].last_phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> PhasePlan {
+        PhasePlan::llm_inference()
+    }
+
+    #[test]
+    fn reference_plan_validates() {
+        assert_eq!(plan().validate(), Ok(()));
+        assert_eq!(
+            plan().phase_names(),
+            [
+                "prefill-gemm",
+                "softmax",
+                "decode-gemv",
+                "kv-append",
+                "kv-scan"
+            ]
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let mut empty = plan();
+        empty.phases.clear();
+        assert!(empty.validate().is_err());
+
+        let break_one = |f: fn(&mut PhaseSpec)| {
+            let mut p = plan();
+            f(&mut p.phases[0]);
+            p.validate().unwrap_err()
+        };
+        assert!(break_one(|p| p.name.clear()).contains("name"));
+        assert!(break_one(|p| p.apki = 0).contains("APKI"));
+        assert!(break_one(|p| p.weight = 0.0).contains("weight"));
+        assert!(break_one(|p| p.weight = f64::NAN).contains("weight"));
+        assert!(break_one(|p| p.read_ratio = 1.5).contains("read ratio"));
+        assert!(break_one(|p| p.slice_len = 0.0).contains("slice"));
+        assert!(break_one(|p| p.slice_start = 0.9).contains("slice"));
+    }
+
+    #[test]
+    fn lanes_retire_exactly_their_budget_across_all_phases() {
+        let mut w = PhasedWorkload::new(plan(), 1, 2, 12_345, 32 << 20, 9);
+        for warp in 0..2 {
+            let mut total = 0;
+            while let Some(s) = w.next_slice(0, warp) {
+                total += s.instructions();
+            }
+            assert_eq!(total, 12_345);
+            assert!(w.next_slice(0, warp).is_none());
+        }
+    }
+
+    #[test]
+    fn phases_progress_in_order_and_stay_in_slice() {
+        let footprint: u64 = 64 << 20;
+        let mut w = PhasedWorkload::new(plan(), 1, 1, 50_000, footprint, 4);
+        let p = plan();
+        let mut seen = vec![0u64; p.phases.len()];
+        let mut last = 0;
+        while let Some(s) = w.next_slice(0, 0) {
+            let phase = w.last_phase(0, 0);
+            assert!(phase >= last, "phases must not regress");
+            last = phase;
+            if let Some((addr, _)) = s.access {
+                seen[phase] += 1;
+                let spec = &p.phases[phase];
+                let lo = (spec.slice_start * footprint as f64) as u64;
+                let hi = ((spec.slice_start + spec.slice_len) * footprint as f64) as u64;
+                assert!(
+                    addr.get() >= lo && addr.get() < hi,
+                    "phase {phase} access {:#x} outside slice [{lo:#x}, {hi:#x})",
+                    addr.get()
+                );
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c > 0),
+            "every phase issued accesses: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn per_phase_intensity_tracks_the_spec() {
+        let mut w = PhasedWorkload::new(plan(), 1, 4, 100_000, 64 << 20, 11);
+        let p = plan();
+        let n = p.phases.len();
+        let (mut insts, mut accesses, mut reads) = (vec![0u64; n], vec![0u64; n], vec![0u64; n]);
+        for warp in 0..4 {
+            while let Some(s) = w.next_slice(0, warp) {
+                let phase = w.last_phase(0, warp);
+                insts[phase] += s.instructions();
+                if let Some((_, kind)) = s.access {
+                    accesses[phase] += 1;
+                    reads[phase] += u64::from(kind.is_load());
+                }
+            }
+        }
+        for (i, spec) in p.phases.iter().enumerate() {
+            let apki = accesses[i] as f64 * 1000.0 / insts[i] as f64;
+            let rel = (apki - spec.apki as f64).abs() / spec.apki as f64;
+            assert!(
+                rel < 0.15,
+                "{}: APKI target {}, got {apki:.1}",
+                spec.name,
+                spec.apki
+            );
+            let rr = reads[i] as f64 / accesses[i] as f64;
+            assert!(
+                (rr - spec.read_ratio).abs() < 0.06,
+                "{}: read ratio target {}, got {rr:.2}",
+                spec.name,
+                spec.read_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = PhasedWorkload::new(plan(), 1, 2, 5_000, 16 << 20, 77);
+        let mut b = PhasedWorkload::new(plan(), 1, 2, 5_000, 16 << 20, 77);
+        for _ in 0..500 {
+            assert_eq!(a.next_slice(0, 1), b.next_slice(0, 1));
+            assert_eq!(a.last_phase(0, 1), b.last_phase(0, 1));
+        }
+    }
+}

@@ -1,82 +1,432 @@
-//! Memory-trace recording and replay.
+//! Versioned memory-access trace format: recording, streaming parse,
+//! and replay.
 //!
-//! The synthetic Table II kernels are the default workload source, but a
-//! downstream user with real GPU traces (e.g. from a binary-instrumented
-//! run) can feed them straight into the simulator: [`TraceWorkload`]
-//! replays a recorded slice stream, and [`TraceRecorder`] captures any
-//! [`InstructionStream`] into one. Traces serialise to a simple
-//! line-oriented text format:
+//! The synthetic Table II kernels and the [`crate::llm`] phase plans are
+//! generated workloads, but the simulator can also be driven by a
+//! recorded access stream: any [`InstructionStream`] can be captured
+//! with [`TraceRecorder`] and played back with [`TraceReplay`] — the
+//! round trip is bit-identical (the replayed run's `SimReport` equals
+//! the recorded run's; `docs/TRACE_FORMAT.md` specifies the contract).
+//!
+//! # The `ohm-trace v1` format
+//!
+//! A trace is line-oriented UTF-8 text. The **first line** is the
+//! version header; every following line is a record, a `#` comment, or
+//! blank:
 //!
 //! ```text
-//! # sm warp compute [R|W addr]
-//! 0 3 12 R 0x1f80
+//! ohm-trace v1
+//! # sm warp gap [R|W addr bytes]
+//! 0 3 12 R 0x1f80 128
 //! 0 3 7
-//! 1 0 0 W 0x44c0
+//! 1 0 0 W 0x44c0 128
+//! ```
+//!
+//! Each record is one warp slice: `gap` arithmetic instructions on lane
+//! (`sm`, `warp`), optionally closed by one memory access (`R`ead or
+//! `W`rite of `bytes` bytes at the hex address). The gap field is an
+//! instruction-count gap, not a wall-clock timestamp: replay timing is
+//! resolved by the simulator, so traces stay platform-independent.
+//! `docs/TRACE_FORMAT.md` holds the full grammar, the ordering and
+//! determinism guarantees, and the forward-compatibility rules.
+//!
+//! Parsing is **streaming**: [`TraceReader`] yields one record at a
+//! time from any [`io::BufRead`] and never materialises the trace, so
+//! multi-gigabyte traces replay in bounded memory. Malformed input
+//! surfaces as a typed [`TraceError`], never a panic.
+//!
+//! # Example: record, then replay
+//!
+//! ```
+//! use ohm_workloads::trace::{TraceRecorder, TraceReplay};
+//! use ohm_workloads::{workload_by_name, KernelWorkload};
+//! use ohm_sm::InstructionStream;
+//!
+//! // Record a small synthetic kernel into an in-memory trace.
+//! let spec = workload_by_name("lud").unwrap();
+//! let kernel = KernelWorkload::new(spec, 1, 2, 300, 7);
+//! let (mut rec, handle) = TraceRecorder::new(kernel, Vec::new(), 128).unwrap();
+//! let mut slices = Vec::new();
+//! for w in [0usize, 1] {
+//!     while let Some(s) = rec.next_slice(0, w) {
+//!         slices.push((w, s));
+//!     }
+//! }
+//! drop(rec);
+//! let bytes = handle.finish().unwrap();
+//!
+//! // Replay reproduces the exact per-lane slice streams.
+//! let mut replay = TraceReplay::new(&bytes[..]).unwrap();
+//! for (w, s) in &slices {
+//!     assert_eq!(replay.next_slice(0, *w), Some(*s));
+//! }
+//! assert_eq!(replay.next_slice(0, 0), None);
 //! ```
 
+use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::fmt::Write as _;
+use std::io;
 use std::str::FromStr;
+use std::sync::{Arc, Mutex};
 
 use ohm_sim::Addr;
 use ohm_sm::{AccessKind, InstructionStream, WarpSlice};
 
-/// One recorded warp slice, tagged with its lane.
+/// The trace-format major version this crate reads and writes.
+pub const TRACE_VERSION: u32 = 1;
+
+/// The header line starting every trace of the current version.
+pub const TRACE_HEADER: &str = "ohm-trace v1";
+
+/// The memory access closing a [`TraceRecord`], if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceAccess {
+    /// Byte address of the access.
+    pub addr: u64,
+    /// Whether the access loads or stores.
+    pub kind: AccessKind,
+    /// Access size in bytes (the recording system's line granularity).
+    pub bytes: u32,
+}
+
+/// One recorded warp slice: a compute gap on a lane, optionally closed
+/// by a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// SM index of the issuing lane.
     pub sm: usize,
     /// Warp slot of the issuing lane.
     pub warp: usize,
-    /// The slice that was issued.
-    pub slice: WarpSlice,
+    /// Arithmetic instructions issued before the access (the
+    /// *timestamp-or-gap* field: an instruction-count gap, see the
+    /// module docs).
+    pub gap: u64,
+    /// The access closing the slice, if any.
+    pub access: Option<TraceAccess>,
 }
 
 impl TraceRecord {
-    fn to_line(self) -> String {
-        let mut s = String::new();
-        let _ = write!(s, "{} {} {}", self.sm, self.warp, self.slice.compute_insts);
-        if let Some((addr, kind)) = self.slice.access {
-            let k = if kind.is_load() { 'R' } else { 'W' };
-            let _ = write!(s, " {k} {:#x}", addr.get());
+    /// Captures a [`WarpSlice`] issued on lane (`sm`, `warp`);
+    /// `line_bytes` records the access granularity.
+    pub fn from_slice(sm: usize, warp: usize, slice: WarpSlice, line_bytes: u32) -> Self {
+        TraceRecord {
+            sm,
+            warp,
+            gap: slice.compute_insts,
+            access: slice.access.map(|(addr, kind)| TraceAccess {
+                addr: addr.get(),
+                kind,
+                bytes: line_bytes,
+            }),
         }
-        s
+    }
+
+    /// The slice this record replays to. The access size is metadata
+    /// (v1 replay issues one line-granular request per record; see
+    /// `docs/TRACE_FORMAT.md`).
+    pub fn slice(&self) -> WarpSlice {
+        WarpSlice {
+            compute_insts: self.gap,
+            access: self.access.map(|a| (Addr::new(a.addr), a.kind)),
+        }
+    }
+
+    /// Total instructions in the record (the access counts as one).
+    pub fn instructions(&self) -> u64 {
+        self.gap + u64::from(self.access.is_some())
+    }
+
+    fn write_line(&self, out: &mut impl io::Write) -> io::Result<()> {
+        match &self.access {
+            None => writeln!(out, "{} {} {}", self.sm, self.warp, self.gap),
+            Some(a) => {
+                let k = if a.kind.is_load() { 'R' } else { 'W' };
+                writeln!(
+                    out,
+                    "{} {} {} {k} {:#x} {}",
+                    self.sm, self.warp, self.gap, a.addr, a.bytes
+                )
+            }
+        }
     }
 }
 
-/// Parse error for the text trace format.
+/// A problem reading a trace: I/O, a bad or missing header, or a
+/// malformed record. Truncated or garbage input always surfaces here —
+/// the parser never panics.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseTraceError {
-    /// 1-based line number of the offending line.
-    pub line: usize,
-    /// What went wrong.
-    pub message: String,
+pub enum TraceError {
+    /// The underlying reader or writer failed.
+    Io(String),
+    /// The input does not start with an `ohm-trace` header line.
+    MissingHeader,
+    /// The header names a major version this parser does not read.
+    UnsupportedVersion {
+        /// The version token found in the header.
+        found: String,
+    },
+    /// A record line failed to parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
 }
 
-impl std::fmt::Display for ParseTraceError {
+impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "trace parse error at line {}: {}",
-            self.line, self.message
-        )
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::MissingHeader => {
+                write!(f, "missing trace header (expected `{TRACE_HEADER}`)")
+            }
+            TraceError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported trace version `{found}` (this parser reads v{TRACE_VERSION})"
+                )
+            }
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
     }
 }
 
-impl std::error::Error for ParseTraceError {}
+impl std::error::Error for TraceError {}
 
-/// An in-memory trace: an ordered list of [`TraceRecord`]s.
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e.to_string())
+    }
+}
+
+/// Streaming trace writer: emits the version header on construction,
+/// then one line per record.
+#[derive(Debug)]
+pub struct TraceWriter<W: io::Write> {
+    out: W,
+}
+
+impl<W: io::Write> TraceWriter<W> {
+    /// Wraps `out`, writing the `ohm-trace v1` header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer's I/O error.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        writeln!(out, "{TRACE_HEADER}")?;
+        Ok(TraceWriter { out })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer's I/O error.
+    pub fn record(&mut self, r: &TraceRecord) -> io::Result<()> {
+        r.write_line(&mut self.out)
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer's I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming trace parser: an iterator of records over any buffered
+/// reader. Validates the version header eagerly; yields records one at
+/// a time without ever materialising the trace. After the first error
+/// (or end of input) the iterator is fused.
+///
+/// # Example
+///
+/// ```
+/// use ohm_workloads::trace::TraceReader;
+///
+/// let text = "ohm-trace v1\n# a comment\n0 0 5 R 0x100 128\n0 0 3\n";
+/// let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+/// let first = reader.next().unwrap().unwrap();
+/// assert_eq!(first.gap, 5);
+/// assert_eq!(first.access.unwrap().bytes, 128);
+/// assert_eq!(reader.next().unwrap().unwrap().access, None);
+/// assert!(reader.next().is_none());
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R: io::BufRead> {
+    input: R,
+    /// 1-based number of the last line read.
+    line: usize,
+    /// Set once EOF or an error was yielded; the iterator is fused.
+    done: bool,
+    buf: String,
+}
+
+impl<R: io::BufRead> TraceReader<R> {
+    /// Wraps `input` and validates the version header (the first line).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::MissingHeader`] when the first line is not an
+    /// `ohm-trace` header (or the input is empty), and
+    /// [`TraceError::UnsupportedVersion`] when it names a major version
+    /// other than `v1`. Trailing tokens on the header line are reserved
+    /// for future minor revisions and ignored.
+    pub fn new(input: R) -> Result<Self, TraceError> {
+        let mut reader = TraceReader {
+            input,
+            line: 0,
+            done: false,
+            buf: String::new(),
+        };
+        let Some(header) = reader.next_line()? else {
+            return Err(TraceError::MissingHeader);
+        };
+        let mut tokens = header.split_whitespace();
+        if tokens.next() != Some("ohm-trace") {
+            return Err(TraceError::MissingHeader);
+        }
+        match tokens.next() {
+            Some(v) if v == format!("v{TRACE_VERSION}") => {}
+            Some(v) => {
+                return Err(TraceError::UnsupportedVersion {
+                    found: v.to_string(),
+                })
+            }
+            None => {
+                return Err(TraceError::UnsupportedVersion {
+                    found: "(none)".to_string(),
+                })
+            }
+        }
+        // Remaining header tokens: reserved, ignored (forward compat).
+        Ok(reader)
+    }
+
+    /// Reads the next raw line, returning `None` at EOF.
+    fn next_line(&mut self) -> Result<Option<&str>, TraceError> {
+        self.buf.clear();
+        let n = self.input.read_line(&mut self.buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.line += 1;
+        Ok(Some(self.buf.trim_end_matches(['\n', '\r'])))
+    }
+
+    fn parse_record(line_no: usize, content: &str) -> Result<TraceRecord, TraceError> {
+        let err = |message: String| TraceError::Parse {
+            line: line_no,
+            message,
+        };
+        let mut parts = content.split_whitespace();
+        let sm: usize = parts
+            .next()
+            .ok_or_else(|| err("missing sm".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad sm: {e}")))?;
+        let warp: usize = parts
+            .next()
+            .ok_or_else(|| err("missing warp".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad warp: {e}")))?;
+        let gap: u64 = parts
+            .next()
+            .ok_or_else(|| err("missing gap".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad gap: {e}")))?;
+        let access = match parts.next() {
+            None => None,
+            Some(k) => {
+                let kind = match k {
+                    "R" | "r" => AccessKind::Load,
+                    "W" | "w" => AccessKind::Store,
+                    other => return Err(err(format!("bad access kind: {other}"))),
+                };
+                let addr_str = parts.next().ok_or_else(|| err("missing address".into()))?;
+                let digits = addr_str
+                    .strip_prefix("0x")
+                    .or_else(|| addr_str.strip_prefix("0X"))
+                    .unwrap_or(addr_str);
+                let addr = u64::from_str_radix(digits, 16)
+                    .map_err(|e| err(format!("bad address: {e}")))?;
+                let bytes: u32 = parts
+                    .next()
+                    .ok_or_else(|| err("missing access size".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("bad access size: {e}")))?;
+                if bytes == 0 {
+                    return Err(err("access size must be positive".into()));
+                }
+                Some(TraceAccess { addr, kind, bytes })
+            }
+        };
+        if parts.next().is_some() {
+            return Err(err("trailing tokens".into()));
+        }
+        Ok(TraceRecord {
+            sm,
+            warp,
+            gap,
+            access,
+        })
+    }
+}
+
+impl<R: io::BufRead> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let line_no = self.line + 1;
+            match self.next_line() {
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Ok(None) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(Some(raw)) => {
+                    let content = raw.split('#').next().unwrap_or("").trim();
+                    if content.is_empty() {
+                        continue;
+                    }
+                    let parsed = Self::parse_record(line_no, content);
+                    if parsed.is_err() {
+                        self.done = true;
+                    }
+                    return Some(parsed);
+                }
+            }
+        }
+    }
+}
+
+/// An in-memory trace: an ordered list of [`TraceRecord`]s. Convenient
+/// for tests and small captures; large traces should stream through
+/// [`TraceReader`] / [`TraceWriter`] instead.
 ///
 /// # Example
 ///
 /// ```
 /// use ohm_workloads::trace::Trace;
 ///
-/// let text = "0 0 5 R 0x100\n0 0 3\n";
+/// let text = "ohm-trace v1\n0 0 5 R 0x100 128\n0 0 3\n";
 /// let trace: Trace = text.parse()?;
 /// assert_eq!(trace.len(), 2);
-/// assert_eq!(trace.to_text().lines().count(), 2);
-/// # Ok::<(), ohm_workloads::trace::ParseTraceError>(())
+/// assert_eq!(trace.to_text(), text);
+/// # Ok::<(), ohm_workloads::trace::TraceError>(())
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
@@ -114,164 +464,248 @@ impl Trace {
         &self.records
     }
 
-    /// Serialises to the line-oriented text format.
+    /// Serialises to the versioned text format (header included).
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
+        let mut writer = TraceWriter::new(Vec::new()).expect("Vec<u8> writes are infallible");
         for r in &self.records {
-            out.push_str(&r.to_line());
-            out.push('\n');
+            writer.record(r).expect("Vec<u8> writes are infallible");
         }
-        out
+        String::from_utf8(writer.finish().expect("Vec<u8> flush is infallible"))
+            .expect("trace text is ASCII")
     }
 
     /// Total instructions in the trace.
     pub fn instructions(&self) -> u64 {
-        self.records.iter().map(|r| r.slice.instructions()).sum()
+        self.records.iter().map(|r| r.instructions()).sum()
     }
 
     /// Total memory accesses in the trace.
     pub fn accesses(&self) -> u64 {
-        self.records
-            .iter()
-            .filter(|r| r.slice.access.is_some())
-            .count() as u64
+        self.records.iter().filter(|r| r.access.is_some()).count() as u64
     }
 }
 
 impl FromStr for Trace {
-    type Err = ParseTraceError;
+    type Err = TraceError;
 
     fn from_str(text: &str) -> Result<Self, Self::Err> {
-        let mut records = Vec::new();
-        for (i, raw) in text.lines().enumerate() {
-            let line = i + 1;
-            let content = raw.split('#').next().unwrap_or("").trim();
-            if content.is_empty() {
-                continue;
-            }
-            let mut parts = content.split_whitespace();
-            let err = |message: String| ParseTraceError { line, message };
-            let sm: usize = parts
-                .next()
-                .ok_or_else(|| err("missing sm".into()))?
-                .parse()
-                .map_err(|e| err(format!("bad sm: {e}")))?;
-            let warp: usize = parts
-                .next()
-                .ok_or_else(|| err("missing warp".into()))?
-                .parse()
-                .map_err(|e| err(format!("bad warp: {e}")))?;
-            let compute: u64 = parts
-                .next()
-                .ok_or_else(|| err("missing compute count".into()))?
-                .parse()
-                .map_err(|e| err(format!("bad compute count: {e}")))?;
-            let access = match parts.next() {
-                None => None,
-                Some(k) => {
-                    let kind = match k {
-                        "R" | "r" => AccessKind::Load,
-                        "W" | "w" => AccessKind::Store,
-                        other => return Err(err(format!("bad access kind: {other}"))),
-                    };
-                    let addr_str = parts.next().ok_or_else(|| err("missing address".into()))?;
-                    let digits = addr_str.trim_start_matches("0x").trim_start_matches("0X");
-                    let addr = u64::from_str_radix(digits, 16)
-                        .map_err(|e| err(format!("bad address: {e}")))?;
-                    Some((Addr::new(addr), kind))
-                }
-            };
-            if parts.next().is_some() {
-                return Err(err("trailing tokens".into()));
-            }
-            records.push(TraceRecord {
-                sm,
-                warp,
-                slice: WarpSlice {
-                    compute_insts: compute,
-                    access,
-                },
-            });
-        }
-        Ok(Trace { records })
+        let reader = TraceReader::new(text.as_bytes())?;
+        let records: Result<Vec<_>, _> = reader.collect();
+        Ok(Trace { records: records? })
     }
 }
 
-/// Wraps an [`InstructionStream`], recording every slice it produces.
+/// Shared state between a [`TraceRecorder`] and its [`RecorderHandle`].
+#[derive(Debug)]
+struct RecorderSink<W: io::Write> {
+    writer: TraceWriter<W>,
+    /// First write error, if any — surfaced by [`RecorderHandle::finish`].
+    error: Option<String>,
+}
+
+/// Wraps an [`InstructionStream`], streaming every slice it produces to
+/// a [`TraceWriter`] as it is issued. The wrapped stream's slices are
+/// passed through untouched, so a recorded run is bit-identical to an
+/// unrecorded one.
+///
+/// The writer lives behind a shared [`RecorderHandle`] because the
+/// recorder itself is typically consumed by the simulator (as a
+/// `Box<dyn InstructionStream>`); once the run is over and the recorder
+/// dropped, [`RecorderHandle::finish`] returns the writer and surfaces
+/// any I/O error that occurred mid-run.
+#[derive(Debug)]
+pub struct TraceRecorder<S, W: io::Write> {
+    inner: S,
+    sink: Arc<Mutex<RecorderSink<W>>>,
+    line_bytes: u32,
+}
+
+impl<S: InstructionStream, W: io::Write> TraceRecorder<S, W> {
+    /// Wraps `inner`, writing the trace header to `out` immediately;
+    /// `line_bytes` is recorded as each access's size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the header write's I/O error.
+    pub fn new(inner: S, out: W, line_bytes: u32) -> io::Result<(Self, RecorderHandle<W>)> {
+        let sink = Arc::new(Mutex::new(RecorderSink {
+            writer: TraceWriter::new(out)?,
+            error: None,
+        }));
+        let handle = RecorderHandle(Arc::clone(&sink));
+        Ok((
+            TraceRecorder {
+                inner,
+                sink,
+                line_bytes,
+            },
+            handle,
+        ))
+    }
+}
+
+impl<S: InstructionStream, W: io::Write> InstructionStream for TraceRecorder<S, W> {
+    fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
+        let slice = self.inner.next_slice(sm, warp)?;
+        let mut sink = self.sink.lock().expect("recorder sink poisoned");
+        if sink.error.is_none() {
+            let rec = TraceRecord::from_slice(sm, warp, slice, self.line_bytes);
+            if let Err(e) = sink.writer.record(&rec) {
+                sink.error = Some(e.to_string());
+            }
+        }
+        Some(slice)
+    }
+
+    fn phase_names(&self) -> Vec<String> {
+        self.inner.phase_names()
+    }
+
+    fn last_phase(&self, sm: usize, warp: usize) -> usize {
+        self.inner.last_phase(sm, warp)
+    }
+}
+
+/// The capture side of a [`TraceRecorder`]: finishes the trace after
+/// the recorder (and the system that consumed it) has been dropped.
+#[derive(Debug)]
+pub struct RecorderHandle<W: io::Write>(Arc<Mutex<RecorderSink<W>>>);
+
+impl<W: io::Write> RecorderHandle<W> {
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] when a record failed to write mid-run, when
+    /// the final flush fails, or when the recorder is still alive.
+    pub fn finish(self) -> Result<W, TraceError> {
+        let sink = Arc::try_unwrap(self.0)
+            .map_err(|_| TraceError::Io("trace recorder still in use".into()))?
+            .into_inner()
+            .expect("recorder sink poisoned");
+        if let Some(e) = sink.error {
+            return Err(TraceError::Io(e));
+        }
+        Ok(sink.writer.finish()?)
+    }
+}
+
+/// Shared error slot between a [`TraceReplay`] and its
+/// [`ReplayErrorHandle`].
+type ErrorSlot = Arc<Mutex<Option<TraceError>>>;
+
+/// The error side of a [`TraceReplay`]: a malformed record encountered
+/// *mid-replay* cannot surface through [`InstructionStream::next_slice`]
+/// (the lane just drains), so it is parked here for the driver to check
+/// after the run. [`crate::trace::TraceReplay::new`] still reports
+/// header problems eagerly.
+#[derive(Debug, Clone)]
+pub struct ReplayErrorHandle(ErrorSlot);
+
+impl ReplayErrorHandle {
+    /// Returns the parked error, if the replay hit one.
+    pub fn take(&self) -> Option<TraceError> {
+        self.0.lock().expect("replay error slot poisoned").take()
+    }
+}
+
+/// Replays a trace as an [`InstructionStream`], streaming records from
+/// the reader on demand: each lane consumes its own records in recorded
+/// order, and records for other lanes are buffered only until their
+/// lane catches up — the whole trace is never materialised.
 ///
 /// # Example
 ///
 /// ```
-/// use ohm_workloads::trace::TraceRecorder;
-/// use ohm_workloads::{workload_by_name, KernelWorkload};
+/// use ohm_workloads::trace::TraceReplay;
 /// use ohm_sm::InstructionStream;
 ///
-/// let spec = workload_by_name("lud").unwrap();
-/// let mut rec = TraceRecorder::new(KernelWorkload::new(spec, 1, 1, 200, 1));
-/// while rec.next_slice(0, 0).is_some() {}
-/// assert!(rec.trace().len() > 0);
+/// let text = "ohm-trace v1\n0 0 5 R 0x100 128\n0 1 3\n";
+/// let mut replay = TraceReplay::new(text.as_bytes()).unwrap();
+/// assert_eq!(replay.next_slice(0, 1).unwrap().compute_insts, 3);
+/// assert_eq!(replay.next_slice(0, 0).unwrap().compute_insts, 5);
+/// assert_eq!(replay.next_slice(0, 0), None);
 /// ```
-#[derive(Debug, Clone)]
-pub struct TraceRecorder<S> {
-    inner: S,
-    trace: Trace,
+#[derive(Debug)]
+pub struct TraceReplay<R: io::BufRead> {
+    reader: Option<TraceReader<R>>,
+    lanes: HashMap<(usize, usize), VecDeque<WarpSlice>>,
+    error: ErrorSlot,
 }
 
-impl<S: InstructionStream> TraceRecorder<S> {
-    /// Wraps `inner`, starting with an empty trace.
-    pub fn new(inner: S) -> Self {
-        TraceRecorder {
-            inner,
-            trace: Trace::new(),
-        }
+impl<R: io::BufRead> TraceReplay<R> {
+    /// Builds a replayer over a buffered reader, validating the trace
+    /// header eagerly.
+    ///
+    /// # Errors
+    ///
+    /// The header errors of [`TraceReader::new`].
+    pub fn new(reader: R) -> Result<Self, TraceError> {
+        Ok(TraceReplay {
+            reader: Some(TraceReader::new(reader)?),
+            lanes: HashMap::new(),
+            error: Arc::new(Mutex::new(None)),
+        })
     }
 
-    /// The trace captured so far.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// A handle that surfaces any parse error hit mid-replay.
+    pub fn error_handle(&self) -> ReplayErrorHandle {
+        ReplayErrorHandle(Arc::clone(&self.error))
     }
 
-    /// Consumes the recorder, returning the captured trace.
-    pub fn into_trace(self) -> Trace {
-        self.trace
-    }
-}
-
-impl<S: InstructionStream> InstructionStream for TraceRecorder<S> {
-    fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
-        let slice = self.inner.next_slice(sm, warp)?;
-        self.trace.push(TraceRecord { sm, warp, slice });
-        Some(slice)
-    }
-}
-
-/// Replays a [`Trace`] as an [`InstructionStream`]: each lane consumes its
-/// own records in recorded order.
-#[derive(Debug, Clone)]
-pub struct TraceWorkload {
-    lanes: std::collections::HashMap<(usize, usize), VecDeque<WarpSlice>>,
-}
-
-impl TraceWorkload {
-    /// Builds a replayer from a trace.
-    pub fn new(trace: &Trace) -> Self {
-        let mut lanes: std::collections::HashMap<(usize, usize), VecDeque<WarpSlice>> =
-            std::collections::HashMap::new();
-        for r in trace.records() {
-            lanes.entry((r.sm, r.warp)).or_default().push_back(r.slice);
-        }
-        TraceWorkload { lanes }
-    }
-
-    /// Slices remaining across all lanes.
-    pub fn remaining(&self) -> usize {
+    /// Slices currently buffered for lanes that have not consumed them
+    /// yet (a bounded working set, not the trace length).
+    pub fn buffered(&self) -> usize {
         self.lanes.values().map(|q| q.len()).sum()
     }
 }
 
-impl InstructionStream for TraceWorkload {
+impl Trace {
+    /// A replayer over this in-memory trace.
+    pub fn replay(&self) -> TraceReplay<&[u8]> {
+        let mut lanes: HashMap<(usize, usize), VecDeque<WarpSlice>> = HashMap::new();
+        for r in &self.records {
+            lanes
+                .entry((r.sm, r.warp))
+                .or_default()
+                .push_back(r.slice());
+        }
+        TraceReplay {
+            reader: None,
+            lanes,
+            error: Arc::new(Mutex::new(None)),
+        }
+    }
+}
+
+impl<R: io::BufRead> InstructionStream for TraceReplay<R> {
     fn next_slice(&mut self, sm: usize, warp: usize) -> Option<WarpSlice> {
-        self.lanes.get_mut(&(sm, warp))?.pop_front()
+        loop {
+            if let Some(s) = self
+                .lanes
+                .get_mut(&(sm, warp))
+                .and_then(VecDeque::pop_front)
+            {
+                return Some(s);
+            }
+            match self.reader.as_mut()?.next() {
+                Some(Ok(rec)) => {
+                    self.lanes
+                        .entry((rec.sm, rec.warp))
+                        .or_default()
+                        .push_back(rec.slice());
+                }
+                Some(Err(e)) => {
+                    *self.error.lock().expect("replay error slot poisoned") = Some(e);
+                    self.reader = None;
+                    return None;
+                }
+                None => {
+                    self.reader = None;
+                    return None;
+                }
+            }
+        }
     }
 }
 
@@ -283,35 +717,85 @@ mod tests {
 
     #[test]
     fn text_roundtrip() {
-        let text = "# header comment\n0 0 5 R 0x100\n0 0 3\n1 2 0 W 0x44c0\n";
+        let text = "ohm-trace v1\n# header comment\n0 0 5 R 0x100 128\n0 0 3\n1 2 0 W 0x44c0 64\n";
         let trace: Trace = text.parse().unwrap();
         assert_eq!(trace.len(), 3);
         assert_eq!(trace.instructions(), 5 + 1 + 3 + 1);
         assert_eq!(trace.accesses(), 2);
+        assert_eq!(trace.records()[2].access.unwrap().bytes, 64);
         let reparsed: Trace = trace.to_text().parse().unwrap();
         assert_eq!(reparsed, trace);
     }
 
     #[test]
+    fn header_is_required_and_versioned() {
+        // No header at all.
+        assert_eq!(
+            "0 0 5 R 0x100 128\n".parse::<Trace>().unwrap_err(),
+            TraceError::MissingHeader
+        );
+        assert_eq!("".parse::<Trace>().unwrap_err(), TraceError::MissingHeader);
+        // A future major version is rejected, not misparsed.
+        let e = "ohm-trace v2\n0 0 5\n".parse::<Trace>().unwrap_err();
+        assert_eq!(e, TraceError::UnsupportedVersion { found: "v2".into() });
+        // A version-less header is rejected.
+        assert!(matches!(
+            "ohm-trace\n".parse::<Trace>().unwrap_err(),
+            TraceError::UnsupportedVersion { .. }
+        ));
+        // Trailing header tokens are reserved and ignored.
+        let t: Trace = "ohm-trace v1 future=field\n0 0 5\n".parse().unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
     fn parse_errors_carry_line_numbers() {
-        let e = "0 0 5 R 0x100\n0 bad 3\n".parse::<Trace>().unwrap_err();
-        assert_eq!(e.line, 2);
-        assert!(e.message.contains("warp"));
-        let e = "0 0 5 X 0x100\n".parse::<Trace>().unwrap_err();
-        assert!(e.message.contains("access kind"));
-        let e = "0 0 5 R\n".parse::<Trace>().unwrap_err();
-        assert!(e.message.contains("address"));
-        let e = "0 0 5 R 0x100 junk\n".parse::<Trace>().unwrap_err();
-        assert!(e.message.contains("trailing"));
+        let parse = |s: &str| format!("{TRACE_HEADER}\n{s}").parse::<Trace>();
+        let e = parse("0 0 5 R 0x100 128\n0 bad 3\n").unwrap_err();
+        assert_eq!(
+            e,
+            TraceError::Parse {
+                line: 3,
+                message: "bad warp: invalid digit found in string".into()
+            }
+        );
+        for (input, needle) in [
+            ("0 0 5 X 0x100 128\n", "access kind"),
+            ("0 0 5 R\n", "address"),
+            ("0 0 5 R 0xzz 128\n", "bad address"),
+            ("0 0 5 R 0x100\n", "access size"),
+            ("0 0 5 R 0x100 0\n", "positive"),
+            ("0 0 5 R 0x100 128 junk\n", "trailing"),
+            ("0 0\n", "missing gap"),
+            ("0\n", "missing warp"),
+        ] {
+            let e = parse(input).unwrap_err();
+            let TraceError::Parse { message, .. } = &e else {
+                panic!("{input:?}: expected parse error, got {e:?}");
+            };
+            assert!(message.contains(needle), "{input:?}: {message}");
+        }
+    }
+
+    #[test]
+    fn reader_streams_and_fuses_after_error() {
+        let text = format!("{TRACE_HEADER}\n0 0 1\n0 0 garbage\n0 0 2\n");
+        let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().unwrap().is_err());
+        // Fused: the valid record after the error is not yielded.
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none());
     }
 
     #[test]
     fn record_then_replay_is_identical() {
         let spec = workload_by_name("bfsdata").unwrap();
-        let mut rec = TraceRecorder::new(KernelWorkload::new(spec, 2, 2, 500, 3));
+        let (mut rec, handle) =
+            TraceRecorder::new(KernelWorkload::new(spec, 2, 2, 500, 3), Vec::new(), 128).unwrap();
         // Interleave lanes the way the simulator would.
         let mut live = Vec::new();
-        'outer: loop {
+        loop {
             let mut all_done = true;
             for sm in 0..2 {
                 for w in 0..2 {
@@ -322,37 +806,72 @@ mod tests {
                 }
             }
             if all_done {
-                break 'outer;
+                break;
             }
         }
-        let trace = rec.into_trace();
-        let mut replay = TraceWorkload::new(&trace);
+        drop(rec);
+        let bytes = handle.finish().unwrap();
+        let mut replay = TraceReplay::new(&bytes[..]).unwrap();
         for &(sm, w, s) in &live {
             assert_eq!(replay.next_slice(sm, w), Some(s));
         }
-        assert_eq!(replay.remaining(), 0);
+        assert_eq!(replay.buffered(), 0);
         assert_eq!(replay.next_slice(0, 0), None);
+        assert!(replay.error_handle().take().is_none());
     }
 
     #[test]
-    fn replay_through_serialisation() {
+    fn replay_buffers_only_until_lanes_catch_up() {
+        // Records alternate lanes; draining lane 1 first buffers lane
+        // 0's records, which are then consumed without re-reading.
+        let text = format!("{TRACE_HEADER}\n0 0 1\n0 1 2\n0 0 3\n0 1 4\n");
+        let mut replay = TraceReplay::new(text.as_bytes()).unwrap();
+        assert_eq!(replay.next_slice(0, 1).unwrap().compute_insts, 2);
+        assert_eq!(replay.buffered(), 1);
+        assert_eq!(replay.next_slice(0, 1).unwrap().compute_insts, 4);
+        assert_eq!(replay.buffered(), 2);
+        assert_eq!(replay.next_slice(0, 0).unwrap().compute_insts, 1);
+        assert_eq!(replay.next_slice(0, 0).unwrap().compute_insts, 3);
+        assert_eq!(replay.buffered(), 0);
+    }
+
+    #[test]
+    fn replay_surfaces_midstream_errors_through_the_handle() {
+        let text = format!("{TRACE_HEADER}\n0 0 1\ntruncated garbage\n");
+        let mut replay = TraceReplay::new(text.as_bytes()).unwrap();
+        let errs = replay.error_handle();
+        assert_eq!(replay.next_slice(0, 0).unwrap().compute_insts, 1);
+        assert!(errs.take().is_none(), "no error before the bad line");
+        assert_eq!(replay.next_slice(0, 0), None);
+        assert!(matches!(errs.take(), Some(TraceError::Parse { .. })));
+        // The error is taken once; afterwards the slot is empty.
+        assert!(errs.take().is_none());
+    }
+
+    #[test]
+    fn in_memory_replay_matches_streamed_replay() {
         let spec = workload_by_name("lud").unwrap();
-        let mut rec = TraceRecorder::new(KernelWorkload::new(spec, 1, 1, 300, 9));
-        use ohm_sm::InstructionStream as _;
+        let (mut rec, handle) =
+            TraceRecorder::new(KernelWorkload::new(spec, 1, 1, 300, 9), Vec::new(), 128).unwrap();
         while rec.next_slice(0, 0).is_some() {}
-        let trace = rec.into_trace();
-        let roundtripped: Trace = trace.to_text().parse().unwrap();
-        assert_eq!(roundtripped, trace);
-        let mut replay = TraceWorkload::new(&roundtripped);
-        assert_eq!(replay.remaining(), trace.len());
-        let first = replay.next_slice(0, 0).unwrap();
-        assert_eq!(first, trace.records()[0].slice);
+        drop(rec);
+        let bytes = handle.finish().unwrap();
+        let trace: Trace = std::str::from_utf8(&bytes).unwrap().parse().unwrap();
+        let mut from_memory = trace.replay();
+        let mut from_stream = TraceReplay::new(&bytes[..]).unwrap();
+        loop {
+            let (a, b) = (from_memory.next_slice(0, 0), from_stream.next_slice(0, 0));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]
     fn unknown_lane_is_exhausted() {
-        let trace: Trace = "0 0 1\n".parse().unwrap();
-        let mut replay = TraceWorkload::new(&trace);
+        let text = format!("{TRACE_HEADER}\n0 0 1\n");
+        let mut replay = TraceReplay::new(text.as_bytes()).unwrap();
         assert_eq!(replay.next_slice(5, 5), None);
     }
 }
