@@ -9,7 +9,18 @@
 //! ```text
 //! perf_baseline [--smoke] [--reps N] [--out PATH] [--no-compare]
 //!               [--footprint LIST] [--cell-threads LIST]
+//!               [--checkpoint PATH]
 //! ```
+//!
+//! `--checkpoint PATH` runs the measured grid through the durable-sweep
+//! journal (DESIGN.md §3.10): completed cells are appended to `PATH`, a
+//! re-run resumes from it, and the run is fault-isolated so a broken
+//! cell quarantines instead of aborting. Forces `--reps 1` — a resumed
+//! repetition replays from the journal in ~zero wall time, which would
+//! corrupt a best-of-reps measurement. The CI chaos job SIGKILLs a
+//! checkpointed smoke run partway, resumes it, and compares the
+//! `grid_digest:` lines (printed on every run) to pin the
+//! resume-bit-identity guarantee.
 //!
 //! Cells run serially (the grid runner's `threads = 1`) so per-cell wall
 //! clocks are not polluted by core contention; each cell keeps the best
@@ -47,7 +58,7 @@ use std::time::Duration;
 
 use ohm_core::config::SystemConfig;
 use ohm_core::json::escape_json;
-use ohm_core::runner::{self, CellProfile, GridRun};
+use ohm_core::runner::{self, CellOutcome, CellProfile, GridRun};
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 use ohm_workloads::{all_workloads, WorkloadSpec};
@@ -85,12 +96,15 @@ struct Args {
     footprints: Vec<u64>,
     /// Intra-cell worker counts to sweep (ascending); empty to skip.
     cell_threads: Vec<usize>,
+    /// Durable-sweep journal for the measured grid; `None` runs plain.
+    checkpoint: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [--smoke] [--reps N] [--out PATH] [--no-compare] \
-         [--footprint LIST] [--cell-threads LIST]  (LIST e.g. 256M,1G,16G / 1,2,4)"
+         [--footprint LIST] [--cell-threads LIST] [--checkpoint PATH]  \
+         (LIST e.g. 256M,1G,16G / 1,2,4)"
     );
     std::process::exit(2);
 }
@@ -142,6 +156,7 @@ fn parse_args() -> Args {
         compare: true,
         footprints: Vec::new(),
         cell_threads: Vec::new(),
+        checkpoint: None,
     };
     let mut explicit_footprints = false;
     let mut explicit_cell_threads = false;
@@ -172,10 +187,18 @@ fn parse_args() -> Args {
                 }
                 None => usage(),
             },
+            "--checkpoint" => match it.next() {
+                Some(p) => args.checkpoint = Some(p),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
     if args.smoke {
+        args.reps = 1;
+    }
+    if args.checkpoint.is_some() && args.reps != 1 {
+        eprintln!("perf_baseline: --checkpoint forces --reps 1 (resumed reps replay for free)");
         args.reps = 1;
     }
     if !args.smoke && !explicit_footprints {
@@ -227,14 +250,56 @@ struct Cell {
     events_per_sec: f64,
 }
 
-fn measure(platforms: &[Platform], specs: &[WorkloadSpec], reps: usize) -> Vec<Cell> {
+/// Durable-execution summary of the measured grid: the content digest
+/// (the resume-bit-identity golden value) and the per-outcome counts
+/// the CI chaos job asserts on.
+struct GridSummary {
+    digest: u64,
+    completed: usize,
+    cached: usize,
+    quarantined: usize,
+    timed_out: usize,
+}
+
+impl GridSummary {
+    fn of(result: &ohm_core::runner::GridResult) -> Self {
+        let mut s = GridSummary {
+            digest: result.digest(),
+            completed: 0,
+            cached: 0,
+            quarantined: 0,
+            timed_out: 0,
+        };
+        for o in &result.outcomes {
+            match o {
+                CellOutcome::Completed => s.completed += 1,
+                CellOutcome::Cached => s.cached += 1,
+                CellOutcome::Quarantined(_) => s.quarantined += 1,
+                CellOutcome::TimedOut(_) => s.timed_out += 1,
+            }
+        }
+        s
+    }
+}
+
+fn measure(
+    platforms: &[Platform],
+    specs: &[WorkloadSpec],
+    reps: usize,
+    checkpoint: Option<&str>,
+) -> (Vec<Cell>, GridSummary) {
     let cfg = SystemConfig::quick_test();
     let mut best: Vec<Option<CellProfile>> = vec![None; platforms.len() * specs.len()];
+    let mut summary = None;
     for rep in 0..reps {
-        let result =
-            GridRun::serial()
-                .profile(true)
-                .run(&cfg, platforms, OperationalMode::Planar, specs);
+        let mut run = GridRun::serial().profile(true);
+        if let Some(path) = checkpoint {
+            // Isolated so a broken cell is quarantined and reported in
+            // the outcome counts instead of aborting the durability run.
+            run = run.checkpoint(path).isolate(true);
+        }
+        let result = run.run(&cfg, platforms, OperationalMode::Planar, specs);
+        summary = Some(GridSummary::of(&result));
         let profiles = result.profiles.expect("profiling was requested");
         for (slot, p) in best.iter_mut().zip(profiles) {
             let faster = slot.as_ref().is_none_or(|b| p.wall < b.wall);
@@ -244,7 +309,8 @@ fn measure(platforms: &[Platform], specs: &[WorkloadSpec], reps: usize) -> Vec<C
         }
         eprintln!("rep {}/{} done", rep + 1, reps);
     }
-    best.into_iter()
+    let cells = best
+        .into_iter()
         .map(|p| {
             let p = p.expect("every cell measured");
             let events = (p.events_per_sec * p.wall.as_secs_f64()).round() as u64;
@@ -256,7 +322,8 @@ fn measure(platforms: &[Platform], specs: &[WorkloadSpec], reps: usize) -> Vec<C
                 events_per_sec: p.events_per_sec,
             }
         })
-        .collect()
+        .collect();
+    (cells, summary.expect("at least one rep"))
 }
 
 /// One measured footprint-sweep point.
@@ -610,7 +677,7 @@ fn main() {
         if args.smoke { " (smoke)" } else { "" }
     );
 
-    let cells = measure(&platforms, &specs, args.reps);
+    let (cells, summary) = measure(&platforms, &specs, args.reps, args.checkpoint.as_deref());
     let rates: Vec<f64> = cells.iter().map(|c| c.events_per_sec).collect();
     let geomean = runner::geomean(&rates);
 
@@ -629,6 +696,13 @@ fn main() {
         );
     }
     println!("geomean events/sec: {geomean:.0}");
+    // The resume-bit-identity golden value and the outcome tally — the
+    // CI chaos job greps both lines, so keep their shape stable.
+    println!("grid_digest: {:016x}", summary.digest);
+    println!(
+        "grid_cells: {} completed, {} cached, {} quarantined, {} timed-out",
+        summary.completed, summary.cached, summary.quarantined, summary.timed_out
+    );
 
     if args.compare {
         if let Ok(prev) = std::fs::read_to_string(&args.out) {

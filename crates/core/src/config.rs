@@ -420,6 +420,22 @@ impl SystemConfig {
         Ok(())
     }
 
+    /// The canonical content form of this configuration — the string
+    /// the checkpoint journal hashes cells by (see
+    /// [`crate::checkpoint::cell_key`]).
+    ///
+    /// This is the complete derived `Debug` rendering: every field of
+    /// every nested config appears (none of the config types hold maps
+    /// or other order-unstable containers, so the rendering is
+    /// deterministic), and any structural change to the configuration —
+    /// a new field, a renamed knob — changes the canonical form. That
+    /// is the conservative property a result cache needs: a config
+    /// whose meaning may have shifted between builds re-simulates
+    /// instead of replaying a stale record.
+    pub fn canonical(&self) -> String {
+        format!("{self:?}")
+    }
+
     /// Starts a [`SystemConfigBuilder`] from the Table I defaults.
     pub fn builder() -> SystemConfigBuilder {
         SystemConfig::default().to_builder()

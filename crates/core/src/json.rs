@@ -35,37 +35,53 @@ pub fn escape_json(s: &str) -> String {
     out
 }
 
+/// Undoes [`escape_json`]: decodes the escapes the encoder can produce
+/// (plus the full `\uXXXX` form) back to the original string.
+///
+/// Returns `None` on a malformed escape — a lone trailing backslash, an
+/// unknown escape character, or a `\u` sequence that is not four hex
+/// digits naming a valid scalar. The checkpoint journal uses this to
+/// decode string fields of a record, so a corrupt-but-CRC-valid record
+/// is reported as malformed instead of silently mis-decoded.
+pub fn unescape_json(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'b' => out.push('\u{08}'),
+            'f' => out.push('\u{0c}'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Undoes [`escape_json`] for the round-trip test below; only the
-    /// escapes the encoder can produce need decoding.
+    /// [`unescape_json`], asserting well-formedness (the round-trip
+    /// tests below only feed it encoder output).
     fn unescape(s: &str) -> String {
-        let mut out = String::new();
-        let mut chars = s.chars();
-        while let Some(c) = chars.next() {
-            if c != '\\' {
-                out.push(c);
-                continue;
-            }
-            match chars.next() {
-                Some('"') => out.push('"'),
-                Some('\\') => out.push('\\'),
-                Some('n') => out.push('\n'),
-                Some('r') => out.push('\r'),
-                Some('t') => out.push('\t'),
-                Some('b') => out.push('\u{08}'),
-                Some('f') => out.push('\u{0c}'),
-                Some('u') => {
-                    let hex: String = chars.by_ref().take(4).collect();
-                    let code = u32::from_str_radix(&hex, 16).expect("valid \\u escape");
-                    out.push(char::from_u32(code).expect("valid scalar"));
-                }
-                other => panic!("unexpected escape: {other:?}"),
-            }
-        }
-        out
+        unescape_json(s).expect("encoder output is well-formed")
     }
 
     #[test]
@@ -99,5 +115,18 @@ mod tests {
         let mut out = String::from("prefix:");
         escape_json_into(&mut out, "a\"b");
         assert_eq!(out, "prefix:a\\\"b");
+    }
+
+    #[test]
+    fn unescape_rejects_malformed_escapes() {
+        assert_eq!(unescape_json("trailing\\"), None);
+        assert_eq!(unescape_json("bad \\x escape"), None);
+        assert_eq!(unescape_json("\\u12"), None);
+        assert_eq!(unescape_json("\\uzzzz"), None);
+        // Surrogate code points are not valid scalars.
+        assert_eq!(unescape_json("\\ud800"), None);
+        // The solidus escape is legal JSON even though the encoder
+        // never emits it.
+        assert_eq!(unescape_json("a\\/b").as_deref(), Some("a/b"));
     }
 }

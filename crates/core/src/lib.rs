@@ -20,6 +20,9 @@
 //!   cost-performance analysis of Figure 21.
 //! * [`runner`] — convenience helpers that sweep platforms × workloads
 //!   and produce the rows printed by the figure harnesses.
+//! * [`checkpoint`] — the durable-sweep substrate: an append-only,
+//!   CRC-checked journal of per-cell results keyed by config content
+//!   hash, behind [`runner::GridRun::checkpoint`].
 //! * [`sweep`] — single-knob parameter sweeps (the ablation harnesses'
 //!   backbone).
 //! * [`par`] — the deterministic scoped-thread fan-out behind the
@@ -47,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod cost;
 pub mod energy;
@@ -60,6 +64,7 @@ pub mod sweep;
 pub mod system;
 mod trace;
 
+pub use checkpoint::{Journal, JournalError};
 pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use fault::{FaultCounters, FaultPlan, LifecyclePlan, RecoveryEvent};
 pub use metrics::{FaultReport, PhaseRow, PhaseStageRow, PhaseSummary, SimReport, WearReport};

@@ -6,16 +6,24 @@
 //! those grids — an options struct selecting worker count, per-cell
 //! wall-clock profiling and stderr progress.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
+use ohm_sim::{ExponentialBackoff, Ps};
 use ohm_workloads::trace::{TraceError, TraceRecorder, TraceReplay};
 use ohm_workloads::WorkloadSpec;
 
+use crate::checkpoint::{self, Journal};
 use crate::config::SystemConfig;
-use crate::metrics::SimReport;
-use crate::par::{default_threads, par_map_indexed, par_map_indexed_profiled};
+use crate::metrics::{EnergyReport, SimReport};
+use crate::par::{
+    default_threads, par_map_indexed, par_map_indexed_profiled, par_try_map_indexed,
+    par_try_map_indexed_profiled, CellError, RetryPolicy,
+};
 use crate::system::System;
 
 /// Runs one platform/mode/workload combination.
@@ -108,6 +116,11 @@ pub struct GridRun {
     cell_threads: usize,
     profile: bool,
     progress: bool,
+    checkpoint: Option<PathBuf>,
+    isolate: bool,
+    max_retries: u32,
+    backoff: ExponentialBackoff,
+    deadline: Option<Duration>,
 }
 
 impl Default for GridRun {
@@ -118,13 +131,21 @@ impl Default for GridRun {
 
 impl GridRun {
     /// A grid run over all available cores, without profiling or
-    /// progress output.
+    /// progress output — strict mode, no checkpoint.
     pub fn new() -> Self {
         GridRun {
             threads: default_threads(),
             cell_threads: crate::system::default_cell_threads(),
             profile: false,
             progress: false,
+            checkpoint: None,
+            isolate: false,
+            max_retries: 0,
+            backoff: ExponentialBackoff {
+                base: Ps::from_ms(100),
+                cap: Ps::from_ms(2_000),
+            },
+            deadline: None,
         }
     }
 
@@ -166,12 +187,78 @@ impl GridRun {
         self
     }
 
+    /// Journals every completed cell to `path` and, on a later run with
+    /// the same path, replays verified records instead of re-simulating
+    /// (DESIGN.md §3.10). Cells are keyed by
+    /// [`checkpoint::cell_key`] — config, platform, mode, and workload
+    /// content; worker counts and profiling flags deliberately excluded
+    /// — so a resumed run is bit-identical to an uninterrupted one,
+    /// with resumed cells reported as [`CellOutcome::Cached`].
+    ///
+    /// The journal is opened (or created) at [`GridRun::run`] time;
+    /// `run` panics with the [`JournalError`](crate::JournalError) if
+    /// the file exists but is not a valid journal, rather than silently
+    /// overwriting it.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Switches per-cell fault isolation on: a panicking cell is retried
+    /// with exponential backoff up to [`GridRun::max_retries`], then
+    /// quarantined as a [`CellOutcome::Quarantined`] while every other
+    /// cell completes. Off (strict mode, the default), a panicking cell
+    /// rethrows and tears down the whole grid — exactly today's
+    /// contract.
+    pub fn isolate(mut self, isolate: bool) -> Self {
+        self.isolate = isolate;
+        self
+    }
+
+    /// Retries allowed per panicking cell before quarantine (implies
+    /// [`GridRun::isolate`]). Default 0: quarantine on first panic.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self.isolate = true;
+        self
+    }
+
+    /// Wall-clock spacing between retry attempts of a panicking cell.
+    /// The [`Ps`] schedule is interpreted as real time (`Ps::from_ms(100)`
+    /// = 100 ms); default 100 ms doubling to a 2 s cap.
+    pub fn retry_backoff(mut self, backoff: ExponentialBackoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Wall-clock budget per cell attempt (implies [`GridRun::isolate`]).
+    /// A cell that outlives it is abandoned — reported as
+    /// [`CellOutcome::TimedOut`], never retried — while the rest of the
+    /// sweep drains. The abandoned attempt's thread leaks until its
+    /// event loop returns (see
+    /// [`par_try_map_indexed`]).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self.isolate = true;
+        self
+    }
+
     /// Runs `platforms` over `specs` in `mode`, returning
     /// `rows[workload][platform]` in input order.
     ///
     /// Cells run in parallel across `threads` workers; each cell builds
     /// its own [`System`], so the reports are bit-identical to a serial
-    /// run's regardless of the worker count.
+    /// run's regardless of the worker count. With
+    /// [`GridRun::checkpoint`] set, cells with a verified journal record
+    /// are replayed instead of re-simulated; with [`GridRun::isolate`]
+    /// set, failing cells are quarantined (their row slot holds a
+    /// zeroed placeholder report — check [`GridResult::outcomes`]
+    /// before trusting a cell).
+    ///
+    /// # Panics
+    ///
+    /// Rethrows a cell panic in strict mode (the default), and panics
+    /// if the checkpoint journal cannot be opened or appended to.
     pub fn run(
         &self,
         cfg: &SystemConfig,
@@ -181,39 +268,204 @@ impl GridRun {
     ) -> GridResult {
         let cols = platforms.len();
         let n = specs.len() * cols;
-        let done = AtomicUsize::new(0);
         let cell_threads = crate::par::budget_cell_threads(self.threads, self.cell_threads);
-        let job = |i: usize| {
-            let mut sys = System::new(cfg, platforms[i % cols], mode, &specs[i / cols]);
-            sys.set_cell_threads(cell_threads);
-            let report = sys.run();
-            if self.progress {
-                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "[{finished}/{n}] {} {}",
-                    report.platform.name(),
-                    report.workload
-                );
-            }
-            report
-        };
-        if self.profile {
-            let cells = par_map_indexed_profiled(n, self.threads, job);
-            let profiles = cells
-                .iter()
-                .map(|(r, wall)| CellProfile::new(r, *wall))
-                .collect();
-            GridResult {
-                rows: chunk_rows(cells.into_iter().map(|(r, _)| r).collect(), cols),
-                profiles: Some(profiles),
-            }
-        } else {
-            let cells = par_map_indexed(n, self.threads, job);
-            GridResult {
-                rows: chunk_rows(cells, cols),
-                profiles: None,
+
+        let journal: Arc<Option<Mutex<Journal>>> = Arc::new(self.checkpoint.as_ref().map(|p| {
+            Mutex::new(
+                Journal::open(p)
+                    .unwrap_or_else(|e| panic!("GridRun::checkpoint({}): {e}", p.display())),
+            )
+        }));
+        let keys: Vec<u64> = (0..n)
+            .map(|i| checkpoint::cell_key(cfg, platforms[i % cols], mode, &specs[i / cols]))
+            .collect();
+
+        // Resolve cached cells from the journal before spinning up
+        // workers: a resumed run only pays for what is missing.
+        let mut slots: Vec<Option<SimReport>> = (0..n).map(|_| None).collect();
+        let mut outcomes: Vec<CellOutcome> = vec![CellOutcome::Completed; n];
+        if let Some(j) = journal.as_ref() {
+            let j = j.lock().expect("journal lock");
+            for i in 0..n {
+                if let Some(r) = j.get(keys[i]) {
+                    slots[i] = Some(r.clone());
+                    outcomes[i] = CellOutcome::Cached;
+                }
             }
         }
+        let todo: Arc<Vec<usize>> = Arc::new((0..n).filter(|&i| slots[i].is_none()).collect());
+        let m = todo.len();
+        let done = Arc::new(AtomicUsize::new(n - m));
+
+        // One owned job serves all four execution paths; the isolated
+        // variants additionally require it to be `'static`, so the cell
+        // inputs are cloned in (cheap next to a simulation).
+        let job = {
+            let cfg = cfg.clone();
+            let platforms = platforms.to_vec();
+            let specs = specs.to_vec();
+            let todo = Arc::clone(&todo);
+            let keys = keys.clone();
+            let journal = Arc::clone(&journal);
+            let done = Arc::clone(&done);
+            let progress = self.progress;
+            move |j: usize| {
+                let i = todo[j];
+                let mut sys = System::new(&cfg, platforms[i % cols], mode, &specs[i / cols]);
+                sys.set_cell_threads(cell_threads);
+                let report = sys.run();
+                // Journal inside the job, not after the sweep: a run
+                // killed mid-grid keeps every cell that finished.
+                if let Some(jr) = journal.as_ref() {
+                    jr.lock()
+                        .expect("journal lock")
+                        .append(keys[i], &report)
+                        .unwrap_or_else(|e| panic!("checkpoint journal append: {e}"));
+                }
+                if progress {
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "[{finished}/{n}] {} {}",
+                        report.platform.name(),
+                        report.workload
+                    );
+                }
+                report
+            }
+        };
+
+        let policy = RetryPolicy {
+            max_retries: self.max_retries,
+            backoff: self.backoff,
+            deadline: self.deadline,
+        };
+        type Executed = Vec<Result<(SimReport, Option<Duration>), CellError>>;
+        let executed: Executed = match (self.isolate, self.profile) {
+            (false, false) => par_map_indexed(m, self.threads, job)
+                .into_iter()
+                .map(|r| Ok((r, None)))
+                .collect(),
+            (false, true) => par_map_indexed_profiled(m, self.threads, job)
+                .into_iter()
+                .map(|(r, w)| Ok((r, Some(w))))
+                .collect(),
+            (true, false) => par_try_map_indexed(m, self.threads, policy, job)
+                .into_iter()
+                .map(|res| res.map(|r| (r, None)))
+                .collect(),
+            (true, true) => par_try_map_indexed_profiled(m, self.threads, policy, job)
+                .into_iter()
+                .map(|res| res.map(|(r, w)| (r, Some(w))))
+                .collect(),
+        };
+
+        let mut walls: Vec<Option<Duration>> = vec![None; n];
+        for (j, res) in executed.into_iter().enumerate() {
+            let i = todo[j];
+            match res {
+                Ok((report, wall)) => {
+                    walls[i] = wall;
+                    slots[i] = Some(report);
+                }
+                Err(mut e) => {
+                    // The try-map reported the todo-local index; grid
+                    // consumers want the row-major cell index.
+                    e.index = i;
+                    outcomes[i] = if e.timed_out {
+                        CellOutcome::TimedOut(e)
+                    } else {
+                        CellOutcome::Quarantined(e)
+                    };
+                    slots[i] = Some(tombstone(platforms[i % cols], mode, &specs[i / cols]));
+                }
+            }
+        }
+        let cells: Vec<SimReport> = slots
+            .into_iter()
+            .map(|s| s.expect("every cell resolved"))
+            .collect();
+        let profiles = self.profile.then(|| {
+            // Cached and failed cells carry zero wall time: nothing was
+            // simulated for them this run.
+            cells
+                .iter()
+                .zip(&walls)
+                .map(|(r, w)| CellProfile::new(r, w.unwrap_or(Duration::ZERO)))
+                .collect()
+        });
+        GridResult {
+            rows: chunk_rows(cells, cols),
+            profiles,
+            outcomes,
+        }
+    }
+}
+
+/// Placeholder report occupying the row slot of a quarantined or
+/// timed-out cell: identity fields set, every measurement zero, every
+/// optional section absent. Consumers that care must consult
+/// [`GridResult::outcomes`]; the zeros keep downstream arithmetic
+/// finite (`normalize_ipc` already guards zero baselines).
+fn tombstone(platform: Platform, mode: OperationalMode, spec: &WorkloadSpec) -> SimReport {
+    SimReport {
+        platform,
+        mode,
+        workload: spec.name.to_string(),
+        makespan: Ps::ZERO,
+        instructions: 0,
+        ipc: 0.0,
+        mem_requests: 0,
+        avg_mem_latency_ns: 0.0,
+        l1_hit_rate: 0.0,
+        l2_hit_rate: 0.0,
+        hetero_dram_hit_rate: 0.0,
+        migration_channel_fraction: 0.0,
+        migrations: 0,
+        channel_utilization: 0.0,
+        channel_bits: (0, 0),
+        energy: EnergyReport {
+            dma_j: 0.0,
+            dram_static_j: 0.0,
+            dram_dynamic_j: 0.0,
+            xpoint_j: 0.0,
+        },
+        host: None,
+        wear_imbalance: 0.0,
+        stages: None,
+        faults: None,
+        wear: None,
+        phases: None,
+    }
+}
+
+/// How one grid cell reached its row slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// Simulated to completion this run.
+    Completed,
+    /// Replayed from the checkpoint journal without re-simulating.
+    Cached,
+    /// Panicked on every allowed attempt ([`GridRun::max_retries`]); the
+    /// row slot holds a zeroed placeholder.
+    Quarantined(CellError),
+    /// Abandoned for exceeding [`GridRun::deadline`]; the row slot holds
+    /// a zeroed placeholder.
+    TimedOut(CellError),
+}
+
+impl CellOutcome {
+    /// The failure behind a quarantined or timed-out cell, if any.
+    pub fn error(&self) -> Option<&CellError> {
+        match self {
+            CellOutcome::Completed | CellOutcome::Cached => None,
+            CellOutcome::Quarantined(e) | CellOutcome::TimedOut(e) => Some(e),
+        }
+    }
+
+    /// `true` for the cells whose row slot is a placeholder, not a
+    /// simulated result.
+    pub fn is_failure(&self) -> bool {
+        self.error().is_some()
     }
 }
 
@@ -225,6 +477,24 @@ pub struct GridResult {
     /// Per-cell wall-clock profiles in row-major cell order; `Some`
     /// only when [`GridRun::profile`] was requested.
     pub profiles: Option<Vec<CellProfile>>,
+    /// Per-cell outcomes in row-major cell order — how each row slot
+    /// was produced. All [`CellOutcome::Completed`] for a plain strict
+    /// run.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl GridResult {
+    /// Order-sensitive content digest over every report in the grid —
+    /// the golden value behind the resume-bit-identity guarantee: a
+    /// resumed run's digest equals an uninterrupted run's.
+    pub fn digest(&self) -> u64 {
+        checkpoint::grid_digest(self.rows.iter().flatten())
+    }
+
+    /// The quarantined and timed-out cells, in row-major order.
+    pub fn failures(&self) -> impl Iterator<Item = &CellError> {
+        self.outcomes.iter().filter_map(CellOutcome::error)
+    }
 }
 
 /// Splits a flat row-major cell vector into `rows[workload][platform]`.

@@ -4,13 +4,15 @@
 //! platform, collect reports. These helpers centralise that plumbing and
 //! keep sweeps deterministic (the same seed per point).
 
+use std::sync::Arc;
+
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 use ohm_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
 use crate::metrics::SimReport;
-use crate::par::{default_threads, par_map_indexed};
+use crate::par::{default_threads, par_map_indexed, par_try_map_indexed, CellError, RetryPolicy};
 use crate::system::System;
 
 /// One sweep point: the knob value and the report it produced.
@@ -120,6 +122,64 @@ where
         .collect()
 }
 
+/// One point of a fault-isolated sweep: the knob value and either its
+/// report or the typed failure that quarantined it.
+#[derive(Debug, Clone)]
+pub struct TrySweepPoint<T> {
+    /// The knob value.
+    pub value: T,
+    /// The report, or the error that exhausted the point's retries.
+    pub outcome: Result<SimReport, CellError>,
+}
+
+/// Fault-isolated [`sweep_threaded`]: a panicking point (a knob value
+/// the configuration rejects, say) is retried under `policy` and then
+/// quarantined as a typed [`CellError`] instead of tearing down the
+/// whole sweep — the surviving points still report.
+///
+/// The `configure` closure runs inside the isolated job, so a panic in
+/// *it* (not just in the simulation) is quarantined the same way. The
+/// `'static` bounds pay for the watchdog machinery — see
+/// [`par_try_map_indexed`].
+// Mirrors `sweep_threaded`'s axis parameters plus the fault policy;
+// bundling them into a struct would diverge from the sibling sweeps.
+#[allow(clippy::too_many_arguments)]
+pub fn try_sweep<T, I, F>(
+    base: &SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    spec: &WorkloadSpec,
+    values: I,
+    policy: RetryPolicy,
+    threads: usize,
+    configure: F,
+) -> Vec<TrySweepPoint<T>>
+where
+    T: Clone + Send + Sync + 'static,
+    I: IntoIterator<Item = T>,
+    F: Fn(&mut SystemConfig, &T) + Send + Sync + 'static,
+{
+    let values: Arc<Vec<T>> = Arc::new(values.into_iter().collect());
+    let n = values.len();
+    let job = {
+        let values = Arc::clone(&values);
+        let base = base.clone();
+        let spec = *spec;
+        move |i: usize| {
+            let mut cfg = base.clone();
+            configure(&mut cfg, &values[i]);
+            System::new(&cfg, platform, mode, &spec).run()
+        }
+    };
+    let outcomes = par_try_map_indexed(n, threads, policy, job);
+    values
+        .iter()
+        .cloned()
+        .zip(outcomes)
+        .map(|(value, outcome)| TrySweepPoint { value, outcome })
+        .collect()
+}
+
 /// The knob value whose report maximises `metric`, with its report.
 ///
 /// Returns `None` for an empty sweep.
@@ -153,6 +213,46 @@ mod tests {
         // Same knob value => identical run.
         assert_eq!(points[0].report.makespan, points[2].report.makespan);
         assert_eq!(points[0].value, points[2].value);
+    }
+
+    #[test]
+    fn try_sweep_quarantines_a_poison_point() {
+        let base = SystemConfig::quick_test();
+        let spec = workload_by_name("bfsdata").unwrap();
+        let points = try_sweep(
+            &base,
+            Platform::OhmBase,
+            OperationalMode::Planar,
+            &spec,
+            [1u32, 2, 4],
+            RetryPolicy::NONE,
+            2,
+            |cfg, &w| {
+                // A panic in `configure` itself must be quarantined too.
+                assert!(w != 2, "knob value 2 is poison");
+                cfg.optical.waveguides = w;
+            },
+        );
+        assert_eq!(points.len(), 3);
+        assert!(points[0].outcome.is_ok());
+        assert!(points[2].outcome.is_ok());
+        let e = points[1].outcome.as_ref().unwrap_err();
+        assert_eq!(e.index, 1);
+        assert!(e.payload.contains("poison"), "{e}");
+        // Quarantine did not perturb the surviving points.
+        let reference = sweep_serial(
+            &base,
+            Platform::OhmBase,
+            OperationalMode::Planar,
+            &spec,
+            [1u32],
+            |cfg, &w| cfg.optical.waveguides = w,
+        );
+        assert_eq!(
+            points[0].outcome.as_ref().unwrap(),
+            &reference[0].report,
+            "isolated point diverged from the strict path"
+        );
     }
 
     #[test]
