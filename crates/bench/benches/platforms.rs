@@ -4,7 +4,7 @@
 
 use ohm_bench::harness::{black_box, BenchGroup};
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::run_platform;
+use ohm_core::runner::Run;
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 use ohm_workloads::workload_by_name;
@@ -16,7 +16,11 @@ fn main() {
     let spec = workload_by_name("bfsdata").unwrap();
     for platform in Platform::ALL {
         platforms.bench(platform.name(), || {
-            let r = run_platform(&cfg, platform, OperationalMode::Planar, &spec);
+            let r = Run::new(&cfg)
+                .platform(platform)
+                .mode(OperationalMode::Planar)
+                .workload(&spec)
+                .execute();
             black_box(r.ipc);
         });
     }
@@ -26,7 +30,11 @@ fn main() {
     let spec = workload_by_name("pagerank").unwrap();
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
         modes.bench(&format!("{mode:?}"), || {
-            let r = run_platform(&cfg, Platform::OhmWom, mode, &spec);
+            let r = Run::new(&cfg)
+                .platform(Platform::OhmWom)
+                .mode(mode)
+                .workload(&spec)
+                .execute();
             black_box(r.avg_mem_latency_ns);
         });
     }

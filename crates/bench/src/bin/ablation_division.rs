@@ -7,7 +7,7 @@
 
 use ohm_bench::{f3, print_header, print_row};
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::run_platform;
+use ohm_core::runner::Run;
 use ohm_hetero::Platform;
 use ohm_optic::{ChannelDivision, OperationalMode};
 use ohm_sim::Ps;
@@ -42,7 +42,11 @@ fn main() {
                 .optical_division(division)
                 .build()
                 .expect("valid sweep config");
-            let r = run_platform(&cfg, Platform::OhmBase, OperationalMode::Planar, &spec);
+            let r = Run::new(&cfg)
+                .platform(Platform::OhmBase)
+                .mode(OperationalMode::Planar)
+                .workload(&spec)
+                .execute();
             print_row(
                 &[
                     wl.to_string(),

@@ -6,7 +6,7 @@
 
 use ohm_bench::{f3, pct, print_header, print_row};
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::run_platform;
+use ohm_core::runner::Run;
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 use ohm_workloads::workload_by_name;
@@ -38,7 +38,11 @@ fn main() {
             .planar_ratio(ratio)
             .build()
             .expect("valid sweep config");
-        let r = run_platform(&cfg, Platform::OhmBw, OperationalMode::Planar, &spec);
+        let r = Run::new(&cfg)
+            .platform(Platform::OhmBw)
+            .mode(OperationalMode::Planar)
+            .workload(&spec)
+            .execute();
         print_row(
             &[
                 "planar".to_string(),
@@ -57,7 +61,11 @@ fn main() {
             .two_level_ratio(ratio)
             .build()
             .expect("valid sweep config");
-        let r = run_platform(&cfg, Platform::OhmBw, OperationalMode::TwoLevel, &spec);
+        let r = Run::new(&cfg)
+            .platform(Platform::OhmBw)
+            .mode(OperationalMode::TwoLevel)
+            .workload(&spec)
+            .execute();
         print_row(
             &[
                 "2-level".to_string(),

@@ -6,7 +6,7 @@
 
 use ohm_bench::{f3, pct, print_header, print_row};
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::run_platform;
+use ohm_core::runner::Run;
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 use ohm_workloads::workload_by_name;
@@ -35,7 +35,11 @@ fn main() {
             .build()
             .expect("valid sweep config");
         for p in [Platform::OhmBase, Platform::OhmBw] {
-            let r = run_platform(&cfg, p, OperationalMode::Planar, &spec);
+            let r = Run::new(&cfg)
+                .platform(p)
+                .mode(OperationalMode::Planar)
+                .workload(&spec)
+                .execute();
             print_row(
                 &[
                     threshold.to_string(),

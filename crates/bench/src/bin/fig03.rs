@@ -7,7 +7,7 @@
 
 use ohm_bench::{evaluation_workloads, pct, print_header, print_row};
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::run_platform;
+use ohm_core::runner::Run;
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 
@@ -24,7 +24,11 @@ fn main() {
     let mut slowdowns = Vec::new();
     let workloads = evaluation_workloads();
     for spec in &workloads {
-        let origin = run_platform(&cfg, Platform::Origin, OperationalMode::Planar, spec);
+        let origin = Run::new(&cfg)
+            .platform(Platform::Origin)
+            .mode(OperationalMode::Planar)
+            .workload(spec)
+            .execute();
         let host = origin.host.expect("origin reports staging");
         let total = origin.makespan.as_secs_f64();
         let storage = host.storage_busy.as_secs_f64().min(total);
@@ -47,7 +51,11 @@ fn main() {
 
         // For 3b: compare against an Origin whose working set fits (no
         // staging), isolating DMA/DRAM impact.
-        let oracle = run_platform(&cfg, Platform::Oracle, OperationalMode::Planar, spec);
+        let oracle = Run::new(&cfg)
+            .platform(Platform::Oracle)
+            .mode(OperationalMode::Planar)
+            .workload(spec)
+            .execute();
         slowdowns.push((
             spec.name,
             origin.makespan.as_secs_f64() / oracle.makespan.as_secs_f64(),

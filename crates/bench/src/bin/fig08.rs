@@ -9,7 +9,7 @@
 
 use ohm_bench::{evaluation_workloads, pct, print_header, print_row};
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::run_platform;
+use ohm_core::runner::Run;
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 
@@ -23,10 +23,18 @@ fn main() {
         let mut lat_sum = 0.0;
         let workloads = evaluation_workloads();
         for spec in &workloads {
-            let base = run_platform(&cfg, Platform::OhmBase, mode, spec);
+            let base = Run::new(&cfg)
+                .platform(Platform::OhmBase)
+                .mode(mode)
+                .workload(spec)
+                .execute();
             // Oracle channel for migration: Ohm-BW serves migrations on
             // the independent memory route, leaving the data route clean.
-            let oracle = run_platform(&cfg, Platform::OhmBw, mode, spec);
+            let oracle = Run::new(&cfg)
+                .platform(Platform::OhmBw)
+                .mode(mode)
+                .workload(spec)
+                .execute();
             let mig = base.migration_channel_fraction;
             let lat = base.avg_mem_latency_ns / oracle.avg_mem_latency_ns;
             mig_sum += mig;

@@ -7,7 +7,7 @@
 
 use ohm_bench::{evaluation_workloads, f3, print_header, print_row};
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::{geomean, run_platform};
+use ohm_core::runner::{geomean, Run};
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 
@@ -27,7 +27,14 @@ fn main() {
     let cfg0 = SystemConfig::evaluation();
     let hetero: Vec<f64> = workloads
         .iter()
-        .map(|w| run_platform(&cfg0, Platform::Hetero, mode, w).ipc)
+        .map(|w| {
+            Run::new(&cfg0)
+                .platform(Platform::Hetero)
+                .mode(mode)
+                .workload(w)
+                .execute()
+                .ipc
+        })
         .collect();
     let hetero_g = geomean(&hetero);
 
@@ -39,11 +46,25 @@ fn main() {
             .expect("valid sweep config");
         let base: Vec<f64> = workloads
             .iter()
-            .map(|w| run_platform(&cfg, Platform::OhmBase, mode, w).ipc)
+            .map(|w| {
+                Run::new(&cfg)
+                    .platform(Platform::OhmBase)
+                    .mode(mode)
+                    .workload(w)
+                    .execute()
+                    .ipc
+            })
             .collect();
         let bw: Vec<f64> = workloads
             .iter()
-            .map(|w| run_platform(&cfg, Platform::OhmBw, mode, w).ipc)
+            .map(|w| {
+                Run::new(&cfg)
+                    .platform(Platform::OhmBw)
+                    .mode(mode)
+                    .workload(w)
+                    .execute()
+                    .ipc
+            })
             .collect();
         print_row(
             &[

@@ -16,7 +16,7 @@
 
 use ohm_bench::{f3, print_header, print_row};
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::run_platform;
+use ohm_core::runner::Run;
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 use ohm_workloads::{workload_by_name, PhasePlan};
@@ -58,7 +58,11 @@ fn main() {
     ];
     let mut reports = Vec::new();
     for (platform, mode) in cells {
-        let report = run_platform(&cfg, platform, mode, &spec);
+        let report = Run::new(&cfg)
+            .platform(platform)
+            .mode(mode)
+            .workload(&spec)
+            .execute();
         print_row(
             &[
                 format!("{platform:?}"),

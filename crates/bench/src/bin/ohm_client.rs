@@ -1,0 +1,160 @@
+//! `ohm-client`: command-line client for the `ohm-serve` daemon.
+//!
+//! ```text
+//! ohm-client [--addr HOST:PORT] submit <spec.json|->   # POST the job, print its id
+//! ohm-client [--addr HOST:PORT] status <job>           # print the status document
+//! ohm-client [--addr HOST:PORT] events <job>           # stream NDJSON events to stdout
+//! ohm-client [--addr HOST:PORT] wait <job>             # block until done, print the digest
+//! ohm-client [--addr HOST:PORT] run <spec.json|->      # submit + stream + print the digest
+//! ohm-client [--addr HOST:PORT] stats                  # print the server stats document
+//! ohm-client [--addr HOST:PORT] smoke                  # run a built-in 2x2 smoke job
+//! ```
+//!
+//! `submit`/`run` read the job spec from a file, or from stdin when the
+//! argument is `-`. The default address matches the daemon's default
+//! (`127.0.0.1:7716`). Exit status is non-zero on HTTP errors, socket
+//! failures, and quarantined (digest-less) jobs, so the CI and chaos
+//! scripts can gate on it.
+
+use std::io::Read;
+
+use ohm_core::json::parse_json;
+use ohm_serve::Client;
+
+const SMOKE_SPEC: &str = r#"{
+    "config": {"base": "quick_test", "insts_per_warp": 200, "seed": 3},
+    "platforms": ["Ohm-base", "Hetero"],
+    "workloads": ["lud", "pagerank"]
+}"#;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ohm-client [--addr HOST:PORT] <command>\n\
+         commands: submit <spec.json|->   status <job>   events <job>\n\
+         \x20         wait <job>            run <spec.json|->   stats   smoke"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("ohm-client: {msg}");
+    std::process::exit(1);
+}
+
+/// The job spec named by `arg`: a file path, or stdin for `-`.
+fn read_spec(arg: &str) -> String {
+    if arg == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .unwrap_or_else(|e| fail(format!("stdin: {e}")));
+        s
+    } else {
+        std::fs::read_to_string(arg).unwrap_or_else(|e| fail(format!("{arg}: {e}")))
+    }
+}
+
+/// Submits `spec` and returns the assigned job id.
+fn submit(client: &Client, spec: &str) -> String {
+    let resp = client
+        .submit(spec)
+        .unwrap_or_else(|e| fail(format!("submit: {e}")));
+    if resp.status != 200 {
+        fail(format!(
+            "submit: HTTP {}: {}",
+            resp.status,
+            resp.body.trim()
+        ));
+    }
+    parse_json(&resp.body)
+        .ok()
+        .and_then(|doc| doc.get("job").and_then(|v| v.as_str().map(str::to_string)))
+        .unwrap_or_else(|| fail(format!("submit: unparsable response {:?}", resp.body)))
+}
+
+/// Streams `job`'s events to stdout; returns the terminal digest line's
+/// digest, or `None` when the job quarantined.
+fn stream(client: &Client, job: &str, echo: bool) -> Option<String> {
+    let mut digest = None;
+    client
+        .stream_events(job, |line| {
+            if echo {
+                println!("{line}");
+            }
+            if let Ok(doc) = parse_json(line) {
+                if doc.get("done").and_then(|v| v.as_bool()) == Some(true) {
+                    digest = doc
+                        .get("digest")
+                        .and_then(|v| v.as_str().map(str::to_string));
+                }
+            }
+        })
+        .unwrap_or_else(|e| fail(format!("events: {e}")));
+    digest
+}
+
+/// Prints the digest (or exits 1 on a quarantined job).
+fn finish(digest: Option<String>) -> ! {
+    match digest {
+        Some(d) => {
+            println!("digest {d}");
+            std::process::exit(0)
+        }
+        None => fail("job quarantined: no digest"),
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7716".to_string();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--addr") {
+        if args.len() < 2 {
+            usage();
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let client = Client::new(addr);
+    let arg = |i: usize| args.get(i).cloned().unwrap_or_else(|| usage());
+    match args.first().map(String::as_str) {
+        Some("submit") => {
+            let id = submit(&client, &read_spec(&arg(1)));
+            println!("{id}");
+        }
+        Some("status") => {
+            let resp = client
+                .status(&arg(1))
+                .unwrap_or_else(|e| fail(format!("status: {e}")));
+            if resp.status != 200 {
+                fail(format!("HTTP {}: {}", resp.status, resp.body.trim()));
+            }
+            println!("{}", resp.body.trim_end());
+        }
+        Some("events") => {
+            finish(stream(&client, &arg(1), true));
+        }
+        Some("wait") => {
+            finish(stream(&client, &arg(1), false));
+        }
+        Some("run") => {
+            let id = submit(&client, &read_spec(&arg(1)));
+            eprintln!("job {id}");
+            finish(stream(&client, &id, true));
+        }
+        Some("stats") => {
+            let resp = client
+                .stats()
+                .unwrap_or_else(|e| fail(format!("stats: {e}")));
+            if resp.status != 200 {
+                fail(format!("HTTP {}: {}", resp.status, resp.body.trim()));
+            }
+            println!("{}", resp.body.trim_end());
+        }
+        Some("smoke") => {
+            let id = submit(&client, SMOKE_SPEC);
+            eprintln!("job {id}");
+            finish(stream(&client, &id, true));
+        }
+        _ => usage(),
+    }
+}

@@ -131,24 +131,68 @@ impl From<std::io::Error> for JournalError {
     }
 }
 
+/// How aggressively [`Journal::append`] pushes records to stable
+/// storage — the durability knob behind the "≤ 1 record lost" claim.
+///
+/// Every append is `write + flush` regardless of policy, so once
+/// `append` returns the operating system holds the full frame and a
+/// `SIGKILL` of the *process* cannot lose it. The policies differ in
+/// when the record reaches the *disk*: what survives a crash of the
+/// host itself (power loss, kernel panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: at most the record being written is
+    /// lost even if the host crashes. The right choice for a long-lived
+    /// daemon whose cache outlives any one process (`ohm-serve`).
+    Always,
+    /// One `fsync` when the journal closes (and on explicit
+    /// [`Journal::sync`]). Process kills still lose at most one record;
+    /// a host crash may lose everything since open. The default —
+    /// matches the historical `GridRun::checkpoint` contract, where a
+    /// lost journal merely costs re-simulation.
+    #[default]
+    OnClose,
+}
+
+impl FsyncPolicy {
+    /// Parses the policy's command-line rendering (`always`/`on-close`).
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "on-close" => Some(FsyncPolicy::OnClose),
+            _ => None,
+        }
+    }
+
+    /// The command-line rendering accepted by [`FsyncPolicy::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::OnClose => "on-close",
+        }
+    }
+}
+
 /// An open checkpoint journal: the recovered in-memory index plus an
 /// append handle positioned after the last verified record.
 ///
 /// Appends are `write + flush` per record, so the operating system has
-/// the full frame even if the process is later `SIGKILL`ed; only a
-/// crash of the host itself can tear a record, and a torn record is
-/// truncated on the next open.
+/// the full frame even if the process is later `SIGKILL`ed; whether the
+/// record also reaches stable storage per append is the
+/// [`FsyncPolicy`]. A torn record is truncated on the next open.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
     file: std::fs::File,
     entries: HashMap<u64, SimReport>,
     truncated_bytes: u64,
+    fsync: FsyncPolicy,
+    syncs: u64,
 }
 
 impl Journal {
-    /// Opens (or creates) the journal at `path`, verifying every record
-    /// and truncating a torn or corrupt tail.
+    /// Opens (or creates) the journal at `path` with the default
+    /// [`FsyncPolicy::OnClose`] durability.
     ///
     /// # Errors
     ///
@@ -157,6 +201,15 @@ impl Journal {
     /// journal, and [`JournalError::Malformed`] when a CRC-valid record
     /// does not decode (incompatible build).
     pub fn open(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
+        Journal::open_with(path, FsyncPolicy::default())
+    }
+
+    /// [`Journal::open`] with an explicit [`FsyncPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Journal::open`].
+    pub fn open_with(path: impl AsRef<Path>, fsync: FsyncPolicy) -> Result<Journal, JournalError> {
         let path = path.as_ref().to_path_buf();
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -232,6 +285,8 @@ impl Journal {
             file,
             entries,
             truncated_bytes,
+            fsync,
+            syncs: 0,
         })
     }
 
@@ -262,11 +317,13 @@ impl Journal {
     }
 
     /// Appends one record and flushes it to the operating system, so a
-    /// `SIGKILL` after this call returns cannot lose the record.
+    /// `SIGKILL` after this call returns cannot lose the record. Under
+    /// [`FsyncPolicy::Always`] the record is additionally `fsync`ed to
+    /// stable storage before this returns.
     ///
     /// # Errors
     ///
-    /// [`JournalError::Io`] when the write or flush fails.
+    /// [`JournalError::Io`] when the write, flush, or sync fails.
     pub fn append(&mut self, key: u64, report: &SimReport) -> Result<(), JournalError> {
         let payload = encode_report(report);
         let frame = format!(
@@ -278,8 +335,47 @@ impl Journal {
         self.file.write_all(payload.as_bytes())?;
         self.file.write_all(b"\n")?;
         self.file.flush()?;
+        if self.fsync == FsyncPolicy::Always {
+            self.sync()?;
+        }
         self.entries.insert(key, report.clone());
         Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage (`fsync`).
+    /// Called automatically per append under [`FsyncPolicy::Always`] and
+    /// once on drop under [`FsyncPolicy::OnClose`].
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the sync fails.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.sync_data()?;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// The durability policy this journal was opened with.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
+    }
+
+    /// Number of `fsync`s issued since open — one per append under
+    /// [`FsyncPolicy::Always`], normally zero until close under
+    /// [`FsyncPolicy::OnClose`]. Observability for the durability tests.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+}
+
+impl Drop for Journal {
+    /// Best-effort close-time `fsync` under [`FsyncPolicy::OnClose`]
+    /// (every record was already flushed to the OS per append; callers
+    /// that must *know* the data is on disk call [`Journal::sync`]).
+    fn drop(&mut self) {
+        if self.fsync == FsyncPolicy::OnClose {
+            let _ = self.sync();
+        }
     }
 }
 
@@ -368,23 +464,100 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The canonical content form of one grid cell — the single string
+/// every cache layer hashes. `\x1f` separators keep field boundaries
+/// unambiguous even if a rendering ever ends with a digit the next one
+/// starts with.
+fn canonical_cell(
+    cfg: &SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    spec: &WorkloadSpec,
+) -> String {
+    format!(
+        "{}\x1f{:?}\x1f{mode:?}\x1f{spec:?}",
+        cfg.canonical(),
+        platform
+    )
+}
+
 /// The canonical content key of one grid cell: everything that
 /// determines its simulated result, nothing that cannot (see the module
-/// docs for the canonicalization rules).
+/// docs for the canonicalization rules). Borrowed-view twin of
+/// [`CellSpec::key`] — both hash the same canonical form, so a key
+/// computed either way addresses the same journal record.
 pub fn cell_key(
     cfg: &SystemConfig,
     platform: Platform,
     mode: OperationalMode,
     spec: &WorkloadSpec,
 ) -> u64 {
-    // \x1f separators keep field boundaries unambiguous even if a
-    // rendering ever ends with a digit the next one starts with.
-    let canonical = format!(
-        "{}\x1f{:?}\x1f{mode:?}\x1f{spec:?}",
-        cfg.canonical(),
-        platform
-    );
-    fnv1a(canonical.as_bytes())
+    fnv1a(canonical_cell(cfg, platform, mode, spec).as_bytes())
+}
+
+/// One simulation cell as a value: the full (config, platform, mode,
+/// workload) tuple that determines a [`SimReport`], with its canonical
+/// content hash.
+///
+/// This is the cache contract in one type. [`GridRun`] keys journal
+/// records by it, the `ohm-serve` daemon keys its shared result cache
+/// by it, and [`Run`] executes exactly one of it — all through the same
+/// [`CellSpec::key`] (identical to [`cell_key`] over the same inputs),
+/// so a result computed by any layer is addressable by every other.
+///
+/// [`GridRun`]: crate::runner::GridRun
+/// [`Run`]: crate::runner::Run
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Full system configuration (hashed via
+    /// [`SystemConfig::canonical`]).
+    pub config: SystemConfig,
+    /// Platform simulated in this cell.
+    pub platform: Platform,
+    /// Heterogeneous-memory operational mode.
+    pub mode: OperationalMode,
+    /// Workload descriptor (name, APKI, pattern, footprint).
+    pub workload: WorkloadSpec,
+}
+
+impl CellSpec {
+    /// Bundles one cell's inputs.
+    pub fn new(
+        config: SystemConfig,
+        platform: Platform,
+        mode: OperationalMode,
+        workload: WorkloadSpec,
+    ) -> CellSpec {
+        CellSpec {
+            config,
+            platform,
+            mode,
+            workload,
+        }
+    }
+
+    /// The canonical content form this cell hashes to — see the module
+    /// docs for what is (and deliberately is not) included.
+    pub fn canonical(&self) -> String {
+        canonical_cell(&self.config, self.platform, self.mode, &self.workload)
+    }
+
+    /// The cell's content-addressed cache key: FNV-1a over
+    /// [`CellSpec::canonical`]. Identical to [`cell_key`] over the same
+    /// inputs.
+    pub fn key(&self) -> u64 {
+        cell_key(&self.config, self.platform, self.mode, &self.workload)
+    }
+
+    /// A [`Run`](crate::runner::Run) configured to execute exactly this
+    /// cell — the one typed job-execution surface shared by the grid
+    /// runner and the daemon.
+    pub fn run(&self) -> crate::runner::Run<'_> {
+        crate::runner::Run::new(&self.config)
+            .platform(self.platform)
+            .mode(self.mode)
+            .workload(&self.workload)
+    }
 }
 
 /// Bit-exact digest of one report — FNV-1a over its canonical encoding.
@@ -1206,6 +1379,75 @@ mod tests {
             matches!(err, JournalError::Malformed { record: 0, .. }),
             "{err}"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cell_spec_key_matches_cell_key() {
+        let cfg = SystemConfig::quick_test();
+        let spec = ohm_workloads::workload_by_name("pagerank").unwrap();
+        let cell = CellSpec::new(
+            cfg.clone(),
+            Platform::OhmWom,
+            OperationalMode::TwoLevel,
+            spec,
+        );
+        assert_eq!(
+            cell.key(),
+            cell_key(&cfg, Platform::OhmWom, OperationalMode::TwoLevel, &spec),
+            "the typed spec and the borrowed view must hash identically"
+        );
+        assert_eq!(cell.key(), fnv1a(cell.canonical().as_bytes()));
+        // Any axis moving changes the key.
+        let mut other = cell.clone();
+        other.platform = Platform::Oracle;
+        assert_ne!(cell.key(), other.key());
+        let mut other = cell.clone();
+        other.workload = spec.with_footprint(spec.footprint_bytes * 2);
+        assert_ne!(cell.key(), other.key());
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_names() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("on-close"), Some(FsyncPolicy::OnClose));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+        for p in [FsyncPolicy::Always, FsyncPolicy::OnClose] {
+            assert_eq!(FsyncPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(FsyncPolicy::default(), FsyncPolicy::OnClose);
+    }
+
+    #[test]
+    fn fsync_always_syncs_every_append() {
+        let path = tmp_path("fsync-always");
+        let mut j = Journal::open_with(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(j.fsync_policy(), FsyncPolicy::Always);
+        assert_eq!(j.syncs(), 0);
+        j.append(1, &bare_report()).unwrap();
+        assert_eq!(j.syncs(), 1, "Always must fsync per append");
+        j.append(2, &full_report()).unwrap();
+        assert_eq!(j.syncs(), 2);
+        drop(j);
+        // Everything is recoverable afterwards.
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsync_on_close_syncs_once_at_drop() {
+        let path = tmp_path("fsync-close");
+        let mut j = Journal::open_with(&path, FsyncPolicy::OnClose).unwrap();
+        j.append(1, &bare_report()).unwrap();
+        j.append(2, &full_report()).unwrap();
+        assert_eq!(j.syncs(), 0, "OnClose must not fsync per append");
+        // An explicit sync is available to callers that need a barrier.
+        j.sync().unwrap();
+        assert_eq!(j.syncs(), 1);
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2, "records survive the close");
         let _ = std::fs::remove_file(&path);
     }
 

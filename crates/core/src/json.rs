@@ -1,10 +1,17 @@
-//! Minimal JSON string escaping for the hand-rolled writers.
+//! Minimal JSON support for the hand-rolled readers and writers.
 //!
 //! The workspace carries no JSON dependency; the trace exporter and the
 //! bench harness write JSON by hand. Every *string* they interpolate —
 //! track names, hostnames, workload names — must go through
 //! [`escape_json`], otherwise a name containing `"` or `\` produces an
 //! invalid document.
+//!
+//! The `ohm-serve` daemon additionally needs to *read* JSON (sweep-job
+//! requests arrive over HTTP), so this module also carries a small
+//! recursive-descent parser into [`JsonValue`] — objects keep their
+//! key order in a `Vec` (no maps, so re-rendering is deterministic),
+//! numbers are `f64`, and nesting depth is capped so a hostile body
+//! cannot overflow the stack.
 
 use std::fmt::Write;
 
@@ -74,6 +81,256 @@ pub fn unescape_json(s: &str) -> Option<String> {
     Some(out)
 }
 
+/// A parsed JSON document.
+///
+/// Objects preserve their textual key order (a `Vec`, not a map), so a
+/// value re-rendered field by field is deterministic — the same policy
+/// as the rest of the workspace's hand-rolled encoders. Numbers are
+/// carried as `f64`: every integer the simulator's job specs use
+/// (footprints, seeds, counts) is well below 2^53 and round-trips
+/// exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in textual key order. Duplicate keys are kept as
+    /// written; [`JsonValue::get`] returns the first.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member `key` of an object (first occurrence), if present.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact non-negative integer: present
+    /// only for a number that is finite, integral, in `u64` range, and
+    /// below 2^53 (the largest width `f64` carries exactly).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        (n.fract() == 0.0 && (0.0..9_007_199_254_740_992.0).contains(&n)).then_some(n as u64)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members in textual order, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Deepest object/array nesting [`parse_json`] accepts. Job specs are
+/// three levels deep; 64 leaves headroom without letting a hostile body
+/// recurse the parser off the stack.
+const MAX_JSON_DEPTH: usize = 64;
+
+/// Parses one JSON document, rejecting trailing non-whitespace.
+///
+/// # Errors
+///
+/// A human-readable description naming the byte offset of the first
+/// violation.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Recursive-descent JSON parser state over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Consumes `lit` (used for `true`/`false`/`null` after their first
+    /// byte has been peeked).
+    fn expect(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, String> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(format!("nesting deeper than {MAX_JSON_DEPTH}"));
+        }
+        match self.peek() {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') => self.expect("null").map(|()| JsonValue::Null),
+            Some(b't') => self.expect("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.expect("false").map(|()| JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected byte {:?} at {}", c as char, self.pos)),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.pos += 1; // consume `[`
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.pos += 1; // consume `{`
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(format!("expected object key at byte {}", self.pos));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(format!("expected `:` at byte {}", self.pos));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        self.pos += 1; // consume opening quote
+        let mut escaped = false;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(format!("unterminated string starting at byte {start}")),
+                Some(b'\\') if !escaped => {
+                    escaped = true;
+                    self.pos += 1;
+                }
+                Some(b'"') if !escaped => {
+                    let raw = std::str::from_utf8(&self.bytes[start + 1..self.pos])
+                        .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?;
+                    self.pos += 1;
+                    return unescape_json(raw)
+                        .ok_or_else(|| format!("bad escape in string at byte {start}"));
+                }
+                Some(_) => {
+                    escaped = false;
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII span");
+        text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +385,89 @@ mod tests {
         // The solidus escape is legal JSON even though the encoder
         // never emits it.
         assert_eq!(unescape_json("a\\/b").as_deref(), Some("a/b"));
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse_json("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse_json("-2.5").unwrap().as_f64(), Some(-2.5));
+        assert_eq!(parse_json("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(
+            parse_json("\"a\\\"b\"").unwrap().as_str(),
+            Some("a\"b"),
+            "escapes decode"
+        );
+    }
+
+    #[test]
+    fn parses_structures_preserving_order() {
+        let v = parse_json(r#"{"b": [1, 2, {"x": null}], "a": "y", "b": 9}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj.len(), 3, "duplicate keys kept as written");
+        assert_eq!(obj[0].0, "b");
+        assert_eq!(obj[1].0, "a");
+        // `get` returns the first occurrence.
+        let arr = v.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[2].get("x"), Some(&JsonValue::Null));
+        assert_eq!(v.get("a").unwrap().as_str(), Some("y"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(parse_json("[]").unwrap(), JsonValue::Arr(vec![]));
+        assert_eq!(parse_json("{}").unwrap(), JsonValue::Obj(vec![]));
+    }
+
+    #[test]
+    fn round_trips_escaped_strings() {
+        let hostile = "pager\"ank\\with spaces\n\ttab";
+        let doc = format!("{{\"name\": \"{}\"}}", escape_json(hostile));
+        let v = parse_json(&doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some(hostile));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "{\"a\": }",
+            "{a: 1}",
+            "tru",
+            "1 2",
+            "[1] extra",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "nan",
+            "1e999", // overflows to infinity — not a finite JSON number
+            "--1",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn caps_nesting_depth() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse_json(&deep).unwrap_err().contains("nesting"));
+        let ok = "[".repeat(32) + &"]".repeat(32);
+        assert!(parse_json(&ok).is_ok());
+    }
+
+    #[test]
+    fn u64_extraction_is_exact_only() {
+        assert_eq!(parse_json("0").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            parse_json("9007199254740991").unwrap().as_u64(),
+            Some((1 << 53) - 1)
+        );
+        assert_eq!(parse_json("-1").unwrap().as_u64(), None);
+        assert_eq!(parse_json("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse_json("1e300").unwrap().as_u64(), None);
+        assert_eq!(parse_json("true").unwrap().as_u64(), None);
     }
 }

@@ -18,11 +18,13 @@
 //!   fallback, media retry).
 //! * [`cost`] — the Table III component-cost model and the
 //!   cost-performance analysis of Figure 21.
-//! * [`runner`] — convenience helpers that sweep platforms × workloads
-//!   and produce the rows printed by the figure harnesses.
+//! * [`runner`] — the two execution surfaces: the single-cell
+//!   [`runner::Run`] builder and the [`runner::GridRun`] sweep that
+//!   produces the rows printed by the figure harnesses.
 //! * [`checkpoint`] — the durable-sweep substrate: an append-only,
-//!   CRC-checked journal of per-cell results keyed by config content
-//!   hash, behind [`runner::GridRun::checkpoint`].
+//!   CRC-checked journal of per-cell results keyed by the
+//!   [`checkpoint::CellSpec`] content hash, behind
+//!   [`runner::GridRun::checkpoint`] and the `ohm-serve` result cache.
 //! * [`sweep`] — single-knob parameter sweeps (the ablation harnesses'
 //!   backbone).
 //! * [`par`] — the deterministic scoped-thread fan-out behind the
@@ -37,14 +39,18 @@
 //!
 //! ```
 //! use ohm_core::config::SystemConfig;
-//! use ohm_core::runner::run_platform;
+//! use ohm_core::runner::Run;
 //! use ohm_hetero::Platform;
 //! use ohm_optic::OperationalMode;
 //! use ohm_workloads::workload_by_name;
 //!
 //! let cfg = SystemConfig::quick_test();
 //! let spec = workload_by_name("bfsdata").unwrap();
-//! let report = run_platform(&cfg, Platform::OhmBase, OperationalMode::Planar, &spec);
+//! let report = Run::new(&cfg)
+//!     .platform(Platform::OhmBase)
+//!     .mode(OperationalMode::Planar)
+//!     .workload(&spec)
+//!     .execute();
 //! assert!(report.ipc > 0.0);
 //! ```
 
@@ -64,11 +70,13 @@ pub mod sweep;
 pub mod system;
 mod trace;
 
-pub use checkpoint::{Journal, JournalError};
+pub use checkpoint::{CellSpec, FsyncPolicy, Journal, JournalError};
 pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use fault::{FaultCounters, FaultPlan, LifecyclePlan, RecoveryEvent};
 pub use metrics::{FaultReport, PhaseRow, PhaseStageRow, PhaseSummary, SimReport, WearReport};
+#[allow(deprecated)]
 pub use runner::{run_platform, run_recorded, run_replay};
+pub use runner::{GridRun, Run};
 pub use system::System;
 
 // Re-export the vocabulary types users need alongside this crate.

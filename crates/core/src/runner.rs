@@ -1,10 +1,13 @@
-//! Experiment sweep helpers.
+//! Experiment run helpers.
 //!
-//! The figure harnesses in `ohm-bench` all follow the same shape: run a
-//! set of platforms over the Table II workloads in one or both memory
-//! modes, then normalise. [`GridRun`] is the single entry point for
-//! those grids — an options struct selecting worker count, per-cell
-//! wall-clock profiling and stderr progress.
+//! Two entry points cover every way the workspace executes simulations:
+//! [`Run`] is the fluent single-cell builder (plain, trace-recorded, or
+//! trace-replayed execution of one platform/mode/workload cell), and
+//! [`GridRun`] sweeps platforms over workloads — an options struct
+//! selecting worker count, per-cell wall-clock profiling, stderr
+//! progress, checkpointing and fault isolation. The figure harnesses in
+//! `ohm-bench` and the `ohm-serve` daemon both run cells through these
+//! and nothing else.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -17,7 +20,7 @@ use ohm_sim::{ExponentialBackoff, Ps};
 use ohm_workloads::trace::{TraceError, TraceRecorder, TraceReplay};
 use ohm_workloads::WorkloadSpec;
 
-use crate::checkpoint::{self, Journal};
+use crate::checkpoint::{self, CellSpec, FsyncPolicy, Journal};
 use crate::config::SystemConfig;
 use crate::metrics::{EnergyReport, SimReport};
 use crate::par::{
@@ -26,27 +29,251 @@ use crate::par::{
 };
 use crate::system::System;
 
+/// Fluent builder for one simulation cell — the single-run counterpart
+/// of [`GridRun`], and the one typed execution surface behind the
+/// deprecated `run_platform`/`run_recorded`/`run_replay` trio.
+///
+/// Defaults: [`Platform::OhmBase`], [`OperationalMode::Planar`], the
+/// engine's own cell-thread default. The workload has no sensible
+/// default and must be set before executing.
+///
+/// ```
+/// use ohm_core::config::SystemConfig;
+/// use ohm_core::runner::Run;
+/// use ohm_core::{OperationalMode, Platform};
+/// use ohm_workloads::workload_by_name;
+///
+/// let cfg = SystemConfig::quick_test();
+/// let spec = workload_by_name("bfsdata").unwrap();
+/// let report = Run::new(&cfg)
+///     .platform(Platform::OhmBase)
+///     .mode(OperationalMode::Planar)
+///     .workload(&spec)
+///     .execute();
+/// assert!(report.ipc > 0.0);
+/// ```
+///
+/// Recording and replay attach through [`Run::record`] / [`Run::replay`],
+/// which return mode-specific builders whose `execute` carries the
+/// matching result type (the extra writer/reader state and the
+/// [`TraceError`] paths don't exist on a plain run).
+#[derive(Debug, Clone)]
+pub struct Run<'a> {
+    cfg: &'a SystemConfig,
+    platform: Platform,
+    mode: OperationalMode,
+    workload: Option<&'a WorkloadSpec>,
+    cell_threads: Option<usize>,
+}
+
+impl<'a> Run<'a> {
+    /// A run of `cfg` with the default platform/mode and no workload
+    /// selected yet.
+    pub fn new(cfg: &'a SystemConfig) -> Run<'a> {
+        Run {
+            cfg,
+            platform: Platform::OhmBase,
+            mode: OperationalMode::Planar,
+            workload: None,
+            cell_threads: None,
+        }
+    }
+
+    /// Selects the platform (default [`Platform::OhmBase`]).
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Selects the memory mode (default [`OperationalMode::Planar`]).
+    pub fn mode(mut self, mode: OperationalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the workload. Required before any `execute`.
+    pub fn workload(mut self, spec: &'a WorkloadSpec) -> Self {
+        self.workload = Some(spec);
+        self
+    }
+
+    /// Requests intra-cell event-loop workers
+    /// ([`System::set_cell_threads`], DESIGN.md §3.8). Strict-mode
+    /// results are bit-identical at any count; unset, the engine's
+    /// `OHM_CELL_THREADS` default applies.
+    pub fn cell_threads(mut self, cell_threads: usize) -> Self {
+        self.cell_threads = Some(cell_threads.max(1));
+        self
+    }
+
+    /// The configured workload, or the documented panic.
+    fn spec_or_panic(&self) -> &'a WorkloadSpec {
+        self.workload
+            .expect("Run: no workload selected — call .workload(spec) before executing")
+    }
+
+    /// The [`CellSpec`] identity of this run — the content-addressed
+    /// cache key contract shared with [`GridRun::checkpoint`] and the
+    /// `ohm-serve` result cache. Recording and replay deliberately do
+    /// not perturb it: a replayed run is the *same cell* (bit-identical
+    /// report), so it must hit the same cache slot.
+    ///
+    /// # Panics
+    ///
+    /// If no workload was selected.
+    pub fn spec(&self) -> CellSpec {
+        CellSpec::new(
+            self.cfg.clone(),
+            self.platform,
+            self.mode,
+            *self.spec_or_panic(),
+        )
+    }
+
+    /// Runs the cell.
+    ///
+    /// # Panics
+    ///
+    /// If no workload was selected.
+    pub fn execute(&self) -> SimReport {
+        let mut sys = System::new(self.cfg, self.platform, self.mode, self.spec_or_panic());
+        if let Some(n) = self.cell_threads {
+            sys.set_cell_threads(n);
+        }
+        sys.run()
+    }
+
+    /// Captures the run's instruction stream to `out` in the
+    /// `ohm-trace v1` format (`docs/TRACE_FORMAT.md`). The recorder is a
+    /// pass-through, so the recorded run's report is bit-identical to
+    /// [`Run::execute`]'s; replaying the captured trace via
+    /// [`Run::replay`] reproduces it bit-identically in turn.
+    pub fn record<W: std::io::Write + 'static>(self, out: W) -> RecordedRun<'a, W> {
+        RecordedRun { run: self, out }
+    }
+
+    /// Drives the run from a recorded trace, streaming records from
+    /// `reader` (never materialising the trace) instead of generating
+    /// the workload.
+    pub fn replay<R: std::io::BufRead + 'static>(self, reader: R) -> ReplayRun<'a, R> {
+        ReplayRun { run: self, reader }
+    }
+}
+
+/// A [`Run`] that records its instruction stream — see [`Run::record`].
+#[derive(Debug)]
+pub struct RecordedRun<'a, W> {
+    run: Run<'a>,
+    out: W,
+}
+
+impl<W: std::io::Write + 'static> RecordedRun<'_, W> {
+    /// Runs the cell, returning its report and the writer with the
+    /// complete trace flushed into it.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] when the writer fails (header, any record, or
+    /// the final flush).
+    ///
+    /// # Panics
+    ///
+    /// If no workload was selected.
+    pub fn execute(self) -> Result<(SimReport, W), TraceError> {
+        let spec = self.run.spec_or_panic();
+        let base = crate::system::base_stream(self.run.cfg, spec);
+        let (recorder, handle) =
+            TraceRecorder::new(base, self.out, self.run.cfg.line_bytes as u32)?;
+        let mut sys = System::with_stream(
+            self.run.cfg,
+            self.run.platform,
+            self.run.mode,
+            spec,
+            Box::new(recorder),
+        );
+        if let Some(n) = self.run.cell_threads {
+            sys.set_cell_threads(n);
+        }
+        let report = sys.run();
+        drop(sys); // releases the recorder so the handle can finish
+        Ok((report, handle.finish()?))
+    }
+}
+
+/// A [`Run`] driven by a recorded trace — see [`Run::replay`].
+#[derive(Debug)]
+pub struct ReplayRun<'a, R> {
+    run: Run<'a>,
+    reader: R,
+}
+
+impl<R: std::io::BufRead + 'static> ReplayRun<'_, R> {
+    /// Runs the cell against the trace. A trace captured by
+    /// [`Run::record`] replayed under the same configuration produces a
+    /// bit-identical [`SimReport`], with one exception: trace records
+    /// carry no phase identity, so a replayed phase-structured run
+    /// reports `phases: None` (every other field matches).
+    ///
+    /// # Errors
+    ///
+    /// The header errors of
+    /// [`TraceReader::new`](ohm_workloads::trace::TraceReader::new)
+    /// before the run, or the [`TraceError`] of the first malformed
+    /// record hit mid-replay (the run completes on the records before
+    /// it).
+    ///
+    /// # Panics
+    ///
+    /// If no workload was selected.
+    pub fn execute(self) -> Result<SimReport, TraceError> {
+        let spec = self.run.spec_or_panic();
+        let replay = TraceReplay::new(self.reader)?;
+        let errors = replay.error_handle();
+        let mut sys = System::with_stream(
+            self.run.cfg,
+            self.run.platform,
+            self.run.mode,
+            spec,
+            Box::new(replay),
+        );
+        if let Some(n) = self.run.cell_threads {
+            sys.set_cell_threads(n);
+        }
+        let report = sys.run();
+        match errors.take() {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+}
+
 /// Runs one platform/mode/workload combination.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::new(cfg).platform(p).mode(m).workload(spec).execute()`"
+)]
 pub fn run_platform(
     cfg: &SystemConfig,
     platform: Platform,
     mode: OperationalMode,
     spec: &WorkloadSpec,
 ) -> SimReport {
-    System::new(cfg, platform, mode, spec).run()
+    Run::new(cfg)
+        .platform(platform)
+        .mode(mode)
+        .workload(spec)
+        .execute()
 }
 
-/// Runs one cell exactly as [`run_platform`] would while capturing its
-/// instruction stream to `out` in the `ohm-trace v1` format
-/// (`docs/TRACE_FORMAT.md`). The recorder is a pass-through, so the
-/// returned report is bit-identical to an unrecorded run; replaying the
-/// captured trace with [`run_replay`] reproduces it bit-identically in
-/// turn.
+/// Runs one cell while capturing its instruction stream.
 ///
 /// # Errors
 ///
-/// [`TraceError::Io`] when the writer fails (header, any record, or the
-/// final flush).
+/// [`TraceError::Io`] when the writer fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::new(cfg).platform(p).mode(m).workload(spec).record(out).execute()`"
+)]
 pub fn run_recorded<W: std::io::Write + 'static>(
     cfg: &SystemConfig,
     platform: Platform,
@@ -54,27 +281,23 @@ pub fn run_recorded<W: std::io::Write + 'static>(
     spec: &WorkloadSpec,
     out: W,
 ) -> Result<(SimReport, W), TraceError> {
-    let base = crate::system::base_stream(cfg, spec);
-    let (recorder, handle) = TraceRecorder::new(base, out, cfg.line_bytes as u32)?;
-    let mut sys = System::with_stream(cfg, platform, mode, spec, Box::new(recorder));
-    let report = sys.run();
-    drop(sys); // releases the recorder so the handle can finish
-    Ok((report, handle.finish()?))
+    Run::new(cfg)
+        .platform(platform)
+        .mode(mode)
+        .workload(spec)
+        .record(out)
+        .execute()
 }
 
-/// Runs one cell driven by a recorded trace, streaming records from
-/// `reader` (never materialising the trace). A trace captured by
-/// [`run_recorded`] replayed under the same configuration produces a
-/// bit-identical [`SimReport`], with one exception: trace records carry
-/// no phase identity, so a replayed phase-structured run reports
-/// `phases: None` (every other field matches).
+/// Runs one cell driven by a recorded trace.
 ///
 /// # Errors
 ///
-/// The header errors of
-/// [`TraceReader::new`](ohm_workloads::trace::TraceReader::new) before
-/// the run, or the [`TraceError`] of the first malformed record hit
-/// mid-replay (the run completes on the records before it).
+/// As [`ReplayRun::execute`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::new(cfg).platform(p).mode(m).workload(spec).replay(reader).execute()`"
+)]
 pub fn run_replay<R: std::io::BufRead + 'static>(
     cfg: &SystemConfig,
     platform: Platform,
@@ -82,13 +305,12 @@ pub fn run_replay<R: std::io::BufRead + 'static>(
     spec: &WorkloadSpec,
     reader: R,
 ) -> Result<SimReport, TraceError> {
-    let replay = TraceReplay::new(reader)?;
-    let errors = replay.error_handle();
-    let report = System::with_stream(cfg, platform, mode, spec, Box::new(replay)).run();
-    match errors.take() {
-        Some(e) => Err(e),
-        None => Ok(report),
-    }
+    Run::new(cfg)
+        .platform(platform)
+        .mode(mode)
+        .workload(spec)
+        .replay(reader)
+        .execute()
 }
 
 /// Options for one grid run — the single entry point for sweeping
@@ -117,6 +339,7 @@ pub struct GridRun {
     profile: bool,
     progress: bool,
     checkpoint: Option<PathBuf>,
+    fsync: FsyncPolicy,
     isolate: bool,
     max_retries: u32,
     backoff: ExponentialBackoff,
@@ -139,6 +362,7 @@ impl GridRun {
             profile: false,
             progress: false,
             checkpoint: None,
+            fsync: FsyncPolicy::OnClose,
             isolate: false,
             max_retries: 0,
             backoff: ExponentialBackoff {
@@ -201,6 +425,15 @@ impl GridRun {
     /// overwriting it.
     pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Durability policy for checkpoint journal appends (default
+    /// [`FsyncPolicy::OnClose`], the historical behaviour). Use
+    /// [`FsyncPolicy::Always`] when at most one record may be lost to a
+    /// host crash — the `ohm-serve` daemon's setting.
+    pub fn fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
         self
     }
 
@@ -272,7 +505,7 @@ impl GridRun {
 
         let journal: Arc<Option<Mutex<Journal>>> = Arc::new(self.checkpoint.as_ref().map(|p| {
             Mutex::new(
-                Journal::open(p)
+                Journal::open_with(p, self.fsync)
                     .unwrap_or_else(|e| panic!("GridRun::checkpoint({}): {e}", p.display())),
             )
         }));
@@ -311,9 +544,12 @@ impl GridRun {
             let progress = self.progress;
             move |j: usize| {
                 let i = todo[j];
-                let mut sys = System::new(&cfg, platforms[i % cols], mode, &specs[i / cols]);
-                sys.set_cell_threads(cell_threads);
-                let report = sys.run();
+                let report = Run::new(&cfg)
+                    .platform(platforms[i % cols])
+                    .mode(mode)
+                    .workload(&specs[i / cols])
+                    .cell_threads(cell_threads)
+                    .execute();
                 // Journal inside the job, not after the sweep: a run
                 // killed mid-grid keeps every cell that finished.
                 if let Some(jr) = journal.as_ref() {
@@ -672,7 +908,7 @@ mod tests {
     fn normalize_ipc_guards_zero_baseline() {
         let cfg = SystemConfig::quick_test();
         let spec = workload_by_name("lud").unwrap();
-        let proto = run_platform(&cfg, Platform::OhmBase, OperationalMode::Planar, &spec);
+        let proto = Run::new(&cfg).workload(&spec).execute();
         let report = |ipc: f64| {
             let mut r = proto.clone();
             r.ipc = ipc;

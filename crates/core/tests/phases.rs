@@ -3,7 +3,7 @@
 //! attribute real work to every phase, and be deterministic.
 
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::run_platform;
+use ohm_core::runner::Run;
 use ohm_hetero::Platform;
 use ohm_optic::OperationalMode;
 use ohm_workloads::{workload_by_name, PhasePlan};
@@ -20,7 +20,11 @@ fn phase_summary_matches_the_plan_shape() {
     let cfg = phased_cfg();
     let plan = cfg.phases.clone().unwrap();
     let spec = workload_by_name("gctopo").unwrap();
-    let report = run_platform(&cfg, Platform::Hetero, OperationalMode::TwoLevel, &spec);
+    let report = Run::new(&cfg)
+        .platform(Platform::Hetero)
+        .mode(OperationalMode::TwoLevel)
+        .workload(&spec)
+        .execute();
 
     let summary = report.phases.expect("phased config produces a summary");
     assert_eq!(summary.phases.len(), plan.phases.len());
@@ -53,7 +57,11 @@ fn kv_phases_hit_the_xpoint_tier() {
     // must be served (at least partly) from XPoint.
     let cfg = phased_cfg();
     let spec = workload_by_name("gctopo").unwrap();
-    let report = run_platform(&cfg, Platform::Hetero, OperationalMode::TwoLevel, &spec);
+    let report = Run::new(&cfg)
+        .platform(Platform::Hetero)
+        .mode(OperationalMode::TwoLevel)
+        .workload(&spec)
+        .execute();
     let summary = report.phases.unwrap();
     let scan = summary
         .phases
@@ -77,8 +85,16 @@ fn kv_phases_hit_the_xpoint_tier() {
 fn phased_runs_are_deterministic() {
     let cfg = phased_cfg();
     let spec = workload_by_name("pagerank").unwrap();
-    let a = run_platform(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
-    let b = run_platform(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
+    let a = Run::new(&cfg)
+        .platform(Platform::OhmWom)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
+    let b = Run::new(&cfg)
+        .platform(Platform::OhmWom)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
     assert_eq!(a, b);
 }
 
@@ -86,6 +102,10 @@ fn phased_runs_are_deterministic() {
 fn unphased_runs_report_no_phase_summary() {
     let cfg = SystemConfig::quick_test();
     let spec = workload_by_name("gctopo").unwrap();
-    let report = run_platform(&cfg, Platform::OhmBase, OperationalMode::Planar, &spec);
+    let report = Run::new(&cfg)
+        .platform(Platform::OhmBase)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
     assert!(report.phases.is_none());
 }

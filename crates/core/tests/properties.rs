@@ -5,7 +5,7 @@
 //! count for a long soak run.
 
 use ohm_core::config::SystemConfig;
-use ohm_core::runner::run_platform;
+use ohm_core::runner::Run;
 use ohm_core::Platform;
 use ohm_optic::OperationalMode;
 use ohm_sim::{Ps, SplitMix64};
@@ -38,7 +38,11 @@ fn random_configs_complete() {
         };
         let spec = all_workloads()[rng.next_below(10) as usize];
         let cfg = tiny_cfg(sms, warps, insts, seed);
-        let r = run_platform(&cfg, platform, mode, &spec);
+        let r = Run::new(&cfg)
+            .platform(platform)
+            .mode(mode)
+            .workload(&spec)
+            .execute();
         assert_eq!(r.instructions, (sms * warps) as u64 * insts);
         assert!(r.makespan > Ps::ZERO);
         assert!(r.ipc > 0.0);
@@ -56,18 +60,10 @@ fn longer_kernels_take_longer() {
         let seed = rng.next_u64();
         let insts = 200 + rng.next_below(300);
         let spec = all_workloads()[4]; // betw
-        let short = run_platform(
-            &tiny_cfg(2, 4, insts, seed),
-            Platform::OhmBase,
-            OperationalMode::Planar,
-            &spec,
-        );
-        let long = run_platform(
-            &tiny_cfg(2, 4, insts * 2, seed),
-            Platform::OhmBase,
-            OperationalMode::Planar,
-            &spec,
-        );
+        let short_cfg = tiny_cfg(2, 4, insts, seed);
+        let short = Run::new(&short_cfg).workload(&spec).execute();
+        let long_cfg = tiny_cfg(2, 4, insts * 2, seed);
+        let long = Run::new(&long_cfg).workload(&spec).execute();
         assert_eq!(long.instructions, short.instructions * 2);
         assert!(long.makespan >= short.makespan);
     }

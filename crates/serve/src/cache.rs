@@ -1,0 +1,267 @@
+//! The shared content-addressed result cache.
+//!
+//! Every simulation result the daemon ever computes is stored once,
+//! keyed by [`CellSpec::key`] — the same canonical content hash
+//! `GridRun::checkpoint` journals under — and backed by the
+//! `ohm-journal v1` format on disk. Three properties follow:
+//!
+//! * **Cross-job sharing.** Overlapping sweeps from concurrent clients
+//!   resolve their overlap to the same keys, so the second job's
+//!   overlapping cells are served from memory with zero re-simulation.
+//! * **In-flight coalescing.** A cell that is *being* simulated for one
+//!   job is not re-simulated for another: the second claim parks until
+//!   the owner completes, then everyone reads the one result.
+//! * **Restart durability.** The backing journal replays on open, so a
+//!   `SIGKILL`ed server restarts with its entire result history and
+//!   resumes half-finished jobs bit-identically (torn tails are
+//!   truncated by the journal's CRC recovery).
+//!
+//! [`CellSpec::key`]: ohm_core::checkpoint::CellSpec::key
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ohm_core::checkpoint::{FsyncPolicy, Journal, JournalError};
+use ohm_core::SimReport;
+
+/// Outcome of [`ResultCache::claim`] for one cell key.
+#[derive(Debug)]
+pub enum Claim {
+    /// The result is already cached — serve it, simulate nothing.
+    /// (Boxed: a `SimReport` dwarfs the other variants.)
+    Hit(Box<SimReport>),
+    /// The caller now owns this key and must simulate it, then call
+    /// [`ResultCache::complete`] (or [`ResultCache::abandon`] on
+    /// failure).
+    Owner,
+    /// Another worker is simulating this key right now; the caller's
+    /// ticket was parked and will be returned by the owner's
+    /// `complete`/`abandon` for re-claiming.
+    Parked,
+}
+
+/// Cache counters, snapshot via [`ResultCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Claims served from the cache (journal-recovered or computed
+    /// earlier in this process).
+    pub hits: u64,
+    /// Claims that became owners — each one is exactly one simulation
+    /// started.
+    pub misses: u64,
+    /// Claims parked behind an in-flight owner — overlap coalesced away
+    /// without re-simulation.
+    pub coalesced: u64,
+    /// Verified records recovered from the journal at open.
+    pub recovered: usize,
+    /// Bytes of torn journal tail discarded at open.
+    pub truncated_bytes: u64,
+}
+
+/// Mutable cache state: the journal (disk + in-memory index) plus the
+/// in-flight ownership table with its parked tickets.
+struct State<T> {
+    journal: Journal,
+    /// Keys currently being simulated, each with the tickets parked
+    /// behind its owner.
+    inflight: HashMap<u64, Vec<T>>,
+}
+
+/// The daemon-wide result cache. `T` is the caller's ticket type —
+/// whatever a scheduler needs to re-enqueue a parked claim (the serve
+/// scheduler parks whole tasks).
+pub struct ResultCache<T> {
+    state: Mutex<State<T>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    recovered: usize,
+    truncated_bytes: u64,
+}
+
+impl<T> ResultCache<T> {
+    /// Opens (or creates) the cache backed by the journal at `path`,
+    /// recovering every verified record.
+    ///
+    /// # Errors
+    ///
+    /// As [`Journal::open_with`] — I/O failures, a non-journal file, or
+    /// a journal from an incompatible build.
+    pub fn open(
+        path: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+    ) -> Result<ResultCache<T>, JournalError> {
+        let journal = Journal::open_with(path, fsync)?;
+        let recovered = journal.len();
+        let truncated_bytes = journal.truncated_bytes();
+        Ok(ResultCache {
+            state: Mutex::new(State {
+                journal,
+                inflight: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            recovered,
+            truncated_bytes,
+        })
+    }
+
+    /// Claims `key`: a cached result, ownership of the simulation, or a
+    /// parked ticket — atomically, so exactly one concurrent claimant
+    /// of an uncached key becomes the owner and nobody re-simulates a
+    /// key that is cached or in flight.
+    pub fn claim(&self, key: u64, ticket: T) -> Claim {
+        let mut state = self.state.lock().expect("cache lock");
+        if let Some(report) = state.journal.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Claim::Hit(Box::new(report.clone()));
+        }
+        match state.inflight.get_mut(&key) {
+            Some(parked) => {
+                parked.push(ticket);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Claim::Parked
+            }
+            None => {
+                state.inflight.insert(key, Vec::new());
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Claim::Owner
+            }
+        }
+    }
+
+    /// Publishes the owner's result: journals it (honouring the
+    /// [`FsyncPolicy`]), releases the key, and returns the parked
+    /// tickets so the scheduler can re-enqueue them (their next
+    /// [`ResultCache::claim`] is a hit).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the append fails; the result is still
+    /// served from memory and the tickets are still returned.
+    pub fn complete(&self, key: u64, report: &SimReport) -> (Vec<T>, Result<(), JournalError>) {
+        let mut state = self.state.lock().expect("cache lock");
+        let appended = state.journal.append(key, report);
+        let parked = state.inflight.remove(&key).unwrap_or_default();
+        (parked, appended)
+    }
+
+    /// Releases `key` without a result (the owner's simulation failed).
+    /// Returns the parked tickets; the first to re-claim becomes the
+    /// next owner, so a transiently failing cell can still converge
+    /// while a deterministically failing one fails per claimant.
+    pub fn abandon(&self, key: u64) -> Vec<T> {
+        let mut state = self.state.lock().expect("cache lock");
+        state.inflight.remove(&key).unwrap_or_default()
+    }
+
+    /// The cached report for `key`, if any (no ownership transfer).
+    pub fn peek(&self, key: u64) -> Option<SimReport> {
+        let state = self.state.lock().expect("cache lock");
+        state.journal.get(key).cloned()
+    }
+
+    /// Number of distinct results stored.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock").journal.len()
+    }
+
+    /// Whether the cache holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            recovered: self.recovered,
+            truncated_bytes: self.truncated_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohm_core::checkpoint::report_digest;
+    use ohm_core::runner::Run;
+    use ohm_core::SystemConfig;
+    use ohm_workloads::workload_by_name;
+    use std::path::PathBuf;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ohm-cache-unit-{}-{name}.ohmj", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn small_report() -> SimReport {
+        let cfg = SystemConfig::quick_test();
+        let spec = workload_by_name("lud").unwrap();
+        Run::new(&cfg).workload(&spec).execute()
+    }
+
+    #[test]
+    fn claim_complete_serves_parked_tickets() {
+        let path = tmp_path("park");
+        let cache: ResultCache<&str> = ResultCache::open(&path, FsyncPolicy::OnClose).unwrap();
+        // First claimant owns the key.
+        assert!(matches!(cache.claim(7, "a"), Claim::Owner));
+        // Concurrent claimants park instead of re-simulating.
+        assert!(matches!(cache.claim(7, "b"), Claim::Parked));
+        assert!(matches!(cache.claim(7, "c"), Claim::Parked));
+        let report = small_report();
+        let (parked, appended) = cache.complete(7, &report);
+        appended.unwrap();
+        assert_eq!(parked, vec!["b", "c"], "tickets come back for re-queue");
+        // Re-claims (and any later claim) hit.
+        match cache.claim(7, "b") {
+            Claim::Hit(r) => assert_eq!(report_digest(&r), report_digest(&report)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.coalesced, stats.hits), (1, 2, 1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn abandon_hands_ownership_to_a_parked_ticket() {
+        let path = tmp_path("abandon");
+        let cache: ResultCache<u32> = ResultCache::open(&path, FsyncPolicy::OnClose).unwrap();
+        assert!(matches!(cache.claim(9, 1), Claim::Owner));
+        assert!(matches!(cache.claim(9, 2), Claim::Parked));
+        let parked = cache.abandon(9);
+        assert_eq!(parked, vec![2]);
+        // The returned ticket's re-claim becomes the new owner.
+        assert!(matches!(cache.claim(9, 2), Claim::Owner));
+        assert!(cache.is_empty(), "nothing was stored");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn results_survive_reopen() {
+        let path = tmp_path("reopen");
+        let report = small_report();
+        {
+            let cache: ResultCache<()> = ResultCache::open(&path, FsyncPolicy::Always).unwrap();
+            assert!(matches!(cache.claim(3, ()), Claim::Owner));
+            cache.complete(3, &report).1.unwrap();
+        }
+        let cache: ResultCache<()> = ResultCache::open(&path, FsyncPolicy::OnClose).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().recovered, 1);
+        assert_eq!(
+            report_digest(&cache.peek(3).unwrap()),
+            report_digest(&report),
+            "recovered result must be bit-identical"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

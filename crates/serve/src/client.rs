@@ -1,0 +1,142 @@
+//! A minimal blocking client for the `ohm-serve` HTTP surface.
+//!
+//! Mirrors the server's deliberately small HTTP/1.1 dialect: one
+//! request per connection, `Content-Length` bodies, and NDJSON event
+//! streams read line-by-line until the server closes the socket. Used
+//! by the `ohm-client` CLI and the integration tests; anything that
+//! speaks ordinary HTTP (curl, a browser fetch) works just as well.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A completed exchange: status code and full body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body, decoded as UTF-8.
+    pub body: String,
+}
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the server at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// Sends one request and reads the complete response.
+    ///
+    /// # Errors
+    ///
+    /// Connection or socket failures, or a response that is not HTTP.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> std::io::Result<Response> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        )?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let status = read_status(&mut reader)?;
+        skip_headers(&mut reader)?;
+        let mut body = String::new();
+        reader.read_to_string(&mut body)?;
+        Ok(Response { status, body })
+    }
+
+    /// Submits a job body (`POST /jobs`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn submit(&self, spec: &str) -> std::io::Result<Response> {
+        self.request("POST", "/jobs", spec)
+    }
+
+    /// Fetches a job's status document (`GET /jobs/<id>`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn status(&self, job: &str) -> std::io::Result<Response> {
+        self.request("GET", &format!("/jobs/{job}"), "")
+    }
+
+    /// Fetches the server stats document (`GET /stats`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn stats(&self) -> std::io::Result<Response> {
+        self.request("GET", "/stats", "")
+    }
+
+    /// Opens a job's NDJSON event stream and calls `on_line` for each
+    /// line as it arrives, returning when the server closes the stream
+    /// (after the terminal `done` line).
+    ///
+    /// # Errors
+    ///
+    /// Connection or socket failures, or a non-200 response (the body
+    /// is surfaced in the error message).
+    pub fn stream_events(&self, job: &str, mut on_line: impl FnMut(&str)) -> std::io::Result<()> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        write!(
+            stream,
+            "GET /jobs/{job}/events HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+        )?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let status = read_status(&mut reader)?;
+        skip_headers(&mut reader)?;
+        if status != 200 {
+            let mut body = String::new();
+            reader.read_to_string(&mut body)?;
+            return Err(std::io::Error::other(format!(
+                "event stream for {job}: HTTP {status}: {}",
+                body.trim()
+            )));
+        }
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Ok(());
+            }
+            let trimmed = line.trim_end();
+            if !trimmed.is_empty() {
+                on_line(trimmed);
+            }
+        }
+    }
+}
+
+/// Parses the status line (`HTTP/1.1 200 OK`).
+fn read_status(reader: &mut BufReader<TcpStream>) -> std::io::Result<u16> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    line.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line {line:?}")))
+}
+
+/// Consumes header lines up to the blank separator.
+fn skip_headers(reader: &mut BufReader<TcpStream>) -> std::io::Result<()> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+            return Ok(());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The daemon's work-stealing worker pool.
+//!
+//! Unlike the scoped fan-out in `ohm_core::par` — which owns a fixed
+//! index range and joins at the end of one grid — the daemon needs a
+//! *resident* pool that accepts work forever, interleaves cells from
+//! concurrent jobs, and lets a re-enqueued (un-parked) task run on any
+//! worker. Each worker owns a deque; submissions round-robin across
+//! them and an idle worker steals from the longest other deque, so one
+//! giant job cannot starve a small one submitted behind it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of pool work.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state shared by submitters and workers.
+struct PoolState {
+    /// One deque per worker (owner pops the front, thieves the back).
+    queues: Vec<VecDeque<Task>>,
+    /// Round-robin submission cursor.
+    next: usize,
+    /// When set, workers drain nothing further and exit.
+    shutdown: bool,
+}
+
+/// Shared interior of a [`WorkerPool`].
+struct Shared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    /// Workers currently executing a task — the `/stats` occupancy
+    /// gauge.
+    busy: AtomicUsize,
+}
+
+/// A resident pool of worker threads with per-worker deques and work
+/// stealing. Dropping the pool shuts it down: queued-but-unstarted
+/// tasks are discarded (exactly the semantics of killing a server),
+/// running tasks finish, and the threads are joined.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    count: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (clamped to at least 1) resident worker
+    /// threads.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                next: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            busy: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ohm-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            count: workers,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.count
+    }
+
+    /// Workers currently executing a task.
+    pub fn busy(&self) -> usize {
+        self.shared.busy.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues `task` on the next deque round-robin and wakes a
+    /// worker. Tasks submitted after shutdown are silently dropped
+    /// (the accept loop may race a stopping server).
+    pub fn submit(&self, task: Task) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if state.shutdown {
+            return;
+        }
+        let slot = state.next % self.count;
+        state.next = state.next.wrapping_add(1);
+        state.queues[slot].push_back(task);
+        drop(state);
+        self.shared.available.notify_all();
+    }
+
+    /// Stops the pool: discards queued tasks, lets running tasks
+    /// finish, and joins every worker. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+            for q in &mut state.queues {
+                q.clear();
+            }
+        }
+        self.shared.available.notify_all();
+        let handles: Vec<_> = self.workers.lock().expect("pool lock").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: pop own deque first, steal from the longest other deque
+/// otherwise, sleep when everything is empty.
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(task) = take_task(&mut state, me) {
+                    break task;
+                }
+                state = shared.available.wait(state).expect("pool lock");
+            }
+        };
+        shared.busy.fetch_add(1, Ordering::Relaxed);
+        task();
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Pops worker `me`'s next task: its own front, else the back of the
+/// longest other deque (steal).
+fn take_task(state: &mut PoolState, me: usize) -> Option<Task> {
+    if let Some(task) = state.queues[me].pop_front() {
+        return Some(task);
+    }
+    let victim = (0..state.queues.len())
+        .filter(|&w| w != me)
+        .max_by_key(|&w| state.queues[w].len())?;
+    state.queues[victim].pop_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_every_submitted_task_across_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let sum = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        for i in 1..=100u64 {
+            let sum = Arc::clone(&sum);
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn stealing_drains_an_unbalanced_queue() {
+        // One worker pool cannot steal; two workers with all tasks
+        // round-robined still finish even if one worker is pinned by a
+        // long task — the other steals the backlog.
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        // Pin one worker.
+        pool.submit(Box::new(move || {
+            block_rx.recv().unwrap();
+        }));
+        for _ in 0..20 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || tx.send(()).unwrap()));
+        }
+        for _ in 0..20 {
+            rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+        }
+        block_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn shutdown_discards_queued_tasks_and_joins() {
+        let pool = WorkerPool::new(1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let ran = Arc::new(AtomicU64::new(0));
+        pool.submit(Box::new(move || {
+            let _ = block_rx.recv();
+        }));
+        for _ in 0..10 {
+            let ran = Arc::clone(&ran);
+            pool.submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        // Unblock the running task, then stop; queued tasks may or may
+        // not have started, but shutdown must return with all workers
+        // joined either way.
+        block_tx.send(()).unwrap();
+        pool.shutdown();
+        pool.submit(Box::new(|| panic!("submitted after shutdown")));
+    }
+}

@@ -7,7 +7,7 @@
 //! ```
 
 use ohm_gpu::core::config::SystemConfig;
-use ohm_gpu::core::runner::run_platform;
+use ohm_gpu::core::runner::Run;
 use ohm_gpu::core::Platform;
 use ohm_gpu::optic::OperationalMode;
 use ohm_gpu::workloads::workload_by_name;
@@ -25,7 +25,11 @@ fn main() {
     for name in ["pagerank", "bfsdata", "betw"] {
         let spec = workload_by_name(name).expect("Table II workload");
         for platform in Platform::ALL {
-            let r = run_platform(&cfg, platform, mode, &spec);
+            let r = Run::new(&cfg)
+                .platform(platform)
+                .mode(mode)
+                .workload(&spec)
+                .execute();
             println!(
                 "{:>10} {:>10} {:>8.3} {:>10.0} {:>12} {:>10.1}%",
                 name,

@@ -7,7 +7,7 @@
 //! ```
 
 use ohm_gpu::core::config::SystemConfig;
-use ohm_gpu::core::runner::run_platform;
+use ohm_gpu::core::runner::Run;
 use ohm_gpu::core::Platform;
 use ohm_gpu::optic::OperationalMode;
 use ohm_gpu::workloads::workload_by_name;
@@ -26,7 +26,11 @@ fn main() {
     for threshold in [4u32, 8, 16, 32, 64] {
         let mut cfg = SystemConfig::quick_test();
         cfg.memory.hot_threshold = threshold;
-        let r = run_platform(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
+        let r = Run::new(&cfg)
+            .platform(Platform::OhmWom)
+            .mode(OperationalMode::Planar)
+            .workload(&spec)
+            .execute();
         println!(
             "{:>10} {:>8.3} {:>12} {:>11.1}% {:>11.1}%",
             threshold,
@@ -46,7 +50,11 @@ fn main() {
     );
     let cfg = SystemConfig::quick_test();
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
-        let r = run_platform(&cfg, Platform::OhmBw, mode, &spec);
+        let r = Run::new(&cfg)
+            .platform(Platform::OhmBw)
+            .mode(mode)
+            .workload(&spec)
+            .execute();
         let ratio = match mode {
             OperationalMode::Planar => cfg.memory.planar_ratio,
             OperationalMode::TwoLevel => cfg.memory.two_level_ratio,

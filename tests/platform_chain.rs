@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
 use ohm_gpu::core::config::SystemConfig;
-use ohm_gpu::core::runner::{geomean, run_platform};
+use ohm_gpu::core::runner::{geomean, Run};
 use ohm_gpu::core::{Platform, SimReport};
 use ohm_gpu::optic::OperationalMode;
 use ohm_gpu::workloads::workload_by_name;
@@ -40,7 +40,12 @@ fn run(platform: Platform, mode: OperationalMode, workload: &'static str) -> Sim
     let spec = workload_by_name(workload)
         .unwrap()
         .with_footprint(SystemConfig::EVALUATION_FOOTPRINT / 2);
-    let report = run_platform(&eval_cfg(), platform, mode, &spec);
+    let cfg = eval_cfg();
+    let report = Run::new(&cfg)
+        .platform(platform)
+        .mode(mode)
+        .workload(&spec)
+        .execute();
     cache
         .lock()
         .unwrap()
@@ -116,12 +121,20 @@ fn origin_reports_staging_and_pays_for_it() {
     let spec = workload_by_name("GRAMS")
         .unwrap()
         .with_footprint(SystemConfig::EVALUATION_FOOTPRINT / 2);
-    let origin = run_platform(&cfg, Platform::Origin, OperationalMode::Planar, &spec);
+    let origin = Run::new(&cfg)
+        .platform(Platform::Origin)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
     let host = origin.host.expect("origin reports staging");
     assert!(host.staged_in > 0);
     assert!(host.bytes_moved > 0);
     assert!(origin.host.is_some());
-    let hetero = run_platform(&cfg, Platform::Hetero, OperationalMode::Planar, &spec);
+    let hetero = Run::new(&cfg)
+        .platform(Platform::Hetero)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
     assert!(hetero.host.is_none());
 }
 
@@ -133,7 +146,11 @@ fn waveguide_scaling_improves_ohm_platforms() {
     let mut cfg8 = eval_cfg();
     cfg8.optical.waveguides = 8;
     let one = run(Platform::OhmBase, OperationalMode::Planar, "pagerank");
-    let eight = run_platform(&cfg8, Platform::OhmBase, OperationalMode::Planar, &spec);
+    let eight = Run::new(&cfg8)
+        .platform(Platform::OhmBase)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
     assert!(
         eight.ipc > one.ipc,
         "8 waveguides must help: {} vs {}",

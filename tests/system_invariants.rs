@@ -2,7 +2,7 @@
 //! platform, mode and workload.
 
 use ohm_gpu::core::config::SystemConfig;
-use ohm_gpu::core::runner::run_platform;
+use ohm_gpu::core::runner::Run;
 use ohm_gpu::core::Platform;
 use ohm_gpu::optic::OperationalMode;
 use ohm_gpu::sim::Ps;
@@ -18,7 +18,11 @@ fn every_platform_mode_workload_combination_runs() {
     for spec in all_workloads() {
         for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
             for platform in Platform::ALL {
-                let r = run_platform(&cfg, platform, mode, &spec);
+                let r = Run::new(&cfg)
+                    .platform(platform)
+                    .mode(mode)
+                    .workload(&spec)
+                    .execute();
                 assert!(
                     r.makespan > Ps::ZERO,
                     "{}/{mode:?}/{}",
@@ -47,8 +51,16 @@ fn determinism_across_identical_runs() {
     let cfg = SystemConfig::quick_test();
     let spec = workload_by_name("betw").unwrap();
     for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
-        let a = run_platform(&cfg, Platform::OhmBw, mode, &spec);
-        let b = run_platform(&cfg, Platform::OhmBw, mode, &spec);
+        let a = Run::new(&cfg)
+            .platform(Platform::OhmBw)
+            .mode(mode)
+            .workload(&spec)
+            .execute();
+        let b = Run::new(&cfg)
+            .platform(Platform::OhmBw)
+            .mode(mode)
+            .workload(&spec)
+            .execute();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.mem_requests, b.mem_requests);
         assert_eq!(a.migrations, b.migrations);
@@ -63,8 +75,16 @@ fn seed_changes_the_run_but_not_the_accounting() {
     cfg_a.seed = 1;
     cfg_b.seed = 2;
     let spec = workload_by_name("FDTD").unwrap();
-    let a = run_platform(&cfg_a, Platform::OhmBase, OperationalMode::Planar, &spec);
-    let b = run_platform(&cfg_b, Platform::OhmBase, OperationalMode::Planar, &spec);
+    let a = Run::new(&cfg_a)
+        .platform(Platform::OhmBase)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
+    let b = Run::new(&cfg_b)
+        .platform(Platform::OhmBase)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
     assert_ne!(a.makespan, b.makespan, "different seeds should differ");
     assert_eq!(
         a.instructions, b.instructions,
@@ -78,7 +98,11 @@ fn homogeneous_platforms_never_migrate() {
     let spec = workload_by_name("pagerank").unwrap();
     for platform in [Platform::Origin, Platform::Oracle] {
         for mode in [OperationalMode::Planar, OperationalMode::TwoLevel] {
-            let r = run_platform(&cfg, platform, mode, &spec);
+            let r = Run::new(&cfg)
+                .platform(platform)
+                .mode(mode)
+                .workload(&spec)
+                .execute();
             assert_eq!(r.migrations, 0, "{} must not migrate", platform.name());
             assert_eq!(r.migration_channel_fraction, 0.0);
             if platform == Platform::Oracle {
@@ -99,14 +123,22 @@ fn homogeneous_platforms_never_migrate() {
 fn oracle_dominates_every_heterogeneous_platform() {
     let cfg = SystemConfig::quick_test();
     let spec = workload_by_name("pagerank").unwrap();
-    let oracle = run_platform(&cfg, Platform::Oracle, OperationalMode::Planar, &spec);
+    let oracle = Run::new(&cfg)
+        .platform(Platform::Oracle)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
     for platform in [
         Platform::Hetero,
         Platform::OhmBase,
         Platform::AutoRw,
         Platform::OhmWom,
     ] {
-        let r = run_platform(&cfg, platform, OperationalMode::Planar, &spec);
+        let r = Run::new(&cfg)
+            .platform(platform)
+            .mode(OperationalMode::Planar)
+            .workload(&spec)
+            .execute();
         assert!(
             oracle.ipc >= r.ipc,
             "oracle {} must dominate {} ({})",
@@ -121,8 +153,16 @@ fn oracle_dominates_every_heterogeneous_platform() {
 fn wear_leveling_is_reported_for_heterogeneous_platforms() {
     let cfg = SystemConfig::quick_test();
     let spec = workload_by_name("backp").unwrap(); // write-heavy
-    let r = run_platform(&cfg, Platform::OhmBase, OperationalMode::TwoLevel, &spec);
+    let r = Run::new(&cfg)
+        .platform(Platform::OhmBase)
+        .mode(OperationalMode::TwoLevel)
+        .workload(&spec)
+        .execute();
     assert!(r.wear_imbalance >= 1.0);
-    let oracle = run_platform(&cfg, Platform::Oracle, OperationalMode::Planar, &spec);
+    let oracle = Run::new(&cfg)
+        .platform(Platform::Oracle)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
     assert_eq!(oracle.wear_imbalance, 1.0, "no XPoint, neutral imbalance");
 }

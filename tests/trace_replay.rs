@@ -6,7 +6,7 @@
 //! simulator consumed.
 
 use ohm_gpu::core::config::SystemConfig;
-use ohm_gpu::core::{run_platform, run_recorded, run_replay, Platform};
+use ohm_gpu::core::{Platform, Run};
 use ohm_gpu::optic::OperationalMode;
 use ohm_gpu::workloads::{workload_by_name, TraceError, TraceReader};
 use std::io::Cursor;
@@ -18,28 +18,30 @@ fn recorded_run_replays_bit_identically() {
     let spec = workload_by_name("gctopo").unwrap();
 
     // Recording is a pass-through: the recorded run equals a plain run.
-    let plain = run_platform(&cfg, Platform::OhmWom, OperationalMode::Planar, &spec);
-    let (original, trace) = run_recorded(
-        &cfg,
-        Platform::OhmWom,
-        OperationalMode::Planar,
-        &spec,
-        Vec::new(),
-    )
-    .expect("recording succeeds");
+    let plain = Run::new(&cfg)
+        .platform(Platform::OhmWom)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .execute();
+    let (original, trace) = Run::new(&cfg)
+        .platform(Platform::OhmWom)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .record(Vec::new())
+        .execute()
+        .expect("recording succeeds");
     assert_eq!(original, plain, "recorder must not perturb the run");
     assert!(original.instructions > 0);
     assert!(trace.starts_with(b"ohm-trace v1\n"));
 
     // Replaying the captured trace reproduces the full report exactly.
-    let replayed = run_replay(
-        &cfg,
-        Platform::OhmWom,
-        OperationalMode::Planar,
-        &spec,
-        Cursor::new(trace),
-    )
-    .expect("replay succeeds");
+    let replayed = Run::new(&cfg)
+        .platform(Platform::OhmWom)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .replay(Cursor::new(trace))
+        .execute()
+        .expect("replay succeeds");
     assert_eq!(replayed, original, "replay must be bit-identical");
 }
 
@@ -50,26 +52,24 @@ fn phased_run_replays_identically_except_phase_rows() {
     cfg.phases = Some(ohm_gpu::workloads::PhasePlan::llm_inference());
     let spec = workload_by_name("gctopo").unwrap();
 
-    let (original, trace) = run_recorded(
-        &cfg,
-        Platform::OhmBase,
-        OperationalMode::Planar,
-        &spec,
-        Vec::new(),
-    )
-    .expect("recording succeeds");
+    let (original, trace) = Run::new(&cfg)
+        .platform(Platform::OhmBase)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .record(Vec::new())
+        .execute()
+        .expect("recording succeeds");
     assert!(original.phases.is_some(), "phased run has a phase summary");
 
     // Trace records carry no phase identity, so the replay's report has
     // `phases: None` — but every timing-derived field must still match.
-    let mut replayed = run_replay(
-        &cfg,
-        Platform::OhmBase,
-        OperationalMode::Planar,
-        &spec,
-        Cursor::new(trace),
-    )
-    .expect("replay succeeds");
+    let mut replayed = Run::new(&cfg)
+        .platform(Platform::OhmBase)
+        .mode(OperationalMode::Planar)
+        .workload(&spec)
+        .replay(Cursor::new(trace))
+        .execute()
+        .expect("replay succeeds");
     assert!(replayed.phases.is_none(), "trace replay is unphased");
     replayed.phases = original.phases.clone();
     assert_eq!(replayed, original, "timing must be bit-identical");
@@ -80,13 +80,12 @@ fn malformed_traces_surface_typed_errors_not_panics() {
     let cfg = SystemConfig::quick_test();
     let spec = workload_by_name("gctopo").unwrap();
     let run = |text: &'static str| {
-        run_replay(
-            &cfg,
-            Platform::OhmBase,
-            OperationalMode::Planar,
-            &spec,
-            text.as_bytes(),
-        )
+        Run::new(&cfg)
+            .platform(Platform::OhmBase)
+            .mode(OperationalMode::Planar)
+            .workload(&spec)
+            .replay(text.as_bytes())
+            .execute()
     };
 
     // Missing / wrong header fail before the run starts.
